@@ -1,0 +1,33 @@
+//! Adaptive data analysis via differential privacy (Section 1.3).
+//!
+//! \[DFH+15\] showed that differentially private mechanisms generalize: if a
+//! DP mechanism answers queries accurately *on the sample*, the answers are
+//! also accurate *on the population* the sample came from, even when the
+//! analyst chooses queries adaptively. \[BSSU15\] extended the transfer to CM
+//! queries, and the paper notes that plugging its mechanism into that
+//! theorem yields state-of-the-art generalization for adaptively chosen CM
+//! queries.
+//!
+//! This crate builds the laboratory for that claim:
+//!
+//! * [`Population`] — a known distribution over the universe, from which the
+//!   sample `D ~ P^n` is drawn; population risk is computable exactly.
+//! * [`OverfitAnalyst`] — the classic adaptive "feature hunter" (Freedman's
+//!   paradox): it asks one query per feature, keeps the features whose
+//!   sample answer deviates from the prior, and finally asks a query
+//!   concentrated on the selected features. Against raw sample answers the
+//!   final query badly overfits; against PMW answers it cannot.
+//! * [`AdaptiveHarness`] — runs an analyst against (a) direct sample reuse
+//!   and (b) a PMW-mediated mechanism, reporting sample-vs-population error
+//!   for both (experiment E12).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyst;
+pub mod harness;
+pub mod population;
+
+pub use analyst::OverfitAnalyst;
+pub use harness::{AdaptiveHarness, AdaptiveReport};
+pub use population::Population;

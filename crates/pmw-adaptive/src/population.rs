@@ -1,0 +1,120 @@
+//! Populations: known distributions over a universe.
+
+use pmw_core::PmwError;
+use pmw_data::{Dataset, Histogram, Universe};
+use pmw_losses::CmLoss;
+use pmw_losses::WeightedObjective;
+use rand::Rng;
+
+/// A population distribution `P` over a finite universe, with exact
+/// population-risk evaluation — the ground truth of the Section 1.3
+/// experiments.
+pub struct Population {
+    histogram: Histogram,
+    points: Vec<Vec<f64>>,
+}
+
+impl Population {
+    /// Wrap a distribution over `universe`.
+    pub fn new<U: Universe>(universe: &U, histogram: Histogram) -> Result<Self, PmwError> {
+        if histogram.len() != universe.size() {
+            return Err(PmwError::LossMismatch(
+                "population histogram size does not match universe",
+            ));
+        }
+        Ok(Self {
+            histogram,
+            points: universe.materialize(),
+        })
+    }
+
+    /// The uniform population.
+    pub fn uniform<U: Universe>(universe: &U) -> Result<Self, PmwError> {
+        let histogram = Histogram::uniform(universe.size())?;
+        Self::new(universe, histogram)
+    }
+
+    /// Draw `D ~ P^n`.
+    pub fn sample(&self, n: usize, rng: &mut dyn Rng) -> Result<Dataset, PmwError> {
+        Ok(Dataset::sample_from(&self.histogram, n, rng)?)
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// The universe points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// Exact population risk `E_{x~P}[ℓ(θ; x)]`.
+    pub fn risk(&self, loss: &dyn CmLoss, theta: &[f64]) -> Result<f64, PmwError> {
+        let obj = WeightedObjective::new(loss, &self.points, self.histogram.weights())?;
+        use pmw_convex::Objective;
+        Ok(obj.value(theta))
+    }
+
+    /// Exact population value of a `[0,1]` linear statistic given by a
+    /// per-point function.
+    pub fn expectation(&self, f: impl Fn(&[f64]) -> f64) -> f64 {
+        self.points
+            .iter()
+            .zip(self.histogram.weights())
+            .map(|(x, &w)| w * f(x))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmw_data::BooleanCube;
+    use pmw_losses::{LinearQueryLoss, PointPredicate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_population_has_half_bit_frequencies() {
+        let cube = BooleanCube::new(4).unwrap();
+        let pop = Population::uniform(&cube).unwrap();
+        let freq = pop.expectation(|x| x[2]);
+        assert!((freq - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_population_frequencies() {
+        let cube = BooleanCube::new(3).unwrap();
+        let skew =
+            pmw_data::synth::product_population(&cube, &[0.9, 0.5, 0.5]).unwrap();
+        let pop = Population::new(&cube, skew).unwrap();
+        let mut rng = StdRng::seed_from_u64(201);
+        let d = pop.sample(5000, &mut rng).unwrap();
+        let h = d.histogram();
+        let bit0: f64 = (0..8).filter(|x| x & 1 == 1).map(|x| h.mass(x)).sum();
+        assert!((bit0 - 0.9).abs() < 0.03, "{bit0}");
+    }
+
+    #[test]
+    fn risk_is_population_average() {
+        let cube = BooleanCube::new(2).unwrap();
+        let pop = Population::uniform(&cube).unwrap();
+        let loss = LinearQueryLoss::new(
+            PointPredicate::Conjunction { coords: vec![0] },
+            2,
+        )
+        .unwrap();
+        // l(theta; x) = (theta - p)^2/2 averaged over p in {0,1} equally:
+        // at theta = 0.5 -> 0.125.
+        let r = pop.risk(&loss, &[0.5]).unwrap();
+        assert!((r - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_universe_match() {
+        let cube = BooleanCube::new(3).unwrap();
+        let wrong = Histogram::uniform(9).unwrap();
+        assert!(Population::new(&cube, wrong).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Monte-Carlo privacy audits: empirical lower bounds on ε.
+//!
+//! Differential privacy (Definition 2.1) bounds
+//! `Pr[M(D) ∈ S] ≤ e^ε·Pr[M(D') ∈ S] + δ` for every event `S`. Running the
+//! mechanism many times on a fixed pair of adjacent datasets and counting a
+//! distinguishing event on both sides yields the estimator
+//!
+//! `ε̂ = ln( (p̂_D − δ) / p̂_{D'} )`,
+//!
+//! which (up to sampling error) **lower-bounds** the true ε — a mechanism
+//! whose audit exceeds its declared ε is broken. This is the tool behind
+//! experiment E9's check of Theorem 3.9. It cannot *certify* privacy (no
+//! black-box test can), but it reliably catches sign errors, budget
+//! mis-splits and forgotten noise.
+
+use crate::error::AttackError;
+use rand::Rng;
+
+/// Monte-Carlo ε lower-bound estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct EpsilonAudit {
+    /// Runs per side.
+    pub trials: usize,
+}
+
+impl Default for EpsilonAudit {
+    fn default() -> Self {
+        Self { trials: 20_000 }
+    }
+}
+
+/// Result of one audit.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditResult {
+    /// Empirical event probability on `D`.
+    pub p_d: f64,
+    /// Empirical event probability on `D'`.
+    pub p_d_prime: f64,
+    /// The ε lower bound `ln((p_D − δ)/p_D')` (0 when not distinguishing).
+    pub epsilon_lower_bound: f64,
+}
+
+impl EpsilonAudit {
+    /// Audit with the given number of trials per side.
+    pub fn new(trials: usize) -> Result<Self, AttackError> {
+        if trials == 0 {
+            return Err(AttackError::InvalidParameter("trials must be >= 1"));
+        }
+        Ok(Self { trials })
+    }
+
+    /// Run the mechanism-with-event on both datasets. `event_on_d(rng)` must
+    /// run the mechanism on `D` and report whether the distinguishing event
+    /// occurred; likewise for `D'`. Both directions are tried and the larger
+    /// bound returned.
+    pub fn estimate<R: Rng + ?Sized>(
+        &self,
+        mut event_on_d: impl FnMut(&mut R) -> bool,
+        mut event_on_d_prime: impl FnMut(&mut R) -> bool,
+        delta: f64,
+        rng: &mut R,
+    ) -> Result<AuditResult, AttackError> {
+        if !(0.0..1.0).contains(&delta) {
+            return Err(AttackError::InvalidParameter("delta must lie in [0, 1)"));
+        }
+        let t = self.trials as f64;
+        // Add-one smoothing keeps the ratio finite at zero counts.
+        let mut hits_d = 1.0;
+        let mut hits_dp = 1.0;
+        for _ in 0..self.trials {
+            if event_on_d(rng) {
+                hits_d += 1.0;
+            }
+            if event_on_d_prime(rng) {
+                hits_dp += 1.0;
+            }
+        }
+        let p_d = hits_d / (t + 2.0);
+        let p_dp = hits_dp / (t + 2.0);
+        let bound_fwd = ((p_d - delta).max(f64::MIN_POSITIVE) / p_dp).ln();
+        let bound_bwd = ((p_dp - delta).max(f64::MIN_POSITIVE) / p_d).ln();
+        Ok(AuditResult {
+            p_d,
+            p_d_prime: p_dp,
+            epsilon_lower_bound: bound_fwd.max(bound_bwd).max(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmw_dp::mechanisms::randomized_response;
+    use pmw_dp::{LaplaceMechanism, PrivacyBudget};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_inputs() {
+        assert!(EpsilonAudit::new(0).is_err());
+        let audit = EpsilonAudit::new(10).unwrap();
+        let mut rng = StdRng::seed_from_u64(181);
+        assert!(audit
+            .estimate(|_| true, |_| false, 1.5, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn randomized_response_audit_matches_declared_epsilon() {
+        // RR is the worst case: the likelihood ratio is exactly e^eps, so
+        // the audit should recover nearly all of eps.
+        let eps = 1.0;
+        let audit = EpsilonAudit::new(60_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(182);
+        let result = audit
+            .estimate(
+                |r| randomized_response(true, eps, r).unwrap(),
+                |r| randomized_response(false, eps, r).unwrap(),
+                0.0,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            result.epsilon_lower_bound > 0.9 * eps,
+            "audit {} vs eps {eps}",
+            result.epsilon_lower_bound
+        );
+        assert!(
+            result.epsilon_lower_bound <= 1.1 * eps,
+            "audit {} should not exceed eps {eps} by much",
+            result.epsilon_lower_bound
+        );
+    }
+
+    #[test]
+    fn laplace_mechanism_audit_stays_below_declared_epsilon() {
+        // Event: noisy count >= threshold, on adjacent counts 10 vs 11 with
+        // sensitivity 1. Lower bound must respect the declared eps.
+        let eps = 0.8;
+        let mech = LaplaceMechanism::new(1.0, eps).unwrap();
+        let audit = EpsilonAudit::new(40_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(183);
+        let result = audit
+            .estimate(
+                |r| mech.release(11.0, r).unwrap() >= 10.5,
+                |r| mech.release(10.0, r).unwrap() >= 10.5,
+                0.0,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            result.epsilon_lower_bound <= eps * 1.1,
+            "audit {} exceeds declared {eps}",
+            result.epsilon_lower_bound
+        );
+        // The threshold event at the midpoint extracts a decent fraction.
+        assert!(result.epsilon_lower_bound > 0.3 * eps);
+    }
+
+    #[test]
+    fn non_private_mechanism_is_flagged() {
+        // Identity "mechanism": the audit must report a large epsilon.
+        let audit = EpsilonAudit::new(5_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(184);
+        let result = audit
+            .estimate(|_| true, |_| false, 0.0, &mut rng)
+            .unwrap();
+        assert!(
+            result.epsilon_lower_bound > 5.0,
+            "{}",
+            result.epsilon_lower_bound
+        );
+    }
+
+    #[test]
+    fn gaussian_mechanism_respects_its_budget() {
+        let budget = PrivacyBudget::new(1.0, 1e-5).unwrap();
+        let mech = pmw_dp::GaussianMechanism::new(1.0, budget).unwrap();
+        let audit = EpsilonAudit::new(30_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(185);
+        let result = audit
+            .estimate(
+                |r| mech.release(1.0, r).unwrap() >= 0.5,
+                |r| mech.release(0.0, r).unwrap() >= 0.5,
+                1e-5,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            result.epsilon_lower_bound <= 1.1,
+            "{}",
+            result.epsilon_lower_bound
+        );
+    }
+}

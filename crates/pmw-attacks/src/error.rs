@@ -1,0 +1,20 @@
+//! Error type for the attacks crate.
+
+use std::fmt;
+
+/// Errors from attack harnesses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// A parameter was invalid.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}

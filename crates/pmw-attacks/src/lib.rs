@@ -1,0 +1,30 @@
+//! Privacy attacks and empirical audits.
+//!
+//! The paper's technique is *inspired by* the linear reconstruction attacks
+//! of Kasiviswanathan–Rudelson–Smith \[KRS13\] (Section 1.2): sufficiently
+//! accurate answers to enough queries let an adversary reconstruct the
+//! dataset, which is why accurate non-private answering is impossible and
+//! why PMW's error floor is not an artifact. This crate makes that concrete:
+//!
+//! * [`reconstruction`] — the Dinur–Nissim/\[KRS13\]-style linear
+//!   reconstruction attack: recover a secret bit per row from `Θ(n)` noisy
+//!   random-sign query answers by least squares. Succeeds when per-answer
+//!   error is `o(1/√n)`, fails at PMW's working accuracy — experiment E9.
+//! * [`audit`] — Monte-Carlo lower bounds on the privacy parameter ε̂ of any
+//!   mechanism, by running it on adjacent datasets and comparing output
+//!   distributions. Used to check Theorem 3.9 empirically.
+//! * [`membership`] — a simple membership-inference scorer on released
+//!   linear-query answers, a second lens on the same leakage.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod error;
+pub mod membership;
+pub mod reconstruction;
+
+pub use audit::EpsilonAudit;
+pub use error::AttackError;
+pub use membership::membership_advantage;
+pub use reconstruction::ReconstructionAttack;

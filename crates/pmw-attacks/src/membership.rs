@@ -1,0 +1,149 @@
+//! Membership inference on released linear-query answers.
+//!
+//! A second lens on the leakage of accurate answers: given released answers
+//! `â_j` to random-sign queries and a candidate row, score the row by its
+//! correlation with the centered answers,
+//! `score(x) = Σ_j q_j(x)·(â_j − q̄_j)`. Members of the dataset pull answers
+//! toward their own signs, so member scores stochastically dominate
+//! non-member scores when answers are accurate; noise at the privacy level
+//! washes the signal out. [`membership_advantage`] measures the gap as
+//! `Pr[score(member) > score(non-member)] − 1/2` over random pairings.
+
+use crate::error::AttackError;
+use pmw_data::Histogram;
+use rand::{Rng, RngExt};
+
+/// Estimate the membership advantage of released answers over a universe.
+///
+/// * `universe_queries` — per-query values over universe elements (`±1`).
+/// * `answers` — the released answer per query.
+/// * `members` / `non_members` — universe indices of rows in and out of the
+///   dataset.
+///
+/// Returns `Pr[score(member) > score(non-member)] − 1/2 ∈ [−1/2, 1/2]`.
+pub fn membership_advantage<R: Rng + ?Sized>(
+    universe_queries: &[Vec<f64>],
+    answers: &[f64],
+    members: &[usize],
+    non_members: &[usize],
+    baseline: &Histogram,
+    pairs: usize,
+    rng: &mut R,
+) -> Result<f64, AttackError> {
+    if universe_queries.len() != answers.len() || universe_queries.is_empty() {
+        return Err(AttackError::InvalidParameter(
+            "queries and answers must be nonempty and equal-length",
+        ));
+    }
+    if members.is_empty() || non_members.is_empty() || pairs == 0 {
+        return Err(AttackError::InvalidParameter(
+            "need members, non-members and pairs >= 1",
+        ));
+    }
+    // Center answers by their expectation under the public baseline.
+    let centered: Vec<f64> = universe_queries
+        .iter()
+        .zip(answers)
+        .map(|(q, &a)| a - baseline.dot(q))
+        .collect();
+    let score = |x: usize| -> f64 {
+        universe_queries
+            .iter()
+            .zip(&centered)
+            .map(|(q, &c)| q[x] * c)
+            .sum()
+    };
+    let mut wins = 0.0;
+    for _ in 0..pairs {
+        let m = members[rng.random_range(0..members.len())];
+        let o = non_members[rng.random_range(0..non_members.len())];
+        let (sm, so) = (score(m), score(o));
+        if sm > so {
+            wins += 1.0;
+        } else if sm == so {
+            wins += 0.5;
+        }
+    }
+    Ok(wins / pairs as f64 - 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmw_data::workload::random_signed_queries;
+    use pmw_data::{Dataset, Histogram};
+    use pmw_dp::sampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type Setup = (Vec<Vec<f64>>, Vec<f64>, Vec<usize>, Vec<usize>, Histogram);
+
+    /// Build a skewed dataset over a 64-element universe plus exact answers.
+    fn setup(rng: &mut StdRng) -> Setup {
+        let m = 64usize;
+        // Members: elements 0..8, heavily weighted.
+        let members: Vec<usize> = (0..8).collect();
+        let non_members: Vec<usize> = (32..64).collect();
+        let rows: Vec<usize> = members.iter().cycle().take(200).copied().collect();
+        let data = Dataset::from_indices(m, rows).unwrap();
+        let h = data.histogram();
+        let queries = random_signed_queries(m, 300, rng).unwrap();
+        let answers: Vec<f64> = queries.iter().map(|q| q.evaluate(&h)).collect();
+        let qvals: Vec<Vec<f64>> = queries.iter().map(|q| q.values().to_vec()).collect();
+        let baseline = Histogram::uniform(m).unwrap();
+        (qvals, answers, members, non_members, baseline)
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut rng = StdRng::seed_from_u64(191);
+        let baseline = Histogram::uniform(4).unwrap();
+        assert!(membership_advantage(&[], &[], &[0], &[1], &baseline, 10, &mut rng).is_err());
+        let q = vec![vec![1.0; 4]];
+        assert!(
+            membership_advantage(&q, &[0.5], &[], &[1], &baseline, 10, &mut rng).is_err()
+        );
+        assert!(
+            membership_advantage(&q, &[0.5], &[0], &[1], &baseline, 0, &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn exact_answers_leak_membership() {
+        let mut rng = StdRng::seed_from_u64(192);
+        let (q, answers, members, non_members, baseline) = setup(&mut rng);
+        let adv = membership_advantage(
+            &q,
+            &answers,
+            &members,
+            &non_members,
+            &baseline,
+            2000,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(adv > 0.3, "exact answers should leak strongly: {adv}");
+    }
+
+    #[test]
+    fn noisy_answers_reduce_advantage() {
+        let mut rng = StdRng::seed_from_u64(193);
+        let (q, answers, members, non_members, baseline) = setup(&mut rng);
+        let noisy: Vec<f64> = answers
+            .iter()
+            .map(|a| a + sampler::laplace(0.5, &mut rng))
+            .collect();
+        let adv_clean = membership_advantage(
+            &q, &answers, &members, &non_members, &baseline, 2000, &mut rng,
+        )
+        .unwrap();
+        let adv_noisy = membership_advantage(
+            &q, &noisy, &members, &non_members, &baseline, 2000, &mut rng,
+        )
+        .unwrap();
+        assert!(
+            adv_noisy < adv_clean,
+            "noise must reduce advantage: {adv_noisy} vs {adv_clean}"
+        );
+    }
+}

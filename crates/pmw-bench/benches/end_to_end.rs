@@ -1,0 +1,85 @@
+//! Criterion bench: full OnlinePmw answer latency, ⊥-path vs ⊤-path.
+//!
+//! The ⊥ (served-from-hypothesis) path costs two inner solves; the ⊤ path
+//! adds the oracle call and the `Θ(|X|)` MW update — the asymmetry the
+//! paper's free-query design exploits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmw_bench::skewed_cube_dataset;
+use pmw_core::{OnlinePmw, PmwConfig};
+use pmw_data::Dataset;
+use pmw_erm::ExactOracle;
+use pmw_losses::{LinearQueryLoss, PointPredicate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn config(k: usize) -> PmwConfig {
+    PmwConfig::builder(50.0, 1e-6, 0.2)
+        .k(k)
+        .scale(1.0)
+        .rounds_override(1_000_000.min(k))
+        .solver_iters(150)
+        .build()
+        .unwrap()
+}
+
+fn bench_bottom_path(c: &mut Criterion) {
+    // Uniform data: every query is already answered well, so each answer
+    // exercises the bottom path only.
+    let mut rng = StdRng::seed_from_u64(21);
+    let dim = 8usize;
+    let m = 1usize << dim;
+    let rows: Vec<usize> = (0..4000).map(|i| i % m).collect();
+    let data = Dataset::from_indices(m, rows).unwrap();
+    let cube = pmw_data::BooleanCube::new(dim).unwrap();
+    let mut mech = OnlinePmw::with_oracle(
+        config(1_000_000),
+        &cube,
+        data,
+        ExactOracle::new(150).unwrap(),
+        &mut rng,
+    )
+    .unwrap();
+    let loss =
+        LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, dim)
+            .unwrap();
+    let mut group = c.benchmark_group("online_pmw");
+    group.sample_size(20);
+    group.bench_function("answer_bottom_path_X256", |b| {
+        b.iter(|| black_box(mech.answer(&loss, &mut rng).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    // A fresh mechanism + a short adversarial workload, including updates.
+    let mut group = c.benchmark_group("online_pmw");
+    group.sample_size(10);
+    group.bench_function("fresh_run_5_queries_X256", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(22);
+            let (cube, data) = skewed_cube_dataset(8, 2000, &mut rng);
+            let mut mech = OnlinePmw::with_oracle(
+                config(8),
+                &cube,
+                data,
+                ExactOracle::new(150).unwrap(),
+                &mut rng,
+            )
+            .unwrap();
+            for j in 0..5 {
+                let loss = LinearQueryLoss::new(
+                    PointPredicate::Conjunction { coords: vec![j % 8] },
+                    8,
+                )
+                .unwrap();
+                let _ = black_box(mech.answer(&loss, &mut rng));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bottom_path, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: multiplicative-weights update throughput vs `|X|`.
+//!
+//! The MW update is the `Θ(|X|)` inner loop Section 4.3 identifies as the
+//! running-time bottleneck; this bench pins its per-element cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmw_data::Histogram;
+use std::hint::black_box;
+
+fn bench_mw_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mw_update");
+    for log2_x in [8usize, 10, 12, 14] {
+        let m = 1usize << log2_x;
+        let mut hist = Histogram::uniform(m).unwrap();
+        let payoff: Vec<f64> = (0..m)
+            .map(|i| if i % 2 == 0 { 0.7 } else { -0.4 })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                hist.mw_update(black_box(&payoff), black_box(0.01)).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram_ops(c: &mut Criterion) {
+    let m = 1usize << 12;
+    let a = Histogram::uniform(m).unwrap();
+    let weights: Vec<f64> = (0..m).map(|i| (i % 7) as f64 + 1.0).collect();
+    let b_h = Histogram::from_weights(weights).unwrap();
+    let q: Vec<f64> = (0..m).map(|i| (i % 2) as f64).collect();
+    c.bench_function("histogram_dot_4096", |b| {
+        b.iter(|| black_box(a.dot(black_box(&q))))
+    });
+    c.bench_function("histogram_kl_4096", |b| {
+        b.iter(|| black_box(a.kl_from(black_box(&b_h))))
+    });
+}
+
+criterion_group!(benches, bench_mw_update, bench_histogram_ops);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion bench: single-query DP-ERM oracle solve times, compared on one
+//! fixed problem — the `A′` cost that multiplies the PMW `⊤`-path latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmw_bench::clustered_grid_dataset;
+use pmw_dp::PrivacyBudget;
+use pmw_erm::{
+    ErmOracle, ExactOracle, JlGlmOracle, NetExponentialOracle, NoisyGdOracle,
+    ObjectivePerturbationOracle, OutputPerturbationOracle,
+};
+use pmw_losses::{catalog, L2Regularized, LinkFn};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let (grid, data) = clustered_grid_dataset(3, 5, 3000, &mut rng);
+    use pmw_data::Universe;
+    let points = grid.materialize();
+    let hist = data.histogram();
+    let task = catalog::random_regression_tasks(3, 1, LinkFn::Squared, &mut rng)
+        .unwrap()
+        .remove(0);
+    let strongly = L2Regularized::new(
+        catalog::random_regression_tasks(3, 1, LinkFn::Squared, &mut rng)
+            .unwrap()
+            .remove(0),
+        0.5,
+    )
+    .unwrap();
+    let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
+    let n = data.len();
+
+    let mut group = c.benchmark_group("erm_oracles");
+    group.sample_size(20);
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            black_box(
+                ExactOracle::new(400)
+                    .unwrap()
+                    .solve(&task, &points, hist.weights(), n, budget, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("noisy_gd_40", |b| {
+        b.iter(|| {
+            black_box(
+                NoisyGdOracle::new(40)
+                    .unwrap()
+                    .solve(&task, &points, hist.weights(), n, budget, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("output_perturbation", |b| {
+        b.iter(|| {
+            black_box(
+                OutputPerturbationOracle::new(400)
+                    .unwrap()
+                    .solve(&strongly, &points, hist.weights(), n, budget, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("objective_perturbation", |b| {
+        b.iter(|| {
+            black_box(
+                ObjectivePerturbationOracle::new(400)
+                    .unwrap()
+                    .solve(&task, &points, hist.weights(), n, budget, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("jl_glm_m2", |b| {
+        b.iter(|| {
+            black_box(
+                JlGlmOracle::new(2, NoisyGdOracle::new(40).unwrap())
+                    .unwrap()
+                    .solve(&task, &points, hist.weights(), n, budget, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("net_exponential_9", |b| {
+        b.iter(|| {
+            black_box(
+                NetExponentialOracle::new(9)
+                    .unwrap()
+                    .solve(&task, &points, hist.weights(), n, budget, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

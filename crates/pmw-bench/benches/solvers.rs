@@ -1,0 +1,54 @@
+//! Criterion bench: inner convex solvers (projected GD vs Frank–Wolfe) —
+//! the per-query cost floor of the mechanism's two non-private solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmw_convex::{
+    Domain, FrankWolfe, ProjectedGradientDescent, QuadraticObjective, SolverConfig,
+};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers_quadratic_unit_ball");
+    for dim in [2usize, 8, 32] {
+        let target: Vec<f64> = (0..dim)
+            .map(|i| if i % 2 == 0 { 2.0 } else { -1.5 })
+            .collect();
+        let obj = QuadraticObjective::new(target, 0.0).unwrap();
+        let domain = Domain::unit_ball(dim).unwrap();
+        group.bench_with_input(BenchmarkId::new("pgd_200", dim), &dim, |b, _| {
+            let solver =
+                ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 200).unwrap())
+                    .unwrap();
+            b.iter(|| black_box(solver.minimize(&obj, &domain, None).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("fw_200", dim), &dim, |b, _| {
+            let solver = FrankWolfe::new(200).unwrap();
+            b.iter(|| black_box(solver.minimize(&obj, &domain, None).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_projections(c: &mut Criterion) {
+    let dim = 64usize;
+    let raw: Vec<f64> = (0..dim).map(|i| (i as f64 / 7.0).sin() * 3.0).collect();
+    let ball = Domain::unit_ball(dim).unwrap();
+    let simplex = Domain::simplex(dim).unwrap();
+    c.bench_function("project_ball_64", |b| {
+        b.iter(|| {
+            let mut v = raw.clone();
+            ball.project(black_box(&mut v)).unwrap();
+            black_box(v)
+        })
+    });
+    c.bench_function("project_simplex_64", |b| {
+        b.iter(|| {
+            let mut v = raw.clone();
+            simplex.project(black_box(&mut v)).unwrap();
+            black_box(v)
+        })
+    });
+}
+
+criterion_group!(benches, bench_solvers, bench_projections);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: sparse vector per-query latency and construction cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmw_dp::sparse_vector::{SvComposition, SvConfig};
+use pmw_dp::{PrivacyBudget, SparseVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn config() -> SvConfig {
+    SvConfig {
+        max_top: 50,
+        threshold: 0.2,
+        sensitivity: 1e-4,
+        budget: PrivacyBudget::new(1.0, 1e-6).unwrap(),
+        composition: SvComposition::Strong,
+    }
+}
+
+fn bench_process(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut sv = SparseVector::new(config(), &mut rng).unwrap();
+    c.bench_function("sparse_vector_process_below", |b| {
+        b.iter(|| {
+            // Below-threshold values never consume tops, so the instance
+            // lives forever.
+            black_box(sv.process(black_box(0.01), &mut rng).unwrap());
+        })
+    });
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("sparse_vector_new", |b| {
+        b.iter(|| black_box(SparseVector::new(config(), &mut rng).unwrap()))
+    });
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("sampler_laplace", |b| {
+        b.iter(|| black_box(pmw_dp::sampler::laplace(1.0, &mut rng)))
+    });
+    c.bench_function("sampler_gaussian", |b| {
+        b.iter(|| black_box(pmw_dp::sampler::gaussian(1.0, &mut rng)))
+    });
+    c.bench_function("sampler_gumbel", |b| {
+        b.iter(|| black_box(pmw_dp::sampler::gumbel(&mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_process, bench_construction, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E12 — Section 1.3: generalization under adaptive analysis.
+//!
+//! Paper claim (via DFH+15 and BSSU15): answering adaptive queries through
+//! a DP mechanism bounds generalization error, while naive sample reuse
+//! overfits. We sweep the number of candidate features the overfitting
+//! analyst probes: the naive arm's spurious-discovery gap grows with the
+//! number of probes; the PMW arm's stays near zero.
+
+use pmw_adaptive::AdaptiveHarness;
+use pmw_bench::{header, mean_std, row};
+use pmw_core::PmwConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 150usize;
+    let runs = 8usize;
+    println!("# E12 / Section 1.3: overfitting gap, naive sample reuse vs PMW (n={n})");
+    header(&["dim", "naive_gap_mean", "naive_std", "pmw_gap_mean", "pmw_std"]);
+
+    for dim in [4usize, 8, 12, 16] {
+        let harness = AdaptiveHarness {
+            dim,
+            n,
+            threshold: 0.04,
+            pmw: PmwConfig::builder(1.0, 1e-6, 0.2)
+                .k(dim + 1)
+                .scale(1.0)
+                .rounds_override(4)
+                .solver_iters(200)
+                .build()
+                .unwrap(),
+        };
+        let mut naive = Vec::with_capacity(runs);
+        let mut private = Vec::with_capacity(runs);
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(1_000 + seed as u64);
+            let report = harness.run(&mut rng).unwrap();
+            naive.push(report.naive_gap());
+            private.push(report.private_gap());
+        }
+        let (nm, ns) = mean_std(&naive);
+        let (pm, ps) = mean_std(&private);
+        row(&dim.to_string(), &[nm, ns, pm, ps]);
+    }
+    println!("# naive gap grows with the number of probed features; pmw gap stays ~0");
+}

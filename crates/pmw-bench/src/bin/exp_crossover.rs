@@ -1,0 +1,116 @@
+//! E10 — Section 4.1: where PMW overtakes composition.
+//!
+//! Paper claim: composition needs a factor `≈ √k` more data than one query;
+//! PMW needs `≈ S·√(log|X|)·log k / α`. PMW wins once
+//! `√k ≫ S·√(log|X|)·log k/α`. We print the theory crossover from
+//! `theory::crossover_k` and the *measured* error-vs-k curves for both
+//! mechanisms on a shared workload; the measured crossover should fall
+//! within a small factor of the predicted one (constants differ; the shape
+//! is the claim).
+
+use pmw_bench::{header, replicate, row, skewed_cube_dataset};
+use pmw_core::{theory, CompositionMechanism, OnlinePmw, PmwConfig};
+use pmw_data::Universe;
+use pmw_dp::PrivacyBudget;
+use pmw_erm::{excess_risk, NoisyGdOracle};
+use pmw_losses::{LinearQueryLoss, PointPredicate};
+
+fn workload(dim: usize, k: usize) -> Vec<LinearQueryLoss> {
+    (0..k)
+        .map(|j| {
+            let b1 = j % dim;
+            let b2 = (j / dim) % dim;
+            let b3 = (j / (dim * dim)) % dim;
+            let mut coords = vec![b1];
+            if b2 != b1 {
+                coords.push(b2);
+            }
+            if b3 != b1 && b3 != b2 && j >= dim * dim {
+                coords.push(b3);
+            }
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords }, dim).unwrap()
+        })
+        .collect()
+}
+
+fn main() {
+    let dim = 5usize;
+    let n = 1500usize;
+    let eps = 1.0f64;
+    let delta = 1e-6f64;
+    let alpha = 0.12f64;
+    let seeds = 4u64;
+
+    let log_x = ((1usize << dim) as f64).ln();
+    let predicted = theory::crossover_k(1.0, log_x, alpha);
+    println!("# E10 / Section 4.1 crossover: n={n}, |X|=2^{dim}, eps={eps}, alpha={alpha}");
+    println!("# theory::crossover_k (S=1) predicts PMW wins for k >= {predicted}");
+    header(&["k", "pmw_mean_risk", "pmw_std", "comp_mean_risk", "comp_std", "pmw_wins"]);
+
+    for k in [2usize, 8, 32, 128, 512] {
+        let (pmw_mean, pmw_std) = replicate(0..seeds, |rng| {
+            let (cube, data) = skewed_cube_dataset(dim, n, rng);
+            let hist = data.histogram();
+            let points = cube.materialize();
+            let losses = workload(dim, k);
+            let config = PmwConfig::builder(eps, delta, alpha)
+                .k(k)
+                .scale(1.0)
+                .rounds_override(10)
+                .solver_iters(250)
+                .build()
+                .unwrap();
+            let mut mech = OnlinePmw::with_oracle(
+                config,
+                &cube,
+                data,
+                NoisyGdOracle::new(30).unwrap(),
+                rng,
+            )
+            .unwrap();
+            let mut risks = Vec::new();
+            for loss in &losses {
+                match mech.answer(loss, rng) {
+                    Ok(theta) => risks.push(
+                        excess_risk(loss, &points, hist.weights(), &theta, 400).unwrap(),
+                    ),
+                    Err(_) => break,
+                }
+            }
+            risks.iter().sum::<f64>() / risks.len().max(1) as f64
+        });
+        let (comp_mean, comp_std) = replicate(100..100 + seeds, |rng| {
+            let (cube, data) = skewed_cube_dataset(dim, n, rng);
+            let hist = data.histogram();
+            let points = cube.materialize();
+            let losses = workload(dim, k);
+            let budget = PrivacyBudget::new(eps, delta).unwrap();
+            let mut mech = CompositionMechanism::with_oracle(
+                budget,
+                k,
+                &cube,
+                data,
+                NoisyGdOracle::new(30).unwrap(),
+            )
+            .unwrap();
+            let mut risks = Vec::new();
+            for loss in &losses {
+                let theta = mech.answer(loss, rng).unwrap();
+                risks.push(
+                    excess_risk(loss, &points, hist.weights(), &theta, 400).unwrap(),
+                );
+            }
+            risks.iter().sum::<f64>() / risks.len().max(1) as f64
+        });
+        row(
+            &k.to_string(),
+            &[
+                pmw_mean,
+                pmw_std,
+                comp_mean,
+                comp_std,
+                if pmw_mean < comp_mean { 1.0 } else { 0.0 },
+            ],
+        );
+    }
+}

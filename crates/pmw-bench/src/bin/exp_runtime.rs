@@ -1,0 +1,68 @@
+//! E11 — Section 4.3: running time scales with `|X|`, not `log|X|`.
+//!
+//! Paper claim: each iteration costs `poly(n, d)` except the histogram
+//! update, which is `Θ(|X|)`; overall `poly(n, |X|, k)`, exponential in the
+//! data dimension — and inherently so \[Ull13\]. We time full PMW queries as
+//! `|X|` doubles and report per-query wall time; the series should grow
+//! ~linearly in `|X|` once the histogram work dominates.
+
+use pmw_bench::{header, row, skewed_cube_dataset};
+use pmw_core::{OnlinePmw, PmwConfig};
+use pmw_erm::ExactOracle;
+use pmw_losses::{LinearQueryLoss, PointPredicate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let n = 2000usize;
+    let k = 10usize;
+    println!("# E11 / Section 4.3: per-query wall time vs |X| (n={n}, k={k})");
+    header(&["log2_X", "universe_size", "per_query_ms", "per_query_us_per_elem"]);
+
+    for dim in [6usize, 8, 10, 12, 14] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (cube, data) = skewed_cube_dataset(dim, n, &mut rng);
+        let m = 1usize << dim;
+        let config = PmwConfig::builder(2.0, 1e-6, 0.1)
+            .k(k)
+            .scale(1.0)
+            .rounds_override(6)
+            .solver_iters(150)
+            .build()
+            .unwrap();
+        let mut mech = OnlinePmw::with_oracle(
+            config,
+            &cube,
+            data,
+            ExactOracle::new(150).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+        let losses: Vec<LinearQueryLoss> = (0..k)
+            .map(|j| {
+                LinearQueryLoss::new(
+                    PointPredicate::Conjunction { coords: vec![j % dim] },
+                    dim,
+                )
+                .unwrap()
+            })
+            .collect();
+        let start = Instant::now();
+        let mut answered = 0usize;
+        for loss in &losses {
+            if mech.answer(loss, &mut rng).is_ok() {
+                answered += 1;
+            } else {
+                break;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let per_query_ms = elapsed / answered.max(1) as f64 * 1e3;
+        row(
+            &format!("{dim}\t{m}"),
+            &[per_query_ms, per_query_ms * 1e3 / m as f64],
+        );
+    }
+    println!("# per_query_us_per_elem should stabilize: time is linear in |X|");
+}

@@ -1,0 +1,85 @@
+//! E5 — Theorem 3.1: the sparse vector threshold game.
+//!
+//! Paper claim: with `n ≳ 256·S·√(T·log(2/δ))·log(4k/β)/(εα)` the sparse
+//! vector algorithm answers every above-`α` query `⊤` and every below-`α/2`
+//! query `⊥` with probability `1 − β`. We sweep `n` and measure the
+//! empirical violation rate of the threshold game; the curve should show a
+//! knee: high failure for tiny `n`, collapsing to ~0 well before the
+//! (very conservative) paper constant.
+
+use pmw_bench::{header, row};
+use pmw_dp::sparse_vector::{SvComposition, SvConfig, SvOutcome};
+use pmw_dp::{PrivacyBudget, SparseVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let alpha = 0.2f64;
+    let scale_s = 1.0f64;
+    let max_top = 5usize;
+    let k = 40usize;
+    let eps = 1.0f64;
+    let delta = 1e-6f64;
+    let trials = 400usize;
+
+    let budget = PrivacyBudget::new(eps, delta).unwrap();
+    let paper_n =
+        SparseVector::paper_required_n(scale_s, max_top, k, alpha, budget, 0.05);
+    println!("# E5 / Theorem 3.1: threshold game violation rate vs n");
+    println!("# T={max_top}, k={k}, alpha={alpha}, eps={eps}; paper-constant n = {paper_n:.0}");
+    header(&["n", "violation_rate", "halt_rate"]);
+
+    for n in [50usize, 100, 200, 400, 800, 1600, 3200, 6400, 12800] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut violations = 0usize;
+        let mut total = 0usize;
+        let mut halts = 0usize;
+        for _ in 0..trials {
+            let mut sv = SparseVector::new(
+                SvConfig {
+                    max_top,
+                    threshold: alpha,
+                    sensitivity: 3.0 * scale_s / n as f64,
+                    budget,
+                    composition: SvComposition::Strong,
+                },
+                &mut rng,
+            )
+            .unwrap();
+            for j in 0..k {
+                // Alternate planted above-threshold and below-half values;
+                // only the first `max_top` aboves should consume tops.
+                let (value, expect_top) = if j % 8 == 0 {
+                    (alpha * 1.3, true)
+                } else {
+                    (alpha * 0.4, false)
+                };
+                match sv.process(value, &mut rng) {
+                    Ok(SvOutcome::Top) => {
+                        total += 1;
+                        if !expect_top {
+                            violations += 1;
+                        }
+                    }
+                    Ok(SvOutcome::Bottom) => {
+                        total += 1;
+                        if expect_top {
+                            violations += 1;
+                        }
+                    }
+                    Err(_) => {
+                        halts += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        row(
+            &n.to_string(),
+            &[
+                violations as f64 / total.max(1) as f64,
+                halts as f64 / trials as f64,
+            ],
+        );
+    }
+}

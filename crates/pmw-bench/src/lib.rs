@@ -1,0 +1,142 @@
+//! Shared plumbing for the experiment binaries and criterion benches.
+//!
+//! Every table and quantitative claim of the paper has one binary in
+//! `src/bin/` (see DESIGN.md §3 for the experiment index); this library
+//! provides the pieces they share: TSV table printing, seeded replication
+//! with mean/std aggregation, and the standard workload constructions
+//! (skewed cube datasets, clustered grid datasets, regression task pools).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pmw_data::{BooleanCube, Dataset, GridUniverse};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Print a TSV header row.
+pub fn header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Print one TSV data row of floats with 5 significant digits.
+pub fn row(label: &str, values: &[f64]) {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:.5}")).collect();
+    println!("{label}\t{}", cells.join("\t"));
+}
+
+/// Mean and sample standard deviation of a series.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+/// Run `f` once per seed and aggregate to (mean, std).
+pub fn replicate(seeds: std::ops::Range<u64>, mut f: impl FnMut(&mut StdRng) -> f64) -> (f64, f64) {
+    let values: Vec<f64> = seeds
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            f(&mut rng)
+        })
+        .collect();
+    mean_std(&values)
+}
+
+/// A skewed product-distribution dataset over a `dim`-bit cube: odd bits
+/// biased low, even bits high — the standard discriminating instance.
+pub fn skewed_cube_dataset(dim: usize, n: usize, rng: &mut StdRng) -> (BooleanCube, Dataset) {
+    let cube = BooleanCube::new(dim).expect("cube");
+    let biases: Vec<f64> = (0..dim)
+        .map(|b| if b % 2 == 0 { 0.9 } else { 0.15 })
+        .collect();
+    let pop = pmw_data::synth::product_population(&cube, &biases).expect("population");
+    let data = Dataset::sample_from(&pop, n, rng).expect("sample");
+    (cube, data)
+}
+
+/// A one-cluster dataset on a `dim`-dimensional grid scaled so points stay
+/// inside the unit ball — the standard CM-query instance.
+pub fn clustered_grid_dataset(
+    dim: usize,
+    cells: usize,
+    n: usize,
+    rng: &mut StdRng,
+) -> (GridUniverse, Dataset) {
+    let half = 0.55 / (dim as f64).sqrt().max(1.0);
+    let grid = GridUniverse::new(dim, cells, -half, half).expect("grid");
+    let center: Vec<f64> = (0..dim)
+        .map(|i| if i % 2 == 0 { half * 0.7 } else { -half * 0.5 })
+        .collect();
+    let pop = pmw_data::synth::gaussian_mixture_population(&grid, &[center], half * 0.6)
+        .expect("population");
+    let data = Dataset::sample_from(&pop, n, rng).expect("sample");
+    (grid, data)
+}
+
+/// Worst-case (max) excess risk of a batch of answers (`None` = unanswered,
+/// skipped).
+pub fn max_risk<L: pmw_losses::CmLoss>(
+    losses: &[L],
+    answers: &[Option<Vec<f64>>],
+    points: &[Vec<f64>],
+    weights: &[f64],
+) -> f64 {
+    losses
+        .iter()
+        .zip(answers)
+        .filter_map(|(l, a)| {
+            a.as_ref().map(|theta| {
+                pmw_erm::excess_risk(l, points, weights, theta, 800).unwrap_or(f64::NAN)
+            })
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        let (m1, s1) = mean_std(&[5.0]);
+        assert_eq!((m1, s1), (5.0, 0.0));
+        assert!(mean_std(&[]).0.is_nan());
+    }
+
+    #[test]
+    fn replicate_is_deterministic() {
+        use rand::RngExt;
+        let a = replicate(0..5, |rng| rng.random::<f64>());
+        let b = replicate(0..5, |rng| rng.random::<f64>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_constructors_produce_consistent_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (cube, data) = skewed_cube_dataset(4, 100, &mut rng);
+        assert_eq!(cube.size(), 16);
+        assert_eq!(data.len(), 100);
+        let (grid, data) = clustered_grid_dataset(3, 5, 200, &mut rng);
+        assert_eq!(grid.size(), 125);
+        assert_eq!(data.universe_size(), 125);
+        use pmw_data::Universe;
+        for p in grid.materialize() {
+            let norm: f64 = p.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(norm <= 1.0 + 1e-9);
+        }
+    }
+}

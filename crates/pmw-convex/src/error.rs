@@ -1,0 +1,33 @@
+//! Error type for the convex substrate.
+
+use std::fmt;
+
+/// Errors from domains, objectives and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvexError {
+    /// Mismatched vector dimensions.
+    DimensionMismatch {
+        /// Dimension supplied.
+        got: usize,
+        /// Dimension expected.
+        expected: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidParameter(&'static str),
+    /// A non-finite value appeared during optimization.
+    NonFinite(&'static str),
+}
+
+impl fmt::Display for ConvexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvexError::DimensionMismatch { got, expected } => {
+                write!(f, "dimension mismatch: got {got}, expected {expected}")
+            }
+            ConvexError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ConvexError::NonFinite(msg) => write!(f, "non-finite value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvexError {}

@@ -1,0 +1,196 @@
+//! The objective abstraction consumed by the solvers.
+//!
+//! An [`Objective`] is a convex function `f: R^d → R` with a (sub)gradient.
+//! The PMW stack instantiates it with dataset- and histogram-averaged losses
+//! `ℓ_D(θ) = Σ_x D(x)·ℓ(θ; x)` (Section 2.2); this crate only needs the
+//! abstract interface plus the quadratic test objective.
+
+use crate::error::ConvexError;
+use crate::vecmath;
+
+/// A convex function with (sub)gradient access.
+pub trait Objective {
+    /// Ambient dimension of the argument.
+    fn dim(&self) -> usize;
+
+    /// Function value `f(θ)`.
+    fn value(&self, theta: &[f64]) -> f64;
+
+    /// Write a (sub)gradient of `f` at `θ` into `out`.
+    fn gradient(&self, theta: &[f64], out: &mut [f64]);
+
+    /// Gradient as a fresh vector.
+    fn gradient_vec(&self, theta: &[f64]) -> Vec<f64> {
+        let mut g = vec![0.0; self.dim()];
+        self.gradient(theta, &mut g);
+        g
+    }
+
+    /// Validate that `theta` has the right dimension.
+    fn check_dim(&self, theta: &[f64]) -> Result<(), ConvexError> {
+        if theta.len() != self.dim() {
+            return Err(ConvexError::DimensionMismatch {
+                got: theta.len(),
+                expected: self.dim(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<T: Objective + ?Sized> Objective for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn value(&self, theta: &[f64]) -> f64 {
+        (**self).value(theta)
+    }
+    fn gradient(&self, theta: &[f64], out: &mut [f64]) {
+        (**self).gradient(theta, out)
+    }
+}
+
+/// The quadratic `f(θ) = ½‖θ − target‖₂² + offset` — closed-form minimizer,
+/// 1-smooth and 1-strongly convex; the reference objective for solver tests.
+#[derive(Debug, Clone)]
+pub struct QuadraticObjective {
+    target: Vec<f64>,
+    offset: f64,
+}
+
+impl QuadraticObjective {
+    /// Quadratic centered at `target`.
+    pub fn new(target: Vec<f64>, offset: f64) -> Result<Self, ConvexError> {
+        if target.is_empty() {
+            return Err(ConvexError::InvalidParameter("target must be nonempty"));
+        }
+        if !vecmath::all_finite(&target) || !offset.is_finite() {
+            return Err(ConvexError::NonFinite("quadratic objective parameters"));
+        }
+        Ok(Self { target, offset })
+    }
+
+    /// The unconstrained minimizer.
+    pub fn target(&self) -> &[f64] {
+        &self.target
+    }
+}
+
+impl Objective for QuadraticObjective {
+    fn dim(&self) -> usize {
+        self.target.len()
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        debug_assert_eq!(theta.len(), self.target.len());
+        0.5 * theta
+            .iter()
+            .zip(&self.target)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            + self.offset
+    }
+
+    fn gradient(&self, theta: &[f64], out: &mut [f64]) {
+        vecmath::sub(theta, &self.target, out);
+    }
+}
+
+/// An objective defined by closures — handy for tests and experiments.
+pub struct FnObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64,
+    G: Fn(&[f64], &mut [f64]),
+{
+    dim: usize,
+    value: V,
+    gradient: G,
+}
+
+impl<V, G> FnObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64,
+    G: Fn(&[f64], &mut [f64]),
+{
+    /// Wrap value/gradient closures over dimension `dim`.
+    pub fn new(dim: usize, value: V, gradient: G) -> Self {
+        Self {
+            dim,
+            value,
+            gradient,
+        }
+    }
+}
+
+impl<V, G> Objective for FnObjective<V, G>
+where
+    V: Fn(&[f64]) -> f64,
+    G: Fn(&[f64], &mut [f64]),
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, theta: &[f64]) -> f64 {
+        (self.value)(theta)
+    }
+    fn gradient(&self, theta: &[f64], out: &mut [f64]) {
+        (self.gradient)(theta, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_value_and_gradient() {
+        let q = QuadraticObjective::new(vec![1.0, -1.0], 2.0).unwrap();
+        assert_eq!(q.dim(), 2);
+        assert!((q.value(&[1.0, -1.0]) - 2.0).abs() < 1e-12);
+        assert!((q.value(&[2.0, -1.0]) - 2.5).abs() < 1e-12);
+        let g = q.gradient_vec(&[2.0, 0.0]);
+        assert_eq!(g, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn quadratic_validates() {
+        assert!(QuadraticObjective::new(vec![], 0.0).is_err());
+        assert!(QuadraticObjective::new(vec![f64::NAN], 0.0).is_err());
+        assert!(QuadraticObjective::new(vec![0.0], f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let q = QuadraticObjective::new(vec![0.3, 0.7, -0.2], 0.0).unwrap();
+        let theta = [0.5, -0.5, 0.1];
+        let g = q.gradient_vec(&theta);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut plus = theta;
+            plus[i] += h;
+            let mut minus = theta;
+            minus[i] -= h;
+            let fd = (q.value(&plus) - q.value(&minus)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-6, "coord {i}: {} vs {fd}", g[i]);
+        }
+    }
+
+    #[test]
+    fn fn_objective_delegates() {
+        let f = FnObjective::new(
+            1,
+            |t: &[f64]| t[0] * t[0],
+            |t: &[f64], out: &mut [f64]| out[0] = 2.0 * t[0],
+        );
+        assert_eq!(f.dim(), 1);
+        assert_eq!(f.value(&[3.0]), 9.0);
+        assert_eq!(f.gradient_vec(&[3.0]), vec![6.0]);
+    }
+
+    #[test]
+    fn check_dim_errors_on_mismatch() {
+        let q = QuadraticObjective::new(vec![0.0, 0.0], 0.0).unwrap();
+        assert!(q.check_dim(&[1.0]).is_err());
+        assert!(q.check_dim(&[1.0, 2.0]).is_ok());
+    }
+}

@@ -1,0 +1,208 @@
+//! Nesterov-accelerated projected gradient descent.
+//!
+//! An ablation target for the inner solves: on `L`-smooth objectives the
+//! accelerated method reaches `O(LR²/t²)` suboptimality versus plain
+//! projected GD's `O(LR²/t)`, cutting the per-query solver budget the
+//! mechanism spends (two solves per query, Section 4.3). Uses the standard
+//! momentum sequence `γ_{t+1} = (1 + √(1 + 4γ_t²))/2` with projection after
+//! every gradient step; momentum restarts when the objective increases
+//! (the "adaptive restart" heuristic, which keeps the method robust on the
+//! constrained problems the loss zoo produces).
+
+use crate::domain::Domain;
+use crate::error::ConvexError;
+use crate::objective::Objective;
+use crate::solvers::SolveResult;
+use crate::vecmath;
+
+/// Accelerated projected gradient descent for `L`-smooth objectives.
+#[derive(Debug, Clone, Copy)]
+pub struct AcceleratedGradientDescent {
+    smoothness: f64,
+    max_iters: usize,
+    tolerance: f64,
+}
+
+impl AcceleratedGradientDescent {
+    /// Solver with step `1/L` and the given iteration budget.
+    pub fn new(smoothness: f64, max_iters: usize) -> Result<Self, ConvexError> {
+        if !(smoothness.is_finite() && smoothness > 0.0) {
+            return Err(ConvexError::InvalidParameter("smoothness must be positive"));
+        }
+        if max_iters == 0 {
+            return Err(ConvexError::InvalidParameter("max_iters must be >= 1"));
+        }
+        Ok(Self {
+            smoothness,
+            max_iters,
+            tolerance: 1e-10,
+        })
+    }
+
+    /// Minimize over `domain` from `init` (default: center).
+    pub fn minimize<O: Objective>(
+        &self,
+        objective: &O,
+        domain: &Domain,
+        init: Option<&[f64]>,
+    ) -> Result<SolveResult, ConvexError> {
+        let d = domain.dim();
+        if objective.dim() != d {
+            return Err(ConvexError::DimensionMismatch {
+                got: objective.dim(),
+                expected: d,
+            });
+        }
+        let mut theta = match init {
+            Some(t0) => {
+                if t0.len() != d {
+                    return Err(ConvexError::DimensionMismatch {
+                        got: t0.len(),
+                        expected: d,
+                    });
+                }
+                let mut v = t0.to_vec();
+                domain.project(&mut v)?;
+                v
+            }
+            None => domain.center(),
+        };
+        let step = 1.0 / self.smoothness;
+        let mut lookahead = theta.clone();
+        let mut prev = theta.clone();
+        let mut grad = vec![0.0; d];
+        let mut gamma: f64 = 1.0;
+        let mut last_value = objective.value(&theta);
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        for _ in 0..self.max_iters {
+            iterations += 1;
+            objective.gradient(&lookahead, &mut grad);
+            if !vecmath::all_finite(&grad) {
+                return Err(ConvexError::NonFinite("gradient"));
+            }
+            prev.copy_from_slice(&theta);
+            theta.copy_from_slice(&lookahead);
+            vecmath::axpy(-step, &grad, &mut theta);
+            domain.project(&mut theta)?;
+
+            let value = objective.value(&theta);
+            if value > last_value {
+                // Adaptive restart: kill the momentum.
+                gamma = 1.0;
+                lookahead.copy_from_slice(&theta);
+            } else {
+                let gamma_next = (1.0 + (1.0 + 4.0 * gamma * gamma).sqrt()) / 2.0;
+                let beta = (gamma - 1.0) / gamma_next;
+                for ((la, &t), &p) in lookahead.iter_mut().zip(&theta).zip(&prev) {
+                    *la = t + beta * (t - p);
+                }
+                domain.project(&mut lookahead)?;
+                gamma = gamma_next;
+            }
+            if vecmath::dist2(&theta, &prev) < self.tolerance {
+                converged = true;
+                break;
+            }
+            last_value = value;
+        }
+        let value = objective.value(&theta);
+        if !value.is_finite() {
+            return Err(ConvexError::NonFinite("objective value at solution"));
+        }
+        Ok(SolveResult {
+            theta,
+            value,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::QuadraticObjective;
+    use crate::solvers::{ProjectedGradientDescent, SolverConfig};
+
+    #[test]
+    fn construction_validates() {
+        assert!(AcceleratedGradientDescent::new(0.0, 10).is_err());
+        assert!(AcceleratedGradientDescent::new(1.0, 0).is_err());
+        assert!(AcceleratedGradientDescent::new(1.0, 10).is_ok());
+    }
+
+    #[test]
+    fn solves_interior_quadratic_exactly() {
+        let obj = QuadraticObjective::new(vec![0.3, -0.2, 0.1], 0.0).unwrap();
+        let domain = Domain::unit_ball(3).unwrap();
+        let r = AcceleratedGradientDescent::new(1.0, 500)
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
+        assert!(vecmath::dist2(&r.theta, &[0.3, -0.2, 0.1]) < 1e-6);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn solves_boundary_quadratic() {
+        let obj = QuadraticObjective::new(vec![3.0, 4.0], 0.0).unwrap();
+        let domain = Domain::unit_ball(2).unwrap();
+        let r = AcceleratedGradientDescent::new(1.0, 800)
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
+        assert!((r.theta[0] - 0.6).abs() < 1e-4 && (r.theta[1] - 0.8).abs() < 1e-4);
+        assert!(domain.contains(&r.theta, 1e-9));
+    }
+
+    #[test]
+    fn beats_plain_gd_at_equal_budget() {
+        // Ill-conditioned quadratic through a scaled target; acceleration
+        // should reach a lower value within the same iteration budget.
+        let dim = 16usize;
+        let target: Vec<f64> = (0..dim).map(|i| ((i as f64) / 3.0).sin() * 2.0).collect();
+        let obj = QuadraticObjective::new(target, 0.0).unwrap();
+        let domain = Domain::unit_ball(dim).unwrap();
+        let budget = 25usize;
+        let acc = AcceleratedGradientDescent::new(1.0, budget)
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
+        let plain = ProjectedGradientDescent::new(
+            SolverConfig::smooth(1.0, budget).unwrap(),
+        )
+        .unwrap()
+        .minimize(&obj, &domain, None)
+        .unwrap();
+        assert!(
+            acc.value <= plain.value + 1e-12,
+            "accelerated {} vs plain {}",
+            acc.value,
+            plain.value
+        );
+    }
+
+    #[test]
+    fn validates_dimensions() {
+        let obj = QuadraticObjective::new(vec![0.0; 3], 0.0).unwrap();
+        let domain = Domain::unit_ball(2).unwrap();
+        let solver = AcceleratedGradientDescent::new(1.0, 10).unwrap();
+        assert!(solver.minimize(&obj, &domain, None).is_err());
+        let obj2 = QuadraticObjective::new(vec![0.0; 2], 0.0).unwrap();
+        assert!(solver.minimize(&obj2, &domain, Some(&[0.0])).is_err());
+    }
+
+    #[test]
+    fn restart_keeps_feasibility_on_simplex() {
+        let obj = QuadraticObjective::new(vec![1.0, 0.0, 0.0], 0.0).unwrap();
+        let domain = Domain::simplex(3).unwrap();
+        let r = AcceleratedGradientDescent::new(1.0, 300)
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
+        assert!(domain.contains(&r.theta, 1e-9));
+        assert!((r.theta[0] - 1.0).abs() < 1e-3, "{:?}", r.theta);
+    }
+}

@@ -1,0 +1,158 @@
+//! Frank–Wolfe (conditional gradient).
+
+use crate::domain::Domain;
+use crate::error::ConvexError;
+use crate::objective::Objective;
+use crate::solvers::SolveResult;
+use crate::vecmath;
+
+/// Projection-free Frank–Wolfe with the classic `γ_t = 2/(t+2)` schedule.
+///
+/// Each step solves the domain's linear minimization oracle
+/// `s_t = argmin_{s∈Θ} ⟨∇f(θ_t), s⟩` and moves `θ_{t+1} = (1−γ_t)θ_t + γ_t s_t`,
+/// achieving `O(LR²/t)` suboptimality on `L`-smooth objectives. Included as
+/// the alternative inner solver (the iterates are always exact convex
+/// combinations of domain points — useful on the simplex) and as an ablation
+/// target for the benches.
+#[derive(Debug, Clone, Copy)]
+pub struct FrankWolfe {
+    max_iters: usize,
+}
+
+impl FrankWolfe {
+    /// Solver with the given iteration budget.
+    pub fn new(max_iters: usize) -> Result<Self, ConvexError> {
+        if max_iters == 0 {
+            return Err(ConvexError::InvalidParameter("max_iters must be >= 1"));
+        }
+        Ok(Self { max_iters })
+    }
+
+    /// Minimize `objective` over `domain` from `init` (default: center).
+    pub fn minimize<O: Objective>(
+        &self,
+        objective: &O,
+        domain: &Domain,
+        init: Option<&[f64]>,
+    ) -> Result<SolveResult, ConvexError> {
+        let d = domain.dim();
+        if objective.dim() != d {
+            return Err(ConvexError::DimensionMismatch {
+                got: objective.dim(),
+                expected: d,
+            });
+        }
+        let mut theta = match init {
+            Some(t0) => {
+                if t0.len() != d {
+                    return Err(ConvexError::DimensionMismatch {
+                        got: t0.len(),
+                        expected: d,
+                    });
+                }
+                let mut v = t0.to_vec();
+                domain.project(&mut v)?;
+                v
+            }
+            None => domain.center(),
+        };
+        let mut grad = vec![0.0; d];
+        let mut best = theta.clone();
+        let mut best_val = objective.value(&theta);
+        for t in 0..self.max_iters {
+            objective.gradient(&theta, &mut grad);
+            if !vecmath::all_finite(&grad) {
+                return Err(ConvexError::NonFinite("gradient"));
+            }
+            let s = domain.linear_minimizer(&grad)?;
+            let gamma = 2.0 / (t as f64 + 2.0);
+            for (ti, si) in theta.iter_mut().zip(&s) {
+                *ti = (1.0 - gamma) * *ti + gamma * si;
+            }
+            let v = objective.value(&theta);
+            if v < best_val {
+                best_val = v;
+                best.copy_from_slice(&theta);
+            }
+        }
+        if !best_val.is_finite() {
+            return Err(ConvexError::NonFinite("objective value at solution"));
+        }
+        Ok(SolveResult {
+            theta: best,
+            value: best_val,
+            iterations: self.max_iters,
+            converged: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::QuadraticObjective;
+    use crate::solvers::{ProjectedGradientDescent, SolverConfig};
+
+    #[test]
+    fn construction_validates() {
+        assert!(FrankWolfe::new(0).is_err());
+        assert!(FrankWolfe::new(10).is_ok());
+    }
+
+    #[test]
+    fn quadratic_on_ball_matches_projection() {
+        let obj = QuadraticObjective::new(vec![3.0, 4.0], 0.0).unwrap();
+        let domain = Domain::unit_ball(2).unwrap();
+        let r = FrankWolfe::new(800).unwrap().minimize(&obj, &domain, None).unwrap();
+        assert!((r.theta[0] - 0.6).abs() < 1e-2, "{:?}", r.theta);
+        assert!((r.theta[1] - 0.8).abs() < 1e-2);
+        assert!(domain.contains(&r.theta, 1e-9));
+    }
+
+    #[test]
+    fn simplex_iterates_stay_exactly_feasible() {
+        let obj = QuadraticObjective::new(vec![0.0, 1.0, 0.0], 0.0).unwrap();
+        let domain = Domain::simplex(3).unwrap();
+        let r = FrankWolfe::new(500).unwrap().minimize(&obj, &domain, None).unwrap();
+        assert!(domain.contains(&r.theta, 1e-9));
+        assert!((r.theta[1] - 1.0).abs() < 1e-2, "{:?}", r.theta);
+    }
+
+    #[test]
+    fn agrees_with_projected_gradient_descent() {
+        let obj = QuadraticObjective::new(vec![0.4, -0.9, 0.7], 0.0).unwrap();
+        let domain = Domain::unit_ball(3).unwrap();
+        let fw = FrankWolfe::new(2000).unwrap().minimize(&obj, &domain, None).unwrap();
+        let gd = ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 2000).unwrap())
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
+        assert!(
+            (fw.value - gd.value).abs() < 1e-3,
+            "fw {} gd {}",
+            fw.value,
+            gd.value
+        );
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let obj = QuadraticObjective::new(vec![0.0; 3], 0.0).unwrap();
+        let domain = Domain::unit_ball(2).unwrap();
+        assert!(FrankWolfe::new(5).unwrap().minimize(&obj, &domain, None).is_err());
+        let obj2 = QuadraticObjective::new(vec![0.0; 2], 0.0).unwrap();
+        assert!(FrankWolfe::new(5)
+            .unwrap()
+            .minimize(&obj2, &domain, Some(&[0.0]))
+            .is_err());
+    }
+
+    #[test]
+    fn suboptimality_shrinks_with_iterations() {
+        let obj = QuadraticObjective::new(vec![0.9, 0.0], 0.0).unwrap();
+        let domain = Domain::unit_ball(2).unwrap();
+        let coarse = FrankWolfe::new(10).unwrap().minimize(&obj, &domain, None).unwrap();
+        let fine = FrankWolfe::new(1000).unwrap().minimize(&obj, &domain, None).unwrap();
+        assert!(fine.value <= coarse.value + 1e-12);
+    }
+}

@@ -1,0 +1,249 @@
+//! Projected (sub)gradient descent.
+
+use crate::domain::Domain;
+use crate::error::ConvexError;
+use crate::objective::Objective;
+use crate::solvers::{SolveResult, SolverConfig, StepRule};
+use crate::vecmath;
+
+/// Projected (sub)gradient descent: `θ_{t+1} = Π_Θ(θ_t − γ_t·∇f(θ_t))`.
+///
+/// With [`StepRule::Constant`]`(1/L)` on `L`-smooth objectives this is the
+/// standard `O(L/t)` projected gradient method; with [`StepRule::InvSqrt`]
+/// and averaging it is the `O(GR/√t)` subgradient method (the generic inner
+/// solver for non-smooth losses such as hinge); with
+/// [`StepRule::StronglyConvex`] and weighted averaging it achieves the
+/// `O(G²/σt)` strongly convex rate used by Theorem 4.5's setting.
+#[derive(Debug, Clone, Copy)]
+pub struct ProjectedGradientDescent {
+    config: SolverConfig,
+}
+
+impl ProjectedGradientDescent {
+    /// Build with a validated config.
+    pub fn new(config: SolverConfig) -> Result<Self, ConvexError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Minimize `objective` over `domain`, starting from `init` (defaults to
+    /// the domain center). Returns a feasible point.
+    pub fn minimize<O: Objective>(
+        &self,
+        objective: &O,
+        domain: &Domain,
+        init: Option<&[f64]>,
+    ) -> Result<SolveResult, ConvexError> {
+        let d = domain.dim();
+        if objective.dim() != d {
+            return Err(ConvexError::DimensionMismatch {
+                got: objective.dim(),
+                expected: d,
+            });
+        }
+        let mut theta = match init {
+            Some(t0) => {
+                if t0.len() != d {
+                    return Err(ConvexError::DimensionMismatch {
+                        got: t0.len(),
+                        expected: d,
+                    });
+                }
+                let mut v = t0.to_vec();
+                domain.project(&mut v)?;
+                v
+            }
+            None => domain.center(),
+        };
+
+        let mut grad = vec![0.0; d];
+        let mut prev = vec![0.0; d];
+        // Averaging accumulators: plain average for InvSqrt, weighted
+        // (weight ∝ t+1) for the strongly convex schedule.
+        let mut avg = vec![0.0; d];
+        let mut weight_sum = 0.0;
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        for t in 0..self.config.max_iters {
+            iterations = t + 1;
+            objective.gradient(&theta, &mut grad);
+            if !vecmath::all_finite(&grad) {
+                return Err(ConvexError::NonFinite("gradient"));
+            }
+            prev.copy_from_slice(&theta);
+            let gamma = self.config.step.step(t);
+            vecmath::axpy(-gamma, &grad, &mut theta);
+            domain.project(&mut theta)?;
+
+            if self.config.average {
+                let w = match self.config.step {
+                    StepRule::StronglyConvex(_) => (t + 1) as f64,
+                    _ => 1.0,
+                };
+                vecmath::axpy(w, &theta, &mut avg);
+                weight_sum += w;
+            }
+
+            if matches!(self.config.step, StepRule::Constant(_))
+                && vecmath::dist2(&theta, &prev) < self.config.tolerance
+            {
+                converged = true;
+                break;
+            }
+        }
+
+        let final_theta = if self.config.average && weight_sum > 0.0 {
+            let mut a = avg;
+            vecmath::scale(&mut a, 1.0 / weight_sum);
+            // Averages of feasible points are feasible for convex Θ, but
+            // project anyway to absorb floating point drift.
+            domain.project(&mut a)?;
+            a
+        } else {
+            theta
+        };
+        let value = objective.value(&final_theta);
+        if !value.is_finite() {
+            return Err(ConvexError::NonFinite("objective value at solution"));
+        }
+        Ok(SolveResult {
+            theta: final_theta,
+            value,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{FnObjective, QuadraticObjective};
+
+    fn solve_quadratic(
+        target: Vec<f64>,
+        domain: &Domain,
+        config: SolverConfig,
+    ) -> SolveResult {
+        let obj = QuadraticObjective::new(target, 0.0).unwrap();
+        ProjectedGradientDescent::new(config)
+            .unwrap()
+            .minimize(&obj, domain, None)
+            .unwrap()
+    }
+
+    #[test]
+    fn interior_quadratic_reaches_target() {
+        let domain = Domain::unit_ball(3).unwrap();
+        let r = solve_quadratic(
+            vec![0.2, -0.3, 0.1],
+            &domain,
+            SolverConfig::smooth(1.0, 200).unwrap(),
+        );
+        assert!(vecmath::dist2(&r.theta, &[0.2, -0.3, 0.1]) < 1e-6, "{:?}", r.theta);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn exterior_quadratic_lands_on_boundary() {
+        // min ||theta - (3,4)||^2 over the unit ball -> (0.6, 0.8).
+        let domain = Domain::unit_ball(2).unwrap();
+        let r = solve_quadratic(
+            vec![3.0, 4.0],
+            &domain,
+            SolverConfig::smooth(1.0, 500).unwrap(),
+        );
+        assert!((r.theta[0] - 0.6).abs() < 1e-4 && (r.theta[1] - 0.8).abs() < 1e-4);
+        assert!(domain.contains(&r.theta, 1e-9));
+    }
+
+    #[test]
+    fn box_constrained_quadratic_clamps() {
+        let domain = Domain::boxed(2, -1.0, 1.0).unwrap();
+        let r = solve_quadratic(
+            vec![5.0, 0.25],
+            &domain,
+            SolverConfig::smooth(1.0, 300).unwrap(),
+        );
+        assert!((r.theta[0] - 1.0).abs() < 1e-6);
+        assert!((r.theta[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subgradient_schedule_handles_nonsmooth_absolute_value() {
+        // f(theta) = |theta - 0.3| on [-1, 1].
+        let obj = FnObjective::new(
+            1,
+            |t: &[f64]| (t[0] - 0.3).abs(),
+            |t: &[f64], out: &mut [f64]| out[0] = if t[0] >= 0.3 { 1.0 } else { -1.0 },
+        );
+        let domain = Domain::interval(-1.0, 1.0).unwrap();
+        let solver = ProjectedGradientDescent::new(
+            SolverConfig::subgradient(1.0, 2.0, 3000).unwrap(),
+        )
+        .unwrap();
+        let r = solver.minimize(&obj, &domain, None).unwrap();
+        assert!((r.theta[0] - 0.3).abs() < 0.05, "{}", r.theta[0]);
+    }
+
+    #[test]
+    fn strongly_convex_schedule_converges_fast() {
+        let obj = QuadraticObjective::new(vec![0.5, -0.5], 0.0).unwrap();
+        let domain = Domain::unit_ball(2).unwrap();
+        let solver = ProjectedGradientDescent::new(
+            SolverConfig::strongly_convex(1.0, 400).unwrap(),
+        )
+        .unwrap();
+        let r = solver.minimize(&obj, &domain, None).unwrap();
+        assert!(vecmath::dist2(&r.theta, &[0.5, -0.5]) < 1e-2, "{:?}", r.theta);
+    }
+
+    #[test]
+    fn respects_custom_init_and_projects_it() {
+        let obj = QuadraticObjective::new(vec![0.0, 0.0], 0.0).unwrap();
+        let domain = Domain::unit_ball(2).unwrap();
+        let solver =
+            ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 50).unwrap()).unwrap();
+        let r = solver.minimize(&obj, &domain, Some(&[10.0, 0.0])).unwrap();
+        assert!(vecmath::norm2(&r.theta) < 1e-4);
+        assert!(solver.minimize(&obj, &domain, Some(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let obj = QuadraticObjective::new(vec![0.0; 3], 0.0).unwrap();
+        let domain = Domain::unit_ball(2).unwrap();
+        let solver =
+            ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 10).unwrap()).unwrap();
+        assert!(solver.minimize(&obj, &domain, None).is_err());
+    }
+
+    #[test]
+    fn simplex_constrained_solve_stays_feasible() {
+        let obj = QuadraticObjective::new(vec![1.0, 0.0, 0.0], 0.0).unwrap();
+        let domain = Domain::simplex(3).unwrap();
+        let solver =
+            ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 300).unwrap()).unwrap();
+        let r = solver.minimize(&obj, &domain, None).unwrap();
+        assert!(domain.contains(&r.theta, 1e-9));
+        // Closest simplex point to (1,0,0) is (1,0,0) itself.
+        assert!((r.theta[0] - 1.0).abs() < 1e-4, "{:?}", r.theta);
+    }
+
+    #[test]
+    fn value_reported_matches_objective() {
+        let obj = QuadraticObjective::new(vec![0.1, 0.1], 3.0).unwrap();
+        let domain = Domain::unit_ball(2).unwrap();
+        let solver =
+            ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 100).unwrap()).unwrap();
+        let r = solver.minimize(&obj, &domain, None).unwrap();
+        assert!((r.value - obj.value(&r.theta)).abs() < 1e-12);
+        assert!((r.value - 3.0).abs() < 1e-6);
+    }
+}

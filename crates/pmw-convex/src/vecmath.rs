@@ -1,0 +1,107 @@
+//! Dense vector helpers used across the workspace.
+//!
+//! These are the hot inner-loop primitives (the PMW mechanism evaluates
+//! gradients over every universe element every round), so they are small,
+//! `#[inline]`, allocation-free, and operate on plain slices.
+
+/// Inner product `⟨a, b⟩`.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm `‖a‖₂`.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm `‖a‖₂²`.
+#[inline]
+pub fn norm2_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// `y ← y + c·x` (axpy).
+#[inline]
+pub fn axpy(c: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += c * xi;
+    }
+}
+
+/// `a ← c·a`.
+#[inline]
+pub fn scale(a: &mut [f64], c: f64) {
+    for ai in a.iter_mut() {
+        *ai *= c;
+    }
+}
+
+/// `out ← a − b`.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// Euclidean distance `‖a − b‖₂`.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// True when every entry is finite.
+#[inline]
+pub fn all_finite(a: &[f64]) -> bool {
+    a.iter().all(|v| v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm2(&a), 5.0);
+        assert_eq!(norm2_sq(&a), 25.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn scale_and_sub() {
+        let mut a = [2.0, -4.0];
+        scale(&mut a, -0.5);
+        assert_eq!(a, [-1.0, 2.0]);
+        let mut out = [0.0; 2];
+        sub(&[3.0, 3.0], &[1.0, 5.0], &mut out);
+        assert_eq!(out, [2.0, -2.0]);
+    }
+
+    #[test]
+    fn dist_and_finite() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the PMW mechanisms.
+
+use std::fmt;
+
+/// Errors from the PMW mechanisms and baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmwError {
+    /// A configuration parameter was invalid.
+    InvalidConfig(&'static str),
+    /// The mechanism has halted (the sparse vector's `T` updates are spent,
+    /// i.e. the privacy budget for updates is exhausted).
+    Halted,
+    /// The query limit `k` declared at configuration time was exceeded.
+    QueryLimitReached,
+    /// A supplied loss does not match the mechanism's universe.
+    LossMismatch(&'static str),
+    /// Underlying data-substrate failure.
+    Data(pmw_data::DataError),
+    /// Underlying DP-substrate failure.
+    Dp(pmw_dp::DpError),
+    /// Underlying convex-substrate failure.
+    Convex(pmw_convex::ConvexError),
+    /// Underlying loss-layer failure.
+    Loss(pmw_losses::LossError),
+    /// Underlying ERM-oracle failure.
+    Erm(pmw_erm::ErmError),
+}
+
+impl fmt::Display for PmwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmwError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PmwError::Halted => write!(f, "mechanism halted: update budget exhausted"),
+            PmwError::QueryLimitReached => write!(f, "declared query limit k reached"),
+            PmwError::LossMismatch(msg) => write!(f, "loss/universe mismatch: {msg}"),
+            PmwError::Data(e) => write!(f, "data error: {e}"),
+            PmwError::Dp(e) => write!(f, "dp error: {e}"),
+            PmwError::Convex(e) => write!(f, "convex error: {e}"),
+            PmwError::Loss(e) => write!(f, "loss error: {e}"),
+            PmwError::Erm(e) => write!(f, "erm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PmwError {}
+
+impl From<pmw_data::DataError> for PmwError {
+    fn from(e: pmw_data::DataError) -> Self {
+        PmwError::Data(e)
+    }
+}
+impl From<pmw_dp::DpError> for PmwError {
+    fn from(e: pmw_dp::DpError) -> Self {
+        PmwError::Dp(e)
+    }
+}
+impl From<pmw_convex::ConvexError> for PmwError {
+    fn from(e: pmw_convex::ConvexError) -> Self {
+        PmwError::Convex(e)
+    }
+}
+impl From<pmw_losses::LossError> for PmwError {
+    fn from(e: pmw_losses::LossError) -> Self {
+        PmwError::Loss(e)
+    }
+}
+impl From<pmw_erm::ErmError> for PmwError {
+    fn from(e: pmw_erm::ErmError) -> Self {
+        PmwError::Erm(e)
+    }
+}

@@ -1,0 +1,223 @@
+//! The sample accuracy game of Figure 1 (Definition 2.4).
+//!
+//! An [`Analyst`] adaptively chooses loss functions — each choice may depend
+//! on all previous answers, exactly as the game allows — and
+//! [`run_accuracy_game`] plays it against an [`OnlinePmw`] mechanism,
+//! measuring every answer's true excess risk `err_{ℓ_j}(D, θ̂ʲ)`
+//! (Definition 2.2) with a non-private solve. The mechanism is
+//! `(α, β)`-accurate when `max_j err ≤ α` with probability `1 − β`
+//! (Definition 2.4); the accuracy experiments estimate that probability by
+//! replaying the game over seeds.
+
+use crate::error::PmwError;
+use crate::mechanism::OnlinePmw;
+use pmw_erm::{excess_risk, ErmOracle};
+use pmw_losses::CmLoss;
+use rand::Rng;
+
+/// An adaptive adversary in the Figure-1 game.
+pub trait Analyst {
+    /// Produce the next loss, given the previous answer (`None` on the first
+    /// move). Returning `None` ends the game early.
+    fn next_query(
+        &mut self,
+        last_answer: Option<&[f64]>,
+        rng: &mut dyn Rng,
+    ) -> Option<Box<dyn CmLoss>>;
+}
+
+/// A non-adaptive analyst replaying a fixed list of losses.
+pub struct FixedAnalyst {
+    losses: Vec<Box<dyn CmLoss>>,
+    next: usize,
+}
+
+impl FixedAnalyst {
+    /// Replay `losses` in order.
+    pub fn new(losses: Vec<Box<dyn CmLoss>>) -> Self {
+        Self { losses, next: 0 }
+    }
+}
+
+impl Analyst for FixedAnalyst {
+    fn next_query(
+        &mut self,
+        _last_answer: Option<&[f64]>,
+        _rng: &mut dyn Rng,
+    ) -> Option<Box<dyn CmLoss>> {
+        if self.next >= self.losses.len() {
+            return None;
+        }
+        // Hand out clones-by-move: swap with a placeholder is not possible
+        // for dyn losses, so we drain from the front index instead.
+        let item = std::mem::replace(
+            &mut self.losses[self.next],
+            Box::new(NullLoss),
+        );
+        self.next += 1;
+        Some(item)
+    }
+}
+
+/// Placeholder loss used internally by [`FixedAnalyst`]; never evaluated.
+struct NullLoss;
+
+impl CmLoss for NullLoss {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn domain(&self) -> &pmw_convex::Domain {
+        const { &pmw_convex::Domain::L2Ball { dim: 1, radius: 1.0 } }
+    }
+    fn point_dim(&self) -> usize {
+        1
+    }
+    fn loss(&self, _theta: &[f64], _x: &[f64]) -> f64 {
+        0.0
+    }
+    fn gradient(&self, _theta: &[f64], _x: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+    }
+    fn lipschitz(&self) -> f64 {
+        1.0
+    }
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}
+
+/// Outcome of one play of the accuracy game.
+#[derive(Debug, Clone)]
+pub struct GameOutcome {
+    /// True excess risk of every answered query, in order.
+    pub errors: Vec<f64>,
+    /// `max_j err_{ℓ_j}(D, θ̂ʲ)` — the quantity Definition 2.4 bounds by `α`.
+    pub max_error: f64,
+    /// Queries answered before the game ended.
+    pub answered: usize,
+    /// True if the mechanism halted (update budget exhausted) mid-game.
+    pub halted: bool,
+}
+
+/// Play the Figure-1 game to completion.
+pub fn run_accuracy_game<O: ErmOracle>(
+    mechanism: &mut OnlinePmw<O>,
+    analyst: &mut dyn Analyst,
+    rng: &mut dyn Rng,
+) -> Result<GameOutcome, PmwError> {
+    let mut errors = Vec::new();
+    let mut last_answer: Option<Vec<f64>> = None;
+    let mut halted = false;
+    let solver_iters = mechanism.config().solver_iters;
+    while let Some(loss) = analyst.next_query(last_answer.as_deref(), rng) {
+        match mechanism.answer(loss.as_ref(), rng) {
+            Ok(theta) => {
+                let err = excess_risk(
+                    loss.as_ref(),
+                    mechanism.universe_points(),
+                    mechanism.data_histogram().weights(),
+                    &theta,
+                    solver_iters,
+                )?;
+                errors.push(err);
+                last_answer = Some(theta);
+            }
+            Err(PmwError::Halted) | Err(PmwError::QueryLimitReached) => {
+                halted = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let max_error = errors.iter().cloned().fold(0.0, f64::max);
+    Ok(GameOutcome {
+        answered: errors.len(),
+        errors,
+        max_error,
+        halted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PmwConfig;
+    use pmw_data::{BooleanCube, Dataset};
+    use pmw_erm::ExactOracle;
+    use pmw_losses::{LinearQueryLoss, PointPredicate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bit_loss(cube_dim: usize, bit: usize) -> Box<dyn CmLoss> {
+        Box::new(
+            LinearQueryLoss::new(
+                PointPredicate::Conjunction { coords: vec![bit] },
+                cube_dim,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn fixed_analyst_replays_in_order_then_stops() {
+        let mut analyst = FixedAnalyst::new(vec![bit_loss(3, 0), bit_loss(3, 1)]);
+        let mut rng = StdRng::seed_from_u64(151);
+        assert!(analyst.next_query(None, &mut rng).is_some());
+        assert!(analyst.next_query(Some(&[0.5]), &mut rng).is_some());
+        assert!(analyst.next_query(Some(&[0.5]), &mut rng).is_none());
+    }
+
+    #[test]
+    fn game_measures_errors_below_alpha_on_easy_instance() {
+        let mut rng = StdRng::seed_from_u64(152);
+        let cube = BooleanCube::new(4).unwrap();
+        let pop =
+            pmw_data::synth::product_population(&cube, &[0.9, 0.5, 0.5, 0.5]).unwrap();
+        let data = Dataset::sample_from(&pop, 3000, &mut rng).unwrap();
+        let config = PmwConfig::builder(2.0, 1e-6, 0.15)
+            .k(8)
+            .scale(1.0)
+            .rounds_override(8)
+            .solver_iters(300)
+            .build()
+            .unwrap();
+        let mut mech =
+            OnlinePmw::with_oracle(config, &cube, data, ExactOracle::default(), &mut rng)
+                .unwrap();
+        let mut analyst = FixedAnalyst::new(
+            (0..4).map(|b| bit_loss(4, b)).collect(),
+        );
+        let outcome = run_accuracy_game(&mut mech, &mut analyst, &mut rng).unwrap();
+        assert_eq!(outcome.answered, 4);
+        assert!(!outcome.halted);
+        assert!(
+            outcome.max_error <= 0.15 + 0.05,
+            "max error {}",
+            outcome.max_error
+        );
+    }
+
+    #[test]
+    fn game_reports_halt_when_budget_exhausted() {
+        let mut rng = StdRng::seed_from_u64(153);
+        let cube = BooleanCube::new(3).unwrap();
+        // Extremely skewed data, tiny alpha, one update slot: must halt.
+        let data = Dataset::from_indices(8, vec![7; 300]).unwrap();
+        let config = PmwConfig::builder(2.0, 1e-6, 0.02)
+            .k(12)
+            .scale(1.0)
+            .rounds_override(1)
+            .solver_iters(200)
+            .build()
+            .unwrap();
+        let mut mech =
+            OnlinePmw::with_oracle(config, &cube, data, ExactOracle::default(), &mut rng)
+                .unwrap();
+        let mut analyst = FixedAnalyst::new(
+            (0..3).cycle().take(12).map(|b| bit_loss(3, b)).collect(),
+        );
+        let outcome = run_accuracy_game(&mut mech, &mut analyst, &mut rng).unwrap();
+        assert!(outcome.halted);
+        assert!(outcome.answered < 12);
+    }
+}

@@ -1,0 +1,51 @@
+//! Online private multiplicative weights for convex minimization queries —
+//! the primary contribution of Ullman, *"Private Multiplicative Weights
+//! Beyond Linear Queries"* (PODS 2015).
+//!
+//! The centerpiece is [`OnlinePmw`], a faithful implementation of the
+//! paper's Figure 3: an interactive mechanism that answers an adaptively
+//! chosen stream of `k` CM queries with per-query excess risk `α`, while
+//! satisfying `(ε, δ)`-differential privacy, given
+//! `n = Õ(S²·√(log|X|)·log k/(εα²))` samples (Theorem 3.8). Each query's
+//! error is screened by the sparse vector algorithm; queries the hypothesis
+//! histogram already answers well are served for free, and the rest trigger
+//! a private oracle call plus a **dual-certificate multiplicative-weights
+//! update** (Claim 3.5) — the paper's key novelty, implemented in
+//! [`update`].
+//!
+//! The crate also contains everything the evaluation compares against:
+//!
+//! * [`OfflinePmw`] — the offline variant sketched in Section 1.2
+//!   (\[GHRU11\]-style): all `k` losses known up front, exponential-mechanism
+//!   query selection.
+//! * [`LinearPmw`] and [`Mwem`] — classic private multiplicative weights for
+//!   linear queries [HR10, HLM12], the special case the paper generalizes.
+//! * [`CompositionMechanism`] — the naive baseline: every query answered
+//!   independently by a single-query oracle under strong composition,
+//!   costing `√k` instead of `log k`.
+//! * [`theory`] — every quantitative formula from Table 1 and
+//!   Theorems 3.1/3.8, used by the benches to plot measured-vs-predicted.
+//! * [`game`] — the sample accuracy game of Figure 1 (Definition 2.4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod composition_baseline;
+pub mod config;
+pub mod error;
+pub mod game;
+pub mod linear;
+pub mod mechanism;
+pub mod offline;
+pub mod theory;
+pub mod transcript;
+pub mod update;
+
+pub use composition_baseline::CompositionMechanism;
+pub use config::{DerivedParams, PmwConfig, PmwConfigBuilder};
+pub use error::PmwError;
+pub use game::{run_accuracy_game, GameOutcome};
+pub use linear::{LinearPmw, Mwem};
+pub use mechanism::OnlinePmw;
+pub use offline::OfflinePmw;
+pub use transcript::{QueryOutcome, QueryRecord, Transcript};

@@ -1,0 +1,405 @@
+//! Classic private multiplicative weights for linear queries.
+//!
+//! Linear queries are the special case the paper generalizes (Table 1 row 1).
+//! Two variants are provided, matching the two lineages the paper cites:
+//!
+//! * [`LinearPmw`] — the **online** mechanism of Hardt–Rothblum \[HR10\]:
+//!   sparse-vector screening, Laplace measurement of above-threshold
+//!   queries, multiplicative-weights update. Structurally identical to
+//!   Figure 3 with `u_t = ±q_t`, which is exactly the point of the paper's
+//!   Section 1.2 discussion.
+//! * [`Mwem`] — the **offline** MWEM algorithm of Hardt–Ligett–McSherry
+//!   \[HLM12\]: all queries known up front, exponential-mechanism selection of
+//!   the worst query each round, Laplace measurement, MW update, answers
+//!   from the averaged hypothesis.
+
+use crate::config::PmwConfig;
+use crate::error::PmwError;
+use pmw_data::workload::LinearQuery;
+use pmw_data::{Dataset, Histogram};
+use pmw_dp::sparse_vector::{SvConfig, SvOutcome};
+use pmw_dp::{Accountant, ExponentialMechanism, LaplaceMechanism, PrivacyBudget, SparseVector};
+use rand::Rng;
+
+/// Online private multiplicative weights for linear queries \[HR10\].
+///
+/// Use a [`PmwConfig`] with `scale(1.0)` for queries with values in `[0, 1]`
+/// (the scale bound plays the role of the query range).
+pub struct LinearPmw {
+    hypothesis: Histogram,
+    data: Histogram,
+    eta: f64,
+    k: usize,
+    alpha: f64,
+    laplace_epsilon: f64,
+    range: f64,
+    n: usize,
+    sv: SparseVector,
+    queries_answered: usize,
+    updates_used: usize,
+    accountant: Accountant,
+    halted: bool,
+}
+
+impl LinearPmw {
+    /// Build over a universe of the given size.
+    pub fn new(
+        config: PmwConfig,
+        universe_size: usize,
+        dataset: &Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<Self, PmwError> {
+        if dataset.universe_size() != universe_size {
+            return Err(PmwError::LossMismatch(
+                "dataset universe size does not match universe",
+            ));
+        }
+        let derived = config.derive(universe_size)?;
+        let n = dataset.len();
+        let range = config.scale_s;
+        let sv = SparseVector::new(
+            SvConfig {
+                max_top: derived.rounds,
+                threshold: config.alpha,
+                sensitivity: range / n as f64,
+                budget: derived.sv_budget,
+                composition: config.sv_composition,
+            },
+            rng,
+        )?;
+        let mut accountant = Accountant::new();
+        accountant.spend("sparse-vector", derived.sv_budget);
+        Ok(Self {
+            hypothesis: Histogram::uniform(universe_size)?,
+            data: dataset.histogram(),
+            eta: derived.eta,
+            k: config.k,
+            alpha: config.alpha,
+            laplace_epsilon: derived.oracle_budget.epsilon(),
+            range,
+            n,
+            sv,
+            queries_answered: 0,
+            updates_used: 0,
+            accountant,
+            halted: false,
+        })
+    }
+
+    /// Answer one linear query.
+    pub fn answer(&mut self, query: &LinearQuery, rng: &mut dyn Rng) -> Result<f64, PmwError> {
+        if self.halted {
+            return Err(PmwError::Halted);
+        }
+        if self.queries_answered >= self.k {
+            return Err(PmwError::QueryLimitReached);
+        }
+        if query.len() != self.hypothesis.len() {
+            return Err(PmwError::LossMismatch("query length != universe size"));
+        }
+        let est = query.evaluate(&self.hypothesis);
+        let truth = query.evaluate(&self.data);
+        let err = (est - truth).abs();
+        let outcome = match self.sv.process(err, rng) {
+            Ok(o) => o,
+            Err(pmw_dp::DpError::SparseVectorHalted) => {
+                self.halted = true;
+                return Err(PmwError::Halted);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let answer = match outcome {
+            SvOutcome::Bottom => est,
+            SvOutcome::Top => {
+                let mech =
+                    LaplaceMechanism::new(self.range / self.n as f64, self.laplace_epsilon)?;
+                let measured = mech.release(truth, rng)?;
+                self.accountant
+                    .spend("laplace", PrivacyBudget::pure(self.laplace_epsilon)?);
+                // Update direction: if the hypothesis overestimates, penalize
+                // elements where q(x) is large (exp(-eta*q)); otherwise boost.
+                let u: Vec<f64> = if est > measured {
+                    query.values().to_vec()
+                } else {
+                    query.values().iter().map(|v| -v).collect()
+                };
+                self.hypothesis.mw_update(&u, self.eta)?;
+                self.updates_used += 1;
+                if self.sv.has_halted() {
+                    self.halted = true;
+                }
+                measured
+            }
+        };
+        self.queries_answered += 1;
+        Ok(answer)
+    }
+
+    /// The current hypothesis histogram.
+    pub fn hypothesis(&self) -> &Histogram {
+        &self.hypothesis
+    }
+
+    /// Updates consumed.
+    pub fn updates_used(&self) -> usize {
+        self.updates_used
+    }
+
+    /// True once the update budget is exhausted.
+    pub fn has_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The privacy ledger.
+    pub fn accountant(&self) -> &Accountant {
+        &self.accountant
+    }
+
+    /// Target accuracy `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Result of an offline MWEM run.
+#[derive(Debug, Clone)]
+pub struct MwemResult {
+    /// The averaged hypothesis histogram (HLM12 recommend averaging).
+    pub histogram: Histogram,
+    /// Answers to every input query, evaluated on the averaged histogram.
+    pub answers: Vec<f64>,
+    /// Indices of the queries selected for measurement each round.
+    pub selected: Vec<usize>,
+}
+
+/// Offline MWEM \[HLM12\].
+#[derive(Debug, Clone, Copy)]
+pub struct Mwem {
+    /// Number of measurement rounds `T`.
+    pub rounds: usize,
+    /// Query range bound (1 for counting queries).
+    pub range: f64,
+}
+
+impl Mwem {
+    /// MWEM with `T` rounds for queries with values in `[0, range]`.
+    pub fn new(rounds: usize, range: f64) -> Result<Self, PmwError> {
+        if rounds == 0 {
+            return Err(PmwError::InvalidConfig("rounds must be >= 1"));
+        }
+        if !(range.is_finite() && range > 0.0) {
+            return Err(PmwError::InvalidConfig("range must be positive"));
+        }
+        Ok(Self { rounds, range })
+    }
+
+    /// Run MWEM on the full query workload under a pure `ε` budget, split
+    /// evenly: `ε/2T` per exponential-mechanism selection, `ε/2T` per
+    /// Laplace measurement.
+    pub fn run(
+        &self,
+        queries: &[LinearQuery],
+        dataset: &Dataset,
+        epsilon: f64,
+        rng: &mut dyn Rng,
+    ) -> Result<MwemResult, PmwError> {
+        if queries.is_empty() {
+            return Err(PmwError::InvalidConfig("need at least one query"));
+        }
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(PmwError::InvalidConfig("epsilon must be positive"));
+        }
+        let m = dataset.universe_size();
+        if queries.iter().any(|q| q.len() != m) {
+            return Err(PmwError::LossMismatch("query length != universe size"));
+        }
+        let data = dataset.histogram();
+        let n = dataset.len();
+        let per_round = epsilon / (2.0 * self.rounds as f64);
+        let sensitivity = self.range / n as f64;
+        let em = ExponentialMechanism::new(sensitivity, per_round)?;
+        let lap = LaplaceMechanism::new(sensitivity, per_round)?;
+
+        let mut hypothesis = Histogram::uniform(m)?;
+        let mut avg = vec![0.0; m];
+        let mut selected = Vec::with_capacity(self.rounds);
+        for _ in 0..self.rounds {
+            // Select the query the hypothesis answers worst.
+            let scores: Vec<f64> = queries
+                .iter()
+                .map(|q| (q.evaluate(&hypothesis) - q.evaluate(&data)).abs())
+                .collect();
+            let idx = em.select(&scores, rng)?;
+            selected.push(idx);
+            let q = &queries[idx];
+            let est = q.evaluate(&hypothesis);
+            let measured = lap.release(q.evaluate(&data), rng)?;
+            // MWEM update: D(x) *= exp(q(x)·(measured − est)/(2·range)).
+            let u: Vec<f64> = q
+                .values()
+                .iter()
+                .map(|&v| -v * (measured - est) / (2.0 * self.range))
+                .collect();
+            hypothesis.mw_update(&u, 1.0)?;
+            for (a, w) in avg.iter_mut().zip(hypothesis.weights()) {
+                *a += w;
+            }
+        }
+        let averaged = Histogram::from_weights(avg)?;
+        let answers = queries.iter().map(|q| q.evaluate(&averaged)).collect();
+        Ok(MwemResult {
+            histogram: averaged,
+            answers,
+            selected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmw_data::workload::random_counting_queries;
+    use pmw_data::BooleanCube;
+    use pmw_data::Universe;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn skewed(cube: &BooleanCube, n: usize, rng: &mut StdRng) -> Dataset {
+        let biases: Vec<f64> = (0..cube.dim()).map(|b| if b == 0 { 0.9 } else { 0.5 }).collect();
+        let pop = pmw_data::synth::product_population(cube, &biases).unwrap();
+        Dataset::sample_from(&pop, n, rng).unwrap()
+    }
+
+    fn linear_config(k: usize, rounds: usize, alpha: f64) -> PmwConfig {
+        PmwConfig::builder(2.0, 1e-6, alpha)
+            .k(k)
+            .scale(1.0)
+            .rounds_override(rounds)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn linear_pmw_answers_within_alpha_with_ample_data() {
+        let mut rng = StdRng::seed_from_u64(141);
+        let cube = BooleanCube::new(5).unwrap();
+        let data = skewed(&cube, 4000, &mut rng);
+        let truth = data.histogram();
+        let queries = random_counting_queries(cube.size(), 24, &mut rng).unwrap();
+        let mut mech =
+            LinearPmw::new(linear_config(24, 12, 0.15), cube.size(), &data, &mut rng).unwrap();
+        let mut max_err: f64 = 0.0;
+        for q in &queries {
+            match mech.answer(q, &mut rng) {
+                Ok(a) => max_err = max_err.max((a - q.evaluate(&truth)).abs()),
+                Err(PmwError::Halted) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(max_err <= 0.15 + 0.1, "max error {max_err}");
+    }
+
+    #[test]
+    fn linear_pmw_serves_easy_queries_for_free() {
+        // Uniform data: the uniform hypothesis nails every query.
+        let mut rng = StdRng::seed_from_u64(142);
+        let _cube = BooleanCube::new(4).unwrap();
+        let rows: Vec<usize> = (0..1600).map(|i| i % 16).collect();
+        let data = Dataset::from_indices(16, rows).unwrap();
+        let queries = random_counting_queries(16, 10, &mut rng).unwrap();
+        let mut mech =
+            LinearPmw::new(linear_config(10, 5, 0.2), 16, &data, &mut rng).unwrap();
+        for q in &queries {
+            let _ = mech.answer(q, &mut rng).unwrap();
+        }
+        assert_eq!(mech.updates_used(), 0);
+        assert_eq!(mech.accountant().len(), 1); // only the SV entry
+    }
+
+    #[test]
+    fn linear_pmw_validates_inputs() {
+        let mut rng = StdRng::seed_from_u64(143);
+        let cube = BooleanCube::new(3).unwrap();
+        let data = skewed(&cube, 100, &mut rng);
+        let wrong = Dataset::from_indices(9, vec![0]).unwrap();
+        assert!(LinearPmw::new(linear_config(4, 2, 0.3), 8, &wrong, &mut rng).is_err());
+        let mut mech = LinearPmw::new(linear_config(4, 2, 0.3), 8, &data, &mut rng).unwrap();
+        let bad = LinearQuery::new(vec![1.0; 4]).unwrap();
+        assert!(matches!(
+            mech.answer(&bad, &mut rng),
+            Err(PmwError::LossMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn mwem_improves_over_uniform_hypothesis() {
+        let mut rng = StdRng::seed_from_u64(144);
+        let cube = BooleanCube::new(5).unwrap();
+        let data = skewed(&cube, 3000, &mut rng);
+        let truth = data.histogram();
+        let queries = random_counting_queries(cube.size(), 30, &mut rng).unwrap();
+        let uniform = Histogram::uniform(cube.size()).unwrap();
+        let base_err: f64 = queries
+            .iter()
+            .map(|q| (q.evaluate(&uniform) - q.evaluate(&truth)).abs())
+            .fold(0.0, f64::max);
+        let result = Mwem::new(10, 1.0)
+            .unwrap()
+            .run(&queries, &data, 4.0, &mut rng)
+            .unwrap();
+        let mwem_err: f64 = queries
+            .iter()
+            .zip(&result.answers)
+            .map(|(q, a)| (a - q.evaluate(&truth)).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            mwem_err < base_err,
+            "MWEM max err {mwem_err} should beat uniform {base_err}"
+        );
+        assert_eq!(result.selected.len(), 10);
+        assert_eq!(result.answers.len(), 30);
+    }
+
+    #[test]
+    fn mwem_validates_inputs() {
+        let mut rng = StdRng::seed_from_u64(145);
+        let cube = BooleanCube::new(3).unwrap();
+        let data = skewed(&cube, 100, &mut rng);
+        assert!(Mwem::new(0, 1.0).is_err());
+        assert!(Mwem::new(5, 0.0).is_err());
+        let mwem = Mwem::new(5, 1.0).unwrap();
+        assert!(mwem.run(&[], &data, 1.0, &mut rng).is_err());
+        let q = LinearQuery::new(vec![1.0; 4]).unwrap();
+        assert!(mwem.run(&[q], &data, 1.0, &mut rng).is_err());
+        let q8 = LinearQuery::new(vec![1.0; 8]).unwrap();
+        assert!(mwem.run(std::slice::from_ref(&q8), &data, 0.0, &mut rng).is_err());
+        assert!(mwem.run(&[q8], &data, 1.0, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn mwem_selected_queries_are_high_error_ones() {
+        // Plant one query with a huge error under the uniform hypothesis;
+        // MWEM should pick it in round 1 with high probability.
+        let mut rng = StdRng::seed_from_u64(146);
+        let _cube = BooleanCube::new(4).unwrap();
+        // All mass on element 15.
+        let data = Dataset::from_indices(16, vec![15; 500]).unwrap();
+        // Query 0: indicator of element 15 (error 1 - 1/16 under uniform);
+        // queries 1..: constant queries with zero error.
+        let mut queries = vec![LinearQuery::new(
+            (0..16).map(|x| if x == 15 { 1.0 } else { 0.0 }).collect(),
+        )
+        .unwrap()];
+        for _ in 0..9 {
+            queries.push(LinearQuery::new(vec![1.0; 16]).unwrap());
+        }
+        let result = Mwem::new(6, 1.0)
+            .unwrap()
+            .run(&queries, &data, 8.0, &mut rng)
+            .unwrap();
+        assert_eq!(result.selected[0], 0, "round 1 must pick the planted query");
+        // And the learned (averaged) histogram should shift mass toward
+        // element 15, well past its uniform share of 1/16.
+        assert!(result.histogram.mass(15) > 0.15, "{}", result.histogram.mass(15));
+    }
+}

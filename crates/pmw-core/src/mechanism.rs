@@ -1,0 +1,593 @@
+//! The online private multiplicative weights mechanism for CM queries —
+//! Figure 3 of the paper, verbatim (up to the documented constant fixes).
+//!
+//! Per query `ℓ_j`:
+//!
+//! 1. compute the hypothesis minimizer `θ̂_t = argmin_θ ℓ(θ; D̂_t)`
+//!    (non-private: touches only the public hypothesis);
+//! 2. form the error query `q_j(D) = err_{ℓ_j}(D, D̂_t)` — sensitivity
+//!    `3S/n` (Section 3.4) — and feed it to the sparse vector algorithm;
+//! 3. on `⊥`: answer `θ̂_t` (free: no privacy budget is consumed beyond
+//!    SV's);
+//! 4. on `⊤`: answer `θ_t ← A′(D, ℓ_j)` with the per-round budget
+//!    `(ε₀, δ₀)`, then perform the dual-certificate multiplicative-weights
+//!    update `D̂_{t+1}(x) ∝ exp(−η·u_t(x))·D̂_t(x)` with
+//!    `u_t(x) = ⟨θ_t − θ̂_t, ∇ℓ_x(θ̂_t)⟩` (Claim 3.5);
+//! 5. halt permanently once `T` updates have occurred.
+//!
+//! Privacy (Theorem 3.9): SV consumes `(ε/2, δ/2)`; the at-most-`T` oracle
+//! calls compose to `(ε/2, δ/2)`; the hypothesis, its minimizers and the
+//! update vectors are post-processing of those two streams. The built-in
+//! [`Accountant`] records both streams so tests can audit the spend.
+//! Accuracy (Theorem 3.8): every answer has excess risk at most `α`
+//! provided `n ≥ max{n', Õ(S²√(log|X|)·log k/(εα²))}`.
+
+use crate::config::{DerivedParams, PmwConfig};
+use crate::error::PmwError;
+use crate::transcript::{QueryOutcome, QueryRecord, Transcript};
+use crate::update::dual_certificate;
+use pmw_convex::Objective;
+use pmw_data::{Dataset, Histogram, Universe};
+use pmw_dp::sparse_vector::{SvConfig, SvOutcome};
+use pmw_dp::{Accountant, SparseVector};
+use pmw_erm::{ErmOracle, OracleChoice};
+use pmw_losses::traits::minimize_weighted;
+use pmw_losses::{CmLoss, WeightedObjective};
+use rand::Rng;
+
+/// The Figure-3 mechanism. Construct once per dataset, then [`answer`]
+/// queries interactively; the analyst may choose each loss adaptively based
+/// on previous answers (the accuracy game of Figure 1).
+///
+/// [`answer`]: OnlinePmw::answer
+pub struct OnlinePmw<O: ErmOracle = OracleChoice> {
+    config: PmwConfig,
+    derived: DerivedParams,
+    oracle: O,
+    points: Vec<Vec<f64>>,
+    data: Histogram,
+    hypothesis: Histogram,
+    n: usize,
+    sv: SparseVector,
+    update_round: usize,
+    queries_answered: usize,
+    transcript: Transcript,
+    accountant: Accountant,
+    halted: bool,
+}
+
+impl OnlinePmw<OracleChoice> {
+    /// Build with the metadata-driven automatic oracle.
+    pub fn new<U: Universe>(
+        config: PmwConfig,
+        universe: &U,
+        dataset: Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<Self, PmwError> {
+        Self::with_oracle(config, universe, dataset, OracleChoice::Auto, rng)
+    }
+}
+
+impl<O: ErmOracle> OnlinePmw<O> {
+    /// Build with an explicit single-query oracle `A′`.
+    pub fn with_oracle<U: Universe>(
+        config: PmwConfig,
+        universe: &U,
+        dataset: Dataset,
+        oracle: O,
+        rng: &mut dyn Rng,
+    ) -> Result<Self, PmwError> {
+        if dataset.universe_size() != universe.size() {
+            return Err(PmwError::LossMismatch(
+                "dataset universe size does not match universe",
+            ));
+        }
+        let derived = config.derive(universe.size())?;
+        let n = dataset.len();
+        let sv_config = SvConfig {
+            max_top: derived.rounds,
+            threshold: config.alpha,
+            sensitivity: 3.0 * config.scale_s / n as f64,
+            budget: derived.sv_budget,
+            composition: config.sv_composition,
+        };
+        let sv = SparseVector::new(sv_config, rng)?;
+        let mut accountant = Accountant::new();
+        accountant.spend("sparse-vector", derived.sv_budget);
+        Ok(Self {
+            points: universe.materialize(),
+            data: dataset.histogram(),
+            hypothesis: Histogram::uniform(universe.size())?,
+            config,
+            derived,
+            oracle,
+            n,
+            sv,
+            update_round: 0,
+            queries_answered: 0,
+            transcript: Transcript::new(),
+            accountant,
+            halted: false,
+        })
+    }
+
+    /// Answer one CM query. Errors with [`PmwError::Halted`] once the `T`
+    /// update slots are spent and with [`PmwError::QueryLimitReached`] past
+    /// the declared `k`.
+    pub fn answer(
+        &mut self,
+        loss: &dyn CmLoss,
+        rng: &mut dyn Rng,
+    ) -> Result<Vec<f64>, PmwError> {
+        if self.halted {
+            return Err(PmwError::Halted);
+        }
+        if self.queries_answered >= self.config.k {
+            return Err(PmwError::QueryLimitReached);
+        }
+        if !self.points.is_empty() && loss.point_dim() != self.points[0].len() {
+            return Err(PmwError::LossMismatch(
+                "loss point dimension does not match universe",
+            ));
+        }
+
+        // (1) Hypothesis minimizer theta-hat.
+        let theta_hat = minimize_weighted(
+            loss,
+            &self.points,
+            self.hypothesis.weights(),
+            self.config.solver_iters,
+        )?;
+
+        // (2) The error query q_j(D) = err_l(D, D-hat_t).
+        let data_obj = WeightedObjective::new(loss, &self.points, self.data.weights())?;
+        let theta_star = minimize_weighted(
+            loss,
+            &self.points,
+            self.data.weights(),
+            self.config.solver_iters,
+        )?;
+        let query_value = (data_obj.value(&theta_hat) - data_obj.value(&theta_star)).max(0.0);
+
+        // (3) Screen through the sparse vector algorithm.
+        let outcome = match self.sv.process(query_value, rng) {
+            Ok(o) => o,
+            Err(pmw_dp::DpError::SparseVectorHalted) => {
+                self.halted = true;
+                return Err(PmwError::Halted);
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        let diagnostics = self.config.diagnostics;
+        let record = match outcome {
+            SvOutcome::Bottom => {
+                let answer = theta_hat.clone();
+                QueryRecord {
+                    index: self.queries_answered,
+                    loss_name: loss.name(),
+                    outcome: QueryOutcome::FromHypothesis,
+                    answer,
+                    update_round: None,
+                    error_query_value: diagnostics.then_some(query_value),
+                    certificate_gap: None,
+                }
+            }
+            SvOutcome::Top => {
+                // (4) Private oracle answer + dual-certificate MW update.
+                let theta_t = self.oracle.solve(
+                    loss,
+                    &self.points,
+                    self.data.weights(),
+                    self.n,
+                    self.derived.oracle_budget,
+                    rng,
+                )?;
+                self.accountant
+                    .spend("erm-oracle", self.derived.oracle_budget);
+                let u = dual_certificate(loss, &self.points, &theta_t, &theta_hat)?;
+                let gap = if diagnostics {
+                    let u_hyp: f64 = self
+                        .hypothesis
+                        .weights()
+                        .iter()
+                        .zip(&u)
+                        .map(|(w, v)| w * v)
+                        .sum();
+                    let u_data: f64 =
+                        self.data.weights().iter().zip(&u).map(|(w, v)| w * v).sum();
+                    Some(u_hyp - u_data)
+                } else {
+                    None
+                };
+                self.hypothesis.mw_update(&u, self.derived.eta)?;
+                let round = self.update_round;
+                self.update_round += 1;
+                if self.sv.has_halted() {
+                    self.halted = true;
+                }
+                QueryRecord {
+                    index: self.queries_answered,
+                    loss_name: loss.name(),
+                    outcome: QueryOutcome::FromOracle,
+                    answer: theta_t,
+                    update_round: Some(round),
+                    error_query_value: diagnostics.then_some(query_value),
+                    certificate_gap: gap,
+                }
+            }
+        };
+        self.queries_answered += 1;
+        let answer = record.answer.clone();
+        self.transcript.push(record);
+        Ok(answer)
+    }
+
+    /// The current hypothesis histogram `D̂_t` — safe to release (it is a
+    /// post-processing of private outputs) and usable as **synthetic data**,
+    /// per the paper's Section 4.3 remark.
+    pub fn hypothesis(&self) -> &Histogram {
+        &self.hypothesis
+    }
+
+    /// Draw an `m`-row synthetic dataset from the hypothesis histogram.
+    pub fn synthetic_dataset(
+        &self,
+        m: usize,
+        rng: &mut dyn Rng,
+    ) -> Result<Dataset, PmwError> {
+        Ok(Dataset::sample_from(&self.hypothesis, m, rng)?)
+    }
+
+    /// The derived Figure-3 parameters in force.
+    pub fn derived(&self) -> &DerivedParams {
+        &self.derived
+    }
+
+    /// The materialized universe points (public information).
+    pub fn universe_points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// The **raw private** data histogram. For curator-side diagnostics
+    /// (e.g. measuring true excess risk in the accuracy game) only — never
+    /// release anything derived from it without going through a mechanism.
+    pub fn data_histogram(&self) -> &Histogram {
+        &self.data
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PmwConfig {
+        &self.config
+    }
+
+    /// Run transcript.
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+
+    /// The privacy ledger (sparse vector + every oracle call so far).
+    pub fn accountant(&self) -> &Accountant {
+        &self.accountant
+    }
+
+    /// Updates consumed so far (`t` in Figure 3).
+    pub fn updates_used(&self) -> usize {
+        self.update_round
+    }
+
+    /// Update slots remaining before the mechanism halts.
+    pub fn updates_remaining(&self) -> usize {
+        self.derived.rounds - self.update_round
+    }
+
+    /// True once the update budget is exhausted.
+    pub fn has_halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmw_data::BooleanCube;
+    use pmw_erm::ExactOracle;
+    use pmw_losses::{LinearQueryLoss, PointPredicate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(k: usize, rounds: usize, alpha: f64) -> PmwConfig {
+        PmwConfig::builder(2.0, 1e-6, alpha)
+            .k(k)
+            .rounds_override(rounds)
+            .scale(1.0) // linear-query losses have S = 1
+            .solver_iters(300)
+            .diagnostics(true)
+            .build()
+            .unwrap()
+    }
+
+    /// Linear-query losses over a boolean cube universe: thresholds on
+    /// single bits (the conjunction predicate).
+    fn bit_losses(cube: &BooleanCube) -> Vec<LinearQueryLoss> {
+        (0..cube.dim())
+            .map(|b| {
+                LinearQueryLoss::new(
+                    PointPredicate::Conjunction { coords: vec![b] },
+                    cube.dim(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    /// A skewed dataset over the cube: bit 0 almost always set, others fair.
+    fn skewed_dataset(cube: &BooleanCube, n: usize, rng: &mut StdRng) -> Dataset {
+        let biases: Vec<f64> = (0..cube.dim())
+            .map(|b| if b == 0 { 0.95 } else { 0.5 })
+            .collect();
+        let pop = pmw_data::synth::product_population(cube, &biases).unwrap();
+        Dataset::sample_from(&pop, n, rng).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_universe_match() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let cube = BooleanCube::new(3).unwrap();
+        let ds = Dataset::from_indices(9, vec![0, 1]).unwrap();
+        assert!(OnlinePmw::new(config(4, 2, 0.3), &cube, ds, &mut rng).is_err());
+    }
+
+    #[test]
+    fn answers_are_feasible_and_transcript_grows() {
+        let mut rng = StdRng::seed_from_u64(122);
+        let cube = BooleanCube::new(4).unwrap();
+        let data = skewed_dataset(&cube, 800, &mut rng);
+        let mut mech = OnlinePmw::with_oracle(
+            config(8, 6, 0.2),
+            &cube,
+            data,
+            ExactOracle::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let losses = bit_losses(&cube);
+        for loss in losses.iter().take(4) {
+            let theta = mech.answer(loss, &mut rng).unwrap();
+            assert_eq!(theta.len(), 1);
+            assert!((0.0..=1.0).contains(&theta[0]), "{}", theta[0]);
+        }
+        assert_eq!(mech.transcript().len(), 4);
+        assert!(mech.updates_used() <= 4);
+    }
+
+    #[test]
+    fn accurate_answers_on_skewed_bit() {
+        // The uniform hypothesis answers "fraction with bit 0 set" as 0.5,
+        // but the data has 0.95: the mechanism must update and converge.
+        let mut rng = StdRng::seed_from_u64(123);
+        let cube = BooleanCube::new(4).unwrap();
+        let data = skewed_dataset(&cube, 2000, &mut rng);
+        let true_answer = {
+            let h = data.histogram();
+            (0..cube.size())
+                .filter(|&x| cube.bit(x, 0))
+                .map(|x| h.mass(x))
+                .sum::<f64>()
+        };
+        let mut mech = OnlinePmw::with_oracle(
+            config(12, 8, 0.15),
+            &cube,
+            data,
+            ExactOracle::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let loss = &bit_losses(&cube)[0];
+        // Ask the same query a few times; after at most one update it must
+        // be answered accurately.
+        let mut last = f64::NAN;
+        for _ in 0..3 {
+            last = mech.answer(loss, &mut rng).unwrap()[0];
+        }
+        // The guarantee is on excess risk: for the quadratic linear-query
+        // encoding err = (answer - truth)^2 / 2 <= alpha.
+        let excess = 0.5 * (last - true_answer) * (last - true_answer);
+        assert!(
+            excess <= 0.15 + 0.05,
+            "excess risk {excess} (answer {last} vs true {true_answer})"
+        );
+    }
+
+    #[test]
+    fn halts_after_t_updates_then_errors() {
+        let mut rng = StdRng::seed_from_u64(124);
+        let cube = BooleanCube::new(3).unwrap();
+        let data = skewed_dataset(&cube, 500, &mut rng);
+        // rounds = 1: the first above-threshold query exhausts the budget.
+        let mut mech = OnlinePmw::with_oracle(
+            config(20, 1, 0.1),
+            &cube,
+            data,
+            ExactOracle::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let losses = bit_losses(&cube);
+        let mut halted = false;
+        for j in 0..20 {
+            match mech.answer(&losses[j % losses.len()], &mut rng) {
+                Ok(_) => {}
+                Err(PmwError::Halted) => {
+                    halted = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(halted || mech.updates_used() <= 1);
+        if halted {
+            assert!(matches!(
+                mech.answer(&losses[0], &mut rng),
+                Err(PmwError::Halted)
+            ));
+        }
+    }
+
+    #[test]
+    fn query_limit_enforced() {
+        let mut rng = StdRng::seed_from_u64(125);
+        let cube = BooleanCube::new(3).unwrap();
+        let data = skewed_dataset(&cube, 500, &mut rng);
+        let mut mech = OnlinePmw::with_oracle(
+            config(2, 8, 0.3),
+            &cube,
+            data,
+            ExactOracle::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let loss = &bit_losses(&cube)[1];
+        let _ = mech.answer(loss, &mut rng).unwrap();
+        let _ = mech.answer(loss, &mut rng).unwrap();
+        assert!(matches!(
+            mech.answer(loss, &mut rng),
+            Err(PmwError::QueryLimitReached)
+        ));
+    }
+
+    #[test]
+    fn privacy_ledger_stays_within_declared_budget() {
+        let mut rng = StdRng::seed_from_u64(126);
+        let cube = BooleanCube::new(4).unwrap();
+        let data = skewed_dataset(&cube, 800, &mut rng);
+        let cfg = config(16, 6, 0.15);
+        let declared = cfg.budget;
+        let mut mech = OnlinePmw::with_oracle(
+            cfg,
+            &cube,
+            data,
+            ExactOracle::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let losses = bit_losses(&cube);
+        for j in 0..16 {
+            match mech.answer(&losses[j % losses.len()], &mut rng) {
+                Ok(_) | Err(PmwError::Halted) => {}
+                Err(e) => panic!("{e}"),
+            }
+            if mech.has_halted() {
+                break;
+            }
+        }
+        let total = mech
+            .accountant()
+            .best_total(declared.delta() / 4.0)
+            .unwrap();
+        assert!(
+            total.epsilon() <= declared.epsilon() + 1e-9,
+            "spent {} declared {}",
+            total.epsilon(),
+            declared.epsilon()
+        );
+        assert!(total.delta() <= declared.delta() + 1e-12);
+    }
+
+    #[test]
+    fn free_queries_do_not_spend_oracle_budget() {
+        // A uniform dataset: the uniform hypothesis is already correct, so
+        // every query should come back FromHypothesis with zero oracle calls.
+        let mut rng = StdRng::seed_from_u64(127);
+        let cube = BooleanCube::new(3).unwrap();
+        // n large enough that the SV noise (scale ~ 3S*sqrt(T)/(n*eps)) sits
+        // far below the alpha/2 bottom threshold.
+        let rows: Vec<usize> = (0..16_000).map(|i| i % 8).collect();
+        let data = Dataset::from_indices(8, rows).unwrap();
+        let mut mech = OnlinePmw::with_oracle(
+            config(6, 4, 0.2),
+            &cube,
+            data,
+            ExactOracle::default(),
+            &mut rng,
+        )
+        .unwrap();
+        for loss in bit_losses(&cube) {
+            let a = mech.answer(&loss, &mut rng).unwrap();
+            assert!((a[0] - 0.5).abs() < 0.05, "{}", a[0]);
+        }
+        assert_eq!(mech.updates_used(), 0);
+        assert_eq!(mech.transcript().updates(), 0);
+        // Ledger holds only the SV entry.
+        assert_eq!(mech.accountant().len(), 1);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let cube = BooleanCube::new(3).unwrap();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data = skewed_dataset(&cube, 400, &mut rng);
+            let mut mech = OnlinePmw::with_oracle(
+                config(4, 3, 0.2),
+                &cube,
+                data,
+                ExactOracle::default(),
+                &mut rng,
+            )
+            .unwrap();
+            bit_losses(&cube)
+                .iter()
+                .take(3)
+                .map(|l| mech.answer(l, &mut rng).unwrap()[0])
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(99), run(99));
+        // Different seeds should (almost surely) differ somewhere.
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn synthetic_dataset_reflects_learned_histogram() {
+        let mut rng = StdRng::seed_from_u64(128);
+        let cube = BooleanCube::new(3).unwrap();
+        let data = skewed_dataset(&cube, 2000, &mut rng);
+        let mut mech = OnlinePmw::with_oracle(
+            config(10, 6, 0.1),
+            &cube,
+            data,
+            ExactOracle::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let loss = &bit_losses(&cube)[0];
+        for _ in 0..4 {
+            if mech.answer(loss, &mut rng).is_err() {
+                break;
+            }
+        }
+        let synth = mech.synthetic_dataset(4000, &mut rng).unwrap();
+        let sh = synth.histogram();
+        let bit0: f64 = (0..8).filter(|&x| x & 1 == 1).map(|x| sh.mass(x)).sum();
+        assert!(bit0 > 0.6, "synthetic data should reflect the skew: {bit0}");
+    }
+
+    #[test]
+    fn rejects_mismatched_loss_dimension() {
+        let mut rng = StdRng::seed_from_u64(129);
+        let cube = BooleanCube::new(3).unwrap();
+        let data = skewed_dataset(&cube, 100, &mut rng);
+        let mut mech =
+            OnlinePmw::new(config(4, 2, 0.3), &cube, data, &mut rng).unwrap();
+        // A loss expecting 5-dimensional points on a 3-bit cube.
+        let loss = LinearQueryLoss::new(
+            PointPredicate::Conjunction { coords: vec![4] },
+            5,
+        )
+        .unwrap();
+        assert!(matches!(
+            mech.answer(&loss, &mut rng),
+            Err(PmwError::LossMismatch(_))
+        ));
+    }
+}

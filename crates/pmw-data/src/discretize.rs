@@ -1,0 +1,178 @@
+//! Rounding continuous data onto finite universes (Section 1.1).
+//!
+//! The paper's error and running-time bounds depend on `log|X|` and `|X|`
+//! respectively, so continuous data must first be rounded to a finite grid.
+//! Section 1.1 argues this is "essentially without loss of generality (up
+//! to, say, a factor of 2 in the error)": for an `L`-Lipschitz loss, snapping
+//! each point to a grid of resolution `r` changes each per-row loss by at
+//! most `L·r·√d`, so any answer accurate on the rounded data is accurate on
+//! the original data up to that additive term. [`RoundingReport`] carries
+//! this bound so experiments can account for it explicitly.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::universe::{GridUniverse, LabeledGridUniverse, Universe};
+
+/// Outcome of discretizing a continuous dataset onto a grid universe.
+#[derive(Debug, Clone)]
+pub struct RoundingReport {
+    /// The rounded dataset (indices into the grid universe).
+    pub dataset: Dataset,
+    /// Largest Euclidean distance moved by any point.
+    pub max_displacement: f64,
+    /// Mean Euclidean displacement across points.
+    pub mean_displacement: f64,
+    /// Worst-case additive loss perturbation for a 1-Lipschitz loss:
+    /// equals [`RoundingReport::max_displacement`] (multiply by the loss's
+    /// actual Lipschitz constant for other losses).
+    pub loss_perturbation_bound: f64,
+}
+
+fn displacement(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Round unlabeled points onto `grid`, producing a dataset plus the rounding
+/// error accounting of Section 1.1.
+pub fn round_to_grid(points: &[Vec<f64>], grid: &GridUniverse) -> Result<RoundingReport, DataError> {
+    if points.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    let mut rows = Vec::with_capacity(points.len());
+    let mut max_d: f64 = 0.0;
+    let mut sum_d = 0.0;
+    let mut snapped = vec![0.0; grid.point_dim()];
+    for p in points {
+        let idx = grid.nearest_index(p)?;
+        grid.write_point(idx, &mut snapped);
+        let d = displacement(p, &snapped);
+        max_d = max_d.max(d);
+        sum_d += d;
+        rows.push(idx);
+    }
+    let dataset = Dataset::from_indices(grid.size(), rows)?;
+    Ok(RoundingReport {
+        dataset,
+        max_displacement: max_d,
+        mean_displacement: sum_d / points.len() as f64,
+        loss_perturbation_bound: max_d,
+    })
+}
+
+/// Round labeled examples `(x_i, y_i)` onto a labeled grid universe.
+pub fn round_labeled(
+    examples: &[(Vec<f64>, f64)],
+    universe: &LabeledGridUniverse,
+) -> Result<RoundingReport, DataError> {
+    if examples.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    let mut rows = Vec::with_capacity(examples.len());
+    let mut max_d: f64 = 0.0;
+    let mut sum_d = 0.0;
+    let mut snapped = vec![0.0; universe.point_dim()];
+    for (x, y) in examples {
+        let idx = universe.nearest_index(x, *y)?;
+        universe.write_point(idx, &mut snapped);
+        let p = x.len();
+        let mut d = displacement(x, &snapped[..p]);
+        // Include the label snap in the displacement accounting.
+        d = (d * d + (y - snapped[p]) * (y - snapped[p])).sqrt();
+        max_d = max_d.max(d);
+        sum_d += d;
+        rows.push(idx);
+    }
+    let dataset = Dataset::from_indices(universe.size(), rows)?;
+    Ok(RoundingReport {
+        dataset,
+        max_displacement: max_d,
+        mean_displacement: sum_d / examples.len() as f64,
+        loss_perturbation_bound: max_d,
+    })
+}
+
+/// Grid resolution needed so a 1-Lipschitz loss moves by at most `alpha/2`
+/// when points in `[-1,1]^dim` are rounded — the sizing rule behind the
+/// paper's `(d/α)^{O(d)}` universe-size remark (Section 1.1).
+pub fn cells_for_accuracy(dim: usize, alpha: f64) -> Result<usize, DataError> {
+    if alpha <= 0.0 || alpha > 1.0 {
+        return Err(DataError::InvalidParameter("alpha must lie in (0, 1]"));
+    }
+    if dim == 0 {
+        return Err(DataError::EmptyUniverse);
+    }
+    // Worst-case snap displacement is (r/2)*sqrt(d) for resolution r; solve
+    // (r/2)*sqrt(d) <= alpha/2 with r = 2/(cells-1) over [-1,1].
+    let r = alpha / (dim as f64).sqrt();
+    let cells = (2.0 / r).ceil() as usize + 1;
+    Ok(cells.max(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_snaps_to_nearest_grid_point() {
+        let grid = GridUniverse::symmetric_unit(2, 5).unwrap();
+        let pts = vec![vec![0.1, -0.6], vec![0.9, 0.9]];
+        let report = round_to_grid(&pts, &grid).unwrap();
+        let h = report.dataset.points(&grid).unwrap();
+        assert_eq!(h[0], vec![0.0, -0.5]);
+        assert_eq!(h[1], vec![1.0, 1.0]);
+        assert!(report.max_displacement <= grid.resolution());
+        assert!(report.mean_displacement <= report.max_displacement);
+    }
+
+    #[test]
+    fn rounding_error_bounded_by_half_diagonal() {
+        let grid = GridUniverse::symmetric_unit(3, 9).unwrap();
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 50.0 * 2.0 - 1.0;
+                vec![t, -t, t * t]
+            })
+            .collect();
+        let report = round_to_grid(&pts, &grid).unwrap();
+        let bound = grid.resolution() / 2.0 * (3f64).sqrt();
+        assert!(report.max_displacement <= bound + 1e-12);
+    }
+
+    #[test]
+    fn labeled_rounding_snaps_labels() {
+        let grid = GridUniverse::symmetric_unit(1, 3).unwrap();
+        let u = LabeledGridUniverse::binary(grid).unwrap();
+        let examples = vec![(vec![0.4], 0.9), (vec![-0.8], -0.2)];
+        let report = round_labeled(&examples, &u).unwrap();
+        let pts = report.dataset.points(&u).unwrap();
+        assert_eq!(pts[0], vec![0.0, 1.0]);
+        assert_eq!(pts[1], vec![-1.0, -1.0]);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let grid = GridUniverse::symmetric_unit(2, 3).unwrap();
+        assert!(round_to_grid(&[], &grid).is_err());
+    }
+
+    #[test]
+    fn cells_for_accuracy_guarantees_displacement() {
+        for dim in [1usize, 2, 4] {
+            for alpha in [0.5, 0.2, 0.1] {
+                let cells = cells_for_accuracy(dim, alpha).unwrap();
+                let grid = GridUniverse::symmetric_unit(dim, cells).unwrap();
+                let worst = grid.resolution() / 2.0 * (dim as f64).sqrt();
+                assert!(
+                    worst <= alpha / 2.0 + 1e-9,
+                    "dim={dim} alpha={alpha} cells={cells} worst={worst}"
+                );
+            }
+        }
+        assert!(cells_for_accuracy(2, 0.0).is_err());
+        assert!(cells_for_accuracy(0, 0.5).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the data substrate.
+
+use std::fmt;
+
+/// Errors produced by universe, histogram and dataset constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// The universe would have zero elements.
+    EmptyUniverse,
+    /// The universe would be too large to materialize as a histogram.
+    UniverseTooLarge {
+        /// Number of elements requested.
+        requested: u128,
+        /// Configured ceiling.
+        limit: u128,
+    },
+    /// A dataset was empty where a nonempty one is required.
+    EmptyDataset,
+    /// A universe index was out of range.
+    IndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Universe size.
+        size: usize,
+    },
+    /// A point has the wrong dimensionality for this universe.
+    DimensionMismatch {
+        /// Dimension of the supplied point.
+        got: usize,
+        /// Dimension the universe expects.
+        expected: usize,
+    },
+    /// Histogram weights were invalid (negative, non-finite, or zero-sum).
+    InvalidWeights(&'static str),
+    /// A parameter was outside its legal range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::EmptyUniverse => write!(f, "universe must contain at least one element"),
+            DataError::UniverseTooLarge { requested, limit } => write!(
+                f,
+                "universe with {requested} elements exceeds the materialization limit {limit}"
+            ),
+            DataError::EmptyDataset => write!(f, "dataset must contain at least one row"),
+            DataError::IndexOutOfRange { index, size } => {
+                write!(f, "universe index {index} out of range for size {size}")
+            }
+            DataError::DimensionMismatch { got, expected } => {
+                write!(f, "point has dimension {got}, universe expects {expected}")
+            }
+            DataError::InvalidWeights(msg) => write!(f, "invalid histogram weights: {msg}"),
+            DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -1,0 +1,348 @@
+//! The histogram representation of a dataset (Section 2.1).
+//!
+//! The paper views a dataset as a probability distribution over the universe:
+//! `D(x) = Pr_{x'←D}[x' = x]`. Changing a single row moves `1/n` of mass
+//! from one bin to another, so adjacent datasets have histograms within
+//! `2/n` in `‖·‖₁` (the paper states the per-bin bound `1/n`). All of the
+//! PMW machinery (the hypothesis `D̂_t`, the multiplicative weights update,
+//! the bounded-regret lemma) operates on [`Histogram`] values.
+
+use crate::error::DataError;
+use rand::{Rng, RngExt};
+
+/// A probability distribution over a finite universe, stored densely.
+///
+/// Invariants: all weights are finite and non-negative, and they sum to 1
+/// (up to floating-point tolerance; constructors normalize).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    weights: Vec<f64>,
+}
+
+impl Histogram {
+    /// The uniform histogram over `size` elements — PMW's initial hypothesis
+    /// `D̂_1` (Figure 3: "Let `D̂_t` be the uniform histogram over `X`").
+    pub fn uniform(size: usize) -> Result<Self, DataError> {
+        if size == 0 {
+            return Err(DataError::EmptyUniverse);
+        }
+        Ok(Self {
+            weights: vec![1.0 / size as f64; size],
+        })
+    }
+
+    /// Build from non-negative weights, normalizing to total mass 1.
+    pub fn from_weights(mut weights: Vec<f64>) -> Result<Self, DataError> {
+        if weights.is_empty() {
+            return Err(DataError::EmptyUniverse);
+        }
+        let mut total = 0.0;
+        for &w in &weights {
+            if !w.is_finite() {
+                return Err(DataError::InvalidWeights("non-finite weight"));
+            }
+            if w < 0.0 {
+                return Err(DataError::InvalidWeights("negative weight"));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(DataError::InvalidWeights("weights sum to zero"));
+        }
+        for w in &mut weights {
+            *w /= total;
+        }
+        Ok(Self { weights })
+    }
+
+    /// Build from row counts (the empirical distribution of a dataset).
+    pub fn from_counts(counts: &[usize]) -> Result<Self, DataError> {
+        Self::from_weights(counts.iter().map(|&c| c as f64).collect())
+    }
+
+    /// Number of universe elements.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the universe is empty (cannot happen for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Probability mass at universe index `x`.
+    pub fn mass(&self, x: usize) -> f64 {
+        self.weights[x]
+    }
+
+    /// The full weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Inner product `⟨q, D⟩` — the value of the linear query `q` on this
+    /// histogram (Section 1.2: "a linear query q can be written as ⟨q, D⟩").
+    pub fn dot(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.weights.len());
+        self.weights.iter().zip(q).map(|(w, v)| w * v).sum()
+    }
+
+    /// Total variation flavored `‖D − D'‖₁`.
+    pub fn l1_distance(&self, other: &Histogram) -> f64 {
+        self.weights
+            .iter()
+            .zip(&other.weights)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+
+    /// Euclidean distance between weight vectors.
+    pub fn l2_distance(&self, other: &Histogram) -> f64 {
+        self.weights
+            .iter()
+            .zip(&other.weights)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Relative entropy `KL(other ‖ self) = Σ_x other(x) ln(other(x)/self(x))`.
+    ///
+    /// This is the potential function in the standard multiplicative weights
+    /// analysis (Lemma 3.4): each update with `⟨u_t, D̂_t − D⟩ ≥ α/4` shrinks
+    /// `KL(D ‖ D̂_t)` by `Ω(α²/S²)`, which is what bounds the round count `T`.
+    pub fn kl_from(&self, other: &Histogram) -> f64 {
+        let mut kl = 0.0;
+        for (p, q) in other.weights.iter().zip(&self.weights) {
+            if *p > 0.0 {
+                kl += p * (p / q.max(f64::MIN_POSITIVE)).ln();
+            }
+        }
+        kl.max(0.0)
+    }
+
+    /// Shannon entropy in nats.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .weights
+            .iter()
+            .filter(|&&w| w > 0.0)
+            .map(|&w| w * w.ln())
+            .sum::<f64>()
+    }
+
+    /// The multiplicative weights update of Figure 3 (sign corrected; see
+    /// DESIGN.md §1 substitution 5):
+    ///
+    /// `D̂_{t+1}(x) ∝ exp(−η·u(x)) · D̂_t(x)`
+    ///
+    /// Points where the payoff `u(x)` is large — i.e. where the hypothesis
+    /// overweights relative to the true data (Claim 3.5 gives
+    /// `⟨u, D̂⟩ ≥ 0 ≥ ⟨u, D⟩`) — lose mass. Exponentiation is centered at
+    /// `max` for numerical stability.
+    pub fn mw_update(&mut self, u: &[f64], eta: f64) -> Result<(), DataError> {
+        if u.len() != self.weights.len() {
+            return Err(DataError::DimensionMismatch {
+                got: u.len(),
+                expected: self.weights.len(),
+            });
+        }
+        if !eta.is_finite() || eta < 0.0 {
+            return Err(DataError::InvalidParameter("eta must be finite and >= 0"));
+        }
+        if u.iter().any(|v| !v.is_finite()) {
+            return Err(DataError::InvalidWeights("non-finite payoff"));
+        }
+        // Stabilize: exp(-eta*u + c) with c = eta*min(u) keeps exponents <= 0.
+        let min_u = u.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut total = 0.0;
+        for (w, &ux) in self.weights.iter_mut().zip(u) {
+            *w *= (-eta * (ux - min_u)).exp();
+            total += *w;
+        }
+        if total <= 0.0 || !total.is_finite() {
+            return Err(DataError::InvalidWeights("update collapsed histogram"));
+        }
+        for w in &mut self.weights {
+            *w /= total;
+        }
+        Ok(())
+    }
+
+    /// Draw a universe index according to this distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let r: f64 = rng.random();
+        let mut acc = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            acc += w;
+            if r < acc {
+                return i;
+            }
+        }
+        self.weights.len() - 1
+    }
+
+    /// Draw `n` indices i.i.d. from this distribution.
+    pub fn sample_many<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<usize> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Expected value of `f(x)` over the histogram, evaluating `f` on indices.
+    pub fn expect(&self, mut f: impl FnMut(usize) -> f64) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| if w > 0.0 { w * f(i) } else { 0.0 })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn uniform_is_normalized() {
+        let h = Histogram::uniform(10).unwrap();
+        assert!(approx(h.weights().iter().sum::<f64>(), 1.0, 1e-12));
+        assert!(approx(h.mass(3), 0.1, 1e-12));
+    }
+
+    #[test]
+    fn from_weights_normalizes_and_validates() {
+        let h = Histogram::from_weights(vec![1.0, 3.0]).unwrap();
+        assert!(approx(h.mass(0), 0.25, 1e-12));
+        assert!(Histogram::from_weights(vec![]).is_err());
+        assert!(Histogram::from_weights(vec![1.0, -0.5]).is_err());
+        assert!(Histogram::from_weights(vec![0.0, 0.0]).is_err());
+        assert!(Histogram::from_weights(vec![f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn from_counts_matches_empirical_distribution() {
+        let h = Histogram::from_counts(&[2, 0, 6]).unwrap();
+        assert!(approx(h.mass(0), 0.25, 1e-12));
+        assert!(approx(h.mass(1), 0.0, 1e-12));
+        assert!(approx(h.mass(2), 0.75, 1e-12));
+    }
+
+    #[test]
+    fn dot_computes_linear_query_value() {
+        let h = Histogram::from_counts(&[1, 1, 2]).unwrap();
+        let q = vec![1.0, 0.0, 0.5];
+        assert!(approx(h.dot(&q), 0.25 + 0.25, 1e-12));
+    }
+
+    #[test]
+    fn distances_are_metrics_on_simple_cases() {
+        let a = Histogram::from_counts(&[1, 0]).unwrap();
+        let b = Histogram::from_counts(&[0, 1]).unwrap();
+        assert!(approx(a.l1_distance(&b), 2.0, 1e-12));
+        assert!(approx(a.l1_distance(&a), 0.0, 1e-12));
+        assert!(approx(a.l2_distance(&b), 2f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn adjacent_dataset_histograms_are_close() {
+        // Swapping one row of an n-row dataset moves 1/n of mass: L1 <= 2/n.
+        let n = 50usize;
+        let mut c1 = vec![0usize; 4];
+        c1[0] = n;
+        let mut c2 = c1.clone();
+        c2[0] -= 1;
+        c2[3] += 1;
+        let h1 = Histogram::from_counts(&c1).unwrap();
+        let h2 = Histogram::from_counts(&c2).unwrap();
+        assert!(approx(h1.l1_distance(&h2), 2.0 / n as f64, 1e-12));
+    }
+
+    #[test]
+    fn kl_is_zero_iff_equal_and_positive_otherwise() {
+        let a = Histogram::from_counts(&[1, 1, 1, 1]).unwrap();
+        let b = Histogram::from_counts(&[4, 1, 1, 2]).unwrap();
+        assert!(approx(a.kl_from(&a), 0.0, 1e-12));
+        assert!(a.kl_from(&b) > 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_size() {
+        let h = Histogram::uniform(16).unwrap();
+        assert!(approx(h.entropy(), (16f64).ln(), 1e-12));
+    }
+
+    #[test]
+    fn mw_update_downweights_high_payoff_points() {
+        let mut h = Histogram::uniform(4).unwrap();
+        let u = vec![1.0, 0.0, 0.0, -1.0];
+        h.mw_update(&u, 0.5).unwrap();
+        assert!(h.mass(0) < 0.25);
+        assert!(h.mass(3) > 0.25);
+        assert!(approx(h.weights().iter().sum::<f64>(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn mw_update_with_zero_eta_is_identity() {
+        let mut h = Histogram::from_counts(&[1, 2, 3]).unwrap();
+        let before = h.clone();
+        h.mw_update(&[5.0, -2.0, 0.0], 0.0).unwrap();
+        assert!(h.l1_distance(&before) < 1e-12);
+    }
+
+    #[test]
+    fn mw_update_moves_hypothesis_toward_target_in_kl() {
+        // The MW potential argument: if <u, Dhat - D> is large, the update
+        // shrinks KL(D || Dhat). Verify on a concrete instance.
+        let target = Histogram::from_counts(&[8, 1, 1, 1]).unwrap();
+        let mut hyp = Histogram::uniform(4).unwrap();
+        // u positive where hyp overweights relative to target.
+        let u: Vec<f64> = (0..4)
+            .map(|i| hyp.mass(i) - target.mass(i))
+            .collect();
+        let gap: f64 = u.iter().zip(0..4).map(|(v, i)| v * (hyp.mass(i) - target.mass(i))).sum();
+        assert!(gap > 0.0);
+        let before = hyp.kl_from(&target);
+        hyp.mw_update(&u, 1.0).unwrap();
+        let after = hyp.kl_from(&target);
+        assert!(after < before, "KL should shrink: {before} -> {after}");
+    }
+
+    #[test]
+    fn mw_update_validates_inputs() {
+        let mut h = Histogram::uniform(3).unwrap();
+        assert!(h.mw_update(&[1.0, 2.0], 0.1).is_err());
+        assert!(h.mw_update(&[1.0, 2.0, f64::NAN], 0.1).is_err());
+        assert!(h.mw_update(&[1.0, 2.0, 3.0], f64::NAN).is_err());
+        assert!(h.mw_update(&[1.0, 2.0, 3.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn mw_update_is_numerically_stable_for_large_payoffs() {
+        let mut h = Histogram::uniform(3).unwrap();
+        h.mw_update(&[1e4, -1e4, 0.0], 1.0).unwrap();
+        let s: f64 = h.weights().iter().sum();
+        assert!(approx(s, 1.0, 1e-9));
+        assert!(h.mass(1) > 0.999);
+    }
+
+    #[test]
+    fn sampling_tracks_masses() {
+        let h = Histogram::from_counts(&[9, 1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws = h.sample_many(20_000, &mut rng);
+        let ones = draws.iter().filter(|&&i| i == 1).count() as f64 / 20_000.0;
+        assert!(approx(ones, 0.1, 0.02), "empirical {ones}");
+    }
+
+    #[test]
+    fn expect_weights_function_values() {
+        let h = Histogram::from_counts(&[1, 3]).unwrap();
+        let v = h.expect(|i| i as f64);
+        assert!(approx(v, 0.75, 1e-12));
+    }
+}

@@ -1,0 +1,142 @@
+//! Synthetic population distributions.
+//!
+//! The adaptive data analysis experiments (Section 1.3) need an explicit
+//! population `P` over the universe, with the dataset sampled `D ~ P^n`.
+//! These generators produce structured populations with planted signal so the
+//! experiments can distinguish true population effects from sample noise.
+
+use crate::error::DataError;
+use crate::histogram::Histogram;
+use crate::universe::{BooleanCube, Universe};
+
+/// A product distribution over the boolean cube with per-bit marginals
+/// `Pr[bit b = 1] = biases[b]` — planted-signal population for adaptive
+/// analysis: bits with bias far from 1/2 are the "real" features.
+pub fn product_population(cube: &BooleanCube, biases: &[f64]) -> Result<Histogram, DataError> {
+    if biases.len() != cube.dim() {
+        return Err(DataError::DimensionMismatch {
+            got: biases.len(),
+            expected: cube.dim(),
+        });
+    }
+    if biases.iter().any(|&b| !(0.0..=1.0).contains(&b)) {
+        return Err(DataError::InvalidParameter("biases must lie in [0,1]"));
+    }
+    let weights = (0..cube.size())
+        .map(|x| {
+            biases
+                .iter()
+                .enumerate()
+                .map(|(b, &p)| if cube.bit(x, b) { p } else { 1.0 - p })
+                .product()
+        })
+        .collect();
+    Histogram::from_weights(weights)
+}
+
+/// A mixture of spherical Gaussian bumps over any point universe, restricted
+/// and renormalized to the universe — a discretized Gaussian mixture.
+pub fn gaussian_mixture_population<U: Universe>(
+    universe: &U,
+    centers: &[Vec<f64>],
+    sigma: f64,
+) -> Result<Histogram, DataError> {
+    if centers.is_empty() {
+        return Err(DataError::InvalidParameter("need at least one center"));
+    }
+    if sigma <= 0.0 {
+        return Err(DataError::InvalidParameter("sigma must be positive"));
+    }
+    let p = universe.point_dim();
+    for c in centers {
+        if c.len() != p {
+            return Err(DataError::DimensionMismatch {
+                got: c.len(),
+                expected: p,
+            });
+        }
+    }
+    let mut point = vec![0.0; p];
+    let weights = (0..universe.size())
+        .map(|i| {
+            universe.write_point(i, &mut point);
+            centers
+                .iter()
+                .map(|c| {
+                    let d2: f64 = point
+                        .iter()
+                        .zip(c)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    (-d2 / (2.0 * sigma * sigma)).exp()
+                })
+                .sum()
+        })
+        .collect();
+    Histogram::from_weights(weights)
+}
+
+/// A Zipf (power-law) population: `P(x_i) ∝ (i+1)^{-s}` — a skewed
+/// distribution stressing the PMW update on concentrated data.
+pub fn zipf_population(universe_size: usize, s: f64) -> Result<Histogram, DataError> {
+    if universe_size == 0 {
+        return Err(DataError::EmptyUniverse);
+    }
+    if !s.is_finite() || s < 0.0 {
+        return Err(DataError::InvalidParameter("zipf exponent must be >= 0"));
+    }
+    Histogram::from_weights(
+        (0..universe_size)
+            .map(|i| ((i + 1) as f64).powf(-s))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_population_has_correct_marginals() {
+        let cube = BooleanCube::new(3).unwrap();
+        let pop = product_population(&cube, &[0.9, 0.5, 0.1]).unwrap();
+        for (b, &target) in [0.9, 0.5, 0.1].iter().enumerate() {
+            let marginal: f64 = (0..cube.size())
+                .filter(|&x| cube.bit(x, b))
+                .map(|x| pop.mass(x))
+                .sum();
+            assert!((marginal - target).abs() < 1e-12, "bit {b}: {marginal}");
+        }
+    }
+
+    #[test]
+    fn product_population_validates() {
+        let cube = BooleanCube::new(2).unwrap();
+        assert!(product_population(&cube, &[0.5]).is_err());
+        assert!(product_population(&cube, &[0.5, 1.5]).is_err());
+    }
+
+    #[test]
+    fn gaussian_mixture_peaks_at_centers() {
+        let cube = BooleanCube::new(3).unwrap();
+        let pop = gaussian_mixture_population(&cube, &[vec![1.0, 1.0, 1.0]], 0.5).unwrap();
+        let peak = (0..8).max_by(|&a, &b| pop.mass(a).partial_cmp(&pop.mass(b)).unwrap()).unwrap();
+        assert_eq!(peak, 7);
+        assert!(gaussian_mixture_population(&cube, &[], 0.5).is_err());
+        assert!(gaussian_mixture_population(&cube, &[vec![0.0; 3]], 0.0).is_err());
+        assert!(gaussian_mixture_population(&cube, &[vec![0.0; 2]], 1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_is_decreasing() {
+        let pop = zipf_population(10, 1.2).unwrap();
+        for i in 1..10 {
+            assert!(pop.mass(i) < pop.mass(i - 1));
+        }
+        assert!(zipf_population(0, 1.0).is_err());
+        assert!(zipf_population(5, -1.0).is_err());
+        // s = 0 is uniform.
+        let flat = zipf_population(4, 0.0).unwrap();
+        assert!((flat.mass(0) - 0.25).abs() < 1e-12);
+    }
+}

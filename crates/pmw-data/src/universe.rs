@@ -1,0 +1,466 @@
+//! Finite data universes.
+//!
+//! The paper requires a finite universe `X` so the histogram `D ∈ R^X` can be
+//! materialized (the mechanism's running time is `poly(|X|)`, Section 4.3).
+//! A [`Universe`] enumerates its elements as points in `R^p`; universe
+//! elements are addressed by dense indices `0..size()`, which lets every
+//! downstream structure use flat `Vec` storage instead of hash maps.
+//!
+//! Three concrete universes cover the paper's settings:
+//!
+//! * [`BooleanCube`]: `X = {0,1}^d` (Section 4.3's "natural choice"), with an
+//!   optional `{±1/√d}^d` scaling so every point has unit norm.
+//! * [`GridUniverse`]: a uniform grid over a box in `R^p`, the discretized
+//!   stand-in for continuous universes such as the unit ball (Section 1.1).
+//! * [`LabeledGridUniverse`]: feature grid × label set, for supervised losses
+//!   `ℓ(θ; (x, y))` such as regression and classification.
+//! * [`EnumeratedUniverse`]: an explicit list of points, for tests and custom
+//!   workloads.
+
+use crate::error::DataError;
+
+/// Hard ceiling on materializable universe sizes; the algorithm is
+/// `poly(|X|)` so anything past this is a configuration mistake.
+pub const MAX_UNIVERSE_SIZE: u128 = 1 << 24;
+
+/// A finite, enumerable data universe whose elements are points in `R^p`.
+pub trait Universe {
+    /// Number of elements `|X|`.
+    fn size(&self) -> usize;
+
+    /// Dimensionality `p` of the points (for labeled universes this includes
+    /// the label coordinate as the final entry).
+    fn point_dim(&self) -> usize;
+
+    /// Write element `index` into `out` (must have length [`Self::point_dim`]).
+    fn write_point(&self, index: usize, out: &mut [f64]);
+
+    /// Element `index` as a freshly allocated vector.
+    fn point(&self, index: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.point_dim()];
+        self.write_point(index, &mut out);
+        out
+    }
+
+    /// `log |X|`, the quantity driving the PMW round bound
+    /// `T = 64 S² log|X| / α²` (Figure 3).
+    fn log_size(&self) -> f64 {
+        (self.size() as f64).ln()
+    }
+
+    /// Materialize all points as a row-major matrix (`size × point_dim`).
+    ///
+    /// Convenience for the inner loops that sweep the whole universe; callers
+    /// that only need a few points should use [`Universe::write_point`].
+    fn materialize(&self) -> Vec<Vec<f64>> {
+        (0..self.size()).map(|i| self.point(i)).collect()
+    }
+}
+
+/// `X = {0,1}^d`, optionally scaled to `{±1/√d}^d` so `‖x‖₂ = 1`.
+#[derive(Debug, Clone)]
+pub struct BooleanCube {
+    dim: usize,
+    scaled: bool,
+}
+
+impl BooleanCube {
+    /// Unscaled cube `{0,1}^d`.
+    pub fn new(dim: usize) -> Result<Self, DataError> {
+        Self::build(dim, false)
+    }
+
+    /// Scaled cube `{±1/√d}^d` (bit `1 ↦ +1/√d`, bit `0 ↦ −1/√d`), the
+    /// normalization Section 4.3 uses so every point lies on the unit sphere.
+    pub fn scaled(dim: usize) -> Result<Self, DataError> {
+        Self::build(dim, true)
+    }
+
+    fn build(dim: usize, scaled: bool) -> Result<Self, DataError> {
+        if dim == 0 {
+            return Err(DataError::EmptyUniverse);
+        }
+        let requested = 1u128 << dim.min(127);
+        if dim >= 127 || requested > MAX_UNIVERSE_SIZE {
+            return Err(DataError::UniverseTooLarge {
+                requested,
+                limit: MAX_UNIVERSE_SIZE,
+            });
+        }
+        Ok(Self { dim, scaled })
+    }
+
+    /// Number of bits `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bit `b` of element `index`.
+    pub fn bit(&self, index: usize, b: usize) -> bool {
+        (index >> b) & 1 == 1
+    }
+}
+
+impl Universe for BooleanCube {
+    fn size(&self) -> usize {
+        1 << self.dim
+    }
+
+    fn point_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn write_point(&self, index: usize, out: &mut [f64]) {
+        let (hi, lo) = if self.scaled {
+            let s = 1.0 / (self.dim as f64).sqrt();
+            (s, -s)
+        } else {
+            (1.0, 0.0)
+        };
+        for (b, slot) in out.iter_mut().enumerate() {
+            *slot = if (index >> b) & 1 == 1 { hi } else { lo };
+        }
+    }
+}
+
+/// A uniform grid over the box `[lo, hi]^p` with `cells` points per axis.
+///
+/// This is the finite stand-in for continuous universes: Section 1.1 notes
+/// that rounding `d`-dimensional data to such a grid changes every loss value
+/// by at most the Lipschitz constant times the grid resolution.
+#[derive(Debug, Clone)]
+pub struct GridUniverse {
+    dim: usize,
+    cells: usize,
+    lo: f64,
+    hi: f64,
+}
+
+impl GridUniverse {
+    /// Grid over `[lo, hi]^dim` with `cells ≥ 2` points per axis.
+    pub fn new(dim: usize, cells: usize, lo: f64, hi: f64) -> Result<Self, DataError> {
+        if dim == 0 || cells == 0 {
+            return Err(DataError::EmptyUniverse);
+        }
+        if cells < 2 {
+            return Err(DataError::InvalidParameter("grid needs at least 2 cells per axis"));
+        }
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(DataError::InvalidParameter("grid bounds must be finite with lo < hi"));
+        }
+        let requested = (cells as u128)
+            .checked_pow(dim as u32)
+            .ok_or(DataError::UniverseTooLarge {
+                requested: u128::MAX,
+                limit: MAX_UNIVERSE_SIZE,
+            })?;
+        if requested > MAX_UNIVERSE_SIZE {
+            return Err(DataError::UniverseTooLarge {
+                requested,
+                limit: MAX_UNIVERSE_SIZE,
+            });
+        }
+        Ok(Self { dim, cells, lo, hi })
+    }
+
+    /// Grid over `[-1, 1]^dim`, the normalization used by the paper's
+    /// `d`-bounded losses (`Θ` and `X` inside the unit ball).
+    pub fn symmetric_unit(dim: usize, cells: usize) -> Result<Self, DataError> {
+        Self::new(dim, cells, -1.0, 1.0)
+    }
+
+    /// Coordinate value of grid cell `c ∈ 0..cells`.
+    pub fn axis_value(&self, c: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * (c as f64) / ((self.cells - 1) as f64)
+    }
+
+    /// Grid resolution (spacing between adjacent cells on one axis).
+    pub fn resolution(&self) -> f64 {
+        (self.hi - self.lo) / ((self.cells - 1) as f64)
+    }
+
+    /// Cells per axis.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Nearest grid cell for coordinate `v` (clamped into the box).
+    pub fn nearest_cell(&self, v: f64) -> usize {
+        let clamped = v.clamp(self.lo, self.hi);
+        let t = (clamped - self.lo) / (self.hi - self.lo) * ((self.cells - 1) as f64);
+        (t.round() as usize).min(self.cells - 1)
+    }
+
+    /// Index of the grid point nearest to `point`.
+    pub fn nearest_index(&self, point: &[f64]) -> Result<usize, DataError> {
+        if point.len() != self.dim {
+            return Err(DataError::DimensionMismatch {
+                got: point.len(),
+                expected: self.dim,
+            });
+        }
+        let mut index = 0usize;
+        for &v in point.iter().rev() {
+            index = index * self.cells + self.nearest_cell(v);
+        }
+        Ok(index)
+    }
+}
+
+impl Universe for GridUniverse {
+    fn size(&self) -> usize {
+        self.cells.pow(self.dim as u32)
+    }
+
+    fn point_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn write_point(&self, index: usize, out: &mut [f64]) {
+        let mut rem = index;
+        for slot in out.iter_mut() {
+            *slot = self.axis_value(rem % self.cells);
+            rem /= self.cells;
+        }
+    }
+}
+
+/// Feature grid × finite label set: elements are `(x, y)` pairs laid out as
+/// `[x_1, …, x_p, y]`, for supervised CM losses such as regression
+/// (`ℓ(θ; (x,y)) = (⟨θ,x⟩ − y)²`, Section 1) and classification.
+#[derive(Debug, Clone)]
+pub struct LabeledGridUniverse {
+    features: GridUniverse,
+    labels: Vec<f64>,
+}
+
+impl LabeledGridUniverse {
+    /// Combine a feature grid with an explicit label set.
+    pub fn new(features: GridUniverse, labels: Vec<f64>) -> Result<Self, DataError> {
+        if labels.is_empty() {
+            return Err(DataError::EmptyUniverse);
+        }
+        if labels.iter().any(|l| !l.is_finite()) {
+            return Err(DataError::InvalidParameter("labels must be finite"));
+        }
+        let requested = (features.size() as u128) * (labels.len() as u128);
+        if requested > MAX_UNIVERSE_SIZE {
+            return Err(DataError::UniverseTooLarge {
+                requested,
+                limit: MAX_UNIVERSE_SIZE,
+            });
+        }
+        Ok(Self { features, labels })
+    }
+
+    /// Binary classification labels `{−1, +1}` over the given feature grid.
+    pub fn binary(features: GridUniverse) -> Result<Self, DataError> {
+        Self::new(features, vec![-1.0, 1.0])
+    }
+
+    /// The underlying feature grid.
+    pub fn features(&self) -> &GridUniverse {
+        &self.features
+    }
+
+    /// The label set.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Index of the universe element nearest to `(point, label)`; the label
+    /// snaps to the closest member of the label set.
+    pub fn nearest_index(&self, point: &[f64], label: f64) -> Result<usize, DataError> {
+        let fi = self.features.nearest_index(point)?;
+        let li = self
+            .labels
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - label)
+                    .abs()
+                    .partial_cmp(&(*b - label).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Ok(li * self.features.size() + fi)
+    }
+}
+
+impl Universe for LabeledGridUniverse {
+    fn size(&self) -> usize {
+        self.features.size() * self.labels.len()
+    }
+
+    fn point_dim(&self) -> usize {
+        self.features.point_dim() + 1
+    }
+
+    fn write_point(&self, index: usize, out: &mut [f64]) {
+        let fsize = self.features.size();
+        let (li, fi) = (index / fsize, index % fsize);
+        let p = self.features.point_dim();
+        self.features.write_point(fi, &mut out[..p]);
+        out[p] = self.labels[li];
+    }
+}
+
+/// An explicit, caller-supplied list of points.
+#[derive(Debug, Clone)]
+pub struct EnumeratedUniverse {
+    dim: usize,
+    points: Vec<Vec<f64>>,
+}
+
+impl EnumeratedUniverse {
+    /// Build from an explicit point list; all points must share a dimension.
+    pub fn new(points: Vec<Vec<f64>>) -> Result<Self, DataError> {
+        let first = points.first().ok_or(DataError::EmptyUniverse)?;
+        let dim = first.len();
+        if dim == 0 {
+            return Err(DataError::InvalidParameter("points must have dimension >= 1"));
+        }
+        for p in &points {
+            if p.len() != dim {
+                return Err(DataError::DimensionMismatch {
+                    got: p.len(),
+                    expected: dim,
+                });
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                return Err(DataError::InvalidParameter("points must be finite"));
+            }
+        }
+        Ok(Self { dim, points })
+    }
+}
+
+impl Universe for EnumeratedUniverse {
+    fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    fn point_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn write_point(&self, index: usize, out: &mut [f64]) {
+        out.copy_from_slice(&self.points[index]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_cube_enumerates_all_bit_patterns() {
+        let cube = BooleanCube::new(3).unwrap();
+        assert_eq!(cube.size(), 8);
+        assert_eq!(cube.point(0), vec![0.0, 0.0, 0.0]);
+        assert_eq!(cube.point(5), vec![1.0, 0.0, 1.0]);
+        assert_eq!(cube.point(7), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn scaled_cube_points_have_unit_norm() {
+        let cube = BooleanCube::scaled(4).unwrap();
+        for i in 0..cube.size() {
+            let p = cube.point(i);
+            let norm: f64 = p.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-12, "norm {norm} at index {i}");
+        }
+    }
+
+    #[test]
+    fn boolean_cube_rejects_zero_and_huge_dims() {
+        assert!(matches!(BooleanCube::new(0), Err(DataError::EmptyUniverse)));
+        assert!(matches!(
+            BooleanCube::new(40),
+            Err(DataError::UniverseTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_round_trips_indices() {
+        let g = GridUniverse::symmetric_unit(3, 5).unwrap();
+        assert_eq!(g.size(), 125);
+        for i in [0, 1, 62, 124] {
+            let p = g.point(i);
+            assert_eq!(g.nearest_index(&p).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn grid_nearest_clamps_out_of_box_points() {
+        let g = GridUniverse::symmetric_unit(2, 3).unwrap();
+        let idx = g.nearest_index(&[10.0, -10.0]).unwrap();
+        let p = g.point(idx);
+        assert_eq!(p, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn grid_resolution_matches_spacing() {
+        let g = GridUniverse::new(1, 5, 0.0, 1.0).unwrap();
+        assert!((g.resolution() - 0.25).abs() < 1e-12);
+        assert!((g.axis_value(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_rejects_bad_parameters() {
+        assert!(GridUniverse::new(0, 4, 0.0, 1.0).is_err());
+        assert!(GridUniverse::new(2, 1, 0.0, 1.0).is_err());
+        assert!(GridUniverse::new(2, 4, 1.0, 0.0).is_err());
+        assert!(matches!(
+            GridUniverse::new(8, 1000, 0.0, 1.0),
+            Err(DataError::UniverseTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn labeled_grid_appends_label_coordinate() {
+        let g = GridUniverse::symmetric_unit(2, 3).unwrap();
+        let u = LabeledGridUniverse::binary(g).unwrap();
+        assert_eq!(u.size(), 18);
+        assert_eq!(u.point_dim(), 3);
+        let p = u.point(0);
+        assert_eq!(p[2], -1.0);
+        let p = u.point(9);
+        assert_eq!(p[2], 1.0);
+    }
+
+    #[test]
+    fn labeled_grid_nearest_snaps_label() {
+        let g = GridUniverse::symmetric_unit(1, 3).unwrap();
+        let u = LabeledGridUniverse::binary(g).unwrap();
+        let idx = u.nearest_index(&[0.9], 0.2).unwrap();
+        let p = u.point(idx);
+        assert_eq!(p, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn enumerated_universe_checks_dimensions() {
+        assert!(EnumeratedUniverse::new(vec![]).is_err());
+        assert!(EnumeratedUniverse::new(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        let u = EnumeratedUniverse::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert_eq!(u.size(), 2);
+        assert_eq!(u.point(1), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn log_size_is_natural_log() {
+        let cube = BooleanCube::new(8).unwrap();
+        assert!((cube.log_size() - (256f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn materialize_matches_write_point() {
+        let g = GridUniverse::symmetric_unit(2, 4).unwrap();
+        let m = g.materialize();
+        assert_eq!(m.len(), 16);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row, &g.point(i));
+        }
+    }
+}

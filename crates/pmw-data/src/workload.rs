@@ -1,0 +1,259 @@
+//! Linear-query workload generators.
+//!
+//! Linear queries are both (a) the special case PMW was originally designed
+//! for (Table 1 row 1, \[HR10\]) and (b) the raw material of the reconstruction
+//! attacks of \[KRS13\] that motivate the paper's dual-certificate technique.
+//! A linear query is represented densely as a vector `q ∈ R^{|X|}` with
+//! `q(D) = ⟨q, D⟩` on histograms (Section 1.2).
+
+use crate::error::DataError;
+use crate::histogram::Histogram;
+use crate::universe::{BooleanCube, GridUniverse, Universe};
+use rand::{Rng, RngExt};
+
+/// A linear (statistical) query over a finite universe, `q: X → [lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearQuery {
+    values: Vec<f64>,
+}
+
+impl LinearQuery {
+    /// Build from per-element values.
+    pub fn new(values: Vec<f64>) -> Result<Self, DataError> {
+        if values.is_empty() {
+            return Err(DataError::EmptyUniverse);
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(DataError::InvalidWeights("query values must be finite"));
+        }
+        Ok(Self { values })
+    }
+
+    /// Per-element values `q(x)`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Universe size this query is defined over.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when defined over an empty universe (cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// `q(D) = ⟨q, D⟩` on a histogram.
+    pub fn evaluate(&self, h: &Histogram) -> f64 {
+        h.dot(&self.values)
+    }
+
+    /// Query range `(min, max)` over universe elements; the sensitivity of
+    /// `q(D)` on `n`-row datasets is `(max − min)/n`.
+    pub fn range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+}
+
+/// `k` random counting queries: each element included with probability 1/2,
+/// i.e. `q(x) ∈ {0, 1}` uniformly. The canonical "hard" workload for private
+/// query release.
+pub fn random_counting_queries<R: Rng + ?Sized>(
+    universe_size: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<LinearQuery>, DataError> {
+    if universe_size == 0 {
+        return Err(DataError::EmptyUniverse);
+    }
+    (0..k)
+        .map(|_| {
+            LinearQuery::new(
+                (0..universe_size)
+                    .map(|_| if rng.random::<bool>() { 1.0 } else { 0.0 })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// `k` random signed queries `q(x) ∈ {−1, +1}` — the query family used by
+/// linear reconstruction attacks \[KRS13\].
+pub fn random_signed_queries<R: Rng + ?Sized>(
+    universe_size: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<LinearQuery>, DataError> {
+    if universe_size == 0 {
+        return Err(DataError::EmptyUniverse);
+    }
+    (0..k)
+        .map(|_| {
+            LinearQuery::new(
+                (0..universe_size)
+                    .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// All width-`w` monotone conjunction (marginal) queries over a boolean cube:
+/// "what fraction of rows have bits `b_1,…,b_w` all set?"
+///
+/// These are the `marginal queries` of the paper's Section 4.3 discussion of
+/// families that admit faster algorithms.
+pub fn marginal_queries(cube: &BooleanCube, width: usize) -> Result<Vec<LinearQuery>, DataError> {
+    let d = cube.dim();
+    if width == 0 || width > d {
+        return Err(DataError::InvalidParameter(
+            "marginal width must satisfy 1 <= width <= dim",
+        ));
+    }
+    let mut queries = Vec::new();
+    let mut subset = Vec::with_capacity(width);
+    build_subsets(d, width, 0, &mut subset, &mut |bits: &[usize]| {
+        let values = (0..cube.size())
+            .map(|x| {
+                if bits.iter().all(|&b| cube.bit(x, b)) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        queries.push(LinearQuery::new(values).expect("nonempty universe"));
+    });
+    Ok(queries)
+}
+
+fn build_subsets(
+    d: usize,
+    width: usize,
+    start: usize,
+    current: &mut Vec<usize>,
+    emit: &mut impl FnMut(&[usize]),
+) {
+    if current.len() == width {
+        emit(current);
+        return;
+    }
+    for b in start..d {
+        current.push(b);
+        build_subsets(d, width, b + 1, current, emit);
+        current.pop();
+    }
+}
+
+/// All prefix (threshold) queries over a 1-dimensional grid:
+/// `q_c(x) = 1[x ≤ axis_value(c)]` — the `interval queries` family of
+/// \[BNS13\] referenced in Section 4.3.
+pub fn threshold_queries(grid: &GridUniverse) -> Result<Vec<LinearQuery>, DataError> {
+    if grid.point_dim() != 1 {
+        return Err(DataError::InvalidParameter(
+            "threshold queries require a 1-dimensional grid",
+        ));
+    }
+    let m = grid.size();
+    Ok((0..m)
+        .map(|c| {
+            let thr = grid.axis_value(c);
+            LinearQuery::new(
+                (0..m)
+                    .map(|x| if grid.axis_value(x) <= thr + 1e-12 { 1.0 } else { 0.0 })
+                    .collect(),
+            )
+            .expect("nonempty universe")
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_query_evaluates_as_inner_product() {
+        let q = LinearQuery::new(vec![1.0, 0.0, 1.0]).unwrap();
+        let h = Histogram::from_counts(&[1, 1, 2]).unwrap();
+        assert!((q.evaluate(&h) - 0.75).abs() < 1e-12);
+        assert_eq!(q.range(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn query_constructor_validates() {
+        assert!(LinearQuery::new(vec![]).is_err());
+        assert!(LinearQuery::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn random_counting_queries_are_boolean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let qs = random_counting_queries(32, 10, &mut rng).unwrap();
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            assert!(q.values().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+        // Not all identical (astronomically unlikely).
+        assert!(qs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn random_signed_queries_are_pm_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let qs = random_signed_queries(16, 5, &mut rng).unwrap();
+        for q in &qs {
+            assert!(q.values().iter().all(|&v| v == 1.0 || v == -1.0));
+        }
+    }
+
+    #[test]
+    fn marginals_count_matches_binomial() {
+        let cube = BooleanCube::new(4).unwrap();
+        let qs = marginal_queries(&cube, 2).unwrap();
+        assert_eq!(qs.len(), 6); // C(4,2)
+        // The all-ones row satisfies every marginal.
+        for q in &qs {
+            assert_eq!(q.values()[15], 1.0);
+            assert_eq!(q.values()[0], 0.0);
+        }
+        assert!(marginal_queries(&cube, 0).is_err());
+        assert!(marginal_queries(&cube, 5).is_err());
+    }
+
+    #[test]
+    fn marginal_value_is_fraction_satisfying() {
+        let cube = BooleanCube::new(2).unwrap();
+        let qs = marginal_queries(&cube, 1).unwrap();
+        // Dataset: rows 0b01, 0b01, 0b10, 0b11.
+        let d = crate::dataset::Dataset::from_indices(4, vec![1, 1, 2, 3]).unwrap();
+        let h = d.histogram();
+        // Bit 0 set in rows 1,1,3 -> 3/4. Bit 1 set in rows 2,3 -> 2/4.
+        assert!((qs[0].evaluate(&h) - 0.75).abs() < 1e-12);
+        assert!((qs[1].evaluate(&h) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thresholds_are_monotone() {
+        let grid = GridUniverse::new(1, 6, 0.0, 1.0).unwrap();
+        let qs = threshold_queries(&grid).unwrap();
+        assert_eq!(qs.len(), 6);
+        let h = Histogram::uniform(6).unwrap();
+        let vals: Vec<f64> = qs.iter().map(|q| q.evaluate(&h)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        assert!((vals[5] - 1.0).abs() < 1e-12);
+        let grid2 = GridUniverse::symmetric_unit(2, 3).unwrap();
+        assert!(threshold_queries(&grid2).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! A ledger-style privacy accountant.
+//!
+//! The Figure-3 mechanism spends privacy in two streams — the sparse vector
+//! run and up to `T` oracle calls — and its privacy proof (Theorem 3.9) is a
+//! bookkeeping argument over those events. [`Accountant`] records every
+//! `(ε₀, δ₀)` event and reports the total under basic or strong composition,
+//! letting tests assert that a mechanism's *actual* spend stays within its
+//! declared budget.
+
+use crate::composition::{strong_composition, PrivacyBudget};
+use crate::error::DpError;
+
+/// One recorded privacy expenditure.
+#[derive(Debug, Clone)]
+pub struct LedgerEntry {
+    /// Human-readable label ("sparse-vector", "erm-oracle", ...).
+    pub label: String,
+    /// The budget this event consumed.
+    pub budget: PrivacyBudget,
+}
+
+/// Records `(ε, δ)` events and reports composed totals.
+#[derive(Debug, Default)]
+pub struct Accountant {
+    entries: Vec<LedgerEntry>,
+}
+
+impl Accountant {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event.
+    pub fn spend(&mut self, label: impl Into<String>, budget: PrivacyBudget) {
+        self.entries.push(LedgerEntry {
+            label: label.into(),
+            budget,
+        });
+    }
+
+    /// All recorded events.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been spent.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total under **basic composition**: `(Σεᵢ, Σδᵢ)`.
+    pub fn basic_total(&self) -> Result<PrivacyBudget, DpError> {
+        if self.entries.is_empty() {
+            return Err(DpError::InvalidParameter("empty ledger"));
+        }
+        let eps: f64 = self.entries.iter().map(|e| e.budget.epsilon()).sum();
+        let delta: f64 = self.entries.iter().map(|e| e.budget.delta()).sum();
+        PrivacyBudget::new(eps, delta.min(1.0 - f64::EPSILON))
+    }
+
+    /// Total under **strong composition** at slack `δ'`, treating the ledger
+    /// as a homogeneous composition at the *largest* recorded per-event ε
+    /// (a sound upper bound for heterogeneous ledgers).
+    pub fn strong_total(&self, delta_slack: f64) -> Result<PrivacyBudget, DpError> {
+        if self.entries.is_empty() {
+            return Err(DpError::InvalidParameter("empty ledger"));
+        }
+        let worst_eps = self
+            .entries
+            .iter()
+            .map(|e| e.budget.epsilon())
+            .fold(0.0f64, f64::max);
+        let sum_delta: f64 = self.entries.iter().map(|e| e.budget.delta()).sum();
+        let per_step = PrivacyBudget::new(worst_eps, 0.0)?;
+        let composed = strong_composition(per_step, self.entries.len(), delta_slack)?;
+        PrivacyBudget::new(
+            composed.epsilon(),
+            (composed.delta() + sum_delta).min(1.0 - f64::EPSILON),
+        )
+    }
+
+    /// The tighter of basic and strong totals (strong evaluated at the given
+    /// slack) — what a mechanism should compare against its declared budget.
+    pub fn best_total(&self, delta_slack: f64) -> Result<PrivacyBudget, DpError> {
+        let basic = self.basic_total()?;
+        let strong = self.strong_total(delta_slack)?;
+        Ok(if strong.epsilon() < basic.epsilon() {
+            strong
+        } else {
+            basic
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_errors() {
+        let a = Accountant::new();
+        assert!(a.is_empty());
+        assert!(a.basic_total().is_err());
+        assert!(a.strong_total(1e-6).is_err());
+    }
+
+    #[test]
+    fn basic_total_sums() {
+        let mut a = Accountant::new();
+        a.spend("sv", PrivacyBudget::new(0.5, 1e-7).unwrap());
+        a.spend("oracle", PrivacyBudget::new(0.25, 2e-7).unwrap());
+        let t = a.basic_total().unwrap();
+        assert!((t.epsilon() - 0.75).abs() < 1e-12);
+        assert!((t.delta() - 3e-7).abs() < 1e-18);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.entries()[0].label, "sv");
+    }
+
+    #[test]
+    fn strong_total_beats_basic_for_many_small_events() {
+        let mut a = Accountant::new();
+        for _ in 0..1000 {
+            a.spend("step", PrivacyBudget::new(0.01, 0.0).unwrap());
+        }
+        let basic = a.basic_total().unwrap();
+        let strong = a.strong_total(1e-6).unwrap();
+        assert!(strong.epsilon() < basic.epsilon());
+        let best = a.best_total(1e-6).unwrap();
+        assert!((best.epsilon() - strong.epsilon()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basic_beats_strong_for_few_events() {
+        let mut a = Accountant::new();
+        a.spend("one", PrivacyBudget::new(0.1, 0.0).unwrap());
+        let best = a.best_total(1e-6).unwrap();
+        assert!((best.epsilon() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Privacy budgets and composition theorems (Section 3.4.1).
+//!
+//! [`PrivacyBudget`] is an `(ε, δ)` pair with validation. The free functions
+//! implement:
+//!
+//! * **basic composition**: `T`-fold composition of `(ε₀, δ₀)`-DP algorithms
+//!   is `(T·ε₀, T·δ₀)`-DP;
+//! * **strong composition** (\[DRV10\], Theorem 3.10 of the paper):
+//!   `ε = √(2T·ln(1/δ'))·ε₀ + 2T·ε₀²`, total `δ = δ' + T·δ₀`;
+//! * the paper's **budget split** for Figure 3:
+//!   `ε₀ = ε/√(8T·ln(2/δ))`, `δ₀ = δ/2T`, which Theorem 3.10 certifies as
+//!   summing to `(ε, δ)`.
+
+use crate::error::DpError;
+
+/// An `(ε, δ)` differential privacy budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyBudget {
+    epsilon: f64,
+    delta: f64,
+}
+
+impl PrivacyBudget {
+    /// Approximate DP budget; requires `ε > 0` and `δ ∈ [0, 1)`.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, DpError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(DpError::InvalidBudget("epsilon must be finite and positive"));
+        }
+        if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
+            return Err(DpError::InvalidBudget("delta must lie in [0, 1)"));
+        }
+        Ok(Self { epsilon, delta })
+    }
+
+    /// Pure DP budget (`δ = 0`).
+    pub fn pure(epsilon: f64) -> Result<Self, DpError> {
+        Self::new(epsilon, 0.0)
+    }
+
+    /// The ε parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The δ parameter.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Split this budget evenly into two halves (each `(ε/2, δ/2)`) — the
+    /// split Figure 3 applies between the sparse vector algorithm and the
+    /// ERM oracle calls.
+    pub fn halves(&self) -> (PrivacyBudget, PrivacyBudget) {
+        let half = PrivacyBudget {
+            epsilon: self.epsilon / 2.0,
+            delta: self.delta / 2.0,
+        };
+        (half, half)
+    }
+
+    /// Scale both parameters by `f ∈ (0, 1]`.
+    pub fn fraction(&self, f: f64) -> Result<PrivacyBudget, DpError> {
+        if !(f > 0.0 && f <= 1.0) {
+            return Err(DpError::InvalidBudget("fraction must lie in (0, 1]"));
+        }
+        PrivacyBudget::new(self.epsilon * f, self.delta * f)
+    }
+}
+
+/// Basic composition: `T` adaptive `(ε₀, δ₀)`-DP computations compose to
+/// `(T·ε₀, T·δ₀)`-DP.
+pub fn basic_composition(per_step: PrivacyBudget, t: usize) -> Result<PrivacyBudget, DpError> {
+    if t == 0 {
+        return Err(DpError::InvalidParameter("composition over zero steps"));
+    }
+    PrivacyBudget::new(
+        per_step.epsilon * t as f64,
+        (per_step.delta * t as f64).min(1.0 - f64::EPSILON),
+    )
+}
+
+/// Strong composition (\[DRV10\]; Theorem 3.10 in the paper): the total ε of a
+/// `T`-fold adaptive composition of `(ε₀, δ₀)`-DP algorithms, at slack `δ'`:
+///
+/// `ε = √(2T·ln(1/δ'))·ε₀ + 2T·ε₀²`, with total `δ = δ' + T·δ₀`.
+pub fn strong_composition(
+    per_step: PrivacyBudget,
+    t: usize,
+    delta_slack: f64,
+) -> Result<PrivacyBudget, DpError> {
+    if t == 0 {
+        return Err(DpError::InvalidParameter("composition over zero steps"));
+    }
+    if !(delta_slack > 0.0 && delta_slack < 1.0) {
+        return Err(DpError::InvalidBudget("delta slack must lie in (0, 1)"));
+    }
+    let e0 = per_step.epsilon;
+    let tf = t as f64;
+    let eps = (2.0 * tf * (1.0 / delta_slack).ln()).sqrt() * e0 + 2.0 * tf * e0 * e0;
+    let delta = (delta_slack + tf * per_step.delta).min(1.0 - f64::EPSILON);
+    PrivacyBudget::new(eps, delta)
+}
+
+/// The paper's inverse of strong composition (the boxed corollary after
+/// Theorem 3.10): to make a `T`-fold composition `(ε, δ)`-DP, give each step
+///
+/// `ε₀ = ε / √(8T·ln(2/δ))` and `δ₀ = δ / 2T`.
+pub fn per_step_budget_for(
+    total: PrivacyBudget,
+    t: usize,
+) -> Result<PrivacyBudget, DpError> {
+    if t == 0 {
+        return Err(DpError::InvalidParameter("composition over zero steps"));
+    }
+    if total.delta <= 0.0 {
+        return Err(DpError::InvalidBudget(
+            "strong composition requires delta > 0",
+        ));
+    }
+    let tf = t as f64;
+    PrivacyBudget::new(
+        total.epsilon / (8.0 * tf * (2.0 / total.delta).ln()).sqrt(),
+        total.delta / (2.0 * tf),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_validation() {
+        assert!(PrivacyBudget::new(1.0, 1e-6).is_ok());
+        assert!(PrivacyBudget::new(0.0, 0.0).is_err());
+        assert!(PrivacyBudget::new(-1.0, 0.0).is_err());
+        assert!(PrivacyBudget::new(1.0, 1.0).is_err());
+        assert!(PrivacyBudget::new(1.0, -0.1).is_err());
+        assert!(PrivacyBudget::new(f64::NAN, 0.0).is_err());
+        assert!(PrivacyBudget::pure(0.5).unwrap().delta() == 0.0);
+    }
+
+    #[test]
+    fn halves_split_evenly() {
+        let b = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let (a, c) = b.halves();
+        assert_eq!(a.epsilon(), 0.5);
+        assert_eq!(c.delta(), 5e-7);
+    }
+
+    #[test]
+    fn fraction_validates_and_scales() {
+        let b = PrivacyBudget::new(2.0, 1e-4).unwrap();
+        let f = b.fraction(0.25).unwrap();
+        assert!((f.epsilon() - 0.5).abs() < 1e-12);
+        assert!(b.fraction(0.0).is_err());
+        assert!(b.fraction(1.5).is_err());
+    }
+
+    #[test]
+    fn basic_composition_is_linear() {
+        let b = PrivacyBudget::new(0.1, 1e-8).unwrap();
+        let total = basic_composition(b, 10).unwrap();
+        assert!((total.epsilon() - 1.0).abs() < 1e-12);
+        assert!((total.delta() - 1e-7).abs() < 1e-18);
+        assert!(basic_composition(b, 0).is_err());
+    }
+
+    #[test]
+    fn strong_composition_beats_basic_for_many_steps() {
+        let b = PrivacyBudget::new(0.01, 0.0).unwrap();
+        let t = 10_000;
+        let basic = basic_composition(b, t).unwrap();
+        let strong = strong_composition(b, t, 1e-6).unwrap();
+        assert!(
+            strong.epsilon() < basic.epsilon(),
+            "strong {} basic {}",
+            strong.epsilon(),
+            basic.epsilon()
+        );
+    }
+
+    #[test]
+    fn strong_composition_formula_matches_hand_computation() {
+        let b = PrivacyBudget::new(0.1, 1e-9).unwrap();
+        let t = 100usize;
+        let slack = 1e-6;
+        let got = strong_composition(b, t, slack).unwrap();
+        let expect_eps =
+            (2.0 * 100.0 * (1e6f64).ln()).sqrt() * 0.1 + 2.0 * 100.0 * 0.01;
+        assert!((got.epsilon() - expect_eps).abs() < 1e-9);
+        assert!((got.delta() - (slack + 100.0 * 1e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn per_step_budget_recomposes_within_target() {
+        // The paper's claim: with eps0 = eps/sqrt(8T ln(2/delta)) and
+        // delta0 = delta/2T, the T-fold strong composition at slack delta/2
+        // stays within (eps, delta).
+        let total = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        for t in [1usize, 10, 100, 1000] {
+            let step = per_step_budget_for(total, t).unwrap();
+            let recomposed =
+                strong_composition(step, t, total.delta() / 2.0).unwrap();
+            assert!(
+                recomposed.epsilon() <= total.epsilon() + 1e-9,
+                "t={t}: {} > {}",
+                recomposed.epsilon(),
+                total.epsilon()
+            );
+            assert!(recomposed.delta() <= total.delta() + 1e-15);
+        }
+    }
+
+    #[test]
+    fn per_step_budget_requires_positive_delta() {
+        let total = PrivacyBudget::pure(1.0).unwrap();
+        assert!(per_step_budget_for(total, 5).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Error type for the DP substrate.
+
+use std::fmt;
+
+/// Errors produced by mechanisms, budgets and the sparse vector algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// A privacy parameter was outside its legal range.
+    InvalidBudget(&'static str),
+    /// A mechanism parameter (sensitivity, scale, threshold...) was invalid.
+    InvalidParameter(&'static str),
+    /// The sparse vector algorithm has halted (T above-threshold answers).
+    SparseVectorHalted,
+    /// A score/candidate list was empty where nonempty is required.
+    EmptyCandidates,
+    /// A value was non-finite where finite is required.
+    NonFinite(&'static str),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidBudget(msg) => write!(f, "invalid privacy budget: {msg}"),
+            DpError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DpError::SparseVectorHalted => {
+                write!(f, "sparse vector algorithm halted after T above-threshold answers")
+            }
+            DpError::EmptyCandidates => write!(f, "candidate list must be nonempty"),
+            DpError::NonFinite(msg) => write!(f, "non-finite value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}

@@ -1,0 +1,39 @@
+//! Differential privacy substrate for the PMW reproduction.
+//!
+//! Everything in Sections 3.1 and 3.4 of Ullman (PODS 2015) that the main
+//! mechanism treats as a black box lives here, implemented from scratch:
+//!
+//! * noise **samplers** (Laplace, Gaussian, exponential, Gumbel) built on
+//!   `rand`'s uniform source ([`sampler`]),
+//! * the classic **mechanisms**: Laplace \[DMNS06\], Gaussian, randomized
+//!   response ([`mechanisms`]), and the **exponential mechanism** \[MT07\] via
+//!   the Gumbel-max trick ([`exponential`]),
+//! * **composition**: basic and the strong composition theorem of Dwork,
+//!   Rothblum and Vadhan (\[DRV10\], restated as Theorem 3.10 in the paper),
+//!   plus the paper's specific budget-splitting rules ([`composition`]), a
+//!   ledger-style [`accountant`], and a zCDP accountant as an extension
+//!   ([`zcdp`]),
+//! * the **online sparse vector algorithm** of Section 3.1 / Theorem 3.1:
+//!   AboveThreshold with `T` restarts and the threshold-game guarantee
+//!   ([`sparse_vector`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accountant;
+pub mod composition;
+pub mod error;
+pub mod exponential;
+pub mod mechanisms;
+pub mod numeric_sparse;
+pub mod sampler;
+pub mod sparse_vector;
+pub mod zcdp;
+
+pub use accountant::Accountant;
+pub use composition::PrivacyBudget;
+pub use error::DpError;
+pub use exponential::ExponentialMechanism;
+pub use mechanisms::{GaussianMechanism, LaplaceMechanism};
+pub use numeric_sparse::{NumericSparse, NumericSvOutcome};
+pub use sparse_vector::{SparseVector, SvConfig, SvOutcome};

@@ -1,0 +1,153 @@
+//! NumericSparse: sparse vector with value release (\[DR14\], Algorithm 3).
+//!
+//! The Figure-3 mechanism only needs the `{⊤, ⊥}` bit from the sparse
+//! vector and obtains the numeric answer from the ERM oracle. For *linear*
+//! queries, however, the classic construction pairs AboveThreshold with a
+//! fresh Laplace release of each above-threshold value — `NumericSparse` in
+//! the textbook treatment the paper cites for Section 3.1. We provide it as
+//! the natural extension point (it is what `pmw_core::LinearPmw` composes manually);
+//! budget split: `ε` is divided `8/9` to the threshold tests and `1/9` to
+//! the value releases, following \[DR14\]'s optimization of the constants.
+
+use crate::composition::PrivacyBudget;
+use crate::error::DpError;
+use crate::sampler;
+use crate::sparse_vector::{SparseVector, SvConfig, SvOutcome};
+use rand::Rng;
+
+/// One NumericSparse answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumericSvOutcome {
+    /// Above threshold, with a freshly-noised estimate of the query value.
+    Top(f64),
+    /// Below threshold; no numeric release.
+    Bottom,
+}
+
+/// Sparse vector that also releases noisy values for `⊤` answers.
+#[derive(Debug)]
+pub struct NumericSparse {
+    inner: SparseVector,
+    value_scale: f64,
+}
+
+impl NumericSparse {
+    /// Build from an [`SvConfig`]; the configured budget covers both the
+    /// threshold tests (8/9 of ε) and the value releases (1/9 of ε, split
+    /// over the `max_top` possible releases).
+    pub fn new<R: Rng + ?Sized>(config: SvConfig, rng: &mut R) -> Result<Self, DpError> {
+        let threshold_budget = PrivacyBudget::new(
+            config.budget.epsilon() * 8.0 / 9.0,
+            config.budget.delta(),
+        )?;
+        let release_epsilon = config.budget.epsilon() / 9.0 / config.max_top.max(1) as f64;
+        let value_scale = config.sensitivity / release_epsilon;
+        let inner = SparseVector::new(
+            SvConfig {
+                budget: threshold_budget,
+                ..config
+            },
+            rng,
+        )?;
+        Ok(Self { inner, value_scale })
+    }
+
+    /// Process one query value; on `⊤` also release `value + Lap(Δ·9T/ε)`.
+    pub fn process<R: Rng + ?Sized>(
+        &mut self,
+        value: f64,
+        rng: &mut R,
+    ) -> Result<NumericSvOutcome, DpError> {
+        match self.inner.process(value, rng)? {
+            SvOutcome::Top => Ok(NumericSvOutcome::Top(
+                value + sampler::laplace(self.value_scale, rng),
+            )),
+            SvOutcome::Bottom => Ok(NumericSvOutcome::Bottom),
+        }
+    }
+
+    /// Number of `⊤` answers produced so far.
+    pub fn tops_used(&self) -> usize {
+        self.inner.tops_used()
+    }
+
+    /// True once the top budget is exhausted.
+    pub fn has_halted(&self) -> bool {
+        self.inner.has_halted()
+    }
+
+    /// Laplace scale of the value releases.
+    pub fn value_scale(&self) -> f64 {
+        self.value_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse_vector::SvComposition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(max_top: usize, sensitivity: f64) -> SvConfig {
+        SvConfig {
+            max_top,
+            threshold: 0.2,
+            sensitivity,
+            budget: PrivacyBudget::new(1.0, 1e-6).unwrap(),
+            composition: SvComposition::Strong,
+        }
+    }
+
+    #[test]
+    fn releases_values_only_for_tops() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut ns = NumericSparse::new(config(5, 1e-6), &mut rng).unwrap();
+        match ns.process(0.5, &mut rng).unwrap() {
+            NumericSvOutcome::Top(v) => assert!((v - 0.5).abs() < 0.05, "{v}"),
+            NumericSvOutcome::Bottom => panic!("0.5 >> threshold must be Top"),
+        }
+        assert_eq!(ns.tops_used(), 1);
+        match ns.process(0.01, &mut rng).unwrap() {
+            NumericSvOutcome::Bottom => {}
+            NumericSvOutcome::Top(v) => panic!("0.01 << threshold answered Top({v})"),
+        }
+    }
+
+    #[test]
+    fn released_values_are_unbiased() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut total = 0.0;
+        let trials = 3000;
+        for _ in 0..trials {
+            let mut ns = NumericSparse::new(config(1, 1e-4), &mut rng).unwrap();
+            if let NumericSvOutcome::Top(v) = ns.process(0.4, &mut rng).unwrap() {
+                total += v;
+            }
+        }
+        let mean = total / trials as f64;
+        assert!((mean - 0.4).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    fn halts_like_plain_sparse_vector() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut ns = NumericSparse::new(config(2, 1e-6), &mut rng).unwrap();
+        let _ = ns.process(0.5, &mut rng).unwrap();
+        let _ = ns.process(0.5, &mut rng).unwrap();
+        assert!(ns.has_halted());
+        assert!(matches!(
+            ns.process(0.5, &mut rng),
+            Err(DpError::SparseVectorHalted)
+        ));
+    }
+
+    #[test]
+    fn value_scale_grows_with_top_budget() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let a = NumericSparse::new(config(1, 1e-4), &mut rng).unwrap();
+        let b = NumericSparse::new(config(10, 1e-4), &mut rng).unwrap();
+        assert!(b.value_scale() > a.value_scale());
+        assert!((b.value_scale() / a.value_scale() - 10.0).abs() < 1e-9);
+    }
+}

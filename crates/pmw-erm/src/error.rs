@@ -1,0 +1,51 @@
+//! Error type for the ERM oracle layer.
+
+use std::fmt;
+
+/// Errors from private ERM oracles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErmError {
+    /// The oracle's loss requirement is not met (e.g. output perturbation
+    /// needs strong convexity, the GLM oracle needs GLM structure).
+    UnsupportedLoss(&'static str),
+    /// A parameter was invalid.
+    InvalidParameter(&'static str),
+    /// Underlying convex-substrate failure.
+    Convex(pmw_convex::ConvexError),
+    /// Underlying loss-layer failure.
+    Loss(pmw_losses::LossError),
+    /// Underlying DP-substrate failure.
+    Dp(pmw_dp::DpError),
+}
+
+impl fmt::Display for ErmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErmError::UnsupportedLoss(msg) => write!(f, "unsupported loss: {msg}"),
+            ErmError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ErmError::Convex(e) => write!(f, "convex error: {e}"),
+            ErmError::Loss(e) => write!(f, "loss error: {e}"),
+            ErmError::Dp(e) => write!(f, "dp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ErmError {}
+
+impl From<pmw_convex::ConvexError> for ErmError {
+    fn from(e: pmw_convex::ConvexError) -> Self {
+        ErmError::Convex(e)
+    }
+}
+
+impl From<pmw_losses::LossError> for ErmError {
+    fn from(e: pmw_losses::LossError) -> Self {
+        ErmError::Loss(e)
+    }
+}
+
+impl From<pmw_dp::DpError> for ErmError {
+    fn from(e: pmw_dp::DpError) -> Self {
+        ErmError::Dp(e)
+    }
+}

@@ -1,0 +1,87 @@
+//! The non-private exact oracle (baseline).
+
+use crate::error::ErmError;
+use crate::oracle::{validate_inputs, ErmOracle};
+use pmw_dp::PrivacyBudget;
+use pmw_losses::traits::minimize_weighted;
+use pmw_losses::CmLoss;
+use rand::Rng;
+
+/// Exact (non-private!) empirical risk minimization. The reference point the
+/// private oracles are measured against, and the "accurate mechanism" the
+/// reconstruction attack of \[KRS13\] breaks — never use on sensitive data.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactOracle {
+    /// Inner solver iteration budget.
+    pub solver_iters: usize,
+}
+
+impl Default for ExactOracle {
+    fn default() -> Self {
+        Self { solver_iters: 2000 }
+    }
+}
+
+impl ExactOracle {
+    /// Oracle with a custom solver budget.
+    pub fn new(solver_iters: usize) -> Result<Self, ErmError> {
+        if solver_iters == 0 {
+            return Err(ErmError::InvalidParameter("solver_iters must be >= 1"));
+        }
+        Ok(Self { solver_iters })
+    }
+}
+
+impl ErmOracle for ExactOracle {
+    fn solve(
+        &self,
+        loss: &dyn CmLoss,
+        points: &[Vec<f64>],
+        weights: &[f64],
+        n: usize,
+        _budget: PrivacyBudget,
+        _rng: &mut dyn Rng,
+    ) -> Result<Vec<f64>, ErmError> {
+        validate_inputs(loss, points, weights, n)?;
+        Ok(minimize_weighted(loss, points, weights, self.solver_iters)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::excess_risk;
+    use pmw_losses::SquaredLoss;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_regression_coefficient() {
+        let loss = SquaredLoss::new(1).unwrap();
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let x = i as f64 / 20.0 * 2.0 - 1.0;
+                vec![x, -0.3 * x]
+            })
+            .collect();
+        let w = vec![0.05; 20];
+        let mut rng = StdRng::seed_from_u64(70);
+        let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let theta = ExactOracle::default()
+            .solve(&loss, &pts, &w, 20, budget, &mut rng)
+            .unwrap();
+        assert!((theta[0] + 0.3).abs() < 0.01, "{}", theta[0]);
+        let risk = excess_risk(&loss, &pts, &w, &theta, 2000).unwrap();
+        assert!(risk < 1e-6);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ExactOracle::new(0).is_err());
+        assert!(ExactOracle::new(10).is_ok());
+    }
+}

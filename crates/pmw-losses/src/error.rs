@@ -1,0 +1,39 @@
+//! Error type for the loss library.
+
+use std::fmt;
+
+/// Errors from loss constructors and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LossError {
+    /// A constructor parameter was invalid.
+    InvalidParameter(&'static str),
+    /// A point had the wrong dimension for this loss.
+    PointDimensionMismatch {
+        /// Dimension supplied.
+        got: usize,
+        /// Dimension expected.
+        expected: usize,
+    },
+    /// An underlying convex-substrate error.
+    Convex(pmw_convex::ConvexError),
+}
+
+impl fmt::Display for LossError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LossError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            LossError::PointDimensionMismatch { got, expected } => {
+                write!(f, "point has dimension {got}, loss expects {expected}")
+            }
+            LossError::Convex(e) => write!(f, "convex substrate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LossError {}
+
+impl From<pmw_convex::ConvexError> for LossError {
+    fn from(e: pmw_convex::ConvexError) -> Self {
+        LossError::Convex(e)
+    }
+}

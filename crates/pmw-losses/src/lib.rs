@@ -1,0 +1,40 @@
+//! The convex loss zoo for CM queries.
+//!
+//! A CM query is specified by a convex loss `ℓ: Θ × X → R` (Section 2.2 of
+//! Ullman, PODS 2015). Beyond value and gradient, every algorithm in the
+//! paper consumes *metadata* about the loss:
+//!
+//! * the **Lipschitz** constant `‖∇ℓ_x(θ)‖₂ ≤ L` (Section 1.1),
+//! * the **scale** `S = max |⟨θ − θ', ∇ℓ_x(θ)⟩|` governing the sensitivity
+//!   `3S/n` of the error queries and the MW payoff range (Section 3.2),
+//! * **strong convexity** `σ` (Theorem 4.5's setting),
+//! * **smoothness** (for solver step sizes),
+//! * whether the loss is a **generalized linear model** (Theorem 4.3's
+//!   setting).
+//!
+//! The [`CmLoss`] trait carries all of it; the concrete losses are the ones
+//! the paper names: squared (linear regression, the Section 1 running
+//! example), logistic, hinge (SVM), Huber, absolute, generic GLMs, the
+//! linear-query-as-CM encoding, and an L2-regularization wrapper that
+//! manufactures strong convexity.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod error;
+pub mod glm;
+pub mod linear_query;
+pub mod link;
+pub mod quantile;
+pub mod regularized;
+pub mod traits;
+
+pub use catalog::TargetLoss;
+pub use error::LossError;
+pub use glm::{AbsoluteLoss, GlmLoss, HingeLoss, HuberLoss, LogisticLoss, SquaredLoss};
+pub use linear_query::{LinearQueryLoss, PointPredicate};
+pub use link::LinkFn;
+pub use quantile::QuantileLoss;
+pub use regularized::L2Regularized;
+pub use traits::{CmLoss, WeightedObjective};

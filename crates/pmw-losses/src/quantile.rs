@@ -1,0 +1,180 @@
+//! Quantile estimation as a CM query (pinball loss).
+//!
+//! A useful non-GLM member of the paper's "Lipschitz, 1-bounded" family
+//! (Table 1 row 2): the `τ`-quantile of a single data coordinate is the
+//! minimizer of the pinball loss
+//!
+//! `ℓ_τ(θ; x) = max(τ·(x_c − θ), (1 − τ)·(θ − x_c))`,
+//!
+//! over `θ ∈ [lo, hi]`. It is 1-Lipschitz, non-smooth, one-dimensional, and
+//! its averaged minimizer over a histogram is the (interpolated) empirical
+//! `τ`-quantile — so a stream of quantile queries at different `τ` and
+//! different coordinates is a natural multi-analyst workload where each
+//! answer is a different scalar summary of the same sensitive data.
+
+use crate::error::LossError;
+use crate::traits::CmLoss;
+use pmw_convex::Domain;
+
+/// Pinball loss for the `τ`-quantile of coordinate `coord`.
+#[derive(Debug, Clone)]
+pub struct QuantileLoss {
+    tau: f64,
+    coord: usize,
+    point_dim: usize,
+    domain: Domain,
+}
+
+impl QuantileLoss {
+    /// Loss for the `τ ∈ (0, 1)` quantile of coordinate `coord` of
+    /// `point_dim`-dimensional points, with `θ` ranging over `[lo, hi]`.
+    pub fn new(
+        tau: f64,
+        coord: usize,
+        point_dim: usize,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Self, LossError> {
+        if !(tau > 0.0 && tau < 1.0) {
+            return Err(LossError::InvalidParameter("tau must lie in (0, 1)"));
+        }
+        if coord >= point_dim {
+            return Err(LossError::InvalidParameter("coord out of range"));
+        }
+        Ok(Self {
+            tau,
+            coord,
+            point_dim,
+            domain: Domain::interval(lo, hi)?,
+        })
+    }
+
+    /// Median loss over `[-1, 1]` points.
+    pub fn median(coord: usize, point_dim: usize) -> Result<Self, LossError> {
+        Self::new(0.5, coord, point_dim, -1.0, 1.0)
+    }
+
+    /// The target quantile level `τ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+impl CmLoss for QuantileLoss {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn point_dim(&self) -> usize {
+        self.point_dim
+    }
+
+    fn loss(&self, theta: &[f64], x: &[f64]) -> f64 {
+        let v = x[self.coord];
+        let r = v - theta[0];
+        if r >= 0.0 {
+            self.tau * r
+        } else {
+            (self.tau - 1.0) * r
+        }
+    }
+
+    fn gradient(&self, theta: &[f64], x: &[f64], out: &mut [f64]) {
+        // d/dtheta of pinball: -tau below the point, (1 - tau) above it.
+        out[0] = if x[self.coord] - theta[0] >= 0.0 {
+            -self.tau
+        } else {
+            1.0 - self.tau
+        };
+    }
+
+    fn lipschitz(&self) -> f64 {
+        self.tau.max(1.0 - self.tau)
+    }
+
+    fn name(&self) -> &'static str {
+        "quantile"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::minimize_weighted;
+
+    #[test]
+    fn construction_validates() {
+        assert!(QuantileLoss::new(0.0, 0, 1, -1.0, 1.0).is_err());
+        assert!(QuantileLoss::new(1.0, 0, 1, -1.0, 1.0).is_err());
+        assert!(QuantileLoss::new(0.5, 2, 2, -1.0, 1.0).is_err());
+        assert!(QuantileLoss::median(0, 2).is_ok());
+    }
+
+    #[test]
+    fn median_minimizer_is_empirical_median() {
+        let loss = QuantileLoss::median(0, 1).unwrap();
+        // Points: mass concentrated so the median is 0.3.
+        let pts: Vec<Vec<f64>> = vec![
+            vec![-0.8],
+            vec![-0.2],
+            vec![0.3],
+            vec![0.6],
+            vec![0.9],
+        ];
+        let w = vec![0.2; 5];
+        let theta = minimize_weighted(&loss, &pts, &w, 6000).unwrap();
+        assert!((theta[0] - 0.3).abs() < 0.06, "{}", theta[0]);
+    }
+
+    #[test]
+    fn upper_quantile_sits_above_median() {
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 / 20.0 * 2.0 - 1.0])
+            .collect();
+        let w = vec![0.05; 20];
+        let med = minimize_weighted(&QuantileLoss::median(0, 1).unwrap(), &pts, &w, 6000)
+            .unwrap()[0];
+        let q90 = minimize_weighted(
+            &QuantileLoss::new(0.9, 0, 1, -1.0, 1.0).unwrap(),
+            &pts,
+            &w,
+            6000,
+        )
+        .unwrap()[0];
+        assert!(q90 > med + 0.3, "median {med}, q90 {q90}");
+    }
+
+    #[test]
+    fn gradient_is_subgradient_of_loss() {
+        let loss = QuantileLoss::new(0.3, 0, 1, -1.0, 1.0).unwrap();
+        let x = [0.4];
+        for &theta in &[-0.5f64, 0.1, 0.8] {
+            let mut g = [0.0];
+            loss.gradient(&[theta], &x, &mut g);
+            let h = 1e-6;
+            // Away from the kink the subgradient is the derivative.
+            if (x[0] - theta).abs() > 1e-3 {
+                let fd =
+                    (loss.loss(&[theta + h], &x) - loss.loss(&[theta - h], &x)) / (2.0 * h);
+                assert!((g[0] - fd).abs() < 1e-5, "theta {theta}");
+            }
+            assert!(g[0].abs() <= loss.lipschitz() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn metadata_is_table1_row2_compatible() {
+        let loss = QuantileLoss::new(0.9, 0, 3, -1.0, 1.0).unwrap();
+        assert_eq!(loss.dim(), 1);
+        assert_eq!(loss.point_dim(), 3);
+        assert!(loss.lipschitz() <= 1.0);
+        assert!(loss.smoothness().is_none());
+        assert!(!loss.is_glm());
+        // S = diameter * L = 2 * 0.9.
+        assert!((loss.scale_bound() - 1.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,277 @@
+//! The [`CmLoss`] trait and the weighted-average objective bridge.
+//!
+//! `CmLoss` is object-safe on purpose: the Figure-3 mechanism receives an
+//! adaptively chosen stream of losses and stores them behind `&dyn CmLoss`.
+//!
+//! [`WeightedObjective`] realizes the paper's averaged loss
+//! `ℓ_D(θ) = Σ_x D(x)·ℓ(θ; x)` (Section 2.2) as a
+//! [`pmw_convex::Objective`], which is what the inner solvers minimize. The
+//! weights may be a dataset's empirical distribution *or* the PMW hypothesis
+//! histogram — both are just probability vectors over universe points.
+
+use crate::error::LossError;
+use pmw_convex::solvers::{ProjectedGradientDescent, SolverConfig};
+use pmw_convex::{Domain, Objective};
+
+/// A convex loss function `ℓ: Θ × X → R` defining a CM query, with the
+/// metadata the paper's restrictions refer to (Section 1.1).
+pub trait CmLoss {
+    /// Dimension of the parameter `θ`.
+    fn dim(&self) -> usize;
+
+    /// The constraint set `Θ`.
+    fn domain(&self) -> &Domain;
+
+    /// Dimension of the data points this loss consumes (for supervised
+    /// losses this is `dim() + 1`, the label being the last coordinate).
+    fn point_dim(&self) -> usize;
+
+    /// `ℓ(θ; x)`.
+    fn loss(&self, theta: &[f64], x: &[f64]) -> f64;
+
+    /// Write `∇_θ ℓ(θ; x)` (a subgradient at kinks) into `out`.
+    fn gradient(&self, theta: &[f64], x: &[f64], out: &mut [f64]);
+
+    /// Lipschitz bound: `‖∇ℓ_x(θ)‖₂ ≤ lipschitz()` for all `θ ∈ Θ`, `x ∈ X`.
+    fn lipschitz(&self) -> f64;
+
+    /// Strong convexity modulus `σ` (0 when merely convex).
+    fn strong_convexity(&self) -> f64 {
+        0.0
+    }
+
+    /// Smoothness (gradient-Lipschitz) constant, `None` if non-smooth.
+    fn smoothness(&self) -> Option<f64> {
+        None
+    }
+
+    /// The scale parameter `S ≥ max_{x,θ,θ'} |⟨θ − θ', ∇ℓ_x(θ)⟩|` of
+    /// Section 3.2. Default: `diameter(Θ) · lipschitz()` (for the unit ball
+    /// and a 1-Lipschitz loss this gives the paper's `S ≤ 2`).
+    fn scale_bound(&self) -> f64 {
+        self.domain().diameter() * self.lipschitz()
+    }
+
+    /// True for unconstrained generalized linear models (Section 4.2.2),
+    /// enabling the dimension-independent oracle of Theorem 4.3.
+    fn is_glm(&self) -> bool {
+        false
+    }
+
+    /// For GLM losses, the scalar link `φ` with
+    /// `ℓ(θ; x) = φ(⟨θ, features⟩, label)`; `None` otherwise.
+    fn glm_link(&self) -> Option<crate::link::LinkFn> {
+        None
+    }
+
+    /// For GLM losses, extract the `(features, label)` pair from a raw
+    /// universe point; `None` for non-GLMs. The dimension-independent GLM
+    /// oracle (Theorem 4.3's role) uses this to project features while
+    /// keeping labels fixed.
+    fn glm_example(&self, _x: &[f64]) -> Option<(Vec<f64>, f64)> {
+        None
+    }
+
+    /// A short name for transcripts and experiment tables.
+    fn name(&self) -> &'static str {
+        "cm-loss"
+    }
+}
+
+/// The averaged loss `f(θ) = Σ_i w_i·ℓ(θ; x_i)` over weighted points — the
+/// paper's `ℓ_D(θ)` with `D` a histogram, or the empirical risk with uniform
+/// weights over dataset rows.
+pub struct WeightedObjective<'a, L: CmLoss + ?Sized> {
+    loss: &'a L,
+    points: &'a [Vec<f64>],
+    weights: &'a [f64],
+    grad_buf: std::cell::RefCell<Vec<f64>>,
+}
+
+impl<'a, L: CmLoss + ?Sized> WeightedObjective<'a, L> {
+    /// Bundle a loss with weighted points. Weights must be non-negative and
+    /// sum to something positive (typically 1); zero-weight points are
+    /// skipped during evaluation.
+    pub fn new(
+        loss: &'a L,
+        points: &'a [Vec<f64>],
+        weights: &'a [f64],
+    ) -> Result<Self, LossError> {
+        if points.len() != weights.len() {
+            return Err(LossError::InvalidParameter(
+                "points and weights must have equal length",
+            ));
+        }
+        if points.is_empty() {
+            return Err(LossError::InvalidParameter("need at least one point"));
+        }
+        for p in points {
+            if p.len() != loss.point_dim() {
+                return Err(LossError::PointDimensionMismatch {
+                    got: p.len(),
+                    expected: loss.point_dim(),
+                });
+            }
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return Err(LossError::InvalidParameter(
+                "weights must be finite and non-negative",
+            ));
+        }
+        Ok(Self {
+            loss,
+            points,
+            weights,
+            grad_buf: std::cell::RefCell::new(vec![0.0; loss.dim()]),
+        })
+    }
+}
+
+impl<L: CmLoss + ?Sized> Objective for WeightedObjective<'_, L> {
+    fn dim(&self) -> usize {
+        self.loss.dim()
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        self.points
+            .iter()
+            .zip(self.weights)
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(x, &w)| w * self.loss.loss(theta, x))
+            .sum()
+    }
+
+    fn gradient(&self, theta: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        let mut buf = self.grad_buf.borrow_mut();
+        for (x, &w) in self.points.iter().zip(self.weights) {
+            if w > 0.0 {
+                self.loss.gradient(theta, x, &mut buf);
+                for (o, g) in out.iter_mut().zip(buf.iter()) {
+                    *o += w * g;
+                }
+            }
+        }
+    }
+}
+
+/// Exactly minimize the weighted loss over its domain with a solver chosen
+/// from the loss metadata: constant-step gradient descent when smooth,
+/// averaged subgradient descent otherwise (strong convexity upgrades the
+/// schedule). This is the non-private inner solve PMW performs on hypothesis
+/// histograms every round.
+pub fn minimize_weighted<L: CmLoss + ?Sized>(
+    loss: &L,
+    points: &[Vec<f64>],
+    weights: &[f64],
+    max_iters: usize,
+) -> Result<Vec<f64>, LossError> {
+    let objective = WeightedObjective::new(loss, points, weights)?;
+    let config = default_solver_config(loss, max_iters)?;
+    let solver = ProjectedGradientDescent::new(config)?;
+    let result = solver.minimize(&objective, loss.domain(), None)?;
+    Ok(result.theta)
+}
+
+/// The solver configuration [`minimize_weighted`] derives from loss
+/// metadata; exposed so the mechanism crates can reuse the policy.
+pub fn default_solver_config<L: CmLoss + ?Sized>(
+    loss: &L,
+    max_iters: usize,
+) -> Result<SolverConfig, LossError> {
+    let config = if let Some(smooth) = loss.smoothness() {
+        SolverConfig::smooth(smooth.max(1e-9), max_iters)?
+    } else if loss.strong_convexity() > 0.0 {
+        SolverConfig::strongly_convex(loss.strong_convexity(), max_iters)?
+    } else {
+        SolverConfig::subgradient(
+            loss.lipschitz().max(1e-9),
+            loss.domain().diameter(),
+            max_iters,
+        )?
+    };
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glm::SquaredLoss;
+
+    #[test]
+    fn weighted_objective_validates_inputs() {
+        let loss = SquaredLoss::new(2).unwrap();
+        let pts = vec![vec![1.0, 0.0, 0.5]];
+        assert!(WeightedObjective::new(&loss, &pts, &[0.5, 0.5]).is_err());
+        assert!(WeightedObjective::new(&loss, &[], &[]).is_err());
+        let bad_pts = vec![vec![1.0, 0.0]];
+        assert!(WeightedObjective::new(&loss, &bad_pts, &[1.0]).is_err());
+        assert!(WeightedObjective::new(&loss, &pts, &[-1.0]).is_err());
+        assert!(WeightedObjective::new(&loss, &pts, &[1.0]).is_ok());
+    }
+
+    #[test]
+    fn weighted_value_is_convex_combination() {
+        let loss = SquaredLoss::new(1).unwrap();
+        // Points (x=1, y=0) and (x=1, y=1).
+        let pts = vec![vec![1.0, 0.0], vec![1.0, 1.0]];
+        let obj = WeightedObjective::new(&loss, &pts, &[0.25, 0.75]).unwrap();
+        let theta = [0.0];
+        let expect = 0.25 * loss.loss(&theta, &pts[0]) + 0.75 * loss.loss(&theta, &pts[1]);
+        assert!((obj.value(&theta) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_gradient_matches_finite_difference() {
+        let loss = SquaredLoss::new(2).unwrap();
+        let pts = vec![vec![0.5, -0.5, 1.0], vec![-1.0, 0.3, -1.0]];
+        let obj = WeightedObjective::new(&loss, &pts, &[0.4, 0.6]).unwrap();
+        let theta = [0.2, -0.7];
+        let g = obj.gradient_vec(&theta);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut plus = theta;
+            plus[i] += h;
+            let mut minus = theta;
+            minus[i] -= h;
+            let fd = (obj.value(&plus) - obj.value(&minus)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-5, "coord {i}");
+        }
+    }
+
+    #[test]
+    fn minimize_weighted_solves_one_dim_regression() {
+        // Data: y = 0.8*x exactly; squared loss recovers theta ~ 0.8.
+        let loss = SquaredLoss::new(1).unwrap();
+        let pts: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                let x = (i as f64 / 10.0) * 2.0 - 1.0;
+                vec![x, 0.8 * x]
+            })
+            .collect();
+        let w = vec![0.1; 10];
+        let theta = minimize_weighted(&loss, &pts, &w, 4000).unwrap();
+        assert!((theta[0] - 0.8).abs() < 0.01, "{}", theta[0]);
+    }
+
+    #[test]
+    fn zero_weight_points_are_ignored() {
+        let loss = SquaredLoss::new(1).unwrap();
+        let pts = vec![vec![1.0, 1.0], vec![1.0, -1.0]];
+        let obj_a = WeightedObjective::new(&loss, &pts, &[1.0, 0.0]).unwrap();
+        let only = vec![vec![1.0, 1.0]];
+        let obj_b = WeightedObjective::new(&loss, &only, &[1.0]).unwrap();
+        let theta = [0.3];
+        assert!((obj_a.value(&theta) - obj_b.value(&theta)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_config_prefers_smooth_schedule() {
+        let loss = SquaredLoss::new(2).unwrap();
+        let c = default_solver_config(&loss, 100).unwrap();
+        assert!(matches!(
+            c.step,
+            pmw_convex::StepRule::Constant(_)
+        ));
+    }
+}

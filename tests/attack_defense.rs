@@ -1,0 +1,74 @@
+//! Attack-vs-defense integration: the KRS13 motivation (paper §1.2) played
+//! out against real mechanisms, plus the adaptive-analysis transfer (§1.3).
+
+use pmw::adaptive::AdaptiveHarness;
+use pmw::attacks::ReconstructionAttack;
+use pmw::dp::sampler;
+use pmw::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[test]
+fn reconstruction_succeeds_on_exact_fails_on_private_answers() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let n = 80usize;
+    let secret: Vec<bool> = (0..n).map(|_| rng.random::<bool>()).collect();
+    let attack = ReconstructionAttack::default();
+
+    // Exact answers: near-total reconstruction.
+    let exact = attack
+        .run(&secret, |_, truth, _| truth, &mut rng)
+        .unwrap();
+    assert!(exact.accuracy > 0.95, "{}", exact.accuracy);
+
+    // Laplace answers at a per-query epsilon mimicking a k-query budget:
+    // noise scale >> 1/sqrt(n) destroys the attack.
+    let per_query_eps = 0.05;
+    let noisy = attack
+        .run(
+            &secret,
+            |_, truth, r| truth + sampler::laplace(2.0 / (n as f64 * per_query_eps), r),
+            &mut rng,
+        )
+        .unwrap();
+    assert!(
+        noisy.accuracy < exact.accuracy - 0.2,
+        "noisy {} vs exact {}",
+        noisy.accuracy,
+        exact.accuracy
+    );
+}
+
+#[test]
+fn adaptive_transfer_private_beats_naive() {
+    let mut rng = StdRng::seed_from_u64(32);
+    let harness = AdaptiveHarness {
+        dim: 10,
+        n: 150,
+        threshold: 0.04,
+        pmw: PmwConfig::builder(1.0, 1e-6, 0.2)
+            .k(11)
+            .scale(1.0)
+            .rounds_override(4)
+            .solver_iters(200)
+            .build()
+            .unwrap(),
+    };
+    let runs = 5;
+    let mut naive = 0.0;
+    let mut private = 0.0;
+    for _ in 0..runs {
+        let r = harness.run(&mut rng).unwrap();
+        naive += r.naive_gap();
+        private += r.private_gap();
+        // Population value on the null is always exactly 1/2.
+        assert!((r.naive_population_value - 0.5).abs() < 1e-9);
+        assert!((r.private_population_value - 0.5).abs() < 1e-9);
+    }
+    assert!(
+        private / runs as f64 <= naive / runs as f64,
+        "private mean gap {} should not exceed naive {}",
+        private / runs as f64,
+        naive / runs as f64
+    );
+}

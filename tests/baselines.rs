@@ -1,0 +1,198 @@
+//! Cross-mechanism integration: PMW vs its baselines.
+//!
+//! * CM-PMW answering linear queries (through the CM encoding) agrees with
+//!   the dedicated linear PMW — the "special case" claim of Table 1.
+//! * PMW beats the composition baseline once `k` is large (Section 4.1).
+//! * MWEM and online linear PMW land in the same accuracy regime.
+
+use pmw::core::{CompositionMechanism, Mwem};
+use pmw::erm::{excess_risk, NoisyGdOracle};
+use pmw::losses::PointPredicate;
+use pmw::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn skewed_cube_dataset(cube: &BooleanCube, n: usize, rng: &mut StdRng) -> Dataset {
+    // Extreme biases: query answers sit far from the uninformative 0.5, so
+    // a mechanism must actually track the data to score well.
+    let biases: Vec<f64> = (0..cube.dim())
+        .map(|b| if b % 2 == 0 { 0.95 } else { 0.05 })
+        .collect();
+    let pop = pmw::data::synth::product_population(cube, &biases).unwrap();
+    Dataset::sample_from(&pop, n, rng).unwrap()
+}
+
+#[test]
+fn cm_encoding_agrees_with_linear_pmw() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let cube = BooleanCube::new(4).unwrap();
+    let data = skewed_cube_dataset(&cube, 4000, &mut rng);
+    let truth = data.histogram();
+
+    // Linear PMW on bit-frequency queries.
+    let config = PmwConfig::builder(2.0, 1e-6, 0.1)
+        .k(4)
+        .scale(1.0)
+        .rounds_override(6)
+        .build()
+        .unwrap();
+    let mut linear = LinearPmw::new(config.clone(), 16, &data, &mut rng).unwrap();
+    let queries: Vec<_> = (0..4)
+        .map(|b| {
+            pmw::data::workload::LinearQuery::new(
+                (0..16)
+                    .map(|x| if (x >> b) & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let linear_answers: Vec<f64> = queries
+        .iter()
+        .map(|q| linear.answer(q, &mut rng).unwrap())
+        .collect();
+
+    // CM-PMW on the same queries through the quadratic encoding.
+    let mut cm = OnlinePmw::with_oracle(
+        config,
+        &cube,
+        data,
+        pmw::erm::ExactOracle::default(),
+        &mut rng,
+    )
+    .unwrap();
+    for (b, q) in queries.iter().enumerate() {
+        let loss = LinearQueryLoss::new(
+            PointPredicate::Conjunction { coords: vec![b] },
+            4,
+        )
+        .unwrap();
+        let cm_answer = cm.answer(&loss, &mut rng).unwrap()[0];
+        let true_value = q.evaluate(&truth);
+        // Both mechanisms answer the same statistic; compare both to truth.
+        assert!(
+            (cm_answer - true_value).abs() < 0.5,
+            "cm {cm_answer} vs truth {true_value}"
+        );
+        assert!(
+            (linear_answers[b] - true_value).abs() < 0.5,
+            "linear {} vs truth {true_value}",
+            linear_answers[b]
+        );
+    }
+}
+
+#[test]
+fn pmw_beats_composition_for_large_k() {
+    // Section 4.1: at fixed (n, eps), composition error grows with k while
+    // PMW's stays ~flat. Compare worst-case risk at k = 96 over a shared
+    // workload of linear-query CM losses.
+    let mut rng = StdRng::seed_from_u64(12);
+    let cube = BooleanCube::new(5).unwrap();
+    let data = skewed_cube_dataset(&cube, 1200, &mut rng);
+    let points = cube.materialize();
+    let hist = data.histogram();
+    let k = 96usize;
+    // Workload: k bit/conjunction frequency queries cycling over patterns.
+    let losses: Vec<LinearQueryLoss> = (0..k)
+        .map(|j| {
+            let b1 = j % 5;
+            let b2 = (j / 5) % 5;
+            let coords = if b1 == b2 { vec![b1] } else { vec![b1, b2] };
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords }, 5).unwrap()
+        })
+        .collect();
+
+    // PMW arm.
+    let config = PmwConfig::builder(1.0, 1e-6, 0.12)
+        .k(k)
+        .scale(1.0)
+        .rounds_override(10)
+        .solver_iters(250)
+        .build()
+        .unwrap();
+    let mut pmw_mech = OnlinePmw::with_oracle(
+        config,
+        &cube,
+        data.clone(),
+        NoisyGdOracle::new(30).unwrap(),
+        &mut rng,
+    )
+    .unwrap();
+    let mut pmw_risks = Vec::new();
+    for loss in &losses {
+        match pmw_mech.answer(loss, &mut rng) {
+            Ok(theta) => pmw_risks
+                .push(excess_risk(loss, &points, hist.weights(), &theta, 500).unwrap()),
+            Err(_) => break,
+        }
+    }
+
+    // Composition arm.
+    let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
+    let mut comp = CompositionMechanism::with_oracle(
+        budget,
+        k,
+        &cube,
+        data,
+        NoisyGdOracle::new(30).unwrap(),
+    )
+    .unwrap();
+    let mut comp_risks = Vec::new();
+    for loss in &losses {
+        let theta = comp.answer(loss, &mut rng).unwrap();
+        comp_risks.push(excess_risk(loss, &points, hist.weights(), &theta, 500).unwrap());
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let pmw_mean = mean(&pmw_risks);
+    let comp_mean = mean(&comp_risks);
+    assert!(
+        pmw_mean < comp_mean,
+        "k={k}: PMW mean risk {pmw_mean} should beat composition {comp_mean}"
+    );
+}
+
+#[test]
+fn mwem_and_linear_pmw_reach_similar_accuracy() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let cube = BooleanCube::new(5).unwrap();
+    // Moderately skewed data: both mechanisms should converge comfortably
+    // within their round budgets (the extreme dataset above is reserved for
+    // the discrimination test).
+    let biases: Vec<f64> = (0..5).map(|b| if b % 2 == 0 { 0.8 } else { 0.35 }).collect();
+    let pop = pmw::data::synth::product_population(&cube, &biases).unwrap();
+    let data = Dataset::sample_from(&pop, 3000, &mut rng).unwrap();
+    let truth = data.histogram();
+    let queries =
+        pmw::data::workload::random_counting_queries(cube.size(), 20, &mut rng).unwrap();
+
+    // MWEM (offline, pure eps = 2). The heavily concentrated dataset needs
+    // enough rounds for the multiplicative updates to move the mass.
+    let mwem = Mwem::new(16, 1.0).unwrap();
+    let result = mwem.run(&queries, &data, 2.0, &mut rng).unwrap();
+    let mwem_max: f64 = queries
+        .iter()
+        .zip(&result.answers)
+        .map(|(q, a)| (a - q.evaluate(&truth)).abs())
+        .fold(0.0, f64::max);
+
+    // Online linear PMW ((2, 1e-6), alpha 0.15).
+    let config = PmwConfig::builder(2.0, 1e-6, 0.15)
+        .k(20)
+        .scale(1.0)
+        .rounds_override(8)
+        .build()
+        .unwrap();
+    let mut lin = LinearPmw::new(config, cube.size(), &data, &mut rng).unwrap();
+    let mut lin_max: f64 = 0.0;
+    for q in &queries {
+        match lin.answer(q, &mut rng) {
+            Ok(a) => lin_max = lin_max.max((a - q.evaluate(&truth)).abs()),
+            Err(_) => break,
+        }
+    }
+
+    assert!(mwem_max < 0.35, "mwem {mwem_max}");
+    assert!(lin_max < 0.35, "linear pmw {lin_max}");
+}

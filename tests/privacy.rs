@@ -1,0 +1,179 @@
+//! Privacy integration tests: empirical audits of whole mechanisms
+//! (Theorem 3.9 checked from the outside).
+
+use pmw::attacks::EpsilonAudit;
+use pmw::dp::sparse_vector::{SvComposition, SvConfig};
+use pmw::dp::SparseVector;
+use pmw::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Audit the sparse vector algorithm on adjacent inputs: its empirical ε̂
+/// must stay below the configured budget.
+#[test]
+fn sparse_vector_audit_respects_budget() {
+    let eps = 0.5f64;
+    let mut rng = StdRng::seed_from_u64(21);
+    let make_sv = |rng: &mut StdRng| {
+        SparseVector::new(
+            SvConfig {
+                max_top: 1,
+                threshold: 0.2,
+                sensitivity: 0.05, // large on purpose: n small = worst case
+                budget: PrivacyBudget::new(eps, 1e-6).unwrap(),
+                composition: SvComposition::Strong,
+            },
+            rng,
+        )
+        .unwrap()
+    };
+    // Adjacent query values differ by exactly the sensitivity.
+    let audit = EpsilonAudit::new(20_000).unwrap();
+    let result = audit
+        .estimate(
+            |r| {
+                let mut sv = make_sv(r);
+                matches!(
+                    sv.process(0.15, r).unwrap(),
+                    pmw::dp::SvOutcome::Top
+                )
+            },
+            |r| {
+                let mut sv = make_sv(r);
+                matches!(
+                    sv.process(0.10, r).unwrap(),
+                    pmw::dp::SvOutcome::Top
+                )
+            },
+            1e-6,
+            &mut rng,
+        )
+        .unwrap();
+    assert!(
+        result.epsilon_lower_bound <= eps * 1.15,
+        "audit {} exceeds configured eps {eps}",
+        result.epsilon_lower_bound
+    );
+}
+
+/// Audit the full OnlinePmw mechanism: run it on adjacent datasets and use
+/// the first answer as the distinguishing event. The empirical ε̂ must stay
+/// below the declared ε.
+#[test]
+fn online_pmw_audit_respects_declared_epsilon() {
+    let declared_eps = 1.0;
+    let cube = BooleanCube::new(3).unwrap();
+    // A small dataset makes per-row influence (and thus leakage) maximal.
+    let base_rows: Vec<usize> = (0..40).map(|i| [7usize, 7, 0, 1][i % 4]).collect();
+    let d0 = Dataset::from_indices(8, base_rows).unwrap();
+    let d1 = d0.with_row_replaced(0, 0).unwrap();
+    assert!(d0.is_adjacent_to(&d1));
+
+    let config = || {
+        PmwConfig::builder(declared_eps, 1e-6, 0.2)
+            .k(1)
+            .scale(1.0)
+            .rounds_override(2)
+            .solver_iters(150)
+            .build()
+            .unwrap()
+    };
+    let loss = || {
+        pmw::losses::LinearQueryLoss::new(
+            pmw::losses::PointPredicate::Conjunction { coords: vec![0] },
+            3,
+        )
+        .unwrap()
+    };
+
+    let run_event = |data: &Dataset, r: &mut StdRng| -> bool {
+        let mut mech = OnlinePmw::with_oracle(
+            config(),
+            &cube,
+            data.clone(),
+            pmw::erm::NoisyGdOracle::new(5).unwrap(),
+            r,
+        )
+        .unwrap();
+        match mech.answer(&loss(), r) {
+            Ok(theta) => theta[0] > 0.55,
+            Err(_) => false,
+        }
+    };
+
+    let audit = EpsilonAudit::new(1_500).unwrap();
+    let mut rng = StdRng::seed_from_u64(22);
+    let result = audit
+        .estimate(
+            |r| run_event(&d0, r),
+            |r| run_event(&d1, r),
+            1e-6,
+            &mut rng,
+        )
+        .unwrap();
+    assert!(
+        result.epsilon_lower_bound <= declared_eps * 1.2,
+        "audit {} vs declared {declared_eps}",
+        result.epsilon_lower_bound
+    );
+}
+
+/// The per-mechanism accountants must agree with the declared budgets after
+/// full runs, across mechanisms.
+#[test]
+fn accountants_stay_within_budgets_across_mechanisms() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let cube = BooleanCube::new(4).unwrap();
+    let pop = pmw::data::synth::product_population(
+        &cube,
+        &[0.9, 0.2, 0.5, 0.5],
+    )
+    .unwrap();
+    let data = Dataset::sample_from(&pop, 2000, &mut rng).unwrap();
+
+    // Online PMW.
+    let config = PmwConfig::builder(1.5, 1e-6, 0.1)
+        .k(10)
+        .scale(1.0)
+        .rounds_override(6)
+        .build()
+        .unwrap();
+    let mut mech = OnlinePmw::with_oracle(
+        config,
+        &cube,
+        data.clone(),
+        pmw::erm::ExactOracle::default(),
+        &mut rng,
+    )
+    .unwrap();
+    for b in 0..4 {
+        let loss = pmw::losses::LinearQueryLoss::new(
+            pmw::losses::PointPredicate::Conjunction { coords: vec![b] },
+            4,
+        )
+        .unwrap();
+        if mech.answer(&loss, &mut rng).is_err() {
+            break;
+        }
+    }
+    let total = mech.accountant().best_total(2.5e-7).unwrap();
+    assert!(total.epsilon() <= 1.5 + 1e-9);
+
+    // Linear PMW.
+    let config = PmwConfig::builder(1.0, 1e-6, 0.15)
+        .k(10)
+        .scale(1.0)
+        .rounds_override(5)
+        .build()
+        .unwrap();
+    let mut lin = LinearPmw::new(config, 16, &data, &mut rng).unwrap();
+    let queries =
+        pmw::data::workload::random_counting_queries(16, 10, &mut rng).unwrap();
+    for q in &queries {
+        if lin.answer(q, &mut rng).is_err() {
+            break;
+        }
+    }
+    let total = lin.accountant().best_total(2.5e-7).unwrap();
+    assert!(total.epsilon() <= 1.0 + 1e-9, "{}", total.epsilon());
+}

@@ -1,0 +1,118 @@
+//! Property-based integration tests: invariants that must hold for *any*
+//! dataset, workload and seed.
+
+use pmw::losses::PointPredicate;
+use pmw::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The mechanism never produces an infeasible or non-finite answer and
+    /// its hypothesis histogram stays a probability distribution, for any
+    /// dataset over the cube and any seed.
+    #[test]
+    fn pmw_invariants_hold_for_arbitrary_datasets(
+        rows in prop::collection::vec(0usize..16, 30..120),
+        seed in 0u64..1_000,
+        alpha in 0.1f64..0.5,
+    ) {
+        let cube = BooleanCube::new(4).unwrap();
+        let data = Dataset::from_indices(16, rows).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = PmwConfig::builder(1.0, 1e-6, alpha)
+            .k(5)
+            .scale(1.0)
+            .rounds_override(3)
+            .solver_iters(120)
+            .build()
+            .unwrap();
+        let mut mech = OnlinePmw::with_oracle(
+            config, &cube, data, pmw::erm::ExactOracle::new(120).unwrap(), &mut rng,
+        ).unwrap();
+        for b in 0..4 {
+            let loss = LinearQueryLoss::new(
+                PointPredicate::Conjunction { coords: vec![b] }, 4,
+            ).unwrap();
+            match mech.answer(&loss, &mut rng) {
+                Ok(theta) => {
+                    prop_assert!(theta.len() == 1);
+                    prop_assert!(theta[0].is_finite());
+                    prop_assert!((0.0..=1.0).contains(&theta[0]));
+                }
+                Err(pmw::core::PmwError::Halted) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            }
+        }
+        // Hypothesis is still a normalized distribution.
+        let mass: f64 = mech.hypothesis().weights().iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        prop_assert!(mech.hypothesis().weights().iter().all(|&w| w >= 0.0));
+        // Updates never exceed the round budget.
+        prop_assert!(mech.updates_used() <= 3);
+    }
+
+    /// Synthetic data sampled from any mechanism state is a valid dataset
+    /// over the same universe.
+    #[test]
+    fn synthetic_data_is_well_formed(
+        rows in prop::collection::vec(0usize..8, 20..60),
+        seed in 0u64..500,
+    ) {
+        let cube = BooleanCube::new(3).unwrap();
+        let data = Dataset::from_indices(8, rows).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = PmwConfig::builder(1.0, 1e-6, 0.3)
+            .k(2).scale(1.0).rounds_override(2).solver_iters(100)
+            .build().unwrap();
+        let mech = OnlinePmw::with_oracle(
+            config, &cube, data, pmw::erm::ExactOracle::new(100).unwrap(), &mut rng,
+        ).unwrap();
+        let synth = mech.synthetic_dataset(50, &mut rng).unwrap();
+        prop_assert_eq!(synth.len(), 50);
+        prop_assert_eq!(synth.universe_size(), 8);
+        prop_assert!(synth.rows().iter().all(|&r| r < 8));
+    }
+
+    /// The composition baseline's per-query budget always recomposes to at
+    /// most the declared total, for any k.
+    #[test]
+    fn composition_split_is_sound(k in 2usize..400) {
+        let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
+        let per = pmw::dp::composition::per_step_budget_for(budget, k).unwrap();
+        let total = pmw::dp::composition::strong_composition(per, k, 5e-7).unwrap();
+        prop_assert!(total.epsilon() <= 1.0 + 1e-9);
+        prop_assert!(total.delta() <= 1e-6 + 1e-15);
+    }
+
+    /// Dual-certificate payoffs are always within [-S, S] and the MW update
+    /// preserves normalization, for random oracle/hypothesis pairs.
+    #[test]
+    fn certificate_and_update_invariants(
+        t_oracle in prop::collection::vec(-1.0f64..1.0, 2),
+        t_hyp in prop::collection::vec(-1.0f64..1.0, 2),
+        counts in prop::collection::vec(1usize..20, 9),
+    ) {
+        let loss = SquaredLoss::new(2).unwrap();
+        let grid = GridUniverse::symmetric_unit(2, 3).unwrap();
+        let universe = LabeledGridUniverse::binary(grid).unwrap();
+        let points = universe.materialize();
+        // Project arbitrary thetas into the domain first.
+        let mut a = t_oracle.clone();
+        let mut b = t_hyp.clone();
+        loss.domain().project(&mut a).unwrap();
+        loss.domain().project(&mut b).unwrap();
+        let u = pmw::core::update::dual_certificate(&loss, &points, &a, &b).unwrap();
+        let s = loss.scale_bound();
+        prop_assert!(u.iter().all(|v| v.abs() <= s + 1e-9));
+        // MW update keeps the histogram normalized.
+        let mut counts18 = counts.clone();
+        counts18.resize(18, 1);
+        let mut h = Histogram::from_counts(&counts18).unwrap();
+        h.mw_update(&u, 0.1).unwrap();
+        let mass: f64 = h.weights().iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+    }
+}

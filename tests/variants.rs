@@ -1,0 +1,143 @@
+//! Integration tests for the mechanism variants and the extended loss zoo:
+//! offline PMW vs online PMW, quantile CM queries, and the JL-GLM oracle
+//! mounted inside the full mechanism.
+
+use pmw::core::OfflinePmw;
+use pmw::erm::{excess_risk, JlGlmOracle, NoisyGdOracle};
+use pmw::losses::{QuantileLoss, TargetLoss, LinkFn};
+use pmw::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[test]
+fn offline_and_online_pmw_reach_comparable_accuracy() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let cube = BooleanCube::new(4).unwrap();
+    let pop = pmw::data::synth::product_population(&cube, &[0.95, 0.05, 0.9, 0.5])
+        .unwrap();
+    let data = Dataset::sample_from(&pop, 3000, &mut rng).unwrap();
+    let hist = data.histogram();
+    let points = cube.materialize();
+    let losses: Vec<pmw::losses::LinearQueryLoss> = (0..4)
+        .map(|b| {
+            pmw::losses::LinearQueryLoss::new(
+                pmw::losses::PointPredicate::Conjunction { coords: vec![b] },
+                4,
+            )
+            .unwrap()
+        })
+        .collect();
+    let config = PmwConfig::builder(2.0, 1e-6, 0.08)
+        .k(8)
+        .scale(1.0)
+        .rounds_override(6)
+        .solver_iters(300)
+        .build()
+        .unwrap();
+
+    // Offline: all losses known up front.
+    let refs: Vec<&dyn CmLoss> = losses.iter().map(|l| l as &dyn CmLoss).collect();
+    let off = OfflinePmw::with_oracle(config.clone(), pmw::erm::ExactOracle::default());
+    let (off_result, _) = off.run(&refs, &cube, &data, &mut rng).unwrap();
+    let off_max = losses
+        .iter()
+        .zip(&off_result.answers)
+        .map(|(l, a)| excess_risk(l, &points, hist.weights(), a, 600).unwrap())
+        .fold(0.0f64, f64::max);
+
+    // Online: the same losses one at a time.
+    let mut online = OnlinePmw::with_oracle(
+        config,
+        &cube,
+        data,
+        pmw::erm::ExactOracle::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let mut on_max: f64 = 0.0;
+    for l in &losses {
+        if let Ok(theta) = online.answer(l, &mut rng) {
+            on_max =
+                on_max.max(excess_risk(l, &points, hist.weights(), &theta, 600).unwrap());
+        }
+    }
+
+    assert!(off_max < 0.15, "offline max risk {off_max}");
+    assert!(on_max < 0.15, "online max risk {on_max}");
+}
+
+#[test]
+fn quantile_queries_flow_through_the_mechanism() {
+    let mut rng = StdRng::seed_from_u64(42);
+    // 1-d grid data concentrated at high values: median far from the
+    // uniform hypothesis's.
+    let grid = GridUniverse::new(1, 17, -1.0, 1.0).unwrap();
+    let pop =
+        pmw::data::synth::gaussian_mixture_population(&grid, &[vec![0.6]], 0.15).unwrap();
+    let data = Dataset::sample_from(&pop, 4000, &mut rng).unwrap();
+    let hist = data.histogram();
+    let points = grid.materialize();
+
+    let config = PmwConfig::builder(3.0, 1e-6, 0.05)
+        .k(6)
+        .scale(2.0) // pinball S = diameter * L = 2
+        .rounds_override(6)
+        .solver_iters(3000)
+        .build()
+        .unwrap();
+    let mut mech = OnlinePmw::with_oracle(
+        config,
+        &grid,
+        data,
+        pmw::erm::ExactOracle::new(3000).unwrap(),
+        &mut rng,
+    )
+    .unwrap();
+    for tau in [0.25, 0.5, 0.75] {
+        let loss = QuantileLoss::new(tau, 0, 1, -1.0, 1.0).unwrap();
+        let theta = mech.answer(&loss, &mut rng).unwrap();
+        let risk = excess_risk(&loss, &points, hist.weights(), &theta, 3000).unwrap();
+        assert!(risk < 0.1, "tau={tau}: risk {risk} (answer {})", theta[0]);
+    }
+    // The median answer should land near the cluster, not near 0.
+    let med = QuantileLoss::median(0, 1).unwrap();
+    let theta = mech.answer(&med, &mut rng).unwrap();
+    assert!(theta[0] > 0.2, "median answer {} should be pulled high", theta[0]);
+}
+
+#[test]
+fn jl_glm_oracle_works_inside_the_full_mechanism() {
+    let mut rng = StdRng::seed_from_u64(43);
+    // Moderate-dimension point-cloud universe (GLM territory).
+    let d = 16usize;
+    let pts: Vec<Vec<f64>> = (0..48)
+        .map(|_| {
+            let v: Vec<f64> = (0..d).map(|_| rng.random::<f64>() - 0.5).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+            v.into_iter().map(|x| x / norm * 0.9).collect()
+        })
+        .collect();
+    let universe = EnumeratedUniverse::new(pts).unwrap();
+    let rows: Vec<usize> = (0..5000).map(|i| i % 48).collect();
+    let data = Dataset::from_indices(48, rows).unwrap();
+
+    let config = PmwConfig::builder(2.0, 1e-6, 0.3)
+        .k(5)
+        .rounds_override(4)
+        .solver_iters(400)
+        .build()
+        .unwrap();
+    let mut mech = OnlinePmw::with_oracle(
+        config,
+        &universe,
+        data,
+        JlGlmOracle::new(8, NoisyGdOracle::new(40).unwrap()).unwrap(),
+        &mut rng,
+    )
+    .unwrap();
+    let direction: Vec<f64> = (0..d).map(|i| if i < 3 { 1.0 } else { 0.0 }).collect();
+    let task = TargetLoss::regression(direction, LinkFn::Squared).unwrap();
+    let theta = mech.answer(&task, &mut rng).unwrap();
+    assert_eq!(theta.len(), d);
+    assert!(task.domain().contains(&theta, 1e-9));
+}
