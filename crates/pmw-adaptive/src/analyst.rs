@@ -159,8 +159,14 @@ mod tests {
         assert_eq!(
             selected,
             vec![
-                SelectedBit { bit: 1, positive: true },
-                SelectedBit { bit: 2, positive: false }
+                SelectedBit {
+                    bit: 1,
+                    positive: true
+                },
+                SelectedBit {
+                    bit: 2,
+                    positive: false
+                }
             ]
         );
         assert!(a.select(&[0.5; 3]).is_err());
@@ -170,8 +176,14 @@ mod tests {
     fn final_query_measures_agreement() {
         let a = OverfitAnalyst::new(3, 0.1).unwrap();
         let selected = vec![
-            SelectedBit { bit: 0, positive: true },
-            SelectedBit { bit: 2, positive: false },
+            SelectedBit {
+                bit: 0,
+                positive: true,
+            },
+            SelectedBit {
+                bit: 2,
+                positive: false,
+            },
         ];
         let q = a.final_query(&selected).unwrap().unwrap();
         // Point agreeing with both: bit0=1, bit2=0 -> value 1.

@@ -83,12 +83,8 @@ impl AdaptiveHarness {
         let exact_answer = |loss: &dyn CmLoss| -> Result<f64, PmwError> {
             let obj = WeightedObjective::new(loss, &points, sample_hist.weights())?;
             // The minimizer of (theta - p)^2/2 over the sample is the mean.
-            let theta = pmw_losses::traits::minimize_weighted(
-                loss,
-                &points,
-                sample_hist.weights(),
-                400,
-            )?;
+            let theta =
+                pmw_losses::traits::minimize_weighted(loss, &points, sample_hist.weights(), 400)?;
             let _ = obj;
             Ok(theta[0])
         };
@@ -109,13 +105,8 @@ impl AdaptiveHarness {
             };
 
         // ---- private arm: PMW-mediated answers -----------------------------
-        let mut mech = OnlinePmw::with_oracle(
-            self.pmw.clone(),
-            &cube,
-            sample,
-            ExactOracle::default(),
-            rng,
-        )?;
+        let mut mech =
+            OnlinePmw::with_oracle(self.pmw.clone(), &cube, sample, ExactOracle::default(), rng)?;
         let mut private_answers = Vec::with_capacity(self.dim);
         for q in &phase1 {
             match mech.answer(q, rng) {

@@ -1,7 +1,7 @@
 //! Populations: known distributions over a universe.
 
 use pmw_core::PmwError;
-use pmw_data::{Dataset, Histogram, Universe};
+use pmw_data::{Dataset, Histogram, PointMatrix, Universe};
 use pmw_losses::CmLoss;
 use pmw_losses::WeightedObjective;
 use rand::Rng;
@@ -11,7 +11,7 @@ use rand::Rng;
 /// experiments.
 pub struct Population {
     histogram: Histogram,
-    points: Vec<Vec<f64>>,
+    points: PointMatrix,
 }
 
 impl Population {
@@ -45,7 +45,7 @@ impl Population {
     }
 
     /// The universe points.
-    pub fn points(&self) -> &[Vec<f64>] {
+    pub fn points(&self) -> &PointMatrix {
         &self.points
     }
 
@@ -86,8 +86,7 @@ mod tests {
     #[test]
     fn sampling_matches_population_frequencies() {
         let cube = BooleanCube::new(3).unwrap();
-        let skew =
-            pmw_data::synth::product_population(&cube, &[0.9, 0.5, 0.5]).unwrap();
+        let skew = pmw_data::synth::product_population(&cube, &[0.9, 0.5, 0.5]).unwrap();
         let pop = Population::new(&cube, skew).unwrap();
         let mut rng = StdRng::seed_from_u64(201);
         let d = pop.sample(5000, &mut rng).unwrap();
@@ -100,11 +99,8 @@ mod tests {
     fn risk_is_population_average() {
         let cube = BooleanCube::new(2).unwrap();
         let pop = Population::uniform(&cube).unwrap();
-        let loss = LinearQueryLoss::new(
-            PointPredicate::Conjunction { coords: vec![0] },
-            2,
-        )
-        .unwrap();
+        let loss =
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, 2).unwrap();
         // l(theta; x) = (theta - p)^2/2 averaged over p in {0,1} equally:
         // at theta = 0.5 -> 0.125.
         let r = pop.risk(&loss, &[0.5]).unwrap();

@@ -100,9 +100,7 @@ mod tests {
         assert!(EpsilonAudit::new(0).is_err());
         let audit = EpsilonAudit::new(10).unwrap();
         let mut rng = StdRng::seed_from_u64(181);
-        assert!(audit
-            .estimate(|_| true, |_| false, 1.5, &mut rng)
-            .is_err());
+        assert!(audit.estimate(|_| true, |_| false, 1.5, &mut rng).is_err());
     }
 
     #[test]
@@ -162,9 +160,7 @@ mod tests {
         // Identity "mechanism": the audit must report a large epsilon.
         let audit = EpsilonAudit::new(5_000).unwrap();
         let mut rng = StdRng::seed_from_u64(184);
-        let result = audit
-            .estimate(|_| true, |_| false, 0.0, &mut rng)
-            .unwrap();
+        let result = audit.estimate(|_| true, |_| false, 0.0, &mut rng).unwrap();
         assert!(
             result.epsilon_lower_bound > 5.0,
             "{}",

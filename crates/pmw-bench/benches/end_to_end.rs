@@ -2,12 +2,15 @@
 //!
 //! The ⊥ (served-from-hypothesis) path costs two inner solves; the ⊤ path
 //! adds the oracle call and the `Θ(|X|)` MW update — the asymmetry the
-//! paper's free-query design exploits.
+//! paper's free-query design exploits. A third group isolates the Θ(|X|)
+//! core of a ⊤-round — dual-certificate sweep over the flat `PointMatrix`
+//! plus the log-domain MW update — without the solver work around it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmw_bench::skewed_cube_dataset;
+use pmw_core::update::dual_certificate_into;
 use pmw_core::{OnlinePmw, PmwConfig};
-use pmw_data::Dataset;
+use pmw_data::{Dataset, Histogram, PointMatrix};
 use pmw_erm::ExactOracle;
 use pmw_losses::{LinearQueryLoss, PointPredicate};
 use rand::rngs::StdRng;
@@ -41,9 +44,7 @@ fn bench_bottom_path(c: &mut Criterion) {
         &mut rng,
     )
     .unwrap();
-    let loss =
-        LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, dim)
-            .unwrap();
+    let loss = LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, dim).unwrap();
     let mut group = c.benchmark_group("online_pmw");
     group.sample_size(20);
     group.bench_function("answer_bottom_path_X256", |b| {
@@ -70,7 +71,9 @@ fn bench_full_run(c: &mut Criterion) {
             .unwrap();
             for j in 0..5 {
                 let loss = LinearQueryLoss::new(
-                    PointPredicate::Conjunction { coords: vec![j % 8] },
+                    PointPredicate::Conjunction {
+                        coords: vec![j % 8],
+                    },
                     8,
                 )
                 .unwrap();
@@ -81,5 +84,33 @@ fn bench_full_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bottom_path, bench_full_run);
+fn bench_update_round_kernel(c: &mut Criterion) {
+    // The Θ(|X|) heart of a ⊤-round on the new flat/log-domain substrate:
+    // one certificate sweep into a reused buffer, one fused MW update, one
+    // lazy weight materialization.
+    let dim = 12usize;
+    let m = 1usize << dim;
+    let cube = pmw_data::BooleanCube::new(dim).unwrap();
+    let points = PointMatrix::from_universe(&cube);
+    let loss = LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, dim).unwrap();
+    let mut hist = Histogram::uniform(m).unwrap();
+    let mut u = vec![0.0; m];
+    let mut group = c.benchmark_group("online_pmw");
+    group.bench_function("update_round_kernel_X4096", |b| {
+        b.iter(|| {
+            dual_certificate_into(&loss, &points, black_box(&[0.8]), black_box(&[0.2]), &mut u)
+                .unwrap();
+            hist.mw_update(&u, black_box(0.01)).unwrap();
+            black_box(hist.weights());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bottom_path,
+    bench_full_run,
+    bench_update_round_kernel
+);
 criterion_main!(benches);

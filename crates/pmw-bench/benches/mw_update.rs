@@ -1,26 +1,107 @@
 //! Criterion bench: multiplicative-weights update throughput vs `|X|`.
 //!
 //! The MW update is the `Θ(|X|)` inner loop Section 4.3 identifies as the
-//! running-time bottleneck; this bench pins its per-element cost.
+//! running-time bottleneck. Two groups pin its cost:
+//!
+//! * `mw_update` — the log-domain fused pass (`log_w[x] -= η·u[x]`, lazy
+//!   log-sum-exp normalization);
+//! * `mw_update_reference` — the seed's dense exp-renormalize update, kept
+//!   as the baseline the acceptance criterion compares against (the
+//!   log-domain path must be ≥ 3× faster at `|X| = 2^14`).
+//!
+//! A third group times the batched dual-certificate sweep
+//! (`CmLoss::certificate_batch` over the flat `PointMatrix`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pmw_data::Histogram;
+use pmw_bench::mw_update_reference;
+use pmw_core::update::dual_certificate_into;
+use pmw_data::{BooleanCube, Histogram, PointMatrix};
+use pmw_losses::{LinearQueryLoss, PointPredicate, SquaredLoss};
 use std::hint::black_box;
+
+fn payoffs(m: usize) -> Vec<f64> {
+    (0..m)
+        .map(|i| if i % 2 == 0 { 0.7 } else { -0.4 })
+        .collect()
+}
 
 fn bench_mw_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("mw_update");
     for log2_x in [8usize, 10, 12, 14] {
         let m = 1usize << log2_x;
         let mut hist = Histogram::uniform(m).unwrap();
-        let payoff: Vec<f64> = (0..m)
-            .map(|i| if i % 2 == 0 { 0.7 } else { -0.4 })
-            .collect();
+        let payoff = payoffs(m);
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
             b.iter(|| {
                 hist.mw_update(black_box(&payoff), black_box(0.01)).unwrap();
             })
         });
     }
+    group.finish();
+}
+
+fn bench_mw_update_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mw_update_reference");
+    for log2_x in [8usize, 10, 12, 14] {
+        let m = 1usize << log2_x;
+        let mut weights = vec![1.0 / m as f64; m];
+        let payoff = payoffs(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                mw_update_reference(black_box(&mut weights), black_box(&payoff), black_box(0.01));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_certificate_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certificate_batch");
+    // Linear-query loss over the boolean cube: the Figure-3 workload.
+    for log2_x in [10usize, 12, 14] {
+        let dim = log2_x;
+        let m = 1usize << log2_x;
+        let cube = BooleanCube::new(dim).unwrap();
+        let points = PointMatrix::from_universe(&cube);
+        let loss =
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, dim).unwrap();
+        let mut u = vec![0.0; m];
+        group.bench_with_input(BenchmarkId::new("linear_query", m), &m, |b, _| {
+            b.iter(|| {
+                dual_certificate_into(
+                    black_box(&loss),
+                    black_box(&points),
+                    black_box(&[0.9]),
+                    black_box(&[0.1]),
+                    &mut u,
+                )
+                .unwrap();
+            })
+        });
+    }
+    // Squared loss over labeled points: the CM-query workload.
+    let d = 4usize;
+    let m = 1usize << 12;
+    let flat: Vec<f64> = (0..m * (d + 1))
+        .map(|i| ((i % 17) as f64 / 17.0 - 0.5) / (d as f64).sqrt())
+        .collect();
+    let points = PointMatrix::from_flat(flat, d + 1).unwrap();
+    let loss = SquaredLoss::new(d).unwrap();
+    let theta_o = vec![0.3; d];
+    let theta_h = vec![-0.2; d];
+    let mut u = vec![0.0; m];
+    group.bench_with_input(BenchmarkId::new("squared", m), &m, |b, _| {
+        b.iter(|| {
+            dual_certificate_into(
+                black_box(&loss),
+                black_box(&points),
+                black_box(&theta_o),
+                black_box(&theta_h),
+                &mut u,
+            )
+            .unwrap();
+        })
+    });
     group.finish();
 }
 
@@ -38,5 +119,11 @@ fn bench_histogram_ops(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mw_update, bench_histogram_ops);
+criterion_group!(
+    benches,
+    bench_mw_update,
+    bench_mw_update_reference,
+    bench_certificate_batch,
+    bench_histogram_ops
+);
 criterion_main!(benches);

@@ -2,9 +2,7 @@
 //! the per-query cost floor of the mechanism's two non-private solves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pmw_convex::{
-    Domain, FrankWolfe, ProjectedGradientDescent, QuadraticObjective, SolverConfig,
-};
+use pmw_convex::{Domain, FrankWolfe, ProjectedGradientDescent, QuadraticObjective, SolverConfig};
 use std::hint::black_box;
 
 fn bench_solvers(c: &mut Criterion) {
@@ -17,8 +15,7 @@ fn bench_solvers(c: &mut Criterion) {
         let domain = Domain::unit_ball(dim).unwrap();
         group.bench_with_input(BenchmarkId::new("pgd_200", dim), &dim, |b, _| {
             let solver =
-                ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 200).unwrap())
-                    .unwrap();
+                ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 200).unwrap()).unwrap();
             b.iter(|| black_box(solver.minimize(&obj, &domain, None).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("fw_200", dim), &dim, |b, _| {

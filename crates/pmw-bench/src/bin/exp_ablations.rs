@@ -42,8 +42,7 @@ fn main() {
                 .sum()
         },
         move |th: &[f64], out: &mut [f64]| {
-            for ((o, (a, b)), l) in out.iter_mut().zip(th.iter().zip(&target)).zip(&lambda)
-            {
+            for ((o, (a, b)), l) in out.iter_mut().zip(th.iter().zip(&target)).zip(&lambda) {
                 *o = l * (a - b);
             }
         },
@@ -113,12 +112,14 @@ fn main() {
     for t in [10usize, 40, 160] {
         // DRV10 route: per-step (eps', delta') then classic Gaussian sigma.
         let step = per_step_budget_for(b0, t).unwrap();
-        let drv_sigma = sensitivity * (2.0 * (1.25 / step.delta()).ln()).sqrt()
-            / step.epsilon();
+        let drv_sigma = sensitivity * (2.0 * (1.25 / step.delta()).ln()).sqrt() / step.epsilon();
         // zCDP route: rho budget split across steps.
         let rho = rho_for_budget(b0).unwrap();
         let zcdp_sigma = sensitivity * (t as f64 / (2.0 * rho)).sqrt();
-        row(&t.to_string(), &[drv_sigma, zcdp_sigma, drv_sigma / zcdp_sigma]);
+        row(
+            &t.to_string(),
+            &[drv_sigma, zcdp_sigma, drv_sigma / zcdp_sigma],
+        );
     }
     println!("# saving_factor ~ sqrt(8 ln(1/delta)) regardless of T");
 }

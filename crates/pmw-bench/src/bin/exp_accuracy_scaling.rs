@@ -21,7 +21,13 @@ fn main() {
     let seeds = 5u64;
 
     println!("# E8 / Theorem 3.8: max excess risk vs n (k={k}, alpha={alpha}, T={rounds})");
-    header(&["n", "max_risk_mean", "max_risk_std", "updates_mean", "within_alpha_frac"]);
+    header(&[
+        "n",
+        "max_risk_mean",
+        "max_risk_std",
+        "updates_mean",
+        "within_alpha_frac",
+    ]);
 
     for n in [500usize, 2000, 8000, 32000, 64000, 128000] {
         let mut updates_sum = 0.0;
@@ -35,8 +41,7 @@ fn main() {
                     let b1 = j % dim;
                     let b2 = (j / dim) % dim;
                     let coords = if b1 == b2 { vec![b1] } else { vec![b1, b2] };
-                    LinearQueryLoss::new(PointPredicate::Conjunction { coords }, dim)
-                        .unwrap()
+                    LinearQueryLoss::new(PointPredicate::Conjunction { coords }, dim).unwrap()
                 })
                 .collect();
             let config = PmwConfig::builder(1.0, 1e-6, alpha)
@@ -46,20 +51,14 @@ fn main() {
                 .solver_iters(250)
                 .build()
                 .unwrap();
-            let mut mech = OnlinePmw::with_oracle(
-                config,
-                &cube,
-                data,
-                NoisyGdOracle::new(30).unwrap(),
-                rng,
-            )
-            .unwrap();
+            let mut mech =
+                OnlinePmw::with_oracle(config, &cube, data, NoisyGdOracle::new(30).unwrap(), rng)
+                    .unwrap();
             let mut max_risk: f64 = 0.0;
             for loss in &losses {
                 match mech.answer(loss, rng) {
                     Ok(theta) => {
-                        let r = excess_risk(loss, &points, hist.weights(), &theta, 400)
-                            .unwrap();
+                        let r = excess_risk(loss, &points, hist.weights(), &theta, 400).unwrap();
                         max_risk = max_risk.max(r);
                     }
                     Err(_) => break,
@@ -73,12 +72,7 @@ fn main() {
         });
         row(
             &n.to_string(),
-            &[
-                mean,
-                std,
-                updates_sum / seeds as f64,
-                within / seeds as f64,
-            ],
+            &[mean, std, updates_sum / seeds as f64, within / seeds as f64],
         );
     }
 }

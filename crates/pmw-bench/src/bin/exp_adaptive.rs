@@ -16,7 +16,13 @@ fn main() {
     let n = 150usize;
     let runs = 8usize;
     println!("# E12 / Section 1.3: overfitting gap, naive sample reuse vs PMW (n={n})");
-    header(&["dim", "naive_gap_mean", "naive_std", "pmw_gap_mean", "pmw_std"]);
+    header(&[
+        "dim",
+        "naive_gap_mean",
+        "naive_std",
+        "pmw_gap_mean",
+        "pmw_std",
+    ]);
 
     for dim in [4usize, 8, 12, 16] {
         let harness = AdaptiveHarness {

@@ -45,7 +45,14 @@ fn main() {
     let predicted = theory::crossover_k(1.0, log_x, alpha);
     println!("# E10 / Section 4.1 crossover: n={n}, |X|=2^{dim}, eps={eps}, alpha={alpha}");
     println!("# theory::crossover_k (S=1) predicts PMW wins for k >= {predicted}");
-    header(&["k", "pmw_mean_risk", "pmw_std", "comp_mean_risk", "comp_std", "pmw_wins"]);
+    header(&[
+        "k",
+        "pmw_mean_risk",
+        "pmw_std",
+        "comp_mean_risk",
+        "comp_std",
+        "pmw_wins",
+    ]);
 
     for k in [2usize, 8, 32, 128, 512] {
         let (pmw_mean, pmw_std) = replicate(0..seeds, |rng| {
@@ -60,20 +67,15 @@ fn main() {
                 .solver_iters(250)
                 .build()
                 .unwrap();
-            let mut mech = OnlinePmw::with_oracle(
-                config,
-                &cube,
-                data,
-                NoisyGdOracle::new(30).unwrap(),
-                rng,
-            )
-            .unwrap();
+            let mut mech =
+                OnlinePmw::with_oracle(config, &cube, data, NoisyGdOracle::new(30).unwrap(), rng)
+                    .unwrap();
             let mut risks = Vec::new();
             for loss in &losses {
                 match mech.answer(loss, rng) {
-                    Ok(theta) => risks.push(
-                        excess_risk(loss, &points, hist.weights(), &theta, 400).unwrap(),
-                    ),
+                    Ok(theta) => {
+                        risks.push(excess_risk(loss, &points, hist.weights(), &theta, 400).unwrap())
+                    }
                     Err(_) => break,
                 }
             }
@@ -96,9 +98,7 @@ fn main() {
             let mut risks = Vec::new();
             for loss in &losses {
                 let theta = mech.answer(loss, rng).unwrap();
-                risks.push(
-                    excess_risk(loss, &points, hist.weights(), &theta, 400).unwrap(),
-                );
+                risks.push(excess_risk(loss, &points, hist.weights(), &theta, 400).unwrap());
             }
             risks.iter().sum::<f64>() / risks.len().max(1) as f64
         });

@@ -9,7 +9,7 @@
 use pmw_bench::clustered_grid_dataset;
 use pmw_core::{OnlinePmw, PmwConfig, QueryOutcome};
 use pmw_erm::ExactOracle;
-use pmw_losses::{catalog, LinkFn, LinearQueryLoss, PointPredicate};
+use pmw_losses::{catalog, LinearQueryLoss, LinkFn, PointPredicate};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,8 +27,7 @@ fn main() {
         .unwrap();
     let alpha0 = alpha / 4.0;
     let mut mech =
-        OnlinePmw::with_oracle(config, &grid, data, ExactOracle::default(), &mut rng)
-            .unwrap();
+        OnlinePmw::with_oracle(config, &grid, data, ExactOracle::default(), &mut rng).unwrap();
 
     // A mixed workload: threshold linear-queries (strongly data-dependent)
     // and regression tasks.

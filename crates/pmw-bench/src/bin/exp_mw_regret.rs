@@ -33,17 +33,9 @@ fn main() {
                 // the target, -S where it underweights — maximizes
                 // <u, hyp - target> subject to u in [-S, S]^X.
                 let u: Vec<f64> = (0..m)
-                    .map(|x| {
-                        if hyp.mass(x) >= target.mass(x) {
-                            s
-                        } else {
-                            -s
-                        }
-                    })
+                    .map(|x| if hyp.mass(x) >= target.mass(x) { s } else { -s })
                     .collect();
-                let gain: f64 = (0..m)
-                    .map(|x| u[x] * (hyp.mass(x) - target.mass(x)))
-                    .sum();
+                let gain: f64 = (0..m).map(|x| u[x] * (hyp.mass(x) - target.mass(x))).sum();
                 regret_sum += gain;
                 hyp.mw_update(&u, eta).unwrap();
             }
@@ -53,10 +45,7 @@ fn main() {
                 measured <= bound + 1e-9,
                 "LEMMA 3.4 VIOLATED: {measured} > {bound}"
             );
-            row(
-                &format!("{log2_x}\t{t_rounds}"),
-                &[measured, bound],
-            );
+            row(&format!("{log2_x}\t{t_rounds}"), &[measured, bound]);
         }
     }
     println!("# every measured value must sit below its bound (asserted)");

@@ -95,11 +95,8 @@ fn main() {
             r,
         )
         .unwrap();
-        let loss = LinearQueryLoss::new(
-            PointPredicate::Conjunction { coords: vec![0] },
-            3,
-        )
-        .unwrap();
+        let loss =
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, 3).unwrap();
         match mech.answer(&loss, r) {
             Ok(theta) => theta[0] > 0.55,
             Err(_) => false,

@@ -2,67 +2,210 @@
 //!
 //! Paper claim: each iteration costs `poly(n, d)` except the histogram
 //! update, which is `Θ(|X|)`; overall `poly(n, |X|, k)`, exponential in the
-//! data dimension — and inherently so \[Ull13\]. We time full PMW queries as
-//! `|X|` doubles and report per-query wall time; the series should grow
-//! ~linearly in `|X|` once the histogram work dominates.
+//! data dimension — and inherently so \[Ull13\]. This binary pins the three
+//! Θ(|X|) kernels at `|X| ∈ {2^12 … 2^20}`:
+//!
+//! 1. `mw_update` — the fused log-domain pass (`log_w[x] -= η·u[x]`),
+//!    measured against the seed's dense exp-renormalize reference
+//!    ([`pmw_bench::mw_update_reference`]);
+//! 2. the dual-certificate sweep (`certificate_batch` over the flat
+//!    [`PointMatrix`](pmw_data::PointMatrix));
+//! 3. a full `OnlinePmw::answer` round (oracle solve + sweep + update).
+//!
+//! Besides the TSV on stdout it writes `BENCH_runtime.json` (machine
+//! readable, ns/element per kernel per size) into the working directory —
+//! the perf trajectory record for future scaling PRs.
 
-use pmw_bench::{header, row, skewed_cube_dataset};
+use pmw_bench::{header, mw_update_reference, row, skewed_cube_dataset};
+use pmw_core::update::dual_certificate_into;
 use pmw_core::{OnlinePmw, PmwConfig};
+use pmw_data::{Histogram, PointMatrix};
 use pmw_erm::ExactOracle;
 use pmw_losses::{LinearQueryLoss, PointPredicate};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
 use std::time::Instant;
 
-fn main() {
-    let n = 2000usize;
-    let k = 10usize;
-    println!("# E11 / Section 4.3: per-query wall time vs |X| (n={n}, k={k})");
-    header(&["log2_X", "universe_size", "per_query_ms", "per_query_us_per_elem"]);
+/// Mean wall time of `f` in nanoseconds over `reps` calls (plus warmup).
+fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..2 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
 
-    for dim in [6usize, 8, 10, 12, 14] {
-        let mut rng = StdRng::seed_from_u64(11);
-        let (cube, data) = skewed_cube_dataset(dim, n, &mut rng);
-        let m = 1usize << dim;
-        let config = PmwConfig::builder(2.0, 1e-6, 0.1)
-            .k(k)
-            .scale(1.0)
-            .rounds_override(6)
-            .solver_iters(150)
-            .build()
-            .unwrap();
-        let mut mech = OnlinePmw::with_oracle(
-            config,
-            &cube,
-            data,
-            ExactOracle::new(150).unwrap(),
-            &mut rng,
+struct SizeReport {
+    log2_x: usize,
+    point_dim: usize,
+    mw_update_ns_per_elem: f64,
+    mw_update_with_read_ns_per_elem: f64,
+    mw_update_reference_ns_per_elem: f64,
+    mw_update_speedup: f64,
+    mw_update_with_read_speedup: f64,
+    certificate_ns_per_elem: f64,
+    end_to_end_round_ns_per_elem: f64,
+}
+
+/// Kernel timings at `|X| = 2^log2_x` over the `log2_x`-bit boolean cube.
+fn measure(log2_x: usize) -> SizeReport {
+    let m = 1usize << log2_x;
+    let dim = log2_x;
+    let mut rng = StdRng::seed_from_u64(42 + log2_x as u64);
+    // Scale repetitions so each kernel gets ~the same total work.
+    let reps = ((1usize << 22) / m.max(1)).clamp(3, 256);
+
+    // --- Kernel 1: MW update, log-domain vs the seed's dense reference. ---
+    let payoff: Vec<f64> = (0..m).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect();
+    let mut hist = Histogram::uniform(m).unwrap();
+    let mw_ns = time_ns(reps, || {
+        hist.mw_update(black_box(&payoff), black_box(0.01)).unwrap();
+    });
+    black_box(hist.weights());
+    // Steady-state variant: OnlinePmw reads `weights()` at the top of every
+    // round, so a ⊤-round pays the deferred exp/normalize pass exactly once
+    // — time update + read together so the JSON records that cost too.
+    let mw_read_ns = time_ns(reps, || {
+        hist.mw_update(black_box(&payoff), black_box(0.01)).unwrap();
+        black_box(hist.weights());
+    });
+    let mut dense = vec![1.0 / m as f64; m];
+    let ref_ns = time_ns(reps, || {
+        mw_update_reference(black_box(&mut dense), black_box(&payoff), black_box(0.01));
+    });
+
+    // --- Kernel 2: dual-certificate sweep over the flat PointMatrix. ---
+    let cube = pmw_data::BooleanCube::new(dim).unwrap();
+    let points = PointMatrix::from_universe(&cube);
+    let loss = LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, dim).unwrap();
+    let mut u = vec![0.0; m];
+    let cert_ns = time_ns(reps, || {
+        dual_certificate_into(
+            black_box(&loss),
+            black_box(&points),
+            black_box(&[0.9]),
+            black_box(&[0.1]),
+            &mut u,
         )
         .unwrap();
-        let losses: Vec<LinearQueryLoss> = (0..k)
-            .map(|j| {
-                LinearQueryLoss::new(
-                    PointPredicate::Conjunction { coords: vec![j % dim] },
-                    dim,
-                )
-                .unwrap()
-            })
-            .collect();
-        let start = Instant::now();
-        let mut answered = 0usize;
-        for loss in &losses {
-            if mech.answer(loss, &mut rng).is_ok() {
-                answered += 1;
-            } else {
-                break;
-            }
+    });
+
+    // --- Kernel 3: a full online round (oracle solve + sweep + update). ---
+    let (cube, data) = skewed_cube_dataset(dim, 2000, &mut rng);
+    let k = 6usize;
+    let config = PmwConfig::builder(2.0, 1e-6, 0.1)
+        .k(k)
+        .scale(1.0)
+        .rounds_override(k)
+        .solver_iters(80)
+        .build()
+        .unwrap();
+    let mut mech =
+        OnlinePmw::with_oracle(config, &cube, data, ExactOracle::new(80).unwrap(), &mut rng)
+            .unwrap();
+    let start = Instant::now();
+    let mut answered = 0usize;
+    for j in 0..k {
+        let loss = LinearQueryLoss::new(
+            PointPredicate::Conjunction {
+                coords: vec![j % dim],
+            },
+            dim,
+        )
+        .unwrap();
+        if mech.answer(&loss, &mut rng).is_ok() {
+            answered += 1;
+        } else {
+            break;
         }
-        let elapsed = start.elapsed().as_secs_f64();
-        let per_query_ms = elapsed / answered.max(1) as f64 * 1e3;
-        row(
-            &format!("{dim}\t{m}"),
-            &[per_query_ms, per_query_ms * 1e3 / m as f64],
-        );
     }
-    println!("# per_query_us_per_elem should stabilize: time is linear in |X|");
+    let round_ns = start.elapsed().as_nanos() as f64 / answered.max(1) as f64;
+
+    SizeReport {
+        log2_x,
+        point_dim: dim,
+        mw_update_ns_per_elem: mw_ns / m as f64,
+        mw_update_with_read_ns_per_elem: mw_read_ns / m as f64,
+        mw_update_reference_ns_per_elem: ref_ns / m as f64,
+        // Burst regime: updates with normalization deferred (the acceptance
+        // metric). The with_read variant is the steady-state comparison —
+        // OnlinePmw reads weights() once per round, so the deferred
+        // log-sum-exp pass is paid there.
+        mw_update_speedup: ref_ns / mw_ns,
+        mw_update_with_read_speedup: ref_ns / mw_read_ns,
+        certificate_ns_per_elem: cert_ns / m as f64,
+        end_to_end_round_ns_per_elem: round_ns / m as f64,
+    }
+}
+
+fn main() {
+    let parallel = cfg!(feature = "parallel");
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("# E11 / Section 4.3: Θ(|X|) kernel cost (parallel={parallel}, threads={threads})");
+    header(&[
+        "log2_X",
+        "mw_update_ns_per_elem",
+        "mw_update_with_read_ns_per_elem",
+        "mw_reference_ns_per_elem",
+        "mw_speedup",
+        "certificate_ns_per_elem",
+        "end_to_end_round_ns_per_elem",
+    ]);
+
+    let mut reports = Vec::new();
+    for log2_x in [12usize, 14, 16, 18, 20] {
+        let r = measure(log2_x);
+        row(
+            &format!("{log2_x}"),
+            &[
+                r.mw_update_ns_per_elem,
+                r.mw_update_with_read_ns_per_elem,
+                r.mw_update_reference_ns_per_elem,
+                r.mw_update_speedup,
+                r.certificate_ns_per_elem,
+                r.end_to_end_round_ns_per_elem,
+            ],
+        );
+        reports.push(r);
+    }
+    println!("# ns/element should stabilize: time is linear in |X|");
+
+    // Machine-readable record (hand-rolled JSON: the workspace is offline
+    // and vendors no serde).
+    let sizes: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"log2_x\": {}, \"universe\": {}, \"point_dim\": {}, \
+                 \"mw_update_ns_per_elem\": {:.3}, \
+                 \"mw_update_with_read_ns_per_elem\": {:.3}, \
+                 \"mw_update_reference_ns_per_elem\": {:.3}, \
+                 \"mw_update_speedup\": {:.2}, \
+                 \"mw_update_with_read_speedup\": {:.2}, \
+                 \"certificate_ns_per_elem\": {:.3}, \
+                 \"end_to_end_round_ns_per_elem\": {:.3}}}",
+                r.log2_x,
+                1usize << r.log2_x,
+                r.point_dim,
+                r.mw_update_ns_per_elem,
+                r.mw_update_with_read_ns_per_elem,
+                r.mw_update_reference_ns_per_elem,
+                r.mw_update_speedup,
+                r.mw_update_with_read_speedup,
+                r.certificate_ns_per_elem,
+                r.end_to_end_round_ns_per_elem,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"runtime_scaling\",\n  \"units\": \"ns_per_element\",\n  \
+         \"parallel\": {parallel},\n  \"threads\": {threads},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        sizes.join(",\n")
+    );
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("# wrote BENCH_runtime.json");
 }

@@ -23,8 +23,7 @@ fn main() {
     let trials = 400usize;
 
     let budget = PrivacyBudget::new(eps, delta).unwrap();
-    let paper_n =
-        SparseVector::paper_required_n(scale_s, max_top, k, alpha, budget, 0.05);
+    let paper_n = SparseVector::paper_required_n(scale_s, max_top, k, alpha, budget, 0.05);
     println!("# E5 / Theorem 3.1: threshold game violation rate vs n");
     println!("# T={max_top}, k={k}, alpha={alpha}, eps={eps}; paper-constant n = {paper_n:.0}");
     header(&["n", "violation_rate", "halt_rate"]);

@@ -48,8 +48,7 @@ fn main() {
             let data = Dataset::from_indices(universe.size(), rows).unwrap();
             let hist = data.histogram();
             let points = universe.materialize();
-            let direction: Vec<f64> =
-                (0..d).map(|i| if i < 4 { 1.0 } else { 0.0 }).collect();
+            let direction: Vec<f64> = (0..d).map(|i| if i < 4 { 1.0 } else { 0.0 }).collect();
             // Hinge classification: risk is linear in parameter error, so
             // the oracle's noise-norm growth with d is visible (see E2).
             let task = TargetLoss::classification(direction, LinkFn::Hinge).unwrap();
@@ -65,8 +64,7 @@ fn main() {
             let data = Dataset::from_indices(universe.size(), rows).unwrap();
             let hist = data.histogram();
             let points = universe.materialize();
-            let direction: Vec<f64> =
-                (0..d).map(|i| if i < 4 { 1.0 } else { 0.0 }).collect();
+            let direction: Vec<f64> = (0..d).map(|i| if i < 4 { 1.0 } else { 0.0 }).collect();
             let task = TargetLoss::classification(direction, LinkFn::Hinge).unwrap();
             let oracle = NoisyGdOracle::new(40).unwrap();
             let theta = oracle

@@ -26,7 +26,13 @@ fn main() {
 
     println!("# E1 / Table 1 row 1: linear queries, n={n}, |X|=2^{dim}, eps={eps}");
     println!("# paper: PMW error ~ log k (flat), composition error ~ sqrt(k)");
-    header(&["k", "pmw_max_err", "pmw_std", "laplace_max_err", "laplace_std"]);
+    header(&[
+        "k",
+        "pmw_max_err",
+        "pmw_std",
+        "laplace_max_err",
+        "laplace_std",
+    ]);
 
     for k in [8usize, 16, 32, 64, 128, 256, 512] {
         let (pmw_mean, pmw_std) = replicate(0..seeds, |rng| {

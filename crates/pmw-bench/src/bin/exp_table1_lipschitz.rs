@@ -31,28 +31,21 @@ fn main() {
             let (grid, data) = clustered_grid_dataset(3, 5, n, rng);
             let hist = data.histogram();
             let points = grid.materialize();
-            let tasks =
-                catalog::random_regression_tasks(3, k, LinkFn::Squared, rng).unwrap();
+            let tasks = catalog::random_regression_tasks(3, k, LinkFn::Squared, rng).unwrap();
             let config = PmwConfig::builder(eps, delta, alpha)
                 .k(k)
                 .rounds_override(8)
                 .solver_iters(300)
                 .build()
                 .unwrap();
-            let mut mech = OnlinePmw::with_oracle(
-                config,
-                &grid,
-                data,
-                NoisyGdOracle::new(40).unwrap(),
-                rng,
-            )
-            .unwrap();
+            let mut mech =
+                OnlinePmw::with_oracle(config, &grid, data, NoisyGdOracle::new(40).unwrap(), rng)
+                    .unwrap();
             let mut max_risk: f64 = 0.0;
             for t in &tasks {
                 match mech.answer(t, rng) {
                     Ok(theta) => {
-                        let r =
-                            excess_risk(t, &points, hist.weights(), &theta, 500).unwrap();
+                        let r = excess_risk(t, &points, hist.weights(), &theta, 500).unwrap();
                         max_risk = max_risk.max(r);
                     }
                     Err(_) => break,
@@ -64,8 +57,7 @@ fn main() {
             let (grid, data) = clustered_grid_dataset(3, 5, n, rng);
             let hist = data.histogram();
             let points = grid.materialize();
-            let tasks =
-                catalog::random_regression_tasks(3, k, LinkFn::Squared, rng).unwrap();
+            let tasks = catalog::random_regression_tasks(3, k, LinkFn::Squared, rng).unwrap();
             let budget = PrivacyBudget::new(eps, delta).unwrap();
             let mut mech = CompositionMechanism::with_oracle(
                 budget,
@@ -100,8 +92,7 @@ fn main() {
             let (grid, data) = clustered_grid_dataset(d, cells, n_b, rng);
             let hist = data.histogram();
             let points = grid.materialize();
-            let task = &catalog::random_classification_tasks(d, 1, LinkFn::Hinge, rng)
-                .unwrap()[0];
+            let task = &catalog::random_classification_tasks(d, 1, LinkFn::Hinge, rng).unwrap()[0];
             let budget = PrivacyBudget::new(0.4, delta).unwrap();
             let oracle = NoisyGdOracle::new(40).unwrap();
             let theta = oracle

@@ -49,12 +49,11 @@ fn main() {
             let (grid, data) = clustered_grid_dataset(3, 5, n, rng);
             let hist = data.histogram();
             let points = grid.materialize();
-            let tasks: Vec<_> =
-                catalog::random_regression_tasks(3, k, LinkFn::Squared, rng)
-                    .unwrap()
-                    .into_iter()
-                    .map(|t| L2Regularized::new(t, 0.5).unwrap())
-                    .collect();
+            let tasks: Vec<_> = catalog::random_regression_tasks(3, k, LinkFn::Squared, rng)
+                .unwrap()
+                .into_iter()
+                .map(|t| L2Regularized::new(t, 0.5).unwrap())
+                .collect();
             let config = PmwConfig::builder(2.0, delta, 0.25)
                 .k(k)
                 .rounds_override(8)
@@ -73,8 +72,7 @@ fn main() {
             for t in &tasks {
                 match mech.answer(t, rng) {
                     Ok(theta) => {
-                        let r =
-                            excess_risk(t, &points, hist.weights(), &theta, 500).unwrap();
+                        let r = excess_risk(t, &points, hist.weights(), &theta, 500).unwrap();
                         max_risk = max_risk.max(r);
                     }
                     Err(_) => break,
@@ -83,9 +81,6 @@ fn main() {
             updates_total += mech.updates_used() as f64;
             max_risk
         });
-        row(
-            &k.to_string(),
-            &[mean, std, updates_total / seeds as f64],
-        );
+        row(&k.to_string(), &[mean, std, updates_total / seeds as f64]);
     }
 }

@@ -33,11 +33,8 @@ pub fn mean_std(values: &[f64]) -> (f64, f64) {
     if values.len() < 2 {
         return (mean, 0.0);
     }
-    let var = values
-        .iter()
-        .map(|v| (v - mean) * (v - mean))
-        .sum::<f64>()
-        / (values.len() - 1) as f64;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
     (mean, var.sqrt())
 }
 
@@ -83,12 +80,32 @@ pub fn clustered_grid_dataset(
     (grid, data)
 }
 
+/// The seed's dense-domain multiplicative-weights update, kept verbatim as
+/// the perf reference the log-domain [`pmw_data::Histogram::mw_update`] is
+/// measured against: one `exp` per element plus a renormalization sweep per
+/// call (exponents stabilized at `min(u)`, exactly as the seed did).
+///
+/// # Panics
+/// Panics when `weights.len() != u.len()`.
+pub fn mw_update_reference(weights: &mut [f64], u: &[f64], eta: f64) {
+    assert_eq!(weights.len(), u.len(), "payoff length must match weights");
+    let min_u = u.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut total = 0.0;
+    for (w, &ux) in weights.iter_mut().zip(u) {
+        *w *= (-eta * (ux - min_u)).exp();
+        total += *w;
+    }
+    for w in weights.iter_mut() {
+        *w /= total;
+    }
+}
+
 /// Worst-case (max) excess risk of a batch of answers (`None` = unanswered,
 /// skipped).
 pub fn max_risk<L: pmw_losses::CmLoss>(
     losses: &[L],
     answers: &[Option<Vec<f64>>],
-    points: &[Vec<f64>],
+    points: &pmw_data::PointMatrix,
     weights: &[f64],
 ) -> f64 {
     losses
@@ -125,6 +142,24 @@ mod tests {
     }
 
     #[test]
+    fn reference_update_matches_log_domain_histogram() {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = 311usize;
+        let mut hist = pmw_data::Histogram::uniform(m).unwrap();
+        let mut dense = vec![1.0 / m as f64; m];
+        for step in 0..8 {
+            let u: Vec<f64> = (0..m).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect();
+            let eta = 0.02 + 0.15 * step as f64;
+            hist.mw_update(&u, eta).unwrap();
+            mw_update_reference(&mut dense, &u, eta);
+        }
+        for (a, b) in hist.weights().iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
     fn workload_constructors_produce_consistent_shapes() {
         let mut rng = StdRng::seed_from_u64(1);
         let (cube, data) = skewed_cube_dataset(4, 100, &mut rng);
@@ -134,7 +169,7 @@ mod tests {
         assert_eq!(grid.size(), 125);
         assert_eq!(data.universe_size(), 125);
         use pmw_data::Universe;
-        for p in grid.materialize() {
+        for p in &grid.materialize() {
             let norm: f64 = p.iter().map(|v| v * v).sum::<f64>().sqrt();
             assert!(norm <= 1.0 + 1e-9);
         }

@@ -103,12 +103,9 @@ impl Domain {
         }
         match *self {
             Domain::L2Ball { radius, .. } => vecmath::norm2(theta) <= radius + tol,
-            Domain::Box { lo, hi, .. } => {
-                theta.iter().all(|&v| v >= lo - tol && v <= hi + tol)
-            }
+            Domain::Box { lo, hi, .. } => theta.iter().all(|&v| v >= lo - tol && v <= hi + tol),
             Domain::Simplex { .. } => {
-                theta.iter().all(|&v| v >= -tol)
-                    && (theta.iter().sum::<f64>() - 1.0).abs() <= tol
+                theta.iter().all(|&v| v >= -tol) && (theta.iter().sum::<f64>() - 1.0).abs() <= tol
             }
         }
     }
@@ -172,10 +169,9 @@ impl Domain {
                     g.iter().map(|&v| -radius * v / norm).collect()
                 }
             }
-            Domain::Box { lo, hi, .. } => g
-                .iter()
-                .map(|&v| if v > 0.0 { lo } else { hi })
-                .collect(),
+            Domain::Box { lo, hi, .. } => {
+                g.iter().map(|&v| if v > 0.0 { lo } else { hi }).collect()
+            }
             Domain::Simplex { dim } => {
                 let mut best = 0usize;
                 for i in 1..dim {
@@ -197,12 +193,16 @@ impl Domain {
     /// anticipates.
     pub fn grid_net(&self, per_axis: usize) -> Result<Vec<Vec<f64>>, ConvexError> {
         if per_axis < 2 {
-            return Err(ConvexError::InvalidParameter("net needs >= 2 points per axis"));
+            return Err(ConvexError::InvalidParameter(
+                "net needs >= 2 points per axis",
+            ));
         }
         let d = self.dim();
         let total = (per_axis as u128).pow(d as u32);
         if total > 1 << 22 {
-            return Err(ConvexError::InvalidParameter("net too large to materialize"));
+            return Err(ConvexError::InvalidParameter(
+                "net too large to materialize",
+            ));
         }
         let (lo, hi) = match *self {
             Domain::L2Ball { radius, .. } => (-radius, radius),
@@ -344,12 +344,8 @@ mod tests {
     #[test]
     fn diameters() {
         assert!((Domain::unit_ball(5).unwrap().diameter() - 2.0).abs() < 1e-12);
-        assert!(
-            (Domain::boxed(4, -1.0, 1.0).unwrap().diameter() - 4.0).abs() < 1e-12
-        );
-        assert!(
-            (Domain::simplex(3).unwrap().diameter() - std::f64::consts::SQRT_2).abs() < 1e-12
-        );
+        assert!((Domain::boxed(4, -1.0, 1.0).unwrap().diameter() - 4.0).abs() < 1e-12);
+        assert!((Domain::simplex(3).unwrap().diameter() - std::f64::consts::SQRT_2).abs() < 1e-12);
     }
 
     #[test]

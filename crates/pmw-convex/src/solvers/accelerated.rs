@@ -170,12 +170,10 @@ mod tests {
             .unwrap()
             .minimize(&obj, &domain, None)
             .unwrap();
-        let plain = ProjectedGradientDescent::new(
-            SolverConfig::smooth(1.0, budget).unwrap(),
-        )
-        .unwrap()
-        .minimize(&obj, &domain, None)
-        .unwrap();
+        let plain = ProjectedGradientDescent::new(SolverConfig::smooth(1.0, budget).unwrap())
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
         assert!(
             acc.value <= plain.value + 1e-12,
             "accelerated {} vs plain {}",

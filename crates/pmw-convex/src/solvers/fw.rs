@@ -103,7 +103,10 @@ mod tests {
     fn quadratic_on_ball_matches_projection() {
         let obj = QuadraticObjective::new(vec![3.0, 4.0], 0.0).unwrap();
         let domain = Domain::unit_ball(2).unwrap();
-        let r = FrankWolfe::new(800).unwrap().minimize(&obj, &domain, None).unwrap();
+        let r = FrankWolfe::new(800)
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
         assert!((r.theta[0] - 0.6).abs() < 1e-2, "{:?}", r.theta);
         assert!((r.theta[1] - 0.8).abs() < 1e-2);
         assert!(domain.contains(&r.theta, 1e-9));
@@ -113,7 +116,10 @@ mod tests {
     fn simplex_iterates_stay_exactly_feasible() {
         let obj = QuadraticObjective::new(vec![0.0, 1.0, 0.0], 0.0).unwrap();
         let domain = Domain::simplex(3).unwrap();
-        let r = FrankWolfe::new(500).unwrap().minimize(&obj, &domain, None).unwrap();
+        let r = FrankWolfe::new(500)
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
         assert!(domain.contains(&r.theta, 1e-9));
         assert!((r.theta[1] - 1.0).abs() < 1e-2, "{:?}", r.theta);
     }
@@ -122,7 +128,10 @@ mod tests {
     fn agrees_with_projected_gradient_descent() {
         let obj = QuadraticObjective::new(vec![0.4, -0.9, 0.7], 0.0).unwrap();
         let domain = Domain::unit_ball(3).unwrap();
-        let fw = FrankWolfe::new(2000).unwrap().minimize(&obj, &domain, None).unwrap();
+        let fw = FrankWolfe::new(2000)
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
         let gd = ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 2000).unwrap())
             .unwrap()
             .minimize(&obj, &domain, None)
@@ -139,7 +148,10 @@ mod tests {
     fn dimension_checks() {
         let obj = QuadraticObjective::new(vec![0.0; 3], 0.0).unwrap();
         let domain = Domain::unit_ball(2).unwrap();
-        assert!(FrankWolfe::new(5).unwrap().minimize(&obj, &domain, None).is_err());
+        assert!(FrankWolfe::new(5)
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .is_err());
         let obj2 = QuadraticObjective::new(vec![0.0; 2], 0.0).unwrap();
         assert!(FrankWolfe::new(5)
             .unwrap()
@@ -151,8 +163,14 @@ mod tests {
     fn suboptimality_shrinks_with_iterations() {
         let obj = QuadraticObjective::new(vec![0.9, 0.0], 0.0).unwrap();
         let domain = Domain::unit_ball(2).unwrap();
-        let coarse = FrankWolfe::new(10).unwrap().minimize(&obj, &domain, None).unwrap();
-        let fine = FrankWolfe::new(1000).unwrap().minimize(&obj, &domain, None).unwrap();
+        let coarse = FrankWolfe::new(10)
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
+        let fine = FrankWolfe::new(1000)
+            .unwrap()
+            .minimize(&obj, &domain, None)
+            .unwrap();
         assert!(fine.value <= coarse.value + 1e-12);
     }
 }

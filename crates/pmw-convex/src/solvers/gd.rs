@@ -126,11 +126,7 @@ mod tests {
     use super::*;
     use crate::objective::{FnObjective, QuadraticObjective};
 
-    fn solve_quadratic(
-        target: Vec<f64>,
-        domain: &Domain,
-        config: SolverConfig,
-    ) -> SolveResult {
+    fn solve_quadratic(target: Vec<f64>, domain: &Domain, config: SolverConfig) -> SolveResult {
         let obj = QuadraticObjective::new(target, 0.0).unwrap();
         ProjectedGradientDescent::new(config)
             .unwrap()
@@ -146,7 +142,11 @@ mod tests {
             &domain,
             SolverConfig::smooth(1.0, 200).unwrap(),
         );
-        assert!(vecmath::dist2(&r.theta, &[0.2, -0.3, 0.1]) < 1e-6, "{:?}", r.theta);
+        assert!(
+            vecmath::dist2(&r.theta, &[0.2, -0.3, 0.1]) < 1e-6,
+            "{:?}",
+            r.theta
+        );
         assert!(r.converged);
     }
 
@@ -184,10 +184,9 @@ mod tests {
             |t: &[f64], out: &mut [f64]| out[0] = if t[0] >= 0.3 { 1.0 } else { -1.0 },
         );
         let domain = Domain::interval(-1.0, 1.0).unwrap();
-        let solver = ProjectedGradientDescent::new(
-            SolverConfig::subgradient(1.0, 2.0, 3000).unwrap(),
-        )
-        .unwrap();
+        let solver =
+            ProjectedGradientDescent::new(SolverConfig::subgradient(1.0, 2.0, 3000).unwrap())
+                .unwrap();
         let r = solver.minimize(&obj, &domain, None).unwrap();
         assert!((r.theta[0] - 0.3).abs() < 0.05, "{}", r.theta[0]);
     }
@@ -196,20 +195,22 @@ mod tests {
     fn strongly_convex_schedule_converges_fast() {
         let obj = QuadraticObjective::new(vec![0.5, -0.5], 0.0).unwrap();
         let domain = Domain::unit_ball(2).unwrap();
-        let solver = ProjectedGradientDescent::new(
-            SolverConfig::strongly_convex(1.0, 400).unwrap(),
-        )
-        .unwrap();
+        let solver =
+            ProjectedGradientDescent::new(SolverConfig::strongly_convex(1.0, 400).unwrap())
+                .unwrap();
         let r = solver.minimize(&obj, &domain, None).unwrap();
-        assert!(vecmath::dist2(&r.theta, &[0.5, -0.5]) < 1e-2, "{:?}", r.theta);
+        assert!(
+            vecmath::dist2(&r.theta, &[0.5, -0.5]) < 1e-2,
+            "{:?}",
+            r.theta
+        );
     }
 
     #[test]
     fn respects_custom_init_and_projects_it() {
         let obj = QuadraticObjective::new(vec![0.0, 0.0], 0.0).unwrap();
         let domain = Domain::unit_ball(2).unwrap();
-        let solver =
-            ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 50).unwrap()).unwrap();
+        let solver = ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 50).unwrap()).unwrap();
         let r = solver.minimize(&obj, &domain, Some(&[10.0, 0.0])).unwrap();
         assert!(vecmath::norm2(&r.theta) < 1e-4);
         assert!(solver.minimize(&obj, &domain, Some(&[1.0])).is_err());
@@ -219,8 +220,7 @@ mod tests {
     fn dimension_mismatch_detected() {
         let obj = QuadraticObjective::new(vec![0.0; 3], 0.0).unwrap();
         let domain = Domain::unit_ball(2).unwrap();
-        let solver =
-            ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 10).unwrap()).unwrap();
+        let solver = ProjectedGradientDescent::new(SolverConfig::smooth(1.0, 10).unwrap()).unwrap();
         assert!(solver.minimize(&obj, &domain, None).is_err());
     }
 

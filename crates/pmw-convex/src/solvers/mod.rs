@@ -57,7 +57,9 @@ impl StepRule {
         if ok {
             Ok(())
         } else {
-            Err(ConvexError::InvalidParameter("step rule parameter must be positive"))
+            Err(ConvexError::InvalidParameter(
+                "step rule parameter must be positive",
+            ))
         }
     }
 }
@@ -94,7 +96,11 @@ impl SolverConfig {
 
     /// Defaults for a non-smooth `G`-Lipschitz problem over a domain of
     /// diameter `R`: step `c/√t` with `c = R/G`, averaged iterates.
-    pub fn subgradient(lipschitz: f64, diameter: f64, max_iters: usize) -> Result<Self, ConvexError> {
+    pub fn subgradient(
+        lipschitz: f64,
+        diameter: f64,
+        max_iters: usize,
+    ) -> Result<Self, ConvexError> {
         if !(lipschitz.is_finite() && lipschitz > 0.0) {
             return Err(ConvexError::InvalidParameter("lipschitz must be positive"));
         }

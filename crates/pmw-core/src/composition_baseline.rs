@@ -14,7 +14,7 @@
 //! measures against PMW's `log k`.
 
 use crate::error::PmwError;
-use pmw_data::{Dataset, Histogram, Universe};
+use pmw_data::{Dataset, Histogram, PointMatrix, Universe};
 use pmw_dp::composition::per_step_budget_for;
 use pmw_dp::{Accountant, PrivacyBudget};
 use pmw_erm::{ErmOracle, OracleChoice};
@@ -24,7 +24,7 @@ use rand::Rng;
 /// Answer each query independently under strong composition.
 pub struct CompositionMechanism<O: ErmOracle = OracleChoice> {
     oracle: O,
-    points: Vec<Vec<f64>>,
+    points: PointMatrix,
     data: Histogram,
     n: usize,
     k: usize,
@@ -85,11 +85,7 @@ impl<O: ErmOracle> CompositionMechanism<O> {
     }
 
     /// Answer one query with the per-query budget.
-    pub fn answer(
-        &mut self,
-        loss: &dyn CmLoss,
-        rng: &mut dyn Rng,
-    ) -> Result<Vec<f64>, PmwError> {
+    pub fn answer(&mut self, loss: &dyn CmLoss, rng: &mut dyn Rng) -> Result<Vec<f64>, PmwError> {
         if self.queries_answered >= self.k {
             return Err(PmwError::QueryLimitReached);
         }
@@ -123,8 +119,7 @@ mod tests {
 
     fn setup(n: usize, rng: &mut StdRng) -> (BooleanCube, Dataset) {
         let cube = BooleanCube::new(3).unwrap();
-        let pop =
-            pmw_data::synth::product_population(&cube, &[0.9, 0.5, 0.5]).unwrap();
+        let pop = pmw_data::synth::product_population(&cube, &[0.9, 0.5, 0.5]).unwrap();
         let data = Dataset::sample_from(&pop, n, rng).unwrap();
         (cube, data)
     }
@@ -144,8 +139,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(132);
         let (cube, data) = setup(100, &mut rng);
         let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
-        let m4 =
-            CompositionMechanism::new(budget, 4, &cube, data.clone()).unwrap();
+        let m4 = CompositionMechanism::new(budget, 4, &cube, data.clone()).unwrap();
         let m64 = CompositionMechanism::new(budget, 64, &cube, data).unwrap();
         assert!(m64.per_query_budget().epsilon() < m4.per_query_budget().epsilon());
         // Strong composition: quadrupling k... 16x k halves... k->16k scales by 1/4.
@@ -167,8 +161,7 @@ mod tests {
         )
         .unwrap();
         let loss =
-            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, 3)
-                .unwrap();
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, 3).unwrap();
         let _ = mech.answer(&loss, &mut rng).unwrap();
         let _ = mech.answer(&loss, &mut rng).unwrap();
         assert!(matches!(
@@ -186,8 +179,7 @@ mod tests {
         let (cube, data) = setup(600, &mut rng);
         let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
         let loss =
-            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, 3)
-                .unwrap();
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, 3).unwrap();
         let points = cube.materialize();
         let weights = data.histogram();
         let avg_risk = |k: usize, seed: u64| {
@@ -204,8 +196,7 @@ mod tests {
                 )
                 .unwrap();
                 let theta = mech.answer(&loss, &mut rng).unwrap();
-                total +=
-                    excess_risk(&loss, &points, weights.weights(), &theta, 1000).unwrap();
+                total += excess_risk(&loss, &points, weights.weights(), &theta, 1000).unwrap();
             }
             total / trials as f64
         };

@@ -197,7 +197,9 @@ impl PmwConfigBuilder {
     pub fn build(self) -> Result<PmwConfig, PmwError> {
         let budget = PrivacyBudget::new(self.epsilon, self.delta)?;
         if budget.delta() <= 0.0 {
-            return Err(PmwError::InvalidConfig("figure-3 mechanism requires delta > 0"));
+            return Err(PmwError::InvalidConfig(
+                "figure-3 mechanism requires delta > 0",
+            ));
         }
         if !(self.alpha > 0.0 && self.alpha <= 1.0) {
             return Err(PmwError::InvalidConfig("alpha must lie in (0, 1]"));
@@ -314,7 +316,11 @@ mod tests {
         assert!(config.derive(1).is_err());
         let too_tight = PmwConfig::builder(1.0, 1e-6, 0.001).build().unwrap();
         assert!(too_tight.derive(1 << 20).is_err());
-        let bad_eta = base().rounds_override(5).eta_override(-1.0).build().unwrap();
+        let bad_eta = base()
+            .rounds_override(5)
+            .eta_override(-1.0)
+            .build()
+            .unwrap();
         assert!(bad_eta.derive(64).is_err());
         let zero_rounds = base().rounds_override(0).build().unwrap();
         assert!(zero_rounds.derive(64).is_err());
@@ -335,6 +341,9 @@ mod tests {
         let total_eps = composed.epsilon() + p.sv_budget.epsilon();
         let total_delta = composed.delta() + p.sv_budget.delta();
         assert!(total_eps <= config.budget.epsilon() + 1e-9, "{total_eps}");
-        assert!(total_delta <= config.budget.delta() + 1e-15, "{total_delta}");
+        assert!(
+            total_delta <= config.budget.delta() + 1e-15,
+            "{total_delta}"
+        );
     }
 }

@@ -50,10 +50,7 @@ impl Analyst for FixedAnalyst {
         }
         // Hand out clones-by-move: swap with a placeholder is not possible
         // for dyn losses, so we drain from the front index instead.
-        let item = std::mem::replace(
-            &mut self.losses[self.next],
-            Box::new(NullLoss),
-        );
+        let item = std::mem::replace(&mut self.losses[self.next], Box::new(NullLoss));
         self.next += 1;
         Some(item)
     }
@@ -67,7 +64,12 @@ impl CmLoss for NullLoss {
         1
     }
     fn domain(&self) -> &pmw_convex::Domain {
-        const { &pmw_convex::Domain::L2Ball { dim: 1, radius: 1.0 } }
+        const {
+            &pmw_convex::Domain::L2Ball {
+                dim: 1,
+                radius: 1.0,
+            }
+        }
     }
     fn point_dim(&self) -> usize {
         1
@@ -150,11 +152,8 @@ mod tests {
 
     fn bit_loss(cube_dim: usize, bit: usize) -> Box<dyn CmLoss> {
         Box::new(
-            LinearQueryLoss::new(
-                PointPredicate::Conjunction { coords: vec![bit] },
-                cube_dim,
-            )
-            .unwrap(),
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![bit] }, cube_dim)
+                .unwrap(),
         )
     }
 
@@ -171,8 +170,7 @@ mod tests {
     fn game_measures_errors_below_alpha_on_easy_instance() {
         let mut rng = StdRng::seed_from_u64(152);
         let cube = BooleanCube::new(4).unwrap();
-        let pop =
-            pmw_data::synth::product_population(&cube, &[0.9, 0.5, 0.5, 0.5]).unwrap();
+        let pop = pmw_data::synth::product_population(&cube, &[0.9, 0.5, 0.5, 0.5]).unwrap();
         let data = Dataset::sample_from(&pop, 3000, &mut rng).unwrap();
         let config = PmwConfig::builder(2.0, 1e-6, 0.15)
             .k(8)
@@ -182,11 +180,8 @@ mod tests {
             .build()
             .unwrap();
         let mut mech =
-            OnlinePmw::with_oracle(config, &cube, data, ExactOracle::default(), &mut rng)
-                .unwrap();
-        let mut analyst = FixedAnalyst::new(
-            (0..4).map(|b| bit_loss(4, b)).collect(),
-        );
+            OnlinePmw::with_oracle(config, &cube, data, ExactOracle::default(), &mut rng).unwrap();
+        let mut analyst = FixedAnalyst::new((0..4).map(|b| bit_loss(4, b)).collect());
         let outcome = run_accuracy_game(&mut mech, &mut analyst, &mut rng).unwrap();
         assert_eq!(outcome.answered, 4);
         assert!(!outcome.halted);
@@ -211,11 +206,9 @@ mod tests {
             .build()
             .unwrap();
         let mut mech =
-            OnlinePmw::with_oracle(config, &cube, data, ExactOracle::default(), &mut rng)
-                .unwrap();
-        let mut analyst = FixedAnalyst::new(
-            (0..3).cycle().take(12).map(|b| bit_loss(3, b)).collect(),
-        );
+            OnlinePmw::with_oracle(config, &cube, data, ExactOracle::default(), &mut rng).unwrap();
+        let mut analyst =
+            FixedAnalyst::new((0..3).cycle().take(12).map(|b| bit_loss(3, b)).collect());
         let outcome = run_accuracy_game(&mut mech, &mut analyst, &mut rng).unwrap();
         assert!(outcome.halted);
         assert!(outcome.answered < 12);

@@ -111,8 +111,7 @@ impl LinearPmw {
         let answer = match outcome {
             SvOutcome::Bottom => est,
             SvOutcome::Top => {
-                let mech =
-                    LaplaceMechanism::new(self.range / self.n as f64, self.laplace_epsilon)?;
+                let mech = LaplaceMechanism::new(self.range / self.n as f64, self.laplace_epsilon)?;
                 let measured = mech.release(truth, rng)?;
                 self.accountant
                     .spend("laplace", PrivacyBudget::pure(self.laplace_epsilon)?);
@@ -265,7 +264,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn skewed(cube: &BooleanCube, n: usize, rng: &mut StdRng) -> Dataset {
-        let biases: Vec<f64> = (0..cube.dim()).map(|b| if b == 0 { 0.9 } else { 0.5 }).collect();
+        let biases: Vec<f64> = (0..cube.dim())
+            .map(|b| if b == 0 { 0.9 } else { 0.5 })
+            .collect();
         let pop = pmw_data::synth::product_population(cube, &biases).unwrap();
         Dataset::sample_from(&pop, n, rng).unwrap()
     }
@@ -307,8 +308,7 @@ mod tests {
         let rows: Vec<usize> = (0..1600).map(|i| i % 16).collect();
         let data = Dataset::from_indices(16, rows).unwrap();
         let queries = random_counting_queries(16, 10, &mut rng).unwrap();
-        let mut mech =
-            LinearPmw::new(linear_config(10, 5, 0.2), 16, &data, &mut rng).unwrap();
+        let mut mech = LinearPmw::new(linear_config(10, 5, 0.2), 16, &data, &mut rng).unwrap();
         for q in &queries {
             let _ = mech.answer(q, &mut rng).unwrap();
         }
@@ -372,7 +372,9 @@ mod tests {
         let q = LinearQuery::new(vec![1.0; 4]).unwrap();
         assert!(mwem.run(&[q], &data, 1.0, &mut rng).is_err());
         let q8 = LinearQuery::new(vec![1.0; 8]).unwrap();
-        assert!(mwem.run(std::slice::from_ref(&q8), &data, 0.0, &mut rng).is_err());
+        assert!(mwem
+            .run(std::slice::from_ref(&q8), &data, 0.0, &mut rng)
+            .is_err());
         assert!(mwem.run(&[q8], &data, 1.0, &mut rng).is_ok());
     }
 
@@ -386,10 +388,11 @@ mod tests {
         let data = Dataset::from_indices(16, vec![15; 500]).unwrap();
         // Query 0: indicator of element 15 (error 1 - 1/16 under uniform);
         // queries 1..: constant queries with zero error.
-        let mut queries = vec![LinearQuery::new(
-            (0..16).map(|x| if x == 15 { 1.0 } else { 0.0 }).collect(),
-        )
-        .unwrap()];
+        let mut queries =
+            vec![
+                LinearQuery::new((0..16).map(|x| if x == 15 { 1.0 } else { 0.0 }).collect())
+                    .unwrap(),
+            ];
         for _ in 0..9 {
             queries.push(LinearQuery::new(vec![1.0; 16]).unwrap());
         }
@@ -400,6 +403,10 @@ mod tests {
         assert_eq!(result.selected[0], 0, "round 1 must pick the planted query");
         // And the learned (averaged) histogram should shift mass toward
         // element 15, well past its uniform share of 1/16.
-        assert!(result.histogram.mass(15) > 0.15, "{}", result.histogram.mass(15));
+        assert!(
+            result.histogram.mass(15) > 0.15,
+            "{}",
+            result.histogram.mass(15)
+        );
     }
 }

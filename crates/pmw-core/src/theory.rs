@@ -38,7 +38,10 @@ pub fn pmw_required_n(
     epsilon: f64,
     delta: f64,
 ) -> f64 {
-    4096.0 * scale_s * scale_s * (log_universe * (4.0 / delta).ln()).sqrt()
+    4096.0
+        * scale_s
+        * scale_s
+        * (log_universe * (4.0 / delta).ln()).sqrt()
         * (8.0 * k as f64 / beta).ln()
         / (epsilon * alpha * alpha)
 }
@@ -66,13 +69,7 @@ pub fn table1_linear(log_universe: f64, k: usize, alpha: f64, epsilon: f64) -> f
 
 /// Table 1 row 2 — Lipschitz, `d`-bounded CM queries:
 /// `n = max{ √(d·log|X|)/α², log k·√(log|X|)/α² } / ε`.
-pub fn table1_lipschitz(
-    d: usize,
-    log_universe: f64,
-    k: usize,
-    alpha: f64,
-    epsilon: f64,
-) -> f64 {
+pub fn table1_lipschitz(d: usize, log_universe: f64, k: usize, alpha: f64, epsilon: f64) -> f64 {
     let a2 = alpha * alpha;
     let term_oracle = ((d as f64) * log_universe).sqrt() / a2;
     let term_pmw = (k.max(2) as f64).ln() * log_universe.sqrt() / a2;
@@ -98,8 +95,7 @@ pub fn table1_strongly_convex(
     alpha: f64,
     epsilon: f64,
 ) -> f64 {
-    let term_oracle =
-        (d as f64).sqrt() * log_universe.sqrt() / (sigma.sqrt() * alpha.powf(1.5));
+    let term_oracle = (d as f64).sqrt() * log_universe.sqrt() / (sigma.sqrt() * alpha.powf(1.5));
     let term_pmw = (k.max(2) as f64).ln() * log_universe.sqrt() / (alpha * alpha);
     term_oracle.max(term_pmw) / epsilon
 }

@@ -12,10 +12,18 @@
 //! multiplicative-weights update needs. The tests verify both halves of the
 //! claim's proof ((3): `⟨u_t, D̂_t⟩ ≥ 0`; (5): `−⟨u_t, D⟩ ≥ ℓ_D(θ̂)−ℓ_D(θ_t)`)
 //! on concrete losses.
+//!
+//! This Θ(|X|) sweep is the mechanism's per-round bottleneck (Section 4.3),
+//! so it is evaluated through [`CmLoss::certificate_batch`]: one
+//! cache-friendly pass over the flat [`PointMatrix`] with zero per-point
+//! allocation, loop-fused for the concrete losses and chunked across cores
+//! under the `parallel` feature. [`dual_certificate_into`] writes into a
+//! caller-provided buffer so steady-state rounds allocate nothing.
 
 use crate::error::PmwError;
 use pmw_convex::vecmath;
-use pmw_losses::CmLoss;
+use pmw_data::PointMatrix;
+use pmw_losses::{certificate_sweep, CmLoss};
 
 /// Compute the dual-certificate payoff vector
 /// `u(x) = ⟨θ_oracle − θ_hyp, ∇ℓ_x(θ_hyp)⟩` over all universe points,
@@ -23,31 +31,55 @@ use pmw_losses::CmLoss;
 /// absorbs floating-point spill past the theoretical bound).
 pub fn dual_certificate(
     loss: &dyn CmLoss,
-    points: &[Vec<f64>],
+    points: &PointMatrix,
     theta_oracle: &[f64],
     theta_hyp: &[f64],
 ) -> Result<Vec<f64>, PmwError> {
+    let mut u = vec![0.0; points.len()];
+    dual_certificate_into(loss, points, theta_oracle, theta_hyp, &mut u)?;
+    Ok(u)
+}
+
+/// [`dual_certificate`] writing into a reusable buffer (`u.len()` must equal
+/// `points.len()`): the steady-state path of the online mechanism.
+pub fn dual_certificate_into(
+    loss: &dyn CmLoss,
+    points: &PointMatrix,
+    theta_oracle: &[f64],
+    theta_hyp: &[f64],
+    u: &mut [f64],
+) -> Result<(), PmwError> {
     let d = loss.dim();
     if theta_oracle.len() != d || theta_hyp.len() != d {
         return Err(PmwError::LossMismatch("theta dimension mismatch"));
     }
+    if points.dim() != loss.point_dim() {
+        return Err(PmwError::LossMismatch("point dimension mismatch"));
+    }
     let s = loss.scale_bound();
     let mut direction = vec![0.0; d];
     vecmath::sub(theta_oracle, theta_hyp, &mut direction);
-    let mut grad = vec![0.0; d];
-    let mut u = Vec::with_capacity(points.len());
-    for x in points {
-        if x.len() != loss.point_dim() {
-            return Err(PmwError::LossMismatch("point dimension mismatch"));
-        }
-        loss.gradient(theta_hyp, x, &mut grad);
-        let v = vecmath::dot(&direction, &grad);
-        if !v.is_finite() {
-            return Err(PmwError::LossMismatch("non-finite certificate payoff"));
-        }
-        u.push(v.clamp(-s, s));
+    certificate_sweep(loss, theta_hyp, &direction, points, u)
+        .map_err(|_| PmwError::LossMismatch("certificate sweep rejected inputs"))?;
+    // One fused validate-and-clamp pass (u is an output buffer, so its
+    // contents on the error path are unspecified; NaN survives clamp, so
+    // checking before clamping in the same loop is sound).
+    let bad = pmw_data::par::fold_chunks_mut(
+        u,
+        |_, chunk| {
+            let mut bad = 0u32;
+            for v in chunk.iter_mut() {
+                bad += u32::from(!v.is_finite());
+                *v = v.clamp(-s, s);
+            }
+            bad
+        },
+        |a, b| a + b,
+    );
+    if bad != 0 {
+        return Err(PmwError::LossMismatch("non-finite certificate payoff"));
     }
-    Ok(u)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -60,16 +92,17 @@ mod tests {
 
     /// Build a tiny universe of labeled points and two histograms (true
     /// data vs hypothesis) that disagree.
-    fn setup() -> (SquaredLoss, Vec<Vec<f64>>, Histogram, Histogram) {
+    fn setup() -> (SquaredLoss, PointMatrix, Histogram, Histogram) {
         let loss = SquaredLoss::new(1).unwrap();
         // Universe: (x, y) pairs where the "true" data follows y = 0.8x and
         // decoys follow y = -0.8x.
-        let points = vec![
+        let points = PointMatrix::from_rows(vec![
             vec![1.0, 0.8],
             vec![-1.0, -0.8],
             vec![1.0, -0.8],
             vec![-1.0, 0.8],
-        ];
+        ])
+        .unwrap();
         let data = Histogram::from_counts(&[5, 5, 0, 0]).unwrap();
         let hyp = Histogram::uniform(4).unwrap();
         (loss, points, data, hyp)
@@ -115,8 +148,15 @@ mod tests {
         let (loss, points, _, _) = setup();
         assert!(dual_certificate(&loss, &points, &[1.0, 0.0], &[0.0]).is_err());
         assert!(dual_certificate(&loss, &points, &[1.0], &[0.0, 0.0]).is_err());
-        let bad_points = vec![vec![1.0]];
+        let bad_points = PointMatrix::from_rows(vec![vec![1.0]]).unwrap();
         assert!(dual_certificate(&loss, &bad_points, &[1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn into_variant_rejects_wrong_buffer_length() {
+        let (loss, points, _, _) = setup();
+        let mut short = vec![0.0; points.len() - 1];
+        assert!(dual_certificate_into(&loss, &points, &[1.0], &[0.0], &mut short).is_err());
     }
 
     #[test]
@@ -124,6 +164,23 @@ mod tests {
         let (loss, points, _, _) = setup();
         let u = dual_certificate(&loss, &points, &[0.5], &[0.5]).unwrap();
         assert!(u.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn batched_path_matches_per_point_gradients() {
+        // The certificate must equal the naive per-point evaluation
+        // u(x) = <theta_o - theta_h, grad l_x(theta_h)> exactly (up to the
+        // fused-multiply rounding absorbed by 1e-12).
+        let (loss, points, _, _) = setup();
+        let (theta_o, theta_h) = ([0.7], [-0.2]);
+        let u = dual_certificate(&loss, &points, &theta_o, &theta_h).unwrap();
+        let mut grad = vec![0.0; 1];
+        for (i, x) in points.iter().enumerate() {
+            loss.gradient(&theta_h, x, &mut grad);
+            let expect = (theta_o[0] - theta_h[0]) * grad[0];
+            let s = loss.scale_bound();
+            assert!((u[i] - expect.clamp(-s, s)).abs() < 1e-12, "row {i}");
+        }
     }
 
     #[test]

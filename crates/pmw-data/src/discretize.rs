@@ -38,7 +38,10 @@ fn displacement(a: &[f64], b: &[f64]) -> f64 {
 
 /// Round unlabeled points onto `grid`, producing a dataset plus the rounding
 /// error accounting of Section 1.1.
-pub fn round_to_grid(points: &[Vec<f64>], grid: &GridUniverse) -> Result<RoundingReport, DataError> {
+pub fn round_to_grid(
+    points: &[Vec<f64>],
+    grid: &GridUniverse,
+) -> Result<RoundingReport, DataError> {
     if points.is_empty() {
         return Err(DataError::EmptyDataset);
     }

@@ -6,18 +6,64 @@
 //! `2/n` in `‖·‖₁` (the paper states the per-bin bound `1/n`). All of the
 //! PMW machinery (the hypothesis `D̂_t`, the multiplicative weights update,
 //! the bounded-regret lemma) operates on [`Histogram`] values.
+//!
+//! # Log-domain representation
+//!
+//! The weights are stored as **unnormalized log-weights** `log_w`, with the
+//! normalized probability vector materialized lazily. This turns the
+//! Θ(|X|) multiplicative-weights update of Figure 3 — the mechanism's
+//! running-time bottleneck per Section 4.3 — into one fused linear pass
+//!
+//! ```text
+//! log_w[x] -= η · u(x)
+//! ```
+//!
+//! with **no `exp` and no renormalization sweep**; consecutive updates
+//! (common under bursts of above-threshold queries) pay exactly one
+//! exponentiation pass total, when the weights are next read. In the
+//! steady-state online path — `OnlinePmw::answer` reads `weights()` once
+//! per round, so a ⊤-round pays one deferred exp pass — the per-round cost
+//! is comparable to the dense representation (see the
+//! `mw_update_with_read_speedup` series in `BENCH_runtime.json`); the
+//! 4–6× kernel win applies to update-heavy regimes (offline/MWEM-style
+//! loops, deferred reads) and the representation additionally gains
+//! unconditional overflow safety. The read-side
+//! normalization is an overflow-safe log-sum-exp: the running maximum of
+//! `log_w` is maintained by the update pass, subtracted before
+//! exponentiation, so no intermediate can overflow regardless of payoff
+//! magnitudes. Zero-mass bins are `-∞` in log domain and stay exactly zero
+//! through updates, matching the dense-domain semantics (`0 · e^{-ηu} = 0`).
+//!
+//! With the `parallel` feature (off here by default; enabled by default at
+//! the workspace facade and bench crates), the update and normalization
+//! passes are chunked across cores via [`crate::par`].
 
 use crate::error::DataError;
+use crate::par;
 use rand::{Rng, RngExt};
+use std::sync::OnceLock;
 
-/// A probability distribution over a finite universe, stored densely.
+/// A probability distribution over a finite universe, stored densely in the
+/// log domain (see the module docs).
 ///
-/// Invariants: all weights are finite and non-negative, and they sum to 1
-/// (up to floating-point tolerance; constructors normalize).
-#[derive(Debug, Clone, PartialEq)]
+/// Invariants: every `log_w` entry is `-∞` or finite (never `NaN`/`+∞`), at
+/// least one entry is finite, and `log_max` equals `max(log_w)`. The
+/// normalized weights derived from any state sum to 1 up to floating-point
+/// tolerance.
+#[derive(Debug, Clone)]
 pub struct Histogram {
-    weights: Vec<f64>,
+    /// Unnormalized log-weights; `-∞` encodes zero mass.
+    log_w: Vec<f64>,
+    /// `max(log_w)` — maintained incrementally, used by the log-sum-exp.
+    log_max: f64,
+    /// Lazily materialized normalized weights; invalidated by updates.
+    dense: OnceLock<Vec<f64>>,
 }
+
+/// Magnitude at which `log_w` is rebased toward 0 to preserve absolute
+/// resolution. Unreachable in realistic runs (it would take ~1e11 updates
+/// at `η·S = 10`), but keeps the representation self-healing.
+const REBASE_LIMIT: f64 = 1e12;
 
 impl Histogram {
     /// The uniform histogram over `size` elements — PMW's initial hypothesis
@@ -26,8 +72,12 @@ impl Histogram {
         if size == 0 {
             return Err(DataError::EmptyUniverse);
         }
+        let dense = OnceLock::new();
+        let _ = dense.set(vec![1.0 / size as f64; size]);
         Ok(Self {
-            weights: vec![1.0 / size as f64; size],
+            log_w: vec![0.0; size],
+            log_max: 0.0,
+            dense,
         })
     }
 
@@ -52,7 +102,22 @@ impl Histogram {
         for w in &mut weights {
             *w /= total;
         }
-        Ok(Self { weights })
+        let mut log_max = f64::NEG_INFINITY;
+        let log_w: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                let lw = w.ln(); // ln(0) = -inf encodes zero mass
+                log_max = log_max.max(lw);
+                lw
+            })
+            .collect();
+        let dense = OnceLock::new();
+        let _ = dense.set(weights);
+        Ok(Self {
+            log_w,
+            log_max,
+            dense,
+        })
     }
 
     /// Build from row counts (the empirical distribution of a dataset).
@@ -62,45 +127,93 @@ impl Histogram {
 
     /// Number of universe elements.
     pub fn len(&self) -> usize {
-        self.weights.len()
+        self.log_w.len()
     }
 
     /// True when the universe is empty (cannot happen for constructed values).
     pub fn is_empty(&self) -> bool {
-        self.weights.is_empty()
+        self.log_w.is_empty()
     }
 
     /// Probability mass at universe index `x`.
     pub fn mass(&self, x: usize) -> f64 {
-        self.weights[x]
+        self.weights()[x]
     }
 
-    /// The full weight vector.
+    /// The normalized weight vector.
+    ///
+    /// Materialized lazily: after a run of [`Histogram::mw_update`] calls,
+    /// the first read performs one log-sum-exp pass (subtracting the
+    /// maintained maximum, so it cannot overflow) and caches the result.
     pub fn weights(&self) -> &[f64] {
-        &self.weights
+        self.dense.get_or_init(|| {
+            let mut dense = vec![0.0; self.log_w.len()];
+            let log_w = &self.log_w;
+            let log_max = self.log_max;
+            let total = par::fold_chunks_mut(
+                &mut dense,
+                |offset, chunk| {
+                    let mut sum = 0.0;
+                    for (d, &lw) in chunk.iter_mut().zip(&log_w[offset..]) {
+                        let v = (lw - log_max).exp();
+                        *d = v;
+                        sum += v;
+                    }
+                    sum
+                },
+                |a, b| a + b,
+            );
+            debug_assert!(total > 0.0 && total.is_finite());
+            let inv = 1.0 / total;
+            par::for_each_chunk_mut(&mut dense, |_, chunk| {
+                for d in chunk.iter_mut() {
+                    *d *= inv;
+                }
+            });
+            dense
+        })
+    }
+
+    /// The raw (unnormalized) log-weights; `-∞` encodes zero mass.
+    pub fn log_weights(&self) -> &[f64] {
+        &self.log_w
     }
 
     /// Inner product `⟨q, D⟩` — the value of the linear query `q` on this
     /// histogram (Section 1.2: "a linear query q can be written as ⟨q, D⟩").
+    ///
+    /// # Panics
+    /// Panics when `q.len() != self.len()` (a mismatched query vector is a
+    /// programming error, checked in all build profiles).
     pub fn dot(&self, q: &[f64]) -> f64 {
-        debug_assert_eq!(q.len(), self.weights.len());
-        self.weights.iter().zip(q).map(|(w, v)| w * v).sum()
+        let w = self.weights();
+        assert_eq!(
+            q.len(),
+            w.len(),
+            "query vector length must match the universe size"
+        );
+        w.iter().zip(q).map(|(w, v)| w * v).sum()
     }
 
     /// Total variation flavored `‖D − D'‖₁`.
+    ///
+    /// # Panics
+    /// Panics when the histograms have different universe sizes.
     pub fn l1_distance(&self, other: &Histogram) -> f64 {
-        self.weights
-            .iter()
-            .zip(&other.weights)
-            .map(|(a, b)| (a - b).abs())
-            .sum()
+        let (a, b) = (self.weights(), other.weights());
+        assert_eq!(a.len(), b.len(), "histograms must share a universe size");
+        a.iter().zip(b).map(|(a, b)| (a - b).abs()).sum()
     }
 
     /// Euclidean distance between weight vectors.
+    ///
+    /// # Panics
+    /// Panics when the histograms have different universe sizes.
     pub fn l2_distance(&self, other: &Histogram) -> f64 {
-        self.weights
-            .iter()
-            .zip(&other.weights)
+        let (a, b) = (self.weights(), other.weights());
+        assert_eq!(a.len(), b.len(), "histograms must share a universe size");
+        a.iter()
+            .zip(b)
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             .sqrt()
@@ -108,14 +221,27 @@ impl Histogram {
 
     /// Relative entropy `KL(other ‖ self) = Σ_x other(x) ln(other(x)/self(x))`.
     ///
+    /// Returns [`f64::INFINITY`] when `other` puts mass on a point where
+    /// `self` has none (disjoint or partially disjoint supports) — the
+    /// mathematically correct value, rather than a huge-but-finite artifact
+    /// of clamping the denominator.
+    ///
     /// This is the potential function in the standard multiplicative weights
     /// analysis (Lemma 3.4): each update with `⟨u_t, D̂_t − D⟩ ≥ α/4` shrinks
     /// `KL(D ‖ D̂_t)` by `Ω(α²/S²)`, which is what bounds the round count `T`.
+    ///
+    /// # Panics
+    /// Panics when the histograms have different universe sizes.
     pub fn kl_from(&self, other: &Histogram) -> f64 {
+        let (q, p) = (self.weights(), other.weights());
+        assert_eq!(q.len(), p.len(), "histograms must share a universe size");
         let mut kl = 0.0;
-        for (p, q) in other.weights.iter().zip(&self.weights) {
+        for (p, q) in p.iter().zip(q) {
             if *p > 0.0 {
-                kl += p * (p / q.max(f64::MIN_POSITIVE)).ln();
+                if *q <= 0.0 {
+                    return f64::INFINITY;
+                }
+                kl += p * (p / q).ln();
             }
         }
         kl.max(0.0)
@@ -124,7 +250,7 @@ impl Histogram {
     /// Shannon entropy in nats.
     pub fn entropy(&self) -> f64 {
         -self
-            .weights
+            .weights()
             .iter()
             .filter(|&&w| w > 0.0)
             .map(|&w| w * w.ln())
@@ -138,34 +264,89 @@ impl Histogram {
     ///
     /// Points where the payoff `u(x)` is large — i.e. where the hypothesis
     /// overweights relative to the true data (Claim 3.5 gives
-    /// `⟨u, D̂⟩ ≥ 0 ≥ ⟨u, D⟩`) — lose mass. Exponentiation is centered at
-    /// `max` for numerical stability.
+    /// `⟨u, D̂⟩ ≥ 0 ≥ ⟨u, D⟩`) — lose mass.
+    ///
+    /// In the log-domain representation this is the single fused pass
+    /// `log_w[x] -= η·u(x)` (tracking the new maximum as it goes): no
+    /// exponentiation, no renormalization sweep. Normalization happens
+    /// lazily on the next [`Histogram::weights`] read, centered at the
+    /// maximum for overflow safety. Chunked across cores under the
+    /// `parallel` feature.
     pub fn mw_update(&mut self, u: &[f64], eta: f64) -> Result<(), DataError> {
-        if u.len() != self.weights.len() {
+        if u.len() != self.log_w.len() {
             return Err(DataError::DimensionMismatch {
                 got: u.len(),
-                expected: self.weights.len(),
+                expected: self.log_w.len(),
             });
         }
         if !eta.is_finite() || eta < 0.0 {
             return Err(DataError::InvalidParameter("eta must be finite and >= 0"));
         }
-        if u.iter().any(|v| !v.is_finite()) {
-            return Err(DataError::InvalidWeights("non-finite payoff"));
+        // Validate before mutating so errors leave the histogram unchanged.
+        // Checking the product `η·u[x]` (not just `u[x]`) also rejects
+        // finite payoffs whose scaled step overflows to ±∞, which would
+        // corrupt log-weights the dense representation handled finitely.
+        // Summing a per-element indicator (instead of `all(is_finite)`)
+        // avoids the short-circuit branch, so the scan vectorizes.
+        let bad = par::fold_chunks(
+            u,
+            |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|v| u32::from(!(eta * v).is_finite()))
+                    .sum::<u32>()
+            },
+            |a, b| a + b,
+        );
+        if bad != 0 {
+            return Err(DataError::InvalidWeights(
+                "non-finite payoff or overflowing eta*payoff step",
+            ));
         }
-        // Stabilize: exp(-eta*u + c) with c = eta*min(u) keeps exponents <= 0.
-        let min_u = u.iter().cloned().fold(f64::INFINITY, f64::min);
-        let mut total = 0.0;
-        for (w, &ux) in self.weights.iter_mut().zip(u) {
-            *w *= (-eta * (ux - min_u)).exp();
-            total += *w;
+        let u_ref = &u;
+        self.log_max = par::fold_chunks_mut(
+            &mut self.log_w,
+            |offset, chunk| {
+                // Four independent max accumulators break the serial `max`
+                // dependency chain, letting the fused subtract-and-track
+                // pass run at SIMD/memory speed.
+                let us = &u_ref[offset..offset + chunk.len()];
+                let mut maxs = [f64::NEG_INFINITY; 4];
+                let mut lanes_w = chunk.chunks_exact_mut(4);
+                let mut lanes_u = us.chunks_exact(4);
+                for (w4, u4) in (&mut lanes_w).zip(&mut lanes_u) {
+                    for lane in 0..4 {
+                        // -inf - finite stays -inf: zero mass is absorbing.
+                        let v = w4[lane] - eta * u4[lane];
+                        w4[lane] = v;
+                        maxs[lane] = maxs[lane].max(v);
+                    }
+                }
+                let mut chunk_max = maxs[0].max(maxs[1]).max(maxs[2].max(maxs[3]));
+                for (lw, &ux) in lanes_w.into_remainder().iter_mut().zip(lanes_u.remainder()) {
+                    let v = *lw - eta * ux;
+                    *lw = v;
+                    chunk_max = chunk_max.max(v);
+                }
+                chunk_max
+            },
+            f64::max,
+        );
+        if self.log_max.abs() > REBASE_LIMIT {
+            let shift = self.log_max;
+            par::for_each_chunk_mut(&mut self.log_w, |_, chunk| {
+                for lw in chunk.iter_mut() {
+                    *lw -= shift;
+                }
+            });
+            self.log_max = 0.0;
         }
-        if total <= 0.0 || !total.is_finite() {
-            return Err(DataError::InvalidWeights("update collapsed histogram"));
-        }
-        for w in &mut self.weights {
-            *w /= total;
-        }
+        // Invalidate the cache by replacing the lock. The next `weights()`
+        // read allocates a fresh dense vector; a reusable buffer would avoid
+        // that Θ(|X|) alloc but needs interior mutability beyond `OnceLock`
+        // (weights() takes &self), and update rounds are bounded by the
+        // privacy budget T, so the allocation is not a steady-state cost.
+        self.dense = OnceLock::new();
         Ok(())
     }
 
@@ -173,13 +354,13 @@ impl Histogram {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let r: f64 = rng.random();
         let mut acc = 0.0;
-        for (i, &w) in self.weights.iter().enumerate() {
+        for (i, &w) in self.weights().iter().enumerate() {
             acc += w;
             if r < acc {
                 return i;
             }
         }
-        self.weights.len() - 1
+        self.len() - 1
     }
 
     /// Draw `n` indices i.i.d. from this distribution.
@@ -189,11 +370,19 @@ impl Histogram {
 
     /// Expected value of `f(x)` over the histogram, evaluating `f` on indices.
     pub fn expect(&self, mut f: impl FnMut(usize) -> f64) -> f64 {
-        self.weights
+        self.weights()
             .iter()
             .enumerate()
             .map(|(i, &w)| if w > 0.0 { w * f(i) } else { 0.0 })
             .sum()
+    }
+}
+
+impl PartialEq for Histogram {
+    /// Histograms are equal when they represent the same distribution
+    /// (compared on normalized weights, not on the internal log state).
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.weights() == other.weights()
     }
 }
 
@@ -205,6 +394,20 @@ mod tests {
 
     fn approx(a: f64, b: f64, tol: f64) -> bool {
         (a - b).abs() <= tol
+    }
+
+    /// The dense-domain reference update the log-domain path must match:
+    /// exponentiate (centered at min for stability), multiply, renormalize.
+    fn mw_update_reference(weights: &mut [f64], u: &[f64], eta: f64) {
+        let min_u = u.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut total = 0.0;
+        for (w, &ux) in weights.iter_mut().zip(u) {
+            *w *= (-eta * (ux - min_u)).exp();
+            total += *w;
+        }
+        for w in weights.iter_mut() {
+            *w /= total;
+        }
     }
 
     #[test]
@@ -230,6 +433,7 @@ mod tests {
         assert!(approx(h.mass(0), 0.25, 1e-12));
         assert!(approx(h.mass(1), 0.0, 1e-12));
         assert!(approx(h.mass(2), 0.75, 1e-12));
+        assert_eq!(h.log_weights()[1], f64::NEG_INFINITY);
     }
 
     #[test]
@@ -240,12 +444,43 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "length must match")]
+    fn dot_panics_on_length_mismatch() {
+        let h = Histogram::uniform(3).unwrap();
+        let _ = h.dot(&[1.0, 2.0]);
+    }
+
+    #[test]
     fn distances_are_metrics_on_simple_cases() {
         let a = Histogram::from_counts(&[1, 0]).unwrap();
         let b = Histogram::from_counts(&[0, 1]).unwrap();
         assert!(approx(a.l1_distance(&b), 2.0, 1e-12));
         assert!(approx(a.l1_distance(&a), 0.0, 1e-12));
         assert!(approx(a.l2_distance(&b), 2f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a universe size")]
+    fn l1_distance_panics_on_size_mismatch() {
+        let a = Histogram::uniform(3).unwrap();
+        let b = Histogram::uniform(4).unwrap();
+        let _ = a.l1_distance(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a universe size")]
+    fn l2_distance_panics_on_size_mismatch() {
+        let a = Histogram::uniform(3).unwrap();
+        let b = Histogram::uniform(4).unwrap();
+        let _ = a.l2_distance(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a universe size")]
+    fn kl_panics_on_size_mismatch() {
+        let a = Histogram::uniform(3).unwrap();
+        let b = Histogram::uniform(4).unwrap();
+        let _ = a.kl_from(&b);
     }
 
     #[test]
@@ -268,6 +503,21 @@ mod tests {
         let b = Histogram::from_counts(&[4, 1, 1, 2]).unwrap();
         assert!(approx(a.kl_from(&a), 0.0, 1e-12));
         assert!(a.kl_from(&b) > 0.0);
+    }
+
+    #[test]
+    fn kl_is_infinite_for_disjoint_supports() {
+        // q (self) has no mass where p (other) does: KL(p || q) = +inf,
+        // reported exactly rather than as a huge finite number.
+        let q = Histogram::from_counts(&[1, 1, 0, 0]).unwrap();
+        let p = Histogram::from_counts(&[0, 0, 1, 1]).unwrap();
+        assert_eq!(q.kl_from(&p), f64::INFINITY);
+        // p-mass on a single point outside q's support is still infinite...
+        let full = Histogram::from_counts(&[1, 1, 1, 1]).unwrap();
+        let partial = Histogram::from_counts(&[1, 0, 1, 1]).unwrap();
+        assert_eq!(partial.kl_from(&full), f64::INFINITY);
+        // ...while the reverse (p's support contained in q's) is finite.
+        assert!(full.kl_from(&partial).is_finite());
     }
 
     #[test]
@@ -301,10 +551,12 @@ mod tests {
         let target = Histogram::from_counts(&[8, 1, 1, 1]).unwrap();
         let mut hyp = Histogram::uniform(4).unwrap();
         // u positive where hyp overweights relative to target.
-        let u: Vec<f64> = (0..4)
-            .map(|i| hyp.mass(i) - target.mass(i))
-            .collect();
-        let gap: f64 = u.iter().zip(0..4).map(|(v, i)| v * (hyp.mass(i) - target.mass(i))).sum();
+        let u: Vec<f64> = (0..4).map(|i| hyp.mass(i) - target.mass(i)).collect();
+        let gap: f64 = u
+            .iter()
+            .zip(0..4)
+            .map(|(v, i)| v * (hyp.mass(i) - target.mass(i)))
+            .sum();
         assert!(gap > 0.0);
         let before = hyp.kl_from(&target);
         hyp.mw_update(&u, 1.0).unwrap();
@@ -319,6 +571,20 @@ mod tests {
         assert!(h.mw_update(&[1.0, 2.0, f64::NAN], 0.1).is_err());
         assert!(h.mw_update(&[1.0, 2.0, 3.0], f64::NAN).is_err());
         assert!(h.mw_update(&[1.0, 2.0, 3.0], -1.0).is_err());
+        // A failed update leaves the histogram untouched.
+        assert_eq!(h, Histogram::uniform(3).unwrap());
+    }
+
+    #[test]
+    fn mw_update_rejects_overflowing_eta_payoff_product() {
+        // Finite eta and finite payoffs whose product overflows to ±∞ must
+        // error (the dense representation handled this input finitely, so
+        // silently corrupting log-weights is not acceptable) and leave the
+        // histogram unchanged.
+        let mut h = Histogram::uniform(2).unwrap();
+        assert!(h.mw_update(&[1e200, -1e200], 1e200).is_err());
+        assert_eq!(h, Histogram::uniform(2).unwrap());
+        assert!(h.weights().iter().all(|w| w.is_finite()));
     }
 
     #[test]
@@ -328,6 +594,49 @@ mod tests {
         let s: f64 = h.weights().iter().sum();
         assert!(approx(s, 1.0, 1e-9));
         assert!(h.mass(1) > 0.999);
+    }
+
+    #[test]
+    fn log_domain_matches_dense_reference_across_update_runs() {
+        // Several consecutive updates with the weights only read at the end
+        // (the lazy path's fast case) must agree with the eager dense
+        // reference to near machine precision.
+        let mut rng = StdRng::seed_from_u64(77);
+        let m = 257usize;
+        let raw: Vec<f64> = (0..m).map(|_| rng.random::<f64>() + 1e-3).collect();
+        let mut h = Histogram::from_weights(raw.clone()).unwrap();
+        let mut reference: Vec<f64> = h.weights().to_vec();
+        for step in 0..12 {
+            let eta = 0.05 + 0.1 * step as f64;
+            let u: Vec<f64> = (0..m).map(|_| rng.random::<f64>() * 4.0 - 2.0).collect();
+            h.mw_update(&u, eta).unwrap();
+            mw_update_reference(&mut reference, &u, eta);
+        }
+        for (a, b) in h.weights().iter().zip(&reference) {
+            assert!(approx(*a, *b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_mass_bins_stay_zero_through_updates() {
+        let mut h = Histogram::from_counts(&[3, 0, 1]).unwrap();
+        h.mw_update(&[-5.0, -500.0, 2.0], 1.0).unwrap();
+        assert_eq!(h.mass(1), 0.0);
+        assert!(approx(h.weights().iter().sum::<f64>(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn extreme_update_runs_rebase_instead_of_overflowing() {
+        let mut h = Histogram::uniform(2).unwrap();
+        // Push log-weights past the rebase limit; masses must stay finite
+        // and normalized.
+        for _ in 0..5 {
+            h.mw_update(&[-1e12, 1e12], 1.0).unwrap();
+        }
+        let w = h.weights();
+        assert!(w.iter().all(|v| v.is_finite()));
+        assert!(approx(w.iter().sum::<f64>(), 1.0, 1e-12));
+        assert!(h.mass(0) > 0.999);
     }
 
     #[test]

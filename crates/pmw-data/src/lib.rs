@@ -7,7 +7,11 @@
 //! * **datasets** `D ∈ X^n` as multisets of universe elements with the
 //!   row-adjacency relation `D ~ D'` ([`dataset`]),
 //! * the **histogram representation** `D ∈ R^X` used throughout the paper's
-//!   technical sections ([`histogram`]),
+//!   technical sections, stored in the log domain so the Θ(|X|) MW update
+//!   is a single fused pass ([`histogram`]),
+//! * the materialized universe as one **contiguous row-major matrix**
+//!   ([`matrix`]) — the layout every Θ(|X|) sweep walks — plus the chunked
+//!   parallel sweep helpers behind the `parallel` feature ([`par`]),
 //! * **discretization** of continuous data onto finite grids, the rounding
 //!   step the paper declares "essentially without loss of generality"
 //!   (Section 1.1) ([`discretize`]),
@@ -24,6 +28,8 @@ pub mod dataset;
 pub mod discretize;
 pub mod error;
 pub mod histogram;
+pub mod matrix;
+pub mod par;
 pub mod synth;
 pub mod universe;
 pub mod workload;
@@ -31,4 +37,5 @@ pub mod workload;
 pub use dataset::Dataset;
 pub use error::DataError;
 pub use histogram::Histogram;
+pub use matrix::PointMatrix;
 pub use universe::{BooleanCube, EnumeratedUniverse, GridUniverse, LabeledGridUniverse, Universe};

@@ -1,0 +1,217 @@
+//! Chunked parallel sweeps over universe-sized buffers.
+//!
+//! The Θ(|X|) inner loops (MW update, certificate sweep, normalization) are
+//! embarrassingly parallel over universe blocks. The build environment has
+//! no registry access, so instead of rayon this module provides the two
+//! primitives those loops need — a chunked `for_each` over a mutable buffer
+//! and a chunked fold — on top of [`std::thread::scope`].
+//!
+//! With the `parallel` feature disabled (or for buffers below
+//! [`PAR_THRESHOLD`], where thread spawn latency would dominate) both
+//! helpers degrade to the obvious sequential loop. Reductions combine chunk
+//! partials **in chunk order**, so for a fixed thread count results are
+//! deterministic run-to-run.
+
+/// Minimum number of elements before the helpers go parallel; below this a
+/// single core finishes faster than threads can be spawned.
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Cached core count: `available_parallelism` re-reads cgroup limits from
+/// the filesystem on Linux (~10µs per call), which would dwarf a small
+/// sweep if queried per call.
+#[cfg(feature = "parallel")]
+fn cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+#[cfg(feature = "parallel")]
+fn worker_count(len: usize) -> usize {
+    // Stay sequential below PAR_THRESHOLD (the documented contract); above
+    // it, `ceil(len / PAR_THRESHOLD)` workers still guarantees at least
+    // PAR_THRESHOLD/2 elements per worker, keeping spawn cost amortized.
+    cores().min(len.div_ceil(PAR_THRESHOLD)).max(1)
+}
+
+/// Apply `f(offset, chunk)` over disjoint chunks of `data` covering it
+/// exactly; `offset` is the index of the chunk's first element, letting `f`
+/// index into parallel read-only buffers.
+///
+/// Runs on scoped threads when the `parallel` feature is on and `data` is
+/// large enough; otherwise processes the whole buffer as one chunk.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let workers = worker_count(data.len());
+        if workers > 1 {
+            let chunk_len = data.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                    let f = &f;
+                    scope.spawn(move || f(i * chunk_len, chunk));
+                }
+            });
+            return;
+        }
+    }
+    f(0, data);
+}
+
+/// Fold disjoint chunks of `data` with `fold(offset, chunk) -> A`, then
+/// combine the per-chunk accumulators **in chunk order** with `combine`.
+///
+/// The chunk boundaries (hence the floating-point combination order) depend
+/// only on `data.len()` and the worker count, so results are reproducible
+/// on a given machine.
+pub fn fold_chunks<T, A, F, C>(data: &[T], fold: F, combine: C) -> A
+where
+    T: Sync,
+    A: Send,
+    F: Fn(usize, &[T]) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let workers = worker_count(data.len());
+        if workers > 1 {
+            let chunk_len = data.len().div_ceil(workers);
+            let partials: Vec<A> = std::thread::scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks(chunk_len)
+                    .enumerate()
+                    .map(|(i, chunk)| {
+                        let fold = &fold;
+                        scope.spawn(move || fold(i * chunk_len, chunk))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+            let mut iter = partials.into_iter();
+            let first = iter.next().expect("at least one chunk");
+            return iter.fold(first, combine);
+        }
+    }
+    // Single-chunk path: there is nothing to combine.
+    let _ = &combine;
+    fold(0, data)
+}
+
+/// Like [`for_each_chunk_mut`], but each chunk also produces an accumulator
+/// `A`; the per-chunk accumulators are combined **in chunk order**. This is
+/// the shape of the fused exp-and-sum normalization pass: write the chunk,
+/// return its partial sum.
+pub fn fold_chunks_mut<T, A, F, C>(data: &mut [T], fold: F, combine: C) -> A
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize, &mut [T]) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let workers = worker_count(data.len());
+        if workers > 1 {
+            let chunk_len = data.len().div_ceil(workers);
+            let partials: Vec<A> = std::thread::scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks_mut(chunk_len)
+                    .enumerate()
+                    .map(|(i, chunk)| {
+                        let fold = &fold;
+                        scope.spawn(move || fold(i * chunk_len, chunk))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+            let mut iter = partials.into_iter();
+            let first = iter.next().expect("at least one chunk");
+            return iter.fold(first, combine);
+        }
+    }
+    // Single-chunk path: there is nothing to combine.
+    let _ = &combine;
+    fold(0, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_covers_every_element_exactly_once() {
+        for len in [0usize, 1, 7, PAR_THRESHOLD - 1, PAR_THRESHOLD + 3, 1 << 16] {
+            let mut data = vec![0u32; len];
+            for_each_chunk_mut(&mut data, |offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v += (offset + i) as u32;
+                }
+            });
+            assert!(
+                data.iter().enumerate().all(|(i, &v)| v == i as u32),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_matches_sequential_sum() {
+        for len in [1usize, 100, PAR_THRESHOLD + 17, 1 << 16] {
+            let data: Vec<f64> = (0..len).map(|i| i as f64).collect();
+            let total = fold_chunks(&data, |_, c| c.iter().sum::<f64>(), |a, b| a + b);
+            let expect = (len * (len - 1)) as f64 / 2.0;
+            assert!((total - expect).abs() < 1e-6 * expect.max(1.0), "len {len}");
+        }
+    }
+
+    #[test]
+    fn fold_mut_writes_and_accumulates() {
+        for len in [3usize, PAR_THRESHOLD + 9, 1 << 16] {
+            let mut data = vec![1.0f64; len];
+            let total = fold_chunks_mut(
+                &mut data,
+                |_, chunk| {
+                    let mut s = 0.0;
+                    for v in chunk.iter_mut() {
+                        *v *= 2.0;
+                        s += *v;
+                    }
+                    s
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(total, 2.0 * len as f64, "len {len}");
+            assert!(data.iter().all(|&v| v == 2.0));
+        }
+    }
+
+    #[test]
+    fn fold_offsets_are_consistent() {
+        let data = vec![1u8; (1 << 15) + 5];
+        let count = fold_chunks(
+            &data,
+            |offset, chunk| {
+                // Each chunk sees its own offset; return (min_index, len).
+                (offset, chunk.len())
+            },
+            |a, b| {
+                assert_eq!(a.0 + a.1, b.0, "chunks must be adjacent and ordered");
+                (a.0, a.1 + b.1)
+            },
+        );
+        assert_eq!(count.1, data.len());
+    }
+}

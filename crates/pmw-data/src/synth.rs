@@ -63,11 +63,7 @@ pub fn gaussian_mixture_population<U: Universe>(
             centers
                 .iter()
                 .map(|c| {
-                    let d2: f64 = point
-                        .iter()
-                        .zip(c)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
+                    let d2: f64 = point.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
                     (-d2 / (2.0 * sigma * sigma)).exp()
                 })
                 .sum()
@@ -120,7 +116,9 @@ mod tests {
     fn gaussian_mixture_peaks_at_centers() {
         let cube = BooleanCube::new(3).unwrap();
         let pop = gaussian_mixture_population(&cube, &[vec![1.0, 1.0, 1.0]], 0.5).unwrap();
-        let peak = (0..8).max_by(|&a, &b| pop.mass(a).partial_cmp(&pop.mass(b)).unwrap()).unwrap();
+        let peak = (0..8)
+            .max_by(|&a, &b| pop.mass(a).partial_cmp(&pop.mass(b)).unwrap())
+            .unwrap();
         assert_eq!(peak, 7);
         assert!(gaussian_mixture_population(&cube, &[], 0.5).is_err());
         assert!(gaussian_mixture_population(&cube, &[vec![0.0; 3]], 0.0).is_err());

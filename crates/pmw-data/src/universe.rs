@@ -18,6 +18,7 @@
 //!   workloads.
 
 use crate::error::DataError;
+use crate::matrix::PointMatrix;
 
 /// Hard ceiling on materializable universe sizes; the algorithm is
 /// `poly(|X|)` so anything past this is a configuration mistake.
@@ -48,12 +49,13 @@ pub trait Universe {
         (self.size() as f64).ln()
     }
 
-    /// Materialize all points as a row-major matrix (`size × point_dim`).
+    /// Materialize all points as one contiguous row-major matrix
+    /// (`size × point_dim`).
     ///
-    /// Convenience for the inner loops that sweep the whole universe; callers
+    /// This is the representation every Θ(|X|) inner loop sweeps; callers
     /// that only need a few points should use [`Universe::write_point`].
-    fn materialize(&self) -> Vec<Vec<f64>> {
-        (0..self.size()).map(|i| self.point(i)).collect()
+    fn materialize(&self) -> PointMatrix {
+        PointMatrix::from_universe(self)
     }
 }
 
@@ -143,17 +145,22 @@ impl GridUniverse {
             return Err(DataError::EmptyUniverse);
         }
         if cells < 2 {
-            return Err(DataError::InvalidParameter("grid needs at least 2 cells per axis"));
+            return Err(DataError::InvalidParameter(
+                "grid needs at least 2 cells per axis",
+            ));
         }
         if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
-            return Err(DataError::InvalidParameter("grid bounds must be finite with lo < hi"));
+            return Err(DataError::InvalidParameter(
+                "grid bounds must be finite with lo < hi",
+            ));
         }
-        let requested = (cells as u128)
-            .checked_pow(dim as u32)
-            .ok_or(DataError::UniverseTooLarge {
-                requested: u128::MAX,
-                limit: MAX_UNIVERSE_SIZE,
-            })?;
+        let requested =
+            (cells as u128)
+                .checked_pow(dim as u32)
+                .ok_or(DataError::UniverseTooLarge {
+                    requested: u128::MAX,
+                    limit: MAX_UNIVERSE_SIZE,
+                })?;
         if requested > MAX_UNIVERSE_SIZE {
             return Err(DataError::UniverseTooLarge {
                 requested,
@@ -319,7 +326,9 @@ impl EnumeratedUniverse {
         let first = points.first().ok_or(DataError::EmptyUniverse)?;
         let dim = first.len();
         if dim == 0 {
-            return Err(DataError::InvalidParameter("points must have dimension >= 1"));
+            return Err(DataError::InvalidParameter(
+                "points must have dimension >= 1",
+            ));
         }
         for p in &points {
             if p.len() != dim {
@@ -459,8 +468,9 @@ mod tests {
         let g = GridUniverse::symmetric_unit(2, 4).unwrap();
         let m = g.materialize();
         assert_eq!(m.len(), 16);
+        assert_eq!(m.dim(), 2);
         for (i, row) in m.iter().enumerate() {
-            assert_eq!(row, &g.point(i));
+            assert_eq!(row, g.point(i).as_slice());
         }
     }
 }

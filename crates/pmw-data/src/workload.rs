@@ -167,7 +167,13 @@ pub fn threshold_queries(grid: &GridUniverse) -> Result<Vec<LinearQuery>, DataEr
             let thr = grid.axis_value(c);
             LinearQuery::new(
                 (0..m)
-                    .map(|x| if grid.axis_value(x) <= thr + 1e-12 { 1.0 } else { 0.0 })
+                    .map(|x| {
+                        if grid.axis_value(x) <= thr + 1e-12 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect(),
             )
             .expect("nonempty universe")
@@ -221,7 +227,7 @@ mod tests {
         let cube = BooleanCube::new(4).unwrap();
         let qs = marginal_queries(&cube, 2).unwrap();
         assert_eq!(qs.len(), 6); // C(4,2)
-        // The all-ones row satisfies every marginal.
+                                 // The all-ones row satisfies every marginal.
         for q in &qs {
             assert_eq!(q.values()[15], 1.0);
             assert_eq!(q.values()[0], 0.0);

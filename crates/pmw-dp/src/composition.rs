@@ -24,7 +24,9 @@ impl PrivacyBudget {
     /// Approximate DP budget; requires `ε > 0` and `δ ∈ [0, 1)`.
     pub fn new(epsilon: f64, delta: f64) -> Result<Self, DpError> {
         if !epsilon.is_finite() || epsilon <= 0.0 {
-            return Err(DpError::InvalidBudget("epsilon must be finite and positive"));
+            return Err(DpError::InvalidBudget(
+                "epsilon must be finite and positive",
+            ));
         }
         if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
             return Err(DpError::InvalidBudget("delta must lie in [0, 1)"));
@@ -105,10 +107,7 @@ pub fn strong_composition(
 /// Theorem 3.10): to make a `T`-fold composition `(ε, δ)`-DP, give each step
 ///
 /// `ε₀ = ε / √(8T·ln(2/δ))` and `δ₀ = δ / 2T`.
-pub fn per_step_budget_for(
-    total: PrivacyBudget,
-    t: usize,
-) -> Result<PrivacyBudget, DpError> {
+pub fn per_step_budget_for(total: PrivacyBudget, t: usize) -> Result<PrivacyBudget, DpError> {
     if t == 0 {
         return Err(DpError::InvalidParameter("composition over zero steps"));
     }
@@ -185,8 +184,7 @@ mod tests {
         let t = 100usize;
         let slack = 1e-6;
         let got = strong_composition(b, t, slack).unwrap();
-        let expect_eps =
-            (2.0 * 100.0 * (1e6f64).ln()).sqrt() * 0.1 + 2.0 * 100.0 * 0.01;
+        let expect_eps = (2.0 * 100.0 * (1e6f64).ln()).sqrt() * 0.1 + 2.0 * 100.0 * 0.01;
         assert!((got.epsilon() - expect_eps).abs() < 1e-9);
         assert!((got.delta() - (slack + 100.0 * 1e-9)).abs() < 1e-15);
     }
@@ -199,8 +197,7 @@ mod tests {
         let total = PrivacyBudget::new(1.0, 1e-6).unwrap();
         for t in [1usize, 10, 100, 1000] {
             let step = per_step_budget_for(total, t).unwrap();
-            let recomposed =
-                strong_composition(step, t, total.delta() / 2.0).unwrap();
+            let recomposed = strong_composition(step, t, total.delta() / 2.0).unwrap();
             assert!(
                 recomposed.epsilon() <= total.epsilon() + 1e-9,
                 "t={t}: {} > {}",

@@ -23,7 +23,10 @@ impl fmt::Display for DpError {
             DpError::InvalidBudget(msg) => write!(f, "invalid privacy budget: {msg}"),
             DpError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             DpError::SparseVectorHalted => {
-                write!(f, "sparse vector algorithm halted after T above-threshold answers")
+                write!(
+                    f,
+                    "sparse vector algorithm halted after T above-threshold answers"
+                )
             }
             DpError::EmptyCandidates => write!(f, "candidate list must be nonempty"),
             DpError::NonFinite(msg) => write!(f, "non-finite value: {msg}"),

@@ -77,7 +77,9 @@ impl GaussianMechanism {
             return Err(DpError::InvalidParameter("sensitivity must be positive"));
         }
         if budget.delta() <= 0.0 {
-            return Err(DpError::InvalidBudget("gaussian mechanism requires delta > 0"));
+            return Err(DpError::InvalidBudget(
+                "gaussian mechanism requires delta > 0",
+            ));
         }
         Ok(Self {
             sensitivity,
@@ -87,8 +89,7 @@ impl GaussianMechanism {
 
     /// Noise level `σ = Δ·√(2·ln(1.25/δ))/ε`.
     pub fn sigma(&self) -> f64 {
-        self.sensitivity * (2.0 * (1.25 / self.budget.delta()).ln()).sqrt()
-            / self.budget.epsilon()
+        self.sensitivity * (2.0 * (1.25 / self.budget.delta()).ln()).sqrt() / self.budget.epsilon()
     }
 
     /// Release a scalar.
@@ -166,8 +167,10 @@ mod tests {
     fn laplace_release_is_unbiased() {
         let m = LaplaceMechanism::new(1.0, 1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(21);
-        let mean: f64 =
-            (0..40_000).map(|_| m.release(5.0, &mut rng).unwrap()).sum::<f64>() / 40_000.0;
+        let mean: f64 = (0..40_000)
+            .map(|_| m.release(5.0, &mut rng).unwrap())
+            .sum::<f64>()
+            / 40_000.0;
         assert!((mean - 5.0).abs() < 0.05, "{mean}");
         assert!(m.release(f64::NAN, &mut rng).is_err());
     }

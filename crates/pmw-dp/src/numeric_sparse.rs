@@ -36,10 +36,8 @@ impl NumericSparse {
     /// threshold tests (8/9 of ε) and the value releases (1/9 of ε, split
     /// over the `max_top` possible releases).
     pub fn new<R: Rng + ?Sized>(config: SvConfig, rng: &mut R) -> Result<Self, DpError> {
-        let threshold_budget = PrivacyBudget::new(
-            config.budget.epsilon() * 8.0 / 9.0,
-            config.budget.delta(),
-        )?;
+        let threshold_budget =
+            PrivacyBudget::new(config.budget.epsilon() * 8.0 / 9.0, config.budget.delta())?;
         let release_epsilon = config.budget.epsilon() / 9.0 / config.max_top.max(1) as f64;
         let value_scale = config.sensitivity / release_epsilon;
         let inner = SparseVector::new(

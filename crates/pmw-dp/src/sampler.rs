@@ -80,7 +80,12 @@ pub fn gamma_noise_vector<R: Rng + ?Sized>(dim: usize, scale: f64, rng: &mut R) 
     debug_assert!(dim > 0);
     // Direction: normalized Gaussian vector.
     let mut v: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
-    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+    let norm = v
+        .iter()
+        .map(|x| x * x)
+        .sum::<f64>()
+        .sqrt()
+        .max(f64::MIN_POSITIVE);
     // Magnitude: Gamma(dim, scale) via sum of exponentials.
     let mag: f64 = (0..dim).map(|_| exponential(scale, rng)).sum();
     for x in v.iter_mut() {
@@ -99,8 +104,8 @@ mod tests {
 
     fn moments(draws: &[f64]) -> (f64, f64) {
         let mean = draws.iter().sum::<f64>() / draws.len() as f64;
-        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / (draws.len() - 1) as f64;
+        let var =
+            draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (draws.len() - 1) as f64;
         (mean, var)
     }
 
@@ -111,7 +116,11 @@ mod tests {
         let draws: Vec<f64> = (0..N).map(|_| laplace(b, &mut rng)).collect();
         let (mean, var) = moments(&draws);
         assert!(mean.abs() < 0.05, "mean {mean}");
-        assert!((var - 2.0 * b * b).abs() < 0.3, "var {var} vs {}", 2.0 * b * b);
+        assert!(
+            (var - 2.0 * b * b).abs() < 0.3,
+            "var {var} vs {}",
+            2.0 * b * b
+        );
     }
 
     #[test]
@@ -123,7 +132,10 @@ mod tests {
         let hits = (0..N).filter(|_| laplace(b, &mut rng).abs() > t).count();
         let empirical = hits as f64 / N as f64;
         let expected = (-t / b).exp();
-        assert!((empirical - expected).abs() < 0.01, "{empirical} vs {expected}");
+        assert!(
+            (empirical - expected).abs() < 0.01,
+            "{empirical} vs {expected}"
+        );
     }
 
     #[test]

@@ -257,9 +257,13 @@ mod tests {
         for _ in 0..trials {
             let mut sv = SparseVector::new(config(5, 1e-6), &mut rng).unwrap();
             // above-threshold values (alpha = 0.2) and below-half values.
-            for &(v, expect_top) in
-                &[(0.25, true), (0.05, false), (0.3, true), (0.0, false), (0.21, true)]
-            {
+            for &(v, expect_top) in &[
+                (0.25, true),
+                (0.05, false),
+                (0.3, true),
+                (0.0, false),
+                (0.21, true),
+            ] {
                 match sv.process(v, &mut rng).unwrap() {
                     SvOutcome::Top if !expect_top => failures += 1,
                     SvOutcome::Bottom if expect_top => failures += 1,
@@ -348,7 +352,11 @@ mod tests {
         for _ in 0..trials {
             let mut sv = SparseVector::new(config(3, sens), &mut rng).unwrap();
             for j in 0..k {
-                let (v, expect_top) = if j % 2 == 0 { (0.25, true) } else { (0.08, false) };
+                let (v, expect_top) = if j % 2 == 0 {
+                    (0.25, true)
+                } else {
+                    (0.08, false)
+                };
                 match sv.process(v, &mut rng) {
                     Ok(SvOutcome::Top) if !expect_top => violations += 1,
                     Ok(SvOutcome::Bottom) if expect_top => violations += 1,

@@ -23,7 +23,9 @@ use crate::error::DpError;
 /// budget with \[DRV10\] strong composition.
 pub fn rho_for_budget(budget: PrivacyBudget) -> Result<f64, DpError> {
     if budget.delta() <= 0.0 {
-        return Err(DpError::InvalidBudget("zCDP calibration requires delta > 0"));
+        return Err(DpError::InvalidBudget(
+            "zCDP calibration requires delta > 0",
+        ));
     }
     let l = (1.0 / budget.delta()).ln();
     let sqrt_rho = (l + budget.epsilon()).sqrt() - l.sqrt();

@@ -2,6 +2,7 @@
 
 use crate::error::ErmError;
 use crate::oracle::{validate_inputs, ErmOracle};
+use pmw_data::PointMatrix;
 use pmw_dp::PrivacyBudget;
 use pmw_losses::traits::minimize_weighted;
 use pmw_losses::CmLoss;
@@ -36,7 +37,7 @@ impl ErmOracle for ExactOracle {
     fn solve(
         &self,
         loss: &dyn CmLoss,
-        points: &[Vec<f64>],
+        points: &PointMatrix,
         weights: &[f64],
         n: usize,
         _budget: PrivacyBudget,
@@ -62,12 +63,15 @@ mod tests {
     #[test]
     fn recovers_regression_coefficient() {
         let loss = SquaredLoss::new(1).unwrap();
-        let pts: Vec<Vec<f64>> = (0..20)
-            .map(|i| {
-                let x = i as f64 / 20.0 * 2.0 - 1.0;
-                vec![x, -0.3 * x]
-            })
-            .collect();
+        let pts = PointMatrix::from_rows(
+            (0..20)
+                .map(|i| {
+                    let x = i as f64 / 20.0 * 2.0 - 1.0;
+                    vec![x, -0.3 * x]
+                })
+                .collect(),
+        )
+        .unwrap();
         let w = vec![0.05; 20];
         let mut rng = StdRng::seed_from_u64(70);
         let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();

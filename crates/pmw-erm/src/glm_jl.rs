@@ -27,6 +27,7 @@ use crate::error::ErmError;
 use crate::noisy_gd::NoisyGdOracle;
 use crate::oracle::{validate_inputs, ErmOracle};
 use pmw_convex::vecmath;
+use pmw_data::PointMatrix;
 use pmw_dp::PrivacyBudget;
 use pmw_losses::{CmLoss, GlmLoss};
 use rand::Rng;
@@ -55,10 +56,7 @@ impl JlGlmOracle {
         if target_dim == 0 {
             return Err(ErmError::InvalidParameter("target_dim must be >= 1"));
         }
-        Ok(Self {
-            target_dim,
-            inner,
-        })
+        Ok(Self { target_dim, inner })
     }
 
     /// The projected dimension that preserves inner products to `±α` over
@@ -76,7 +74,7 @@ impl ErmOracle for JlGlmOracle {
     fn solve(
         &self,
         loss: &dyn CmLoss,
-        points: &[Vec<f64>],
+        points: &PointMatrix,
         weights: &[f64],
         n: usize,
         budget: PrivacyBudget,
@@ -105,26 +103,30 @@ impl ErmOracle for JlGlmOracle {
             .collect();
 
         // 2. Project features and keep labels; clip to the unit ball so the
-        //    projected GLM's Lipschitz metadata stays valid.
-        let mut projected: Vec<Vec<f64>> = Vec::with_capacity(points.len());
+        //    projected GLM's Lipschitz metadata stays valid. Built directly
+        //    in the flat row-major layout (stride m + 1).
+        let mut projected_flat: Vec<f64> = Vec::with_capacity(points.len() * (m + 1));
         for x in points {
             let (features, y) = loss
                 .glm_example(x)
                 .ok_or(ErmError::UnsupportedLoss("JL oracle requires glm_example"))?;
-            let mut z: Vec<f64> = phi.iter().map(|row| vecmath::dot(row, &features)).collect();
-            let norm = vecmath::norm2(&z);
+            let start = projected_flat.len();
+            projected_flat.extend(phi.iter().map(|row| vecmath::dot(row, &features)));
+            let z = &mut projected_flat[start..];
+            let norm = vecmath::norm2(z);
             if norm > 1.0 {
-                vecmath::scale(&mut z, 1.0 / norm);
+                vecmath::scale(z, 1.0 / norm);
             }
-            z.push(y);
-            projected.push(z);
+            projected_flat.push(y);
         }
+        let projected = PointMatrix::from_flat(projected_flat, m + 1)
+            .map_err(|_| ErmError::InvalidParameter("projected features must be finite"))?;
 
         // 3. Solve the m-dimensional GLM privately.
         let projected_loss = GlmLoss::new(link, m)?;
-        let theta_m =
-            self.inner
-                .solve(&projected_loss, &projected, weights, n, budget, rng)?;
+        let theta_m = self
+            .inner
+            .solve(&projected_loss, &projected, weights, n, budget, rng)?;
 
         // 4. Lift: theta_d = Phi^T theta_m, then make feasible.
         let mut theta_d = vec![0.0; d];
@@ -149,14 +151,17 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
-    fn unit_cube_points(dim: usize, m: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
-        (0..m)
-            .map(|_| {
-                let v: Vec<f64> = (0..dim).map(|_| rng.random::<f64>() - 0.5).collect();
-                let norm = vecmath::norm2(&v).max(1e-9);
-                v.into_iter().map(|x| x / norm * 0.9).collect()
-            })
-            .collect()
+    fn unit_cube_points(dim: usize, m: usize, rng: &mut StdRng) -> PointMatrix {
+        PointMatrix::from_rows(
+            (0..m)
+                .map(|_| {
+                    let v: Vec<f64> = (0..dim).map(|_| rng.random::<f64>() - 0.5).collect();
+                    let norm = vecmath::norm2(&v).max(1e-9);
+                    v.into_iter().map(|x| x / norm * 0.9).collect()
+                })
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -179,7 +184,7 @@ mod tests {
             1,
         )
         .unwrap();
-        let pts = vec![vec![0.5]];
+        let pts = PointMatrix::from_rows(vec![vec![0.5]]).unwrap();
         let w = vec![1.0];
         let mut rng = StdRng::seed_from_u64(101);
         let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
@@ -250,7 +255,8 @@ mod tests {
     #[test]
     fn fallback_for_low_dimension_matches_inner_oracle_contract() {
         let loss = SquaredLoss::new(2).unwrap();
-        let pts = vec![vec![0.5, 0.0, 0.25], vec![-0.5, 0.0, -0.25]];
+        let pts =
+            PointMatrix::from_rows(vec![vec![0.5, 0.0, 0.25], vec![-0.5, 0.0, -0.25]]).unwrap();
         let w = vec![0.5, 0.5];
         let mut rng = StdRng::seed_from_u64(105);
         let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();

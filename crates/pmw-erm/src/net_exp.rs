@@ -14,6 +14,7 @@
 use crate::error::ErmError;
 use crate::oracle::{validate_inputs, ErmOracle};
 use pmw_convex::Objective;
+use pmw_data::PointMatrix;
 use pmw_dp::{ExponentialMechanism, PrivacyBudget};
 use pmw_losses::{CmLoss, WeightedObjective};
 use rand::Rng;
@@ -45,7 +46,7 @@ impl ErmOracle for NetExponentialOracle {
     fn solve(
         &self,
         loss: &dyn CmLoss,
-        points: &[Vec<f64>],
+        points: &PointMatrix,
         weights: &[f64],
         n: usize,
         budget: PrivacyBudget,
@@ -85,7 +86,7 @@ mod tests {
         // Hinge loss + pure epsilon: the combination the other oracles
         // cannot serve.
         let loss = HingeLoss::new(2).unwrap();
-        let pts = vec![vec![0.7, 0.0, 1.0], vec![-0.7, 0.0, -1.0]];
+        let pts = PointMatrix::from_rows(vec![vec![0.7, 0.0, 1.0], vec![-0.7, 0.0, -1.0]]).unwrap();
         let w = vec![0.5, 0.5];
         let mut rng = StdRng::seed_from_u64(111);
         let budget = PrivacyBudget::pure(1.0).unwrap();
@@ -102,12 +103,15 @@ mod tests {
     #[test]
     fn large_n_selects_near_optimal_candidate() {
         let loss = SquaredLoss::new(1).unwrap();
-        let pts: Vec<Vec<f64>> = (0..8)
-            .map(|i| {
-                let x = i as f64 / 8.0 * 2.0 - 1.0;
-                vec![x, 0.5 * x]
-            })
-            .collect();
+        let pts = PointMatrix::from_rows(
+            (0..8)
+                .map(|i| {
+                    let x = i as f64 / 8.0 * 2.0 - 1.0;
+                    vec![x, 0.5 * x]
+                })
+                .collect(),
+        )
+        .unwrap();
         let w = vec![0.125; 8];
         let mut rng = StdRng::seed_from_u64(112);
         let budget = PrivacyBudget::pure(1.0).unwrap();
@@ -121,7 +125,7 @@ mod tests {
     #[test]
     fn small_n_is_noisy_but_feasible() {
         let loss = SquaredLoss::new(1).unwrap();
-        let pts = vec![vec![1.0, 0.5]];
+        let pts = PointMatrix::from_rows(vec![vec![1.0, 0.5]]).unwrap();
         let w = vec![1.0];
         let mut rng = StdRng::seed_from_u64(113);
         let budget = PrivacyBudget::pure(0.1).unwrap();
@@ -134,6 +138,10 @@ mod tests {
             distinct.insert((theta[0] * 1000.0) as i64);
         }
         // With n = 2 and eps = 0.1 the selection must be visibly random.
-        assert!(distinct.len() > 3, "only {} distinct outputs", distinct.len());
+        assert!(
+            distinct.len() > 3,
+            "only {} distinct outputs",
+            distinct.len()
+        );
     }
 }

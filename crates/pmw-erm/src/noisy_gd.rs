@@ -21,6 +21,7 @@ use crate::error::ErmError;
 use crate::oracle::{validate_inputs, ErmOracle};
 use pmw_convex::solvers::StepRule;
 use pmw_convex::{vecmath, Objective};
+use pmw_data::PointMatrix;
 use pmw_dp::zcdp::rho_for_budget;
 use pmw_dp::PrivacyBudget;
 use pmw_losses::{CmLoss, WeightedObjective};
@@ -67,7 +68,7 @@ impl ErmOracle for NoisyGdOracle {
     fn solve(
         &self,
         loss: &dyn CmLoss,
-        points: &[Vec<f64>],
+        points: &PointMatrix,
         weights: &[f64],
         n: usize,
         budget: PrivacyBudget,
@@ -88,9 +89,7 @@ impl ErmOracle for NoisyGdOracle {
         // zero-mean so the standard schedules remain valid in expectation.
         let rule = match loss.smoothness() {
             Some(s) => StepRule::Constant(1.0 / s.max(1e-9)),
-            None => StepRule::InvSqrt(
-                domain.diameter() / loss.lipschitz().max(1e-9),
-            ),
+            None => StepRule::InvSqrt(domain.diameter() / loss.lipschitz().max(1e-9)),
         };
 
         let mut theta = domain.center();
@@ -123,13 +122,16 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn regression_data(m: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let pts: Vec<Vec<f64>> = (0..m)
-            .map(|i| {
-                let x = i as f64 / m as f64 * 2.0 - 1.0;
-                vec![x, 0.6 * x]
-            })
-            .collect();
+    fn regression_data(m: usize) -> (PointMatrix, Vec<f64>) {
+        let pts = PointMatrix::from_rows(
+            (0..m)
+                .map(|i| {
+                    let x = i as f64 / m as f64 * 2.0 - 1.0;
+                    vec![x, 0.6 * x]
+                })
+                .collect(),
+        )
+        .unwrap();
         let w = vec![1.0 / m as f64; m];
         (pts, w)
     }
@@ -168,12 +170,13 @@ mod tests {
     #[test]
     fn excess_risk_decreases_with_n() {
         let loss = LogisticLoss::new(2).unwrap();
-        let pts = vec![
+        let pts = PointMatrix::from_rows(vec![
             vec![0.7, 0.2, 1.0],
             vec![-0.6, -0.3, -1.0],
             vec![0.5, 0.5, 1.0],
             vec![-0.4, -0.6, -1.0],
-        ];
+        ])
+        .unwrap();
         let w = vec![0.25; 4];
         let budget = PrivacyBudget::new(0.5, 1e-6).unwrap();
         let oracle = NoisyGdOracle::new(40).unwrap();
@@ -206,7 +209,7 @@ mod tests {
     #[test]
     fn result_is_feasible() {
         let loss = SquaredLoss::new(2).unwrap();
-        let pts = vec![vec![1.0, 0.0, 1.0], vec![0.0, 1.0, -1.0]];
+        let pts = PointMatrix::from_rows(vec![vec![1.0, 0.0, 1.0], vec![0.0, 1.0, -1.0]]).unwrap();
         let w = vec![0.5, 0.5];
         let mut rng = StdRng::seed_from_u64(75);
         // Tiny n -> huge noise; the projection must still keep us feasible.

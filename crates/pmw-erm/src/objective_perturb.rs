@@ -18,6 +18,7 @@ use crate::error::ErmError;
 use crate::oracle::{validate_inputs, ErmOracle};
 use pmw_convex::solvers::{ProjectedGradientDescent, SolverConfig};
 use pmw_convex::{vecmath, Objective};
+use pmw_data::PointMatrix;
 use pmw_dp::PrivacyBudget;
 use pmw_losses::{CmLoss, WeightedObjective};
 use rand::Rng;
@@ -74,16 +75,16 @@ impl ErmOracle for ObjectivePerturbationOracle {
     fn solve(
         &self,
         loss: &dyn CmLoss,
-        points: &[Vec<f64>],
+        points: &PointMatrix,
         weights: &[f64],
         n: usize,
         budget: PrivacyBudget,
         rng: &mut dyn Rng,
     ) -> Result<Vec<f64>, ErmError> {
         validate_inputs(loss, points, weights, n)?;
-        let smooth = loss
-            .smoothness()
-            .ok_or(ErmError::UnsupportedLoss("objective perturbation requires smoothness"))?;
+        let smooth = loss.smoothness().ok_or(ErmError::UnsupportedLoss(
+            "objective perturbation requires smoothness",
+        ))?;
         if budget.delta() <= 0.0 {
             return Err(ErmError::InvalidParameter(
                 "objective perturbation (approximate-DP variant) requires delta > 0",
@@ -91,9 +92,8 @@ impl ErmOracle for ObjectivePerturbationOracle {
         }
         let nf = n as f64;
         let eps = budget.epsilon();
-        let sigma_b =
-            (2.0 * loss.lipschitz() / nf) * (2.0 * (1.25 / budget.delta()).ln()).sqrt()
-                / (eps / 2.0);
+        let sigma_b = (2.0 * loss.lipschitz() / nf) * (2.0 * (1.25 / budget.delta()).ln()).sqrt()
+            / (eps / 2.0);
         let lambda = 4.0 * smooth / (nf * eps);
         let b: Vec<f64> = (0..loss.dim())
             .map(|_| pmw_dp::sampler::gaussian(sigma_b.max(f64::MIN_POSITIVE), rng))
@@ -123,13 +123,16 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn data() -> (Vec<Vec<f64>>, Vec<f64>) {
-        let pts: Vec<Vec<f64>> = (0..16)
-            .map(|i| {
-                let x = i as f64 / 16.0 * 2.0 - 1.0;
-                vec![x, if x > 0.0 { 1.0 } else { -1.0 }]
-            })
-            .collect();
+    fn data() -> (PointMatrix, Vec<f64>) {
+        let pts = PointMatrix::from_rows(
+            (0..16)
+                .map(|i| {
+                    let x = i as f64 / 16.0 * 2.0 - 1.0;
+                    vec![x, if x > 0.0 { 1.0 } else { -1.0 }]
+                })
+                .collect(),
+        )
+        .unwrap();
         let w = vec![1.0 / 16.0; 16];
         (pts, w)
     }
@@ -196,7 +199,8 @@ mod tests {
     #[test]
     fn output_is_feasible() {
         let loss = LogisticLoss::new(2).unwrap();
-        let pts = vec![vec![0.4, 0.4, 1.0], vec![-0.4, -0.4, -1.0]];
+        let pts =
+            PointMatrix::from_rows(vec![vec![0.4, 0.4, 1.0], vec![-0.4, -0.4, -1.0]]).unwrap();
         let w = vec![0.5, 0.5];
         let mut rng = StdRng::seed_from_u64(96);
         let budget = PrivacyBudget::new(0.1, 1e-6).unwrap();

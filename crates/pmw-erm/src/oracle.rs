@@ -7,6 +7,7 @@ use crate::net_exp::NetExponentialOracle;
 use crate::noisy_gd::NoisyGdOracle;
 use crate::objective_perturb::ObjectivePerturbationOracle;
 use crate::output_perturb::OutputPerturbationOracle;
+use pmw_data::PointMatrix;
 use pmw_dp::PrivacyBudget;
 use pmw_losses::traits::minimize_weighted;
 use pmw_losses::CmLoss;
@@ -22,7 +23,7 @@ pub trait ErmOracle {
     fn solve(
         &self,
         loss: &dyn CmLoss,
-        points: &[Vec<f64>],
+        points: &PointMatrix,
         weights: &[f64],
         n: usize,
         budget: PrivacyBudget,
@@ -37,7 +38,7 @@ pub trait ErmOracle {
 /// oracle.
 pub(crate) fn validate_inputs(
     loss: &dyn CmLoss,
-    points: &[Vec<f64>],
+    points: &PointMatrix,
     weights: &[f64],
     n: usize,
 ) -> Result<(), ErmError> {
@@ -49,7 +50,7 @@ pub(crate) fn validate_inputs(
             "points and weights must be nonempty and equal-length",
         ));
     }
-    if points.iter().any(|p| p.len() != loss.point_dim()) {
+    if points.dim() != loss.point_dim() {
         return Err(ErmError::InvalidParameter(
             "point dimension does not match loss",
         ));
@@ -66,7 +67,7 @@ pub(crate) fn validate_inputs(
 /// (Definition 2.2), with the minimum computed non-privately.
 pub fn excess_risk(
     loss: &dyn CmLoss,
-    points: &[Vec<f64>],
+    points: &PointMatrix,
     weights: &[f64],
     theta: &[f64],
     solver_iters: usize,
@@ -82,8 +83,7 @@ pub fn excess_risk(
 /// oracles to Table 1 rows: strong convexity → output perturbation, GLM
 /// structure → the dimension-independent oracle, otherwise noisy gradient
 /// descent.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub enum OracleChoice {
     /// Metadata-driven selection (see above).
     #[default]
@@ -102,12 +102,11 @@ pub enum OracleChoice {
     NetExponential(NetExponentialOracle),
 }
 
-
 impl ErmOracle for OracleChoice {
     fn solve(
         &self,
         loss: &dyn CmLoss,
-        points: &[Vec<f64>],
+        points: &PointMatrix,
         weights: &[f64],
         n: usize,
         budget: PrivacyBudget,
@@ -116,8 +115,7 @@ impl ErmOracle for OracleChoice {
         match self {
             OracleChoice::Auto => {
                 if loss.strong_convexity() > 0.0 {
-                    OutputPerturbationOracle::default()
-                        .solve(loss, points, weights, n, budget, rng)
+                    OutputPerturbationOracle::default().solve(loss, points, weights, n, budget, rng)
                 } else if loss.is_glm() && loss.dim() > 8 {
                     JlGlmOracle::default().solve(loss, points, weights, n, budget, rng)
                 } else {
@@ -155,14 +153,17 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn toy_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn toy_data() -> (PointMatrix, Vec<f64>) {
         // y = 0.5*x on 5 points.
-        let pts: Vec<Vec<f64>> = (0..5)
-            .map(|i| {
-                let x = i as f64 / 5.0 * 2.0 - 1.0;
-                vec![x, 0.5 * x]
-            })
-            .collect();
+        let pts = PointMatrix::from_rows(
+            (0..5)
+                .map(|i| {
+                    let x = i as f64 / 5.0 * 2.0 - 1.0;
+                    vec![x, 0.5 * x]
+                })
+                .collect(),
+        )
+        .unwrap();
         let w = vec![0.2; 5];
         (pts, w)
     }
@@ -172,9 +173,10 @@ mod tests {
         let loss = SquaredLoss::new(1).unwrap();
         let (pts, w) = toy_data();
         assert!(validate_inputs(&loss, &pts, &w, 0).is_err());
-        assert!(validate_inputs(&loss, &[], &[], 10).is_err());
         assert!(validate_inputs(&loss, &pts, &w[..3], 10).is_err());
-        let bad = vec![vec![1.0]];
+        // Wrong point dimension for the loss (the empty-universe case is
+        // unrepresentable: PointMatrix constructors reject it).
+        let bad = PointMatrix::from_rows(vec![vec![1.0]]).unwrap();
         assert!(validate_inputs(&loss, &bad, &[1.0], 10).is_err());
         assert!(validate_inputs(&loss, &pts, &w, 10).is_ok());
     }
@@ -205,7 +207,8 @@ mod tests {
     #[test]
     fn auto_falls_back_to_noisy_gd_for_plain_lipschitz() {
         let loss = LogisticLoss::new(2).unwrap();
-        let pts = vec![vec![0.5, 0.5, 1.0], vec![-0.5, -0.5, -1.0]];
+        let pts =
+            PointMatrix::from_rows(vec![vec![0.5, 0.5, 1.0], vec![-0.5, -0.5, -1.0]]).unwrap();
         let w = vec![0.5, 0.5];
         let mut rng = StdRng::seed_from_u64(62);
         let budget = PrivacyBudget::new(2.0, 1e-6).unwrap();

@@ -210,13 +210,12 @@ mod tests {
     fn minimizing_recovers_planted_direction() {
         let mut rng = StdRng::seed_from_u64(5);
         let t = TargetLoss::regression(vec![1.0, -1.0, 0.5], LinkFn::Squared).unwrap();
-        let pts: Vec<Vec<f64>> = (0..60)
-            .map(|_| {
-                (0..3)
-                    .map(|_| rng.random::<f64>() * 1.1 - 0.55)
-                    .collect()
-            })
-            .collect();
+        let pts = pmw_data::PointMatrix::from_rows(
+            (0..60)
+                .map(|_| (0..3).map(|_| rng.random::<f64>() * 1.1 - 0.55).collect())
+                .collect(),
+        )
+        .unwrap();
         let w = vec![1.0 / 60.0; 60];
         let theta = minimize_weighted(&t, &pts, &w, 3000).unwrap();
         assert!(

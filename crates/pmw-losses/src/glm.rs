@@ -53,7 +53,9 @@ impl GlmLoss {
     /// metadata; evaluation is unaffected).
     pub fn with_feature_bound(mut self, bound: f64) -> Result<Self, LossError> {
         if !(bound.is_finite() && bound > 0.0) {
-            return Err(LossError::InvalidParameter("feature bound must be positive"));
+            return Err(LossError::InvalidParameter(
+                "feature bound must be positive",
+            ));
         }
         self.feature_bound = bound;
         Ok(self)
@@ -103,6 +105,31 @@ impl CmLoss for GlmLoss {
         for (o, f) in out.iter_mut().zip(features) {
             *o = d * f;
         }
+    }
+
+    /// Loop-fused sweep: the GLM gradient is `φ'(⟨θ,x⟩, y)·x`, so the
+    /// certificate payoff collapses to two dot products per point —
+    /// `φ'(⟨θ_hyp,x⟩, y)·⟨direction, x⟩` — with the `d`-vector gradient
+    /// never materialized. Chunked across cores under the `parallel`
+    /// feature.
+    fn certificate_batch(
+        &self,
+        theta_hyp: &[f64],
+        direction: &[f64],
+        points: &pmw_data::PointMatrix,
+        out: &mut [f64],
+    ) {
+        let d = self.dim;
+        let stride = points.dim();
+        let link = self.link;
+        pmw_data::par::for_each_chunk_mut(out, |offset, chunk| {
+            let rows = points.row_block(offset, offset + chunk.len());
+            for (slot, x) in chunk.iter_mut().zip(rows.chunks_exact(stride)) {
+                let features = &x[..d];
+                let z = vecmath::dot(theta_hyp, features);
+                *slot = link.derivative(z, x[d]) * vecmath::dot(direction, features);
+            }
+        });
     }
 
     fn lipschitz(&self) -> f64 {
@@ -161,6 +188,15 @@ macro_rules! concrete_glm {
             fn loss(&self, theta: &[f64], x: &[f64]) -> f64 { self.inner.loss(theta, x) }
             fn gradient(&self, theta: &[f64], x: &[f64], out: &mut [f64]) {
                 self.inner.gradient(theta, x, out)
+            }
+            fn certificate_batch(
+                &self,
+                theta_hyp: &[f64],
+                direction: &[f64],
+                points: &pmw_data::PointMatrix,
+                out: &mut [f64],
+            ) {
+                self.inner.certificate_batch(theta_hyp, direction, points, out)
             }
             fn lipschitz(&self) -> f64 { self.inner.lipschitz() }
             fn smoothness(&self) -> Option<f64> { self.inner.smoothness() }
@@ -234,6 +270,16 @@ impl CmLoss for HuberLoss {
     }
     fn gradient(&self, theta: &[f64], x: &[f64], out: &mut [f64]) {
         self.inner.gradient(theta, x, out)
+    }
+    fn certificate_batch(
+        &self,
+        theta_hyp: &[f64],
+        direction: &[f64],
+        points: &pmw_data::PointMatrix,
+        out: &mut [f64],
+    ) {
+        self.inner
+            .certificate_batch(theta_hyp, direction, points, out)
     }
     fn lipschitz(&self) -> f64 {
         self.inner.lipschitz()

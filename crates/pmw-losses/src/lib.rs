@@ -37,4 +37,4 @@ pub use linear_query::{LinearQueryLoss, PointPredicate};
 pub use link::LinkFn;
 pub use quantile::QuantileLoss;
 pub use regularized::L2Regularized;
-pub use traits::{CmLoss, WeightedObjective};
+pub use traits::{certificate_sweep, CmLoss, WeightedObjective};

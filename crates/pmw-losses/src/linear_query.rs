@@ -168,6 +168,26 @@ impl CmLoss for LinearQueryLoss {
         out[0] = theta[0] - self.predicate.evaluate(x);
     }
 
+    /// Loop-fused sweep: `θ` is a scalar, so the payoff is
+    /// `direction·(θ_hyp − p(x))` — one predicate evaluation per point,
+    /// nothing else. Chunked across cores under the `parallel` feature.
+    fn certificate_batch(
+        &self,
+        theta_hyp: &[f64],
+        direction: &[f64],
+        points: &pmw_data::PointMatrix,
+        out: &mut [f64],
+    ) {
+        let (t, dir) = (theta_hyp[0], direction[0]);
+        let stride = points.dim();
+        pmw_data::par::for_each_chunk_mut(out, |offset, chunk| {
+            let rows = points.row_block(offset, offset + chunk.len());
+            for (slot, x) in chunk.iter_mut().zip(rows.chunks_exact(stride)) {
+                *slot = dir * (t - self.predicate.evaluate(x));
+            }
+        });
+    }
+
     fn lipschitz(&self) -> f64 {
         // |theta - p| <= 1 on [0,1] x [0,1].
         1.0
@@ -238,11 +258,9 @@ mod tests {
             2
         )
         .is_err());
-        assert!(LinearQueryLoss::new(
-            PointPredicate::Conjunction { coords: vec![0, 5] },
-            3
-        )
-        .is_err());
+        assert!(
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0, 5] }, 3).is_err()
+        );
         assert!(LinearQueryLoss::new(
             PointPredicate::Linear {
                 weights: vec![1.0, 1.0, 1.0],
@@ -265,7 +283,9 @@ mod tests {
             1,
         )
         .unwrap();
-        let pts = vec![vec![1.0], vec![0.9], vec![0.8], vec![0.0]];
+        let pts =
+            pmw_data::PointMatrix::from_rows(vec![vec![1.0], vec![0.9], vec![0.8], vec![0.0]])
+                .unwrap();
         let w = vec![0.25; 4];
         let theta = minimize_weighted(&loss, &pts, &w, 500).unwrap();
         assert!((theta[0] - 0.75).abs() < 1e-6, "{}", theta[0]);
@@ -273,11 +293,8 @@ mod tests {
 
     #[test]
     fn metadata_matches_paper_special_case() {
-        let loss = LinearQueryLoss::new(
-            PointPredicate::Conjunction { coords: vec![0] },
-            4,
-        )
-        .unwrap();
+        let loss =
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, 4).unwrap();
         assert_eq!(loss.dim(), 1);
         assert_eq!(loss.lipschitz(), 1.0);
         assert_eq!(loss.strong_convexity(), 1.0);

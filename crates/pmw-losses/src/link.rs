@@ -186,7 +186,10 @@ mod tests {
                 for i in 0..=40 {
                     let z = -1.0 + i as f64 * 0.05;
                     let d = link.derivative(z, y).abs();
-                    assert!(d <= bound + 1e-12, "{link:?}: |phi'({z},{y})|={d} > {bound}");
+                    assert!(
+                        d <= bound + 1e-12,
+                        "{link:?}: |phi'({z},{y})|={d} > {bound}"
+                    );
                 }
             }
         }

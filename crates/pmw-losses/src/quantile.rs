@@ -92,6 +92,27 @@ impl CmLoss for QuantileLoss {
         };
     }
 
+    /// Loop-fused sweep: the pinball subgradient is a two-valued scalar, so
+    /// the payoff is a branch plus one multiply per point.
+    fn certificate_batch(
+        &self,
+        theta_hyp: &[f64],
+        direction: &[f64],
+        points: &pmw_data::PointMatrix,
+        out: &mut [f64],
+    ) {
+        let (t, dir) = (theta_hyp[0], direction[0]);
+        let (coord, tau) = (self.coord, self.tau);
+        let stride = points.dim();
+        pmw_data::par::for_each_chunk_mut(out, |offset, chunk| {
+            let rows = points.row_block(offset, offset + chunk.len());
+            for (slot, x) in chunk.iter_mut().zip(rows.chunks_exact(stride)) {
+                let g = if x[coord] - t >= 0.0 { -tau } else { 1.0 - tau };
+                *slot = dir * g;
+            }
+        });
+    }
+
     fn lipschitz(&self) -> f64 {
         self.tau.max(1.0 - self.tau)
     }
@@ -118,13 +139,14 @@ mod tests {
     fn median_minimizer_is_empirical_median() {
         let loss = QuantileLoss::median(0, 1).unwrap();
         // Points: mass concentrated so the median is 0.3.
-        let pts: Vec<Vec<f64>> = vec![
+        let pts = pmw_data::PointMatrix::from_rows(vec![
             vec![-0.8],
             vec![-0.2],
             vec![0.3],
             vec![0.6],
             vec![0.9],
-        ];
+        ])
+        .unwrap();
         let w = vec![0.2; 5];
         let theta = minimize_weighted(&loss, &pts, &w, 6000).unwrap();
         assert!((theta[0] - 0.3).abs() < 0.06, "{}", theta[0]);
@@ -132,12 +154,13 @@ mod tests {
 
     #[test]
     fn upper_quantile_sits_above_median() {
-        let pts: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64 / 20.0 * 2.0 - 1.0])
-            .collect();
+        let pts = pmw_data::PointMatrix::from_rows(
+            (0..20).map(|i| vec![i as f64 / 20.0 * 2.0 - 1.0]).collect(),
+        )
+        .unwrap();
         let w = vec![0.05; 20];
-        let med = minimize_weighted(&QuantileLoss::median(0, 1).unwrap(), &pts, &w, 6000)
-            .unwrap()[0];
+        let med =
+            minimize_weighted(&QuantileLoss::median(0, 1).unwrap(), &pts, &w, 6000).unwrap()[0];
         let q90 = minimize_weighted(
             &QuantileLoss::new(0.9, 0, 1, -1.0, 1.0).unwrap(),
             &pts,
@@ -158,8 +181,7 @@ mod tests {
             let h = 1e-6;
             // Away from the kink the subgradient is the derivative.
             if (x[0] - theta).abs() > 1e-3 {
-                let fd =
-                    (loss.loss(&[theta + h], &x) - loss.loss(&[theta - h], &x)) / (2.0 * h);
+                let fd = (loss.loss(&[theta + h], &x) - loss.loss(&[theta - h], &x)) / (2.0 * h);
                 assert!((g[0] - fd).abs() < 1e-5, "theta {theta}");
             }
             assert!(g[0].abs() <= loss.lipschitz() + 1e-12);

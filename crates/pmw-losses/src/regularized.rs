@@ -67,6 +67,26 @@ impl<L: CmLoss> CmLoss for L2Regularized<L> {
         vecmath::axpy(self.sigma, theta, out);
     }
 
+    /// The ridge term contributes the point-independent constant
+    /// `σ·⟨direction, θ_hyp⟩` to every payoff, so the sweep is the inner
+    /// loss's (possibly fused/parallel) sweep plus one shifted pass.
+    fn certificate_batch(
+        &self,
+        theta_hyp: &[f64],
+        direction: &[f64],
+        points: &pmw_data::PointMatrix,
+        out: &mut [f64],
+    ) {
+        self.inner
+            .certificate_batch(theta_hyp, direction, points, out);
+        let shift = self.sigma * vecmath::dot(direction, theta_hyp);
+        pmw_data::par::for_each_chunk_mut(out, |_, chunk| {
+            for slot in chunk.iter_mut() {
+                *slot += shift;
+            }
+        });
+    }
+
     fn lipschitz(&self) -> f64 {
         self.inner.lipschitz() + self.sigma * self.radius_bound()
     }

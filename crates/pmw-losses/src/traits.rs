@@ -8,10 +8,16 @@
 //! [`pmw_convex::Objective`], which is what the inner solvers minimize. The
 //! weights may be a dataset's empirical distribution *or* the PMW hypothesis
 //! histogram — both are just probability vectors over universe points.
+//!
+//! Universe points arrive as a [`PointMatrix`] — one flat row-major buffer —
+//! so every Θ(|X|) sweep here (objective value, averaged gradient, the
+//! [`CmLoss::certificate_batch`] dual-certificate sweep) is a linear scan
+//! with zero per-point allocation.
 
 use crate::error::LossError;
 use pmw_convex::solvers::{ProjectedGradientDescent, SolverConfig};
-use pmw_convex::{Domain, Objective};
+use pmw_convex::{vecmath, Domain, Objective};
+use pmw_data::PointMatrix;
 
 /// A convex loss function `ℓ: Θ × X → R` defining a CM query, with the
 /// metadata the paper's restrictions refer to (Section 1.1).
@@ -31,6 +37,34 @@ pub trait CmLoss {
 
     /// Write `∇_θ ℓ(θ; x)` (a subgradient at kinks) into `out`.
     fn gradient(&self, theta: &[f64], x: &[f64], out: &mut [f64]);
+
+    /// Write the dual-certificate payoffs
+    /// `out[i] = ⟨direction, ∇ℓ_{x_i}(θ_hyp)⟩` for every row `x_i` of
+    /// `points` — the Θ(|X|) sweep of Claim 3.5, batched.
+    ///
+    /// The default implementation evaluates [`CmLoss::gradient`] per point
+    /// into one reused buffer (no per-point allocation). Concrete losses
+    /// whose gradient factors through a scalar (GLMs, linear queries)
+    /// override this with a loop-fused sweep that never materializes the
+    /// gradient at all; see `certificate_batch` in [`crate::glm`].
+    ///
+    /// Implementations may assume the caller validated `points.dim() ==
+    /// point_dim()`, `theta_hyp.len() == direction.len() == dim()` and
+    /// `out.len() == points.len()`, as
+    /// [`certificate_sweep`](crate::certificate_sweep) does.
+    fn certificate_batch(
+        &self,
+        theta_hyp: &[f64],
+        direction: &[f64],
+        points: &PointMatrix,
+        out: &mut [f64],
+    ) {
+        let mut grad = vec![0.0; self.dim()];
+        for (slot, x) in out.iter_mut().zip(points.iter()) {
+            self.gradient(theta_hyp, x, &mut grad);
+            *slot = vecmath::dot(direction, &grad);
+        }
+    }
 
     /// Lipschitz bound: `‖∇ℓ_x(θ)‖₂ ≤ lipschitz()` for all `θ ∈ Θ`, `x ∈ X`.
     fn lipschitz(&self) -> f64;
@@ -78,12 +112,44 @@ pub trait CmLoss {
     }
 }
 
+/// Validated driver for [`CmLoss::certificate_batch`]: checks dimensions
+/// once, then runs the batched sweep.
+///
+/// This is the entry point the mechanism's `dual_certificate` uses.
+/// Parallelism lives *inside* the concrete `certificate_batch`
+/// implementations (which know their `Self` is shareable across the sweep
+/// workers); the object-safe default stays sequential.
+pub fn certificate_sweep(
+    loss: &dyn CmLoss,
+    theta_hyp: &[f64],
+    direction: &[f64],
+    points: &PointMatrix,
+    out: &mut [f64],
+) -> Result<(), LossError> {
+    if theta_hyp.len() != loss.dim() || direction.len() != loss.dim() {
+        return Err(LossError::InvalidParameter("theta dimension mismatch"));
+    }
+    if points.dim() != loss.point_dim() {
+        return Err(LossError::PointDimensionMismatch {
+            got: points.dim(),
+            expected: loss.point_dim(),
+        });
+    }
+    if out.len() != points.len() {
+        return Err(LossError::InvalidParameter(
+            "certificate buffer length must equal the universe size",
+        ));
+    }
+    loss.certificate_batch(theta_hyp, direction, points, out);
+    Ok(())
+}
+
 /// The averaged loss `f(θ) = Σ_i w_i·ℓ(θ; x_i)` over weighted points — the
 /// paper's `ℓ_D(θ)` with `D` a histogram, or the empirical risk with uniform
 /// weights over dataset rows.
 pub struct WeightedObjective<'a, L: CmLoss + ?Sized> {
     loss: &'a L,
-    points: &'a [Vec<f64>],
+    points: &'a PointMatrix,
     weights: &'a [f64],
     grad_buf: std::cell::RefCell<Vec<f64>>,
 }
@@ -94,7 +160,7 @@ impl<'a, L: CmLoss + ?Sized> WeightedObjective<'a, L> {
     /// skipped during evaluation.
     pub fn new(
         loss: &'a L,
-        points: &'a [Vec<f64>],
+        points: &'a PointMatrix,
         weights: &'a [f64],
     ) -> Result<Self, LossError> {
         if points.len() != weights.len() {
@@ -105,13 +171,11 @@ impl<'a, L: CmLoss + ?Sized> WeightedObjective<'a, L> {
         if points.is_empty() {
             return Err(LossError::InvalidParameter("need at least one point"));
         }
-        for p in points {
-            if p.len() != loss.point_dim() {
-                return Err(LossError::PointDimensionMismatch {
-                    got: p.len(),
-                    expected: loss.point_dim(),
-                });
-            }
+        if points.dim() != loss.point_dim() {
+            return Err(LossError::PointDimensionMismatch {
+                got: points.dim(),
+                expected: loss.point_dim(),
+            });
         }
         if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
             return Err(LossError::InvalidParameter(
@@ -162,7 +226,7 @@ impl<L: CmLoss + ?Sized> Objective for WeightedObjective<'_, L> {
 /// histograms every round.
 pub fn minimize_weighted<L: CmLoss + ?Sized>(
     loss: &L,
-    points: &[Vec<f64>],
+    points: &PointMatrix,
     weights: &[f64],
     max_iters: usize,
 ) -> Result<Vec<f64>, LossError> {
@@ -198,13 +262,16 @@ mod tests {
     use super::*;
     use crate::glm::SquaredLoss;
 
+    fn matrix(rows: Vec<Vec<f64>>) -> PointMatrix {
+        PointMatrix::from_rows(rows).unwrap()
+    }
+
     #[test]
     fn weighted_objective_validates_inputs() {
         let loss = SquaredLoss::new(2).unwrap();
-        let pts = vec![vec![1.0, 0.0, 0.5]];
+        let pts = matrix(vec![vec![1.0, 0.0, 0.5]]);
         assert!(WeightedObjective::new(&loss, &pts, &[0.5, 0.5]).is_err());
-        assert!(WeightedObjective::new(&loss, &[], &[]).is_err());
-        let bad_pts = vec![vec![1.0, 0.0]];
+        let bad_pts = matrix(vec![vec![1.0, 0.0]]);
         assert!(WeightedObjective::new(&loss, &bad_pts, &[1.0]).is_err());
         assert!(WeightedObjective::new(&loss, &pts, &[-1.0]).is_err());
         assert!(WeightedObjective::new(&loss, &pts, &[1.0]).is_ok());
@@ -214,17 +281,17 @@ mod tests {
     fn weighted_value_is_convex_combination() {
         let loss = SquaredLoss::new(1).unwrap();
         // Points (x=1, y=0) and (x=1, y=1).
-        let pts = vec![vec![1.0, 0.0], vec![1.0, 1.0]];
+        let pts = matrix(vec![vec![1.0, 0.0], vec![1.0, 1.0]]);
         let obj = WeightedObjective::new(&loss, &pts, &[0.25, 0.75]).unwrap();
         let theta = [0.0];
-        let expect = 0.25 * loss.loss(&theta, &pts[0]) + 0.75 * loss.loss(&theta, &pts[1]);
+        let expect = 0.25 * loss.loss(&theta, pts.row(0)) + 0.75 * loss.loss(&theta, pts.row(1));
         assert!((obj.value(&theta) - expect).abs() < 1e-12);
     }
 
     #[test]
     fn weighted_gradient_matches_finite_difference() {
         let loss = SquaredLoss::new(2).unwrap();
-        let pts = vec![vec![0.5, -0.5, 1.0], vec![-1.0, 0.3, -1.0]];
+        let pts = matrix(vec![vec![0.5, -0.5, 1.0], vec![-1.0, 0.3, -1.0]]);
         let obj = WeightedObjective::new(&loss, &pts, &[0.4, 0.6]).unwrap();
         let theta = [0.2, -0.7];
         let g = obj.gradient_vec(&theta);
@@ -243,12 +310,14 @@ mod tests {
     fn minimize_weighted_solves_one_dim_regression() {
         // Data: y = 0.8*x exactly; squared loss recovers theta ~ 0.8.
         let loss = SquaredLoss::new(1).unwrap();
-        let pts: Vec<Vec<f64>> = (0..10)
-            .map(|i| {
-                let x = (i as f64 / 10.0) * 2.0 - 1.0;
-                vec![x, 0.8 * x]
-            })
-            .collect();
+        let pts = matrix(
+            (0..10)
+                .map(|i| {
+                    let x = (i as f64 / 10.0) * 2.0 - 1.0;
+                    vec![x, 0.8 * x]
+                })
+                .collect(),
+        );
         let w = vec![0.1; 10];
         let theta = minimize_weighted(&loss, &pts, &w, 4000).unwrap();
         assert!((theta[0] - 0.8).abs() < 0.01, "{}", theta[0]);
@@ -257,9 +326,9 @@ mod tests {
     #[test]
     fn zero_weight_points_are_ignored() {
         let loss = SquaredLoss::new(1).unwrap();
-        let pts = vec![vec![1.0, 1.0], vec![1.0, -1.0]];
+        let pts = matrix(vec![vec![1.0, 1.0], vec![1.0, -1.0]]);
         let obj_a = WeightedObjective::new(&loss, &pts, &[1.0, 0.0]).unwrap();
-        let only = vec![vec![1.0, 1.0]];
+        let only = matrix(vec![vec![1.0, 1.0]]);
         let obj_b = WeightedObjective::new(&loss, &only, &[1.0]).unwrap();
         let theta = [0.3];
         assert!((obj_a.value(&theta) - obj_b.value(&theta)).abs() < 1e-12);
@@ -269,9 +338,41 @@ mod tests {
     fn default_config_prefers_smooth_schedule() {
         let loss = SquaredLoss::new(2).unwrap();
         let c = default_solver_config(&loss, 100).unwrap();
-        assert!(matches!(
-            c.step,
-            pmw_convex::StepRule::Constant(_)
-        ));
+        assert!(matches!(c.step, pmw_convex::StepRule::Constant(_)));
+    }
+
+    #[test]
+    fn certificate_sweep_validates_inputs() {
+        let loss = SquaredLoss::new(1).unwrap();
+        let pts = matrix(vec![vec![1.0, 0.5], vec![-1.0, 0.2]]);
+        let mut out = vec![0.0; 2];
+        assert!(certificate_sweep(&loss, &[0.0, 0.0], &[1.0], &pts, &mut out).is_err());
+        assert!(certificate_sweep(&loss, &[0.0], &[1.0, 0.0], &pts, &mut out).is_err());
+        let bad_pts = matrix(vec![vec![1.0]]);
+        let mut bad_out = vec![0.0; 1];
+        assert!(certificate_sweep(&loss, &[0.0], &[1.0], &bad_pts, &mut bad_out).is_err());
+        let mut short = vec![0.0; 1];
+        assert!(certificate_sweep(&loss, &[0.0], &[1.0], &pts, &mut short).is_err());
+        assert!(certificate_sweep(&loss, &[0.0], &[1.0], &pts, &mut out).is_ok());
+    }
+
+    #[test]
+    fn certificate_sweep_matches_per_point_gradient_dots() {
+        let loss = SquaredLoss::new(2).unwrap();
+        let pts = matrix(vec![
+            vec![0.5, -0.5, 1.0],
+            vec![-1.0, 0.3, -1.0],
+            vec![0.2, 0.9, 0.4],
+        ]);
+        let theta = [0.3, -0.2];
+        let dir = [0.7, 0.1];
+        let mut out = vec![0.0; 3];
+        certificate_sweep(&loss, &theta, &dir, &pts, &mut out).unwrap();
+        let mut grad = vec![0.0; 2];
+        for (i, x) in pts.iter().enumerate() {
+            loss.gradient(&theta, x, &mut grad);
+            let expect = vecmath::dot(&dir, &grad);
+            assert!((out[i] - expect).abs() < 1e-12, "row {i}");
+        }
     }
 }

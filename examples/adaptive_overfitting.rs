@@ -33,9 +33,7 @@ fn main() {
             .expect("config"),
     };
 
-    println!(
-        "null population over {dim} fair bits, n = {n}; every 'discovery' is noise\n"
-    );
+    println!("null population over {dim} fair bits, n = {n}; every 'discovery' is noise\n");
     println!(
         "{:>4} {:>14} {:>14} {:>14} {:>14}",
         "run", "naive selects", "naive gap", "pmw selects", "pmw gap"

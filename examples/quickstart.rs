@@ -39,8 +39,7 @@ fn main() {
         .diagnostics(true)
         .build()
         .expect("config");
-    let mut mechanism =
-        OnlinePmw::new(config, &universe, dataset, &mut rng).expect("mechanism");
+    let mut mechanism = OnlinePmw::new(config, &universe, dataset, &mut rng).expect("mechanism");
 
     // 4. Ask queries: logistic regression, linear regression, hinge.
     let logistic = LogisticLoss::new(2).expect("loss");

@@ -21,7 +21,10 @@ fn main() {
     let secret: Vec<bool> = (0..n).map(|_| rng.random::<bool>()).collect();
     let attack = ReconstructionAttack::default();
 
-    println!("n = {n} rows, k = {}*n random-sign queries\n", attack.queries_per_row);
+    println!(
+        "n = {n} rows, k = {}*n random-sign queries\n",
+        attack.queries_per_row
+    );
     println!("{:>28} {:>18}", "per-answer noise sigma", "bits recovered");
 
     let floor = 1.0 / (n as f64).sqrt();

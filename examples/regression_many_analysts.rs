@@ -48,8 +48,7 @@ fn main() {
     for k in [4usize, 16, 64] {
         // Fresh analyst pool: k random regression tasks.
         let tasks =
-            catalog::random_regression_tasks(dim, k, LinkFn::Squared, &mut rng)
-                .expect("tasks");
+            catalog::random_regression_tasks(dim, k, LinkFn::Squared, &mut rng).expect("tasks");
 
         // --- PMW ---------------------------------------------------------
         let config = PmwConfig::builder(budget_eps, budget_delta, 0.3)
@@ -70,8 +69,8 @@ fn main() {
         for task in &tasks {
             match pmw_mech.answer(task, &mut rng) {
                 Ok(theta) => {
-                    let r = excess_risk(task, &points, data_hist.weights(), &theta, 800)
-                        .expect("risk");
+                    let r =
+                        excess_risk(task, &points, data_hist.weights(), &theta, 800).expect("risk");
                     pmw_max = pmw_max.max(r);
                 }
                 Err(e) => {
@@ -94,8 +93,7 @@ fn main() {
         let mut comp_max: f64 = 0.0;
         for task in &tasks {
             let theta = comp.answer(task, &mut rng).expect("answer");
-            let r = excess_risk(task, &points, data_hist.weights(), &theta, 800)
-                .expect("risk");
+            let r = excess_risk(task, &points, data_hist.weights(), &theta, 800).expect("risk");
             comp_max = comp_max.max(r);
         }
 

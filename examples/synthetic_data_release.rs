@@ -21,12 +21,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2025);
     let dim = 3usize;
     let grid = GridUniverse::new(dim, 5, -0.55, 0.55).expect("grid");
-    let population = pmw::data::synth::gaussian_mixture_population(
-        &grid,
-        &[vec![0.4, -0.3, 0.2]],
-        0.3,
-    )
-    .expect("population");
+    let population =
+        pmw::data::synth::gaussian_mixture_population(&grid, &[vec![0.4, -0.3, 0.2]], 0.3)
+            .expect("population");
     let dataset = Dataset::sample_from(&population, 2_500, &mut rng).expect("sample");
     let real_hist = dataset.histogram();
     let points = grid.materialize();
@@ -36,14 +33,16 @@ fn main() {
     // tasks (the motivating CM queries).
     use pmw::losses::{CmLoss, LinearQueryLoss, PointPredicate};
     let train_reg =
-        catalog::random_regression_tasks(dim, 12, LinkFn::Squared, &mut rng)
-            .expect("tasks");
+        catalog::random_regression_tasks(dim, 12, LinkFn::Squared, &mut rng).expect("tasks");
     let mut train: Vec<Box<dyn CmLoss>> = Vec::new();
     for coord in 0..dim {
         for thr in [-0.2, 0.0, 0.2] {
             train.push(Box::new(
                 LinearQueryLoss::new(
-                    PointPredicate::Threshold { coord, threshold: thr },
+                    PointPredicate::Threshold {
+                        coord,
+                        threshold: thr,
+                    },
                     dim,
                 )
                 .expect("query"),
@@ -60,8 +59,7 @@ fn main() {
         .solver_iters(400)
         .build()
         .expect("config");
-    let mut mech =
-        OnlinePmw::new(config, &grid, dataset, &mut rng).expect("mechanism");
+    let mut mech = OnlinePmw::new(config, &grid, dataset, &mut rng).expect("mechanism");
     for task in &train {
         if mech.answer(task.as_ref(), &mut rng).is_err() {
             break;
@@ -92,24 +90,19 @@ fn main() {
     for coord in 0..dim {
         for thr in [-0.2, 0.0, 0.2] {
             let q = LinearQueryLoss::new(
-                PointPredicate::Threshold { coord, threshold: thr },
+                PointPredicate::Threshold {
+                    coord,
+                    threshold: thr,
+                },
                 dim,
             )
             .expect("query");
-            let on_synth = pmw::losses::traits::minimize_weighted(
-                &q,
-                &points,
-                synth_hist.weights(),
-                800,
-            )
-            .expect("solve on synthetic")[0];
-            let on_real = pmw::losses::traits::minimize_weighted(
-                &q,
-                &points,
-                real_hist.weights(),
-                800,
-            )
-            .expect("solve on real")[0];
+            let on_synth =
+                pmw::losses::traits::minimize_weighted(&q, &points, synth_hist.weights(), 800)
+                    .expect("solve on synthetic")[0];
+            let on_real =
+                pmw::losses::traits::minimize_weighted(&q, &points, real_hist.weights(), 800)
+                    .expect("solve on real")[0];
             let gap = (on_synth - on_real).abs();
             worst = worst.max(gap);
             total += gap;
@@ -125,15 +118,10 @@ fn main() {
     // And the trained regression workload still solves well from synthetic data.
     let mut reg_worst: f64 = 0.0;
     for task in &train_reg {
-        let theta = pmw::losses::traits::minimize_weighted(
-            task,
-            &points,
-            synth_hist.weights(),
-            800,
-        )
-        .expect("solve on synthetic");
-        let risk =
-            excess_risk(task, &points, real_hist.weights(), &theta, 800).expect("risk");
+        let theta =
+            pmw::losses::traits::minimize_weighted(task, &points, synth_hist.weights(), 800)
+                .expect("solve on synthetic");
+        let risk = excess_risk(task, &points, real_hist.weights(), &theta, 800).expect("risk");
         reg_worst = reg_worst.max(risk);
     }
     println!("  trained regression workload: worst excess risk on real data {reg_worst:.4}");

@@ -16,9 +16,7 @@ fn reconstruction_succeeds_on_exact_fails_on_private_answers() {
     let attack = ReconstructionAttack::default();
 
     // Exact answers: near-total reconstruction.
-    let exact = attack
-        .run(&secret, |_, truth, _| truth, &mut rng)
-        .unwrap();
+    let exact = attack.run(&secret, |_, truth, _| truth, &mut rng).unwrap();
     assert!(exact.accuracy > 0.95, "{}", exact.accuracy);
 
     // Laplace answers at a per-query epsilon mimicking a k-query budget:

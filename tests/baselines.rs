@@ -62,11 +62,8 @@ fn cm_encoding_agrees_with_linear_pmw() {
     )
     .unwrap();
     for (b, q) in queries.iter().enumerate() {
-        let loss = LinearQueryLoss::new(
-            PointPredicate::Conjunction { coords: vec![b] },
-            4,
-        )
-        .unwrap();
+        let loss =
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![b] }, 4).unwrap();
         let cm_answer = cm.answer(&loss, &mut rng).unwrap()[0];
         let true_value = q.evaluate(&truth);
         // Both mechanisms answer the same statistic; compare both to truth.
@@ -122,22 +119,18 @@ fn pmw_beats_composition_for_large_k() {
     let mut pmw_risks = Vec::new();
     for loss in &losses {
         match pmw_mech.answer(loss, &mut rng) {
-            Ok(theta) => pmw_risks
-                .push(excess_risk(loss, &points, hist.weights(), &theta, 500).unwrap()),
+            Ok(theta) => {
+                pmw_risks.push(excess_risk(loss, &points, hist.weights(), &theta, 500).unwrap())
+            }
             Err(_) => break,
         }
     }
 
     // Composition arm.
     let budget = PrivacyBudget::new(1.0, 1e-6).unwrap();
-    let mut comp = CompositionMechanism::with_oracle(
-        budget,
-        k,
-        &cube,
-        data,
-        NoisyGdOracle::new(30).unwrap(),
-    )
-    .unwrap();
+    let mut comp =
+        CompositionMechanism::with_oracle(budget, k, &cube, data, NoisyGdOracle::new(30).unwrap())
+            .unwrap();
     let mut comp_risks = Vec::new();
     for loss in &losses {
         let theta = comp.answer(loss, &mut rng).unwrap();
@@ -160,12 +153,13 @@ fn mwem_and_linear_pmw_reach_similar_accuracy() {
     // Moderately skewed data: both mechanisms should converge comfortably
     // within their round budgets (the extreme dataset above is reserved for
     // the discrimination test).
-    let biases: Vec<f64> = (0..5).map(|b| if b % 2 == 0 { 0.8 } else { 0.35 }).collect();
+    let biases: Vec<f64> = (0..5)
+        .map(|b| if b % 2 == 0 { 0.8 } else { 0.35 })
+        .collect();
     let pop = pmw::data::synth::product_population(&cube, &biases).unwrap();
     let data = Dataset::sample_from(&pop, 3000, &mut rng).unwrap();
     let truth = data.histogram();
-    let queries =
-        pmw::data::workload::random_counting_queries(cube.size(), 20, &mut rng).unwrap();
+    let queries = pmw::data::workload::random_counting_queries(cube.size(), 20, &mut rng).unwrap();
 
     // MWEM (offline, pure eps = 2). The heavily concentrated dataset needs
     // enough rounds for the multiplicative updates to move the mass.

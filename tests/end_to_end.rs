@@ -11,11 +11,7 @@ use pmw::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn clustered_dataset(
-    grid: &GridUniverse,
-    n: usize,
-    rng: &mut StdRng,
-) -> Dataset {
+fn clustered_dataset(grid: &GridUniverse, n: usize, rng: &mut StdRng) -> Dataset {
     let population = pmw::data::synth::gaussian_mixture_population(
         grid,
         &[vec![0.4, 0.3, -0.2], vec![-0.4, -0.1, 0.3]],
@@ -50,16 +46,14 @@ fn cm_pmw_answers_regression_stream_within_alpha() {
     )
     .unwrap();
 
-    let tasks =
-        catalog::random_regression_tasks(3, k, LinkFn::Squared, &mut rng).unwrap();
+    let tasks = catalog::random_regression_tasks(3, k, LinkFn::Squared, &mut rng).unwrap();
     let mut answered = 0;
     let mut max_risk: f64 = 0.0;
     for task in &tasks {
         match mech.answer(task, &mut rng) {
             Ok(theta) => {
                 assert!(task.domain().contains(&theta, 1e-9));
-                let risk =
-                    excess_risk(task, &points, data_hist.weights(), &theta, 800).unwrap();
+                let risk = excess_risk(task, &points, data_hist.weights(), &theta, 800).unwrap();
                 max_risk = max_risk.max(risk);
                 answered += 1;
             }
@@ -178,11 +172,7 @@ fn hypothesis_converges_toward_data_in_kl() {
 fn clustered_dataset_2d(grid: &GridUniverse, n: usize, rng: &mut StdRng) -> Dataset {
     // One tight cluster: threshold-query answers differ strongly from the
     // uniform hypothesis.
-    let population = pmw::data::synth::gaussian_mixture_population(
-        grid,
-        &[vec![0.4, 0.3]],
-        0.25,
-    )
-    .unwrap();
+    let population =
+        pmw::data::synth::gaussian_mixture_population(grid, &[vec![0.4, 0.3]], 0.25).unwrap();
     Dataset::sample_from(&population, n, rng).unwrap()
 }

@@ -33,17 +33,11 @@ fn sparse_vector_audit_respects_budget() {
         .estimate(
             |r| {
                 let mut sv = make_sv(r);
-                matches!(
-                    sv.process(0.15, r).unwrap(),
-                    pmw::dp::SvOutcome::Top
-                )
+                matches!(sv.process(0.15, r).unwrap(), pmw::dp::SvOutcome::Top)
             },
             |r| {
                 let mut sv = make_sv(r);
-                matches!(
-                    sv.process(0.10, r).unwrap(),
-                    pmw::dp::SvOutcome::Top
-                )
+                matches!(sv.process(0.10, r).unwrap(), pmw::dp::SvOutcome::Top)
             },
             1e-6,
             &mut rng,
@@ -104,12 +98,7 @@ fn online_pmw_audit_respects_declared_epsilon() {
     let audit = EpsilonAudit::new(1_500).unwrap();
     let mut rng = StdRng::seed_from_u64(22);
     let result = audit
-        .estimate(
-            |r| run_event(&d0, r),
-            |r| run_event(&d1, r),
-            1e-6,
-            &mut rng,
-        )
+        .estimate(|r| run_event(&d0, r), |r| run_event(&d1, r), 1e-6, &mut rng)
         .unwrap();
     assert!(
         result.epsilon_lower_bound <= declared_eps * 1.2,
@@ -124,11 +113,7 @@ fn online_pmw_audit_respects_declared_epsilon() {
 fn accountants_stay_within_budgets_across_mechanisms() {
     let mut rng = StdRng::seed_from_u64(23);
     let cube = BooleanCube::new(4).unwrap();
-    let pop = pmw::data::synth::product_population(
-        &cube,
-        &[0.9, 0.2, 0.5, 0.5],
-    )
-    .unwrap();
+    let pop = pmw::data::synth::product_population(&cube, &[0.9, 0.2, 0.5, 0.5]).unwrap();
     let data = Dataset::sample_from(&pop, 2000, &mut rng).unwrap();
 
     // Online PMW.
@@ -167,8 +152,7 @@ fn accountants_stay_within_budgets_across_mechanisms() {
         .build()
         .unwrap();
     let mut lin = LinearPmw::new(config, 16, &data, &mut rng).unwrap();
-    let queries =
-        pmw::data::workload::random_counting_queries(16, 10, &mut rng).unwrap();
+    let queries = pmw::data::workload::random_counting_queries(16, 10, &mut rng).unwrap();
     for q in &queries {
         if lin.answer(q, &mut rng).is_err() {
             break;

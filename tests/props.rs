@@ -87,6 +87,75 @@ proptest! {
         prop_assert!(total.delta() <= 1e-6 + 1e-15);
     }
 
+    /// The log-domain `mw_update` (fused `log_w[x] -= η·u[x]`, lazy
+    /// log-sum-exp normalization) is numerically equivalent to the seed's
+    /// dense-domain update — exponentiate, multiply, renormalize — to 1e-12,
+    /// across random initial weights, payoffs and step sizes, including
+    /// bursts of updates with no intermediate reads (the lazy fast path).
+    #[test]
+    fn log_domain_update_matches_dense_reference(
+        raw in prop::collection::vec(1e-3f64..1.0, 8..200),
+        payoff_seed in 0u64..10_000,
+        eta in 0.0f64..2.5,
+        steps in 1usize..8,
+        read_between in 0u64..2,
+    ) {
+        let read_between = read_between == 1;
+        let m = raw.len();
+        let mut hist = Histogram::from_weights(raw.clone()).unwrap();
+        let total: f64 = raw.iter().sum();
+        let mut dense: Vec<f64> = raw.iter().map(|w| w / total).collect();
+        let mut rng = StdRng::seed_from_u64(payoff_seed);
+        use rand::RngExt;
+        for _ in 0..steps {
+            let u: Vec<f64> = (0..m).map(|_| rng.random::<f64>() * 6.0 - 3.0).collect();
+            hist.mw_update(&u, eta).unwrap();
+            // The canonical dense-domain reference kept in pmw-bench (the
+            // same baseline the perf acceptance compares against).
+            pmw_bench::mw_update_reference(&mut dense, &u, eta);
+            if read_between {
+                // Force eager materialization half the time so both the lazy
+                // burst path and the read-per-step path are exercised.
+                let mass: f64 = hist.weights().iter().sum();
+                prop_assert!((mass - 1.0).abs() < 1e-9);
+            }
+        }
+        for (a, b) in hist.weights().iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-12, "log-domain {a} vs dense {b}");
+        }
+    }
+
+    /// The batched certificate sweep (`CmLoss::certificate_batch` through
+    /// `dual_certificate`) equals the naive per-point evaluation
+    /// `u(x) = ⟨θ_o − θ_h, ∇ℓ_x(θ_h)⟩` (clamped to [−S, S]) to 1e-12.
+    #[test]
+    fn certificate_batch_matches_per_point_path(
+        t_oracle in prop::collection::vec(-1.0f64..1.0, 2),
+        t_hyp in prop::collection::vec(-1.0f64..1.0, 2),
+    ) {
+        use pmw::losses::CmLoss;
+        let loss = SquaredLoss::new(2).unwrap();
+        let grid = GridUniverse::symmetric_unit(2, 3).unwrap();
+        let universe = LabeledGridUniverse::binary(grid).unwrap();
+        let points = universe.materialize();
+        let mut a = t_oracle.clone();
+        let mut b = t_hyp.clone();
+        loss.domain().project(&mut a).unwrap();
+        loss.domain().project(&mut b).unwrap();
+        let u = pmw::core::update::dual_certificate(&loss, &points, &a, &b).unwrap();
+        let s = loss.scale_bound();
+        let mut grad = vec![0.0; loss.dim()];
+        for (i, x) in points.iter().enumerate() {
+            loss.gradient(&b, x, &mut grad);
+            let dot: f64 = a.iter().zip(&b).zip(&grad)
+                .map(|((ao, bh), g)| (ao - bh) * g)
+                .sum();
+            let expect = dot.clamp(-s, s);
+            prop_assert!((u[i] - expect).abs() < 1e-12,
+                "row {i}: batched {} vs per-point {expect}", u[i]);
+        }
+    }
+
     /// Dual-certificate payoffs are always within [-S, S] and the MW update
     /// preserves normalization, for random oracle/hypothesis pairs.
     #[test]

@@ -1,0 +1,282 @@
+//! Offline vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! exact subset of criterion's API the workspace benches use — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `sample_size`,
+//! `iter` — backed by a simple but honest wall-clock measurement loop:
+//! per sample, the closure is run in batches sized so one batch takes
+//! roughly `measurement_ms / samples`, and the reported statistic is the
+//! median over samples of (batch time / batch iterations).
+//!
+//! Flags understood (benches run with `harness = false`):
+//! `--test` (run every benchmark once, no timing — what `cargo test`
+//! passes), `--quick` (fewer/shorter samples). Anything else (bench name
+//! substrings) filters which benchmarks run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    Quick,
+    TestOnce,
+}
+
+/// Top-level benchmark driver; one per process, created by
+/// [`criterion_main!`].
+pub struct Criterion {
+    mode: Mode,
+    filters: Vec<String>,
+    measurement_ms: u64,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Measure,
+            filters: Vec::new(),
+            measurement_ms: 300,
+            default_samples: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from process arguments (see crate docs for the flags).
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.mode = Mode::TestOnce,
+                "--quick" => c.mode = Mode::Quick,
+                "--bench" | "--nocapture" | "--exact" => {}
+                s if s.starts_with("--") => {}
+                s => c.filters.push(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn runs(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Measure one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, None, &mut f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, samples: Option<usize>, f: &mut F) {
+        if !self.runs(id) {
+            return;
+        }
+        let (samples, measurement_ms) = match self.mode {
+            Mode::TestOnce => (1, 0),
+            Mode::Quick => (10, 60),
+            Mode::Measure => (samples.unwrap_or(self.default_samples), self.measurement_ms),
+        };
+        let mut bencher = Bencher {
+            once: self.mode == Mode::TestOnce,
+            samples,
+            target: Duration::from_millis(measurement_ms),
+            per_iter_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.mode == Mode::TestOnce {
+            println!("{id}: ok (ran once, --test mode)");
+            return;
+        }
+        let mut ns = bencher.per_iter_ns;
+        if ns.is_empty() {
+            println!("{id}: no measurement (Bencher::iter never called)");
+            return;
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = ns[ns.len() / 2];
+        let (lo, hi) = (ns[0], ns[ns.len() - 1]);
+        println!(
+            "{id}{:>width$} time: [{} {} {}]",
+            "",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi),
+            width = 50usize.saturating_sub(id.len()),
+        );
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Measure a benchmark named `{group}/{id}`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Measure a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion
+            .run_one(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    once: bool,
+    samples: usize,
+    target: Duration,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`, recording nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.once {
+            black_box(routine());
+            return;
+        }
+        // Warm up and size batches so one batch ~= target / samples.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample = (self.target / self.samples as u32).max(Duration::from_micros(50));
+        let batch = (per_sample.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as usize;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.per_iter_ns.push(dt.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        let mut c = Criterion {
+            mode: Mode::Quick,
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            mode: Mode::TestOnce,
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(3)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).0, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

@@ -1,0 +1,293 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of proptest this workspace uses:
+//!
+//! * the [`proptest!`] macro (`fn name(arg in strategy, …) { body }`, with
+//!   an optional `#![proptest_config(…)]` header),
+//! * [`Strategy`] implementations for numeric `Range`s and
+//!   [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] and [`TestCaseError`].
+//!
+//! Each test runs `cases` deterministic pseudo-random cases seeded from the
+//! test's name, so failures are reproducible run-to-run. There is no
+//! shrinking: a failure reports the raw inputs of the failing case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod test_runner;
+
+use std::ops::Range;
+use test_runner::TestRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Error signalling a failed (or rejected) test case; produced by the
+/// `prop_assert*` macros or returned explicitly from a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// Alias of [`TestCaseError::fail`] kept for proptest API parity.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                ((self.start as i64).wrapping_add(rng.below(span) as i64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i64, i32, i16, i8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let wide = (self.start as f64)..(self.end as f64);
+        wide.generate(rng) as f32
+    }
+}
+
+/// Convenience namespace mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+
+    /// Mirrors proptest's `prelude::prop` module path
+    /// (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property body; on failure, the case's inputs are
+/// reported by the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Define property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let described = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)*),
+                        $(&$arg),*
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), case + 1, config.cases, e, described,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            a in 3usize..17,
+            b in -2.5f64..2.5,
+            c in 0u64..1_000,
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.5..2.5).contains(&b));
+            prop_assert!(c < 1_000);
+        }
+
+        #[test]
+        fn vec_strategy_honors_size_range(
+            v in prop::collection::vec(0usize..4, 5..9),
+            w in prop::collection::vec(-1.0f64..1.0, 3),
+        ) {
+            prop_assert!((5..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4));
+            prop_assert_eq!(w.len(), 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        let s = 0usize..100;
+        for _ in 0..20 {
+            assert_eq!(
+                crate::Strategy::generate(&s, &mut a),
+                crate::Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = crate::test_runner::TestRng::deterministic("inner");
+            let x = crate::Strategy::generate(&(0usize..10), &mut rng);
+            let run = || -> Result<(), crate::TestCaseError> {
+                prop_assert!(x > 100, "x was {}", x);
+                Ok(())
+            };
+            run().unwrap();
+        });
+        assert!(result.is_err());
+    }
+}

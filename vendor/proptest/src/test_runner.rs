@@ -1,0 +1,50 @@
+//! The deterministic case generator behind [`proptest!`](crate::proptest).
+
+/// A SplitMix64 generator seeded from the test name, so every run of a given
+/// property sees the same case sequence (reproducible failures without
+/// persisted regression files).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from an arbitrary label (the test name).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label bytes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, span)`; `span = 0` yields 0.
+    pub fn below(&mut self, span: u64) -> u64 {
+        if span == 0 {
+            return 0;
+        }
+        let r = (u64::MAX % span + 1) % span;
+        let max_valid = u64::MAX - r;
+        loop {
+            let v = self.next_u64();
+            if v <= max_valid {
+                return v % span;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,85 @@
+//! Concrete generators.
+
+use crate::{Rng, SeedableRng};
+
+/// The workspace's standard deterministic generator: **xoshiro256++**
+/// (Blackman & Vigna), with its 256-bit state expanded from a 64-bit seed
+/// by SplitMix64 — the seeding scheme the xoshiro authors recommend.
+///
+/// Not cryptographically secure; the differential-privacy *analysis* in this
+/// repository treats the noise source as ideal (as the paper does), and the
+/// experiments only need good statistical quality plus replayability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // An all-zero state is the one fixed point of xoshiro; SplitMix64
+        // cannot produce four consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_xoshiro256plusplus_reference_vector() {
+        // Reference: state seeded as (1, 2, 3, 4) must produce the published
+        // first outputs of xoshiro256++.
+        let mut rng = StdRng { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn splitmix_seeding_is_stable() {
+        // Pin the seed expansion so serialized experiment seeds stay valid.
+        let a = StdRng::seed_from_u64(0);
+        let b = StdRng::seed_from_u64(0);
+        assert_eq!(a, b);
+        assert_ne!(StdRng::seed_from_u64(1), a);
+    }
+}
