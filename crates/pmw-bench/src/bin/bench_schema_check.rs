@@ -1,0 +1,36 @@
+//! CI gate: validate the machine-readable bench artifacts.
+//!
+//! Reads `BENCH_runtime.json` and `BENCH_sublinear.json` from the working
+//! directory (or the paths given as arguments, in that order) and checks
+//! the schema each is contracted to carry: required keys present, every
+//! ns-per-element / per-round figure finite and positive, the backend
+//! axis complete, and the sublinear artifact's answer-error column
+//! populated. Exits nonzero with a diagnostic on the first violation.
+
+use pmw_bench::schema::{validate_bench_runtime, validate_bench_sublinear};
+use std::process::ExitCode;
+
+fn check(path: &str, validate: fn(&str) -> Result<(), String>) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    validate(&json).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: ok");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let runtime = args.first().map_or("BENCH_runtime.json", String::as_str);
+    let sublinear = args.get(1).map_or("BENCH_sublinear.json", String::as_str);
+    let checks = [
+        check(runtime, validate_bench_runtime),
+        check(sublinear, validate_bench_sublinear),
+    ];
+    for c in checks {
+        if let Err(e) = c {
+            eprintln!("schema check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("bench artifacts validate");
+    ExitCode::SUCCESS
+}

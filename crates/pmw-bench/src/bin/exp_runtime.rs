@@ -9,22 +9,32 @@
 //!    measured against the seed's dense exp-renormalize reference
 //!    ([`pmw_bench::mw_update_reference`]);
 //! 2. the dual-certificate sweep (`certificate_batch` over the flat
-//!    [`PointMatrix`](pmw_data::PointMatrix));
+//!    [`PointMatrix`]);
 //! 3. a full `OnlinePmw::answer` round (oracle solve + sweep + update).
 //!
 //! Besides the TSV on stdout it writes `BENCH_runtime.json` (machine
 //! readable, ns/element per kernel per size) into the working directory —
 //! the perf trajectory record for future scaling PRs.
+//!
+//! A fourth section — the **backend axis** — times one state-maintenance
+//! round (one MW update plus one state read) through each
+//! [`StateBackend`] flavor: `dense` (Θ(|X|)
+//! sweep), `lazy` (O(1) record, O(t·d) point lookup) and `sampled`
+//! (O(m·d) pooled round at the configured budget). Pass `--smoke` for a
+//! seconds-long CI variant (small sizes, few reps) that still writes a
+//! schema-complete artifact.
 
 use pmw_bench::{header, mw_update_reference, row, skewed_cube_dataset};
 use pmw_core::update::dual_certificate_into;
-use pmw_core::{OnlinePmw, PmwConfig};
-use pmw_data::{Histogram, PointMatrix};
+use pmw_core::{DenseBackend, OnlinePmw, PmwConfig, StateBackend};
+use pmw_data::{BooleanCube, Histogram, PointMatrix, Universe};
 use pmw_erm::ExactOracle;
-use pmw_losses::{LinearQueryLoss, PointPredicate};
+use pmw_losses::{CmLoss, LinearQueryLoss, PointPredicate};
+use pmw_sketch::{LazyLogBackend, RoundUpdate, SampledBackend, SampledConfig, UniversePoints};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// Mean wall time of `f` in nanoseconds over `reps` calls (plus warmup).
@@ -142,10 +152,128 @@ fn measure(log2_x: usize) -> SizeReport {
     }
 }
 
+/// One backend-axis measurement: a state-maintenance round (update +
+/// representative read) plus a point-level read, per backend flavor.
+struct BackendAxisRow {
+    backend: &'static str,
+    log2_x: usize,
+    /// One MW round through the backend: update + one full state read of
+    /// the kind the backend supports (dense: weights sweep; lazy: record
+    /// only — reads are point-level by design; sampled: pooled record +
+    /// certificate-mean estimate).
+    round_ns: f64,
+    /// One point-level read (dense: cached mass lookup; lazy: O(t·d)
+    /// log-weight evaluation; sampled: one Gumbel-max sample, O(m)).
+    point_read_ns: f64,
+}
+
+/// Rotating linear-query round parameters, shared by every backend so the
+/// axis compares representations, not workloads.
+fn axis_round(dim: usize, t: usize) -> (LinearQueryLoss, [f64; 1], [f64; 1], f64) {
+    let loss = LinearQueryLoss::new(
+        PointPredicate::Conjunction {
+            coords: vec![t % dim],
+        },
+        dim,
+    )
+    .unwrap();
+    let frac = (t % 7) as f64 / 7.0;
+    (loss, [0.1 + 0.8 * frac], [0.9 - 0.8 * frac], 0.05)
+}
+
+/// Backend-axis timings at `|X| = 2^log2_x`.
+fn measure_backend_axis(log2_x: usize, rounds: usize, budget: usize) -> Vec<BackendAxisRow> {
+    let dim = log2_x;
+    let m = 1usize << log2_x;
+    let cube = BooleanCube::new(dim).unwrap();
+    let points = cube.materialize();
+    let mut rng = StdRng::seed_from_u64(7 + log2_x as u64);
+    let mut rows = Vec::new();
+
+    // Dense: Θ(|X|) certificate sweep + MW update + deferred weights read.
+    let mut dense = DenseBackend::new(m).unwrap();
+    let start = Instant::now();
+    for t in 0..rounds {
+        let (loss, t_o, t_h, eta) = axis_round(dim, t);
+        dense
+            .apply_update(&loss, None, &points, &t_o, &t_h, eta, None, &mut rng)
+            .unwrap();
+        black_box(dense.hypothesis().weights());
+    }
+    let dense_round = start.elapsed().as_nanos() as f64 / rounds as f64;
+    let start = Instant::now();
+    let reads = 1024usize;
+    for i in 0..reads {
+        black_box(dense.hypothesis().mass(i % m));
+    }
+    rows.push(BackendAxisRow {
+        backend: "dense",
+        log2_x,
+        round_ns: dense_round,
+        point_read_ns: start.elapsed().as_nanos() as f64 / reads as f64,
+    });
+
+    // Lazy: O(1) record; point reads re-evaluate the O(t·d) log.
+    let mut lazy = LazyLogBackend::new(UniversePoints(cube.clone())).unwrap();
+    let start = Instant::now();
+    for t in 0..rounds {
+        let (loss, t_o, t_h, eta) = axis_round(dim, t);
+        lazy.record(
+            RoundUpdate::new(
+                Rc::new(loss) as Rc<dyn CmLoss>,
+                t_o.to_vec(),
+                t_h.to_vec(),
+                eta,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    let lazy_round = start.elapsed().as_nanos() as f64 / rounds as f64;
+    let start = Instant::now();
+    for i in 0..reads {
+        black_box(lazy.log_weight_of(i % m).unwrap());
+    }
+    rows.push(BackendAxisRow {
+        backend: "lazy",
+        log2_x,
+        round_ns: lazy_round,
+        point_read_ns: start.elapsed().as_nanos() as f64 / reads as f64,
+    });
+
+    // Sampled: O(budget·d) pooled round (record + certificate estimate).
+    let mut sampled = SampledBackend::new(
+        UniversePoints(cube),
+        SampledConfig { budget, beta: 1e-6 },
+        &mut rng,
+    )
+    .unwrap();
+    let start = Instant::now();
+    for t in 0..rounds {
+        let (loss, t_o, t_h, eta) = axis_round(dim, t);
+        sampled.record_borrowed(&loss, &t_o, &t_h, eta).unwrap();
+        black_box(sampled.certificate_mean(&loss, &t_o, &t_h).unwrap());
+    }
+    let sampled_round = start.elapsed().as_nanos() as f64 / rounds as f64;
+    let start = Instant::now();
+    for _ in 0..reads {
+        black_box(sampled.sample_index(&mut rng));
+    }
+    rows.push(BackendAxisRow {
+        backend: "sampled",
+        log2_x,
+        round_ns: sampled_round,
+        point_read_ns: start.elapsed().as_nanos() as f64 / reads as f64,
+    });
+
+    rows
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let parallel = cfg!(feature = "parallel");
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
-    println!("# E11 / Section 4.3: Θ(|X|) kernel cost (parallel={parallel}, threads={threads})");
+    println!("# E11 / Section 4.3: Θ(|X|) kernel cost (parallel={parallel}, threads={threads}, smoke={smoke})");
     header(&[
         "log2_X",
         "mw_update_ns_per_elem",
@@ -156,8 +284,13 @@ fn main() {
         "end_to_end_round_ns_per_elem",
     ]);
 
+    let sizes: &[usize] = if smoke {
+        &[10, 12]
+    } else {
+        &[12, 14, 16, 18, 20]
+    };
     let mut reports = Vec::new();
-    for log2_x in [12usize, 14, 16, 18, 20] {
+    for &log2_x in sizes {
         let r = measure(log2_x);
         row(
             &format!("{log2_x}"),
@@ -173,6 +306,22 @@ fn main() {
         reports.push(r);
     }
     println!("# ns/element should stabilize: time is linear in |X|");
+
+    // Backend axis: the same state-maintenance round through each
+    // StateBackend flavor (see the module docs for the semantics).
+    let (axis_rounds, axis_budget) = if smoke { (4, 256) } else { (12, 2048) };
+    println!("# backend axis (round = update + representative read, budget={axis_budget})");
+    header(&["backend", "log2_X", "round_ns", "point_read_ns"]);
+    let mut axis = Vec::new();
+    for &log2_x in sizes {
+        for r in measure_backend_axis(log2_x, axis_rounds, axis_budget) {
+            row(
+                &format!("{}\t{}", r.backend, r.log2_x),
+                &[r.round_ns, r.point_read_ns],
+            );
+            axis.push(r);
+        }
+    }
 
     // Machine-readable record (hand-rolled JSON: the workspace is offline
     // and vendors no serde).
@@ -201,10 +350,22 @@ fn main() {
             )
         })
         .collect();
+    let axis_rows: Vec<String> = axis
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"backend\": \"{}\", \"log2_x\": {}, \"round_ns\": {:.1}, \
+                 \"point_read_ns\": {:.1}}}",
+                r.backend, r.log2_x, r.round_ns, r.point_read_ns
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"experiment\": \"runtime_scaling\",\n  \"units\": \"ns_per_element\",\n  \
-         \"parallel\": {parallel},\n  \"threads\": {threads},\n  \"sizes\": [\n{}\n  ]\n}}\n",
-        sizes.join(",\n")
+         \"parallel\": {parallel},\n  \"threads\": {threads},\n  \"smoke\": {smoke},\n  \
+         \"sizes\": [\n{}\n  ],\n  \"backend_axis\": [\n{}\n  ]\n}}\n",
+        sizes.join(",\n"),
+        axis_rows.join(",\n")
     );
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
     println!("# wrote BENCH_runtime.json");

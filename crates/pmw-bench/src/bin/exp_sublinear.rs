@@ -1,0 +1,241 @@
+//! E12 — the sublinear regime: MW state maintenance past the Θ(|X|) wall.
+//!
+//! The dense Figure-3 round pays `Θ(|X|)` in the certificate sweep, the
+//! MW update and the weights read (measured per element by `exp_runtime`
+//! into `BENCH_runtime.json`). This binary drives the
+//! [`pmw_sketch::SampledBackend`] round pipeline —
+//! record one update, estimate the certificate mean, estimate the max
+//! payoff, draw synthetic samples — at universe sizes up to `2^26`, where
+//! the dense path is unrunnable (a 2^26 histogram with its point matrix
+//! is ~14 GB; `pmw-data` refuses to materialize past `2^24`).
+//!
+//! For every size it reports the measured per-round time against the
+//! **dense extrapolation** `ns/element × |X|`, taking the per-element
+//! figure from `BENCH_runtime.json` when present (certificate sweep +
+//! update-with-read at the largest measured size) and from a
+//! self-measured `2^14` dense reference otherwise. At `|X| = 2^16` — the
+//! largest size where running both paths is cheap — it additionally runs
+//! the identical update schedule through a dense backend and reports the
+//! **sampled-vs-dense answer error** of every certificate estimate, next
+//! to the concentration radius the sketch claimed: the accuracy/speed
+//! trade-off, quantified.
+//!
+//! Writes `BENCH_sublinear.json`. Pass `--smoke` for the seconds-long CI
+//! variant (smaller sizes/budget, schema-complete artifact).
+
+use pmw_bench::schema::extract_numbers;
+use pmw_bench::{header, mean_std, row};
+use pmw_core::update::dual_certificate;
+use pmw_data::{BooleanCube, Histogram, Universe};
+use pmw_losses::{CmLoss, LinearQueryLoss, PointPredicate};
+use pmw_sketch::{BigBitCube, RoundUpdate, SampledBackend, SampledConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// The round-`t` workload: a rotating single-bit linear query with
+/// drifting oracle/hypothesis minimizers — the same schedule for every
+/// backend and size, so timings compare representations.
+fn schedule(dim: usize, t: usize, rng: &mut StdRng) -> (LinearQueryLoss, [f64; 1], [f64; 1], f64) {
+    let loss = LinearQueryLoss::new(
+        PointPredicate::Conjunction {
+            coords: vec![t % dim],
+        },
+        dim,
+    )
+    .unwrap();
+    let t_o = [rng.random::<f64>()];
+    let t_h = [rng.random::<f64>()];
+    // Decaying MW step, as the Figure-3 schedule would use.
+    let eta = 0.4 / ((t + 1) as f64).sqrt();
+    (loss, t_o, t_h, eta)
+}
+
+struct SizeReport {
+    log2_x: usize,
+    per_round_ns: f64,
+    /// Sampled-vs-dense certificate-estimate errors (sizes with a dense
+    /// reference only).
+    error_column: Option<(f64, f64, f64)>, // (mean, max, mean claimed radius)
+}
+
+/// Run `rounds` sublinear rounds at `|X| = 2^log2_x`; when `with_dense`
+/// is set, mirror the schedule through a dense histogram and collect the
+/// answer-error column.
+fn measure_sublinear(log2_x: usize, rounds: usize, budget: usize, with_dense: bool) -> SizeReport {
+    let dim = log2_x;
+    let source = BigBitCube::new(dim).expect("cube source");
+    let mut rng = StdRng::seed_from_u64(1000 + log2_x as u64);
+    let mut backend = SampledBackend::new(source, SampledConfig { budget, beta: 1e-6 }, &mut rng)
+        .expect("sampled backend");
+
+    let mut dense = if with_dense {
+        let cube = BooleanCube::new(dim).expect("dense cube");
+        Some((cube.materialize(), Histogram::uniform(1 << dim).unwrap()))
+    } else {
+        None
+    };
+
+    let mut schedule_rng = StdRng::seed_from_u64(77);
+    let mut errors = Vec::new();
+    let mut radii = Vec::new();
+    let mut elapsed_ns = 0u128;
+    for t in 0..rounds {
+        let (loss, t_o, t_h, eta) = schedule(dim, t, &mut schedule_rng);
+        let shared: Rc<dyn CmLoss> = Rc::new(loss.clone());
+
+        // --- The timed sublinear round: record + reads. ---
+        let start = Instant::now();
+        backend
+            .record(RoundUpdate::new(shared, t_o.to_vec(), t_h.to_vec(), eta).unwrap())
+            .expect("record");
+        let est = backend
+            .certificate_mean(&loss, &t_o, &t_h)
+            .expect("estimate");
+        black_box(backend.max_payoff(&loss, &t_o, &t_h).expect("max"));
+        for _ in 0..4 {
+            black_box(backend.sample_index(&mut rng));
+        }
+        elapsed_ns += start.elapsed().as_nanos();
+
+        // --- Untimed dense mirror for the error column. ---
+        if let Some((points, hist)) = dense.as_mut() {
+            let u = dual_certificate(&loss, points, &t_o, &t_h).expect("dense certificate");
+            // Pre-update expectation, exactly what certificate_mean sketches.
+            let exact: f64 = hist.weights().iter().zip(&u).map(|(w, v)| w * v).sum();
+            errors.push((est.value - exact).abs());
+            radii.push(est.radius);
+            hist.mw_update(&u, eta).expect("dense update");
+        }
+    }
+
+    SizeReport {
+        log2_x,
+        per_round_ns: elapsed_ns as f64 / rounds as f64,
+        error_column: dense.map(|_| {
+            let (err_mean, _) = mean_std(&errors);
+            let err_max = errors.iter().cloned().fold(0.0, f64::max);
+            let (radius_mean, _) = mean_std(&radii);
+            (err_mean, err_max, radius_mean)
+        }),
+    }
+}
+
+/// Dense per-element round cost (certificate sweep + update + read): from
+/// `BENCH_runtime.json`'s largest size when available, else self-measured
+/// at `2^14`.
+fn dense_ns_per_elem(rounds: usize) -> (f64, &'static str) {
+    if let Ok(json) = std::fs::read_to_string("BENCH_runtime.json") {
+        let cert = extract_numbers(&json, "certificate_ns_per_elem");
+        let update = extract_numbers(&json, "mw_update_with_read_ns_per_elem");
+        if let (Some(c), Some(u)) = (cert.last(), update.last()) {
+            if c.is_finite() && u.is_finite() && *c > 0.0 && *u > 0.0 {
+                return (c + u, "BENCH_runtime.json");
+            }
+        }
+    }
+    // Self-measured fallback: one dense round at 2^14.
+    let dim = 14usize;
+    let cube = BooleanCube::new(dim).unwrap();
+    let points = cube.materialize();
+    let mut hist = Histogram::uniform(1 << dim).unwrap();
+    let mut schedule_rng = StdRng::seed_from_u64(77);
+    let start = Instant::now();
+    for t in 0..rounds {
+        let (loss, t_o, t_h, eta) = schedule(dim, t, &mut schedule_rng);
+        let u = dual_certificate(&loss, &points, &t_o, &t_h).unwrap();
+        hist.mw_update(&u, eta).unwrap();
+        black_box(hist.weights());
+    }
+    (
+        start.elapsed().as_nanos() as f64 / rounds as f64 / (1 << dim) as f64,
+        "self-measured",
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, rounds, budget): (&[usize], usize, usize) = if smoke {
+        (&[12, 14], 8, 256)
+    } else {
+        (&[16, 20, 24, 26], 50, 2048)
+    };
+    let parallel = cfg!(feature = "parallel");
+    let (dense_ref, dense_ref_source) = dense_ns_per_elem(rounds.min(12));
+    println!(
+        "# E12: sublinear state maintenance (budget={budget}, rounds={rounds}, \
+         dense reference {dense_ref:.3} ns/elem from {dense_ref_source})"
+    );
+    header(&[
+        "log2_X",
+        "per_round_us",
+        "dense_extrapolated_round_us",
+        "speedup_vs_dense",
+        "answer_err_mean",
+        "answer_err_max",
+        "claimed_radius_mean",
+    ]);
+
+    // The error column runs the dense mirror too, so it is collected at
+    // the largest size both paths can afford (2^16 full, 2^12 smoke).
+    let error_size = if smoke { 12 } else { 16 };
+    let mut entries = Vec::new();
+    for &log2_x in sizes {
+        let r = measure_sublinear(log2_x, rounds, budget, log2_x == error_size);
+        let universe = (1u128 << log2_x) as f64;
+        let extrapolated = dense_ref * universe;
+        let speedup = extrapolated / r.per_round_ns;
+        let (em, ex, rm) = r.error_column.unwrap_or((-1.0, -1.0, -1.0));
+        row(
+            &format!("{log2_x}"),
+            &[
+                r.per_round_ns / 1e3,
+                extrapolated / 1e3,
+                speedup,
+                em,
+                ex,
+                rm,
+            ],
+        );
+        entries.push((r, extrapolated, speedup));
+    }
+    println!("# per-round time is flat in |X|: the sketch never touches the other 2^d - m points");
+
+    let size_rows: Vec<String> = entries
+        .iter()
+        .map(|(r, extrapolated, speedup)| {
+            let error_fields = match r.error_column {
+                Some((em, ex, rm)) => format!(
+                    ",\n     \"answer_error_mean\": {em:.6}, \"answer_error_max\": {ex:.6}, \
+                     \"claimed_radius_mean\": {rm:.6}"
+                ),
+                None => String::new(),
+            };
+            format!(
+                "    {{\"log2_x\": {}, \"universe\": {}, \"point_dim\": {}, \
+                 \"per_round_ns\": {:.1},\n     \"dense_ns_per_elem_ref\": {:.3}, \
+                 \"dense_extrapolated_round_ns\": {:.1}, \
+                 \"speedup_vs_dense_extrapolation\": {:.1}{}}}",
+                r.log2_x,
+                1u128 << r.log2_x,
+                r.log2_x,
+                r.per_round_ns,
+                dense_ref,
+                extrapolated,
+                speedup,
+                error_fields,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"sublinear_scaling\",\n  \"budget\": {budget},\n  \
+         \"rounds\": {rounds},\n  \"beta\": 1e-6,\n  \"parallel\": {parallel},\n  \
+         \"smoke\": {smoke},\n  \"dense_ref_source\": \"{dense_ref_source}\",\n  \
+         \"sizes\": [\n{}\n  ]\n}}\n",
+        size_rows.join(",\n")
+    );
+    std::fs::write("BENCH_sublinear.json", &json).expect("write BENCH_sublinear.json");
+    println!("# wrote BENCH_sublinear.json");
+}

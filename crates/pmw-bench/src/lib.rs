@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod schema;
+
 use pmw_data::{BooleanCube, Dataset, GridUniverse};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,0 +1,194 @@
+//! Minimal validation of the machine-readable bench artifacts.
+//!
+//! The workspace is offline (no serde); the experiment binaries hand-roll
+//! their JSON and this module hand-rolls just enough parsing to check it:
+//! key presence and the numeric sanity of every performance figure
+//! (finite, positive). The CI bench-smoke job runs these checks through
+//! the `bench_schema_check` binary after regenerating both artifacts.
+
+/// Every number appearing as `"key": <number>` in `json`, in order.
+/// Numbers are parsed as Rust `f64` literals (integer, decimal, scientific,
+/// `inf`/`NaN` never appear in valid artifacts and simply fail the parse).
+pub fn extract_numbers(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let trimmed = rest.trim_start();
+        let end = trimmed
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(trimmed.len());
+        if let Ok(v) = trimmed[..end].parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// True when `"key":` appears anywhere in the document.
+pub fn has_key(json: &str, key: &str) -> bool {
+    json.contains(&format!("\"{key}\":"))
+}
+
+fn require_positive(json: &str, key: &str) -> Result<(), String> {
+    let values = extract_numbers(json, key);
+    if values.is_empty() {
+        return Err(format!("missing numeric key \"{key}\""));
+    }
+    for v in values {
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!(
+                "key \"{key}\" has non-finite/non-positive value {v}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn require_non_negative(json: &str, key: &str) -> Result<(), String> {
+    let values = extract_numbers(json, key);
+    if values.is_empty() {
+        return Err(format!("missing numeric key \"{key}\""));
+    }
+    for v in values {
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("key \"{key}\" has non-finite/negative value {v}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validate `BENCH_runtime.json`: the Θ(|X|) kernel record plus the
+/// backend axis. Checks key presence and that every ns figure is finite
+/// and positive.
+pub fn validate_bench_runtime(json: &str) -> Result<(), String> {
+    if !has_key(json, "experiment") || !json.contains("runtime_scaling") {
+        return Err("not a runtime_scaling artifact".into());
+    }
+    for key in [
+        "log2_x",
+        "mw_update_ns_per_elem",
+        "mw_update_with_read_ns_per_elem",
+        "mw_update_reference_ns_per_elem",
+        "certificate_ns_per_elem",
+        "end_to_end_round_ns_per_elem",
+        "round_ns",
+        "point_read_ns",
+    ] {
+        require_positive(json, key)?;
+    }
+    for backend in ["dense", "lazy", "sampled"] {
+        if !json.contains(&format!("\"backend\": \"{backend}\"")) {
+            return Err(format!("backend axis is missing \"{backend}\""));
+        }
+    }
+    Ok(())
+}
+
+/// Validate `BENCH_sublinear.json`: the sublinear-scaling record. Checks
+/// per-round figures, the dense-extrapolation speedup, and the
+/// sampled-vs-dense answer-error column.
+pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
+    if !has_key(json, "experiment") || !json.contains("sublinear_scaling") {
+        return Err("not a sublinear_scaling artifact".into());
+    }
+    for key in ["budget", "rounds", "log2_x", "universe"] {
+        require_positive(json, key)?;
+    }
+    for key in [
+        "per_round_ns",
+        "dense_ns_per_elem_ref",
+        "dense_extrapolated_round_ns",
+        "speedup_vs_dense_extrapolation",
+    ] {
+        require_positive(json, key)?;
+    }
+    for key in [
+        "answer_error_mean",
+        "answer_error_max",
+        "claimed_radius_mean",
+    ] {
+        require_non_negative(json, key)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_numbers_in_order() {
+        let json = r#"{"a": 1.5, "b": [{"a": 2e3}, {"a": -4}], "c": 7}"#;
+        assert_eq!(extract_numbers(json, "a"), vec![1.5, 2e3, -4.0]);
+        assert_eq!(extract_numbers(json, "c"), vec![7.0]);
+        assert!(extract_numbers(json, "missing").is_empty());
+        assert!(has_key(json, "b"));
+        assert!(!has_key(json, "missing"));
+    }
+
+    #[test]
+    fn runtime_validator_accepts_a_well_formed_artifact() {
+        let json = r#"{
+          "experiment": "runtime_scaling",
+          "sizes": [
+            {"log2_x": 12, "mw_update_ns_per_elem": 1.2,
+             "mw_update_with_read_ns_per_elem": 3.4,
+             "mw_update_reference_ns_per_elem": 6.0,
+             "certificate_ns_per_elem": 2.0,
+             "end_to_end_round_ns_per_elem": 9.0}
+          ],
+          "backend_axis": [
+            {"backend": "dense", "log2_x": 12, "round_ns": 5000.0, "point_read_ns": 2.0},
+            {"backend": "lazy", "log2_x": 12, "round_ns": 90.0, "point_read_ns": 40.0},
+            {"backend": "sampled", "log2_x": 12, "round_ns": 800.0, "point_read_ns": 60.0}
+          ]
+        }"#;
+        validate_bench_runtime(json).unwrap();
+    }
+
+    #[test]
+    fn runtime_validator_rejects_bad_values_and_missing_keys() {
+        assert!(validate_bench_runtime("{}").is_err());
+        let missing_backend = r#"{"experiment": "runtime_scaling",
+          "log2_x": 12, "mw_update_ns_per_elem": 1.0,
+          "mw_update_with_read_ns_per_elem": 1.0,
+          "mw_update_reference_ns_per_elem": 1.0,
+          "certificate_ns_per_elem": 1.0,
+          "end_to_end_round_ns_per_elem": 1.0,
+          "round_ns": 1.0, "point_read_ns": 1.0,
+          "backend_axis": [{"backend": "dense"}]}"#;
+        let err = validate_bench_runtime(missing_backend).unwrap_err();
+        assert!(err.contains("lazy"), "{err}");
+        let negative = missing_backend.replace(
+            "\"certificate_ns_per_elem\": 1.0",
+            "\"certificate_ns_per_elem\": -3.0",
+        );
+        assert!(validate_bench_runtime(&negative).is_err());
+    }
+
+    #[test]
+    fn sublinear_validator_round_trips() {
+        let json = r#"{
+          "experiment": "sublinear_scaling", "budget": 2048, "rounds": 50,
+          "sizes": [
+            {"log2_x": 16, "universe": 65536, "per_round_ns": 100000.0,
+             "dense_ns_per_elem_ref": 5.0,
+             "dense_extrapolated_round_ns": 327680.0,
+             "speedup_vs_dense_extrapolation": 3.3,
+             "answer_error_mean": 0.001, "answer_error_max": 0.004,
+             "claimed_radius_mean": 0.02}
+          ]
+        }"#;
+        validate_bench_sublinear(json).unwrap();
+        assert!(validate_bench_sublinear("{}").is_err());
+        let zero_speed = json.replace(
+            "\"speedup_vs_dense_extrapolation\": 3.3",
+            "\"speedup_vs_dense_extrapolation\": 0.0",
+        );
+        assert!(validate_bench_sublinear(&zero_speed).is_err());
+        let no_err_col = json.replace("\"answer_error_mean\": 0.001,", "");
+        assert!(validate_bench_sublinear(&no_err_col).is_err());
+    }
+}

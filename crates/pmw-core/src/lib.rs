@@ -23,6 +23,9 @@
 //! * [`CompositionMechanism`] — the naive baseline: every query answered
 //!   independently by a single-query oracle under strong composition,
 //!   costing `√k` instead of `log k`.
+//! * [`state`] — the state-backend seam ([`StateBackend`]/[`DenseBackend`]):
+//!   both mechanisms are generic over how `D̂_t` is represented, which is
+//!   what lets the `pmw-sketch` crate swap in sublinear-time sketched state.
 //! * [`theory`] — every quantitative formula from Table 1 and
 //!   Theorems 3.1/3.8, used by the benches to plot measured-vs-predicted.
 //! * [`game`] — the sample accuracy game of Figure 1 (Definition 2.4).
@@ -37,6 +40,7 @@ pub mod game;
 pub mod linear;
 pub mod mechanism;
 pub mod offline;
+pub mod state;
 pub mod theory;
 pub mod transcript;
 pub mod update;
@@ -47,5 +51,6 @@ pub use error::PmwError;
 pub use game::{run_accuracy_game, GameOutcome};
 pub use linear::{LinearPmw, Mwem};
 pub use mechanism::OnlinePmw;
-pub use offline::OfflinePmw;
+pub use offline::{OfflineBackendResult, OfflinePmw};
+pub use state::{DenseBackend, StateBackend};
 pub use transcript::{QueryOutcome, QueryRecord, Transcript};

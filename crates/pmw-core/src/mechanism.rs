@@ -24,8 +24,8 @@
 
 use crate::config::{DerivedParams, PmwConfig};
 use crate::error::PmwError;
+use crate::state::{DenseBackend, StateBackend};
 use crate::transcript::{QueryOutcome, QueryRecord, Transcript};
-use crate::update::dual_certificate_into;
 use pmw_convex::Objective;
 use pmw_data::{Dataset, Histogram, PointMatrix, Universe};
 use pmw_dp::sparse_vector::{SvConfig, SvOutcome};
@@ -39,16 +39,25 @@ use rand::Rng;
 /// queries interactively; the analyst may choose each loss adaptively based
 /// on previous answers (the accuracy game of Figure 1).
 ///
+/// Generic over the [`StateBackend`] holding `D̂_t`: the default
+/// [`DenseBackend`] is the exact Θ(|X|)-per-round representation; the
+/// `pmw-sketch` backends make the *state maintenance* (hypothesis solve,
+/// certificate expectation, MW update, synthetic sampling) cost
+/// independent of `|X|` (construct with [`OnlinePmw::with_backend`]).
+/// Note the mechanism itself still materializes the universe points and
+/// the Θ(|X|) data histogram for the data-side error query, so the full
+/// `answer` loop is not yet sublinear — drive the backends directly (as
+/// `exp_sublinear` does) for the huge-universe regime; lifting the
+/// data-side cost is a ROADMAP open item.
+///
 /// [`answer`]: OnlinePmw::answer
-pub struct OnlinePmw<O: ErmOracle = OracleChoice> {
+pub struct OnlinePmw<O: ErmOracle = OracleChoice, B: StateBackend = DenseBackend> {
     config: PmwConfig,
     derived: DerivedParams,
     oracle: O,
     points: PointMatrix,
     data: Histogram,
-    /// Reusable Θ(|X|) payoff buffer: steady-state rounds allocate nothing.
-    cert_buf: Vec<f64>,
-    hypothesis: Histogram,
+    state: B,
     n: usize,
     sv: SparseVector,
     update_round: usize,
@@ -58,7 +67,7 @@ pub struct OnlinePmw<O: ErmOracle = OracleChoice> {
     halted: bool,
 }
 
-impl OnlinePmw<OracleChoice> {
+impl OnlinePmw<OracleChoice, DenseBackend> {
     /// Build with the metadata-driven automatic oracle.
     pub fn new<U: Universe>(
         config: PmwConfig,
@@ -70,8 +79,9 @@ impl OnlinePmw<OracleChoice> {
     }
 }
 
-impl<O: ErmOracle> OnlinePmw<O> {
-    /// Build with an explicit single-query oracle `A′`.
+impl<O: ErmOracle> OnlinePmw<O, DenseBackend> {
+    /// Build with an explicit single-query oracle `A′` and the default
+    /// dense (exact) state backend.
     pub fn with_oracle<U: Universe>(
         config: PmwConfig,
         universe: &U,
@@ -79,9 +89,37 @@ impl<O: ErmOracle> OnlinePmw<O> {
         oracle: O,
         rng: &mut dyn Rng,
     ) -> Result<Self, PmwError> {
+        let state = DenseBackend::new(universe.size())?;
+        Self::with_backend(config, universe, dataset, oracle, state, rng)
+    }
+
+    /// The current hypothesis histogram `D̂_t` — safe to release (it is a
+    /// post-processing of private outputs) and usable as **synthetic data**,
+    /// per the paper's Section 4.3 remark.
+    pub fn hypothesis(&self) -> &Histogram {
+        self.state.hypothesis()
+    }
+}
+
+impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
+    /// Build with an explicit oracle **and** state backend — the seam that
+    /// lets the mechanism run on sketched (sublinear) hypothesis state.
+    pub fn with_backend<U: Universe>(
+        config: PmwConfig,
+        universe: &U,
+        dataset: Dataset,
+        oracle: O,
+        state: B,
+        rng: &mut dyn Rng,
+    ) -> Result<Self, PmwError> {
         if dataset.universe_size() != universe.size() {
             return Err(PmwError::LossMismatch(
                 "dataset universe size does not match universe",
+            ));
+        }
+        if state.universe_size() != universe.size() {
+            return Err(PmwError::LossMismatch(
+                "state backend universe size does not match universe",
             ));
         }
         let derived = config.derive(universe.size())?;
@@ -98,9 +136,8 @@ impl<O: ErmOracle> OnlinePmw<O> {
         accountant.spend("sparse-vector", derived.sv_budget);
         Ok(Self {
             points: universe.materialize(),
-            cert_buf: vec![0.0; universe.size()],
             data: dataset.histogram(),
-            hypothesis: Histogram::uniform(universe.size())?,
+            state,
             config,
             derived,
             oracle,
@@ -129,14 +166,28 @@ impl<O: ErmOracle> OnlinePmw<O> {
                 "loss point dimension does not match universe",
             ));
         }
+        // Backends that retain losses (lazy update logs) need an owned
+        // handle; obtain it up front, before any privacy budget or sparse
+        // vector round is consumed on an update that could never be
+        // recorded. The clone is kept and handed to `apply_update`, so
+        // retention-requiring backends pay exactly one clone per round.
+        let retained = if self.state.requires_shared_loss() {
+            match loss.clone_shared() {
+                Some(shared) => Some(shared),
+                None => {
+                    return Err(PmwError::LossMismatch(
+                        "this state backend requires a loss supporting clone_shared",
+                    ))
+                }
+            }
+        } else {
+            None
+        };
 
-        // (1) Hypothesis minimizer theta-hat.
-        let theta_hat = minimize_weighted(
-            loss,
-            &self.points,
-            self.hypothesis.weights(),
-            self.config.solver_iters,
-        )?;
+        // (1) Hypothesis minimizer theta-hat, through the state backend.
+        let theta_hat =
+            self.state
+                .hypothesis_minimizer(loss, &self.points, self.config.solver_iters, rng)?;
 
         // (2) The error query q_j(D) = err_l(D, D-hat_t).
         let data_obj = WeightedObjective::new(loss, &self.points, self.data.weights())?;
@@ -184,29 +235,21 @@ impl<O: ErmOracle> OnlinePmw<O> {
                 )?;
                 self.accountant
                     .spend("erm-oracle", self.derived.oracle_budget);
-                dual_certificate_into(
-                    loss,
-                    &self.points,
-                    &theta_t,
-                    &theta_hat,
-                    &mut self.cert_buf,
-                )?;
-                let u = &self.cert_buf;
-                let gap = if diagnostics {
-                    let u_hyp: f64 = self
-                        .hypothesis
-                        .weights()
-                        .iter()
-                        .zip(u)
-                        .map(|(w, v)| w * v)
-                        .sum();
-                    let u_data: f64 = self.data.weights().iter().zip(u).map(|(w, v)| w * v).sum();
-                    Some(u_hyp - u_data)
+                let gap_weights = if diagnostics {
+                    Some(self.data.weights())
                 } else {
                     None
                 };
-                self.hypothesis
-                    .mw_update(&self.cert_buf, self.derived.eta)?;
+                let gap = self.state.apply_update(
+                    loss,
+                    retained,
+                    &self.points,
+                    &theta_t,
+                    &theta_hat,
+                    self.derived.eta,
+                    gap_weights,
+                    rng,
+                )?;
                 let round = self.update_round;
                 self.update_round += 1;
                 if self.sv.has_halted() {
@@ -229,16 +272,25 @@ impl<O: ErmOracle> OnlinePmw<O> {
         Ok(answer)
     }
 
-    /// The current hypothesis histogram `D̂_t` — safe to release (it is a
-    /// post-processing of private outputs) and usable as **synthetic data**,
-    /// per the paper's Section 4.3 remark.
-    pub fn hypothesis(&self) -> &Histogram {
-        &self.hypothesis
+    /// Draw an `m`-row synthetic dataset from the hypothesis state (a
+    /// post-processing of private outputs, so free to release).
+    pub fn synthetic_dataset(&self, m: usize, rng: &mut dyn Rng) -> Result<Dataset, PmwError> {
+        if m == 0 {
+            return Err(PmwError::Data(pmw_data::DataError::EmptyDataset));
+        }
+        let rows = self.state.sample_indices(m, rng)?;
+        Ok(Dataset::from_indices(self.state.universe_size(), rows)?)
     }
 
-    /// Draw an `m`-row synthetic dataset from the hypothesis histogram.
-    pub fn synthetic_dataset(&self, m: usize, rng: &mut dyn Rng) -> Result<Dataset, PmwError> {
-        Ok(Dataset::sample_from(&self.hypothesis, m, rng)?)
+    /// The state backend holding `D̂_t`.
+    pub fn state(&self) -> &B {
+        &self.state
+    }
+
+    /// The dense hypothesis histogram, when the backend maintains one
+    /// (always for [`DenseBackend`]; `None` for sketching backends).
+    pub fn dense_hypothesis(&self) -> Option<&Histogram> {
+        self.state.dense_hypothesis()
     }
 
     /// The derived Figure-3 parameters in force.

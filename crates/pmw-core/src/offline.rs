@@ -11,7 +11,7 @@
 
 use crate::config::PmwConfig;
 use crate::error::PmwError;
-use crate::update::dual_certificate;
+use crate::state::{DenseBackend, StateBackend};
 use pmw_convex::Objective;
 use pmw_data::{Dataset, Histogram, Universe};
 use pmw_dp::{Accountant, ExponentialMechanism, PrivacyBudget};
@@ -27,6 +27,17 @@ pub struct OfflineResult {
     pub answers: Vec<Vec<f64>>,
     /// The final hypothesis histogram (releasable synthetic data).
     pub histogram: Histogram,
+    /// Which loss was selected for measurement each round.
+    pub selected: Vec<usize>,
+}
+
+/// Result of an offline run on a caller-supplied [`StateBackend`]
+/// (sketching backends keep their state internal rather than exposing a
+/// dense histogram; read synthetic data off the backend afterwards).
+#[derive(Debug, Clone)]
+pub struct OfflineBackendResult {
+    /// One answer per input loss, from the final hypothesis state.
+    pub answers: Vec<Vec<f64>>,
     /// Which loss was selected for measurement each round.
     pub selected: Vec<usize>,
 }
@@ -63,6 +74,31 @@ impl<O: ErmOracle> OfflinePmw<O> {
         dataset: &Dataset,
         rng: &mut dyn Rng,
     ) -> Result<(OfflineResult, Accountant), PmwError> {
+        let mut state = DenseBackend::new(universe.size().max(1))?;
+        let (result, accountant) =
+            self.run_with_backend(losses, universe, dataset, &mut state, rng)?;
+        Ok((
+            OfflineResult {
+                answers: result.answers,
+                histogram: state.into_hypothesis(),
+                selected: result.selected,
+            },
+            accountant,
+        ))
+    }
+
+    /// [`OfflinePmw::run`] on a caller-supplied [`StateBackend`] — the seam
+    /// that lets the offline rounds maintain `D̂_t` in a sketched
+    /// (sublinear) representation. The backend is left holding the final
+    /// hypothesis state.
+    pub fn run_with_backend<U: Universe, B: StateBackend>(
+        &self,
+        losses: &[&dyn CmLoss],
+        universe: &U,
+        dataset: &Dataset,
+        state: &mut B,
+        rng: &mut dyn Rng,
+    ) -> Result<(OfflineBackendResult, Accountant), PmwError> {
         if losses.is_empty() {
             return Err(PmwError::InvalidConfig("need at least one loss"));
         }
@@ -71,6 +107,25 @@ impl<O: ErmOracle> OfflinePmw<O> {
                 "dataset universe size does not match universe",
             ));
         }
+        if state.universe_size() != universe.size() {
+            return Err(PmwError::LossMismatch(
+                "state backend universe size does not match universe",
+            ));
+        }
+        // Loss-retaining backends need owned handles; obtain them for the
+        // whole workload before any budget is spent (one clone per loss,
+        // shared across rounds via `Rc`).
+        let retained: Option<Vec<std::rc::Rc<dyn CmLoss>>> = if state.requires_shared_loss() {
+            let mut handles = Vec::with_capacity(losses.len());
+            for loss in losses {
+                handles.push(loss.clone_shared().ok_or(PmwError::LossMismatch(
+                    "this state backend requires losses supporting clone_shared",
+                ))?);
+            }
+            Some(handles)
+        } else {
+            None
+        };
         let derived = self.config.derive(universe.size())?;
         let points = universe.materialize();
         let data = dataset.histogram();
@@ -79,7 +134,6 @@ impl<O: ErmOracle> OfflinePmw<O> {
         let em_epsilon = self.config.budget.epsilon() / (2.0 * rounds as f64);
         let em = ExponentialMechanism::new(3.0 * self.config.scale_s / n as f64, em_epsilon)?;
         let mut accountant = Accountant::new();
-        let mut hypothesis = Histogram::uniform(universe.size())?;
         let mut selected = Vec::with_capacity(rounds);
 
         // Cache the per-loss optimal value on the true data (one solve per
@@ -97,12 +151,8 @@ impl<O: ErmOracle> OfflinePmw<O> {
             let mut scores = Vec::with_capacity(losses.len());
             let mut hyp_minimizers = Vec::with_capacity(losses.len());
             for (loss, &opt) in losses.iter().zip(&opt_values) {
-                let theta_hat = minimize_weighted(
-                    *loss,
-                    &points,
-                    hypothesis.weights(),
-                    self.config.solver_iters,
-                )?;
+                let theta_hat =
+                    state.hypothesis_minimizer(*loss, &points, self.config.solver_iters, rng)?;
                 let obj = WeightedObjective::new(*loss, &points, data.weights())?;
                 scores.push((obj.value(&theta_hat) - opt).max(0.0));
                 hyp_minimizers.push(theta_hat);
@@ -120,28 +170,29 @@ impl<O: ErmOracle> OfflinePmw<O> {
                 rng,
             )?;
             accountant.spend("erm-oracle", derived.oracle_budget);
-            let u = dual_certificate(losses[idx], &points, &theta_t, &hyp_minimizers[idx])?;
-            hypothesis.mw_update(&u, derived.eta)?;
+            state.apply_update(
+                losses[idx],
+                retained.as_ref().map(|handles| handles[idx].clone()),
+                &points,
+                &theta_t,
+                &hyp_minimizers[idx],
+                derived.eta,
+                None,
+                rng,
+            )?;
         }
 
         // Answer everything from the final hypothesis.
         let mut answers = Vec::with_capacity(losses.len());
         for loss in losses {
-            answers.push(minimize_weighted(
+            answers.push(state.hypothesis_minimizer(
                 *loss,
                 &points,
-                hypothesis.weights(),
                 self.config.solver_iters,
+                rng,
             )?);
         }
-        Ok((
-            OfflineResult {
-                answers,
-                histogram: hypothesis,
-                selected,
-            },
-            accountant,
-        ))
+        Ok((OfflineBackendResult { answers, selected }, accountant))
     }
 }
 

@@ -1,0 +1,305 @@
+//! The **state-backend seam**: how the mechanisms represent `D̂_t`.
+//!
+//! Figure 3 only ever touches the hypothesis through four operations —
+//! minimize a loss over it, apply the dual-certificate MW update, read the
+//! expected payoff `⟨u_t, D̂_t⟩` for diagnostics, and sample synthetic
+//! points from it. [`StateBackend`] abstracts exactly those four, so
+//! [`OnlinePmw`](crate::OnlinePmw) and [`OfflinePmw`](crate::OfflinePmw)
+//! are generic over the representation:
+//!
+//! * [`DenseBackend`] (here) wraps the log-domain
+//!   [`Histogram`] + flat certificate sweep — the behavior-preserving
+//!   default, bit-for-bit identical to the pre-seam mechanism;
+//! * `SampledBackend` (the `pmw-sketch` crate) keeps the update log
+//!   `{(η_t, θ_t, θ̂_t, ℓ_t)}` plus a Monte-Carlo pool instead of a
+//!   `|X|`-sized vector and implements this trait, so the mechanisms run
+//!   on sketched state directly; its exact sibling `LazyLogBackend` is
+//!   the per-point evaluation engine (driven through its own API, not
+//!   this trait — a full-universe solve over lazy state would defeat its
+//!   no-`|X|`-allocation contract).
+//!
+//! Backends that must retain the round's loss beyond the call (the lazy
+//! representations) obtain an owned handle via
+//! [`CmLoss::clone_shared`]; the dense backend needs no retention and
+//! works with any loss.
+
+use crate::error::PmwError;
+use crate::update::dual_certificate_into;
+use pmw_data::{Histogram, PointMatrix};
+use pmw_losses::traits::minimize_weighted;
+use pmw_losses::CmLoss;
+use rand::Rng;
+
+/// How the mechanisms hold and read the hypothesis `D̂_t`.
+///
+/// Contract: the backend represents a probability distribution over a
+/// universe of `universe_size()` elements, initialized uniform (`D̂_1`).
+/// `apply_update` performs (or records) one Figure-3 multiplicative-weights
+/// step `D̂_{t+1}(x) ∝ exp(−η·u_t(x))·D̂_t(x)` with the dual-certificate
+/// payoff `u_t(x) = ⟨θ_t − θ̂_t, ∇ℓ_x(θ̂_t)⟩` clamped to `[−S, S]`.
+///
+/// Exactness is *not* part of the contract — sketching backends answer
+/// `hypothesis_minimizer` and the diagnostic gap with estimates whose
+/// error they account separately (see `pmw_dp::SamplingAccountant`). The
+/// dense backend is exact.
+pub trait StateBackend {
+    /// Universe size `|X|` the state is defined over.
+    fn universe_size(&self) -> usize;
+
+    /// Number of MW updates applied (or recorded) so far.
+    fn updates_recorded(&self) -> usize;
+
+    /// The hypothesis minimizer `θ̂_t = argmin_θ ℓ(θ; D̂_t)` — the
+    /// non-private inner solve of Figure 3 step (1).
+    ///
+    /// `rng` is for backends that need randomness to *read* their state
+    /// (Monte-Carlo sketches); the dense backend ignores it.
+    fn hypothesis_minimizer(
+        &self,
+        loss: &dyn CmLoss,
+        points: &PointMatrix,
+        solver_iters: usize,
+        rng: &mut dyn Rng,
+    ) -> Result<Vec<f64>, PmwError>;
+
+    /// Apply one dual-certificate MW update.
+    ///
+    /// When `gap_weights` is `Some(w)` (the data histogram, diagnostics
+    /// mode), returns the certificate gap `⟨u_t, D̂_t⟩ − ⟨u_t, w⟩`
+    /// evaluated **before** the update — Claim 3.5's progress witness.
+    ///
+    /// `retained` carries the owned loss handle when the caller already
+    /// obtained one (the mechanisms clone it once, up front, for backends
+    /// with [`StateBackend::requires_shared_loss`]); backends that retain
+    /// should use it instead of cloning again, and may fall back to
+    /// [`CmLoss::clone_shared`] when given `None`.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_update(
+        &mut self,
+        loss: &dyn CmLoss,
+        retained: Option<std::rc::Rc<dyn CmLoss>>,
+        points: &PointMatrix,
+        theta_oracle: &[f64],
+        theta_hyp: &[f64],
+        eta: f64,
+        gap_weights: Option<&[f64]>,
+        rng: &mut dyn Rng,
+    ) -> Result<Option<f64>, PmwError>;
+
+    /// Draw `m` universe indices from `D̂_t` (synthetic-data release).
+    fn sample_indices(&self, m: usize, rng: &mut dyn Rng) -> Result<Vec<usize>, PmwError>;
+
+    /// The dense hypothesis histogram, when this backend maintains one.
+    /// Sketching backends return `None`.
+    fn dense_hypothesis(&self) -> Option<&Histogram> {
+        None
+    }
+
+    /// True when [`StateBackend::apply_update`] needs an owned handle to
+    /// the round's loss ([`CmLoss::clone_shared`]) — lazy update-log
+    /// backends re-evaluate past payoffs and must retain it. The
+    /// mechanisms check this **before spending any privacy budget** on a
+    /// round, so a non-retainable loss fails cleanly instead of draining
+    /// the accountant on an update that can never be recorded.
+    fn requires_shared_loss(&self) -> bool {
+        false
+    }
+}
+
+/// The dense, exact state backend: today's log-domain [`Histogram`] plus a
+/// reusable Θ(|X|) certificate buffer. This is the default backend of both
+/// mechanisms and reproduces the pre-seam behavior bit-for-bit (same float
+/// operations in the same order, no extra RNG draws).
+#[derive(Debug, Clone)]
+pub struct DenseBackend {
+    hypothesis: Histogram,
+    /// Reusable Θ(|X|) payoff buffer: steady-state rounds allocate nothing.
+    cert_buf: Vec<f64>,
+    updates: usize,
+}
+
+impl DenseBackend {
+    /// Uniform initial hypothesis over `universe_size` elements.
+    pub fn new(universe_size: usize) -> Result<Self, PmwError> {
+        Ok(Self {
+            hypothesis: Histogram::uniform(universe_size)?,
+            cert_buf: vec![0.0; universe_size],
+            updates: 0,
+        })
+    }
+
+    /// The hypothesis histogram `D̂_t`.
+    pub fn hypothesis(&self) -> &Histogram {
+        &self.hypothesis
+    }
+
+    /// Consume the backend, returning the final hypothesis.
+    pub fn into_hypothesis(self) -> Histogram {
+        self.hypothesis
+    }
+}
+
+impl StateBackend for DenseBackend {
+    fn universe_size(&self) -> usize {
+        self.hypothesis.len()
+    }
+
+    fn updates_recorded(&self) -> usize {
+        self.updates
+    }
+
+    fn hypothesis_minimizer(
+        &self,
+        loss: &dyn CmLoss,
+        points: &PointMatrix,
+        solver_iters: usize,
+        _rng: &mut dyn Rng,
+    ) -> Result<Vec<f64>, PmwError> {
+        Ok(minimize_weighted(
+            loss,
+            points,
+            self.hypothesis.weights(),
+            solver_iters,
+        )?)
+    }
+
+    fn apply_update(
+        &mut self,
+        loss: &dyn CmLoss,
+        _retained: Option<std::rc::Rc<dyn CmLoss>>,
+        points: &PointMatrix,
+        theta_oracle: &[f64],
+        theta_hyp: &[f64],
+        eta: f64,
+        gap_weights: Option<&[f64]>,
+        _rng: &mut dyn Rng,
+    ) -> Result<Option<f64>, PmwError> {
+        dual_certificate_into(loss, points, theta_oracle, theta_hyp, &mut self.cert_buf)?;
+        let u = &self.cert_buf;
+        let gap = gap_weights.map(|data_w| {
+            let u_hyp: f64 = self
+                .hypothesis
+                .weights()
+                .iter()
+                .zip(u)
+                .map(|(w, v)| w * v)
+                .sum();
+            let u_data: f64 = data_w.iter().zip(u).map(|(w, v)| w * v).sum();
+            u_hyp - u_data
+        });
+        self.hypothesis.mw_update(&self.cert_buf, eta)?;
+        self.updates += 1;
+        Ok(gap)
+    }
+
+    fn sample_indices(&self, m: usize, rng: &mut dyn Rng) -> Result<Vec<usize>, PmwError> {
+        Ok(self.hypothesis.sample_many(m, rng))
+    }
+
+    fn dense_hypothesis(&self) -> Option<&Histogram> {
+        Some(&self.hypothesis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::dual_certificate;
+    use pmw_losses::SquaredLoss;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SquaredLoss, PointMatrix) {
+        let loss = SquaredLoss::new(1).unwrap();
+        let points = PointMatrix::from_rows(vec![
+            vec![1.0, 0.8],
+            vec![-1.0, -0.8],
+            vec![1.0, -0.8],
+            vec![-1.0, 0.8],
+        ])
+        .unwrap();
+        (loss, points)
+    }
+
+    #[test]
+    fn dense_backend_matches_direct_histogram_ops() {
+        let (loss, points) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut backend = DenseBackend::new(points.len()).unwrap();
+        assert_eq!(backend.universe_size(), 4);
+        assert_eq!(backend.updates_recorded(), 0);
+
+        // Reference: drive the histogram directly with the same update.
+        let mut reference = Histogram::uniform(points.len()).unwrap();
+        let (theta_o, theta_h) = ([0.7], [-0.1]);
+        let u = dual_certificate(&loss, &points, &theta_o, &theta_h).unwrap();
+        reference.mw_update(&u, 0.4).unwrap();
+
+        let gap = backend
+            .apply_update(
+                &loss, None, &points, &theta_o, &theta_h, 0.4, None, &mut rng,
+            )
+            .unwrap();
+        assert!(gap.is_none());
+        assert_eq!(backend.updates_recorded(), 1);
+        for (a, b) in backend
+            .hypothesis()
+            .weights()
+            .iter()
+            .zip(reference.weights())
+        {
+            assert!((a - b).abs() < 1e-15, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gap_is_payoff_expectation_difference_before_update() {
+        let (loss, points) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut backend = DenseBackend::new(points.len()).unwrap();
+        let (theta_o, theta_h) = ([0.9], [0.0]);
+        let u = dual_certificate(&loss, &points, &theta_o, &theta_h).unwrap();
+        let data_w = [0.5, 0.5, 0.0, 0.0];
+        let expect: f64 = u.iter().map(|v| v * 0.25).sum::<f64>()
+            - u.iter().zip(&data_w).map(|(v, w)| v * w).sum::<f64>();
+        let gap = backend
+            .apply_update(
+                &loss,
+                None,
+                &points,
+                &theta_o,
+                &theta_h,
+                0.3,
+                Some(&data_w),
+                &mut rng,
+            )
+            .unwrap()
+            .unwrap();
+        assert!((gap - expect).abs() < 1e-12, "{gap} vs {expect}");
+    }
+
+    #[test]
+    fn minimizer_and_samples_read_the_current_state() {
+        let (loss, points) = setup();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut backend = DenseBackend::new(points.len()).unwrap();
+        let theta = backend
+            .hypothesis_minimizer(&loss, &points, 400, &mut rng)
+            .unwrap();
+        assert_eq!(theta.len(), 1);
+        // Uniform over the four points: the symmetric instance minimizes
+        // near 0.
+        assert!(theta[0].abs() < 0.1, "{}", theta[0]);
+
+        // Skew the state heavily toward index 0, then sample.
+        backend
+            .apply_update(&loss, None, &points, &[1.0], &[0.99], 50.0, None, &mut rng)
+            .unwrap();
+        let rows = backend.sample_indices(200, &mut rng).unwrap();
+        assert_eq!(rows.len(), 200);
+        assert!(rows.iter().all(|&r| r < 4));
+        // Dense accessor agrees with the trait view.
+        let dense = backend.dense_hypothesis().unwrap();
+        assert_eq!(dense.len(), 4);
+    }
+}

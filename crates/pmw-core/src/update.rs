@@ -40,6 +40,40 @@ pub fn dual_certificate(
     Ok(u)
 }
 
+/// The certificate payoff at a **single universe point** — the
+/// point-evaluation form of [`dual_certificate`] the sublinear backends
+/// use: `u(x) = ⟨θ_oracle − θ_hyp, ∇ℓ_x(θ_hyp)⟩` clamped to `[−S, S]`.
+///
+/// `grad_buf` must have length `loss.dim()` (reused across calls so a
+/// lookup allocates nothing). Lazy state representations evaluate this
+/// once per retained round per lookup — O(t·d) per point instead of the
+/// Θ(|X|) sweep.
+pub fn dual_certificate_at(
+    loss: &dyn CmLoss,
+    point: &[f64],
+    theta_oracle: &[f64],
+    theta_hyp: &[f64],
+    grad_buf: &mut [f64],
+) -> Result<f64, PmwError> {
+    let d = loss.dim();
+    if theta_oracle.len() != d || theta_hyp.len() != d || grad_buf.len() != d {
+        return Err(PmwError::LossMismatch("theta dimension mismatch"));
+    }
+    if point.len() != loss.point_dim() {
+        return Err(PmwError::LossMismatch("point dimension mismatch"));
+    }
+    loss.gradient(theta_hyp, point, grad_buf);
+    let mut v = 0.0;
+    for ((o, h), g) in theta_oracle.iter().zip(theta_hyp).zip(grad_buf.iter()) {
+        v += (o - h) * g;
+    }
+    if !v.is_finite() {
+        return Err(PmwError::LossMismatch("non-finite certificate payoff"));
+    }
+    let s = loss.scale_bound();
+    Ok(v.clamp(-s, s))
+}
+
 /// [`dual_certificate`] writing into a reusable buffer (`u.len()` must equal
 /// `points.len()`): the steady-state path of the online mechanism.
 pub fn dual_certificate_into(
@@ -181,6 +215,29 @@ mod tests {
             let s = loss.scale_bound();
             assert!((u[i] - expect.clamp(-s, s)).abs() < 1e-12, "row {i}");
         }
+    }
+
+    #[test]
+    fn point_evaluation_matches_the_batched_sweep() {
+        let (loss, points, _, _) = setup();
+        let (theta_o, theta_h) = ([0.55], [-0.3]);
+        let u = dual_certificate(&loss, &points, &theta_o, &theta_h).unwrap();
+        let mut grad = vec![0.0; loss.dim()];
+        for (i, x) in points.iter().enumerate() {
+            let v = dual_certificate_at(&loss, x, &theta_o, &theta_h, &mut grad).unwrap();
+            assert!((v - u[i]).abs() < 1e-12, "row {i}: {v} vs {}", u[i]);
+        }
+    }
+
+    #[test]
+    fn point_evaluation_validates_dimensions() {
+        let (loss, points, _, _) = setup();
+        let mut grad = vec![0.0; 1];
+        let x = points.row(0);
+        assert!(dual_certificate_at(&loss, x, &[1.0, 2.0], &[0.0], &mut grad).is_err());
+        assert!(dual_certificate_at(&loss, &[1.0], &[1.0], &[0.0], &mut grad).is_err());
+        let mut short: Vec<f64> = vec![];
+        assert!(dual_certificate_at(&loss, x, &[1.0], &[0.0], &mut short).is_err());
     }
 
     #[test]

@@ -39,8 +39,10 @@
 //! passes are chunked across cores via [`crate::par`].
 
 use crate::error::DataError;
+use crate::logweight::LogWeightFn;
 use crate::par;
 use rand::{Rng, RngExt};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// A probability distribution over a finite universe, stored densely in the
@@ -50,7 +52,7 @@ use std::sync::OnceLock;
 /// least one entry is finite, and `log_max` equals `max(log_w)`. The
 /// normalized weights derived from any state sum to 1 up to floating-point
 /// tolerance.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Histogram {
     /// Unnormalized log-weights; `-∞` encodes zero mass.
     log_w: Vec<f64>,
@@ -58,6 +60,26 @@ pub struct Histogram {
     log_max: f64,
     /// Lazily materialized normalized weights; invalidated by updates.
     dense: OnceLock<Vec<f64>>,
+    /// Memoized log-sum-exp `ln Σ_x exp(log_w[x] − log_max)`; computed in
+    /// the same pass as `dense` (or standalone by [`Histogram::log_z`]) and
+    /// invalidated by updates, so repeated reads between updates never
+    /// re-run a normalization sweep.
+    log_z: OnceLock<f64>,
+    /// Count of Θ(|X|) normalization (exp-sum) sweeps performed — the
+    /// regression guard for the memoization above.
+    norm_passes: AtomicU64,
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        Self {
+            log_w: self.log_w.clone(),
+            log_max: self.log_max,
+            dense: self.dense.clone(),
+            log_z: self.log_z.clone(),
+            norm_passes: AtomicU64::new(self.norm_passes.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Magnitude at which `log_w` is rebased toward 0 to preserve absolute
@@ -74,10 +96,14 @@ impl Histogram {
         }
         let dense = OnceLock::new();
         let _ = dense.set(vec![1.0 / size as f64; size]);
+        let log_z = OnceLock::new();
+        let _ = log_z.set((size as f64).ln());
         Ok(Self {
             log_w: vec![0.0; size],
             log_max: 0.0,
             dense,
+            log_z,
+            norm_passes: AtomicU64::new(0),
         })
     }
 
@@ -113,10 +139,16 @@ impl Histogram {
             .collect();
         let dense = OnceLock::new();
         let _ = dense.set(weights);
+        // Σ_x exp(log_w[x]) = 1 by construction, so the centered
+        // log-sum-exp is exactly −log_max.
+        let log_z = OnceLock::new();
+        let _ = log_z.set(-log_max);
         Ok(Self {
             log_w,
             log_max,
             dense,
+            log_z,
+            norm_passes: AtomicU64::new(0),
         })
     }
 
@@ -147,6 +179,7 @@ impl Histogram {
     /// maintained maximum, so it cannot overflow) and caches the result.
     pub fn weights(&self) -> &[f64] {
         self.dense.get_or_init(|| {
+            self.norm_passes.fetch_add(1, Ordering::Relaxed);
             let mut dense = vec![0.0; self.log_w.len()];
             let log_w = &self.log_w;
             let log_max = self.log_max;
@@ -164,6 +197,9 @@ impl Histogram {
                 |a, b| a + b,
             );
             debug_assert!(total > 0.0 && total.is_finite());
+            // The same pass yields the log-sum-exp: memoize it so a later
+            // `log_z`/`log_mass` read costs nothing extra.
+            let _ = self.log_z.set(total.ln());
             let inv = 1.0 / total;
             par::for_each_chunk_mut(&mut dense, |_, chunk| {
                 for d in chunk.iter_mut() {
@@ -172,6 +208,50 @@ impl Histogram {
             });
             dense
         })
+    }
+
+    /// The memoized log-sum-exp `ln Σ_x exp(log_w[x] − log_max)` — the
+    /// normalizer of the log-domain representation, without materializing
+    /// the dense weight vector.
+    ///
+    /// Computed at most once between updates: a preceding [`Histogram::weights`]
+    /// read already seeded it (one fused pass covers both), and a standalone
+    /// call runs one allocation-free sweep. Repeated reads of any mix of
+    /// `weights`/`log_z`/`log_mass` between updates never re-run
+    /// normalization (see [`Histogram::normalization_passes`]).
+    pub fn log_z(&self) -> f64 {
+        *self.log_z.get_or_init(|| {
+            self.norm_passes.fetch_add(1, Ordering::Relaxed);
+            let log_max = self.log_max;
+            let total = par::fold_chunks(
+                &self.log_w,
+                |_, chunk| chunk.iter().map(|&lw| (lw - log_max).exp()).sum::<f64>(),
+                |a: f64, b| a + b,
+            );
+            debug_assert!(total > 0.0 && total.is_finite());
+            total.ln()
+        })
+    }
+
+    /// Normalized log-probability `ln D(x)` at universe index `x`
+    /// (`-∞` for zero mass), evaluated from the log-domain state without
+    /// materializing the dense weights.
+    pub fn log_mass(&self, x: usize) -> f64 {
+        self.log_w[x] - self.log_max - self.log_z()
+    }
+
+    /// Unnormalized log-weight at universe index `x` (the point-evaluation
+    /// form of [`Histogram::log_weights`]).
+    pub fn log_weight(&self, x: usize) -> f64 {
+        self.log_w[x]
+    }
+
+    /// Number of Θ(|X|) normalization sweeps performed so far — regression
+    /// counter for the memoization contract: between two updates at most
+    /// one dense pass and at most one standalone log-sum-exp pass ever run,
+    /// no matter how many reads happen.
+    pub fn normalization_passes(&self) -> u64 {
+        self.norm_passes.load(Ordering::Relaxed)
     }
 
     /// The raw (unnormalized) log-weights; `-∞` encodes zero mass.
@@ -341,12 +421,13 @@ impl Histogram {
             });
             self.log_max = 0.0;
         }
-        // Invalidate the cache by replacing the lock. The next `weights()`
+        // Invalidate the caches by replacing the locks. The next `weights()`
         // read allocates a fresh dense vector; a reusable buffer would avoid
         // that Θ(|X|) alloc but needs interior mutability beyond `OnceLock`
         // (weights() takes &self), and update rounds are bounded by the
         // privacy budget T, so the allocation is not a steady-state cost.
         self.dense = OnceLock::new();
+        self.log_z = OnceLock::new();
         Ok(())
     }
 
@@ -375,6 +456,16 @@ impl Histogram {
             .enumerate()
             .map(|(i, &w)| if w > 0.0 { w * f(i) } else { 0.0 })
             .sum()
+    }
+}
+
+impl LogWeightFn for Histogram {
+    fn universe_size(&self) -> usize {
+        self.len()
+    }
+
+    fn log_weight(&self, x: usize) -> f64 {
+        self.log_w[x]
     }
 }
 
@@ -646,6 +737,67 @@ mod tests {
         let draws = h.sample_many(20_000, &mut rng);
         let ones = draws.iter().filter(|&&i| i == 1).count() as f64 / 20_000.0;
         assert!(approx(ones, 0.1, 0.02), "empirical {ones}");
+    }
+
+    #[test]
+    fn repeated_reads_between_updates_run_one_normalization_pass() {
+        // Constructors pre-seed the caches: zero passes for any read mix.
+        let mut h = Histogram::from_counts(&[1, 2, 3, 4]).unwrap();
+        let _ = (h.weights(), h.mass(2), h.dot(&[1.0; 4]), h.entropy());
+        let _ = (h.log_z(), h.log_mass(1));
+        assert_eq!(h.normalization_passes(), 0);
+
+        // After an update, the first dense read pays exactly one pass and
+        // seeds log_z for free; any further reads are cache hits.
+        h.mw_update(&[0.5, -0.5, 0.0, 0.25], 0.3).unwrap();
+        let _ = h.weights();
+        assert_eq!(h.normalization_passes(), 1);
+        let _ = (
+            h.weights(),
+            h.mass(0),
+            h.log_z(),
+            h.log_mass(3),
+            h.entropy(),
+        );
+        let _ = h.l1_distance(&h.clone());
+        assert_eq!(h.normalization_passes(), 1);
+
+        // A standalone log_z read after an update costs one allocation-free
+        // pass; repeating it stays memoized. The later dense materialization
+        // is its own (single) pass.
+        h.mw_update(&[0.1, 0.1, -0.2, 0.0], 1.0).unwrap();
+        let _ = (h.log_z(), h.log_z(), h.log_mass(0), h.log_mass(1));
+        assert_eq!(h.normalization_passes(), 2);
+        let _ = (h.weights(), h.weights());
+        assert_eq!(h.normalization_passes(), 3);
+    }
+
+    #[test]
+    fn log_mass_matches_dense_mass() {
+        let mut h = Histogram::from_counts(&[3, 0, 5, 2]).unwrap();
+        h.mw_update(&[1.0, -2.0, 0.5, 0.0], 0.7).unwrap();
+        for x in 0..4 {
+            let m = h.mass(x);
+            if m == 0.0 {
+                assert_eq!(h.log_mass(x), f64::NEG_INFINITY);
+            } else {
+                assert!(approx(h.log_mass(x), m.ln(), 1e-12), "bin {x}");
+            }
+        }
+        // log_weight is the raw (unnormalized) log-domain entry.
+        assert_eq!(h.log_weight(1), f64::NEG_INFINITY);
+        assert_eq!(h.log_weight(0), h.log_weights()[0]);
+    }
+
+    #[test]
+    fn clone_preserves_caches_and_counter() {
+        let mut h = Histogram::uniform(8).unwrap();
+        h.mw_update(&[1.0; 8], 0.1).unwrap();
+        let _ = h.weights();
+        let c = h.clone();
+        assert_eq!(c.normalization_passes(), h.normalization_passes());
+        let _ = (c.weights(), c.log_z());
+        assert_eq!(c.normalization_passes(), h.normalization_passes());
     }
 
     #[test]

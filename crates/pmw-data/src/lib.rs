@@ -9,6 +9,9 @@
 //! * the **histogram representation** `D ∈ R^X` used throughout the paper's
 //!   technical sections, stored in the log domain so the Θ(|X|) MW update
 //!   is a single fused pass ([`histogram`]),
+//! * **point-indexed log-weight oracles** and the Gumbel-max sampler — the
+//!   evaluation seam the sublinear (`pmw-sketch`) state backends build on
+//!   ([`logweight`]),
 //! * the materialized universe as one **contiguous row-major matrix**
 //!   ([`matrix`]) — the layout every Θ(|X|) sweep walks — plus the chunked
 //!   parallel sweep helpers behind the `parallel` feature ([`par`]),
@@ -28,6 +31,7 @@ pub mod dataset;
 pub mod discretize;
 pub mod error;
 pub mod histogram;
+pub mod logweight;
 pub mod matrix;
 pub mod par;
 pub mod synth;
@@ -37,5 +41,8 @@ pub mod workload;
 pub use dataset::Dataset;
 pub use error::DataError;
 pub use histogram::Histogram;
+pub use logweight::{
+    gumbel_max_among, gumbel_max_index, standard_gumbel, LogWeightFn, PointLogWeights,
+};
 pub use matrix::PointMatrix;
 pub use universe::{BooleanCube, EnumeratedUniverse, GridUniverse, LabeledGridUniverse, Universe};

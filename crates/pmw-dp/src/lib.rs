@@ -27,6 +27,7 @@ pub mod exponential;
 pub mod mechanisms;
 pub mod numeric_sparse;
 pub mod sampler;
+pub mod sampling;
 pub mod sparse_vector;
 pub mod zcdp;
 
@@ -36,4 +37,5 @@ pub use error::DpError;
 pub use exponential::ExponentialMechanism;
 pub use mechanisms::{GaussianMechanism, LaplaceMechanism};
 pub use numeric_sparse::{NumericSparse, NumericSvOutcome};
+pub use sampling::{hoeffding_radius, uncovered_mass_bound, SamplingAccountant, SamplingRecord};
 pub use sparse_vector::{SparseVector, SvConfig, SvOutcome};

@@ -1,0 +1,218 @@
+//! Accounting for **sampling noise** — the estimation error a sublinear
+//! state backend introduces on top of the mechanism's privacy noise.
+//!
+//! When the hypothesis `D̂_t` is read through a Monte-Carlo sketch instead
+//! of a dense sweep (the `pmw-sketch` backends), every answer carries two
+//! independent error sources: the calibrated privacy noise (tracked by
+//! [`Accountant`](crate::Accountant)) and the sampling error of the sketch.
+//! Sampling from *public* state is post-processing — it costs zero privacy
+//! budget — but it is not free in *accuracy*, and the accuracy theorems the
+//! benches check (`err ≤ α`) only survive if the sampling error is budgeted
+//! alongside the noise. [`SamplingAccountant`] is that ledger: one entry
+//! per estimate, each carrying the Hoeffding/coverage radius the backend
+//! claimed, plus union-bound totals over a whole run.
+//!
+//! Two bound shapes cover everything the backends emit:
+//!
+//! * [`hoeffding_radius`] — a mean estimate from `m` i.i.d. bounded draws
+//!   deviates by more than the radius with probability at most `β`.
+//! * [`uncovered_mass_bound`] — an empirical max over `m` i.i.d. draws
+//!   misses at most a `q`-fraction of the distribution's mass with
+//!   probability at least `1 − β` (the quantile coverage of a sampled max;
+//!   a sampled max is a lower bound, so "error" is phrased as uncovered
+//!   mass rather than distance).
+
+use crate::error::DpError;
+
+/// Hoeffding deviation radius: `m` i.i.d. draws of a statistic confined to
+/// an interval of width `range` produce an empirical mean within
+/// `range·sqrt(ln(2/β)/(2m))` of the true mean with probability `≥ 1 − β`.
+///
+/// Errors on `m = 0`, non-positive/non-finite `range`, or `β ∉ (0, 1)`.
+pub fn hoeffding_radius(range: f64, samples: usize, beta: f64) -> Result<f64, DpError> {
+    if samples == 0 {
+        return Err(DpError::InvalidParameter("need at least one sample"));
+    }
+    if !(range.is_finite() && range > 0.0) {
+        return Err(DpError::InvalidParameter("range must be positive"));
+    }
+    if !(beta > 0.0 && beta < 1.0) {
+        return Err(DpError::InvalidParameter("beta must be in (0, 1)"));
+    }
+    Ok(range * ((2.0 / beta).ln() / (2.0 * samples as f64)).sqrt())
+}
+
+/// Quantile coverage of a sampled maximum: with `m` i.i.d. draws from a
+/// distribution, the probability that none lands in the top-`q` mass is
+/// `(1 − q)^m ≤ e^{−qm}`; solving for `β` gives `q = ln(1/β)/m`. The
+/// returned `q` is the largest fraction of mass the empirical max can have
+/// missed, with probability `≥ 1 − β`.
+pub fn uncovered_mass_bound(samples: usize, beta: f64) -> Result<f64, DpError> {
+    if samples == 0 {
+        return Err(DpError::InvalidParameter("need at least one sample"));
+    }
+    if !(beta > 0.0 && beta < 1.0) {
+        return Err(DpError::InvalidParameter("beta must be in (0, 1)"));
+    }
+    Ok(((1.0 / beta).ln() / samples as f64).min(1.0))
+}
+
+/// One recorded sampling-based estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingRecord {
+    /// What was estimated (e.g. `"certificate-mean"`, `"max-payoff"`).
+    pub label: &'static str,
+    /// Number of Monte-Carlo samples spent.
+    pub samples: usize,
+    /// The confidence radius (or coverage fraction) claimed for the
+    /// estimate, at this entry's `beta`.
+    pub radius: f64,
+    /// Per-entry failure probability of the claimed bound.
+    pub beta: f64,
+}
+
+/// Ledger of sampling-noise spends — the accuracy-side sibling of the
+/// privacy [`Accountant`](crate::Accountant). Backends push one record per
+/// estimate; experiment harnesses read off worst-case and union-bound
+/// totals to report honest error bars.
+#[derive(Debug, Clone, Default)]
+pub struct SamplingAccountant {
+    records: Vec<SamplingRecord>,
+}
+
+impl SamplingAccountant {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one estimate's claimed bound.
+    pub fn record(&mut self, label: &'static str, samples: usize, radius: f64, beta: f64) {
+        self.records.push(SamplingRecord {
+            label,
+            samples,
+            radius,
+            beta,
+        });
+    }
+
+    /// Number of recorded estimates.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in spend order.
+    pub fn records(&self) -> &[SamplingRecord] {
+        &self.records
+    }
+
+    /// Total Monte-Carlo samples spent.
+    pub fn total_samples(&self) -> usize {
+        self.records.iter().map(|r| r.samples).sum()
+    }
+
+    /// Union-bound failure probability: all claimed bounds hold
+    /// simultaneously except with probability at most `Σ β_i`.
+    pub fn total_beta(&self) -> f64 {
+        self.records.iter().map(|r| r.beta).sum()
+    }
+
+    /// Largest single claimed radius — the worst per-estimate error under
+    /// the simultaneous (union-bound) event.
+    pub fn max_radius(&self) -> f64 {
+        self.records.iter().map(|r| r.radius).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn hoeffding_radius_shrinks_at_root_m() {
+        let r100 = hoeffding_radius(2.0, 100, 0.05).unwrap();
+        let r400 = hoeffding_radius(2.0, 400, 0.05).unwrap();
+        assert!((r100 / r400 - 2.0).abs() < 1e-12, "{r100} vs {r400}");
+        // Known value: sqrt(ln(40)/200) * 2.
+        let expect = 2.0 * ((2.0 / 0.05f64).ln() / 200.0).sqrt();
+        assert!((r100 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hoeffding_radius_validates() {
+        assert!(hoeffding_radius(1.0, 0, 0.1).is_err());
+        assert!(hoeffding_radius(0.0, 10, 0.1).is_err());
+        assert!(hoeffding_radius(f64::NAN, 10, 0.1).is_err());
+        assert!(hoeffding_radius(1.0, 10, 0.0).is_err());
+        assert!(hoeffding_radius(1.0, 10, 1.0).is_err());
+    }
+
+    #[test]
+    fn hoeffding_bound_holds_empirically() {
+        // Mean of m uniform[0,1] draws vs truth 0.5: the 1% radius must
+        // cover the deviation in (far more than) 99% of trials.
+        let mut rng = StdRng::seed_from_u64(41);
+        let m = 200usize;
+        let radius = hoeffding_radius(1.0, m, 0.01).unwrap();
+        let trials = 2000;
+        let misses = (0..trials)
+            .filter(|_| {
+                let mean: f64 = (0..m).map(|_| rng.random::<f64>()).sum::<f64>() / m as f64;
+                (mean - 0.5).abs() > radius
+            })
+            .count();
+        assert!(misses as f64 / trials as f64 <= 0.01, "{misses} misses");
+    }
+
+    #[test]
+    fn uncovered_mass_bound_holds_empirically() {
+        // Empirical max of m uniform draws: the missed top mass is
+        // 1 - max, and must be <= q except with probability beta.
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = 150usize;
+        let beta = 0.02;
+        let q = uncovered_mass_bound(m, beta).unwrap();
+        let trials = 2000;
+        let misses = (0..trials)
+            .filter(|_| {
+                let max = (0..m).map(|_| rng.random::<f64>()).fold(0.0f64, f64::max);
+                1.0 - max > q
+            })
+            .count();
+        assert!(misses as f64 / trials as f64 <= beta, "{misses} misses");
+        assert!(uncovered_mass_bound(1, 1e-9).unwrap() <= 1.0);
+        assert!(uncovered_mass_bound(0, 0.1).is_err());
+    }
+
+    #[test]
+    fn ledger_aggregates_records() {
+        let mut acc = SamplingAccountant::new();
+        assert!(acc.is_empty());
+        acc.record("certificate-mean", 1000, 0.02, 1e-4);
+        acc.record("max-payoff", 1000, 0.05, 1e-4);
+        acc.record("certificate-mean", 500, 0.03, 1e-4);
+        assert_eq!(acc.len(), 3);
+        assert_eq!(acc.total_samples(), 2500);
+        assert!((acc.total_beta() - 3e-4).abs() < 1e-15);
+        assert!((acc.max_radius() - 0.05).abs() < 1e-15);
+        assert_eq!(acc.records()[1].label, "max-payoff");
+    }
+
+    #[test]
+    fn gumbel_sampler_feeds_gumbel_max_pipelines() {
+        // Sanity link to the sampler module the exponential mechanism uses:
+        // the same Gumbel distribution drives pmw-data's gumbel_max_*.
+        let mut rng = StdRng::seed_from_u64(43);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| sampler::gumbel(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5772).abs() < 0.03, "{mean}");
+    }
+}

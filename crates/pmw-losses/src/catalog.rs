@@ -121,6 +121,10 @@ impl CmLoss for TargetLoss {
         Some((x.to_vec(), self.label(x)))
     }
 
+    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
+        Some(std::rc::Rc::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         self.link.name()
     }

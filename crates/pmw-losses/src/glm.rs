@@ -155,6 +155,10 @@ impl CmLoss for GlmLoss {
         Some((features.to_vec(), y))
     }
 
+    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
+        Some(std::rc::Rc::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         self.link.name()
     }
@@ -204,6 +208,9 @@ macro_rules! concrete_glm {
             fn glm_link(&self) -> Option<LinkFn> { self.inner.glm_link() }
             fn glm_example(&self, x: &[f64]) -> Option<(Vec<f64>, f64)> {
                 self.inner.glm_example(x)
+            }
+            fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
+                Some(std::rc::Rc::new(self.clone()))
             }
             fn name(&self) -> &'static str { self.inner.name() }
         }
@@ -295,6 +302,9 @@ impl CmLoss for HuberLoss {
     }
     fn glm_example(&self, x: &[f64]) -> Option<(Vec<f64>, f64)> {
         self.inner.glm_example(x)
+    }
+    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
+        Some(std::rc::Rc::new(self.clone()))
     }
     fn name(&self) -> &'static str {
         self.inner.name()

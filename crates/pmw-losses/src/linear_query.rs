@@ -201,6 +201,10 @@ impl CmLoss for LinearQueryLoss {
         Some(1.0)
     }
 
+    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
+        Some(std::rc::Rc::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "linear-query"
     }

@@ -117,6 +117,10 @@ impl CmLoss for QuantileLoss {
         self.tau.max(1.0 - self.tau)
     }
 
+    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
+        Some(std::rc::Rc::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "quantile"
     }

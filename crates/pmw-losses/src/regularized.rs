@@ -45,7 +45,10 @@ impl<L: CmLoss> L2Regularized<L> {
     }
 }
 
-impl<L: CmLoss> CmLoss for L2Regularized<L> {
+// The `Clone + 'static` bounds (beyond what the wrapper itself needs) let
+// the `clone_shared` retention hook produce an owned `Rc<dyn CmLoss>`;
+// every concrete loss in this crate satisfies them.
+impl<L: CmLoss + Clone + 'static> CmLoss for L2Regularized<L> {
     fn dim(&self) -> usize {
         self.inner.dim()
     }
@@ -102,6 +105,10 @@ impl<L: CmLoss> CmLoss for L2Regularized<L> {
     fn is_glm(&self) -> bool {
         // The regularizer breaks the pure inner-product structure.
         false
+    }
+
+    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
+        Some(std::rc::Rc::new(self.clone()))
     }
 
     fn name(&self) -> &'static str {

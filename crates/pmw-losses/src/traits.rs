@@ -18,6 +18,7 @@ use crate::error::LossError;
 use pmw_convex::solvers::{ProjectedGradientDescent, SolverConfig};
 use pmw_convex::{vecmath, Domain, Objective};
 use pmw_data::PointMatrix;
+use std::rc::Rc;
 
 /// A convex loss function `ℓ: Θ × X → R` defining a CM query, with the
 /// metadata the paper's restrictions refer to (Section 1.1).
@@ -51,7 +52,7 @@ pub trait CmLoss {
     /// Implementations may assume the caller validated `points.dim() ==
     /// point_dim()`, `theta_hyp.len() == direction.len() == dim()` and
     /// `out.len() == points.len()`, as
-    /// [`certificate_sweep`](crate::certificate_sweep) does.
+    /// [`certificate_sweep`] does.
     fn certificate_batch(
         &self,
         theta_hyp: &[f64],
@@ -103,6 +104,18 @@ pub trait CmLoss {
     /// oracle (Theorem 4.3's role) uses this to project features while
     /// keeping labels fixed.
     fn glm_example(&self, _x: &[f64]) -> Option<(Vec<f64>, f64)> {
+        None
+    }
+
+    /// An owned, shareable handle to this loss — the retention hook for
+    /// state backends that must keep the round's loss alive beyond the
+    /// `answer` call (the lazy update-log representations of `pmw-sketch`
+    /// re-evaluate `u_t(x) = ⟨θ_t − θ̂_t, ∇ℓ_x(θ̂_t)⟩` at lookup time, which
+    /// needs the round-`t` loss). Object-safe by returning `Rc<dyn CmLoss>`.
+    ///
+    /// The default returns `None` ("cannot be retained"); every concrete
+    /// loss in this crate overrides it with `Rc::new(self.clone())`.
+    fn clone_shared(&self) -> Option<Rc<dyn CmLoss>> {
         None
     }
 
@@ -339,6 +352,17 @@ mod tests {
         let loss = SquaredLoss::new(2).unwrap();
         let c = default_solver_config(&loss, 100).unwrap();
         assert!(matches!(c.step, pmw_convex::StepRule::Constant(_)));
+    }
+
+    #[test]
+    fn clone_shared_retains_losses_through_dyn() {
+        let loss = SquaredLoss::new(2).unwrap();
+        let dynl: &dyn CmLoss = &loss;
+        let shared = dynl.clone_shared().expect("concrete losses are retainable");
+        assert_eq!(shared.dim(), 2);
+        assert_eq!(shared.name(), loss.name());
+        // The handle is an independent owned copy, not a borrow.
+        assert_eq!(shared.point_dim(), 3);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! [`LazyLogBackend`]: the exact sublinear-*update* state backend.
+//!
+//! Stores the update log `{(η_t, θ_t, θ̂_t, ℓ_t)}` and nothing else:
+//! `O(1)` work per recorded round, `O(t·d)` per point lookup, and no
+//! `|X|`-sized allocation ever. Lookups are **exact** — for any point the
+//! returned log-weight equals the dense log-domain histogram's entry up to
+//! floating-point accumulation order (the property tests in the workspace
+//! root pin the agreement to `1e-10`) — which makes this backend both the
+//! reference the Monte-Carlo [`SampledBackend`](crate::SampledBackend) is
+//! checked against and the engine it evaluates fresh candidates with.
+
+use crate::error::SketchError;
+use crate::log::{RoundUpdate, UpdateLog};
+use crate::source::PointSource;
+use pmw_data::LogWeightFn;
+use std::cell::RefCell;
+
+/// Exact lazy state over a [`PointSource`]: uniform prior plus the update
+/// log, evaluated per point on demand.
+#[derive(Debug)]
+pub struct LazyLogBackend<S: PointSource> {
+    source: S,
+    log: UpdateLog,
+    /// Reusable (point, gradient) buffers so a lookup allocates nothing;
+    /// `RefCell` because lookups are logically `&self` (they mutate no
+    /// state, only scratch space).
+    bufs: RefCell<(Vec<f64>, Vec<f64>)>,
+}
+
+impl<S: PointSource> LazyLogBackend<S> {
+    /// Fresh (uniform) state over `source`.
+    pub fn new(source: S) -> Result<Self, SketchError> {
+        if source.is_empty() {
+            return Err(SketchError::EmptyUniverse);
+        }
+        let dim = source.dim();
+        Ok(Self {
+            source,
+            log: UpdateLog::new(),
+            bufs: RefCell::new((vec![0.0; dim], Vec::new())),
+        })
+    }
+
+    /// Record one MW round — `O(1)` beyond validating the loss dimension.
+    pub fn record(&mut self, update: RoundUpdate) -> Result<(), SketchError> {
+        if update.loss().point_dim() != self.source.dim() {
+            return Err(SketchError::DimensionMismatch {
+                got: update.loss().point_dim(),
+                expected: self.source.dim(),
+            });
+        }
+        self.log.push(update);
+        Ok(())
+    }
+
+    /// Universe size `|X|`.
+    pub fn universe_size(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The underlying update log.
+    pub fn log(&self) -> &UpdateLog {
+        &self.log
+    }
+
+    /// The point source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Exact unnormalized log-weight `log w(x) = −Σ_t η_t·u_t(x)` of
+    /// universe element `x` — `O(t·d)`.
+    pub fn log_weight_of(&self, x: usize) -> Result<f64, SketchError> {
+        let mut bufs = self.bufs.borrow_mut();
+        let (point, grad) = &mut *bufs;
+        self.source.write_point(x, point);
+        self.log.log_weight_at(point, grad)
+    }
+
+    /// Exact log-weight of an explicit point (`point.len()` must equal the
+    /// source dimension).
+    pub fn log_weight_at_point(&self, point: &[f64]) -> Result<f64, SketchError> {
+        if point.len() != self.source.dim() {
+            return Err(SketchError::DimensionMismatch {
+                got: point.len(),
+                expected: self.source.dim(),
+            });
+        }
+        let mut bufs = self.bufs.borrow_mut();
+        self.log.log_weight_at(point, &mut bufs.1)
+    }
+}
+
+/// The infallible [`LogWeightFn`] view used by the Gumbel-max samplers.
+///
+/// # Panics
+///
+/// `log_weight` panics when a recorded loss produces a **non-finite**
+/// payoff at point `x` — `record` validates dimensions and parameter
+/// finiteness, but cannot pre-check every universe point without the
+/// Θ(|X|) sweep this backend exists to avoid (the dense pipeline surfaces
+/// the same condition as an error per round instead). Use
+/// [`LazyLogBackend::log_weight_of`] for the fallible form; every loss
+/// shipped in `pmw-losses` has bounded gradients on its domain and cannot
+/// trigger this.
+impl<S: PointSource> LogWeightFn for LazyLogBackend<S> {
+    fn universe_size(&self) -> usize {
+        self.source.len()
+    }
+
+    fn log_weight(&self, x: usize) -> f64 {
+        self.log_weight_of(x).expect(
+            "recorded loss produced a non-finite payoff; use log_weight_of for the fallible form",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::UniversePoints;
+    use pmw_core::update::dual_certificate;
+    use pmw_data::{gumbel_max_index, BooleanCube, Histogram, Universe};
+    use pmw_losses::{CmLoss, LinearQueryLoss, PointPredicate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::rc::Rc;
+
+    fn bit_loss(bit: usize, dim: usize) -> LinearQueryLoss {
+        LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![bit] }, dim).unwrap()
+    }
+
+    #[test]
+    fn validates_construction_and_records() {
+        let cube = BooleanCube::new(3).unwrap();
+        let mut lazy = LazyLogBackend::new(UniversePoints(cube)).unwrap();
+        assert_eq!(lazy.universe_size(), 8);
+        assert_eq!(lazy.rounds(), 0);
+        // A loss over 5-dimensional points cannot be recorded on a 3-cube.
+        let wrong = RoundUpdate::new(
+            Rc::new(bit_loss(0, 5)) as Rc<dyn CmLoss>,
+            vec![0.5],
+            vec![0.2],
+            0.1,
+        )
+        .unwrap();
+        assert!(lazy.record(wrong).is_err());
+        assert!(lazy.log_weight_at_point(&[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn matches_dense_histogram_log_weights_exactly() {
+        // Drive a dense log-domain histogram and a lazy log with the same
+        // rounds; unnormalized log-weights must agree (uniform prior = 0).
+        let cube = BooleanCube::new(4).unwrap();
+        let points = cube.materialize();
+        let mut dense = Histogram::uniform(cube.size()).unwrap();
+        let mut lazy = LazyLogBackend::new(UniversePoints(cube.clone())).unwrap();
+        let steps = [
+            (0usize, 0.9, 0.4, 0.7),
+            (1, 0.1, 0.6, 0.5),
+            (2, 0.8, 0.2, 1.1),
+            (0, 0.3, 0.5, 0.9),
+        ];
+        for &(bit, t_o, t_h, eta) in &steps {
+            let loss = bit_loss(bit, 4);
+            let u = dual_certificate(&loss, &points, &[t_o], &[t_h]).unwrap();
+            dense.mw_update(&u, eta).unwrap();
+            lazy.record(
+                RoundUpdate::new(Rc::new(loss) as Rc<dyn CmLoss>, vec![t_o], vec![t_h], eta)
+                    .unwrap(),
+            )
+            .unwrap();
+        }
+        assert_eq!(lazy.rounds(), 4);
+        for x in 0..16 {
+            let l = lazy.log_weight_of(x).unwrap();
+            let d = dense.log_weight(x);
+            assert!((l - d).abs() < 1e-12, "x={x}: lazy {l} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn lazy_state_feeds_the_exact_gumbel_max_sampler() {
+        // The lazy backend is a LogWeightFn, so the Θ(|X|) exact sampler
+        // runs on it directly; frequencies must match the dense masses.
+        let cube = BooleanCube::new(3).unwrap();
+        let points = cube.materialize();
+        let mut dense = Histogram::uniform(8).unwrap();
+        let mut lazy = LazyLogBackend::new(UniversePoints(cube)).unwrap();
+        let loss = bit_loss(0, 3);
+        let u = dual_certificate(&loss, &points, &[0.95], &[0.3]).unwrap();
+        dense.mw_update(&u, 3.0).unwrap();
+        lazy.record(
+            RoundUpdate::new(Rc::new(loss) as Rc<dyn CmLoss>, vec![0.95], vec![0.3], 3.0).unwrap(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mut counts = [0usize; 8];
+        for _ in 0..n {
+            counts[gumbel_max_index(&lazy, &mut rng)] += 1;
+        }
+        for (x, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - dense.mass(x)).abs() < 0.02,
+                "x={x}: {freq} vs {}",
+                dense.mass(x)
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Sublinear-time state backends for PMW — breaking the Θ(|X|) wall.
+//!
+//! Section 4.3 of the paper is blunt: each Figure-3 iteration costs
+//! `poly(n, d)` *except* the histogram bookkeeping, which is `Θ(|X|)` —
+//! exponential in the data dimension, and the reason the dense
+//! [`pmw_core::OnlinePmw`] path stops at `|X| ≈ 2^20–2^24` on one machine.
+//! Following the lazy-update/sampling playbook of *Private Data Release in
+//! Sublinear Time*, this crate re-represents the MW hypothesis so that a
+//! round costs time independent of `|X|`:
+//!
+//! * [`UpdateLog`] — the state *is* the list of rounds
+//!   `{(η_t, θ_t, θ̂_t, ℓ_t)}`; `log D̂_t(x)` is recomputable at any point
+//!   in `O(t·d)` (module [`log`]).
+//! * [`LazyLogBackend`] — exact per-point lookups over a [`PointSource`];
+//!   `O(1)` per round, no `|X|`-sized allocation ever (module [`lazy`]).
+//! * [`SampledBackend`] — a Monte-Carlo pool with incrementally maintained
+//!   log-weights: `O(m·d)` per round and per read at sample budget `m`,
+//!   with concentration-bounded certificate estimates, quantile-bounded
+//!   max estimates, and Gumbel-max sampling (module [`sampled`]). This
+//!   backend implements [`pmw_core::StateBackend`], so the online/offline
+//!   mechanisms run on it directly.
+//! * [`PointSource`] — indexed point access without materialization;
+//!   [`BigBitCube`] reaches universe sizes (`2^26` and beyond) the dense
+//!   structures refuse to represent (module [`source`]).
+//!
+//! Estimation error is accounted in a [`pmw_dp::SamplingAccountant`]
+//! ledger alongside — never hidden inside — the privacy accounting:
+//! sketching public state costs no privacy, but it is not free in
+//! accuracy.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod lazy;
+pub mod log;
+pub mod sampled;
+pub mod source;
+
+pub use error::SketchError;
+pub use lazy::LazyLogBackend;
+pub use log::{RoundUpdate, UpdateLog};
+pub use sampled::{Estimate, MaxEstimate, SampledBackend, SampledConfig};
+pub use source::{BigBitCube, PointSource, UniversePoints};

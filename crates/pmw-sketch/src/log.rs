@@ -1,0 +1,237 @@
+//! The **update log**: Figure 3's MW state as a list of rounds instead of
+//! a `|X|`-sized vector.
+//!
+//! After `t` rounds the dense hypothesis satisfies
+//!
+//! `log D̂_{t+1}(x) = −Σ_{r≤t} η_r·u_r(x) + const`,  with
+//! `u_r(x) = ⟨θ_r − θ̂_r, ∇ℓ_{x}(θ̂_r)⟩` clamped to `[−S_r, S_r]`
+//!
+//! — a function of the *round parameters* `(η_r, θ_r, θ̂_r, ℓ_r)` alone.
+//! [`UpdateLog`] stores exactly those parameters (`O(t·d)` memory total,
+//! `O(1)` amortized per round) and evaluates the log-weight of any single
+//! point on demand in `O(t·d)` — never touching the other `|X| − 1`
+//! elements. This is the shared engine of both sublinear backends.
+
+use crate::error::SketchError;
+use pmw_core::update::dual_certificate_at;
+use pmw_losses::CmLoss;
+use std::rc::Rc;
+
+/// One recorded Figure-3 round: the data needed to re-evaluate that
+/// round's payoff `u_r(x)` at any point later.
+pub struct RoundUpdate {
+    loss: Rc<dyn CmLoss>,
+    theta_oracle: Vec<f64>,
+    theta_hyp: Vec<f64>,
+    eta: f64,
+}
+
+impl RoundUpdate {
+    /// Bundle a round's parameters, validating dimensions against the loss.
+    pub fn new(
+        loss: Rc<dyn CmLoss>,
+        theta_oracle: Vec<f64>,
+        theta_hyp: Vec<f64>,
+        eta: f64,
+    ) -> Result<Self, SketchError> {
+        let d = loss.dim();
+        if theta_oracle.len() != d {
+            return Err(SketchError::DimensionMismatch {
+                got: theta_oracle.len(),
+                expected: d,
+            });
+        }
+        if theta_hyp.len() != d {
+            return Err(SketchError::DimensionMismatch {
+                got: theta_hyp.len(),
+                expected: d,
+            });
+        }
+        if !eta.is_finite() || eta < 0.0 {
+            return Err(SketchError::InvalidParameter("eta must be finite and >= 0"));
+        }
+        if theta_oracle
+            .iter()
+            .chain(&theta_hyp)
+            .any(|v| !v.is_finite())
+        {
+            return Err(SketchError::NonFinite("theta must be finite"));
+        }
+        Ok(Self {
+            loss,
+            theta_oracle,
+            theta_hyp,
+            eta,
+        })
+    }
+
+    /// [`RoundUpdate::new`] from a borrowed loss, retained through
+    /// [`CmLoss::clone_shared`]. Errors when the loss cannot be retained.
+    pub fn from_dyn(
+        loss: &dyn CmLoss,
+        theta_oracle: &[f64],
+        theta_hyp: &[f64],
+        eta: f64,
+    ) -> Result<Self, SketchError> {
+        let shared = loss.clone_shared().ok_or(SketchError::UnsupportedLoss(
+            "loss does not support clone_shared retention",
+        ))?;
+        Self::new(shared, theta_oracle.to_vec(), theta_hyp.to_vec(), eta)
+    }
+
+    /// The round's loss.
+    pub fn loss(&self) -> &dyn CmLoss {
+        self.loss.as_ref()
+    }
+
+    /// The step size `η_r`.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// The round's scale bound `S_r` (payoffs are clamped to `[−S_r, S_r]`).
+    pub fn scale(&self) -> f64 {
+        self.loss.scale_bound()
+    }
+
+    /// The payoff `u_r(x)` at one point, clamped exactly as the dense sweep
+    /// clamps ([`dual_certificate_at`]). `grad_buf` is resized as needed.
+    pub fn payoff(&self, point: &[f64], grad_buf: &mut Vec<f64>) -> Result<f64, SketchError> {
+        grad_buf.resize(self.loss.dim(), 0.0);
+        dual_certificate_at(
+            self.loss.as_ref(),
+            point,
+            &self.theta_oracle,
+            &self.theta_hyp,
+            grad_buf,
+        )
+        .map_err(|_| SketchError::NonFinite("certificate payoff"))
+    }
+}
+
+impl std::fmt::Debug for RoundUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundUpdate")
+            .field("loss", &self.loss.name())
+            .field("eta", &self.eta)
+            .field("dim", &self.loss.dim())
+            .finish()
+    }
+}
+
+/// The lazily evaluated MW state: uniform prior (`log w ≡ 0`) plus the
+/// recorded rounds.
+#[derive(Debug, Default)]
+pub struct UpdateLog {
+    rounds: Vec<RoundUpdate>,
+    /// `Σ_r η_r·S_r` — every log-weight lies in `[−drift, +drift]`, the
+    /// computable envelope the sketched estimates' concentration bounds
+    /// are built from.
+    drift: f64,
+}
+
+impl UpdateLog {
+    /// Empty log (the uniform hypothesis `D̂_1`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one round. `point_dim` consistency with earlier rounds is the
+    /// caller's contract (the backends validate against their source).
+    pub fn push(&mut self, update: RoundUpdate) {
+        self.drift += update.eta() * update.scale();
+        self.rounds.push(update);
+    }
+
+    /// Number of recorded rounds `t`.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True when no rounds are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The recorded rounds, oldest first.
+    pub fn rounds(&self) -> &[RoundUpdate] {
+        &self.rounds
+    }
+
+    /// The drift envelope `Σ_r η_r·S_r`: `|log w(x)| ≤ drift` for every `x`.
+    pub fn drift_bound(&self) -> f64 {
+        self.drift
+    }
+
+    /// The unnormalized log-weight `log w(x) = −Σ_r η_r·u_r(x)` of one
+    /// point — `O(t·d)`, no `|X|`-sized anything.
+    pub fn log_weight_at(
+        &self,
+        point: &[f64],
+        grad_buf: &mut Vec<f64>,
+    ) -> Result<f64, SketchError> {
+        let mut lw = 0.0;
+        for round in &self.rounds {
+            lw -= round.eta() * round.payoff(point, grad_buf)?;
+        }
+        Ok(lw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmw_losses::{LinearQueryLoss, PointPredicate, SquaredLoss};
+
+    fn lq(bit: usize, dim: usize) -> Rc<dyn CmLoss> {
+        Rc::new(
+            LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![bit] }, dim).unwrap(),
+        )
+    }
+
+    #[test]
+    fn round_update_validates() {
+        let loss = lq(0, 3);
+        assert!(RoundUpdate::new(loss.clone(), vec![0.2], vec![0.1], 0.5).is_ok());
+        assert!(RoundUpdate::new(loss.clone(), vec![0.2, 0.1], vec![0.1], 0.5).is_err());
+        assert!(RoundUpdate::new(loss.clone(), vec![0.2], vec![0.1, 0.0], 0.5).is_err());
+        assert!(RoundUpdate::new(loss.clone(), vec![0.2], vec![0.1], f64::NAN).is_err());
+        assert!(RoundUpdate::new(loss.clone(), vec![0.2], vec![0.1], -1.0).is_err());
+        assert!(RoundUpdate::new(loss, vec![f64::NAN], vec![0.1], 0.5).is_err());
+    }
+
+    #[test]
+    fn from_dyn_retains_concrete_losses() {
+        let loss = SquaredLoss::new(2).unwrap();
+        let u = RoundUpdate::from_dyn(&loss, &[0.1, 0.2], &[0.0, 0.0], 0.3).unwrap();
+        assert_eq!(u.loss().dim(), 2);
+        assert!((u.eta() - 0.3).abs() < 1e-15);
+        assert!(format!("{u:?}").contains("eta"));
+    }
+
+    #[test]
+    fn log_weight_is_minus_sum_of_scaled_payoffs() {
+        // Linear query on bit 0 of a 2-bit cube: payoff at x is
+        // (theta_o - theta_h) * grad l_x(theta_h); for the quadratic
+        // linear-query encoding grad = theta_h - q(x).
+        let mut log = UpdateLog::new();
+        assert!(log.is_empty());
+        log.push(RoundUpdate::new(lq(0, 2), vec![0.9], vec![0.5], 0.8).unwrap());
+        log.push(RoundUpdate::new(lq(1, 2), vec![0.2], vec![0.4], 0.6).unwrap());
+        assert_eq!(log.len(), 2);
+
+        let mut grad = Vec::new();
+        // Point [1, 0]: q0 = 1, q1 = 0.
+        let lw = log.log_weight_at(&[1.0, 0.0], &mut grad).unwrap();
+        let u1 = (0.9 - 0.5) * (0.5 - 1.0);
+        let u2 = (0.2 - 0.4) * (0.4 - 0.0);
+        let expect = -(0.8 * u1 + 0.6 * u2);
+        assert!((lw - expect).abs() < 1e-12, "{lw} vs {expect}");
+
+        // Drift envelope bounds every log-weight.
+        let s1 = log.rounds()[0].scale();
+        let s2 = log.rounds()[1].scale();
+        assert!((log.drift_bound() - (0.8 * s1 + 0.6 * s2)).abs() < 1e-12);
+        assert!(lw.abs() <= log.drift_bound() + 1e-12);
+    }
+}

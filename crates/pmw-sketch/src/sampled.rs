@@ -1,0 +1,665 @@
+//! [`SampledBackend`]: the Monte-Carlo sketch of the MW state — per-round
+//! cost independent of `|X|`.
+//!
+//! The backend keeps a **pool** of `m` universe indices drawn uniformly
+//! (i.i.d., with replacement) at construction, their points cached in one
+//! flat matrix, and their unnormalized log-weights maintained
+//! *incrementally*: recording a round updates `m` cached values in
+//! `O(m·d)` — not `O(|X|)`, and not even `O(m·t)`, because the log-weight
+//! of a pooled point never has to be recomputed from the log.
+//!
+//! Reads are importance-sampling estimates against the uniform proposal:
+//!
+//! * **certificate means** `⟨u, D̂_t⟩` via self-normalized importance
+//!   sampling, with a computable concentration radius built from the
+//!   update log's drift envelope (`|log w(x)| ≤ Σ_t η_t·S_t`, so
+//!   `w(x) ∈ [e^{−c}, e^{c}]` and Hoeffding applies to both the numerator
+//!   and the normalizer);
+//! * **max payoffs** `max_x u_t(x)` as the pool maximum plus the quantile
+//!   coverage bound `(1−q)^m ≤ β` — the returned value misses at most a
+//!   `q = ln(1/β)/m` *uniform-mass* fraction of the universe, with
+//!   probability `≥ 1 − β`;
+//! * **samples** from `D̂_t` by Gumbel-max over the cached pool
+//!   log-weights (exact for the pool-conditioned distribution; exact for
+//!   `D̂_t` itself when the pool is exhaustive).
+//!
+//! When `budget ≥ |X|` the pool silently becomes the whole universe
+//! (each index once) and every "estimate" is exact with radius 0 — which is
+//! also how the backend plugs into [`OnlinePmw`](pmw_core::OnlinePmw) as a
+//! drop-in replacement for the dense backend in tests.
+//!
+//! Every estimate's claimed bound is recorded in a
+//! [`SamplingAccountant`] ledger, alongside — not inside — the privacy
+//! accountant: sampling public state is free in privacy but not in
+//! accuracy.
+
+use crate::error::SketchError;
+use crate::log::{RoundUpdate, UpdateLog};
+use crate::source::PointSource;
+use pmw_core::update::dual_certificate_at;
+use pmw_core::{PmwError, StateBackend};
+use pmw_data::{gumbel_max_index, Histogram, PointMatrix};
+use pmw_dp::{hoeffding_radius, uncovered_mass_bound, SamplingAccountant};
+use pmw_losses::traits::minimize_weighted;
+use pmw_losses::CmLoss;
+use rand::{Rng, RngExt};
+use std::cell::{Ref, RefCell};
+
+/// Configuration of the Monte-Carlo sketch.
+#[derive(Debug, Clone, Copy)]
+pub struct SampledConfig {
+    /// Pool size `m` (Monte-Carlo sample budget). Budgets at or above the
+    /// universe size degrade gracefully to exhaustive (exact) state.
+    pub budget: usize,
+    /// Per-estimate failure probability of the claimed confidence bounds.
+    pub beta: f64,
+}
+
+impl Default for SampledConfig {
+    fn default() -> Self {
+        Self {
+            budget: 1024,
+            beta: 1e-6,
+        }
+    }
+}
+
+/// A sketched mean estimate with its claimed confidence radius: the true
+/// value lies within `value ± radius` except with probability `beta`
+/// (radius 0 and beta 0 when the pool is exhaustive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Self-normalized importance-sampling estimate.
+    pub value: f64,
+    /// Claimed deviation bound (may be `f64::INFINITY` when the drift
+    /// envelope is too loose to certify anything).
+    pub radius: f64,
+    /// Failure probability of the claim.
+    pub beta: f64,
+}
+
+/// A sketched maximum: `value` is the exact maximum over the pool, and the
+/// universe's uniform-mass fraction with payoffs above `value` is at most
+/// `uncovered_mass`, except with probability `beta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxEstimate {
+    /// Maximum payoff over the pool (a lower bound on the true maximum).
+    pub value: f64,
+    /// Uniform-mass fraction possibly exceeding `value`.
+    pub uncovered_mass: f64,
+    /// Failure probability of the coverage claim.
+    pub beta: f64,
+}
+
+/// Monte-Carlo sketched MW state over a [`PointSource`].
+#[derive(Debug)]
+pub struct SampledBackend<S: PointSource> {
+    source: S,
+    config: SampledConfig,
+    log: UpdateLog,
+    pool_indices: Vec<usize>,
+    pool_points: PointMatrix,
+    pool_log_w: Vec<f64>,
+    exhaustive: bool,
+    /// (point, gradient) scratch buffers; `RefCell` because reads are
+    /// logically `&self`.
+    bufs: RefCell<(Vec<f64>, Vec<f64>)>,
+    ledger: RefCell<SamplingAccountant>,
+}
+
+impl<S: PointSource> SampledBackend<S> {
+    /// Draw the pool and cache its points. Consumes `min(budget, |X|)`
+    /// uniform index draws from `rng` (none when exhaustive).
+    pub fn new(source: S, config: SampledConfig, rng: &mut dyn Rng) -> Result<Self, SketchError> {
+        if source.is_empty() {
+            return Err(SketchError::EmptyUniverse);
+        }
+        if config.budget == 0 {
+            return Err(SketchError::InvalidParameter("budget must be >= 1"));
+        }
+        if !(config.beta > 0.0 && config.beta < 1.0) {
+            return Err(SketchError::InvalidParameter("beta must be in (0, 1)"));
+        }
+        let n = source.len();
+        let exhaustive = config.budget >= n;
+        let pool_indices: Vec<usize> = if exhaustive {
+            (0..n).collect()
+        } else {
+            (0..config.budget).map(|_| rng.random_range(0..n)).collect()
+        };
+        let dim = source.dim();
+        let mut flat = vec![0.0; pool_indices.len() * dim];
+        for (row, &idx) in flat.chunks_exact_mut(dim).zip(&pool_indices) {
+            source.write_point(idx, row);
+        }
+        let pool_points = PointMatrix::from_flat(flat, dim)
+            .map_err(|_| SketchError::NonFinite("point source produced invalid points"))?;
+        let pool_log_w = vec![0.0; pool_indices.len()];
+        Ok(Self {
+            source,
+            config,
+            log: UpdateLog::new(),
+            pool_indices,
+            pool_points,
+            pool_log_w,
+            exhaustive,
+            bufs: RefCell::new((vec![0.0; dim], Vec::new())),
+            ledger: RefCell::new(SamplingAccountant::new()),
+        })
+    }
+
+    /// Universe size `|X|` (not the pool size).
+    pub fn universe_size(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Pool size `m` (`min(budget, |X|)`).
+    pub fn pool_size(&self) -> usize {
+        self.pool_indices.len()
+    }
+
+    /// True when the pool enumerates the whole universe (exact mode).
+    pub fn is_exhaustive(&self) -> bool {
+        self.exhaustive
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The retained update log.
+    pub fn log(&self) -> &UpdateLog {
+        &self.log
+    }
+
+    /// The sampling-noise ledger: one entry per estimate issued.
+    pub fn ledger(&self) -> Ref<'_, SamplingAccountant> {
+        self.ledger.borrow()
+    }
+
+    /// Record one MW round: `O(m·d)` — update every cached pool log-weight,
+    /// then retain the round in the log.
+    pub fn record(&mut self, update: RoundUpdate) -> Result<(), SketchError> {
+        if update.loss().point_dim() != self.source.dim() {
+            return Err(SketchError::DimensionMismatch {
+                got: update.loss().point_dim(),
+                expected: self.source.dim(),
+            });
+        }
+        // Two passes (evaluate, then apply) so a failed evaluation leaves
+        // the pool untouched.
+        let mut grad = Vec::new();
+        let mut payoffs = Vec::with_capacity(self.pool_log_w.len());
+        for point in self.pool_points.iter() {
+            payoffs.push(update.payoff(point, &mut grad)?);
+        }
+        let eta = update.eta();
+        for (lw, u) in self.pool_log_w.iter_mut().zip(&payoffs) {
+            *lw -= eta * u;
+        }
+        self.log.push(update);
+        Ok(())
+    }
+
+    /// [`SampledBackend::record`] from a borrowed loss (retained through
+    /// [`CmLoss::clone_shared`]).
+    pub fn record_borrowed(
+        &mut self,
+        loss: &dyn CmLoss,
+        theta_oracle: &[f64],
+        theta_hyp: &[f64],
+        eta: f64,
+    ) -> Result<(), SketchError> {
+        self.record(RoundUpdate::from_dyn(loss, theta_oracle, theta_hyp, eta)?)
+    }
+
+    /// Normalized self-normalized-importance-sampling weights of the pool
+    /// (softmax of the cached log-weights) plus the shifted normalizer
+    /// mean `B̂' = (1/m)Σ exp(log w_i − shift)` and the shift itself.
+    fn snis(&self) -> (Vec<f64>, f64, f64) {
+        let shift = self
+            .pool_log_w
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let mut w: Vec<f64> = self
+            .pool_log_w
+            .iter()
+            .map(|&lw| (lw - shift).exp())
+            .collect();
+        let total: f64 = w.iter().sum();
+        debug_assert!(total > 0.0 && total.is_finite());
+        let mean_shifted = total / w.len() as f64;
+        for v in &mut w {
+            *v /= total;
+        }
+        (w, mean_shifted, shift)
+    }
+
+    /// Self-normalized importance-sampling estimate of
+    /// `⟨f, D̂_t⟩ = Σ_x D̂_t(x)·f(x)` for a per-point function bounded by
+    /// `|f| ≤ scale`, with its concentration radius.
+    fn estimate_mean(
+        &self,
+        label: &'static str,
+        scale: f64,
+        mut f: impl FnMut(&[f64]) -> Result<f64, SketchError>,
+    ) -> Result<Estimate, SketchError> {
+        let (w, mean_shifted, shift) = self.snis();
+        let mut value = 0.0;
+        for (point, wi) in self.pool_points.iter().zip(&w) {
+            if *wi > 0.0 {
+                value += wi * f(point)?;
+            }
+        }
+        let (radius, beta) = if self.exhaustive {
+            (0.0, 0.0)
+        } else {
+            let m = self.pool_size();
+            let beta = self.config.beta;
+            let c = self.log.drift_bound();
+            // w(x) ∈ [e^{−c}, e^{c}]: Hoeffding on the numerator mean
+            // (range 2·scale·e^c) and the normalizer mean (range ≤ e^c),
+            // each at β/2, combined through the standard ratio bound
+            // (ε_A + scale·ε_B) / B̂ with B̂ = e^shift·B̂'.
+            let radius = match (
+                hoeffding_radius(2.0 * scale.max(f64::MIN_POSITIVE), m, beta / 2.0),
+                hoeffding_radius(1.0, m, beta / 2.0),
+            ) {
+                (Ok(ha), Ok(hb)) => {
+                    let scale_up = (c - shift).exp(); // e^c / e^shift
+                    (ha * scale_up + scale * hb * scale_up) / mean_shifted
+                }
+                _ => f64::INFINITY,
+            };
+            (radius, beta)
+        };
+        self.ledger
+            .borrow_mut()
+            .record(label, self.pool_size(), radius, beta);
+        Ok(Estimate {
+            value,
+            radius,
+            beta,
+        })
+    }
+
+    /// Estimate the certificate expectation `⟨u, D̂_t⟩` for the payoff
+    /// `u(x) = ⟨θ_oracle − θ_hyp, ∇ℓ_x(θ_hyp)⟩` (clamped to `±S`), with a
+    /// concentration radius at the configured `beta`.
+    pub fn certificate_mean(
+        &self,
+        loss: &dyn CmLoss,
+        theta_oracle: &[f64],
+        theta_hyp: &[f64],
+    ) -> Result<Estimate, SketchError> {
+        if loss.point_dim() != self.source.dim() {
+            return Err(SketchError::DimensionMismatch {
+                got: loss.point_dim(),
+                expected: self.source.dim(),
+            });
+        }
+        let scale = loss.scale_bound();
+        let mut grad = vec![0.0; loss.dim()];
+        self.estimate_mean("certificate-mean", scale, |point| {
+            dual_certificate_at(loss, point, theta_oracle, theta_hyp, &mut grad)
+                .map_err(|_| SketchError::NonFinite("certificate payoff"))
+        })
+    }
+
+    /// Sketch of `max_x u(x)`: the exact maximum over the pool, plus the
+    /// uniform-mass coverage bound (see the module docs). Exhaustive pools
+    /// return the true maximum with `uncovered_mass = 0`.
+    pub fn max_payoff(
+        &self,
+        loss: &dyn CmLoss,
+        theta_oracle: &[f64],
+        theta_hyp: &[f64],
+    ) -> Result<MaxEstimate, SketchError> {
+        if loss.point_dim() != self.source.dim() {
+            return Err(SketchError::DimensionMismatch {
+                got: loss.point_dim(),
+                expected: self.source.dim(),
+            });
+        }
+        let mut grad = vec![0.0; loss.dim()];
+        let mut value = f64::NEG_INFINITY;
+        for point in self.pool_points.iter() {
+            let u = dual_certificate_at(loss, point, theta_oracle, theta_hyp, &mut grad)
+                .map_err(|_| SketchError::NonFinite("certificate payoff"))?;
+            value = value.max(u);
+        }
+        let (uncovered, beta) = if self.exhaustive {
+            (0.0, 0.0)
+        } else {
+            let beta = self.config.beta;
+            (
+                uncovered_mass_bound(self.pool_size(), beta)
+                    .map_err(|_| SketchError::InvalidParameter("beta"))?,
+                beta,
+            )
+        };
+        self.ledger
+            .borrow_mut()
+            .record("max-payoff", self.pool_size(), uncovered, beta);
+        Ok(MaxEstimate {
+            value,
+            uncovered_mass: uncovered,
+            beta,
+        })
+    }
+
+    /// Draw one universe index from the sketched `D̂_t` via Gumbel-max over
+    /// the cached pool log-weights — exact for `D̂_t` conditioned on the
+    /// pool (exact for `D̂_t` itself when exhaustive). `O(m)`.
+    pub fn sample_index(&self, rng: &mut dyn Rng) -> usize {
+        let slot = gumbel_max_index(self.pool_log_w.as_slice(), rng);
+        self.pool_indices[slot]
+    }
+
+    /// Exact unnormalized log-weight of any universe element, re-evaluated
+    /// from the retained log — `O(t·d)`, used for spot checks and pool
+    /// refreshes; the pooled fast path never calls this.
+    pub fn log_weight_of(&self, x: usize) -> Result<f64, SketchError> {
+        let mut bufs = self.bufs.borrow_mut();
+        let (point, grad) = &mut *bufs;
+        self.source.write_point(x, point);
+        self.log.log_weight_at(point, grad)
+    }
+}
+
+impl<S: PointSource> StateBackend for SampledBackend<S> {
+    fn universe_size(&self) -> usize {
+        self.source.len()
+    }
+
+    fn updates_recorded(&self) -> usize {
+        self.log.len()
+    }
+
+    fn hypothesis_minimizer(
+        &self,
+        loss: &dyn CmLoss,
+        _points: &PointMatrix,
+        solver_iters: usize,
+        _rng: &mut dyn Rng,
+    ) -> Result<Vec<f64>, PmwError> {
+        if loss.point_dim() != self.source.dim() {
+            return Err(PmwError::LossMismatch(
+                "loss point dimension does not match point source",
+            ));
+        }
+        // Minimize over the pooled empirical hypothesis: SNIS weights on
+        // cached pool points. Exhaustive pools make this the exact dense
+        // solve.
+        let (weights, _, _) = self.snis();
+        Ok(minimize_weighted(
+            loss,
+            &self.pool_points,
+            &weights,
+            solver_iters,
+        )?)
+    }
+
+    fn apply_update(
+        &mut self,
+        loss: &dyn CmLoss,
+        retained: Option<std::rc::Rc<dyn CmLoss>>,
+        points: &PointMatrix,
+        theta_oracle: &[f64],
+        theta_hyp: &[f64],
+        eta: f64,
+        gap_weights: Option<&[f64]>,
+        _rng: &mut dyn Rng,
+    ) -> Result<Option<f64>, PmwError> {
+        // Diagnostics gap (pre-update, like the dense backend): sketched
+        // hypothesis side, exact data side over the nonzero data weights.
+        let gap = match gap_weights {
+            Some(data_w) => {
+                let u_hyp = self.certificate_mean(loss, theta_oracle, theta_hyp)?.value;
+                let mut grad = vec![0.0; loss.dim()];
+                let mut u_data = 0.0;
+                for (x, &w) in points.iter().zip(data_w) {
+                    if w > 0.0 {
+                        u_data +=
+                            w * dual_certificate_at(loss, x, theta_oracle, theta_hyp, &mut grad)?;
+                    }
+                }
+                Some(u_hyp - u_data)
+            }
+            None => None,
+        };
+        // Reuse the caller's owned handle (one clone per round, made
+        // before any budget was spent); fall back to cloning here only
+        // when driven without one.
+        let update = match retained {
+            Some(shared) => {
+                RoundUpdate::new(shared, theta_oracle.to_vec(), theta_hyp.to_vec(), eta)?
+            }
+            None => RoundUpdate::from_dyn(loss, theta_oracle, theta_hyp, eta)?,
+        };
+        self.record(update)?;
+        Ok(gap)
+    }
+
+    fn sample_indices(&self, m: usize, rng: &mut dyn Rng) -> Result<Vec<usize>, PmwError> {
+        Ok((0..m).map(|_| self.sample_index(rng)).collect())
+    }
+
+    fn dense_hypothesis(&self) -> Option<&Histogram> {
+        None
+    }
+
+    fn requires_shared_loss(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::UniversePoints;
+    use pmw_core::update::dual_certificate;
+    use pmw_data::{BooleanCube, Universe};
+    use pmw_losses::{LinearQueryLoss, PointPredicate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::rc::Rc;
+
+    fn bit_loss(bit: usize, dim: usize) -> LinearQueryLoss {
+        LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![bit] }, dim).unwrap()
+    }
+
+    fn driven_pair(
+        dim: usize,
+        budget: usize,
+        seed: u64,
+    ) -> (
+        SampledBackend<UniversePoints<BooleanCube>>,
+        Histogram,
+        PointMatrix,
+    ) {
+        let cube = BooleanCube::new(dim).unwrap();
+        let points = cube.materialize();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sketch = SampledBackend::new(
+            UniversePoints(cube.clone()),
+            SampledConfig { budget, beta: 1e-6 },
+            &mut rng,
+        )
+        .unwrap();
+        let mut dense = Histogram::uniform(cube.size()).unwrap();
+        let steps = [
+            (0usize, 0.9, 0.4, 0.7),
+            (1, 0.2, 0.6, 0.5),
+            (2, 0.7, 0.3, 0.9),
+        ];
+        for &(bit, t_o, t_h, eta) in &steps {
+            let loss = bit_loss(bit, dim);
+            let u = dual_certificate(&loss, &points, &[t_o], &[t_h]).unwrap();
+            dense.mw_update(&u, eta).unwrap();
+            sketch
+                .record(
+                    RoundUpdate::new(Rc::new(loss) as Rc<dyn CmLoss>, vec![t_o], vec![t_h], eta)
+                        .unwrap(),
+                )
+                .unwrap();
+        }
+        (sketch, dense, points)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let cube = BooleanCube::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(SampledBackend::new(
+            UniversePoints(cube.clone()),
+            SampledConfig {
+                budget: 0,
+                beta: 0.5
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(SampledBackend::new(
+            UniversePoints(cube.clone()),
+            SampledConfig {
+                budget: 4,
+                beta: 0.0
+            },
+            &mut rng
+        )
+        .is_err());
+        let b = SampledBackend::new(
+            UniversePoints(cube),
+            SampledConfig {
+                budget: 100,
+                beta: 0.5,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        // Budget over |X| = 8 degrades to exhaustive.
+        assert!(b.is_exhaustive());
+        assert_eq!(b.pool_size(), 8);
+        assert_eq!(b.universe_size(), 8);
+    }
+
+    #[test]
+    fn exhaustive_pool_is_exact() {
+        let (sketch, dense, _) = driven_pair(4, usize::MAX, 2);
+        assert!(sketch.is_exhaustive());
+        let loss = bit_loss(0, 4);
+        let (t_o, t_h) = ([0.8], [0.2]);
+        let est = sketch.certificate_mean(&loss, &t_o, &t_h).unwrap();
+        assert_eq!(est.radius, 0.0);
+        assert_eq!(est.beta, 0.0);
+        // Exact expectation under the dense hypothesis.
+        let u = dual_certificate(&loss, &dense_points(4), &t_o, &t_h).unwrap();
+        let exact: f64 = dense.weights().iter().zip(&u).map(|(w, v)| w * v).sum();
+        assert!(
+            (est.value - exact).abs() < 1e-12,
+            "{} vs {exact}",
+            est.value
+        );
+
+        // Max over an exhaustive pool is the true max with zero slack.
+        let max = sketch.max_payoff(&loss, &t_o, &t_h).unwrap();
+        let true_max = u.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((max.value - true_max).abs() < 1e-12);
+        assert_eq!(max.uncovered_mass, 0.0);
+        // Ledger saw both estimates.
+        assert_eq!(sketch.ledger().len(), 2);
+    }
+
+    fn dense_points(dim: usize) -> PointMatrix {
+        BooleanCube::new(dim).unwrap().materialize()
+    }
+
+    #[test]
+    fn sampled_estimate_stays_within_claimed_radius() {
+        // Sub-universe budget: the SNIS estimate must land within its own
+        // claimed radius of the exact value (the claim fails with
+        // probability 1e-6; the seed is fixed, so this is deterministic).
+        let (sketch, dense, points) = driven_pair(10, 256, 3);
+        assert!(!sketch.is_exhaustive());
+        let loss = bit_loss(3, 10);
+        let (t_o, t_h) = ([0.9], [0.1]);
+        let est = sketch.certificate_mean(&loss, &t_o, &t_h).unwrap();
+        let u = dual_certificate(&loss, &points, &t_o, &t_h).unwrap();
+        let exact: f64 = dense.weights().iter().zip(&u).map(|(w, v)| w * v).sum();
+        assert!(est.radius.is_finite() && est.radius > 0.0);
+        assert!(
+            (est.value - exact).abs() <= est.radius,
+            "estimate {} vs exact {exact}, radius {}",
+            est.value,
+            est.radius
+        );
+
+        // The sampled max never exceeds the true max.
+        let max = sketch.max_payoff(&loss, &t_o, &t_h).unwrap();
+        let true_max = u.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max.value <= true_max + 1e-12);
+        assert!(max.uncovered_mass > 0.0 && max.uncovered_mass < 0.1);
+    }
+
+    #[test]
+    fn pool_log_weights_match_exact_log_lookups() {
+        // The incrementally maintained pool cache must agree with the
+        // O(t·d) from-scratch evaluation of the same indices.
+        let (sketch, _, _) = driven_pair(8, 64, 4);
+        for (slot, &idx) in sketch.pool_indices.iter().enumerate() {
+            let exact = sketch.log_weight_of(idx).unwrap();
+            assert!(
+                (sketch.pool_log_w[slot] - exact).abs() < 1e-12,
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_sampling_matches_dense_masses() {
+        let (sketch, dense, _) = driven_pair(3, usize::MAX, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 20_000;
+        let mut counts = [0usize; 8];
+        for _ in 0..n {
+            counts[sketch.sample_index(&mut rng)] += 1;
+        }
+        for (x, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - dense.mass(x)).abs() < 0.02,
+                "x={x}: {freq} vs {}",
+                dense.mass(x)
+            );
+        }
+    }
+
+    #[test]
+    fn record_validates_dimension() {
+        let cube = BooleanCube::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sketch =
+            SampledBackend::new(UniversePoints(cube), SampledConfig::default(), &mut rng).unwrap();
+        let wrong = RoundUpdate::new(
+            Rc::new(bit_loss(0, 5)) as Rc<dyn CmLoss>,
+            vec![0.5],
+            vec![0.2],
+            0.1,
+        )
+        .unwrap();
+        assert!(sketch.record(wrong).is_err());
+        assert_eq!(sketch.rounds(), 0);
+        let ok = RoundUpdate::new(
+            Rc::new(bit_loss(1, 3)) as Rc<dyn CmLoss>,
+            vec![0.5],
+            vec![0.2],
+            0.1,
+        )
+        .unwrap();
+        sketch.record(ok).unwrap();
+        assert_eq!(sketch.rounds(), 1);
+        assert!((sketch.log().drift_bound() - 0.1).abs() < 1e-12);
+    }
+}

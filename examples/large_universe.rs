@@ -1,0 +1,105 @@
+//! Maintaining the PMW hypothesis over a universe of 16.7 million points.
+//!
+//! The dense Figure-3 state pays Θ(|X|) per round — a certificate sweep,
+//! an MW update and a weights read over every universe element — which at
+//! `|X| = 2^24` means hundreds of milliseconds per round and gigabytes of
+//! materialized points. The `pmw-sketch` [`SampledBackend`] keeps a
+//! 2048-point Monte-Carlo pool instead: each round touches the pool, not
+//! the universe, so the cost is flat in `|X|`.
+//!
+//! Run with `cargo run --release --example large_universe`.
+
+use pmw::losses::{CmLoss, LinearQueryLoss, PointPredicate};
+use pmw::sketch::{BigBitCube, RoundUpdate, SampledBackend, SampledConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::rc::Rc;
+use std::time::Instant;
+
+fn main() {
+    let bits = 24usize;
+    let rounds = 50usize;
+    let budget = 2048usize;
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A universe the dense path cannot materialize on one box:
+    // 2^24 points x 24 coordinates x 8 bytes = 3.2 GB for the matrix alone.
+    let source = BigBitCube::new(bits).expect("cube source");
+    let mut backend = SampledBackend::new(source, SampledConfig { budget, beta: 1e-6 }, &mut rng)
+        .expect("sampled backend");
+    println!(
+        "universe |X| = 2^{bits} = {} points; pool = {} samples",
+        1u64 << bits,
+        backend.pool_size()
+    );
+
+    // Dense reference: measure the Θ(|X|) round at a feasible size (2^14)
+    // and extrapolate ns/element to 2^24.
+    let dense_ns_per_elem = {
+        let cube = pmw::data::BooleanCube::new(14).expect("small cube");
+        let points = pmw::data::Universe::materialize(&cube);
+        let mut hist = pmw::data::Histogram::uniform(1 << 14).expect("histogram");
+        let loss = LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, 14)
+            .expect("loss");
+        let reps = 12;
+        let start = Instant::now();
+        for _ in 0..reps {
+            let u = pmw::core::update::dual_certificate(&loss, &points, &[0.8], &[0.2])
+                .expect("certificate");
+            hist.mw_update(&u, 0.05).expect("update");
+            std::hint::black_box(hist.weights());
+        }
+        start.elapsed().as_nanos() as f64 / reps as f64 / (1 << 14) as f64
+    };
+
+    // Drive 50 sketched rounds: record an update, estimate the certificate
+    // mean, draw a few synthetic points.
+    let start = Instant::now();
+    for t in 0..rounds {
+        let loss = LinearQueryLoss::new(
+            PointPredicate::Conjunction {
+                coords: vec![t % bits],
+            },
+            bits,
+        )
+        .expect("loss");
+        let (theta_o, theta_h) = ([rng.random::<f64>()], [rng.random::<f64>()]);
+        let eta = 0.4 / ((t + 1) as f64).sqrt();
+        backend
+            .record(
+                RoundUpdate::new(
+                    Rc::new(loss.clone()) as Rc<dyn CmLoss>,
+                    theta_o.to_vec(),
+                    theta_h.to_vec(),
+                    eta,
+                )
+                .expect("round"),
+            )
+            .expect("record");
+        let est = backend
+            .certificate_mean(&loss, &theta_o, &theta_h)
+            .expect("estimate");
+        let _synthetic: Vec<usize> = (0..4).map(|_| backend.sample_index(&mut rng)).collect();
+        if t % 10 == 0 {
+            println!(
+                "round {t:>2}: certificate mean estimate {:+.4} (radius {:.3})",
+                est.value, est.radius
+            );
+        }
+    }
+    let per_round_us = start.elapsed().as_nanos() as f64 / rounds as f64 / 1e3;
+
+    let dense_extrapolated_us = dense_ns_per_elem * (1u64 << bits) as f64 / 1e3;
+    println!();
+    println!("measured sketched round:      {per_round_us:>12.1} us");
+    println!(
+        "dense extrapolation at 2^{bits}: {dense_extrapolated_us:>12.1} us \
+         ({dense_ns_per_elem:.2} ns/elem measured at 2^14)"
+    );
+    println!(
+        "sketch advantage:             {:>12.0}x  ({} rounds, {} sampling-ledger entries)",
+        dense_extrapolated_us / per_round_us,
+        backend.rounds(),
+        backend.ledger().len()
+    );
+}

@@ -17,6 +17,8 @@
 //!   composition baselines, and the theory formulas (§3, §4)
 //! * [`attacks`] — reconstruction attacks and empirical ε audits (§1.2, \[KRS13\])
 //! * [`adaptive`] — adaptive data analysis harness (§1.3)
+//! * [`sketch`] — sublinear-time state backends (lazy update logs,
+//!   Monte-Carlo pools) that break the §4.3 Θ(|X|)-per-round wall
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use pmw_data as data;
 pub use pmw_dp as dp;
 pub use pmw_erm as erm;
 pub use pmw_losses as losses;
+pub use pmw_sketch as sketch;
 
 /// The most commonly used items, importable with `use pmw::prelude::*`.
 pub mod prelude {
@@ -62,7 +65,8 @@ pub mod prelude {
     pub use pmw_attacks::{EpsilonAudit, ReconstructionAttack};
     pub use pmw_convex::{Domain, SolverConfig};
     pub use pmw_core::{
-        CompositionMechanism, LinearPmw, Mwem, OfflinePmw, OnlinePmw, PmwConfig, Transcript,
+        CompositionMechanism, DenseBackend, LinearPmw, Mwem, OfflinePmw, OnlinePmw, PmwConfig,
+        StateBackend, Transcript,
     };
     pub use pmw_data::{
         BooleanCube, Dataset, EnumeratedUniverse, GridUniverse, Histogram, LabeledGridUniverse,
@@ -74,4 +78,5 @@ pub mod prelude {
         CmLoss, GlmLoss, HingeLoss, HuberLoss, L2Regularized, LinearQueryLoss, LogisticLoss,
         SquaredLoss,
     };
+    pub use pmw_sketch::{LazyLogBackend, SampledBackend, SampledConfig};
 }

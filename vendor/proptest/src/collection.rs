@@ -4,7 +4,7 @@ use crate::test_runner::TestRng;
 use crate::Strategy;
 use std::ops::Range;
 
-/// Accepted sizes for [`vec`]: a fixed length or a half-open range.
+/// Accepted sizes for [`vec()`]: a fixed length or a half-open range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -36,7 +36,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
