@@ -20,13 +20,21 @@
 //! to the concentration radius the sketch claimed: the accuracy/speed
 //! trade-off, quantified.
 //!
+//! On top of the backend axis, a **mechanism axis** drives the complete
+//! Figure-3 `answer` loop through `OnlinePmw::with_point_source` (row-based
+//! data side over the dataset's support, `SampledBackend` state, no
+//! universe materialization) at every size — the per-answer cost is flat
+//! in `|X|`, which is the whole-mechanism sublinearity claim.
+//!
 //! Writes `BENCH_sublinear.json`. Pass `--smoke` for the seconds-long CI
 //! variant (smaller sizes/budget, schema-complete artifact).
 
 use pmw_bench::schema::extract_numbers;
 use pmw_bench::{header, mean_std, row};
 use pmw_core::update::dual_certificate;
-use pmw_data::{BooleanCube, Histogram, Universe};
+use pmw_core::{OnlinePmw, PmwConfig, PmwError};
+use pmw_data::{BooleanCube, Dataset, Histogram, PointSource, Universe};
+use pmw_erm::ExactOracle;
 use pmw_losses::{CmLoss, LinearQueryLoss, PointPredicate};
 use pmw_sketch::{BigBitCube, RoundUpdate, SampledBackend, SampledConfig};
 use rand::rngs::StdRng;
@@ -123,6 +131,89 @@ fn measure_sublinear(log2_x: usize, rounds: usize, budget: usize, with_dense: bo
     }
 }
 
+struct MechanismReport {
+    per_answer_ns: f64,
+    answers: usize,
+    updates: usize,
+    support: usize,
+}
+
+/// The full-mechanism axis: `OnlinePmw::answer` end to end at
+/// `|X| = 2^log2_x` on the point-source construction — row-based data
+/// side (n-row dataset, ≤ n support rows), `SampledBackend` state at the
+/// given pool budget, `ExactOracle` as `A′` (so the measured cost is the
+/// mechanism's, not a specific private oracle's). Rotating single-bit
+/// queries with bit 0 skewed: the mix of free (⊥) and update (⊤) rounds
+/// the mechanism actually serves.
+fn measure_mechanism(log2_x: usize, queries: usize, budget: usize, n: usize) -> MechanismReport {
+    let dim = log2_x;
+    let source = BigBitCube::new(dim).expect("cube source");
+    let mut rng = StdRng::seed_from_u64(9000 + log2_x as u64);
+    let rows: Vec<usize> = (0..n)
+        .map(|_| {
+            let mut x = rng.random_range(0..source.len());
+            if rng.random::<f64>() < 0.9 {
+                x |= 1;
+            } else {
+                x &= !1;
+            }
+            x
+        })
+        .collect();
+    let dataset = Dataset::from_indices(source.len(), rows).expect("dataset");
+    let backend = SampledBackend::new(source, SampledConfig { budget, beta: 1e-6 }, &mut rng)
+        .expect("sampled backend");
+    let config = PmwConfig::builder(2.0, 1e-6, 0.05)
+        .k(queries)
+        .rounds_override((queries / 2).max(2))
+        .scale(1.0)
+        .solver_iters(80)
+        .build()
+        .expect("config");
+    let mut mech = OnlinePmw::with_point_source(
+        config,
+        &source,
+        &dataset,
+        ExactOracle::default(),
+        backend,
+        &mut rng,
+    )
+    .expect("mechanism");
+    assert!(
+        mech.universe_points().is_none() && mech.data_histogram().is_none(),
+        "point-source mechanism must not materialize |X|-sized structures"
+    );
+    let support = mech.data_points().len();
+
+    let mut answers = 0usize;
+    let mut elapsed_ns = 0u128;
+    for q in 0..queries {
+        let loss = LinearQueryLoss::new(
+            PointPredicate::Conjunction {
+                coords: vec![q % dim],
+            },
+            dim,
+        )
+        .expect("loss");
+        let start = Instant::now();
+        match mech.answer(&loss, &mut rng) {
+            Ok(theta) => {
+                black_box(theta);
+                elapsed_ns += start.elapsed().as_nanos();
+                answers += 1;
+            }
+            Err(PmwError::Halted) => break,
+            Err(e) => panic!("mechanism answer failed: {e}"),
+        }
+    }
+    MechanismReport {
+        per_answer_ns: elapsed_ns as f64 / answers.max(1) as f64,
+        answers,
+        updates: mech.updates_used(),
+        support,
+    }
+}
+
 /// Dense per-element round cost (certificate sweep + update + read): from
 /// `BENCH_runtime.json`'s largest size when available, else self-measured
 /// at `2^14`.
@@ -162,17 +253,20 @@ fn main() {
     } else {
         (&[16, 20, 24, 26], 50, 2048)
     };
+    let (mech_queries, mech_n) = if smoke { (6, 400) } else { (24, 2000) };
     let parallel = cfg!(feature = "parallel");
     let (dense_ref, dense_ref_source) = dense_ns_per_elem(rounds.min(12));
     println!(
         "# E12: sublinear state maintenance (budget={budget}, rounds={rounds}, \
          dense reference {dense_ref:.3} ns/elem from {dense_ref_source})"
     );
+    println!("# mechanism axis: full OnlinePmw::answer via with_point_source (n={mech_n}, k={mech_queries}, ExactOracle)");
     header(&[
         "log2_X",
         "per_round_us",
         "dense_extrapolated_round_us",
         "speedup_vs_dense",
+        "mech_per_answer_us",
         "answer_err_mean",
         "answer_err_max",
         "claimed_radius_mean",
@@ -184,6 +278,7 @@ fn main() {
     let mut entries = Vec::new();
     for &log2_x in sizes {
         let r = measure_sublinear(log2_x, rounds, budget, log2_x == error_size);
+        let m = measure_mechanism(log2_x, mech_queries, budget, mech_n);
         let universe = (1u128 << log2_x) as f64;
         let extrapolated = dense_ref * universe;
         let speedup = extrapolated / r.per_round_ns;
@@ -194,18 +289,20 @@ fn main() {
                 r.per_round_ns / 1e3,
                 extrapolated / 1e3,
                 speedup,
+                m.per_answer_ns / 1e3,
                 em,
                 ex,
                 rm,
             ],
         );
-        entries.push((r, extrapolated, speedup));
+        entries.push((r, m, extrapolated, speedup));
     }
     println!("# per-round time is flat in |X|: the sketch never touches the other 2^d - m points");
+    println!("# mechanism per-answer time is flat too: the data side sweeps only the dataset's support rows");
 
     let size_rows: Vec<String> = entries
         .iter()
-        .map(|(r, extrapolated, speedup)| {
+        .map(|(r, m, extrapolated, speedup)| {
             let error_fields = match r.error_column {
                 Some((em, ex, rm)) => format!(
                     ",\n     \"answer_error_mean\": {em:.6}, \"answer_error_max\": {ex:.6}, \
@@ -217,7 +314,9 @@ fn main() {
                 "    {{\"log2_x\": {}, \"universe\": {}, \"point_dim\": {}, \
                  \"per_round_ns\": {:.1},\n     \"dense_ns_per_elem_ref\": {:.3}, \
                  \"dense_extrapolated_round_ns\": {:.1}, \
-                 \"speedup_vs_dense_extrapolation\": {:.1}{}}}",
+                 \"speedup_vs_dense_extrapolation\": {:.1},\n     \
+                 \"mechanism_per_answer_ns\": {:.1}, \"mechanism_answers\": {}, \
+                 \"mechanism_updates\": {}, \"mechanism_support_rows\": {}{}}}",
                 r.log2_x,
                 1u128 << r.log2_x,
                 r.log2_x,
@@ -225,6 +324,10 @@ fn main() {
                 dense_ref,
                 extrapolated,
                 speedup,
+                m.per_answer_ns,
+                m.answers,
+                m.updates,
+                m.support,
                 error_fields,
             )
         })
@@ -232,7 +335,9 @@ fn main() {
     let json = format!(
         "{{\n  \"experiment\": \"sublinear_scaling\",\n  \"budget\": {budget},\n  \
          \"rounds\": {rounds},\n  \"beta\": 1e-6,\n  \"parallel\": {parallel},\n  \
-         \"smoke\": {smoke},\n  \"dense_ref_source\": \"{dense_ref_source}\",\n  \
+         \"smoke\": {smoke},\n  \"mechanism_n\": {mech_n},\n  \
+         \"mechanism_queries\": {mech_queries},\n  \
+         \"dense_ref_source\": \"{dense_ref_source}\",\n  \
          \"sizes\": [\n{}\n  ]\n}}\n",
         size_rows.join(",\n")
     );

@@ -87,8 +87,9 @@ pub fn validate_bench_runtime(json: &str) -> Result<(), String> {
 }
 
 /// Validate `BENCH_sublinear.json`: the sublinear-scaling record. Checks
-/// per-round figures, the dense-extrapolation speedup, and the
-/// sampled-vs-dense answer-error column.
+/// per-round figures, the dense-extrapolation speedup, the
+/// sampled-vs-dense answer-error column, and the full-mechanism axis
+/// (per-answer cost of the point-source `OnlinePmw::answer` loop).
 pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
     if !has_key(json, "experiment") || !json.contains("sublinear_scaling") {
         return Err("not a sublinear_scaling artifact".into());
@@ -104,6 +105,18 @@ pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
     ] {
         require_positive(json, key)?;
     }
+    // The mechanism axis: every size must carry the end-to-end answer
+    // cost plus its workload descriptors.
+    for key in [
+        "mechanism_n",
+        "mechanism_queries",
+        "mechanism_per_answer_ns",
+        "mechanism_answers",
+        "mechanism_support_rows",
+    ] {
+        require_positive(json, key)?;
+    }
+    require_non_negative(json, "mechanism_updates")?;
     for key in [
         "answer_error_mean",
         "answer_error_max",
@@ -172,11 +185,14 @@ mod tests {
     fn sublinear_validator_round_trips() {
         let json = r#"{
           "experiment": "sublinear_scaling", "budget": 2048, "rounds": 50,
+          "mechanism_n": 2000, "mechanism_queries": 24,
           "sizes": [
             {"log2_x": 16, "universe": 65536, "per_round_ns": 100000.0,
              "dense_ns_per_elem_ref": 5.0,
              "dense_extrapolated_round_ns": 327680.0,
              "speedup_vs_dense_extrapolation": 3.3,
+             "mechanism_per_answer_ns": 2500000.0, "mechanism_answers": 24,
+             "mechanism_updates": 2, "mechanism_support_rows": 1987,
              "answer_error_mean": 0.001, "answer_error_max": 0.004,
              "claimed_radius_mean": 0.02}
           ]
@@ -190,5 +206,13 @@ mod tests {
         assert!(validate_bench_sublinear(&zero_speed).is_err());
         let no_err_col = json.replace("\"answer_error_mean\": 0.001,", "");
         assert!(validate_bench_sublinear(&no_err_col).is_err());
+        // The mechanism axis is part of the contract now.
+        let no_mech = json.replace("\"mechanism_per_answer_ns\": 2500000.0,", "");
+        assert!(validate_bench_sublinear(&no_mech).is_err());
+        let zero_mech = json.replace(
+            "\"mechanism_per_answer_ns\": 2500000.0",
+            "\"mechanism_per_answer_ns\": 0.0",
+        );
+        assert!(validate_bench_sublinear(&zero_mech).is_err());
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::error::PmwError;
 use crate::mechanism::OnlinePmw;
+use crate::state::StateBackend;
 use pmw_erm::{excess_risk, ErmOracle};
 use pmw_losses::CmLoss;
 use rand::Rng;
@@ -101,9 +102,12 @@ pub struct GameOutcome {
     pub halted: bool,
 }
 
-/// Play the Figure-1 game to completion.
-pub fn run_accuracy_game<O: ErmOracle>(
-    mechanism: &mut OnlinePmw<O>,
+/// Play the Figure-1 game to completion. Works on any state backend: the
+/// true excess risk is measured over the mechanism's data-side point set
+/// (universe histogram on the dense path, dataset support rows on the
+/// point-source path — both evaluate `err_ℓ(D, ·)` exactly).
+pub fn run_accuracy_game<O: ErmOracle, B: StateBackend>(
+    mechanism: &mut OnlinePmw<O, B>,
     analyst: &mut dyn Analyst,
     rng: &mut dyn Rng,
 ) -> Result<GameOutcome, PmwError> {
@@ -116,8 +120,8 @@ pub fn run_accuracy_game<O: ErmOracle>(
             Ok(theta) => {
                 let err = excess_risk(
                     loss.as_ref(),
-                    mechanism.universe_points(),
-                    mechanism.data_histogram().weights(),
+                    mechanism.data_points(),
+                    mechanism.data_weights(),
                     &theta,
                     solver_iters,
                 )?;

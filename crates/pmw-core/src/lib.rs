@@ -26,6 +26,10 @@
 //! * [`state`] — the state-backend seam ([`StateBackend`]/[`DenseBackend`]):
 //!   both mechanisms are generic over how `D̂_t` is represented, which is
 //!   what lets the `pmw-sketch` crate swap in sublinear-time sketched state.
+//!   With the point-source constructions ([`OnlinePmw::with_point_source`],
+//!   [`OfflinePmw::run_with_source`]) the data side is sublinear too: the
+//!   error query runs over dataset support rows and the universe is never
+//!   materialized, so the whole loop is flat in `|X|`.
 //! * [`theory`] — every quantitative formula from Table 1 and
 //!   Theorems 3.1/3.8, used by the benches to plot measured-vs-predicted.
 //! * [`game`] — the sample accuracy game of Figure 1 (Definition 2.4).

@@ -27,7 +27,7 @@ use crate::error::PmwError;
 use crate::state::{DenseBackend, StateBackend};
 use crate::transcript::{QueryOutcome, QueryRecord, Transcript};
 use pmw_convex::Objective;
-use pmw_data::{Dataset, Histogram, PointMatrix, Universe};
+use pmw_data::{Dataset, Histogram, PointMatrix, PointSource, Universe};
 use pmw_dp::sparse_vector::{SvConfig, SvOutcome};
 use pmw_dp::{Accountant, SparseVector};
 use pmw_erm::{ErmOracle, OracleChoice};
@@ -35,28 +35,79 @@ use pmw_losses::traits::minimize_weighted;
 use pmw_losses::{CmLoss, WeightedObjective};
 use rand::Rng;
 
+/// The data-side representation of the error query `err_ℓ(D, D̂_t)`: the
+/// weighted point set every data-touching step (the `θ*` solve, the
+/// objective evaluations, the ERM oracle, the diagnostics gap) sweeps.
+enum DataSide {
+    /// Universe-indexed: the materialized `PointMatrix` plus the Θ(|X|)
+    /// data histogram — the original dense path, bit-for-bit.
+    Dense {
+        points: PointMatrix,
+        histogram: Histogram,
+    },
+    /// Row-indexed: only the dataset's ≤ n distinct support rows with
+    /// their empirical weights — `O(n·d)` per sweep, independent of `|X|`.
+    Rows {
+        points: PointMatrix,
+        weights: Vec<f64>,
+    },
+}
+
+impl DataSide {
+    fn points(&self) -> &PointMatrix {
+        match self {
+            DataSide::Dense { points, .. } | DataSide::Rows { points, .. } => points,
+        }
+    }
+
+    fn weights(&self) -> &[f64] {
+        match self {
+            DataSide::Dense { histogram, .. } => histogram.weights(),
+            DataSide::Rows { weights, .. } => weights,
+        }
+    }
+
+    fn histogram(&self) -> Option<&Histogram> {
+        match self {
+            DataSide::Dense { histogram, .. } => Some(histogram),
+            DataSide::Rows { .. } => None,
+        }
+    }
+
+    fn universe_points(&self) -> Option<&PointMatrix> {
+        match self {
+            DataSide::Dense { points, .. } => Some(points),
+            DataSide::Rows { .. } => None,
+        }
+    }
+}
+
 /// The Figure-3 mechanism. Construct once per dataset, then [`answer`]
 /// queries interactively; the analyst may choose each loss adaptively based
 /// on previous answers (the accuracy game of Figure 1).
 ///
 /// Generic over the [`StateBackend`] holding `D̂_t`: the default
 /// [`DenseBackend`] is the exact Θ(|X|)-per-round representation; the
-/// `pmw-sketch` backends make the *state maintenance* (hypothesis solve,
+/// `pmw-sketch` backends make the state maintenance (hypothesis solve,
 /// certificate expectation, MW update, synthetic sampling) cost
 /// independent of `|X|` (construct with [`OnlinePmw::with_backend`]).
-/// Note the mechanism itself still materializes the universe points and
-/// the Θ(|X|) data histogram for the data-side error query, so the full
-/// `answer` loop is not yet sublinear — drive the backends directly (as
-/// `exp_sublinear` does) for the huge-universe regime; lifting the
-/// data-side cost is a ROADMAP open item.
+///
+/// The data side is sublinear too: constructed through
+/// [`OnlinePmw::with_point_source`], the mechanism never materializes the
+/// universe or a `|X|`-sized data histogram — the error query
+/// `err_ℓ(D, D̂_t)` is evaluated as a row-weighted objective over the
+/// dataset's ≤ n support rows (`O(n·d)` per query), and universe points
+/// are fetched on demand through the [`PointSource`] seam only for those
+/// rows. With a sketching backend such as `pmw_sketch::SampledBackend`,
+/// the **whole** `answer` loop then runs at `|X| = 2^26` and beyond
+/// (`exp_sublinear`'s mechanism axis measures it flat in `|X|`).
 ///
 /// [`answer`]: OnlinePmw::answer
 pub struct OnlinePmw<O: ErmOracle = OracleChoice, B: StateBackend = DenseBackend> {
     config: PmwConfig,
     derived: DerivedParams,
     oracle: O,
-    points: PointMatrix,
-    data: Histogram,
+    data: DataSide,
     state: B,
     n: usize,
     sv: SparseVector,
@@ -104,6 +155,9 @@ impl<O: ErmOracle> OnlinePmw<O, DenseBackend> {
 impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
     /// Build with an explicit oracle **and** state backend — the seam that
     /// lets the mechanism run on sketched (sublinear) hypothesis state.
+    /// The data side stays dense (materialized universe + Θ(|X|) data
+    /// histogram); use [`OnlinePmw::with_point_source`] for the fully
+    /// sublinear construction.
     pub fn with_backend<U: Universe>(
         config: PmwConfig,
         universe: &U,
@@ -117,13 +171,83 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
                 "dataset universe size does not match universe",
             ));
         }
-        if state.universe_size() != universe.size() {
+        let data = DataSide::Dense {
+            points: universe.materialize(),
+            histogram: dataset.histogram(),
+        };
+        Self::build(
+            config,
+            universe.size(),
+            dataset.len(),
+            data,
+            oracle,
+            state,
+            rng,
+        )
+    }
+
+    /// Fully sublinear construction: universe points come from `source`
+    /// **on demand** — only the dataset's ≤ n distinct support rows are
+    /// ever materialized (`O(n·d)`), never a `|X|`-row matrix or a
+    /// `|X|`-sized data histogram — and the data-side error query is
+    /// evaluated over those rows. Requires a state backend that holds its
+    /// own point representation
+    /// (`!`[`StateBackend::requires_materialized_universe`], e.g.
+    /// `pmw_sketch::SampledBackend`); the dense backend needs the full
+    /// universe and is rejected up front.
+    ///
+    /// This is the construction for universes past the materialization
+    /// cap (`pmw_data::BigBitCube` reaches `2^26` and beyond): per-answer
+    /// cost is `O(n·d + m·d)` at pool budget `m`, flat in `|X|`.
+    pub fn with_point_source<S: PointSource + ?Sized>(
+        config: PmwConfig,
+        source: &S,
+        dataset: &Dataset,
+        oracle: O,
+        state: B,
+        rng: &mut dyn Rng,
+    ) -> Result<Self, PmwError> {
+        if state.requires_materialized_universe() {
+            return Err(PmwError::InvalidConfig(
+                "this state backend sweeps a materialized universe; point-source construction needs a sketching backend",
+            ));
+        }
+        if dataset.universe_size() != source.len() {
+            return Err(PmwError::LossMismatch(
+                "dataset universe size does not match point source",
+            ));
+        }
+        let (points, weights) = dataset.support_points(source)?;
+        let data = DataSide::Rows { points, weights };
+        Self::build(
+            config,
+            source.len(),
+            dataset.len(),
+            data,
+            oracle,
+            state,
+            rng,
+        )
+    }
+
+    /// Shared tail of both constructors; `universe_size` is `|X|` however
+    /// the universe is represented. Draws exactly the sparse-vector noise
+    /// from `rng` (the dense path's stream is unchanged).
+    fn build(
+        config: PmwConfig,
+        universe_size: usize,
+        n: usize,
+        data: DataSide,
+        oracle: O,
+        state: B,
+        rng: &mut dyn Rng,
+    ) -> Result<Self, PmwError> {
+        if state.universe_size() != universe_size {
             return Err(PmwError::LossMismatch(
                 "state backend universe size does not match universe",
             ));
         }
-        let derived = config.derive(universe.size())?;
-        let n = dataset.len();
+        let derived = config.derive(universe_size)?;
         let sv_config = SvConfig {
             max_top: derived.rounds,
             threshold: config.alpha,
@@ -135,8 +259,7 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
         let mut accountant = Accountant::new();
         accountant.spend("sparse-vector", derived.sv_budget);
         Ok(Self {
-            points: universe.materialize(),
-            data: dataset.histogram(),
+            data,
             state,
             config,
             derived,
@@ -161,7 +284,7 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
         if self.queries_answered >= self.config.k {
             return Err(PmwError::QueryLimitReached);
         }
-        if loss.point_dim() != self.points.dim() {
+        if loss.point_dim() != self.data.points().dim() {
             return Err(PmwError::LossMismatch(
                 "loss point dimension does not match universe",
             ));
@@ -185,15 +308,20 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
         };
 
         // (1) Hypothesis minimizer theta-hat, through the state backend.
-        let theta_hat =
-            self.state
-                .hypothesis_minimizer(loss, &self.points, self.config.solver_iters, rng)?;
+        let theta_hat = self.state.hypothesis_minimizer(
+            loss,
+            self.data.points(),
+            self.config.solver_iters,
+            rng,
+        )?;
 
-        // (2) The error query q_j(D) = err_l(D, D-hat_t).
-        let data_obj = WeightedObjective::new(loss, &self.points, self.data.weights())?;
+        // (2) The error query q_j(D) = err_l(D, D-hat_t), evaluated over
+        // the data-side point set: the universe histogram on the dense
+        // path, the dataset's support rows (O(n·d)) on the row path.
+        let data_obj = WeightedObjective::new(loss, self.data.points(), self.data.weights())?;
         let theta_star = minimize_weighted(
             loss,
-            &self.points,
+            self.data.points(),
             self.data.weights(),
             self.config.solver_iters,
         )?;
@@ -225,44 +353,82 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
             }
             SvOutcome::Top => {
                 // (4) Private oracle answer + dual-certificate MW update.
-                let theta_t = self.oracle.solve(
-                    loss,
-                    &self.points,
-                    self.data.weights(),
-                    self.n,
-                    self.derived.oracle_budget,
-                    rng,
-                )?;
+                //
+                // The sparse vector consumed its top *inside* `process`,
+                // so from here the round is burned no matter how the
+                // oracle or the update fares: every exit path below must
+                // advance `update_round`, charge the accountant, record
+                // the round in the transcript and mirror SV's halt state,
+                // or the mechanism's counters drift one round behind
+                // `sv.tops_used()` (and `updates_remaining` lies — the
+                // desync this block regression-tests against).
+                //
+                // The per-round oracle budget is charged up front:
+                // conservatively, a failing oracle may already have
+                // consumed its budget before erroring.
                 self.accountant
                     .spend("erm-oracle", self.derived.oracle_budget);
-                let gap_weights = if diagnostics {
-                    Some(self.data.weights())
-                } else {
-                    None
+                let solved = self
+                    .oracle
+                    .solve(
+                        loss,
+                        self.data.points(),
+                        self.data.weights(),
+                        self.n,
+                        self.derived.oracle_budget,
+                        rng,
+                    )
+                    .map_err(PmwError::from);
+                let applied = match solved {
+                    Ok(theta_t) => {
+                        let gap_weights = if diagnostics {
+                            Some(self.data.weights())
+                        } else {
+                            None
+                        };
+                        self.state
+                            .apply_update(
+                                loss,
+                                retained,
+                                self.data.points(),
+                                &theta_t,
+                                &theta_hat,
+                                self.derived.eta,
+                                gap_weights,
+                                rng,
+                            )
+                            .map(|gap| (theta_t, gap))
+                    }
+                    Err(e) => Err(e),
                 };
-                let gap = self.state.apply_update(
-                    loss,
-                    retained,
-                    &self.points,
-                    &theta_t,
-                    &theta_hat,
-                    self.derived.eta,
-                    gap_weights,
-                    rng,
-                )?;
                 let round = self.update_round;
                 self.update_round += 1;
                 if self.sv.has_halted() {
                     self.halted = true;
                 }
-                QueryRecord {
-                    index: self.queries_answered,
-                    loss_name: loss.name(),
-                    outcome: QueryOutcome::FromOracle,
-                    answer: theta_t,
-                    update_round: Some(round),
-                    error_query_value: diagnostics.then_some(query_value),
-                    certificate_gap: gap,
+                match applied {
+                    Ok((theta_t, gap)) => QueryRecord {
+                        index: self.queries_answered,
+                        loss_name: loss.name(),
+                        outcome: QueryOutcome::FromOracle,
+                        answer: theta_t,
+                        update_round: Some(round),
+                        error_query_value: diagnostics.then_some(query_value),
+                        certificate_gap: gap,
+                    },
+                    Err(e) => {
+                        self.transcript.push(QueryRecord {
+                            index: self.queries_answered,
+                            loss_name: loss.name(),
+                            outcome: QueryOutcome::UpdateFailed,
+                            answer: Vec::new(),
+                            update_round: Some(round),
+                            error_query_value: diagnostics.then_some(query_value),
+                            certificate_gap: None,
+                        });
+                        self.queries_answered += 1;
+                        return Err(e);
+                    }
                 }
             }
         };
@@ -298,16 +464,35 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
         &self.derived
     }
 
-    /// The materialized universe points (public information).
-    pub fn universe_points(&self) -> &PointMatrix {
-        &self.points
+    /// The materialized universe points (public information), when the
+    /// mechanism holds them — dense constructions only. Point-source
+    /// constructions never materialize the universe and return `None`.
+    pub fn universe_points(&self) -> Option<&PointMatrix> {
+        self.data.universe_points()
     }
 
-    /// The **raw private** data histogram. For curator-side diagnostics
-    /// (e.g. measuring true excess risk in the accuracy game) only — never
+    /// The **raw private** Θ(|X|) data histogram, when the mechanism holds
+    /// one (dense constructions only; the point-source path keeps no
+    /// `|X|`-sized data structure). For curator-side diagnostics (e.g.
+    /// measuring true excess risk in the accuracy game) only — never
     /// release anything derived from it without going through a mechanism.
-    pub fn data_histogram(&self) -> &Histogram {
-        &self.data
+    pub fn data_histogram(&self) -> Option<&Histogram> {
+        self.data.histogram()
+    }
+
+    /// The **raw private** data-side point set: the universe matrix with
+    /// histogram weights on the dense path, the dataset's support rows
+    /// with empirical weights on the point-source path. Together with
+    /// [`OnlinePmw::data_weights`] this evaluates any empirical objective
+    /// exactly on either path. Curator-side diagnostics only — same
+    /// warning as [`OnlinePmw::data_histogram`].
+    pub fn data_points(&self) -> &PointMatrix {
+        self.data.points()
+    }
+
+    /// The weights paired with [`OnlinePmw::data_points`] (they sum to 1).
+    pub fn data_weights(&self) -> &[f64] {
+        self.data.weights()
     }
 
     /// The configuration.
@@ -330,9 +515,12 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
         self.update_round
     }
 
-    /// Update slots remaining before the mechanism halts.
+    /// Update slots remaining before the mechanism halts. Saturating: the
+    /// invariant `updates_used() + updates_remaining() == T` holds on
+    /// every path, and even a hypothetical overshoot reports 0 rather
+    /// than panicking on underflow.
     pub fn updates_remaining(&self) -> usize {
-        self.derived.rounds - self.update_round
+        self.derived.rounds.saturating_sub(self.update_round)
     }
 
     /// True once the update budget is exhausted.
@@ -623,6 +811,166 @@ mod tests {
         let sh = synth.histogram();
         let bit0: f64 = (0..8).filter(|&x| x & 1 == 1).map(|x| sh.mass(x)).sum();
         assert!(bit0 > 0.6, "synthetic data should reflect the skew: {bit0}");
+    }
+
+    /// An oracle that always errors — the regression stub for the
+    /// SV/oracle round-accounting desync: the sparse vector consumes its
+    /// top before the oracle runs, so a failing oracle used to leave SV
+    /// one round ahead of `update_round`, the accountant and the
+    /// transcript.
+    struct FailingOracle;
+
+    impl ErmOracle for FailingOracle {
+        fn solve(
+            &self,
+            _loss: &dyn CmLoss,
+            _points: &PointMatrix,
+            _weights: &[f64],
+            _n: usize,
+            _budget: pmw_dp::PrivacyBudget,
+            _rng: &mut dyn Rng,
+        ) -> Result<Vec<f64>, pmw_erm::ErmError> {
+            Err(pmw_erm::ErmError::InvalidParameter(
+                "stub oracle always fails",
+            ))
+        }
+
+        fn name(&self) -> &'static str {
+            "failing-stub"
+        }
+    }
+
+    #[test]
+    fn failed_oracle_rounds_stay_in_sync_with_sparse_vector() {
+        // n large and alpha small so the bit-0 error query (~0.1) fires
+        // the sparse vector deterministically on every ask: each answer
+        // burns an update round through the failing oracle.
+        let mut rng = StdRng::seed_from_u64(131);
+        let cube = BooleanCube::new(3).unwrap();
+        let data = skewed_dataset(&cube, 8000, &mut rng);
+        let rounds = 3;
+        let mut mech = OnlinePmw::with_oracle(
+            config(40, rounds, 0.05),
+            &cube,
+            data,
+            FailingOracle,
+            &mut rng,
+        )
+        .unwrap();
+        let loss = &bit_losses(&cube)[0];
+        let mut burned = 0;
+        let mut asked = 0;
+        while burned < rounds {
+            asked += 1;
+            assert!(asked < 40, "sparse vector never fired");
+            match mech.answer(loss, &mut rng) {
+                // An (unlikely but possible) noise draw answered ⊥: a free
+                // hypothesis answer, nothing burned.
+                Ok(_) => continue,
+                Err(PmwError::Erm(_)) => burned += 1,
+                other => panic!("expected oracle failure, got {other:?}"),
+            }
+            // The consumed SV round is recorded everywhere, not just
+            // inside the sparse vector.
+            assert_eq!(mech.updates_used(), burned);
+            assert_eq!(mech.updates_remaining(), rounds - burned);
+            assert_eq!(mech.updates_used() + mech.updates_remaining(), rounds);
+            assert_eq!(mech.transcript().len(), asked);
+            assert_eq!(mech.transcript().updates(), burned);
+            // Ledger: the SV entry plus one conservative oracle charge
+            // per burned round.
+            assert_eq!(mech.accountant().len(), 1 + burned);
+            let record = &mech.transcript().records()[asked - 1];
+            assert_eq!(record.outcome, QueryOutcome::UpdateFailed);
+            assert_eq!(record.update_round, Some(burned - 1));
+            assert!(record.answer.is_empty());
+        }
+        // The third top exhausted SV: the mechanism halts in the same
+        // breath instead of advertising phantom update slots.
+        assert!(mech.has_halted());
+        assert_eq!(mech.updates_remaining(), 0);
+        assert!(matches!(mech.answer(loss, &mut rng), Err(PmwError::Halted)));
+    }
+
+    #[test]
+    fn single_round_oracle_failure_halts_without_underflow() {
+        // rounds = 1: before the fix this left updates_used() == 0 with
+        // SV already halted, so updates_remaining() advertised a free
+        // slot (and the subtraction could underflow under further
+        // desync). Now the burned round halts the mechanism cleanly.
+        let mut rng = StdRng::seed_from_u64(132);
+        let cube = BooleanCube::new(3).unwrap();
+        let data = skewed_dataset(&cube, 8000, &mut rng);
+        let mut mech =
+            OnlinePmw::with_oracle(config(40, 1, 0.05), &cube, data, FailingOracle, &mut rng)
+                .unwrap();
+        let loss = &bit_losses(&cube)[0];
+        let mut asked = 0;
+        loop {
+            asked += 1;
+            assert!(asked < 40, "sparse vector never fired");
+            match mech.answer(loss, &mut rng) {
+                Ok(_) => continue, // noise said ⊥; ask again
+                Err(PmwError::Erm(_)) => break,
+                other => panic!("expected oracle failure, got {other:?}"),
+            }
+        }
+        assert!(mech.has_halted());
+        assert_eq!(mech.updates_used(), 1);
+        assert_eq!(mech.updates_remaining(), 0);
+        assert!(matches!(mech.answer(loss, &mut rng), Err(PmwError::Halted)));
+    }
+
+    #[test]
+    fn update_accounting_invariant_holds_on_the_success_path() {
+        let mut rng = StdRng::seed_from_u64(133);
+        let cube = BooleanCube::new(4).unwrap();
+        let data = skewed_dataset(&cube, 2000, &mut rng);
+        let rounds = 4;
+        let mut mech = OnlinePmw::with_oracle(
+            config(16, rounds, 0.1),
+            &cube,
+            data,
+            ExactOracle::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let losses = bit_losses(&cube);
+        for j in 0..16 {
+            match mech.answer(&losses[j % losses.len()], &mut rng) {
+                Ok(_) | Err(PmwError::Halted) => {}
+                Err(e) => panic!("{e}"),
+            }
+            assert_eq!(
+                mech.updates_used() + mech.updates_remaining(),
+                rounds,
+                "invariant broken after query {j}"
+            );
+            assert_eq!(mech.transcript().updates(), mech.updates_used());
+            if mech.has_halted() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn point_source_construction_rejects_universe_sweeping_backends() {
+        let mut rng = StdRng::seed_from_u64(134);
+        let cube = BooleanCube::new(3).unwrap();
+        let dataset = Dataset::from_indices(8, vec![0, 1, 2]).unwrap();
+        let source = pmw_data::UniversePoints(cube);
+        let state = DenseBackend::new(8).unwrap();
+        assert!(matches!(
+            OnlinePmw::with_point_source(
+                config(4, 2, 0.3),
+                &source,
+                &dataset,
+                ExactOracle::default(),
+                state,
+                &mut rng,
+            ),
+            Err(PmwError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::config::PmwConfig;
 use crate::error::PmwError;
 use crate::state::{DenseBackend, StateBackend};
 use pmw_convex::Objective;
-use pmw_data::{Dataset, Histogram, Universe};
+use pmw_data::{Dataset, Histogram, PointMatrix, PointSource, Universe};
 use pmw_dp::{Accountant, ExponentialMechanism, PrivacyBudget};
 use pmw_erm::{ErmOracle, OracleChoice};
 use pmw_losses::traits::minimize_weighted;
@@ -74,7 +74,15 @@ impl<O: ErmOracle> OfflinePmw<O> {
         dataset: &Dataset,
         rng: &mut dyn Rng,
     ) -> Result<(OfflineResult, Accountant), PmwError> {
-        let mut state = DenseBackend::new(universe.size().max(1))?;
+        // Reject a degenerate universe up front: letting it reach the
+        // backend construction used to surface as a misleading "backend
+        // universe size does not match" error.
+        if universe.size() == 0 {
+            return Err(PmwError::InvalidConfig(
+                "universe must contain at least one element",
+            ));
+        }
+        let mut state = DenseBackend::new(universe.size())?;
         let (result, accountant) =
             self.run_with_backend(losses, universe, dataset, &mut state, rng)?;
         Ok((
@@ -99,6 +107,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
         state: &mut B,
         rng: &mut dyn Rng,
     ) -> Result<(OfflineBackendResult, Accountant), PmwError> {
+        // Fail before the Θ(|X|) materialization below, not after.
         if losses.is_empty() {
             return Err(PmwError::InvalidConfig("need at least one loss"));
         }
@@ -111,6 +120,78 @@ impl<O: ErmOracle> OfflinePmw<O> {
             return Err(PmwError::LossMismatch(
                 "state backend universe size does not match universe",
             ));
+        }
+        let points = universe.materialize();
+        let data = dataset.histogram();
+        self.run_rounds(
+            losses,
+            &points,
+            data.weights(),
+            dataset.len(),
+            universe.size(),
+            state,
+            rng,
+        )
+    }
+
+    /// [`OfflinePmw::run_with_backend`] without universe materialization:
+    /// the data side is the dataset's ≤ n support rows fetched on demand
+    /// through `source` (`O(n·d)` per score/solve, independent of `|X|`).
+    /// Requires a backend holding its own point representation
+    /// (`!`[`StateBackend::requires_materialized_universe`]) — together
+    /// with e.g. `pmw_sketch::SampledBackend` the whole offline run is
+    /// sublinear in `|X|`.
+    pub fn run_with_source<S: PointSource + ?Sized, B: StateBackend>(
+        &self,
+        losses: &[&dyn CmLoss],
+        source: &S,
+        dataset: &Dataset,
+        state: &mut B,
+        rng: &mut dyn Rng,
+    ) -> Result<(OfflineBackendResult, Accountant), PmwError> {
+        if state.requires_materialized_universe() {
+            return Err(PmwError::InvalidConfig(
+                "this state backend sweeps a materialized universe; point-source runs need a sketching backend",
+            ));
+        }
+        if dataset.universe_size() != source.len() {
+            return Err(PmwError::LossMismatch(
+                "dataset universe size does not match point source",
+            ));
+        }
+        if state.universe_size() != source.len() {
+            return Err(PmwError::LossMismatch(
+                "state backend universe size does not match universe",
+            ));
+        }
+        let (points, weights) = dataset.support_points(source)?;
+        self.run_rounds(
+            losses,
+            &points,
+            &weights,
+            dataset.len(),
+            source.len(),
+            state,
+            rng,
+        )
+    }
+
+    /// The shared selection/measure/update rounds over an arbitrary
+    /// data-side point set (`data_points`/`data_weights` are the universe
+    /// histogram on the dense path, the dataset support on the row path).
+    #[allow(clippy::too_many_arguments)]
+    fn run_rounds<B: StateBackend>(
+        &self,
+        losses: &[&dyn CmLoss],
+        data_points: &PointMatrix,
+        data_weights: &[f64],
+        n: usize,
+        universe_size: usize,
+        state: &mut B,
+        rng: &mut dyn Rng,
+    ) -> Result<(OfflineBackendResult, Accountant), PmwError> {
+        if losses.is_empty() {
+            return Err(PmwError::InvalidConfig("need at least one loss"));
         }
         // Loss-retaining backends need owned handles; obtain them for the
         // whole workload before any budget is spent (one clone per loss,
@@ -126,10 +207,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
         } else {
             None
         };
-        let derived = self.config.derive(universe.size())?;
-        let points = universe.materialize();
-        let data = dataset.histogram();
-        let n = dataset.len();
+        let derived = self.config.derive(universe_size)?;
         let rounds = derived.rounds;
         let em_epsilon = self.config.budget.epsilon() / (2.0 * rounds as f64);
         let em = ExponentialMechanism::new(3.0 * self.config.scale_s / n as f64, em_epsilon)?;
@@ -141,8 +219,8 @@ impl<O: ErmOracle> OfflinePmw<O> {
         let mut opt_values = Vec::with_capacity(losses.len());
         for loss in losses {
             let theta_star =
-                minimize_weighted(*loss, &points, data.weights(), self.config.solver_iters)?;
-            let obj = WeightedObjective::new(*loss, &points, data.weights())?;
+                minimize_weighted(*loss, data_points, data_weights, self.config.solver_iters)?;
+            let obj = WeightedObjective::new(*loss, data_points, data_weights)?;
             opt_values.push(obj.value(&theta_star));
         }
 
@@ -151,9 +229,13 @@ impl<O: ErmOracle> OfflinePmw<O> {
             let mut scores = Vec::with_capacity(losses.len());
             let mut hyp_minimizers = Vec::with_capacity(losses.len());
             for (loss, &opt) in losses.iter().zip(&opt_values) {
-                let theta_hat =
-                    state.hypothesis_minimizer(*loss, &points, self.config.solver_iters, rng)?;
-                let obj = WeightedObjective::new(*loss, &points, data.weights())?;
+                let theta_hat = state.hypothesis_minimizer(
+                    *loss,
+                    data_points,
+                    self.config.solver_iters,
+                    rng,
+                )?;
+                let obj = WeightedObjective::new(*loss, data_points, data_weights)?;
                 scores.push((obj.value(&theta_hat) - opt).max(0.0));
                 hyp_minimizers.push(theta_hat);
             }
@@ -163,8 +245,8 @@ impl<O: ErmOracle> OfflinePmw<O> {
 
             let theta_t = self.oracle.solve(
                 losses[idx],
-                &points,
-                data.weights(),
+                data_points,
+                data_weights,
                 n,
                 derived.oracle_budget,
                 rng,
@@ -173,7 +255,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
             state.apply_update(
                 losses[idx],
                 retained.as_ref().map(|handles| handles[idx].clone()),
-                &points,
+                data_points,
                 &theta_t,
                 &hyp_minimizers[idx],
                 derived.eta,
@@ -187,7 +269,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
         for loss in losses {
             answers.push(state.hypothesis_minimizer(
                 *loss,
-                &points,
+                data_points,
                 self.config.solver_iters,
                 rng,
             )?);
@@ -234,6 +316,40 @@ mod tests {
         let losses = bit_losses(3);
         let refs: Vec<&dyn CmLoss> = losses.iter().map(|l| l as &dyn CmLoss).collect();
         assert!(off.run(&refs, &cube, &wrong, &mut rng).is_err());
+    }
+
+    /// A degenerate universe with zero elements (representable through
+    /// the trait even though no stock constructor builds one).
+    struct EmptyUniverse;
+
+    impl Universe for EmptyUniverse {
+        fn size(&self) -> usize {
+            0
+        }
+        fn point_dim(&self) -> usize {
+            1
+        }
+        fn write_point(&self, _index: usize, _out: &mut [f64]) {
+            unreachable!("empty universe has no points")
+        }
+    }
+
+    #[test]
+    fn empty_universe_rejected_as_invalid_config() {
+        // Regression: this used to slip through `DenseBackend::new(
+        // universe.size().max(1))` and die later with a misleading
+        // "backend universe size does not match" error.
+        let mut rng = StdRng::seed_from_u64(164);
+        let data = Dataset::from_indices(8, vec![0; 10]).unwrap();
+        let losses = bit_losses(3);
+        let refs: Vec<&dyn CmLoss> = losses.iter().map(|l| l as &dyn CmLoss).collect();
+        let off = OfflinePmw::with_oracle(config(2, 0.2), ExactOracle::default());
+        assert!(matches!(
+            off.run(&refs, &EmptyUniverse, &data, &mut rng),
+            Err(PmwError::InvalidConfig(
+                "universe must contain at least one element"
+            ))
+        ));
     }
 
     #[test]

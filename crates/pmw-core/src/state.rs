@@ -52,6 +52,12 @@ pub trait StateBackend {
     /// The hypothesis minimizer `θ̂_t = argmin_θ ℓ(θ; D̂_t)` — the
     /// non-private inner solve of Figure 3 step (1).
     ///
+    /// `points` enumerates the universe only for backends with
+    /// [`StateBackend::requires_materialized_universe`]; backends holding
+    /// their own point representation ignore it (the point-source
+    /// mechanism path passes the dataset's support rows instead of a
+    /// `|X|`-sized matrix).
+    ///
     /// `rng` is for backends that need randomness to *read* their state
     /// (Monte-Carlo sketches); the dense backend ignores it.
     fn hypothesis_minimizer(
@@ -64,9 +70,13 @@ pub trait StateBackend {
 
     /// Apply one dual-certificate MW update.
     ///
-    /// When `gap_weights` is `Some(w)` (the data histogram, diagnostics
-    /// mode), returns the certificate gap `⟨u_t, D̂_t⟩ − ⟨u_t, w⟩`
-    /// evaluated **before** the update — Claim 3.5's progress witness.
+    /// When `gap_weights` is `Some(w)` (diagnostics mode), `w` is the
+    /// data-side distribution **aligned with `points`** — the Θ(|X|) data
+    /// histogram over universe points on the dense path, or the dataset's
+    /// support weights over its support rows on the point-source path —
+    /// and the return value is the certificate gap
+    /// `⟨u_t, D̂_t⟩ − Σ_i w_i·u_t(points_i)` evaluated **before** the
+    /// update: Claim 3.5's progress witness.
     ///
     /// `retained` carries the owned loss handle when the caller already
     /// obtained one (the mechanisms clone it once, up front, for backends
@@ -103,6 +113,18 @@ pub trait StateBackend {
     /// the accountant on an update that can never be recorded.
     fn requires_shared_loss(&self) -> bool {
         false
+    }
+
+    /// True when this backend's reads and updates sweep a **materialized
+    /// universe** `PointMatrix` (the dense Θ(|X|) path) and therefore need
+    /// the `points` argument to enumerate all of `X`. Sketching backends
+    /// that hold their own point representation return `false`, which is
+    /// what lets the mechanisms' point-source constructors
+    /// (`OnlinePmw::with_point_source`, `OfflinePmw::run_with_source`)
+    /// hand them only the dataset's support rows and never materialize
+    /// the universe.
+    fn requires_materialized_universe(&self) -> bool {
+        true
     }
 }
 

@@ -14,6 +14,12 @@ pub enum QueryOutcome {
     /// Sparse vector said `⊤`: answered by the private oracle, hypothesis
     /// updated.
     FromOracle,
+    /// Sparse vector said `⊤` but the oracle (or the state update) failed
+    /// after the sparse-vector round was already consumed: no answer was
+    /// released, yet the update slot and its budget are burned. Recorded
+    /// so the transcript stays in lockstep with `sv.tops_used()` and the
+    /// accountant.
+    UpdateFailed,
 }
 
 /// One answered query.
@@ -69,11 +75,13 @@ impl Transcript {
         self.records.is_empty()
     }
 
-    /// Number of queries that triggered oracle calls (`⊤` answers).
+    /// Number of queries that consumed an update round (`⊤` outcomes,
+    /// including rounds burned by a failed oracle/update) — always equal
+    /// to the mechanism's `updates_used()`.
     pub fn updates(&self) -> usize {
         self.records
             .iter()
-            .filter(|r| r.outcome == QueryOutcome::FromOracle)
+            .filter(|r| r.update_round.is_some())
             .count()
     }
 
@@ -91,12 +99,16 @@ mod tests {
     use super::*;
 
     fn record(i: usize, outcome: QueryOutcome) -> QueryRecord {
+        let update_round = match outcome {
+            QueryOutcome::FromHypothesis => None,
+            QueryOutcome::FromOracle | QueryOutcome::UpdateFailed => Some(i),
+        };
         QueryRecord {
             index: i,
             loss_name: "test",
             outcome,
             answer: vec![0.0],
-            update_round: None,
+            update_round,
             error_query_value: None,
             certificate_gap: None,
         }
@@ -113,6 +125,14 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert_eq!(t.updates(), 1);
         assert!((t.free_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burned_rounds_count_as_updates() {
+        let mut t = Transcript::new();
+        t.push(record(0, QueryOutcome::UpdateFailed));
+        t.push(record(1, QueryOutcome::FromHypothesis));
+        assert_eq!(t.updates(), 1);
     }
 
     #[test]

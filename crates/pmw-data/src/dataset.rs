@@ -6,6 +6,8 @@
 
 use crate::error::DataError;
 use crate::histogram::Histogram;
+use crate::matrix::PointMatrix;
+use crate::source::PointSource;
 use crate::universe::Universe;
 use rand::Rng;
 
@@ -128,6 +130,53 @@ impl Dataset {
                 <= 1
     }
 
+    /// The dataset's **support**: its distinct universe indices (sorted
+    /// ascending) with their empirical weights `count/n`. At most
+    /// `min(n, |X|)` entries — the `O(n)` summary the row-based error-query
+    /// path consumes instead of the Θ(|X|) histogram.
+    pub fn support(&self) -> (Vec<usize>, Vec<f64>) {
+        let mut sorted = self.rows.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as f64;
+        let mut indices = Vec::new();
+        let mut weights = Vec::new();
+        let mut i = 0;
+        while i < sorted.len() {
+            let value = sorted[i];
+            let start = i;
+            while i < sorted.len() && sorted[i] == value {
+                i += 1;
+            }
+            indices.push(value);
+            weights.push((i - start) as f64 / n);
+        }
+        (indices, weights)
+    }
+
+    /// Materialize only the support rows as a weighted point set, fetching
+    /// each distinct point once through `source` — `O(n·d)` time and
+    /// memory, independent of `|X|`. The returned weights are the
+    /// empirical distribution restricted to the support (they sum to 1),
+    /// so `(points, weights)` is a drop-in data-side representation for
+    /// weighted objectives and ERM oracles.
+    pub fn support_points<S: PointSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<(PointMatrix, Vec<f64>), DataError> {
+        if self.universe_size != source.len() {
+            return Err(DataError::InvalidParameter(
+                "dataset universe size does not match point source",
+            ));
+        }
+        let (indices, weights) = self.support();
+        let dim = source.dim();
+        let mut flat = vec![0.0; indices.len() * dim];
+        for (row, &idx) in flat.chunks_exact_mut(dim).zip(&indices) {
+            source.write_point(idx, row);
+        }
+        Ok((PointMatrix::from_flat(flat, dim)?, weights))
+    }
+
     /// Materialize the rows as points of `universe`.
     pub fn points<U: Universe>(&self, universe: &U) -> Result<Vec<Vec<f64>>, DataError> {
         if self.universe_size != universe.size() {
@@ -201,6 +250,37 @@ mod tests {
         assert_eq!(d.len(), 100);
         assert_eq!(d.universe_size(), 3);
         assert!(Dataset::sample_from(&pop, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn support_is_sorted_distinct_with_empirical_weights() {
+        let d = Dataset::from_indices(10, vec![7, 2, 2, 9, 2, 7]).unwrap();
+        let (idx, w) = d.support();
+        assert_eq!(idx, vec![2, 7, 9]);
+        assert!((w[0] - 3.0 / 6.0).abs() < 1e-15);
+        assert!((w[1] - 2.0 / 6.0).abs() < 1e-15);
+        assert!((w[2] - 1.0 / 6.0).abs() < 1e-15);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_points_match_histogram_masses_on_support() {
+        let cube = BooleanCube::new(3).unwrap();
+        let d = Dataset::from_indices(8, vec![5, 0, 5, 3]).unwrap();
+        let (pts, w) = d
+            .support_points(&crate::UniversePoints(cube.clone()))
+            .unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts.dim(), 3);
+        let h = d.histogram();
+        let (idx, _) = d.support();
+        for (slot, &x) in idx.iter().enumerate() {
+            assert_eq!(pts.row(slot), cube.point(x).as_slice());
+            assert!((w[slot] - h.mass(x)).abs() < 1e-15, "x={x}");
+        }
+        // Mismatched source size is rejected.
+        let small = BooleanCube::new(2).unwrap();
+        assert!(d.support_points(&crate::UniversePoints(small)).is_err());
     }
 
     #[test]

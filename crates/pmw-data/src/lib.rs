@@ -12,6 +12,9 @@
 //! * **point-indexed log-weight oracles** and the Gumbel-max sampler — the
 //!   evaluation seam the sublinear (`pmw-sketch`) state backends build on
 //!   ([`logweight`]),
+//! * **point sources** — on-demand indexed point access with no
+//!   materialization ceiling ([`source`]): the seam the sketching backends
+//!   and the mechanisms' row-based data path fetch points through,
 //! * the materialized universe as one **contiguous row-major matrix**
 //!   ([`matrix`]) — the layout every Θ(|X|) sweep walks — plus the chunked
 //!   parallel sweep helpers behind the `parallel` feature ([`par`]),
@@ -34,6 +37,7 @@ pub mod histogram;
 pub mod logweight;
 pub mod matrix;
 pub mod par;
+pub mod source;
 pub mod synth;
 pub mod universe;
 pub mod workload;
@@ -45,4 +49,5 @@ pub use logweight::{
     gumbel_max_among, gumbel_max_index, standard_gumbel, LogWeightFn, PointLogWeights,
 };
 pub use matrix::PointMatrix;
+pub use source::{BigBitCube, PointSource, UniversePoints};
 pub use universe::{BooleanCube, EnumeratedUniverse, GridUniverse, LabeledGridUniverse, Universe};

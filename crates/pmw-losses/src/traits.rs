@@ -202,6 +202,33 @@ impl<'a, L: CmLoss + ?Sized> WeightedObjective<'a, L> {
             grad_buf: std::cell::RefCell::new(vec![0.0; loss.dim()]),
         })
     }
+
+    /// Fused per-row pass: the objective value **and** the averaged
+    /// gradient at `theta` in one sweep over the weighted points, written
+    /// into `grad_out` (length `dim()`), returning the value.
+    ///
+    /// Utility for consumers that need both quantities at the same `θ`
+    /// (function-value stopping rules, certified-progress checks): one
+    /// sweep instead of two. The stock solvers evaluate value and
+    /// gradient at *different* iterates, so nothing in the workspace's
+    /// hot loops calls this today — it exists for row-objective callers
+    /// (the data side is ≤ n support rows on the point-source path,
+    /// where the sweep is the whole cost).
+    pub fn value_and_gradient(&self, theta: &[f64], grad_out: &mut [f64]) -> f64 {
+        grad_out.fill(0.0);
+        let mut buf = self.grad_buf.borrow_mut();
+        let mut value = 0.0;
+        for (x, &w) in self.points.iter().zip(self.weights) {
+            if w > 0.0 {
+                value += w * self.loss.loss(theta, x);
+                self.loss.gradient(theta, x, &mut buf);
+                for (o, g) in grad_out.iter_mut().zip(buf.iter()) {
+                    *o += w * g;
+                }
+            }
+        }
+        value
+    }
 }
 
 impl<L: CmLoss + ?Sized> Objective for WeightedObjective<'_, L> {
@@ -316,6 +343,25 @@ mod tests {
             minus[i] -= h;
             let fd = (obj.value(&plus) - obj.value(&minus)) / (2.0 * h);
             assert!((g[i] - fd).abs() < 1e-5, "coord {i}");
+        }
+    }
+
+    #[test]
+    fn fused_value_and_gradient_matches_separate_passes() {
+        let loss = SquaredLoss::new(2).unwrap();
+        let pts = matrix(vec![
+            vec![0.5, -0.5, 1.0],
+            vec![-1.0, 0.3, -1.0],
+            vec![0.2, 0.9, 0.4],
+        ]);
+        let obj = WeightedObjective::new(&loss, &pts, &[0.2, 0.0, 0.8]).unwrap();
+        let theta = [0.4, -0.6];
+        let mut fused = vec![0.0; 2];
+        let value = obj.value_and_gradient(&theta, &mut fused);
+        assert!((value - obj.value(&theta)).abs() < 1e-15);
+        let separate = obj.gradient_vec(&theta);
+        for (a, b) in fused.iter().zip(&separate) {
+            assert!((a - b).abs() < 1e-15, "{a} vs {b}");
         }
     }
 

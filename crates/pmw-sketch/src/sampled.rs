@@ -453,6 +453,12 @@ impl<S: PointSource> StateBackend for SampledBackend<S> {
     fn requires_shared_loss(&self) -> bool {
         true
     }
+
+    fn requires_materialized_universe(&self) -> bool {
+        // The pool caches its own points; `points` is only ever zipped
+        // against the caller's data-side weights for the diagnostics gap.
+        false
+    }
 }
 
 #[cfg(test)]

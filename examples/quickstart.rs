@@ -52,8 +52,8 @@ fn main() {
         let theta = mechanism.answer(loss, &mut rng).expect("answer");
         let risk = pmw::erm::excess_risk(
             loss,
-            mechanism.universe_points(),
-            mechanism.data_histogram().weights(),
+            mechanism.data_points(),
+            mechanism.data_weights(),
             &theta,
             1_000,
         )

@@ -78,7 +78,9 @@ fn cm_pmw_answers_regression_stream_within_alpha() {
     assert_eq!(t.updates(), mech.updates_used());
     for r in t.records() {
         match r.outcome {
-            QueryOutcome::FromOracle => assert!(r.update_round.is_some()),
+            QueryOutcome::FromOracle | QueryOutcome::UpdateFailed => {
+                assert!(r.update_round.is_some())
+            }
             QueryOutcome::FromHypothesis => assert!(r.update_round.is_none()),
         }
     }
