@@ -1,13 +1,14 @@
 //! CI gate: validate the machine-readable bench artifacts.
 //!
-//! Reads `BENCH_runtime.json` and `BENCH_sublinear.json` from the working
-//! directory (or the paths given as arguments, in that order) and checks
-//! the schema each is contracted to carry: required keys present, every
-//! ns-per-element / per-round figure finite and positive, the backend
-//! axis complete, and the sublinear artifact's answer-error column
-//! populated. Exits nonzero with a diagnostic on the first violation.
+//! Reads `BENCH_runtime.json`, `BENCH_sublinear.json` and
+//! `BENCH_mwem.json` from the working directory (or the paths given as
+//! arguments, in that order) and checks the schema each is contracted to
+//! carry: required keys present, every ns-per-element / per-round figure
+//! finite and positive, the backend axis complete, and the answer-error
+//! columns populated. Exits nonzero with a diagnostic on the first
+//! violation.
 
-use pmw_bench::schema::{validate_bench_runtime, validate_bench_sublinear};
+use pmw_bench::schema::{validate_bench_mwem, validate_bench_runtime, validate_bench_sublinear};
 use std::process::ExitCode;
 
 fn check(path: &str, validate: fn(&str) -> Result<(), String>) -> Result<(), String> {
@@ -21,9 +22,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let runtime = args.first().map_or("BENCH_runtime.json", String::as_str);
     let sublinear = args.get(1).map_or("BENCH_sublinear.json", String::as_str);
+    let mwem = args.get(2).map_or("BENCH_mwem.json", String::as_str);
     let checks = [
         check(runtime, validate_bench_runtime),
         check(sublinear, validate_bench_sublinear),
+        check(mwem, validate_bench_mwem),
     ];
     for c in checks {
         if let Err(e) = c {

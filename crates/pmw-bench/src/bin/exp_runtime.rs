@@ -244,7 +244,10 @@ fn measure_backend_axis(log2_x: usize, rounds: usize, budget: usize) -> Vec<Back
     // Sampled: O(budget·d) pooled round (record + certificate estimate).
     let mut sampled = SampledBackend::new(
         UniversePoints(cube),
-        SampledConfig { budget, beta: 1e-6 },
+        SampledConfig {
+            budget,
+            ..SampledConfig::default()
+        },
         &mut rng,
     )
     .unwrap();

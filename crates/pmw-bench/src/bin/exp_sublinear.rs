@@ -76,8 +76,15 @@ fn measure_sublinear(log2_x: usize, rounds: usize, budget: usize, with_dense: bo
     let dim = log2_x;
     let source = BigBitCube::new(dim).expect("cube source");
     let mut rng = StdRng::seed_from_u64(1000 + log2_x as u64);
-    let mut backend = SampledBackend::new(source, SampledConfig { budget, beta: 1e-6 }, &mut rng)
-        .expect("sampled backend");
+    let mut backend = SampledBackend::new(
+        source,
+        SampledConfig {
+            budget,
+            ..SampledConfig::default()
+        },
+        &mut rng,
+    )
+    .expect("sampled backend");
 
     let mut dense = if with_dense {
         let cube = BooleanCube::new(dim).expect("dense cube");
@@ -161,8 +168,15 @@ fn measure_mechanism(log2_x: usize, queries: usize, budget: usize, n: usize) -> 
         })
         .collect();
     let dataset = Dataset::from_indices(source.len(), rows).expect("dataset");
-    let backend = SampledBackend::new(source, SampledConfig { budget, beta: 1e-6 }, &mut rng)
-        .expect("sampled backend");
+    let backend = SampledBackend::new(
+        source,
+        SampledConfig {
+            budget,
+            ..SampledConfig::default()
+        },
+        &mut rng,
+    )
+    .expect("sampled backend");
     let config = PmwConfig::builder(2.0, 1e-6, 0.05)
         .k(queries)
         .rounds_override((queries / 2).max(2))

@@ -127,6 +127,45 @@ pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate `BENCH_mwem.json`: the Fast-MWEM scaling record. Checks the
+/// sampled per-round figures and dense extrapolation at every size, and
+/// the shared-size answer-error columns (vs dense, vs truth, and the
+/// pool-refresh variant).
+pub fn validate_bench_mwem(json: &str) -> Result<(), String> {
+    if !has_key(json, "experiment") || !json.contains("mwem_scaling") {
+        return Err("not a mwem_scaling artifact".into());
+    }
+    for key in [
+        "rounds",
+        "queries",
+        "budget",
+        "mwem_n",
+        "epsilon",
+        "log2_x",
+        "universe",
+        "dense_ns_per_elem_ref",
+        "sampled_per_round_ns",
+        "dense_extrapolated_round_ns",
+        "speedup_vs_dense_extrapolation",
+        "mwem_answers",
+        "dense_per_round_ns",
+    ] {
+        require_positive(json, key)?;
+    }
+    for key in [
+        "resample_every",
+        "answer_err_vs_dense_mean",
+        "answer_err_vs_dense_max",
+        "selection_matches",
+        "answer_err_vs_truth_mean",
+        "answer_err_vs_truth_resampled_mean",
+        "resamples",
+    ] {
+        require_non_negative(json, key)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +253,46 @@ mod tests {
             "\"mechanism_per_answer_ns\": 0.0",
         );
         assert!(validate_bench_sublinear(&zero_mech).is_err());
+    }
+
+    #[test]
+    fn mwem_validator_round_trips() {
+        let json = r#"{
+          "experiment": "mwem_scaling", "rounds": 8, "queries": 24,
+          "budget": 2048, "mwem_n": 2000, "epsilon": 4.0,
+          "resample_every": 4, "dense_ref_log2_x": 16,
+          "dense_ns_per_elem_ref": 3.2,
+          "sizes": [
+            {"log2_x": 16, "universe": 65536,
+             "sampled_per_round_ns": 900000.0,
+             "dense_extrapolated_round_ns": 210000.0,
+             "speedup_vs_dense_extrapolation": 0.3,
+             "mwem_answers": 24,
+             "dense_per_round_ns": 210000.0,
+             "answer_err_vs_dense_mean": 0.002, "answer_err_vs_dense_max": 0.008,
+             "selection_matches": 8,
+             "answer_err_vs_truth_mean": 0.01,
+             "answer_err_vs_truth_resampled_mean": 0.008,
+             "resamples": 2},
+            {"log2_x": 26, "universe": 67108864,
+             "sampled_per_round_ns": 1000000.0,
+             "dense_extrapolated_round_ns": 214748364.8,
+             "speedup_vs_dense_extrapolation": 214.7,
+             "mwem_answers": 24}
+          ]
+        }"#;
+        validate_bench_mwem(json).unwrap();
+        assert!(validate_bench_mwem("{}").is_err());
+        let zero_speed = json.replace(
+            "\"speedup_vs_dense_extrapolation\": 214.7",
+            "\"speedup_vs_dense_extrapolation\": 0.0",
+        );
+        assert!(validate_bench_mwem(&zero_speed).is_err());
+        let no_err = json.replace("\"answer_err_vs_dense_mean\": 0.002,", "");
+        assert!(validate_bench_mwem(&no_err).is_err());
+        let no_resample_col = json.replace("\"answer_err_vs_truth_resampled_mean\": 0.008,", "");
+        assert!(validate_bench_mwem(&no_resample_col).is_err());
+        // A runtime artifact is not a MWEM artifact.
+        assert!(validate_bench_mwem("{\"experiment\": \"runtime_scaling\"}").is_err());
     }
 }

@@ -53,8 +53,8 @@ pub use composition_baseline::CompositionMechanism;
 pub use config::{DerivedParams, PmwConfig, PmwConfigBuilder};
 pub use error::PmwError;
 pub use game::{run_accuracy_game, GameOutcome};
-pub use linear::{LinearPmw, Mwem};
+pub use linear::{LinearPmw, Mwem, MwemResult, MwemRun};
 pub use mechanism::OnlinePmw;
 pub use offline::{OfflineBackendResult, OfflinePmw};
-pub use state::{DenseBackend, StateBackend};
+pub use state::{DenseBackend, QueryEstimate, StateBackend};
 pub use transcript::{QueryOutcome, QueryRecord, Transcript};

@@ -12,28 +12,190 @@
 //!   \[HLM12\]: all queries known up front, exponential-mechanism selection of
 //!   the worst query each round, Laplace measurement, MW update, answers
 //!   from the averaged hypothesis.
+//!
+//! Both mechanisms are generic over the [`StateBackend`] holding `D̂_t` and
+//! over the [`PointQuery`] representation of the workload, so the same code
+//! runs the classic dense pipeline (`DenseBackend` + dense
+//! [`LinearQuery`] vectors — bit-for-bit the pre-seam behavior, same rng
+//! streams) and the **sublinear** pipeline of *Fast-MWEM: Private Data
+//! Release in Sublinear Time*: implicit (marginal / parity / threshold)
+//! queries over a `pmw_sketch::SampledBackend`, constructed through
+//! [`LinearPmw::with_point_source`] / [`Mwem::run_with_source`], where
+//! neither the universe, the data histogram, nor any query vector is ever
+//! materialized — the data side sweeps the dataset's ≤ n support rows and
+//! the hypothesis side sweeps a Monte-Carlo pool, both flat in `|X|`.
 
 use crate::config::PmwConfig;
 use crate::error::PmwError;
-use pmw_data::workload::LinearQuery;
-use pmw_data::{Dataset, Histogram};
+use crate::state::{eval_query_on_histogram, DenseBackend, StateBackend};
+use pmw_data::workload::{query_value, LinearQuery, PointQuery};
+use pmw_data::{Dataset, Histogram, PointMatrix, PointSource, Universe};
 use pmw_dp::sparse_vector::{SvConfig, SvOutcome};
-use pmw_dp::{Accountant, ExponentialMechanism, LaplaceMechanism, PrivacyBudget, SparseVector};
+use pmw_dp::{Accountant, ExponentialMechanism, LaplaceMechanism, SparseVector};
 use rand::Rng;
+use std::rc::Rc;
+
+/// The data-side representation of the true query answers `q(D)` — dense
+/// histogram on the classic path, the dataset's support rows on the
+/// sublinear path (mirrors the mechanism-side `DataSide` of
+/// [`crate::OnlinePmw`]).
+enum QueryData {
+    /// Universe-indexed: the Θ(|X|) data histogram, plus the materialized
+    /// universe points when the construction had a [`Universe`] in hand
+    /// (required to evaluate implicit queries densely).
+    Dense {
+        histogram: Histogram,
+        points: Option<PointMatrix>,
+    },
+    /// Row-indexed: only the dataset's ≤ n distinct support rows with
+    /// their empirical weights — `O(n·d)` per query evaluation,
+    /// independent of `|X|`.
+    Rows {
+        universe: usize,
+        indices: Vec<usize>,
+        points: PointMatrix,
+        weights: Vec<f64>,
+    },
+}
+
+impl QueryData {
+    fn from_source<S: PointSource + ?Sized>(
+        dataset: &Dataset,
+        source: &S,
+    ) -> Result<Self, PmwError> {
+        if dataset.universe_size() != source.len() {
+            return Err(PmwError::LossMismatch(
+                "dataset universe size does not match point source",
+            ));
+        }
+        let (indices, points, weights) = dataset.support_points_indexed(source)?;
+        Ok(QueryData::Rows {
+            universe: source.len(),
+            indices,
+            points,
+            weights,
+        })
+    }
+
+    fn universe_size(&self) -> usize {
+        match self {
+            QueryData::Dense { histogram, .. } => histogram.len(),
+            QueryData::Rows { universe, .. } => *universe,
+        }
+    }
+
+    /// The materialized universe points, when this data side holds them
+    /// (dense constructions from a [`Universe`] only).
+    fn universe_points(&self) -> Option<&PointMatrix> {
+        match self {
+            QueryData::Dense { points, .. } => points.as_ref(),
+            QueryData::Rows { .. } => None,
+        }
+    }
+
+    /// Validate that `q` is evaluable against this data side (and against
+    /// the hypothesis state, which shares the universe).
+    fn check_query(&self, q: &dyn PointQuery) -> Result<(), PmwError> {
+        if let Some(len) = q.universe_len() {
+            if len != self.universe_size() {
+                return Err(PmwError::LossMismatch("query length != universe size"));
+            }
+            return Ok(());
+        }
+        if let Some(d) = q.point_dim() {
+            return match self {
+                QueryData::Dense {
+                    points: Some(p), ..
+                }
+                | QueryData::Rows { points: p, .. } => {
+                    if p.dim() != d {
+                        Err(PmwError::LossMismatch(
+                            "query point dimension does not match universe points",
+                        ))
+                    } else {
+                        Ok(())
+                    }
+                }
+                QueryData::Dense { points: None, .. } => Err(PmwError::LossMismatch(
+                    "implicit queries need universe points; construct with a universe or point source",
+                )),
+            };
+        }
+        Err(PmwError::LossMismatch(
+            "query supports neither index nor point evaluation",
+        ))
+    }
+
+    /// The true answer `q(D)`.
+    fn evaluate(&self, q: &dyn PointQuery) -> Result<f64, PmwError> {
+        match self {
+            QueryData::Dense { histogram, points } => {
+                eval_query_on_histogram(q, histogram, points.as_ref())
+            }
+            QueryData::Rows {
+                indices,
+                points,
+                weights,
+                ..
+            } => {
+                let mut value = 0.0;
+                for ((&idx, point), &w) in indices.iter().zip(points.iter()).zip(weights) {
+                    value += w * query_value(q, idx, point)?;
+                }
+                Ok(value)
+            }
+        }
+    }
+}
+
+/// Pre-check and collect the owned query handles a retaining backend
+/// needs, **before** any privacy budget is spent — mirrors the
+/// `requires_shared_loss` guard of the CM mechanisms.
+fn retained_handles(
+    queries: &[&dyn PointQuery],
+    state: &dyn StateBackend,
+) -> Result<Option<Vec<Rc<dyn PointQuery>>>, PmwError> {
+    if !state.requires_shared_loss() {
+        return Ok(None);
+    }
+    queries
+        .iter()
+        .map(|q| {
+            if q.point_dim().is_none() {
+                return Err(PmwError::LossMismatch(
+                    "this state backend re-evaluates retained updates from point coordinates; \
+                     universe-indexed (dense) queries cannot be recorded — use implicit queries",
+                ));
+            }
+            q.clone_shared().ok_or(PmwError::LossMismatch(
+                "this state backend requires queries supporting clone_shared",
+            ))
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(Some)
+}
 
 /// Online private multiplicative weights for linear queries \[HR10\].
 ///
 /// Use a [`PmwConfig`] with `scale(1.0)` for queries with values in `[0, 1]`
 /// (the scale bound plays the role of the query range).
-pub struct LinearPmw {
-    hypothesis: Histogram,
-    data: Histogram,
+///
+/// Generic over the [`StateBackend`] holding the hypothesis: the default
+/// dense construction ([`LinearPmw::new`]) reproduces the classic pipeline
+/// bit-for-bit; [`LinearPmw::with_point_source`] plus a sketching backend
+/// (e.g. `pmw_sketch::SampledBackend`) answers implicit query workloads at
+/// `|X| = 2^26` and beyond with per-answer cost flat in `|X|`.
+pub struct LinearPmw<B: StateBackend = DenseBackend> {
+    state: B,
+    data: QueryData,
     eta: f64,
     k: usize,
     alpha: f64,
-    laplace_epsilon: f64,
-    range: f64,
-    n: usize,
+    /// The above-threshold measurement mechanism, built once at
+    /// construction so no fallible step sits between the sparse vector
+    /// consuming a top and the round being burned.
+    laplace: LaplaceMechanism,
+    rounds: usize,
     sv: SparseVector,
     queries_answered: usize,
     updates_used: usize,
@@ -41,8 +203,11 @@ pub struct LinearPmw {
     halted: bool,
 }
 
-impl LinearPmw {
-    /// Build over a universe of the given size.
+impl LinearPmw<DenseBackend> {
+    /// Build over a universe of the given size with the dense (exact)
+    /// state backend — the classic \[HR10\] pipeline, unchanged. Dense
+    /// [`LinearQuery`] workloads only; implicit queries need the
+    /// point-carrying constructors.
     pub fn new(
         config: PmwConfig,
         universe_size: usize,
@@ -54,8 +219,81 @@ impl LinearPmw {
                 "dataset universe size does not match universe",
             ));
         }
+        let data = QueryData::Dense {
+            histogram: dataset.histogram(),
+            points: None,
+        };
+        let state = DenseBackend::new(universe_size)?;
+        Self::build(config, universe_size, dataset.len(), data, state, rng)
+    }
+
+    /// The current hypothesis histogram.
+    pub fn hypothesis(&self) -> &Histogram {
+        self.state.hypothesis()
+    }
+}
+
+impl<B: StateBackend> LinearPmw<B> {
+    /// Build with an explicit state backend over a materialized universe.
+    /// The data side stays dense (Θ(|X|) histogram) but carries the
+    /// universe points, so **implicit** queries evaluate on this path too.
+    pub fn with_backend<U: Universe>(
+        config: PmwConfig,
+        universe: &U,
+        dataset: &Dataset,
+        state: B,
+        rng: &mut dyn Rng,
+    ) -> Result<Self, PmwError> {
+        if dataset.universe_size() != universe.size() {
+            return Err(PmwError::LossMismatch(
+                "dataset universe size does not match universe",
+            ));
+        }
+        let data = QueryData::Dense {
+            histogram: dataset.histogram(),
+            points: Some(universe.materialize()),
+        };
+        Self::build(config, universe.size(), dataset.len(), data, state, rng)
+    }
+
+    /// Fully sublinear construction: universe points come from `source` on
+    /// demand, only the dataset's ≤ n support rows are materialized, and
+    /// the true answers `q(D)` are `O(n·d)` row sweeps. Requires a
+    /// sketching state backend
+    /// (`!`[`StateBackend::requires_materialized_universe`]) and implicit
+    /// ([`PointQuery::point_dim`]) queries.
+    pub fn with_point_source<S: PointSource + ?Sized>(
+        config: PmwConfig,
+        source: &S,
+        dataset: &Dataset,
+        state: B,
+        rng: &mut dyn Rng,
+    ) -> Result<Self, PmwError> {
+        if state.requires_materialized_universe() {
+            return Err(PmwError::InvalidConfig(
+                "this state backend sweeps a materialized universe; point-source construction needs a sketching backend",
+            ));
+        }
+        let data = QueryData::from_source(dataset, source)?;
+        Self::build(config, source.len(), dataset.len(), data, state, rng)
+    }
+
+    /// Shared constructor tail. Draws exactly the sparse-vector noise from
+    /// `rng` (the dense path's stream is unchanged).
+    fn build(
+        config: PmwConfig,
+        universe_size: usize,
+        n: usize,
+        data: QueryData,
+        state: B,
+        rng: &mut dyn Rng,
+    ) -> Result<Self, PmwError> {
+        if state.universe_size() != universe_size {
+            return Err(PmwError::LossMismatch(
+                "state backend universe size does not match universe",
+            ));
+        }
         let derived = config.derive(universe_size)?;
-        let n = dataset.len();
         let range = config.scale_s;
         let sv = SparseVector::new(
             SvConfig {
@@ -70,14 +308,13 @@ impl LinearPmw {
         let mut accountant = Accountant::new();
         accountant.spend("sparse-vector", derived.sv_budget);
         Ok(Self {
-            hypothesis: Histogram::uniform(universe_size)?,
-            data: dataset.histogram(),
+            state,
+            data,
             eta: derived.eta,
             k: config.k,
             alpha: config.alpha,
-            laplace_epsilon: derived.oracle_budget.epsilon(),
-            range,
-            n,
+            laplace: LaplaceMechanism::new(range / n as f64, derived.oracle_budget.epsilon())?,
+            rounds: derived.rounds,
             sv,
             queries_answered: 0,
             updates_used: 0,
@@ -86,19 +323,37 @@ impl LinearPmw {
         })
     }
 
-    /// Answer one linear query.
-    pub fn answer(&mut self, query: &LinearQuery, rng: &mut dyn Rng) -> Result<f64, PmwError> {
+    /// Answer one linear query (dense [`LinearQuery`] or implicit
+    /// [`pmw_data::ImplicitQuery`], per the construction).
+    ///
+    /// On an above-threshold (`⊤`) outcome the sparse-vector top is
+    /// consumed inside `process`, so from there the round is burned no
+    /// matter how the Laplace release or the MW update fares: the Laplace
+    /// budget is charged **before** the release, `updates_used` advances
+    /// on every exit path, and SV's halt is mirrored — the counters can
+    /// never desync from `sv.tops_used()` (the same bug class as the
+    /// Figure-3 mechanism's SV/oracle fix, regression-tested with a
+    /// failing-backend stub).
+    pub fn answer(&mut self, query: &dyn PointQuery, rng: &mut dyn Rng) -> Result<f64, PmwError> {
         if self.halted {
             return Err(PmwError::Halted);
         }
         if self.queries_answered >= self.k {
             return Err(PmwError::QueryLimitReached);
         }
-        if query.len() != self.hypothesis.len() {
-            return Err(PmwError::LossMismatch("query length != universe size"));
-        }
-        let est = query.evaluate(&self.hypothesis);
-        let truth = query.evaluate(&self.data);
+        self.data.check_query(query)?;
+        // Retaining backends need an owned query handle; obtain it before
+        // any sparse-vector round or budget is consumed on an update that
+        // could never be recorded.
+        let retained = match retained_handles(&[query], &self.state)? {
+            Some(mut handles) => handles.pop(),
+            None => None,
+        };
+        let est = self
+            .state
+            .expected_query_value(query, self.data.universe_points(), rng)?
+            .value;
+        let truth = self.data.evaluate(query)?;
         let err = (est - truth).abs();
         let outcome = match self.sv.process(err, rng) {
             Ok(o) => o,
@@ -111,37 +366,69 @@ impl LinearPmw {
         let answer = match outcome {
             SvOutcome::Bottom => est,
             SvOutcome::Top => {
-                let mech = LaplaceMechanism::new(self.range / self.n as f64, self.laplace_epsilon)?;
-                let measured = mech.release(truth, rng)?;
-                self.accountant
-                    .spend("laplace", PrivacyBudget::pure(self.laplace_epsilon)?);
-                // Update direction: if the hypothesis overestimates, penalize
-                // elements where q(x) is large (exp(-eta*q)); otherwise boost.
-                let u: Vec<f64> = if est > measured {
-                    query.values().to_vec()
-                } else {
-                    query.values().iter().map(|v| -v).collect()
-                };
-                self.hypothesis.mw_update(&u, self.eta)?;
+                // Budget first: the release and the update may fail after
+                // the SV top is already consumed, and a failing release
+                // may already have leaked its noise.
+                self.accountant.spend("laplace", self.laplace.budget());
+                let applied = self
+                    .laplace
+                    .release(truth, rng)
+                    .map_err(PmwError::from)
+                    .and_then(|measured| {
+                        // Update direction: if the hypothesis overestimates,
+                        // penalize elements where q(x) is large
+                        // (exp(-eta*q)); otherwise boost.
+                        let coeff = if est > measured { 1.0 } else { -1.0 };
+                        self.state
+                            .apply_query_update(
+                                query,
+                                retained,
+                                coeff,
+                                self.eta,
+                                self.data.universe_points(),
+                                rng,
+                            )
+                            .map(|()| measured)
+                    });
+                // The top is spent whatever happened above: burn the round
+                // and mirror SV's halt so the counters stay in sync.
                 self.updates_used += 1;
                 if self.sv.has_halted() {
                     self.halted = true;
                 }
-                measured
+                match applied {
+                    Ok(measured) => measured,
+                    Err(e) => {
+                        self.queries_answered += 1;
+                        return Err(e);
+                    }
+                }
             }
         };
         self.queries_answered += 1;
         Ok(answer)
     }
 
-    /// The current hypothesis histogram.
-    pub fn hypothesis(&self) -> &Histogram {
-        &self.hypothesis
+    /// The state backend holding the hypothesis.
+    pub fn state(&self) -> &B {
+        &self.state
+    }
+
+    /// The dense hypothesis histogram, when the backend maintains one.
+    pub fn dense_hypothesis(&self) -> Option<&Histogram> {
+        self.state.dense_hypothesis()
     }
 
     /// Updates consumed.
     pub fn updates_used(&self) -> usize {
         self.updates_used
+    }
+
+    /// Update slots remaining before the mechanism halts (saturating, so
+    /// the invariant `updates_used() + updates_remaining() == T` holds on
+    /// every path).
+    pub fn updates_remaining(&self) -> usize {
+        self.rounds.saturating_sub(self.updates_used)
     }
 
     /// True once the update budget is exhausted.
@@ -160,15 +447,39 @@ impl LinearPmw {
     }
 }
 
-/// Result of an offline MWEM run.
+/// Result of an offline MWEM run on the dense (classic) path.
 #[derive(Debug, Clone)]
 pub struct MwemResult {
     /// The averaged hypothesis histogram (HLM12 recommend averaging).
     pub histogram: Histogram,
-    /// Answers to every input query, evaluated on the averaged histogram.
+    /// Answers to every input query, evaluated on the averaged hypothesis.
     pub answers: Vec<f64>,
     /// Indices of the queries selected for measurement each round.
     pub selected: Vec<usize>,
+    /// The privacy ledger: one exponential-mechanism and one Laplace entry
+    /// per round, auditable against the declared `ε`.
+    pub accountant: Accountant,
+}
+
+/// Result of a backend-generic MWEM run ([`Mwem::run_with_backend`] /
+/// [`Mwem::run_with_source`]).
+pub struct MwemRun<B> {
+    /// The final state backend (post-processing of private outputs; usable
+    /// for synthetic data via [`StateBackend::sample_indices`]).
+    pub state: B,
+    /// The averaged hypothesis, when the backend maintains a dense one
+    /// (`None` on sketched state — no `|X|`-sized structure exists).
+    pub averaged: Option<Histogram>,
+    /// Answers to every input query: averaged-hypothesis evaluations on
+    /// the dense path, the mean of the per-round hypothesis estimates on
+    /// the sketched path (equal in expectation — averaging commutes with
+    /// linear queries).
+    pub answers: Vec<f64>,
+    /// Indices of the queries selected for measurement each round.
+    pub selected: Vec<usize>,
+    /// The privacy ledger: per-round exponential-mechanism + Laplace
+    /// entries.
+    pub accountant: Accountant,
 }
 
 /// Offline MWEM \[HLM12\].
@@ -192,9 +503,10 @@ impl Mwem {
         Ok(Self { rounds, range })
     }
 
-    /// Run MWEM on the full query workload under a pure `ε` budget, split
+    /// Run MWEM on a dense query workload under a pure `ε` budget, split
     /// evenly: `ε/2T` per exponential-mechanism selection, `ε/2T` per
-    /// Laplace measurement.
+    /// Laplace measurement. The classic pipeline: dense state, answers
+    /// from the averaged histogram.
     pub fn run(
         &self,
         queries: &[LinearQuery],
@@ -202,54 +514,191 @@ impl Mwem {
         epsilon: f64,
         rng: &mut dyn Rng,
     ) -> Result<MwemResult, PmwError> {
+        let m = dataset.universe_size();
+        let data = QueryData::Dense {
+            histogram: dataset.histogram(),
+            points: None,
+        };
+        let state = DenseBackend::new(m)?;
+        let qrefs: Vec<&dyn PointQuery> = queries.iter().map(|q| q as &dyn PointQuery).collect();
+        let run = self.engine(&qrefs, &data, dataset.len(), epsilon, state, rng)?;
+        Ok(MwemResult {
+            histogram: run
+                .averaged
+                .expect("the dense backend maintains a histogram"),
+            answers: run.answers,
+            selected: run.selected,
+            accountant: run.accountant,
+        })
+    }
+
+    /// Backend-generic MWEM over a materialized universe: any
+    /// [`PointQuery`] workload (dense or implicit — the universe points
+    /// are in hand for the data side), any [`StateBackend`].
+    pub fn run_with_backend<U: Universe, Q: PointQuery, B: StateBackend>(
+        &self,
+        queries: &[Q],
+        universe: &U,
+        dataset: &Dataset,
+        epsilon: f64,
+        state: B,
+        rng: &mut dyn Rng,
+    ) -> Result<MwemRun<B>, PmwError> {
+        if dataset.universe_size() != universe.size() {
+            return Err(PmwError::LossMismatch(
+                "dataset universe size does not match universe",
+            ));
+        }
+        let data = QueryData::Dense {
+            histogram: dataset.histogram(),
+            points: Some(universe.materialize()),
+        };
+        let qrefs: Vec<&dyn PointQuery> = queries.iter().map(|q| q as &dyn PointQuery).collect();
+        self.engine(&qrefs, &data, dataset.len(), epsilon, state, rng)
+    }
+
+    /// Fully sublinear MWEM — the *Fast-MWEM* construction: implicit
+    /// queries, a sketching state backend, and a data side holding only
+    /// the dataset's ≤ n support rows. Nothing `|X|`-sized is ever
+    /// allocated, so universes past the materialization cap
+    /// (`pmw_data::BigBitCube`, `2^26`+) run at per-round cost flat in
+    /// `|X|`.
+    pub fn run_with_source<S: PointSource + ?Sized, Q: PointQuery, B: StateBackend>(
+        &self,
+        queries: &[Q],
+        source: &S,
+        dataset: &Dataset,
+        epsilon: f64,
+        state: B,
+        rng: &mut dyn Rng,
+    ) -> Result<MwemRun<B>, PmwError> {
+        if state.requires_materialized_universe() {
+            return Err(PmwError::InvalidConfig(
+                "this state backend sweeps a materialized universe; point-source construction needs a sketching backend",
+            ));
+        }
+        let data = QueryData::from_source(dataset, source)?;
+        let qrefs: Vec<&dyn PointQuery> = queries.iter().map(|q| q as &dyn PointQuery).collect();
+        self.engine(&qrefs, &data, dataset.len(), epsilon, state, rng)
+    }
+
+    /// The shared MWEM engine. On `DenseBackend` this consumes the same
+    /// rng stream as the classic implementation (`T × (k` Gumbel draws `+
+    /// 1` Laplace draw`)`) and evaluates the same inner products, so dense
+    /// selections are preserved.
+    fn engine<B: StateBackend>(
+        &self,
+        queries: &[&dyn PointQuery],
+        data: &QueryData,
+        n: usize,
+        epsilon: f64,
+        mut state: B,
+        rng: &mut dyn Rng,
+    ) -> Result<MwemRun<B>, PmwError> {
         if queries.is_empty() {
             return Err(PmwError::InvalidConfig("need at least one query"));
         }
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(PmwError::InvalidConfig("epsilon must be positive"));
         }
-        let m = dataset.universe_size();
-        if queries.iter().any(|q| q.len() != m) {
-            return Err(PmwError::LossMismatch("query length != universe size"));
+        if state.universe_size() != data.universe_size() {
+            return Err(PmwError::LossMismatch(
+                "state backend universe size does not match universe",
+            ));
         }
-        let data = dataset.histogram();
-        let n = dataset.len();
+        for q in queries {
+            data.check_query(*q)?;
+        }
+        // Retention pre-check before any privacy spend.
+        let shared = retained_handles(queries, &state)?;
+
         let per_round = epsilon / (2.0 * self.rounds as f64);
         let sensitivity = self.range / n as f64;
         let em = ExponentialMechanism::new(sensitivity, per_round)?;
         let lap = LaplaceMechanism::new(sensitivity, per_round)?;
+        let points = data.universe_points();
 
-        let mut hypothesis = Histogram::uniform(m)?;
-        let mut avg = vec![0.0; m];
+        // True answers are data-independent of the round: evaluate once.
+        let truths: Vec<f64> = queries
+            .iter()
+            .map(|q| data.evaluate(*q))
+            .collect::<Result<_, _>>()?;
+        // Hypothesis estimates under D̂_1 (round-1 selection scores).
+        let mut ests: Vec<f64> = queries
+            .iter()
+            .map(|q| state.expected_query_value(*q, points, rng).map(|e| e.value))
+            .collect::<Result<_, _>>()?;
+
+        let mut accountant = Accountant::new();
         let mut selected = Vec::with_capacity(self.rounds);
-        for _ in 0..self.rounds {
+        let mut answer_sums = vec![0.0; queries.len()];
+        // Dense backends also accumulate the HLM12 averaged histogram.
+        let mut avg: Option<Vec<f64>> = state.dense_hypothesis().map(|h| vec![0.0; h.len()]);
+        for t in 0..self.rounds {
             // Select the query the hypothesis answers worst.
-            let scores: Vec<f64> = queries
+            let scores: Vec<f64> = ests
                 .iter()
-                .map(|q| (q.evaluate(&hypothesis) - q.evaluate(&data)).abs())
+                .zip(&truths)
+                .map(|(e, t)| (e - t).abs())
                 .collect();
             let idx = em.select(&scores, rng)?;
+            accountant.spend("exponential-mechanism", em.budget());
             selected.push(idx);
-            let q = &queries[idx];
-            let est = q.evaluate(&hypothesis);
-            let measured = lap.release(q.evaluate(&data), rng)?;
+            let measured = lap.release(truths[idx], rng)?;
+            accountant.spend("laplace", lap.budget());
             // MWEM update: D(x) *= exp(q(x)·(measured − est)/(2·range)).
-            let u: Vec<f64> = q
-                .values()
-                .iter()
-                .map(|&v| -v * (measured - est) / (2.0 * self.range))
-                .collect();
-            hypothesis.mw_update(&u, 1.0)?;
-            for (a, w) in avg.iter_mut().zip(hypothesis.weights()) {
-                *a += w;
+            let coeff = (ests[idx] - measured) / (2.0 * self.range);
+            let retained = shared.as_ref().map(|handles| handles[idx].clone());
+            state.apply_query_update(queries[idx], retained, coeff, 1.0, points, rng)?;
+            // Post-update estimates: next round's scores, and — on the
+            // sketched path — one term of the averaged answers (averaging
+            // commutes with linear queries, so summing per-round
+            // estimates equals evaluating on the averaged hypothesis).
+            // The dense path answers from the averaged histogram instead,
+            // so it skips both the final-round recompute and the sums.
+            let last = t + 1 == self.rounds;
+            if !(last && avg.is_some()) {
+                ests = queries
+                    .iter()
+                    .map(|q| state.expected_query_value(*q, points, rng).map(|e| e.value))
+                    .collect::<Result<_, _>>()?;
+            }
+            if avg.is_none() {
+                for (sum, est) in answer_sums.iter_mut().zip(&ests) {
+                    *sum += est;
+                }
+            }
+            if let Some(avg) = avg.as_mut() {
+                let weights = state
+                    .dense_hypothesis()
+                    .expect("dense hypothesis cannot disappear mid-run")
+                    .weights();
+                for (a, w) in avg.iter_mut().zip(weights) {
+                    *a += w;
+                }
             }
         }
-        let averaged = Histogram::from_weights(avg)?;
-        let answers = queries.iter().map(|q| q.evaluate(&averaged)).collect();
-        Ok(MwemResult {
-            histogram: averaged,
+        let averaged = match avg {
+            Some(weights) => Some(Histogram::from_weights(weights)?),
+            None => None,
+        };
+        let answers = match &averaged {
+            // Dense path: answers from the averaged histogram, exactly as
+            // HLM12 (and the pre-seam implementation) compute them.
+            Some(h) => queries
+                .iter()
+                .map(|q| eval_query_on_histogram(*q, h, points))
+                .collect::<Result<_, _>>()?,
+            // Sketched path: the mean of the per-round estimates — the
+            // same quantity, without any |X|-sized accumulator.
+            None => answer_sums.iter().map(|s| s / self.rounds as f64).collect(),
+        };
+        Ok(MwemRun {
+            state,
+            averaged,
             answers,
             selected,
+            accountant,
         })
     }
 }
@@ -257,7 +706,7 @@ impl Mwem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmw_data::workload::random_counting_queries;
+    use pmw_data::workload::{random_counting_queries, ImplicitQuery};
     use pmw_data::BooleanCube;
     use pmw_data::Universe;
     use rand::rngs::StdRng;
@@ -329,6 +778,163 @@ mod tests {
             mech.answer(&bad, &mut rng),
             Err(PmwError::LossMismatch(_))
         ));
+        // Implicit queries need universe points, which the size-only dense
+        // constructor does not hold.
+        let implicit = ImplicitQuery::marginal(vec![0], 3).unwrap();
+        assert!(matches!(
+            mech.answer(&implicit, &mut rng),
+            Err(PmwError::LossMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn linear_pmw_with_backend_serves_implicit_queries() {
+        // The universe-carrying constructor evaluates implicit marginals
+        // on the dense path; answers must track the dense-query answers
+        // for the same predicate.
+        let mut rng = StdRng::seed_from_u64(147);
+        let cube = BooleanCube::new(4).unwrap();
+        let data = skewed(&cube, 4000, &mut rng);
+        let truth = data.histogram();
+        let state = DenseBackend::new(cube.size()).unwrap();
+        let mut mech =
+            LinearPmw::with_backend(linear_config(8, 6, 0.1), &cube, &data, state, &mut rng)
+                .unwrap();
+        let mut max_err: f64 = 0.0;
+        for bit in 0..cube.dim() {
+            let q = ImplicitQuery::marginal(vec![bit], 4).unwrap();
+            let dense: Vec<f64> = (0..cube.size())
+                .map(|x| if cube.bit(x, bit) { 1.0 } else { 0.0 })
+                .collect();
+            let exact = truth.dot(&dense);
+            match mech.answer(&q, &mut rng) {
+                Ok(a) => max_err = max_err.max((a - exact).abs()),
+                Err(PmwError::Halted) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(max_err <= 0.1 + 0.1, "max error {max_err}");
+    }
+
+    /// A stub backend whose reads succeed but whose query update always
+    /// fails — the regression stub for the SV/accounting desync: the
+    /// sparse vector consumes its top before the release and update run,
+    /// so a failing round must still be burned, charged and halt-mirrored.
+    struct FailingUpdateBackend(DenseBackend);
+
+    impl StateBackend for FailingUpdateBackend {
+        fn universe_size(&self) -> usize {
+            self.0.universe_size()
+        }
+
+        fn updates_recorded(&self) -> usize {
+            self.0.updates_recorded()
+        }
+
+        fn hypothesis_minimizer(
+            &self,
+            loss: &dyn pmw_losses::CmLoss,
+            points: &PointMatrix,
+            solver_iters: usize,
+            rng: &mut dyn Rng,
+        ) -> Result<Vec<f64>, PmwError> {
+            self.0.hypothesis_minimizer(loss, points, solver_iters, rng)
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn apply_update(
+            &mut self,
+            loss: &dyn pmw_losses::CmLoss,
+            retained: Option<Rc<dyn pmw_losses::CmLoss>>,
+            points: &PointMatrix,
+            theta_oracle: &[f64],
+            theta_hyp: &[f64],
+            eta: f64,
+            gap_weights: Option<&[f64]>,
+            rng: &mut dyn Rng,
+        ) -> Result<Option<f64>, PmwError> {
+            self.0.apply_update(
+                loss,
+                retained,
+                points,
+                theta_oracle,
+                theta_hyp,
+                eta,
+                gap_weights,
+                rng,
+            )
+        }
+
+        fn sample_indices(&self, m: usize, rng: &mut dyn Rng) -> Result<Vec<usize>, PmwError> {
+            self.0.sample_indices(m, rng)
+        }
+
+        fn expected_query_value(
+            &self,
+            query: &dyn PointQuery,
+            points: Option<&PointMatrix>,
+            rng: &mut dyn Rng,
+        ) -> Result<crate::state::QueryEstimate, PmwError> {
+            self.0.expected_query_value(query, points, rng)
+        }
+
+        fn apply_query_update(
+            &mut self,
+            _query: &dyn PointQuery,
+            _retained: Option<Rc<dyn PointQuery>>,
+            _coeff: f64,
+            _eta: f64,
+            _points: Option<&PointMatrix>,
+            _rng: &mut dyn Rng,
+        ) -> Result<(), PmwError> {
+            Err(PmwError::InvalidConfig("stub query update always fails"))
+        }
+    }
+
+    #[test]
+    fn failed_update_rounds_stay_in_sync_with_sparse_vector() {
+        // n large and alpha small so the planted query's error (~0.4)
+        // fires the sparse vector deterministically: each ask burns an
+        // update round through the failing backend.
+        let mut rng = StdRng::seed_from_u64(151);
+        let cube = BooleanCube::new(3).unwrap();
+        let data = skewed(&cube, 8000, &mut rng);
+        let rounds = 3;
+        let state = FailingUpdateBackend(DenseBackend::new(8).unwrap());
+        let mut mech = LinearPmw::with_backend(
+            linear_config(40, rounds, 0.05),
+            &cube,
+            &data,
+            state,
+            &mut rng,
+        )
+        .unwrap();
+        // Indicator of bit 0 — heavily skewed, so |est - truth| ≈ 0.4.
+        let q =
+            LinearQuery::new((0..8).map(|x| if x & 1 == 1 { 1.0 } else { 0.0 }).collect()).unwrap();
+        let mut burned = 0;
+        let mut asked = 0;
+        while burned < rounds {
+            asked += 1;
+            assert!(asked < 40, "sparse vector never fired");
+            match mech.answer(&q, &mut rng) {
+                Ok(_) => continue, // an unlikely ⊥ draw: free answer
+                Err(PmwError::InvalidConfig(_)) => burned += 1,
+                other => panic!("expected stub failure, got {other:?}"),
+            }
+            // The consumed SV round is recorded everywhere: counters,
+            // the saturating invariant, and the ledger (one Laplace
+            // charge per burned round — charged before the release).
+            assert_eq!(mech.updates_used(), burned);
+            assert_eq!(mech.updates_remaining(), rounds - burned);
+            assert_eq!(mech.updates_used() + mech.updates_remaining(), rounds);
+            assert_eq!(mech.accountant().len(), 1 + burned);
+        }
+        // The final top exhausted SV: the mechanism halts in the same
+        // breath instead of advertising phantom update slots.
+        assert!(mech.has_halted());
+        assert_eq!(mech.updates_remaining(), 0);
+        assert!(matches!(mech.answer(&q, &mut rng), Err(PmwError::Halted)));
     }
 
     #[test]
@@ -408,5 +1014,97 @@ mod tests {
             "{}",
             result.histogram.mass(15)
         );
+    }
+
+    #[test]
+    fn mwem_accountant_audits_the_declared_budget() {
+        let mut rng = StdRng::seed_from_u64(148);
+        let cube = BooleanCube::new(4).unwrap();
+        let data = skewed(&cube, 1500, &mut rng);
+        let queries = random_counting_queries(cube.size(), 12, &mut rng).unwrap();
+        let epsilon = 3.0;
+        let rounds = 7;
+        let result = Mwem::new(rounds, 1.0)
+            .unwrap()
+            .run(&queries, &data, epsilon, &mut rng)
+            .unwrap();
+        // One EM + one Laplace entry per round.
+        assert_eq!(result.accountant.len(), 2 * rounds);
+        let em_entries = result
+            .accountant
+            .entries()
+            .iter()
+            .filter(|e| e.label == "exponential-mechanism")
+            .count();
+        assert_eq!(em_entries, rounds);
+        let total = result.accountant.basic_total().unwrap();
+        assert!(
+            total.epsilon() <= epsilon + 1e-9,
+            "spent {} declared {epsilon}",
+            total.epsilon()
+        );
+        assert_eq!(total.delta(), 0.0);
+    }
+
+    #[test]
+    fn mwem_run_delegates_to_the_dense_backend_engine() {
+        // `run` and `run_with_backend(DenseBackend)` must produce the
+        // identical transcript under the same seed: same selections, same
+        // answers, same ledger length.
+        let cube = BooleanCube::new(4).unwrap();
+        let mut setup_rng = StdRng::seed_from_u64(149);
+        let data = skewed(&cube, 1000, &mut setup_rng);
+        let queries = random_counting_queries(cube.size(), 10, &mut setup_rng).unwrap();
+        let mwem = Mwem::new(6, 1.0).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(777);
+        let classic = mwem.run(&queries, &data, 4.0, &mut rng_a).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(777);
+        let state = DenseBackend::new(cube.size()).unwrap();
+        let generic = mwem
+            .run_with_backend(&queries, &cube, &data, 4.0, state, &mut rng_b)
+            .unwrap();
+        assert_eq!(classic.selected, generic.selected);
+        assert_eq!(classic.answers, generic.answers);
+        assert_eq!(classic.accountant.len(), generic.accountant.len());
+        let avg = generic.averaged.expect("dense run keeps the average");
+        for (a, b) in classic.histogram.weights().iter().zip(avg.weights()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mwem_runs_implicit_workloads_on_the_dense_backend() {
+        // Width-1 implicit marginals over a skewed cube: MWEM must learn
+        // the skewed bit like it does with dense queries.
+        let mut rng = StdRng::seed_from_u64(150);
+        let cube = BooleanCube::new(4).unwrap();
+        let data = skewed(&cube, 3000, &mut rng);
+        let truth = data.histogram();
+        let queries: Vec<ImplicitQuery> = (0..4)
+            .map(|b| ImplicitQuery::marginal(vec![b], 4).unwrap())
+            .collect();
+        let state = DenseBackend::new(cube.size()).unwrap();
+        let rounds = 12;
+        let run = Mwem::new(rounds, 1.0)
+            .unwrap()
+            .run_with_backend(&queries, &cube, &data, 6.0, state, &mut rng)
+            .unwrap();
+        let bit0_truth: f64 = (0..cube.size())
+            .filter(|&x| cube.bit(x, 0))
+            .map(|x| truth.mass(x))
+            .sum();
+        assert!((bit0_truth - 0.9).abs() < 0.05, "{bit0_truth}");
+        // The uniform hypothesis answers 0.5; the averaged MWEM answer
+        // must close most of that ~0.4 gap (it includes the early
+        // near-uniform rounds, so exact convergence is not expected).
+        let uniform_err = (0.5 - bit0_truth).abs();
+        let mwem_err = (run.answers[0] - bit0_truth).abs();
+        assert!(
+            mwem_err < uniform_err / 2.0,
+            "answer {} vs truth {bit0_truth} (uniform err {uniform_err})",
+            run.answers[0]
+        );
+        assert_eq!(run.selected.len(), rounds);
+        assert!(run.averaged.is_some());
     }
 }

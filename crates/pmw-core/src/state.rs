@@ -25,10 +25,60 @@
 
 use crate::error::PmwError;
 use crate::update::dual_certificate_into;
+use pmw_data::workload::PointQuery;
 use pmw_data::{Histogram, PointMatrix};
 use pmw_losses::traits::minimize_weighted;
 use pmw_losses::CmLoss;
 use rand::Rng;
+use std::rc::Rc;
+
+/// `⟨q, h⟩` on a dense histogram: the exact [`Histogram::dot`] fast path
+/// for queries carrying dense values (bit-for-bit the classic pipeline),
+/// a length-checked weighted point sweep for implicit ones. Shared by
+/// [`DenseBackend`] (hypothesis side) and the linear mechanisms' dense
+/// data side, so the two evaluations cannot drift.
+pub(crate) fn eval_query_on_histogram(
+    query: &dyn PointQuery,
+    hist: &Histogram,
+    points: Option<&PointMatrix>,
+) -> Result<f64, PmwError> {
+    if let Some(values) = query.dense_values() {
+        if values.len() != hist.len() {
+            return Err(PmwError::LossMismatch("query length != universe size"));
+        }
+        return Ok(hist.dot(values));
+    }
+    let points = points.ok_or(PmwError::LossMismatch(
+        "implicit queries need universe points; construct with a universe or point source",
+    ))?;
+    if points.len() != hist.len() {
+        return Err(PmwError::LossMismatch(
+            "universe points do not match the histogram size",
+        ));
+    }
+    let mut value = 0.0;
+    for (w, point) in hist.weights().iter().zip(points.iter()) {
+        let q = query.value_at_point(point).ok_or(PmwError::LossMismatch(
+            "query supports neither index nor point evaluation",
+        ))?;
+        value += w * q;
+    }
+    Ok(value)
+}
+
+/// A backend's answer to `⟨q, D̂_t⟩`: the value plus the accuracy claim
+/// attached to it. Exact backends return `radius = beta = 0`; sketching
+/// backends return their concentration bound (`value ± radius` except with
+/// probability `beta`) and record it in their sampling ledger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryEstimate {
+    /// The (estimated) expected query value under `D̂_t`.
+    pub value: f64,
+    /// Claimed deviation bound (0 for exact backends).
+    pub radius: f64,
+    /// Failure probability of the claim (0 for exact backends).
+    pub beta: f64,
+}
 
 /// How the mechanisms hold and read the hypothesis `D̂_t`.
 ///
@@ -98,6 +148,58 @@ pub trait StateBackend {
 
     /// Draw `m` universe indices from `D̂_t` (synthetic-data release).
     fn sample_indices(&self, m: usize, rng: &mut dyn Rng) -> Result<Vec<usize>, PmwError>;
+
+    /// The expected value `⟨q, D̂_t⟩ = Σ_x D̂_t(x)·q(x)` of a linear query
+    /// under the hypothesis — the hypothesis-side read of the classic
+    /// \[HR10\]/\[HLM12\] linear-query mechanisms ([`crate::LinearPmw`],
+    /// [`crate::Mwem`]).
+    ///
+    /// `points` carries the materialized universe on dense constructions
+    /// (required there for implicit queries, which evaluate on point
+    /// coordinates); backends holding their own point representation
+    /// ignore it. Queries exposing [`PointQuery::dense_values`] take the
+    /// exact [`Histogram::dot`] fast path on the dense backend —
+    /// bit-for-bit the pre-seam pipeline.
+    ///
+    /// `rng` is for backends that need randomness to read their state; no
+    /// shipped backend draws from it today.
+    fn expected_query_value(
+        &self,
+        query: &dyn PointQuery,
+        points: Option<&PointMatrix>,
+        rng: &mut dyn Rng,
+    ) -> Result<QueryEstimate, PmwError> {
+        let _ = (query, points, rng);
+        Err(PmwError::InvalidConfig(
+            "this state backend does not implement linear-query evaluation",
+        ))
+    }
+
+    /// Apply one linear-query MW step `D̂_{t+1}(x) ∝ exp(−η·u(x))·D̂_t(x)`
+    /// with the payoff `u(x) = coeff·q(x)` — [`crate::LinearPmw`] passes
+    /// `coeff = ±1` (\[HR10\]'s signed update), [`crate::Mwem`] passes
+    /// `coeff = (est − measured)/(2·range)` (\[HLM12\]'s measured step).
+    ///
+    /// `retained` carries the owned query handle when the caller already
+    /// obtained one ([`PointQuery::clone_shared`], for backends with
+    /// [`StateBackend::requires_shared_loss`]); `points` is the
+    /// materialized universe on dense constructions, as in
+    /// [`StateBackend::expected_query_value`].
+    #[allow(clippy::too_many_arguments)]
+    fn apply_query_update(
+        &mut self,
+        query: &dyn PointQuery,
+        retained: Option<Rc<dyn PointQuery>>,
+        coeff: f64,
+        eta: f64,
+        points: Option<&PointMatrix>,
+        rng: &mut dyn Rng,
+    ) -> Result<(), PmwError> {
+        let _ = (query, retained, coeff, eta, points, rng);
+        Err(PmwError::InvalidConfig(
+            "this state backend does not implement linear-query updates",
+        ))
+    }
 
     /// The dense hypothesis histogram, when this backend maintains one.
     /// Sketching backends return `None`.
@@ -218,6 +320,56 @@ impl StateBackend for DenseBackend {
         Ok(self.hypothesis.sample_many(m, rng))
     }
 
+    fn expected_query_value(
+        &self,
+        query: &dyn PointQuery,
+        points: Option<&PointMatrix>,
+        _rng: &mut dyn Rng,
+    ) -> Result<QueryEstimate, PmwError> {
+        Ok(QueryEstimate {
+            value: eval_query_on_histogram(query, &self.hypothesis, points)?,
+            radius: 0.0,
+            beta: 0.0,
+        })
+    }
+
+    fn apply_query_update(
+        &mut self,
+        query: &dyn PointQuery,
+        _retained: Option<Rc<dyn PointQuery>>,
+        coeff: f64,
+        eta: f64,
+        points: Option<&PointMatrix>,
+        _rng: &mut dyn Rng,
+    ) -> Result<(), PmwError> {
+        if let Some(values) = query.dense_values() {
+            if values.len() != self.hypothesis.len() {
+                return Err(PmwError::LossMismatch("query length != universe size"));
+            }
+            for (u, &v) in self.cert_buf.iter_mut().zip(values) {
+                *u = coeff * v;
+            }
+        } else {
+            let points = points.ok_or(PmwError::LossMismatch(
+                "implicit query on the dense backend needs the materialized universe points",
+            ))?;
+            if points.len() != self.hypothesis.len() {
+                return Err(PmwError::LossMismatch(
+                    "universe points do not match the hypothesis size",
+                ));
+            }
+            for (u, point) in self.cert_buf.iter_mut().zip(points.iter()) {
+                let q = query.value_at_point(point).ok_or(PmwError::LossMismatch(
+                    "query supports neither dense nor point evaluation",
+                ))?;
+                *u = coeff * q;
+            }
+        }
+        self.hypothesis.mw_update(&self.cert_buf, eta)?;
+        self.updates += 1;
+        Ok(())
+    }
+
     fn dense_hypothesis(&self) -> Option<&Histogram> {
         Some(&self.hypothesis)
     }
@@ -298,6 +450,81 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!((gap - expect).abs() < 1e-12, "{gap} vs {expect}");
+    }
+
+    #[test]
+    fn dense_query_ops_match_direct_histogram_ops() {
+        use pmw_data::workload::LinearQuery;
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut backend = DenseBackend::new(4).unwrap();
+        let q = LinearQuery::new(vec![1.0, 0.0, 1.0, 0.0]).unwrap();
+
+        // Read: the dense fast path is exactly `hypothesis.dot`.
+        let est = backend.expected_query_value(&q, None, &mut rng).unwrap();
+        assert_eq!(est.value, backend.hypothesis().dot(q.values()));
+        assert_eq!((est.radius, est.beta), (0.0, 0.0));
+
+        // Update: u = ±q must reproduce a direct mw_update bit-for-bit.
+        let mut reference = Histogram::uniform(4).unwrap();
+        reference.mw_update(q.values(), 0.7).unwrap();
+        backend
+            .apply_query_update(&q, None, 1.0, 0.7, None, &mut rng)
+            .unwrap();
+        assert_eq!(backend.updates_recorded(), 1);
+        for (a, b) in backend
+            .hypothesis()
+            .weights()
+            .iter()
+            .zip(reference.weights())
+        {
+            assert_eq!(a, b);
+        }
+
+        // Mismatched length is rejected on both ops.
+        let bad = LinearQuery::new(vec![1.0; 3]).unwrap();
+        assert!(backend.expected_query_value(&bad, None, &mut rng).is_err());
+        assert!(backend
+            .apply_query_update(&bad, None, 1.0, 0.1, None, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn dense_backend_evaluates_implicit_queries_over_universe_points() {
+        use pmw_data::workload::ImplicitQuery;
+        use pmw_data::{BooleanCube, Universe};
+        let mut rng = StdRng::seed_from_u64(11);
+        let cube = BooleanCube::new(3).unwrap();
+        let points = cube.materialize();
+        let mut backend = DenseBackend::new(8).unwrap();
+        let q = ImplicitQuery::marginal(vec![0], 3).unwrap();
+
+        // Implicit queries need the universe points on the dense path.
+        assert!(backend.expected_query_value(&q, None, &mut rng).is_err());
+        let est = backend
+            .expected_query_value(&q, Some(&points), &mut rng)
+            .unwrap();
+        assert!((est.value - 0.5).abs() < 1e-12, "{}", est.value);
+
+        // The implicit update equals the dense update with materialized
+        // query values.
+        let dense_vals: Vec<f64> = points.iter().map(|p| q.evaluate(p)).collect();
+        let mut reference = Histogram::uniform(8).unwrap();
+        let u: Vec<f64> = dense_vals.iter().map(|v| -0.5 * v).collect();
+        reference.mw_update(&u, 0.9).unwrap();
+        backend
+            .apply_query_update(&q, None, -0.5, 0.9, Some(&points), &mut rng)
+            .unwrap();
+        for (a, b) in backend
+            .hypothesis()
+            .weights()
+            .iter()
+            .zip(reference.weights())
+        {
+            assert!((a - b).abs() < 1e-15, "{a} vs {b}");
+        }
+        assert!(backend
+            .apply_query_update(&q, None, 1.0, 0.1, None, &mut rng)
+            .is_err());
     }
 
     #[test]

@@ -163,6 +163,17 @@ impl Dataset {
         &self,
         source: &S,
     ) -> Result<(PointMatrix, Vec<f64>), DataError> {
+        let (_, points, weights) = self.support_points_indexed(source)?;
+        Ok((points, weights))
+    }
+
+    /// [`Dataset::support_points`] keeping the support's universe indices
+    /// too — for consumers that evaluate **universe-indexed** queries over
+    /// the support rows (the linear-query mechanisms' row-based data side).
+    pub fn support_points_indexed<S: PointSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<(Vec<usize>, PointMatrix, Vec<f64>), DataError> {
         if self.universe_size != source.len() {
             return Err(DataError::InvalidParameter(
                 "dataset universe size does not match point source",
@@ -174,7 +185,7 @@ impl Dataset {
         for (row, &idx) in flat.chunks_exact_mut(dim).zip(&indices) {
             source.write_point(idx, row);
         }
-        Ok((PointMatrix::from_flat(flat, dim)?, weights))
+        Ok((indices, PointMatrix::from_flat(flat, dim)?, weights))
     }
 
     /// Materialize the rows as points of `universe`.

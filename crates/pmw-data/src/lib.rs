@@ -51,3 +51,4 @@ pub use logweight::{
 pub use matrix::PointMatrix;
 pub use source::{BigBitCube, PointSource, UniversePoints};
 pub use universe::{BooleanCube, EnumeratedUniverse, GridUniverse, LabeledGridUniverse, Universe};
+pub use workload::{ImplicitQuery, LinearQuery, PointQuery, QueryPredicate};

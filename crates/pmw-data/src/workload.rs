@@ -1,15 +1,28 @@
-//! Linear-query workload generators.
+//! Linear-query workloads: the dense representation, the **implicit**
+//! ([`PointQuery`]) representation, and generators for both.
 //!
 //! Linear queries are both (a) the special case PMW was originally designed
 //! for (Table 1 row 1, \[HR10\]) and (b) the raw material of the reconstruction
 //! attacks of \[KRS13\] that motivate the paper's dual-certificate technique.
-//! A linear query is represented densely as a vector `q ∈ R^{|X|}` with
-//! `q(D) = ⟨q, D⟩` on histograms (Section 1.2).
+//! A linear query is classically represented densely as a vector
+//! `q ∈ R^{|X|}` with `q(D) = ⟨q, D⟩` on histograms (Section 1.2) — a
+//! Θ(|X|) object, which is exactly the wall the sublinear code paths tear
+//! down. The [`PointQuery`] trait is the implicit alternative: a query is
+//! anything that can be **evaluated at one universe element** — by index
+//! (the dense [`LinearQuery`]) or from the element's point coordinates in
+//! `O(d)` (the predicate-backed [`ImplicitQuery`]: k-way marginals,
+//! parities, coordinate thresholds — the families of the paper's
+//! Section 4.3 and of *Faster Private Release of Marginals on Small
+//! Databases*). Implicit evaluation composes with
+//! [`Dataset::support`](crate::Dataset::support) on the data side (sum
+//! `q` over ≤ n support rows) and with pooled/sketched state on the
+//! hypothesis side, so neither side ever materializes `q` or `X`.
 
 use crate::error::DataError;
 use crate::histogram::Histogram;
 use crate::universe::{BooleanCube, GridUniverse, Universe};
 use rand::{Rng, RngExt};
+use std::rc::Rc;
 
 /// A linear (statistical) query over a finite universe, `q: X → [lo, hi]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -181,6 +194,352 @@ pub fn threshold_queries(grid: &GridUniverse) -> Result<Vec<LinearQuery>, DataEr
         .collect())
 }
 
+/// A linear query evaluable **one universe element at a time** — the seam
+/// both the row-based data path and the sketched hypothesis backends
+/// consume.
+///
+/// A query supports at least one of two evaluation routes:
+///
+/// * **index route** ([`PointQuery::value_at_index`]): `q(x)` looked up by
+///   universe index — the dense [`LinearQuery`], which stores a `|X|`-sized
+///   value vector ([`PointQuery::universe_len`] is `Some`);
+/// * **point route** ([`PointQuery::value_at_point`]): `q(x)` computed from
+///   the element's point coordinates alone in `O(d)`
+///   ([`PointQuery::point_dim`] is `Some`) — the implicit queries, the only
+///   kind that scales past materializable universes, and the only kind the
+///   retaining (update-log) backends accept: a recorded update must be
+///   re-evaluable at points the query has never seen.
+///
+/// [`query_value`] dispatches between the two given an `(index, point)`
+/// pair, preferring the index route (exact dense semantics) when available.
+pub trait PointQuery {
+    /// Bounds `(lo, hi)` on `q(x)` over the universe; the sensitivity of
+    /// `q(D)` on `n`-row datasets is `(hi − lo)/n` and sketched estimates
+    /// use `max(|lo|, |hi|)` as the payoff scale.
+    fn value_bounds(&self) -> (f64, f64);
+
+    /// `q(x)` by universe index, when this query is universe-indexed.
+    fn value_at_index(&self, index: usize) -> Option<f64>;
+
+    /// `q(x)` from point coordinates alone in `O(d)`, when this query is
+    /// implicit.
+    fn value_at_point(&self, point: &[f64]) -> Option<f64>;
+
+    /// The universe size the index route is defined over (`None` for
+    /// implicit queries).
+    fn universe_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// The point dimension the point route reads (`None` for
+    /// universe-indexed queries).
+    fn point_dim(&self) -> Option<usize> {
+        None
+    }
+
+    /// The dense per-element value vector, when this query stores one —
+    /// lets dense histogram state answer `⟨q, D̂⟩` with the exact
+    /// [`Histogram::dot`] fast path, bit-for-bit the classic pipeline.
+    fn dense_values(&self) -> Option<&[f64]> {
+        None
+    }
+
+    /// An owned handle for state backends that **retain** query updates
+    /// (sketch update logs re-evaluate `u_t = ±q_t` at future points).
+    /// `None` when the query cannot be retained.
+    fn clone_shared(&self) -> Option<Rc<dyn PointQuery>> {
+        None
+    }
+
+    /// Short diagnostic name.
+    fn name(&self) -> &'static str {
+        "point-query"
+    }
+}
+
+/// Evaluate `query` at universe element `index` with coordinates `point`,
+/// preferring the exact index route. Errors when the query supports
+/// neither route (an impossible [`PointQuery`] implementation).
+pub fn query_value(query: &dyn PointQuery, index: usize, point: &[f64]) -> Result<f64, DataError> {
+    query
+        .value_at_index(index)
+        .or_else(|| query.value_at_point(point))
+        .ok_or(DataError::InvalidParameter(
+            "query supports neither index nor point evaluation at this element",
+        ))
+}
+
+impl PointQuery for LinearQuery {
+    fn value_bounds(&self) -> (f64, f64) {
+        self.range()
+    }
+
+    fn value_at_index(&self, index: usize) -> Option<f64> {
+        self.values.get(index).copied()
+    }
+
+    fn value_at_point(&self, _point: &[f64]) -> Option<f64> {
+        None
+    }
+
+    fn universe_len(&self) -> Option<usize> {
+        Some(self.values.len())
+    }
+
+    fn dense_values(&self) -> Option<&[f64]> {
+        Some(&self.values)
+    }
+
+    fn clone_shared(&self) -> Option<Rc<dyn PointQuery>> {
+        Some(Rc::new(self.clone()))
+    }
+
+    fn name(&self) -> &'static str {
+        "dense-linear"
+    }
+}
+
+/// The predicate families behind [`ImplicitQuery`], each evaluable on a
+/// point row in `O(d)` (or `O(width)` for the subset families).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryPredicate {
+    /// `q(x) = Π_{c∈coords} 1[x_c ≥ 0.5]` — a k-way monotone conjunction
+    /// (marginal) over `{0,1}`-valued coordinates.
+    Marginal {
+        /// Coordinates that must all be set.
+        coords: Vec<usize>,
+    },
+    /// `q(x) = ⊕_{c∈coords} 1[x_c ≥ 0.5]` — the parity of the selected
+    /// bits, the classic hard family for linear reconstruction.
+    Parity {
+        /// Coordinates entering the parity.
+        coords: Vec<usize>,
+    },
+    /// `q(x) = 1[x_coord ≤ threshold]` — a prefix (interval) query along
+    /// one axis, the \[BNS13\] threshold family.
+    Threshold {
+        /// Coordinate index.
+        coord: usize,
+        /// Inclusive upper threshold.
+        threshold: f64,
+    },
+}
+
+/// An **implicit** linear query: a [`QueryPredicate`] plus the point
+/// dimension it reads. Never stores (or touches) anything `|X|`-sized —
+/// the representation the sublinear MWEM/PMW paths run on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImplicitQuery {
+    predicate: QueryPredicate,
+    dim: usize,
+}
+
+impl ImplicitQuery {
+    /// Wrap a predicate over `dim`-dimensional points, validating
+    /// coordinate ranges.
+    pub fn new(predicate: QueryPredicate, dim: usize) -> Result<Self, DataError> {
+        if dim == 0 {
+            return Err(DataError::EmptyUniverse);
+        }
+        match &predicate {
+            QueryPredicate::Marginal { coords } | QueryPredicate::Parity { coords } => {
+                if coords.is_empty() {
+                    return Err(DataError::InvalidParameter(
+                        "predicate needs at least one coordinate",
+                    ));
+                }
+                if coords.iter().any(|&c| c >= dim) {
+                    return Err(DataError::InvalidParameter(
+                        "predicate coordinate out of range",
+                    ));
+                }
+            }
+            QueryPredicate::Threshold { coord, threshold } => {
+                if *coord >= dim {
+                    return Err(DataError::InvalidParameter(
+                        "threshold coordinate out of range",
+                    ));
+                }
+                if !threshold.is_finite() {
+                    return Err(DataError::InvalidWeights("threshold must be finite"));
+                }
+            }
+        }
+        Ok(Self { predicate, dim })
+    }
+
+    /// A width-`coords.len()` marginal query.
+    pub fn marginal(coords: Vec<usize>, dim: usize) -> Result<Self, DataError> {
+        Self::new(QueryPredicate::Marginal { coords }, dim)
+    }
+
+    /// A parity query over the given coordinates.
+    pub fn parity(coords: Vec<usize>, dim: usize) -> Result<Self, DataError> {
+        Self::new(QueryPredicate::Parity { coords }, dim)
+    }
+
+    /// A threshold query `1[x_coord ≤ threshold]`.
+    pub fn threshold(coord: usize, threshold: f64, dim: usize) -> Result<Self, DataError> {
+        Self::new(QueryPredicate::Threshold { coord, threshold }, dim)
+    }
+
+    /// The wrapped predicate.
+    pub fn predicate(&self) -> &QueryPredicate {
+        &self.predicate
+    }
+
+    /// The point dimension this query reads.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Evaluate `q(x) ∈ {0, 1}` on one point row.
+    pub fn evaluate(&self, point: &[f64]) -> f64 {
+        match &self.predicate {
+            QueryPredicate::Marginal { coords } => {
+                if coords
+                    .iter()
+                    .all(|&c| point.get(c).copied().unwrap_or(0.0) >= 0.5)
+                {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            QueryPredicate::Parity { coords } => {
+                let ones = coords
+                    .iter()
+                    .filter(|&&c| point.get(c).copied().unwrap_or(0.0) >= 0.5)
+                    .count();
+                (ones % 2) as f64
+            }
+            QueryPredicate::Threshold { coord, threshold } => {
+                if point.get(*coord).copied().unwrap_or(f64::INFINITY) <= *threshold {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+impl PointQuery for ImplicitQuery {
+    fn value_bounds(&self) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+
+    fn value_at_index(&self, _index: usize) -> Option<f64> {
+        None
+    }
+
+    fn value_at_point(&self, point: &[f64]) -> Option<f64> {
+        Some(self.evaluate(point))
+    }
+
+    fn point_dim(&self) -> Option<usize> {
+        Some(self.dim)
+    }
+
+    fn clone_shared(&self) -> Option<Rc<dyn PointQuery>> {
+        Some(Rc::new(self.clone()))
+    }
+
+    fn name(&self) -> &'static str {
+        match self.predicate {
+            QueryPredicate::Marginal { .. } => "marginal",
+            QueryPredicate::Parity { .. } => "parity",
+            QueryPredicate::Threshold { .. } => "threshold",
+        }
+    }
+}
+
+/// All width-`width` marginal queries over `{0,1}^dim` as **implicit**
+/// queries — `C(dim, width)` objects of size `O(width)` each, never a
+/// `|X|`-sized vector (contrast [`marginal_queries`], which materializes).
+pub fn implicit_marginal_queries(
+    dim: usize,
+    width: usize,
+) -> Result<Vec<ImplicitQuery>, DataError> {
+    if dim == 0 {
+        return Err(DataError::EmptyUniverse);
+    }
+    if width == 0 || width > dim {
+        return Err(DataError::InvalidParameter(
+            "marginal width must satisfy 1 <= width <= dim",
+        ));
+    }
+    let mut queries = Vec::new();
+    let mut subset = Vec::with_capacity(width);
+    build_subsets(dim, width, 0, &mut subset, &mut |bits: &[usize]| {
+        queries.push(ImplicitQuery {
+            predicate: QueryPredicate::Marginal {
+                coords: bits.to_vec(),
+            },
+            dim,
+        });
+    });
+    Ok(queries)
+}
+
+/// `k` random width-`width` implicit marginal queries (distinct coordinate
+/// subsets are not enforced; each query draws its subset uniformly).
+pub fn random_implicit_marginals<R: Rng + ?Sized>(
+    dim: usize,
+    width: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<ImplicitQuery>, DataError> {
+    random_implicit_subsets(dim, width, k, rng, |coords, dim| ImplicitQuery {
+        predicate: QueryPredicate::Marginal { coords },
+        dim,
+    })
+}
+
+/// `k` random width-`width` implicit parity queries.
+pub fn random_implicit_parities<R: Rng + ?Sized>(
+    dim: usize,
+    width: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<ImplicitQuery>, DataError> {
+    random_implicit_subsets(dim, width, k, rng, |coords, dim| ImplicitQuery {
+        predicate: QueryPredicate::Parity { coords },
+        dim,
+    })
+}
+
+fn random_implicit_subsets<R: Rng + ?Sized>(
+    dim: usize,
+    width: usize,
+    k: usize,
+    rng: &mut R,
+    make: impl Fn(Vec<usize>, usize) -> ImplicitQuery,
+) -> Result<Vec<ImplicitQuery>, DataError> {
+    if dim == 0 {
+        return Err(DataError::EmptyUniverse);
+    }
+    if width == 0 || width > dim {
+        return Err(DataError::InvalidParameter(
+            "subset width must satisfy 1 <= width <= dim",
+        ));
+    }
+    Ok((0..k)
+        .map(|_| {
+            // Uniform width-subset via partial Fisher-Yates over 0..dim.
+            let mut pool: Vec<usize> = (0..dim).collect();
+            let mut coords = Vec::with_capacity(width);
+            for i in 0..width {
+                let j = rng.random_range(i..dim);
+                pool.swap(i, j);
+                coords.push(pool[i]);
+            }
+            coords.sort_unstable();
+            make(coords, dim)
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +605,88 @@ mod tests {
         // Bit 0 set in rows 1,1,3 -> 3/4. Bit 1 set in rows 2,3 -> 2/4.
         assert!((qs[0].evaluate(&h) - 0.75).abs() < 1e-12);
         assert!((qs[1].evaluate(&h) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implicit_marginal_matches_dense_marginal() {
+        let cube = BooleanCube::new(4).unwrap();
+        let dense = marginal_queries(&cube, 2).unwrap();
+        let implicit = implicit_marginal_queries(4, 2).unwrap();
+        assert_eq!(dense.len(), implicit.len());
+        let mut point = vec![0.0; 4];
+        for (d, q) in dense.iter().zip(&implicit) {
+            for x in 0..cube.size() {
+                cube.write_point(x, &mut point);
+                assert_eq!(d.values()[x], q.evaluate(&point), "x={x}");
+                // The PointQuery routes agree with the direct evaluations.
+                assert_eq!(PointQuery::value_at_index(d, x), Some(d.values()[x]));
+                assert_eq!(q.value_at_point(&point), Some(q.evaluate(&point)));
+                assert_eq!(query_value(q, x, &point).unwrap(), q.evaluate(&point));
+                assert_eq!(query_value(d, x, &point).unwrap(), d.values()[x]);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_and_threshold_predicates_evaluate() {
+        let parity = ImplicitQuery::parity(vec![0, 2], 3).unwrap();
+        assert_eq!(parity.evaluate(&[1.0, 0.0, 0.0]), 1.0);
+        assert_eq!(parity.evaluate(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(parity.evaluate(&[0.0, 1.0, 0.0]), 0.0);
+        let thr = ImplicitQuery::threshold(1, 0.5, 3).unwrap();
+        assert_eq!(thr.evaluate(&[9.0, 0.25, 0.0]), 1.0);
+        assert_eq!(thr.evaluate(&[9.0, 0.75, 0.0]), 0.0);
+        assert_eq!(thr.value_bounds(), (0.0, 1.0));
+        assert_eq!(thr.point_dim(), Some(3));
+        assert!(thr.universe_len().is_none());
+        assert!(thr.clone_shared().is_some());
+    }
+
+    #[test]
+    fn implicit_query_constructors_validate() {
+        assert!(ImplicitQuery::marginal(vec![], 4).is_err());
+        assert!(ImplicitQuery::marginal(vec![4], 4).is_err());
+        assert!(ImplicitQuery::parity(vec![0], 0).is_err());
+        assert!(ImplicitQuery::threshold(4, 0.5, 4).is_err());
+        assert!(ImplicitQuery::threshold(0, f64::NAN, 4).is_err());
+        assert!(implicit_marginal_queries(4, 0).is_err());
+        assert!(implicit_marginal_queries(4, 5).is_err());
+    }
+
+    #[test]
+    fn random_implicit_workloads_have_requested_width() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let marginals = random_implicit_marginals(10, 3, 20, &mut rng).unwrap();
+        assert_eq!(marginals.len(), 20);
+        for q in &marginals {
+            match q.predicate() {
+                QueryPredicate::Marginal { coords } => {
+                    assert_eq!(coords.len(), 3);
+                    assert!(coords.windows(2).all(|w| w[0] < w[1]), "{coords:?}");
+                    assert!(coords.iter().all(|&c| c < 10));
+                }
+                other => panic!("unexpected predicate {other:?}"),
+            }
+        }
+        let parities = random_implicit_parities(6, 2, 5, &mut rng).unwrap();
+        assert!(parities.iter().all(
+            |q| matches!(q.predicate(), QueryPredicate::Parity { coords } if coords.len() == 2)
+        ));
+        assert!(random_implicit_marginals(0, 1, 3, &mut rng).is_err());
+        assert!(random_implicit_parities(4, 5, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn dense_query_exposes_point_query_metadata() {
+        let q = LinearQuery::new(vec![0.5, -1.5, 2.0]).unwrap();
+        assert_eq!(q.value_bounds(), (-1.5, 2.0));
+        assert_eq!(q.universe_len(), Some(3));
+        assert!(q.point_dim().is_none());
+        assert_eq!(q.dense_values().unwrap(), q.values());
+        assert!(PointQuery::value_at_index(&q, 3).is_none());
+        assert!(q.value_at_point(&[1.0]).is_none());
+        let shared = PointQuery::clone_shared(&q).unwrap();
+        assert_eq!(shared.value_at_index(1), Some(-1.5));
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub struct LedgerEntry {
 }
 
 /// Records `(ε, δ)` events and reports composed totals.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Accountant {
     entries: Vec<LedgerEntry>,
 }

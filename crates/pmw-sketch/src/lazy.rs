@@ -41,16 +41,62 @@ impl<S: PointSource> LazyLogBackend<S> {
         })
     }
 
-    /// Record one MW round — `O(1)` beyond validating the loss dimension.
+    /// Record one MW round (dual-certificate or linear-query) — `O(1)`
+    /// beyond validating the round's point dimension.
     pub fn record(&mut self, update: RoundUpdate) -> Result<(), SketchError> {
-        if update.loss().point_dim() != self.source.dim() {
+        if update.point_dim() != self.source.dim() {
             return Err(SketchError::DimensionMismatch {
-                got: update.loss().point_dim(),
+                got: update.point_dim(),
                 expected: self.source.dim(),
             });
         }
         self.log.push(update);
         Ok(())
+    }
+
+    /// Record one linear-query MW round `u(x) = coeff·q(x)` from a
+    /// borrowed implicit query (retained through
+    /// [`pmw_data::PointQuery::clone_shared`]) — the \[HR10\]/\[HLM12\]
+    /// update shape, `O(1)` per round like every other record.
+    pub fn record_query(
+        &mut self,
+        query: &dyn pmw_data::PointQuery,
+        coeff: f64,
+        eta: f64,
+    ) -> Result<(), SketchError> {
+        self.record(RoundUpdate::query_from_dyn(query, coeff, eta)?)
+    }
+
+    /// The **exact** expected query value `⟨q, D̂_t⟩` under the lazily
+    /// represented hypothesis: a streaming log-sum-exp sweep over the
+    /// whole universe — `Θ(|X|·t·d)` time, `O(1)` memory, no `|X|`-sized
+    /// allocation. This is the reference evaluation the Monte-Carlo
+    /// `SampledBackend` estimates are checked against; it is a
+    /// spot-check/testing tool, not a per-round operation.
+    pub fn expected_query_value(
+        &self,
+        query: &dyn pmw_data::PointQuery,
+    ) -> Result<f64, SketchError> {
+        crate::log::validate_query_shape(query, self.source.len(), self.source.dim())?;
+        let n = self.source.len();
+        let mut bufs = self.bufs.borrow_mut();
+        let (point, grad) = &mut *bufs;
+        // Pass 1: the max log-weight (numerical shift).
+        let mut shift = f64::NEG_INFINITY;
+        for x in 0..n {
+            self.source.write_point(x, point);
+            shift = shift.max(self.log.log_weight_at(point, grad)?);
+        }
+        // Pass 2: shifted normalizer and query numerator.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for x in 0..n {
+            self.source.write_point(x, point);
+            let w = (self.log.log_weight_at(point, grad)? - shift).exp();
+            num += w * crate::log::query_value_at(query, x, point)?;
+            den += w;
+        }
+        Ok(num / den)
     }
 
     /// Universe size `|X|`.
@@ -183,6 +229,56 @@ mod tests {
             let d = dense.log_weight(x);
             assert!((l - d).abs() < 1e-12, "x={x}: lazy {l} vs dense {d}");
         }
+    }
+
+    #[test]
+    fn query_rounds_and_expected_query_value_match_dense() {
+        // Mix a certificate round and a query round; the lazy log-weights
+        // and the exact expected-query-value sweep must match a dense
+        // histogram driven by the same updates.
+        use pmw_data::workload::ImplicitQuery;
+        let cube = BooleanCube::new(4).unwrap();
+        let points = cube.materialize();
+        let mut dense = Histogram::uniform(cube.size()).unwrap();
+        let mut lazy = LazyLogBackend::new(UniversePoints(cube.clone())).unwrap();
+
+        let loss = bit_loss(0, 4);
+        let u = dual_certificate(&loss, &points, &[0.9], &[0.4]).unwrap();
+        dense.mw_update(&u, 0.7).unwrap();
+        lazy.record(
+            RoundUpdate::new(Rc::new(loss) as Rc<dyn CmLoss>, vec![0.9], vec![0.4], 0.7).unwrap(),
+        )
+        .unwrap();
+
+        let q = ImplicitQuery::marginal(vec![1, 2], 4).unwrap();
+        let qu: Vec<f64> = points.iter().map(|p| -0.4 * q.evaluate(p)).collect();
+        dense.mw_update(&qu, 1.0).unwrap();
+        lazy.record_query(&q, -0.4, 1.0).unwrap();
+
+        for x in 0..cube.size() {
+            let l = lazy.log_weight_of(x).unwrap();
+            let d = dense.log_weight(x);
+            assert!((l - d).abs() < 1e-12, "x={x}: lazy {l} vs dense {d}");
+        }
+        // Exact expectation: identical (to fp) with the dense dot, for an
+        // implicit and for a dense query of the same predicate.
+        let probe = ImplicitQuery::marginal(vec![3], 4).unwrap();
+        let dense_probe: Vec<f64> = points.iter().map(|p| probe.evaluate(p)).collect();
+        let exact: f64 = dense
+            .weights()
+            .iter()
+            .zip(&dense_probe)
+            .map(|(w, v)| w * v)
+            .sum();
+        let via_lazy = lazy.expected_query_value(&probe).unwrap();
+        assert!((via_lazy - exact).abs() < 1e-12, "{via_lazy} vs {exact}");
+        let dense_q = pmw_data::LinearQuery::new(dense_probe).unwrap();
+        let via_index = lazy.expected_query_value(&dense_q).unwrap();
+        assert!((via_index - exact).abs() < 1e-12);
+        // Dimension mismatches are rejected.
+        let wrong = ImplicitQuery::marginal(vec![0], 7).unwrap();
+        assert!(lazy.expected_query_value(&wrong).is_err());
+        assert!(lazy.record_query(&wrong, 1.0, 0.5).is_err());
     }
 
     #[test]

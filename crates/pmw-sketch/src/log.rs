@@ -3,31 +3,90 @@
 //!
 //! After `t` rounds the dense hypothesis satisfies
 //!
-//! `log D̂_{t+1}(x) = −Σ_{r≤t} η_r·u_r(x) + const`,  with
-//! `u_r(x) = ⟨θ_r − θ̂_r, ∇ℓ_{x}(θ̂_r)⟩` clamped to `[−S_r, S_r]`
+//! `log D̂_{t+1}(x) = −Σ_{r≤t} η_r·u_r(x) + const`
 //!
-//! — a function of the *round parameters* `(η_r, θ_r, θ̂_r, ℓ_r)` alone.
-//! [`UpdateLog`] stores exactly those parameters (`O(t·d)` memory total,
-//! `O(1)` amortized per round) and evaluates the log-weight of any single
-//! point on demand in `O(t·d)` — never touching the other `|X| − 1`
-//! elements. This is the shared engine of both sublinear backends.
+//! where each round's payoff is either the **dual-certificate** payoff
+//! `u_r(x) = ⟨θ_r − θ̂_r, ∇ℓ_{x}(θ̂_r)⟩` clamped to `[−S_r, S_r]`
+//! (the paper's Figure-3 CM rounds) or a **linear-query** payoff
+//! `u_r(x) = c_r·q_r(x)` (the \[HR10\]/\[HLM12\] rounds: `c_r = ±1` for
+//! online PMW, `c_r = (est − measured)/2·range` for MWEM) — in both cases
+//! a function of `O(d)`-sized round parameters alone. [`UpdateLog`] stores
+//! exactly those parameters (`O(t·d)` memory total, `O(1)` amortized per
+//! round) and evaluates the log-weight of any single point on demand in
+//! `O(t·d)` — never touching the other `|X| − 1` elements. This is the
+//! shared engine of both sublinear backends, for both mechanism families.
 
 use crate::error::SketchError;
 use pmw_core::update::dual_certificate_at;
+use pmw_data::workload::PointQuery;
 use pmw_losses::CmLoss;
 use std::rc::Rc;
 
-/// One recorded Figure-3 round: the data needed to re-evaluate that
-/// round's payoff `u_r(x)` at any point later.
+/// Validate that `query` matches a universe of `universe_len` elements
+/// with `point_dim`-dimensional points — shared by both sketch backends
+/// so the exact (lazy) reference and the SNIS estimate cannot drift.
+pub(crate) fn validate_query_shape(
+    query: &dyn PointQuery,
+    universe_len: usize,
+    point_dim: usize,
+) -> Result<(), SketchError> {
+    if let Some(d) = query.point_dim() {
+        if d != point_dim {
+            return Err(SketchError::DimensionMismatch {
+                got: d,
+                expected: point_dim,
+            });
+        }
+    } else if query.universe_len() != Some(universe_len) {
+        return Err(SketchError::DimensionMismatch {
+            got: query.universe_len().unwrap_or(0),
+            expected: universe_len,
+        });
+    }
+    Ok(())
+}
+
+/// Index-or-point query evaluation with this crate's error type — one
+/// thin wrapper over the canonical [`pmw_data::workload::query_value`]
+/// dispatch, shared by both sketch backends.
+pub(crate) fn query_value_at(
+    query: &dyn PointQuery,
+    index: usize,
+    point: &[f64],
+) -> Result<f64, SketchError> {
+    pmw_data::workload::query_value(query, index, point).map_err(|_| {
+        SketchError::UnsupportedLoss("query supports neither index nor point evaluation")
+    })
+}
+
+/// The round-specific payoff parameters.
+enum UpdatePayload {
+    /// A Figure-3 dual-certificate round.
+    Certificate {
+        loss: Rc<dyn CmLoss>,
+        theta_oracle: Vec<f64>,
+        theta_hyp: Vec<f64>,
+    },
+    /// A linear-query round `u(x) = coeff·q(x)`. The query must be
+    /// **point-evaluable** ([`PointQuery::point_dim`] is `Some`): the log
+    /// re-evaluates payoffs at points it has never seen, which a
+    /// universe-indexed dense query cannot do.
+    Query {
+        query: Rc<dyn PointQuery>,
+        coeff: f64,
+    },
+}
+
+/// One recorded MW round: the data needed to re-evaluate that round's
+/// payoff `u_r(x)` at any point later.
 pub struct RoundUpdate {
-    loss: Rc<dyn CmLoss>,
-    theta_oracle: Vec<f64>,
-    theta_hyp: Vec<f64>,
+    payload: UpdatePayload,
     eta: f64,
 }
 
 impl RoundUpdate {
-    /// Bundle a round's parameters, validating dimensions against the loss.
+    /// Bundle a dual-certificate round's parameters, validating dimensions
+    /// against the loss.
     pub fn new(
         loss: Rc<dyn CmLoss>,
         theta_oracle: Vec<f64>,
@@ -47,9 +106,7 @@ impl RoundUpdate {
                 expected: d,
             });
         }
-        if !eta.is_finite() || eta < 0.0 {
-            return Err(SketchError::InvalidParameter("eta must be finite and >= 0"));
-        }
+        Self::validate_eta(eta)?;
         if theta_oracle
             .iter()
             .chain(&theta_hyp)
@@ -58,9 +115,11 @@ impl RoundUpdate {
             return Err(SketchError::NonFinite("theta must be finite"));
         }
         Ok(Self {
-            loss,
-            theta_oracle,
-            theta_hyp,
+            payload: UpdatePayload::Certificate {
+                loss,
+                theta_oracle,
+                theta_hyp,
+            },
             eta,
         })
     }
@@ -79,9 +138,70 @@ impl RoundUpdate {
         Self::new(shared, theta_oracle.to_vec(), theta_hyp.to_vec(), eta)
     }
 
-    /// The round's loss.
-    pub fn loss(&self) -> &dyn CmLoss {
-        self.loss.as_ref()
+    /// Bundle a linear-query round `u(x) = coeff·q(x)`. The query must be
+    /// point-evaluable; universe-indexed (dense) queries are rejected.
+    pub fn query(query: Rc<dyn PointQuery>, coeff: f64, eta: f64) -> Result<Self, SketchError> {
+        if query.point_dim().is_none() {
+            return Err(SketchError::UnsupportedLoss(
+                "universe-indexed queries cannot be re-evaluated from point coordinates; \
+                 record implicit (point-evaluable) queries instead",
+            ));
+        }
+        if !coeff.is_finite() {
+            return Err(SketchError::NonFinite("query coefficient must be finite"));
+        }
+        Self::validate_eta(eta)?;
+        Ok(Self {
+            payload: UpdatePayload::Query { query, coeff },
+            eta,
+        })
+    }
+
+    /// [`RoundUpdate::query`] from a borrowed query, retained through
+    /// [`PointQuery::clone_shared`]. Errors when the query cannot be
+    /// retained.
+    pub fn query_from_dyn(
+        query: &dyn PointQuery,
+        coeff: f64,
+        eta: f64,
+    ) -> Result<Self, SketchError> {
+        let shared = query.clone_shared().ok_or(SketchError::UnsupportedLoss(
+            "query does not support clone_shared retention",
+        ))?;
+        Self::query(shared, coeff, eta)
+    }
+
+    fn validate_eta(eta: f64) -> Result<(), SketchError> {
+        if !eta.is_finite() || eta < 0.0 {
+            return Err(SketchError::InvalidParameter("eta must be finite and >= 0"));
+        }
+        Ok(())
+    }
+
+    /// The round's loss, when this is a dual-certificate round.
+    pub fn loss(&self) -> Option<&dyn CmLoss> {
+        match &self.payload {
+            UpdatePayload::Certificate { loss, .. } => Some(loss.as_ref()),
+            UpdatePayload::Query { .. } => None,
+        }
+    }
+
+    /// The round's query, when this is a linear-query round.
+    pub fn point_query(&self) -> Option<&dyn PointQuery> {
+        match &self.payload {
+            UpdatePayload::Certificate { .. } => None,
+            UpdatePayload::Query { query, .. } => Some(query.as_ref()),
+        }
+    }
+
+    /// The point dimension this round's payoff reads.
+    pub fn point_dim(&self) -> usize {
+        match &self.payload {
+            UpdatePayload::Certificate { loss, .. } => loss.point_dim(),
+            UpdatePayload::Query { query, .. } => query
+                .point_dim()
+                .expect("query rounds are point-evaluable by construction"),
+        }
     }
 
     /// The step size `η_r`.
@@ -89,33 +209,59 @@ impl RoundUpdate {
         self.eta
     }
 
-    /// The round's scale bound `S_r` (payoffs are clamped to `[−S_r, S_r]`).
+    /// The round's payoff bound `S_r`: payoffs lie in `[−S_r, S_r]`
+    /// (clamped there for certificate rounds, `|coeff|·max(|lo|, |hi|)`
+    /// for query rounds).
     pub fn scale(&self) -> f64 {
-        self.loss.scale_bound()
+        match &self.payload {
+            UpdatePayload::Certificate { loss, .. } => loss.scale_bound(),
+            UpdatePayload::Query { query, coeff } => {
+                let (lo, hi) = query.value_bounds();
+                coeff.abs() * lo.abs().max(hi.abs())
+            }
+        }
     }
 
-    /// The payoff `u_r(x)` at one point, clamped exactly as the dense sweep
-    /// clamps ([`dual_certificate_at`]). `grad_buf` is resized as needed.
+    /// The payoff `u_r(x)` at one point — certificate rounds clamp exactly
+    /// as the dense sweep clamps ([`dual_certificate_at`]); query rounds
+    /// evaluate `coeff·q(x)`. `grad_buf` is resized as needed (and unused
+    /// by query rounds).
     pub fn payoff(&self, point: &[f64], grad_buf: &mut Vec<f64>) -> Result<f64, SketchError> {
-        grad_buf.resize(self.loss.dim(), 0.0);
-        dual_certificate_at(
-            self.loss.as_ref(),
-            point,
-            &self.theta_oracle,
-            &self.theta_hyp,
-            grad_buf,
-        )
-        .map_err(|_| SketchError::NonFinite("certificate payoff"))
+        match &self.payload {
+            UpdatePayload::Certificate {
+                loss,
+                theta_oracle,
+                theta_hyp,
+            } => {
+                grad_buf.resize(loss.dim(), 0.0);
+                dual_certificate_at(loss.as_ref(), point, theta_oracle, theta_hyp, grad_buf)
+                    .map_err(|_| SketchError::NonFinite("certificate payoff"))
+            }
+            UpdatePayload::Query { query, coeff } => {
+                let q = query
+                    .value_at_point(point)
+                    .ok_or(SketchError::UnsupportedLoss(
+                        "recorded query cannot evaluate at a point",
+                    ))?;
+                Ok(coeff * q)
+            }
+        }
     }
 }
 
 impl std::fmt::Debug for RoundUpdate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RoundUpdate")
-            .field("loss", &self.loss.name())
-            .field("eta", &self.eta)
-            .field("dim", &self.loss.dim())
-            .finish()
+        let mut s = f.debug_struct("RoundUpdate");
+        match &self.payload {
+            UpdatePayload::Certificate { loss, .. } => {
+                s.field("loss", &loss.name()).field("dim", &loss.dim())
+            }
+            UpdatePayload::Query { query, coeff } => {
+                s.field("query", &query.name()).field("coeff", coeff)
+            }
+        }
+        .field("eta", &self.eta)
+        .finish()
     }
 }
 
@@ -181,6 +327,8 @@ impl UpdateLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pmw_data::workload::ImplicitQuery;
+    use pmw_data::{LinearQuery, PointQuery};
     use pmw_losses::{LinearQueryLoss, PointPredicate, SquaredLoss};
 
     fn lq(bit: usize, dim: usize) -> Rc<dyn CmLoss> {
@@ -201,10 +349,29 @@ mod tests {
     }
 
     #[test]
+    fn query_round_validates() {
+        let q: Rc<dyn PointQuery> = Rc::new(ImplicitQuery::marginal(vec![1], 3).unwrap());
+        assert!(RoundUpdate::query(q.clone(), 1.0, 0.5).is_ok());
+        assert!(RoundUpdate::query(q.clone(), f64::NAN, 0.5).is_err());
+        assert!(RoundUpdate::query(q.clone(), 1.0, -0.1).is_err());
+        assert!(RoundUpdate::query(q, 1.0, f64::INFINITY).is_err());
+        // Dense (universe-indexed) queries cannot be recorded: the log
+        // must re-evaluate them at arbitrary points.
+        let dense: Rc<dyn PointQuery> = Rc::new(LinearQuery::new(vec![1.0, 0.0]).unwrap());
+        assert!(matches!(
+            RoundUpdate::query(dense, 1.0, 0.5),
+            Err(SketchError::UnsupportedLoss(_))
+        ));
+        let implicit = ImplicitQuery::parity(vec![0], 2).unwrap();
+        assert!(RoundUpdate::query_from_dyn(&implicit, -0.25, 0.7).is_ok());
+    }
+
+    #[test]
     fn from_dyn_retains_concrete_losses() {
         let loss = SquaredLoss::new(2).unwrap();
         let u = RoundUpdate::from_dyn(&loss, &[0.1, 0.2], &[0.0, 0.0], 0.3).unwrap();
-        assert_eq!(u.loss().dim(), 2);
+        assert_eq!(u.loss().unwrap().dim(), 2);
+        assert!(u.point_query().is_none());
         assert!((u.eta() - 0.3).abs() < 1e-15);
         assert!(format!("{u:?}").contains("eta"));
     }
@@ -233,5 +400,28 @@ mod tests {
         let s2 = log.rounds()[1].scale();
         assert!((log.drift_bound() - (0.8 * s1 + 0.6 * s2)).abs() < 1e-12);
         assert!(lw.abs() <= log.drift_bound() + 1e-12);
+    }
+
+    #[test]
+    fn query_rounds_mix_with_certificate_rounds_in_one_log() {
+        let mut log = UpdateLog::new();
+        log.push(RoundUpdate::new(lq(0, 2), vec![0.9], vec![0.5], 0.8).unwrap());
+        let q = ImplicitQuery::marginal(vec![1], 2).unwrap();
+        log.push(RoundUpdate::query_from_dyn(&q, -0.5, 1.0).unwrap());
+        assert_eq!(log.len(), 2);
+
+        let mut grad = Vec::new();
+        // Point [1, 1]: certificate payoff as above; query payoff
+        // -0.5 * q([1,1]) = -0.5.
+        let lw = log.log_weight_at(&[1.0, 1.0], &mut grad).unwrap();
+        let u1 = (0.9 - 0.5) * (0.5 - 1.0);
+        let expect = -(0.8 * u1) - (1.0 * (-0.5));
+        assert!((lw - expect).abs() < 1e-12, "{lw} vs {expect}");
+
+        // Query-round scale is |coeff|·max(|lo|,|hi|) = 0.5 here.
+        assert!((log.rounds()[1].scale() - 0.5).abs() < 1e-15);
+        assert!(lw.abs() <= log.drift_bound() + 1e-12);
+        assert!(format!("{:?}", log.rounds()[1]).contains("marginal"));
+        assert_eq!(log.rounds()[1].point_dim(), 2);
     }
 }

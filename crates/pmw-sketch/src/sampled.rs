@@ -37,8 +37,8 @@ use crate::error::SketchError;
 use crate::log::{RoundUpdate, UpdateLog};
 use crate::source::PointSource;
 use pmw_core::update::dual_certificate_at;
-use pmw_core::{PmwError, StateBackend};
-use pmw_data::{gumbel_max_index, Histogram, PointMatrix};
+use pmw_core::{PmwError, QueryEstimate, StateBackend};
+use pmw_data::{gumbel_max_index, Histogram, PointMatrix, PointQuery};
 use pmw_dp::{hoeffding_radius, uncovered_mass_bound, SamplingAccountant};
 use pmw_losses::traits::minimize_weighted;
 use pmw_losses::CmLoss;
@@ -53,6 +53,16 @@ pub struct SampledConfig {
     pub budget: usize,
     /// Per-estimate failure probability of the claimed confidence bounds.
     pub beta: f64,
+    /// **Drift-aware pool refresh**: redraw the whole pool every this many
+    /// recorded rounds (`0` = never, the default). A reused pool makes
+    /// successive round estimates *correlated* — the same sampling noise
+    /// appears in every round's estimate — and increasingly mismatched
+    /// with the drifting hypothesis; refreshing re-draws `m` fresh
+    /// candidates and re-evaluates each from the retained update log in
+    /// `O(t·d)` (the `LazyLogBackend` evaluation engine), restoring
+    /// independence at `O(m·t·d)` per refresh. Exhaustive pools never
+    /// resample.
+    pub resample_every: usize,
 }
 
 impl Default for SampledConfig {
@@ -60,6 +70,7 @@ impl Default for SampledConfig {
         Self {
             budget: 1024,
             beta: 1e-6,
+            resample_every: 0,
         }
     }
 }
@@ -101,6 +112,7 @@ pub struct SampledBackend<S: PointSource> {
     pool_points: PointMatrix,
     pool_log_w: Vec<f64>,
     exhaustive: bool,
+    resamples: usize,
     /// (point, gradient) scratch buffers; `RefCell` because reads are
     /// logically `&self`.
     bufs: RefCell<(Vec<f64>, Vec<f64>)>,
@@ -143,6 +155,7 @@ impl<S: PointSource> SampledBackend<S> {
             pool_points,
             pool_log_w,
             exhaustive,
+            resamples: 0,
             bufs: RefCell::new((vec![0.0; dim], Vec::new())),
             ledger: RefCell::new(SamplingAccountant::new()),
         })
@@ -178,12 +191,18 @@ impl<S: PointSource> SampledBackend<S> {
         self.ledger.borrow()
     }
 
-    /// Record one MW round: `O(m·d)` — update every cached pool log-weight,
-    /// then retain the round in the log.
+    /// Rounds that redrew the pool so far ([`SampledConfig::resample_every`]).
+    pub fn resamples(&self) -> usize {
+        self.resamples
+    }
+
+    /// Record one MW round (dual-certificate or linear-query): `O(m·d)` —
+    /// update every cached pool log-weight, then retain the round in the
+    /// log.
     pub fn record(&mut self, update: RoundUpdate) -> Result<(), SketchError> {
-        if update.loss().point_dim() != self.source.dim() {
+        if update.point_dim() != self.source.dim() {
             return Err(SketchError::DimensionMismatch {
-                got: update.loss().point_dim(),
+                got: update.point_dim(),
                 expected: self.source.dim(),
             });
         }
@@ -214,6 +233,55 @@ impl<S: PointSource> SampledBackend<S> {
         self.record(RoundUpdate::from_dyn(loss, theta_oracle, theta_hyp, eta)?)
     }
 
+    /// Redraw the whole Monte-Carlo pool and re-evaluate every fresh
+    /// candidate's log-weight from the retained update log — `O(t·d)` per
+    /// candidate (the `LazyLogBackend` evaluation engine,
+    /// [`UpdateLog::log_weight_at`]), `O(m·t·d)` total. Restores
+    /// estimator independence after the pool has been reused across
+    /// drifting rounds; a no-op on exhaustive pools. Consumes `m` uniform
+    /// index draws from `rng`.
+    ///
+    /// Called automatically every [`SampledConfig::resample_every`]
+    /// recorded rounds when the backend is driven through the
+    /// [`StateBackend`] seam; direct `record`/`record_borrowed` drivers
+    /// call it explicitly.
+    pub fn resample(&mut self, rng: &mut dyn Rng) -> Result<(), SketchError> {
+        if self.exhaustive {
+            return Ok(());
+        }
+        let n = self.source.len();
+        let dim = self.source.dim();
+        let m = self.pool_indices.len();
+        let indices: Vec<usize> = (0..m).map(|_| rng.random_range(0..n)).collect();
+        let mut flat = vec![0.0; m * dim];
+        let mut log_w = Vec::with_capacity(m);
+        {
+            let mut grad = Vec::new();
+            for (row, &idx) in flat.chunks_exact_mut(dim).zip(&indices) {
+                self.source.write_point(idx, row);
+                log_w.push(self.log.log_weight_at(row, &mut grad)?);
+            }
+        }
+        // All fresh state computed; swap atomically so a failed
+        // re-evaluation above leaves the old pool untouched.
+        self.pool_points = PointMatrix::from_flat(flat, dim)
+            .map_err(|_| SketchError::NonFinite("point source produced invalid points"))?;
+        self.pool_indices = indices;
+        self.pool_log_w = log_w;
+        self.resamples += 1;
+        Ok(())
+    }
+
+    /// [`SampledBackend::resample`] when a refresh is due per
+    /// [`SampledConfig::resample_every`].
+    fn maybe_resample(&mut self, rng: &mut dyn Rng) -> Result<(), SketchError> {
+        let every = self.config.resample_every;
+        if every > 0 && !self.exhaustive && self.log.len().is_multiple_of(every) {
+            self.resample(rng)?;
+        }
+        Ok(())
+    }
+
     /// Normalized self-normalized-importance-sampling weights of the pool
     /// (softmax of the cached log-weights) plus the shifted normalizer
     /// mean `B̂' = (1/m)Σ exp(log w_i − shift)` and the shift itself.
@@ -238,18 +306,20 @@ impl<S: PointSource> SampledBackend<S> {
 
     /// Self-normalized importance-sampling estimate of
     /// `⟨f, D̂_t⟩ = Σ_x D̂_t(x)·f(x)` for a per-point function bounded by
-    /// `|f| ≤ scale`, with its concentration radius.
+    /// `|f| ≤ scale`, with its concentration radius. The closure receives
+    /// the pool **slot** alongside the point, so index-route evaluations
+    /// (dense queries) can look up `pool_indices[slot]`.
     fn estimate_mean(
         &self,
         label: &'static str,
         scale: f64,
-        mut f: impl FnMut(&[f64]) -> Result<f64, SketchError>,
+        mut f: impl FnMut(usize, &[f64]) -> Result<f64, SketchError>,
     ) -> Result<Estimate, SketchError> {
         let (w, mean_shifted, shift) = self.snis();
         let mut value = 0.0;
-        for (point, wi) in self.pool_points.iter().zip(&w) {
+        for (slot, (point, wi)) in self.pool_points.iter().zip(&w).enumerate() {
             if *wi > 0.0 {
-                value += wi * f(point)?;
+                value += wi * f(slot, point)?;
             }
         }
         let (radius, beta) = if self.exhaustive {
@@ -301,9 +371,24 @@ impl<S: PointSource> SampledBackend<S> {
         }
         let scale = loss.scale_bound();
         let mut grad = vec![0.0; loss.dim()];
-        self.estimate_mean("certificate-mean", scale, |point| {
+        self.estimate_mean("certificate-mean", scale, |_slot, point| {
             dual_certificate_at(loss, point, theta_oracle, theta_hyp, &mut grad)
                 .map_err(|_| SketchError::NonFinite("certificate payoff"))
+        })
+    }
+
+    /// SNIS estimate of the expected linear-query value `⟨q, D̂_t⟩` over
+    /// the pool, with a drift-envelope concentration radius at the
+    /// configured `beta` — the hypothesis-side read of the \[HR10\]/\[HLM12\]
+    /// mechanisms, recorded in the sampling ledger like every estimate.
+    /// Implicit queries evaluate on the cached pool points; dense queries
+    /// on the cached pool indices. Exact (radius 0) on exhaustive pools.
+    pub fn query_mean(&self, query: &dyn PointQuery) -> Result<Estimate, SketchError> {
+        crate::log::validate_query_shape(query, self.source.len(), self.source.dim())?;
+        let (lo, hi) = query.value_bounds();
+        let scale = lo.abs().max(hi.abs());
+        self.estimate_mean("query-mean", scale, |slot, point| {
+            crate::log::query_value_at(query, self.pool_indices[slot], point)
         })
     }
 
@@ -410,7 +495,7 @@ impl<S: PointSource> StateBackend for SampledBackend<S> {
         theta_hyp: &[f64],
         eta: f64,
         gap_weights: Option<&[f64]>,
-        _rng: &mut dyn Rng,
+        rng: &mut dyn Rng,
     ) -> Result<Option<f64>, PmwError> {
         // Diagnostics gap (pre-update, like the dense backend): sketched
         // hypothesis side, exact data side over the nonzero data weights.
@@ -439,11 +524,46 @@ impl<S: PointSource> StateBackend for SampledBackend<S> {
             None => RoundUpdate::from_dyn(loss, theta_oracle, theta_hyp, eta)?,
         };
         self.record(update)?;
+        self.maybe_resample(rng)?;
         Ok(gap)
     }
 
     fn sample_indices(&self, m: usize, rng: &mut dyn Rng) -> Result<Vec<usize>, PmwError> {
         Ok((0..m).map(|_| self.sample_index(rng)).collect())
+    }
+
+    fn expected_query_value(
+        &self,
+        query: &dyn PointQuery,
+        _points: Option<&PointMatrix>,
+        _rng: &mut dyn Rng,
+    ) -> Result<QueryEstimate, PmwError> {
+        let est = self.query_mean(query)?;
+        Ok(QueryEstimate {
+            value: est.value,
+            radius: est.radius,
+            beta: est.beta,
+        })
+    }
+
+    fn apply_query_update(
+        &mut self,
+        query: &dyn PointQuery,
+        retained: Option<std::rc::Rc<dyn PointQuery>>,
+        coeff: f64,
+        eta: f64,
+        _points: Option<&PointMatrix>,
+        rng: &mut dyn Rng,
+    ) -> Result<(), PmwError> {
+        // Reuse the caller's owned handle (cloned before any budget was
+        // spent); fall back to cloning here only when driven without one.
+        let update = match retained {
+            Some(shared) => RoundUpdate::query(shared, coeff, eta)?,
+            None => RoundUpdate::query_from_dyn(query, coeff, eta)?,
+        };
+        self.record(update)?;
+        self.maybe_resample(rng)?;
+        Ok(())
     }
 
     fn dense_hypothesis(&self) -> Option<&Histogram> {
@@ -490,7 +610,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sketch = SampledBackend::new(
             UniversePoints(cube.clone()),
-            SampledConfig { budget, beta: 1e-6 },
+            SampledConfig {
+                budget,
+                ..SampledConfig::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -522,7 +645,8 @@ mod tests {
             UniversePoints(cube.clone()),
             SampledConfig {
                 budget: 0,
-                beta: 0.5
+                beta: 0.5,
+                resample_every: 0,
             },
             &mut rng
         )
@@ -531,7 +655,8 @@ mod tests {
             UniversePoints(cube.clone()),
             SampledConfig {
                 budget: 4,
-                beta: 0.0
+                beta: 0.0,
+                resample_every: 0,
             },
             &mut rng
         )
@@ -541,6 +666,7 @@ mod tests {
             SampledConfig {
                 budget: 100,
                 beta: 0.5,
+                resample_every: 0,
             },
             &mut rng,
         )
@@ -640,6 +766,157 @@ mod tests {
                 dense.mass(x)
             );
         }
+    }
+
+    #[test]
+    fn query_mean_matches_dense_expectation() {
+        use pmw_data::workload::ImplicitQuery;
+        // Exhaustive pool: the SNIS query mean is exact, both for an
+        // implicit marginal (point route) and the equivalent dense query
+        // (index route).
+        let (sketch, dense, points) = driven_pair(4, usize::MAX, 21);
+        let q = ImplicitQuery::marginal(vec![1, 3], 4).unwrap();
+        let dense_vals: Vec<f64> = points.iter().map(|p| q.evaluate(p)).collect();
+        let exact: f64 = dense
+            .weights()
+            .iter()
+            .zip(&dense_vals)
+            .map(|(w, v)| w * v)
+            .sum();
+        let est = sketch.query_mean(&q).unwrap();
+        assert_eq!((est.radius, est.beta), (0.0, 0.0));
+        assert!(
+            (est.value - exact).abs() < 1e-12,
+            "{} vs {exact}",
+            est.value
+        );
+        let dense_q = pmw_data::LinearQuery::new(dense_vals).unwrap();
+        let est_idx = sketch.query_mean(&dense_q).unwrap();
+        assert!((est_idx.value - exact).abs() < 1e-12);
+        // Ledger records query estimates like every other read.
+        assert!(sketch
+            .ledger()
+            .records()
+            .iter()
+            .any(|r| r.label == "query-mean"));
+
+        // Sub-universe pool: the estimate carries a positive radius and
+        // lands within it (deterministic under the fixed seed).
+        let (sub, dense2, points2) = driven_pair(10, 256, 22);
+        let q2 = ImplicitQuery::marginal(vec![0], 10).unwrap();
+        let exact2: f64 = dense2
+            .weights()
+            .iter()
+            .zip(points2.iter())
+            .map(|(w, p)| w * q2.evaluate(p))
+            .sum();
+        let est2 = sub.query_mean(&q2).unwrap();
+        assert!(est2.radius.is_finite() && est2.radius > 0.0);
+        assert!(
+            (est2.value - exact2).abs() <= est2.radius,
+            "estimate {} vs exact {exact2}, radius {}",
+            est2.value,
+            est2.radius
+        );
+
+        // Dimension / length mismatches are rejected.
+        assert!(sketch
+            .query_mean(&ImplicitQuery::marginal(vec![0], 9).unwrap())
+            .is_err());
+        assert!(sketch
+            .query_mean(&pmw_data::LinearQuery::new(vec![1.0; 3]).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn query_updates_track_the_dense_histogram() {
+        use pmw_data::workload::ImplicitQuery;
+        // Drive certificate + query rounds through the sketch; the cached
+        // pool log-weights must match a dense histogram driven by the
+        // same schedule.
+        let (mut sketch, mut dense, points) = driven_pair(5, usize::MAX, 23);
+        let q = ImplicitQuery::parity(vec![0, 2], 5).unwrap();
+        let u: Vec<f64> = points.iter().map(|p| -0.3 * q.evaluate(p)).collect();
+        dense.mw_update(&u, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        StateBackend::apply_query_update(&mut sketch, &q, None, -0.3, 1.0, None, &mut rng).unwrap();
+        assert_eq!(sketch.rounds(), 4);
+        for (slot, &idx) in sketch.pool_indices.iter().enumerate() {
+            let exact = sketch.log_weight_of(idx).unwrap();
+            assert!(
+                (sketch.pool_log_w[slot] - exact).abs() < 1e-12,
+                "slot {slot}"
+            );
+            assert!((dense.log_weight(idx) - exact).abs() < 1e-12, "idx {idx}");
+        }
+        // Dense queries cannot be retained in the update log.
+        let dense_q = pmw_data::LinearQuery::new(vec![1.0; 32]).unwrap();
+        assert!(StateBackend::apply_query_update(
+            &mut sketch,
+            &dense_q,
+            None,
+            1.0,
+            1.0,
+            None,
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn resample_refreshes_the_pool_consistently() {
+        use pmw_data::workload::ImplicitQuery;
+        let cube = BooleanCube::new(10).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut sketch = SampledBackend::new(
+            UniversePoints(cube),
+            SampledConfig {
+                budget: 128,
+                resample_every: 2,
+                ..SampledConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!sketch.is_exhaustive());
+        let before: Vec<usize> = sketch.pool_indices.clone();
+        // Two query rounds: the second triggers the drift-aware refresh.
+        let q = ImplicitQuery::marginal(vec![0], 10).unwrap();
+        StateBackend::apply_query_update(&mut sketch, &q, None, 1.0, 0.4, None, &mut rng).unwrap();
+        assert_eq!(sketch.resamples(), 0);
+        StateBackend::apply_query_update(&mut sketch, &q, None, -1.0, 0.4, None, &mut rng).unwrap();
+        assert_eq!(sketch.resamples(), 1);
+        assert_ne!(before, sketch.pool_indices, "pool must be redrawn");
+        // Every fresh candidate's cached log-weight equals the exact
+        // from-scratch (LazyLogBackend-engine) evaluation.
+        for (slot, &idx) in sketch.pool_indices.iter().enumerate() {
+            let exact = sketch.log_weight_of(idx).unwrap();
+            assert!(
+                (sketch.pool_log_w[slot] - exact).abs() < 1e-12,
+                "slot {slot}"
+            );
+        }
+        // Manual resample keeps working and counts.
+        sketch.resample(&mut rng).unwrap();
+        assert_eq!(sketch.resamples(), 2);
+
+        // Exhaustive pools never resample.
+        let cube4 = BooleanCube::new(4).unwrap();
+        let mut exhaustive = SampledBackend::new(
+            UniversePoints(cube4),
+            SampledConfig {
+                budget: usize::MAX,
+                resample_every: 1,
+                ..SampledConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let q4 = ImplicitQuery::marginal(vec![0], 4).unwrap();
+        StateBackend::apply_query_update(&mut exhaustive, &q4, None, 1.0, 0.4, None, &mut rng)
+            .unwrap();
+        exhaustive.resample(&mut rng).unwrap();
+        assert_eq!(exhaustive.resamples(), 0);
     }
 
     #[test]

@@ -25,8 +25,15 @@ fn main() {
     // A universe the dense path cannot materialize on one box:
     // 2^24 points x 24 coordinates x 8 bytes = 3.2 GB for the matrix alone.
     let source = BigBitCube::new(bits).expect("cube source");
-    let mut backend = SampledBackend::new(source, SampledConfig { budget, beta: 1e-6 }, &mut rng)
-        .expect("sampled backend");
+    let mut backend = SampledBackend::new(
+        source,
+        SampledConfig {
+            budget,
+            ..SampledConfig::default()
+        },
+        &mut rng,
+    )
+    .expect("sampled backend");
     println!(
         "universe |X| = 2^{bits} = {} points; pool = {} samples",
         1u64 << bits,
@@ -122,8 +129,15 @@ fn main() {
         })
         .collect();
     let dataset = pmw::data::Dataset::from_indices(big.len(), rows).expect("dataset");
-    let state = SampledBackend::new(big, SampledConfig { budget, beta: 1e-6 }, &mut rng)
-        .expect("mechanism backend");
+    let state = SampledBackend::new(
+        big,
+        SampledConfig {
+            budget,
+            ..SampledConfig::default()
+        },
+        &mut rng,
+    )
+    .expect("mechanism backend");
     let config = pmw::core::PmwConfig::builder(2.0, 1e-6, 0.05)
         .k(8)
         .rounds_override(4)

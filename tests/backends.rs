@@ -64,7 +64,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sketch = SampledBackend::new(
             UniversePoints(cube.clone()),
-            SampledConfig { budget: 512, beta: 1e-6 },
+            SampledConfig { budget: 512, ..SampledConfig::default() },
             &mut rng,
         ).unwrap();
         prop_assert!(!sketch.is_exhaustive());
@@ -133,7 +133,7 @@ fn online_mechanism_on_exhaustive_sampled_backend_matches_dense() {
         UniversePoints(cube.clone()),
         SampledConfig {
             budget: usize::MAX,
-            beta: 1e-6,
+            ..SampledConfig::default()
         },
         &mut rng_b,
     )
@@ -198,7 +198,7 @@ fn offline_mechanism_on_exhaustive_sampled_backend_matches_dense() {
         UniversePoints(cube.clone()),
         SampledConfig {
             budget: usize::MAX,
-            beta: 1e-6,
+            ..SampledConfig::default()
         },
         &mut rng_b,
     )
@@ -262,7 +262,7 @@ fn unretainable_loss_fails_before_spending_budget() {
         UniversePoints(cube.clone()),
         SampledConfig {
             budget: usize::MAX,
-            beta: 1e-6,
+            ..SampledConfig::default()
         },
         &mut rng,
     )
@@ -311,7 +311,7 @@ fn unretainable_loss_fails_before_spending_budget() {
         UniversePoints(cube.clone()),
         SampledConfig {
             budget: usize::MAX,
-            beta: 1e-6,
+            ..SampledConfig::default()
         },
         &mut rng,
     )

@@ -53,7 +53,7 @@ fn full_answer_loop_runs_at_2_pow_26_without_materializing_the_universe() {
         source,
         SampledConfig {
             budget: 512,
-            beta: 1e-6,
+            ..SampledConfig::default()
         },
         &mut rng,
     )
@@ -122,7 +122,7 @@ fn point_source_mechanism_smoke_at_2_pow_20() {
         source,
         SampledConfig {
             budget: 1024,
-            beta: 1e-6,
+            ..SampledConfig::default()
         },
         &mut rng,
     )
@@ -184,7 +184,7 @@ fn offline_point_source_parity_with_dense_at_small_universe() {
         source.clone(),
         SampledConfig {
             budget: usize::MAX,
-            beta: 1e-6,
+            ..SampledConfig::default()
         },
         &mut rng_b,
     )
@@ -220,7 +220,7 @@ fn accuracy_game_on_point_source_mechanism() {
         source,
         SampledConfig {
             budget: 1024,
-            beta: 1e-6,
+            ..SampledConfig::default()
         },
         &mut rng,
     )
