@@ -126,6 +126,19 @@ struct SampledRun {
     answers: Vec<f64>,
     selected: Vec<usize>,
     resamples: usize,
+    /// Mean claimed radius over the run's `query-mean` ledger entries —
+    /// the per-estimate error bar the selection and answers carried.
+    claimed_radius_mean: f64,
+    /// Per-bound win counts over the same entries
+    /// (hoeffding, ess, bernstein).
+    radius_wins: (usize, usize, usize),
+    /// Final-state calibration probe `(claimed_radius_mean,
+    /// realized_err_mean)`: fresh `query_mean` estimates on the run's
+    /// final state paired with the **exact** lazy-log evaluation of the
+    /// same state — per-estimate calibration, not transcript divergence
+    /// (the widened EM makes sampled selections diverge from dense, so
+    /// `answer_err_vs_dense` measures a different thing).
+    probe: Option<(f64, f64)>,
 }
 
 /// One sampled run at the given round count; returns total wall time so
@@ -137,6 +150,7 @@ fn sampled_total(
     resample_every: usize,
     run_seed: u64,
     rounds: usize,
+    probe_exact: bool,
 ) -> (f64, SampledRun) {
     let source = BigBitCube::new(log2_x).expect("source");
     let dataset = skewed_rows(&source, scale.n, 40 + log2_x as u64);
@@ -170,6 +184,64 @@ fn sampled_total(
         run.averaged.is_none(),
         "sampled MWEM must not build a |X|-sized average"
     );
+    let ledger = run.state.ledger();
+    let query_records: Vec<_> = ledger
+        .records()
+        .iter()
+        .filter(|r| r.label == "query-mean")
+        .collect();
+    let claimed_radius_mean = if query_records.is_empty() {
+        0.0
+    } else {
+        query_records.iter().map(|r| r.radius).sum::<f64>() / query_records.len() as f64
+    };
+    let wins =
+        |bound: pmw_dp::RadiusBound| query_records.iter().filter(|r| r.bound == bound).count();
+    let radius_wins = (
+        wins(pmw_dp::RadiusBound::Hoeffding),
+        wins(pmw_dp::RadiusBound::EffectiveSample),
+        wins(pmw_dp::RadiusBound::Bernstein),
+    );
+    drop(ledger);
+    // The calibration probe: exact expected query values of the run's
+    // *own* final state via a streaming two-pass sweep of its retained
+    // update log (the LazyLogBackend evaluation engine — O(|X|·t·d), no
+    // |X|-sized allocation), against fresh estimates of the same state.
+    // This pairs each claimed radius with the estimator error it actually
+    // bounds; it is only affordable at the shared (error) size.
+    let probe = if probe_exact {
+        let probe_source = BigBitCube::new(log2_x).expect("probe source");
+        let n = probe_source.len();
+        let mut point = vec![0.0; probe_source.dim()];
+        let mut grad = Vec::new();
+        let log = run.state.log();
+        let mut shift = f64::NEG_INFINITY;
+        for x in 0..n {
+            probe_source.write_point(x, &mut point);
+            shift = shift.max(log.log_weight_at(&point, &mut grad).expect("log weight"));
+        }
+        let mut den = 0.0;
+        let mut nums = vec![0.0; queries.len()];
+        for x in 0..n {
+            probe_source.write_point(x, &mut point);
+            let w = (log.log_weight_at(&point, &mut grad).expect("log weight") - shift).exp();
+            den += w;
+            for (num, q) in nums.iter_mut().zip(&queries) {
+                *num += w * q.evaluate(&point);
+            }
+        }
+        let mut err_sum = 0.0;
+        let mut radius_sum = 0.0;
+        for (q, num) in queries.iter().zip(&nums) {
+            let est = run.state.query_mean(q).expect("probe estimate");
+            err_sum += (est.value - num / den).abs();
+            radius_sum += est.radius;
+        }
+        let k = queries.len() as f64;
+        Some((radius_sum / k, err_sum / k))
+    } else {
+        None
+    };
     (
         elapsed,
         SampledRun {
@@ -177,15 +249,31 @@ fn sampled_total(
             answers: run.answers,
             selected: run.selected,
             resamples: run.state.resamples(),
+            claimed_radius_mean,
+            radius_wins,
+            probe,
         },
     )
 }
 
-fn run_sampled(scale: &Scale, log2_x: usize, resample_every: usize, run_seed: u64) -> SampledRun {
+fn run_sampled(
+    scale: &Scale,
+    log2_x: usize,
+    resample_every: usize,
+    run_seed: u64,
+    probe_exact: bool,
+) -> SampledRun {
     // Difference a 1-round baseline out of the T-round run so the
     // per-round figure is the marginal round cost, not round + setup/T.
-    let (baseline, _) = sampled_total(scale, log2_x, resample_every, run_seed, 1);
-    let (total, mut run) = sampled_total(scale, log2_x, resample_every, run_seed, scale.rounds);
+    let (baseline, _) = sampled_total(scale, log2_x, resample_every, run_seed, 1, false);
+    let (total, mut run) = sampled_total(
+        scale,
+        log2_x,
+        resample_every,
+        run_seed,
+        scale.rounds,
+        probe_exact,
+    );
     run.per_round_ns = ((total - baseline) / (scale.rounds - 1) as f64).max(1.0);
     run
 }
@@ -271,8 +359,14 @@ fn main() {
     let err_dataset = skewed_rows(&source, scale.n, 40 + scale.error_size as u64);
     let err_queries = workload(scale.error_size, scale.queries);
     let truths = true_answers(&err_queries, &err_dataset, &source);
-    let reused = run_sampled(&scale, scale.error_size, 0, run_seed);
-    let refreshed = run_sampled(&scale, scale.error_size, scale.resample_every, run_seed);
+    let reused = run_sampled(&scale, scale.error_size, 0, run_seed, true);
+    let refreshed = run_sampled(
+        &scale,
+        scale.error_size,
+        scale.resample_every,
+        run_seed,
+        false,
+    );
     let (truth_err_reused, _) = err_stats(&reused.answers, &truths);
     let (truth_err_refreshed, _) = err_stats(&refreshed.answers, &truths);
 
@@ -283,7 +377,7 @@ fn main() {
         let sampled = if log2_x == scale.error_size {
             reused.clone()
         } else {
-            run_sampled(&scale, log2_x, 0, run_seed)
+            run_sampled(&scale, log2_x, 0, run_seed, false)
         };
         let universe = (1u128 << log2_x) as f64;
         let extrapolated = dense_ns_per_elem * universe;
@@ -302,8 +396,19 @@ fn main() {
                      \"answer_err_vs_dense_max\": {max:.6}, \"selection_matches\": {matches},\n     \
                      \"answer_err_vs_truth_mean\": {truth_err_reused:.6}, \
                      \"answer_err_vs_truth_resampled_mean\": {truth_err_refreshed:.6}, \
-                     \"resamples\": {}",
-                    dense.per_round_ns, refreshed.resamples,
+                     \"resamples\": {},\n     \
+                     \"claimed_radius_mean\": {claimed:.6}, \"realized_err_mean\": {realized:.6},\n     \
+                     \"radius_wins_hoeffding\": {wh}, \"radius_wins_ess\": {we}, \
+                     \"radius_wins_bernstein\": {wb}",
+                    dense.per_round_ns,
+                    refreshed.resamples,
+                    claimed = sampled.probe.map_or(sampled.claimed_radius_mean, |p| p.0),
+                    realized = sampled
+                        .probe
+                        .map_or(mean, |p| p.1),
+                    wh = sampled.radius_wins.0,
+                    we = sampled.radius_wins.1,
+                    wb = sampled.radius_wins.2,
                 ),
                 (mean, max, matches as f64),
             )
@@ -341,6 +446,25 @@ fn main() {
         "# pool refresh (resample_every={}): answer err vs truth {:.5} reused-pool vs {:.5} refreshed — \
          a reused pool correlates successive round estimates; the refresh redraws it from the retained log",
         scale.resample_every, truth_err_reused, truth_err_refreshed
+    );
+    let (probe_claimed, probe_realized) = reused.probe.expect("error-size run carries the probe");
+    println!(
+        "# calibration at 2^{}: final-state probe claimed radius {:.4} vs exact-sweep realized err \
+         {:.4} = {:.0}x; run-ledger mean radius {:.4}, bound wins ess={} bernstein={} hoeffding={}; \
+         the EM sensitivity is widened by these radii, so sampled selections need not match the \
+         dense transcript",
+        scale.error_size,
+        probe_claimed,
+        probe_realized,
+        if probe_realized > 0.0 {
+            probe_claimed / probe_realized
+        } else {
+            0.0
+        },
+        reused.claimed_radius_mean,
+        reused.radius_wins.1,
+        reused.radius_wins.2,
+        reused.radius_wins.0,
     );
 
     let json = format!(

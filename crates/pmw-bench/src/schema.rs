@@ -86,10 +86,19 @@ pub fn validate_bench_runtime(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The largest claimed-radius-to-realized-error ratio a sublinear
+/// artifact may report before the schema check fails. The drift-envelope
+/// bound alone was measured ~600× above the realized error at 2^16; the
+/// variance-adaptive certificates sit well under this ceiling, so a
+/// regression back toward envelope-only radii fails CI loudly.
+pub const CALIBRATION_RATIO_CEILING: f64 = 100.0;
+
 /// Validate `BENCH_sublinear.json`: the sublinear-scaling record. Checks
 /// per-round figures, the dense-extrapolation speedup, the
-/// sampled-vs-dense answer-error column, and the full-mechanism axis
-/// (per-answer cost of the point-source `OnlinePmw::answer` loop).
+/// sampled-vs-dense answer-error column, the calibration columns (with
+/// the [`CALIBRATION_RATIO_CEILING`] sanity ceiling), and the
+/// full-mechanism axis (per-answer cost of the point-source
+/// `OnlinePmw::answer` loop).
 pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
     if !has_key(json, "experiment") || !json.contains("sublinear_scaling") {
         return Err("not a sublinear_scaling artifact".into());
@@ -121,8 +130,41 @@ pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
         "answer_error_mean",
         "answer_error_max",
         "claimed_radius_mean",
+        "realized_err_mean",
+        "envelope_radius_mean",
+        "calibration_ratio",
+        "radius_wins_hoeffding",
+        "radius_wins_ess",
+        "radius_wins_bernstein",
     ] {
         require_non_negative(json, key)?;
+    }
+    // Certificate honesty: the claimed radii must stay within the sanity
+    // ceiling of the realized error, and must never exceed the envelope
+    // bound they replaced.
+    let claimed = extract_numbers(json, "claimed_radius_mean");
+    let realized = extract_numbers(json, "realized_err_mean");
+    let envelopes = extract_numbers(json, "envelope_radius_mean");
+    for ((c, r), e) in claimed.iter().zip(&realized).zip(&envelopes) {
+        if *r > 0.0 && c / r > CALIBRATION_RATIO_CEILING {
+            return Err(format!(
+                "claimed radius {c} is {:.0}x the realized error {r} \
+                 (ceiling {CALIBRATION_RATIO_CEILING})",
+                c / r
+            ));
+        }
+        if c > e {
+            return Err(format!(
+                "claimed radius {c} exceeds the drift-envelope bound {e}"
+            ));
+        }
+    }
+    for ratio in extract_numbers(json, "calibration_ratio") {
+        if ratio > CALIBRATION_RATIO_CEILING {
+            return Err(format!(
+                "calibration_ratio {ratio} exceeds ceiling {CALIBRATION_RATIO_CEILING}"
+            ));
+        }
     }
     Ok(())
 }
@@ -160,8 +202,27 @@ pub fn validate_bench_mwem(json: &str) -> Result<(), String> {
         "answer_err_vs_truth_mean",
         "answer_err_vs_truth_resampled_mean",
         "resamples",
+        "claimed_radius_mean",
+        "realized_err_mean",
+        "radius_wins_hoeffding",
+        "radius_wins_ess",
+        "radius_wins_bernstein",
     ] {
         require_non_negative(json, key)?;
+    }
+    // The same certificate-honesty ceiling as the sublinear artifact: a
+    // regression back toward envelope-only radii on the MWEM path must
+    // fail CI here too.
+    let claimed = extract_numbers(json, "claimed_radius_mean");
+    let realized = extract_numbers(json, "realized_err_mean");
+    for (c, r) in claimed.iter().zip(&realized) {
+        if *r > 0.0 && c / r > CALIBRATION_RATIO_CEILING {
+            return Err(format!(
+                "claimed radius {c} is {:.0}x the realized error {r} \
+                 (ceiling {CALIBRATION_RATIO_CEILING})",
+                c / r
+            ));
+        }
     }
     Ok(())
 }
@@ -233,7 +294,11 @@ mod tests {
              "mechanism_per_answer_ns": 2500000.0, "mechanism_answers": 24,
              "mechanism_updates": 2, "mechanism_support_rows": 1987,
              "answer_error_mean": 0.001, "answer_error_max": 0.004,
-             "claimed_radius_mean": 0.02}
+             "claimed_radius_mean": 0.02,
+             "realized_err_mean": 0.001, "envelope_radius_mean": 0.9,
+             "calibration_ratio": 20.0,
+             "radius_wins_hoeffding": 0, "radius_wins_ess": 20,
+             "radius_wins_bernstein": 30}
           ]
         }"#;
         validate_bench_sublinear(json).unwrap();
@@ -253,6 +318,44 @@ mod tests {
             "\"mechanism_per_answer_ns\": 0.0",
         );
         assert!(validate_bench_sublinear(&zero_mech).is_err());
+        // The calibration columns are part of the contract too.
+        let no_cal = json.replace("\"realized_err_mean\": 0.001,", "");
+        assert!(validate_bench_sublinear(&no_cal).is_err());
+        let no_wins = json.replace("\"radius_wins_ess\": 20,", "");
+        assert!(validate_bench_sublinear(&no_wins).is_err());
+    }
+
+    #[test]
+    fn sublinear_validator_enforces_the_calibration_ceiling() {
+        // A regression back to ~600x-inflated radii must fail the check,
+        // through either the claimed/realized pair or the reported ratio.
+        let base = r#"{
+          "experiment": "sublinear_scaling", "budget": 2048, "rounds": 50,
+          "mechanism_n": 2000, "mechanism_queries": 24,
+          "sizes": [
+            {"log2_x": 16, "universe": 65536, "per_round_ns": 100000.0,
+             "dense_ns_per_elem_ref": 5.0,
+             "dense_extrapolated_round_ns": 327680.0,
+             "speedup_vs_dense_extrapolation": 3.3,
+             "mechanism_per_answer_ns": 2500000.0, "mechanism_answers": 24,
+             "mechanism_updates": 2, "mechanism_support_rows": 1987,
+             "answer_error_mean": 0.009, "answer_error_max": 0.04,
+             "claimed_radius_mean": CLAIMED,
+             "realized_err_mean": 0.009, "envelope_radius_mean": 6.0,
+             "calibration_ratio": RATIO,
+             "radius_wins_hoeffding": 0, "radius_wins_ess": 20,
+             "radius_wins_bernstein": 30}
+          ]
+        }"#;
+        let honest = base.replace("CLAIMED", "0.065").replace("RATIO", "7.4");
+        validate_bench_sublinear(&honest).unwrap();
+        let blown = base.replace("CLAIMED", "5.86").replace("RATIO", "651.0");
+        let err = validate_bench_sublinear(&blown).unwrap_err();
+        assert!(err.contains("ceiling"), "{err}");
+        // A claimed radius above the envelope bound is dishonest even if
+        // the ratio is fine.
+        let above_envelope = base.replace("CLAIMED", "6.5").replace("RATIO", "7.4");
+        assert!(validate_bench_sublinear(&above_envelope).is_err());
     }
 
     #[test]
@@ -273,7 +376,10 @@ mod tests {
              "selection_matches": 8,
              "answer_err_vs_truth_mean": 0.01,
              "answer_err_vs_truth_resampled_mean": 0.008,
-             "resamples": 2},
+             "resamples": 2,
+             "claimed_radius_mean": 0.09, "realized_err_mean": 0.01,
+             "radius_wins_hoeffding": 0, "radius_wins_ess": 100,
+             "radius_wins_bernstein": 116},
             {"log2_x": 26, "universe": 67108864,
              "sampled_per_round_ns": 1000000.0,
              "dense_extrapolated_round_ns": 214748364.8,
@@ -292,6 +398,19 @@ mod tests {
         assert!(validate_bench_mwem(&no_err).is_err());
         let no_resample_col = json.replace("\"answer_err_vs_truth_resampled_mean\": 0.008,", "");
         assert!(validate_bench_mwem(&no_resample_col).is_err());
+        // The calibration columns are part of the contract.
+        let no_cal = json.replace("\"claimed_radius_mean\": 0.09,", "");
+        assert!(validate_bench_mwem(&no_cal).is_err());
+        // ... and the same calibration ceiling applies as for the
+        // sublinear artifact.
+        let blown = json.replace(
+            "\"claimed_radius_mean\": 0.09,",
+            "\"claimed_radius_mean\": 5.9,",
+        );
+        let err = validate_bench_mwem(&blown).unwrap_err();
+        assert!(err.contains("ceiling"), "{err}");
+        let negative_wins = json.replace("\"radius_wins_ess\": 100,", "\"radius_wins_ess\": -1,");
+        assert!(validate_bench_mwem(&negative_wins).is_err());
         // A runtime artifact is not a MWEM artifact.
         assert!(validate_bench_mwem("{\"experiment\": \"runtime_scaling\"}").is_err());
     }

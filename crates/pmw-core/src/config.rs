@@ -52,6 +52,22 @@ pub struct PmwConfig {
     pub eta_override: Option<f64>,
     /// Iteration budget for the inner (non-private) convex solves.
     pub solver_iters: usize,
+    /// In-round retries of a transiently failing ERM oracle before the
+    /// consumed sparse-vector round is burned as `UpdateFailed` (default
+    /// 0 = no retries, the historical behavior). The per-round oracle
+    /// budget is charged conservatively **once, up front** — a retry
+    /// re-solves under the already-charged budget, so retries spend
+    /// nothing extra from the accountant.
+    ///
+    /// **Soundness condition**: the single up-front charge is only valid
+    /// when the oracle's *failure event* is data-independent (numeric
+    /// blowups from its own noise draws, resource errors, a flaky
+    /// dependency). An oracle whose failures correlate with the sensitive
+    /// data leaks through which attempt succeeded, and each retry is then
+    /// a genuine additional `(ε₀, δ₀)` spend the ledger does not record —
+    /// keep the default 0 for such oracles, or charge per attempt in a
+    /// wrapper.
+    pub oracle_retries: usize,
     /// Sparse-vector composition mode across AboveThreshold restarts.
     pub sv_composition: SvComposition,
     /// Record diagnostic values (true error-query values) in the transcript.
@@ -72,6 +88,7 @@ impl PmwConfig {
             rounds_override: None,
             eta_override: None,
             solver_iters: 600,
+            oracle_retries: 0,
             sv_composition: SvComposition::Strong,
             diagnostics: false,
         }
@@ -140,6 +157,7 @@ pub struct PmwConfigBuilder {
     rounds_override: Option<usize>,
     eta_override: Option<f64>,
     solver_iters: usize,
+    oracle_retries: usize,
     sv_composition: SvComposition,
     diagnostics: bool,
 }
@@ -178,6 +196,13 @@ impl PmwConfigBuilder {
     /// Inner solver iteration budget (default 600).
     pub fn solver_iters(mut self, iters: usize) -> Self {
         self.solver_iters = iters;
+        self
+    }
+
+    /// In-round oracle retries before an `UpdateFailed` round is burned
+    /// (default 0 — see [`PmwConfig::oracle_retries`]).
+    pub fn oracle_retries(mut self, retries: usize) -> Self {
+        self.oracle_retries = retries;
         self
     }
 
@@ -225,6 +250,7 @@ impl PmwConfigBuilder {
             rounds_override: self.rounds_override,
             eta_override: self.eta_override,
             solver_iters: self.solver_iters,
+            oracle_retries: self.oracle_retries,
             sv_composition: self.sv_composition,
             diagnostics: self.diagnostics,
         })

@@ -351,11 +351,15 @@ impl<B: StateBackend> LinearPmw<B> {
         };
         let est = self
             .state
-            .expected_query_value(query, self.data.universe_points(), rng)?
-            .value;
+            .expected_query_value(query, self.data.universe_points(), rng)?;
         let truth = self.data.evaluate(query)?;
-        let err = (est - truth).abs();
-        let outcome = match self.sv.process(err, rng) {
+        let err = (est.value - truth).abs();
+        // Radius-aware SV margin: on a sketching backend `est` carries a
+        // claimed concentration radius, and a ⊥ must certify that the
+        // *true* hypothesis answer ⟨q, D̂_t⟩ — not just its estimate — is
+        // within α of the data. Exact backends claim radius 0, so the
+        // dense path processes the identical value bit-for-bit.
+        let outcome = match self.sv.process(err + est.radius, rng) {
             Ok(o) => o,
             Err(pmw_dp::DpError::SparseVectorHalted) => {
                 self.halted = true;
@@ -364,7 +368,7 @@ impl<B: StateBackend> LinearPmw<B> {
             Err(e) => return Err(e.into()),
         };
         let answer = match outcome {
-            SvOutcome::Bottom => est,
+            SvOutcome::Bottom => est.value,
             SvOutcome::Top => {
                 // Budget first: the release and the update may fail after
                 // the SV top is already consumed, and a failing release
@@ -378,7 +382,7 @@ impl<B: StateBackend> LinearPmw<B> {
                         // Update direction: if the hypothesis overestimates,
                         // penalize elements where q(x) is large
                         // (exp(-eta*q)); otherwise boost.
-                        let coeff = if est > measured { 1.0 } else { -1.0 };
+                        let coeff = if est.value > measured { 1.0 } else { -1.0 };
                         self.state
                             .apply_query_update(
                                 query,
@@ -614,7 +618,6 @@ impl Mwem {
 
         let per_round = epsilon / (2.0 * self.rounds as f64);
         let sensitivity = self.range / n as f64;
-        let em = ExponentialMechanism::new(sensitivity, per_round)?;
         let lap = LaplaceMechanism::new(sensitivity, per_round)?;
         let points = data.universe_points();
 
@@ -623,10 +626,11 @@ impl Mwem {
             .iter()
             .map(|q| data.evaluate(*q))
             .collect::<Result<_, _>>()?;
-        // Hypothesis estimates under D̂_1 (round-1 selection scores).
-        let mut ests: Vec<f64> = queries
+        // Hypothesis estimates under D̂_1 (round-1 selection scores), with
+        // their claimed concentration radii (0 on exact backends).
+        let mut ests: Vec<crate::state::QueryEstimate> = queries
             .iter()
-            .map(|q| state.expected_query_value(*q, points, rng).map(|e| e.value))
+            .map(|q| state.expected_query_value(*q, points, rng))
             .collect::<Result<_, _>>()?;
 
         let mut accountant = Accountant::new();
@@ -635,19 +639,37 @@ impl Mwem {
         // Dense backends also accumulate the HLM12 averaged histogram.
         let mut avg: Option<Vec<f64>> = state.dense_hypothesis().map(|h| vec![0.0; h.len()]);
         for t in 0..self.rounds {
-            // Select the query the hypothesis answers worst.
+            // Select the query the hypothesis answers worst. On a
+            // non-exhaustive backend the scores are estimates, each off by
+            // up to its claimed radius — the exponential mechanism's
+            // sensitivity is widened by the worst per-score radius of the
+            // round, so the selection guarantee holds for the *true*
+            // scores and not just their sketches. Exact backends claim
+            // radius 0, leaving the dense selection (and its rng stream)
+            // bit-for-bit unchanged.
             let scores: Vec<f64> = ests
                 .iter()
                 .zip(&truths)
-                .map(|(e, t)| (e - t).abs())
+                .map(|(e, t)| (e.value - t).abs())
                 .collect();
+            // A NaN radius would silently fall out of the f64::max fold
+            // and revert the selection to the unwidened sensitivity;
+            // reject non-finite radii loudly instead (mirroring how the
+            // sparse-vector path rejects a non-finite widened margin).
+            if ests.iter().any(|e| !e.radius.is_finite()) {
+                return Err(PmwError::InvalidConfig(
+                    "state backend claimed a non-finite query-estimate radius",
+                ));
+            }
+            let widen = ests.iter().map(|e| e.radius).fold(0.0, f64::max);
+            let em = ExponentialMechanism::new(sensitivity + widen, per_round)?;
             let idx = em.select(&scores, rng)?;
             accountant.spend("exponential-mechanism", em.budget());
             selected.push(idx);
             let measured = lap.release(truths[idx], rng)?;
             accountant.spend("laplace", lap.budget());
             // MWEM update: D(x) *= exp(q(x)·(measured − est)/(2·range)).
-            let coeff = (ests[idx] - measured) / (2.0 * self.range);
+            let coeff = (ests[idx].value - measured) / (2.0 * self.range);
             let retained = shared.as_ref().map(|handles| handles[idx].clone());
             state.apply_query_update(queries[idx], retained, coeff, 1.0, points, rng)?;
             // Post-update estimates: next round's scores, and — on the
@@ -660,12 +682,12 @@ impl Mwem {
             if !(last && avg.is_some()) {
                 ests = queries
                     .iter()
-                    .map(|q| state.expected_query_value(*q, points, rng).map(|e| e.value))
+                    .map(|q| state.expected_query_value(*q, points, rng))
                     .collect::<Result<_, _>>()?;
             }
             if avg.is_none() {
                 for (sum, est) in answer_sums.iter_mut().zip(&ests) {
-                    *sum += est;
+                    *sum += est.value;
                 }
             }
             if let Some(avg) = avg.as_mut() {
@@ -935,6 +957,176 @@ mod tests {
         assert!(mech.has_halted());
         assert_eq!(mech.updates_remaining(), 0);
         assert!(matches!(mech.answer(&q, &mut rng), Err(PmwError::Halted)));
+    }
+
+    /// A dense-delegating backend whose query estimates claim a fixed
+    /// radius — the stub for radius-aware selection/screening on sketched
+    /// state.
+    struct WideRadiusBackend(DenseBackend, f64);
+
+    impl StateBackend for WideRadiusBackend {
+        fn universe_size(&self) -> usize {
+            self.0.universe_size()
+        }
+
+        fn updates_recorded(&self) -> usize {
+            self.0.updates_recorded()
+        }
+
+        fn hypothesis_minimizer(
+            &self,
+            loss: &dyn pmw_losses::CmLoss,
+            points: &PointMatrix,
+            solver_iters: usize,
+            rng: &mut dyn Rng,
+        ) -> Result<Vec<f64>, PmwError> {
+            self.0.hypothesis_minimizer(loss, points, solver_iters, rng)
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn apply_update(
+            &mut self,
+            loss: &dyn pmw_losses::CmLoss,
+            retained: Option<Rc<dyn pmw_losses::CmLoss>>,
+            points: &PointMatrix,
+            theta_oracle: &[f64],
+            theta_hyp: &[f64],
+            eta: f64,
+            gap_weights: Option<&[f64]>,
+            rng: &mut dyn Rng,
+        ) -> Result<Option<f64>, PmwError> {
+            self.0.apply_update(
+                loss,
+                retained,
+                points,
+                theta_oracle,
+                theta_hyp,
+                eta,
+                gap_weights,
+                rng,
+            )
+        }
+
+        fn sample_indices(&self, m: usize, rng: &mut dyn Rng) -> Result<Vec<usize>, PmwError> {
+            self.0.sample_indices(m, rng)
+        }
+
+        fn expected_query_value(
+            &self,
+            query: &dyn PointQuery,
+            points: Option<&PointMatrix>,
+            rng: &mut dyn Rng,
+        ) -> Result<crate::state::QueryEstimate, PmwError> {
+            let est = self.0.expected_query_value(query, points, rng)?;
+            Ok(crate::state::QueryEstimate {
+                value: est.value,
+                radius: self.1,
+                beta: 1e-6,
+            })
+        }
+
+        fn apply_query_update(
+            &mut self,
+            query: &dyn PointQuery,
+            retained: Option<Rc<dyn PointQuery>>,
+            coeff: f64,
+            eta: f64,
+            points: Option<&PointMatrix>,
+            rng: &mut dyn Rng,
+        ) -> Result<(), PmwError> {
+            self.0
+                .apply_query_update(query, retained, coeff, eta, points, rng)
+        }
+    }
+
+    #[test]
+    fn linear_pmw_sv_margin_widens_by_the_claimed_radius() {
+        // Uniform data: the exact backend serves every query for free
+        // (`linear_pmw_serves_easy_queries_for_free`). With estimates
+        // claiming a huge radius, no ⊥ can be certified — the very first
+        // answer must take the measured (update) path.
+        let mut rng = StdRng::seed_from_u64(152);
+        let rows: Vec<usize> = (0..1600).map(|i| i % 16).collect();
+        let data = Dataset::from_indices(16, rows).unwrap();
+        let cube = BooleanCube::new(4).unwrap();
+        let queries = random_counting_queries(16, 4, &mut rng).unwrap();
+        let state = WideRadiusBackend(DenseBackend::new(16).unwrap(), 10.0);
+        let mut mech =
+            LinearPmw::with_backend(linear_config(4, 3, 0.2), &cube, &data, state, &mut rng)
+                .unwrap();
+        let a = mech.answer(&queries[0], &mut rng).unwrap();
+        assert_eq!(
+            mech.updates_used(),
+            1,
+            "the widened margin must force the measured path"
+        );
+        // The measured answer is the Laplace release of the truth.
+        let truth = queries[0].evaluate(&data.histogram());
+        assert!((a - truth).abs() < 0.2, "{a} vs {truth}");
+    }
+
+    #[test]
+    fn mwem_selection_sensitivity_widens_by_the_claimed_radius() {
+        // The planted-query setup of `mwem_selected_queries_are_high_error
+        // _ones`: the exact backend picks the planted query in round 1.
+        // With estimates claiming a huge radius the widened sensitivity
+        // flattens the selection scores into (near-)uniform Gumbel noise,
+        // so the same seed must produce a different selection transcript —
+        // the selection provably stopped trusting sketch-noise-sized score
+        // gaps.
+        let data = Dataset::from_indices(16, vec![15; 500]).unwrap();
+        let cube = BooleanCube::new(4).unwrap();
+        let mut queries =
+            vec![
+                LinearQuery::new((0..16).map(|x| if x == 15 { 1.0 } else { 0.0 }).collect())
+                    .unwrap(),
+            ];
+        for _ in 0..9 {
+            queries.push(LinearQuery::new(vec![1.0; 16]).unwrap());
+        }
+        let mwem = Mwem::new(6, 1.0).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(146);
+        let exact = mwem
+            .run_with_backend(
+                &queries,
+                &cube,
+                &data,
+                8.0,
+                DenseBackend::new(16).unwrap(),
+                &mut rng_a,
+            )
+            .unwrap();
+        assert_eq!(exact.selected[0], 0);
+        let mut rng_b = StdRng::seed_from_u64(146);
+        let wide = mwem
+            .run_with_backend(
+                &queries,
+                &cube,
+                &data,
+                8.0,
+                WideRadiusBackend(DenseBackend::new(16).unwrap(), 10.0),
+                &mut rng_b,
+            )
+            .unwrap();
+        assert_ne!(
+            exact.selected, wide.selected,
+            "radius-widened sensitivity must change the selection distribution"
+        );
+        // Privacy spend is unchanged: same per-round ε, same entry count.
+        assert_eq!(exact.accountant.len(), wide.accountant.len());
+
+        // A NaN radius must fail loudly instead of silently falling out
+        // of the max fold and reverting to the unwidened sensitivity.
+        let mut rng_c = StdRng::seed_from_u64(146);
+        let nan = mwem.run_with_backend(
+            &queries,
+            &cube,
+            &data,
+            8.0,
+            WideRadiusBackend(DenseBackend::new(16).unwrap(), f64::NAN),
+            &mut rng_c,
+        );
+        assert!(matches!(nan, Err(PmwError::InvalidConfig(_))));
     }
 
     #[test]

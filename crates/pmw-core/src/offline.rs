@@ -210,7 +210,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
         let derived = self.config.derive(universe_size)?;
         let rounds = derived.rounds;
         let em_epsilon = self.config.budget.epsilon() / (2.0 * rounds as f64);
-        let em = ExponentialMechanism::new(3.0 * self.config.scale_s / n as f64, em_epsilon)?;
+        let em_sensitivity = 3.0 * self.config.scale_s / n as f64;
         let mut accountant = Accountant::new();
         let mut selected = Vec::with_capacity(rounds);
 
@@ -239,18 +239,35 @@ impl<O: ErmOracle> OfflinePmw<O> {
                 scores.push((obj.value(&theta_hat) - opt).max(0.0));
                 hyp_minimizers.push(theta_hat);
             }
+            // Radius-aware selection, as in the online mechanisms: every
+            // score was computed from a θ̂ solved against the (possibly
+            // sketched) hypothesis, so the EM sensitivity is widened by
+            // the backend's claimed read radius for this round's state.
+            // Exact backends claim 0, leaving the dense selection (and
+            // its rng stream) bit-for-bit unchanged.
+            let widen = state.read_radius(self.config.scale_s);
+            let em = ExponentialMechanism::new(em_sensitivity + widen, em_epsilon)?;
             let idx = em.select(&scores, rng)?;
             accountant.spend("em-select", PrivacyBudget::pure(em_epsilon)?);
             selected.push(idx);
 
-            let theta_t = self.oracle.solve(
-                losses[idx],
-                data_points,
-                data_weights,
-                n,
-                derived.oracle_budget,
-                rng,
-            )?;
+            // Same in-round retry policy as the online mechanism
+            // (`PmwConfig::oracle_retries`, default 0).
+            let mut attempts = 0;
+            let theta_t = loop {
+                let result = self.oracle.solve(
+                    losses[idx],
+                    data_points,
+                    data_weights,
+                    n,
+                    derived.oracle_budget,
+                    rng,
+                );
+                if result.is_ok() || attempts >= self.config.oracle_retries {
+                    break result;
+                }
+                attempts += 1;
+            }?;
             accountant.spend("erm-oracle", derived.oracle_budget);
             state.apply_update(
                 losses[idx],
@@ -349,6 +366,72 @@ mod tests {
             Err(PmwError::InvalidConfig(
                 "universe must contain at least one element"
             ))
+        ));
+    }
+
+    /// Fails its first solve, then delegates — the transient-failure stub.
+    struct FlakyOnce {
+        failed: std::cell::Cell<bool>,
+        inner: ExactOracle,
+    }
+
+    impl ErmOracle for FlakyOnce {
+        fn solve(
+            &self,
+            loss: &dyn CmLoss,
+            points: &PointMatrix,
+            weights: &[f64],
+            n: usize,
+            budget: PrivacyBudget,
+            rng: &mut dyn Rng,
+        ) -> Result<Vec<f64>, pmw_erm::ErmError> {
+            if !self.failed.replace(true) {
+                return Err(pmw_erm::ErmError::InvalidParameter("transient stub"));
+            }
+            self.inner.solve(loss, points, weights, n, budget, rng)
+        }
+
+        fn name(&self) -> &'static str {
+            "flaky-once"
+        }
+    }
+
+    #[test]
+    fn oracle_retries_apply_to_the_offline_rounds_too() {
+        // `PmwConfig::oracle_retries` is one knob for both mechanism
+        // variants: with a retry the offline run absorbs the transient
+        // failure; without it the first selected round aborts the run.
+        let cube = BooleanCube::new(3).unwrap();
+        let rows: Vec<usize> = (0..400).map(|i| if i % 4 == 0 { 1 } else { 7 }).collect();
+        let data = Dataset::from_indices(8, rows).unwrap();
+        let losses = bit_losses(3);
+        let refs: Vec<&dyn CmLoss> = losses.iter().map(|l| l as &dyn CmLoss).collect();
+
+        let mut cfg = config(2, 0.2);
+        cfg.oracle_retries = 1;
+        let off = OfflinePmw::with_oracle(
+            cfg,
+            FlakyOnce {
+                failed: std::cell::Cell::new(false),
+                inner: ExactOracle::default(),
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(165);
+        let (result, accountant) = off.run(&refs, &cube, &data, &mut rng).unwrap();
+        assert_eq!(result.selected.len(), 2);
+        assert_eq!(accountant.len(), 4); // 2 selections + 2 oracle charges
+
+        let off_no_retry = OfflinePmw::with_oracle(
+            config(2, 0.2),
+            FlakyOnce {
+                failed: std::cell::Cell::new(false),
+                inner: ExactOracle::default(),
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(165);
+        assert!(matches!(
+            off_no_retry.run(&refs, &cube, &data, &mut rng),
+            Err(PmwError::Erm(_))
         ));
     }
 

@@ -207,6 +207,20 @@ pub trait StateBackend {
         None
     }
 
+    /// The concentration radius this backend claims for a generic mean
+    /// read of a statistic bounded by `|f| ≤ scale` under the current
+    /// state, at its configured failure probability — `0` for exact
+    /// backends (the default). The mechanisms widen their sparse-vector
+    /// margins by this value when screening on sketched state, so a `⊥`
+    /// certifies the *true* hypothesis-side quantity and not just its
+    /// estimate; because exact backends report `0`, the dense paths stay
+    /// bit-for-bit unchanged. Implementations must return a finite,
+    /// non-negative value.
+    fn read_radius(&self, scale: f64) -> f64 {
+        let _ = scale;
+        0.0
+    }
+
     /// True when [`StateBackend::apply_update`] needs an owned handle to
     /// the round's loss ([`CmLoss::clone_shared`]) — lazy update-log
     /// backends re-evaluate past payoffs and must retain it. The

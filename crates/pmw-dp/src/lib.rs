@@ -37,5 +37,8 @@ pub use error::DpError;
 pub use exponential::ExponentialMechanism;
 pub use mechanisms::{GaussianMechanism, LaplaceMechanism};
 pub use numeric_sparse::{NumericSparse, NumericSvOutcome};
-pub use sampling::{hoeffding_radius, uncovered_mass_bound, SamplingAccountant, SamplingRecord};
+pub use sampling::{
+    effective_sample_size, empirical_bernstein_radius, ess_radius, hoeffding_radius,
+    uncovered_mass_bound, RadiusBound, SamplingAccountant, SamplingRecord,
+};
 pub use sparse_vector::{SparseVector, SvConfig, SvOutcome};

@@ -12,15 +12,37 @@
 //! per estimate, each carrying the Hoeffding/coverage radius the backend
 //! claimed, plus union-bound totals over a whole run.
 //!
-//! Two bound shapes cover everything the backends emit:
+//! Four bound shapes cover everything the backends emit:
 //!
 //! * [`hoeffding_radius`] — a mean estimate from `m` i.i.d. bounded draws
-//!   deviates by more than the radius with probability at most `β`.
+//!   deviates by more than the radius with probability at most `β`. This
+//!   is the **worst-case** bound: it charges the full range of the draws,
+//!   so on importance-sampled reads (where the range is the drift envelope
+//!   `e^c` of the update log) it can overstate the realized error by
+//!   orders of magnitude.
+//! * [`empirical_bernstein_radius`] — the Maurer–Pontil empirical
+//!   Bernstein bound: a *sample-variance* term that shrinks with the
+//!   realized spread of the draws at `1/√m`, plus a range term that decays
+//!   at the faster `1/m` rate. Wins over Hoeffding whenever the sample
+//!   variance is small relative to the squared range — the typical state
+//!   of a self-normalized importance-sampling read, where most pool
+//!   weights are moderate and the worst-case envelope is never realized.
+//! * [`ess_radius`] — a Hoeffding-shaped bound at the **effective sample
+//!   size** `ESS = (Σw)²/Σw²` of a weighted pool: the realized weight
+//!   spread replaces the worst-case envelope entirely (`ESS = m` for
+//!   uniform weights, degrading only as far as the weights actually
+//!   concentrated). Wins when the integrand's variance is not small but
+//!   the weights are well-spread.
 //! * [`uncovered_mass_bound`] — an empirical max over `m` i.i.d. draws
 //!   misses at most a `q`-fraction of the distribution's mass with
 //!   probability at least `1 − β` (the quantile coverage of a sampled max;
 //!   a sampled max is a lower bound, so "error" is phrased as uncovered
 //!   mass rather than distance).
+//!
+//! Backends that claim the minimum of several bounds (splitting `β`
+//! across the candidates) tag each ledger entry with the winning
+//! [`RadiusBound`], so experiments can report how often each bound is the
+//! operative certificate.
 
 use crate::error::DpError;
 
@@ -42,6 +64,80 @@ pub fn hoeffding_radius(range: f64, samples: usize, beta: f64) -> Result<f64, Dp
     Ok(range * ((2.0 / beta).ln() / (2.0 * samples as f64)).sqrt())
 }
 
+/// Maurer–Pontil empirical Bernstein radius (two-sided): `m` i.i.d. draws
+/// of a statistic confined to an interval of width `range`, with observed
+/// **sample variance** `sample_variance`, produce an empirical mean within
+///
+/// `sqrt(2·V·ln(4/β)/m) + 7·range·ln(4/β)/(3·(m − 1))`
+///
+/// of the true mean with probability `≥ 1 − β`. The variance term decays
+/// at `1/√m` like Hoeffding but charges the *realized* spread instead of
+/// the worst-case range; the range term decays at the faster `1/m`, so
+/// when `V ≪ range²` this bound is far below [`hoeffding_radius`] (see
+/// the `empirical_bernstein_beats_hoeffding_at_small_variance` test for
+/// the crossover).
+///
+/// `samples` is `f64` so callers can plug in a fractional effective sample
+/// size; it must exceed 1 (the `m − 1` correction needs a second sample).
+/// Errors on `samples ≤ 1`, non-finite/negative `range` or
+/// `sample_variance`, or `β ∉ (0, 1)`.
+pub fn empirical_bernstein_radius(
+    range: f64,
+    sample_variance: f64,
+    samples: f64,
+    beta: f64,
+) -> Result<f64, DpError> {
+    if !(samples.is_finite() && samples > 1.0) {
+        return Err(DpError::InvalidParameter("need more than one sample"));
+    }
+    if !(range.is_finite() && range >= 0.0) {
+        return Err(DpError::InvalidParameter("range must be non-negative"));
+    }
+    if !(sample_variance.is_finite() && sample_variance >= 0.0) {
+        return Err(DpError::InvalidParameter(
+            "sample variance must be non-negative",
+        ));
+    }
+    if !(beta > 0.0 && beta < 1.0) {
+        return Err(DpError::InvalidParameter("beta must be in (0, 1)"));
+    }
+    let log_term = (4.0 / beta).ln();
+    Ok((2.0 * sample_variance * log_term / samples).sqrt()
+        + 7.0 * range * log_term / (3.0 * (samples - 1.0)))
+}
+
+/// Hoeffding-shaped radius at a (fractional) **effective sample size**:
+/// a self-normalized importance-sampling estimate over a pool with
+/// `ESS = (Σw)²/Σw²` behaves like a mean of `ESS` unweighted draws of the
+/// integrand, so the radius is `range·sqrt(ln(2/β)/(2·ESS))` with the
+/// integrand's own range — the worst-case weight envelope never appears.
+/// Errors on non-positive/non-finite `ess` or `range`, or `β ∉ (0, 1)`.
+pub fn ess_radius(range: f64, ess: f64, beta: f64) -> Result<f64, DpError> {
+    if !(ess.is_finite() && ess > 0.0) {
+        return Err(DpError::InvalidParameter(
+            "effective sample size must be positive",
+        ));
+    }
+    if !(range.is_finite() && range > 0.0) {
+        return Err(DpError::InvalidParameter("range must be positive"));
+    }
+    if !(beta > 0.0 && beta < 1.0) {
+        return Err(DpError::InvalidParameter("beta must be in (0, 1)"));
+    }
+    Ok(range * ((2.0 / beta).ln() / (2.0 * ess)).sqrt())
+}
+
+/// Effective sample size `(Σw)²/Σw²` of a weighted pool, from its first
+/// two weight moments. `m` for uniform weights, `1` when a single weight
+/// dominates, `0` when the pool carries no mass at all.
+pub fn effective_sample_size(weight_sum: f64, weight_sq_sum: f64) -> f64 {
+    if weight_sq_sum > 0.0 {
+        weight_sum * weight_sum / weight_sq_sum
+    } else {
+        0.0
+    }
+}
+
 /// Quantile coverage of a sampled maximum: with `m` i.i.d. draws from a
 /// distribution, the probability that none lands in the top-`q` mass is
 /// `(1 − q)^m ≤ e^{−qm}`; solving for `β` gives `q = ln(1/β)/m`. The
@@ -57,6 +153,25 @@ pub fn uncovered_mass_bound(samples: usize, beta: f64) -> Result<f64, DpError> {
     Ok(((1.0 / beta).ln() / samples as f64).min(1.0))
 }
 
+/// Which concentration bound backed a recorded estimate's claimed radius —
+/// backends that evaluate several candidate bounds and claim the minimum
+/// tag each ledger entry with the winner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadiusBound {
+    /// Exhaustive/exact read: radius 0 by construction, no bound needed.
+    Exact,
+    /// Worst-case (drift-envelope) [`hoeffding_radius`].
+    Hoeffding,
+    /// Effective-sample-size [`ess_radius`] over the realized weight
+    /// spread.
+    EffectiveSample,
+    /// Maurer–Pontil [`empirical_bernstein_radius`] over the realized
+    /// sample variance.
+    Bernstein,
+    /// Quantile coverage of a sampled maximum ([`uncovered_mass_bound`]).
+    Coverage,
+}
+
 /// One recorded sampling-based estimate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SamplingRecord {
@@ -69,6 +184,8 @@ pub struct SamplingRecord {
     pub radius: f64,
     /// Per-entry failure probability of the claimed bound.
     pub beta: f64,
+    /// The concentration bound that produced `radius`.
+    pub bound: RadiusBound,
 }
 
 /// Ledger of sampling-noise spends — the accuracy-side sibling of the
@@ -87,12 +204,43 @@ impl SamplingAccountant {
     }
 
     /// Record one estimate's claimed bound.
-    pub fn record(&mut self, label: &'static str, samples: usize, radius: f64, beta: f64) {
+    ///
+    /// Inputs are **saturated** instead of trusted: a NaN or negative
+    /// radius is an uncertifiable claim and is stored as `+∞` (so
+    /// [`SamplingAccountant::max_radius`] reports it loudly, instead of
+    /// `f64::max` silently dropping a NaN), and any `beta` outside
+    /// `[0, 1]` (including NaN) saturates **upward** to 1 — a claim with
+    /// an unknown or nonsensical failure probability may always fail.
+    /// The union-bound totals therefore stay conservative under any
+    /// caller bug.
+    pub fn record(
+        &mut self,
+        label: &'static str,
+        samples: usize,
+        radius: f64,
+        beta: f64,
+        bound: RadiusBound,
+    ) {
+        let radius = if radius.is_nan() || radius < 0.0 {
+            f64::INFINITY
+        } else {
+            radius
+        };
+        // A beta outside [0, 1] (or NaN) is a caller bug with an unknown
+        // real failure probability: saturate to 1 — a claim that may
+        // always fail — never downward, which would certify a stronger
+        // confidence than was ever established.
+        let beta = if (0.0..=1.0).contains(&beta) {
+            beta
+        } else {
+            1.0
+        };
         self.records.push(SamplingRecord {
             label,
             samples,
             radius,
             beta,
+            bound,
         });
     }
 
@@ -126,6 +274,12 @@ impl SamplingAccountant {
     /// the simultaneous (union-bound) event.
     pub fn max_radius(&self) -> f64 {
         self.records.iter().map(|r| r.radius).fold(0.0, f64::max)
+    }
+
+    /// How many recorded estimates were certified by `bound` — the
+    /// per-bound win counts the calibration benches report.
+    pub fn bound_wins(&self, bound: RadiusBound) -> usize {
+        self.records.iter().filter(|r| r.bound == bound).count()
     }
 }
 
@@ -196,14 +350,138 @@ mod tests {
     fn ledger_aggregates_records() {
         let mut acc = SamplingAccountant::new();
         assert!(acc.is_empty());
-        acc.record("certificate-mean", 1000, 0.02, 1e-4);
-        acc.record("max-payoff", 1000, 0.05, 1e-4);
-        acc.record("certificate-mean", 500, 0.03, 1e-4);
+        acc.record("certificate-mean", 1000, 0.02, 1e-4, RadiusBound::Bernstein);
+        acc.record("max-payoff", 1000, 0.05, 1e-4, RadiusBound::Coverage);
+        acc.record(
+            "certificate-mean",
+            500,
+            0.03,
+            1e-4,
+            RadiusBound::EffectiveSample,
+        );
         assert_eq!(acc.len(), 3);
         assert_eq!(acc.total_samples(), 2500);
         assert!((acc.total_beta() - 3e-4).abs() < 1e-15);
         assert!((acc.max_radius() - 0.05).abs() < 1e-15);
         assert_eq!(acc.records()[1].label, "max-payoff");
+        assert_eq!(acc.bound_wins(RadiusBound::Coverage), 1);
+        assert_eq!(acc.bound_wins(RadiusBound::Bernstein), 1);
+        assert_eq!(acc.bound_wins(RadiusBound::Hoeffding), 0);
+    }
+
+    #[test]
+    fn record_saturates_nan_and_negative_radii() {
+        // Regression: a NaN radius used to be silently dropped by the
+        // f64::max fold in max_radius(), under-reporting the worst claimed
+        // error. It now saturates to +inf and is reported loudly.
+        let mut acc = SamplingAccountant::new();
+        acc.record("broken", 10, f64::NAN, 0.01, RadiusBound::Hoeffding);
+        assert_eq!(acc.len(), 1);
+        assert!(acc.records()[0].radius.is_infinite());
+        assert!(acc.max_radius().is_infinite());
+
+        let mut acc = SamplingAccountant::new();
+        acc.record("negative", 10, -0.5, 0.01, RadiusBound::Hoeffding);
+        assert!(acc.records()[0].radius.is_infinite());
+        assert!(acc.max_radius().is_infinite());
+
+        // A sane record after a broken one still aggregates normally.
+        acc.record("fine", 10, 0.25, 0.01, RadiusBound::Bernstein);
+        assert!(acc.max_radius().is_infinite());
+        assert_eq!(acc.bound_wins(RadiusBound::Bernstein), 1);
+    }
+
+    #[test]
+    fn record_saturates_out_of_range_beta_upward() {
+        // Every out-of-range beta — above 1, below 0, or NaN — saturates
+        // to 1.0: a claim with unknown failure probability may always
+        // fail. Saturating a negative beta to 0 would instead certify a
+        // *stronger* claim than the caller ever made.
+        let mut acc = SamplingAccountant::new();
+        acc.record("too-big", 10, 0.1, 3.0, RadiusBound::Hoeffding);
+        acc.record("negative", 10, 0.1, -0.5, RadiusBound::Hoeffding);
+        acc.record("nan", 10, 0.1, f64::NAN, RadiusBound::Hoeffding);
+        assert_eq!(acc.records()[0].beta, 1.0);
+        assert_eq!(acc.records()[1].beta, 1.0);
+        assert_eq!(acc.records()[2].beta, 1.0);
+        // total_beta is a meaningful (conservative) union bound, not NaN.
+        assert!((acc.total_beta() - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empirical_bernstein_radius_validates() {
+        assert!(empirical_bernstein_radius(1.0, 0.1, 1.0, 0.1).is_err());
+        assert!(empirical_bernstein_radius(1.0, 0.1, f64::NAN, 0.1).is_err());
+        assert!(empirical_bernstein_radius(-1.0, 0.1, 10.0, 0.1).is_err());
+        assert!(empirical_bernstein_radius(1.0, -0.1, 10.0, 0.1).is_err());
+        assert!(empirical_bernstein_radius(1.0, f64::NAN, 10.0, 0.1).is_err());
+        assert!(empirical_bernstein_radius(1.0, 0.1, 10.0, 0.0).is_err());
+        assert!(empirical_bernstein_radius(1.0, 0.1, 10.0, 1.0).is_err());
+        // Zero range and zero variance certify an exactly-constant
+        // statistic with zero radius.
+        assert_eq!(
+            empirical_bernstein_radius(0.0, 0.0, 10.0, 0.1).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn empirical_bernstein_beats_hoeffding_at_small_variance() {
+        // With sample variance far below range², the variance term is tiny
+        // and the range term decays at 1/m: the EB radius must sit under
+        // the Hoeffding radius for the same range and beta.
+        for &m in &[512usize, 1024, 4096] {
+            for &beta in &[0.1, 1e-3, 1e-6] {
+                let range = 2.0;
+                let v = range * range / 200.0;
+                let eb = empirical_bernstein_radius(range, v, m as f64, beta).unwrap();
+                let h = hoeffding_radius(range, m, beta).unwrap();
+                assert!(eb < h, "m={m} beta={beta}: eb {eb} vs hoeffding {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_bernstein_bound_holds_empirically() {
+        // Mean of m uniform[0,1] draws: the EB radius built from each
+        // trial's own sample variance must cover the deviation from 0.5 in
+        // (far more than) 99% of trials.
+        let mut rng = StdRng::seed_from_u64(44);
+        let m = 300usize;
+        let beta = 0.01;
+        let trials = 2000;
+        let misses = (0..trials)
+            .filter(|_| {
+                let draws: Vec<f64> = (0..m).map(|_| rng.random::<f64>()).collect();
+                let mean = draws.iter().sum::<f64>() / m as f64;
+                let var =
+                    draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (m as f64 - 1.0);
+                let radius = empirical_bernstein_radius(1.0, var, m as f64, beta).unwrap();
+                (mean - 0.5).abs() > radius
+            })
+            .count();
+        assert!(misses as f64 / trials as f64 <= beta, "{misses} misses");
+    }
+
+    #[test]
+    fn ess_radius_matches_hoeffding_at_uniform_weights() {
+        // ESS of m uniform weights is m, and the ESS radius then equals
+        // the plain Hoeffding radius.
+        let m = 400usize;
+        let ess = effective_sample_size(m as f64 * 0.5, m as f64 * 0.25);
+        assert!((ess - m as f64).abs() < 1e-9);
+        let r_ess = ess_radius(2.0, ess, 0.05).unwrap();
+        let r_h = hoeffding_radius(2.0, m, 0.05).unwrap();
+        assert!((r_ess - r_h).abs() < 1e-12, "{r_ess} vs {r_h}");
+        // Concentrated weights shrink the ESS toward 1 and grow the radius.
+        let concentrated = effective_sample_size(1.0 + 0.001 * 399.0, 1.0 + 399.0 * 1e-6);
+        assert!(concentrated < 2.5, "{concentrated}");
+        assert!(ess_radius(2.0, concentrated, 0.05).unwrap() > r_h);
+        // Validation.
+        assert!(ess_radius(0.0, 10.0, 0.05).is_err());
+        assert!(ess_radius(1.0, 0.0, 0.05).is_err());
+        assert!(ess_radius(1.0, 10.0, 1.0).is_err());
+        assert_eq!(effective_sample_size(0.0, 0.0), 0.0);
     }
 
     #[test]

@@ -11,10 +11,23 @@
 //! Reads are importance-sampling estimates against the uniform proposal:
 //!
 //! * **certificate means** `⟨u, D̂_t⟩` via self-normalized importance
-//!   sampling, with a computable concentration radius built from the
-//!   update log's drift envelope (`|log w(x)| ≤ Σ_t η_t·S_t`, so
-//!   `w(x) ∈ [e^{−c}, e^{c}]` and Hoeffding applies to both the numerator
-//!   and the normalizer);
+//!   sampling, certified by the **minimum of three** concentration bounds
+//!   evaluated in the same `O(m)` pass (the configured `β` is split
+//!   across the candidates, so claiming the minimum is still a valid
+//!   `1 − β` claim, and the ledger records which bound won):
+//!   1. the worst-case **drift-envelope Hoeffding** bound
+//!      (`|log w(x)| ≤ Σ_t η_t·S_t`, so `w(x) ∈ [e^{−c}, e^{c}]` and
+//!      Hoeffding applies to both the numerator and the normalizer) —
+//!      computable before any sample is drawn, but measured orders of
+//!      magnitude above the realized error once the log has drifted;
+//!   2. the **effective-sample-size** bound: Hoeffding at the pool's
+//!      realized `ESS = (Σw)²/Σw²` with the *integrand's* range `2·S`,
+//!      replacing the worst-case envelope with the weight spread the pool
+//!      actually exhibits;
+//!   3. the **empirical-Bernstein** (Maurer–Pontil) bound on the
+//!      delta-method variance `Σ ŵ_i²(u_i − û)²` of the self-normalized
+//!      ratio — the realized variance of the read, which also collapses
+//!      when the integrand barely varies over the pool;
 //! * **max payoffs** `max_x u_t(x)` as the pool maximum plus the quantile
 //!   coverage bound `(1−q)^m ≤ β` — the returned value misses at most a
 //!   `q = ln(1/β)/m` *uniform-mass* fraction of the universe, with
@@ -39,7 +52,10 @@ use crate::source::PointSource;
 use pmw_core::update::dual_certificate_at;
 use pmw_core::{PmwError, QueryEstimate, StateBackend};
 use pmw_data::{gumbel_max_index, Histogram, PointMatrix, PointQuery};
-use pmw_dp::{hoeffding_radius, uncovered_mass_bound, SamplingAccountant};
+use pmw_dp::{
+    effective_sample_size, empirical_bernstein_radius, ess_radius, hoeffding_radius,
+    uncovered_mass_bound, RadiusBound, SamplingAccountant,
+};
 use pmw_losses::traits::minimize_weighted;
 use pmw_losses::CmLoss;
 use rand::{Rng, RngExt};
@@ -78,15 +94,27 @@ impl Default for SampledConfig {
 /// A sketched mean estimate with its claimed confidence radius: the true
 /// value lies within `value ± radius` except with probability `beta`
 /// (radius 0 and beta 0 when the pool is exhaustive).
+///
+/// `radius` is the minimum over the three candidate bounds (see the
+/// module docs) and is always finite on non-exhaustive pools — the
+/// effective-sample-size candidate exists for every pool, even when the
+/// drift envelope alone would certify nothing.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// Self-normalized importance-sampling estimate.
     pub value: f64,
-    /// Claimed deviation bound (may be `f64::INFINITY` when the drift
-    /// envelope is too loose to certify anything).
+    /// Claimed deviation bound: the minimum over the candidate bounds.
     pub radius: f64,
     /// Failure probability of the claim.
     pub beta: f64,
+    /// Which concentration bound produced `radius`.
+    pub bound: RadiusBound,
+    /// The worst-case drift-envelope Hoeffding radius alone (the bound
+    /// every estimate claimed before the variance-adaptive candidates
+    /// existed; may be `f64::INFINITY` when the envelope certifies
+    /// nothing) — kept alongside so calibration benches can report the
+    /// envelope-vs-adaptive ratio. `0` on exhaustive pools.
+    pub envelope_radius: f64,
 }
 
 /// A sketched maximum: `value` is the exact maximum over the pool, and the
@@ -309,6 +337,25 @@ impl<S: PointSource> SampledBackend<S> {
     /// `|f| ≤ scale`, with its concentration radius. The closure receives
     /// the pool **slot** alongside the point, so index-route evaluations
     /// (dense queries) can look up `pool_indices[slot]`.
+    ///
+    /// The radius is the minimum of the drift-envelope Hoeffding bound and
+    /// the two variance-adaptive bounds (effective-sample-size and
+    /// empirical-Bernstein), with the configured `β` split across the
+    /// candidates (envelope `β/2`, each adaptive `β/4`), so the post-hoc
+    /// minimum claims no more confidence than its weakest member. Honesty
+    /// caveat, stated plainly: the envelope candidate is a finite-sample
+    /// theorem, while the two adaptive candidates apply their bounds at a
+    /// *realized* (data-driven) effective sample size and delta-method
+    /// variance — standard practice for self-normalized importance
+    /// sampling, but an approximation, not a theorem. Their calibration is
+    /// what the workspace's drift-regime × budget coverage tests and the
+    /// `exp_sublinear` claimed-vs-realized columns measure empirically.
+    /// The weight and value second moments both adaptive bounds need are
+    /// accumulated inside the single `O(m)` value pass — no extra sweep.
+    /// The claimed radius is always finite on non-exhaustive pools (the
+    /// ESS candidate exists even when the drift envelope certifies
+    /// nothing) and provably never exceeds the envelope-only bound this
+    /// backend used to claim.
     fn estimate_mean(
         &self,
         label: &'static str,
@@ -316,42 +363,124 @@ impl<S: PointSource> SampledBackend<S> {
         mut f: impl FnMut(usize, &[f64]) -> Result<f64, SketchError>,
     ) -> Result<Estimate, SketchError> {
         let (w, mean_shifted, shift) = self.snis();
+        // One pass: the SNIS value Σ ŵ_i·f_i (same accumulation order as
+        // ever — exhaustive pools stay bit-for-bit), plus the weight/value
+        // second moments the adaptive bounds read: Σŵ², Σŵ²f, Σŵ²f².
         let mut value = 0.0;
+        let mut w_sq = 0.0;
+        let mut w_sq_f = 0.0;
+        let mut w_sq_f_sq = 0.0;
         for (slot, (point, wi)) in self.pool_points.iter().zip(&w).enumerate() {
             if *wi > 0.0 {
-                value += wi * f(slot, point)?;
+                let fv = f(slot, point)?;
+                value += wi * fv;
+                w_sq += wi * wi;
+                w_sq_f += wi * wi * fv;
+                w_sq_f_sq += wi * wi * fv * fv;
             }
         }
-        let (radius, beta) = if self.exhaustive {
-            (0.0, 0.0)
+        let (radius, beta, bound, envelope) = if self.exhaustive {
+            (0.0, 0.0, RadiusBound::Exact, 0.0)
+        } else if scale <= 0.0 {
+            // |f| ≤ 0 pins the statistic (and hence the estimate and the
+            // true value) to exactly zero — no manufactured numerator
+            // range, no radius, no failure probability.
+            (0.0, 0.0, RadiusBound::Exact, 0.0)
         } else {
-            let m = self.pool_size();
             let beta = self.config.beta;
-            let c = self.log.drift_bound();
-            // w(x) ∈ [e^{−c}, e^{c}]: Hoeffding on the numerator mean
-            // (range 2·scale·e^c) and the normalizer mean (range ≤ e^c),
-            // each at β/2, combined through the standard ratio bound
-            // (ε_A + scale·ε_B) / B̂ with B̂ = e^shift·B̂'.
-            let radius = match (
-                hoeffding_radius(2.0 * scale.max(f64::MIN_POSITIVE), m, beta / 2.0),
-                hoeffding_radius(1.0, m, beta / 2.0),
-            ) {
-                (Ok(ha), Ok(hb)) => {
-                    let scale_up = (c - shift).exp(); // e^c / e^shift
-                    (ha * scale_up + scale * hb * scale_up) / mean_shifted
-                }
-                _ => f64::INFINITY,
+            // Candidate 1 (β/2, split again over numerator/normalizer):
+            // the worst-case drift-envelope ratio bound.
+            let envelope = self.envelope_radius(scale, beta / 4.0, shift, mean_shifted);
+            // Candidate 2 (β/4): Hoeffding at the realized effective
+            // sample size with the integrand's own range — the drift
+            // envelope replaced by the weight spread the pool exhibits.
+            // ŵ sums to 1, so ESS = 1/Σŵ².
+            let ess = effective_sample_size(1.0, w_sq);
+            let r_ess = ess_radius(2.0 * scale, ess, beta / 4.0).unwrap_or(f64::INFINITY);
+            // Candidate 3 (β/4): empirical Bernstein on the delta-method
+            // variance of the self-normalized ratio,
+            // S² = Σ ŵ_i²·(f_i − value)², treated as the variance of one
+            // effective draw out of ESS.
+            let delta_var = (w_sq_f_sq - 2.0 * value * w_sq_f + value * value * w_sq).max(0.0);
+            let r_eb = if ess > 1.0 {
+                empirical_bernstein_radius(2.0 * scale, delta_var * ess, ess, beta / 4.0)
+                    .unwrap_or(f64::INFINITY)
+            } else {
+                f64::INFINITY
             };
-            (radius, beta)
+            let (radius, bound) = if r_eb <= r_ess && r_eb <= envelope {
+                (r_eb, RadiusBound::Bernstein)
+            } else if r_ess <= envelope {
+                (r_ess, RadiusBound::EffectiveSample)
+            } else {
+                (envelope, RadiusBound::Hoeffding)
+            };
+            (radius, beta, bound, envelope)
         };
         self.ledger
             .borrow_mut()
-            .record(label, self.pool_size(), radius, beta);
+            .record(label, self.pool_size(), radius, beta, bound);
         Ok(Estimate {
             value,
             radius,
             beta,
+            bound,
+            envelope_radius: envelope,
         })
+    }
+
+    /// The drift-envelope ratio bound shared by [`Self::estimate_mean`]
+    /// and [`Self::read_radius`], so the numerically delicate formula
+    /// exists exactly once: `w(x) ∈ [e^{−c}, e^{c}]`, Hoeffding on the
+    /// shifted numerator mean (range `2·scale·e^{c−shift}`) and the
+    /// shifted normalizer mean (range `e^{c−shift}`), each at
+    /// `beta_each`, combined through the standard ratio bound
+    /// `(ε_A + scale·ε_B)/B̂` with `B̂ = e^shift·B̂'`.
+    fn envelope_radius(&self, scale: f64, beta_each: f64, shift: f64, mean_shifted: f64) -> f64 {
+        let m = self.pool_size();
+        let c = self.log.drift_bound();
+        match (
+            hoeffding_radius(2.0 * scale, m, beta_each),
+            hoeffding_radius(1.0, m, beta_each),
+        ) {
+            (Ok(ha), Ok(hb)) => {
+                let scale_up = (c - shift).exp(); // e^c / e^shift
+                (ha * scale_up + scale * hb * scale_up) / mean_shifted
+            }
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// The concentration radius this backend claims for a generic mean
+    /// read of a statistic bounded by `|f| ≤ scale` under the current
+    /// state, at the configured `β` — the minimum of the drift-envelope
+    /// and effective-sample-size bounds (`β/2` each; no integrand in hand
+    /// means no variance candidate). `0` on exhaustive pools. `O(m)` over
+    /// the cached weights; used by the mechanisms to widen their
+    /// sparse-vector margins on sketched state. Each call records a
+    /// `"read-margin"` ledger entry: a `⊥` answer screened against the
+    /// widened margin *rests* on this claim holding (failure probability
+    /// `β`), so the union-bound totals must count it like any estimate.
+    pub fn read_radius(&self, scale: f64) -> f64 {
+        if self.exhaustive || scale <= 0.0 || scale.is_nan() {
+            return 0.0;
+        }
+        let beta = self.config.beta;
+        let (w, mean_shifted, shift) = self.snis();
+        let w_sq: f64 = w.iter().map(|v| v * v).sum();
+        let envelope = self.envelope_radius(scale, beta / 4.0, shift, mean_shifted);
+        // ŵ sums to 1, so ESS = 1/Σŵ².
+        let ess = effective_sample_size(1.0, w_sq);
+        let r_ess = ess_radius(2.0 * scale, ess, beta / 2.0).unwrap_or(f64::INFINITY);
+        let (radius, bound) = if r_ess <= envelope {
+            (r_ess, RadiusBound::EffectiveSample)
+        } else {
+            (envelope, RadiusBound::Hoeffding)
+        };
+        self.ledger
+            .borrow_mut()
+            .record("read-margin", self.pool_size(), radius, beta, bound);
+        radius
     }
 
     /// Estimate the certificate expectation `⟨u, D̂_t⟩` for the payoff
@@ -378,9 +507,10 @@ impl<S: PointSource> SampledBackend<S> {
     }
 
     /// SNIS estimate of the expected linear-query value `⟨q, D̂_t⟩` over
-    /// the pool, with a drift-envelope concentration radius at the
-    /// configured `beta` — the hypothesis-side read of the \[HR10\]/\[HLM12\]
-    /// mechanisms, recorded in the sampling ledger like every estimate.
+    /// the pool, with the adaptive (minimum-of-bounds) concentration
+    /// radius at the configured `beta` — the hypothesis-side read of the
+    /// \[HR10\]/\[HLM12\] mechanisms, recorded in the sampling ledger like
+    /// every estimate.
     /// Implicit queries evaluate on the cached pool points; dense queries
     /// on the cached pool indices. Exact (radius 0) on exhaustive pools.
     pub fn query_mean(&self, query: &dyn PointQuery) -> Result<Estimate, SketchError> {
@@ -414,19 +544,20 @@ impl<S: PointSource> SampledBackend<S> {
                 .map_err(|_| SketchError::NonFinite("certificate payoff"))?;
             value = value.max(u);
         }
-        let (uncovered, beta) = if self.exhaustive {
-            (0.0, 0.0)
+        let (uncovered, beta, bound) = if self.exhaustive {
+            (0.0, 0.0, RadiusBound::Exact)
         } else {
             let beta = self.config.beta;
             (
                 uncovered_mass_bound(self.pool_size(), beta)
                     .map_err(|_| SketchError::InvalidParameter("beta"))?,
                 beta,
+                RadiusBound::Coverage,
             )
         };
         self.ledger
             .borrow_mut()
-            .record("max-payoff", self.pool_size(), uncovered, beta);
+            .record("max-payoff", self.pool_size(), uncovered, beta, bound);
         Ok(MaxEstimate {
             value,
             uncovered_mass: uncovered,
@@ -572,6 +703,10 @@ impl<S: PointSource> StateBackend for SampledBackend<S> {
 
     fn requires_shared_loss(&self) -> bool {
         true
+    }
+
+    fn read_radius(&self, scale: f64) -> f64 {
+        SampledBackend::read_radius(self, scale)
     }
 
     fn requires_materialized_universe(&self) -> bool {
@@ -733,6 +868,196 @@ mod tests {
         let true_max = u.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(max.value <= true_max + 1e-12);
         assert!(max.uncovered_mass > 0.0 && max.uncovered_mass < 0.1);
+    }
+
+    #[test]
+    fn adaptive_radius_covers_exact_value_across_drift_regimes_and_budgets() {
+        // The drift-regime × budget grid of the calibration claim: at
+        // every combination the adaptive estimate still covers the dense
+        // exact value at its claimed radius, while never exceeding the
+        // drift-envelope bound it replaced. Heavy drift (eta_scale 1.5
+        // over 8 rounds) pushes the envelope into the useless range
+        // (e^c ≫ 1); the adaptive radius must stay calibrated there too.
+        let dim = 10usize;
+        let cube = BooleanCube::new(dim).unwrap();
+        let points = cube.materialize();
+        for &budget in &[128usize, 384, 768] {
+            for (regime, &eta_scale) in [0.05f64, 0.4, 1.5].iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(4000 + budget as u64 + regime as u64);
+                let mut sketch = SampledBackend::new(
+                    UniversePoints(cube.clone()),
+                    SampledConfig {
+                        budget,
+                        ..SampledConfig::default()
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+                assert!(!sketch.is_exhaustive());
+                let mut dense = Histogram::uniform(cube.size()).unwrap();
+                let mut sched = StdRng::seed_from_u64(8000 + regime as u64);
+                for t in 0..8usize {
+                    let loss = bit_loss(t % dim, dim);
+                    let (t_o, t_h) = (sched.random::<f64>(), sched.random::<f64>());
+                    let eta = eta_scale / ((t + 1) as f64).sqrt();
+                    let u = dual_certificate(&loss, &points, &[t_o], &[t_h]).unwrap();
+                    dense.mw_update(&u, eta).unwrap();
+                    sketch
+                        .record(
+                            RoundUpdate::new(
+                                Rc::new(loss) as Rc<dyn CmLoss>,
+                                vec![t_o],
+                                vec![t_h],
+                                eta,
+                            )
+                            .unwrap(),
+                        )
+                        .unwrap();
+                }
+                let loss = bit_loss(4, dim);
+                let (t_o, t_h) = ([0.85], [0.15]);
+                let est = sketch.certificate_mean(&loss, &t_o, &t_h).unwrap();
+                let u = dual_certificate(&loss, &points, &t_o, &t_h).unwrap();
+                let exact: f64 = dense.weights().iter().zip(&u).map(|(w, v)| w * v).sum();
+                assert!(
+                    est.radius.is_finite() && est.radius > 0.0,
+                    "budget {budget} eta {eta_scale}: radius {}",
+                    est.radius
+                );
+                assert!(
+                    (est.value - exact).abs() <= est.radius,
+                    "budget {budget} eta {eta_scale}: estimate {} vs exact {exact}, radius {}",
+                    est.value,
+                    est.radius
+                );
+                assert!(
+                    est.radius <= est.envelope_radius,
+                    "budget {budget} eta {eta_scale}: adaptive {} above envelope {}",
+                    est.radius,
+                    est.envelope_radius
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_radius_never_exceeds_the_drift_envelope_bound() {
+        // Across drift regimes (mild to heavy) and pool budgets, the
+        // claimed radius is the minimum over the candidate bounds: finite,
+        // positive, never above the envelope-only bound, and won by one of
+        // the adaptive candidates (the envelope provably cannot win).
+        for &budget in &[64usize, 256, 512] {
+            for &eta_scale in &[0.05f64, 0.4, 1.5] {
+                let cube = BooleanCube::new(10).unwrap();
+                let mut rng = StdRng::seed_from_u64(900 + budget as u64);
+                let mut sketch = SampledBackend::new(
+                    UniversePoints(cube),
+                    SampledConfig {
+                        budget,
+                        ..SampledConfig::default()
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+                for t in 0..6usize {
+                    let loss = bit_loss(t % 10, 10);
+                    sketch
+                        .record(
+                            RoundUpdate::new(
+                                Rc::new(loss) as Rc<dyn CmLoss>,
+                                vec![0.9],
+                                vec![0.1],
+                                eta_scale / (t + 1) as f64,
+                            )
+                            .unwrap(),
+                        )
+                        .unwrap();
+                }
+                let loss = bit_loss(2, 10);
+                let est = sketch.certificate_mean(&loss, &[0.8], &[0.3]).unwrap();
+                assert!(est.radius.is_finite() && est.radius > 0.0);
+                assert!(
+                    est.radius <= est.envelope_radius,
+                    "budget {budget} eta {eta_scale}: adaptive {} > envelope {}",
+                    est.radius,
+                    est.envelope_radius
+                );
+                assert!(matches!(
+                    est.bound,
+                    pmw_dp::RadiusBound::EffectiveSample | pmw_dp::RadiusBound::Bernstein
+                ));
+                // The ledger entry carries the same winner.
+                let ledger = sketch.ledger();
+                let rec = ledger.records().last().unwrap();
+                assert_eq!(rec.bound, est.bound);
+                assert_eq!(rec.radius, est.radius);
+            }
+        }
+    }
+
+    #[test]
+    fn read_radius_is_zero_when_exhaustive_and_positive_when_pooled() {
+        let (sketch, _, _) = driven_pair(10, 256, 8);
+        assert!(!sketch.is_exhaustive());
+        let r = sketch.read_radius(1.0);
+        assert!(r.is_finite() && r > 0.0, "{r}");
+        // The margin claim is a real β-claim the mechanisms' ⊥ answers
+        // rest on, so it is ledgered like every estimate.
+        {
+            let ledger = sketch.ledger();
+            let rec = ledger.records().last().unwrap();
+            assert_eq!(rec.label, "read-margin");
+            assert_eq!(rec.radius, r);
+            assert!(matches!(
+                rec.bound,
+                pmw_dp::RadiusBound::EffectiveSample | pmw_dp::RadiusBound::Hoeffding
+            ));
+        }
+        // Zero/negative scale pins the statistic: no margin, no claim.
+        assert_eq!(sketch.read_radius(0.0), 0.0);
+        assert_eq!(sketch.ledger().len(), 1);
+
+        let (exhaustive, _, _) = driven_pair(4, usize::MAX, 9);
+        assert!(exhaustive.is_exhaustive());
+        assert_eq!(exhaustive.read_radius(1.0), 0.0);
+    }
+
+    /// A query that is identically zero, with honest `(0, 0)` bounds: the
+    /// zero-scale regression case.
+    struct ZeroQuery(usize);
+
+    impl PointQuery for ZeroQuery {
+        fn value_bounds(&self) -> (f64, f64) {
+            (0.0, 0.0)
+        }
+        fn value_at_index(&self, _index: usize) -> Option<f64> {
+            None
+        }
+        fn value_at_point(&self, _point: &[f64]) -> Option<f64> {
+            Some(0.0)
+        }
+        fn point_dim(&self) -> Option<usize> {
+            Some(self.0)
+        }
+    }
+
+    #[test]
+    fn zero_scale_estimate_claims_zero_radius() {
+        // Regression: the old path fed `2·scale.max(f64::MIN_POSITIVE)`
+        // into the Hoeffding numerator, manufacturing a nonzero range (and
+        // hence a nonzero radius at nonzero beta) for a statistic that is
+        // identically zero. A zero-scale estimate is exact: value 0,
+        // radius 0, beta 0.
+        let (sketch, _, _) = driven_pair(10, 256, 10);
+        assert!(!sketch.is_exhaustive());
+        let est = sketch.query_mean(&ZeroQuery(10)).unwrap();
+        assert_eq!(est.value, 0.0);
+        assert_eq!((est.radius, est.beta), (0.0, 0.0));
+        assert_eq!(est.bound, pmw_dp::RadiusBound::Exact);
+        let ledger = sketch.ledger();
+        let rec = ledger.records().last().unwrap();
+        assert_eq!(rec.radius, 0.0);
+        assert_eq!(rec.bound, pmw_dp::RadiusBound::Exact);
     }
 
     #[test]

@@ -87,6 +87,17 @@ proptest! {
             "estimate {} vs exact {exact}, claimed radius {}",
             est.value, est.radius
         );
+        // The claimed (adaptive) radius never exceeds the drift-envelope
+        // Hoeffding bound it replaced, and the winner is always one of the
+        // variance-adaptive candidates.
+        prop_assert!(
+            est.radius <= est.envelope_radius,
+            "adaptive {} above envelope {}", est.radius, est.envelope_radius
+        );
+        prop_assert!(matches!(
+            est.bound,
+            pmw::dp::RadiusBound::EffectiveSample | pmw::dp::RadiusBound::Bernstein
+        ));
         // The sampled max never exceeds the true max and carries a
         // nontrivial coverage bound.
         let max = sketch.max_payoff(&loss, &[t_o], &[t_h]).unwrap();
@@ -94,6 +105,40 @@ proptest! {
         prop_assert!(max.value <= true_max + 1e-12);
         prop_assert!(max.uncovered_mass > 0.0 && max.uncovered_mass < 0.05);
     }
+}
+
+/// Exhaustive pools report radius 0 through the whole new certification
+/// path: the per-estimate reads, the `StateBackend` query seam, and the
+/// mechanisms' read-radius margin all see an exact backend.
+#[test]
+fn exhaustive_pools_report_zero_radius_through_the_new_path() {
+    let cube = BooleanCube::new(4).unwrap();
+    let mut rng = StdRng::seed_from_u64(88);
+    let sketch = SampledBackend::new(
+        UniversePoints(cube.clone()),
+        SampledConfig {
+            budget: usize::MAX,
+            ..SampledConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    assert!(sketch.is_exhaustive());
+    // Direct read: radius 0, beta 0, tagged exact — and the envelope
+    // column is 0 too (nothing to compare against).
+    let loss = bit_loss(1, 4);
+    let est = sketch.certificate_mean(&loss, &[0.7], &[0.2]).unwrap();
+    assert_eq!((est.radius, est.beta), (0.0, 0.0));
+    assert_eq!(est.bound, pmw::dp::RadiusBound::Exact);
+    assert_eq!(est.envelope_radius, 0.0);
+    // Seam read: the QueryEstimate the linear mechanisms consume.
+    let q = pmw::data::ImplicitQuery::marginal(vec![0], 4).unwrap();
+    let qe = StateBackend::expected_query_value(&sketch, &q, None, &mut rng).unwrap();
+    assert_eq!((qe.radius, qe.beta), (0.0, 0.0));
+    // Margin read: no sparse-vector widening on exact state.
+    assert_eq!(StateBackend::read_radius(&sketch, 1.0), 0.0);
+    // The ledger tagged both estimates exact.
+    assert_eq!(sketch.ledger().bound_wins(pmw::dp::RadiusBound::Exact), 2);
 }
 
 /// An exhaustive-pool sampled backend inside the online mechanism answers

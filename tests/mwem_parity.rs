@@ -142,6 +142,11 @@ fn exhaustive_pool_linear_pmw_matches_dense() {
 /// Fast-MWEM at `|X| = 2^20` on the point-source path: the run completes
 /// with a sub-universe pool, learns the planted skew, and never builds an
 /// `|X|`-sized structure.
+///
+/// The EM sensitivity is widened by the per-score radii on sketched state
+/// (~0.12 at budget 2048), so the per-round ε must be large enough that
+/// score gaps of ~0.4 still dominate the widened selection noise — hence
+/// the generous ε and pool budget relative to the exact-state tests.
 #[test]
 fn mwem_point_source_smoke_at_2_pow_20() {
     let log2_x = 20usize;
@@ -152,8 +157,9 @@ fn mwem_point_source_smoke_at_2_pow_20() {
     let queries: Vec<ImplicitQuery> = (0..8)
         .map(|b| ImplicitQuery::marginal(vec![b], log2_x).unwrap())
         .collect();
-    let epsilon = 2.0;
-    let budget = 512;
+    let epsilon = 32.0;
+    let budget = 2048;
+    let rounds = 8;
     let backend = SampledBackend::new(
         source,
         SampledConfig {
@@ -163,13 +169,13 @@ fn mwem_point_source_smoke_at_2_pow_20() {
         &mut rng,
     )
     .unwrap();
-    let run = Mwem::new(6, 1.0)
+    let run = Mwem::new(rounds, 1.0)
         .unwrap()
         .run_with_source(&queries, &source, &data, epsilon, backend, &mut rng)
         .unwrap();
 
     assert_eq!(run.answers.len(), 8);
-    assert_eq!(run.selected.len(), 6);
+    assert_eq!(run.selected.len(), rounds);
     // No |X|-sized structures anywhere: no dense average, sub-universe
     // pool, and the state never materialized the universe.
     assert!(run.averaged.is_none());

@@ -112,6 +112,11 @@ fn full_answer_loop_runs_at_2_pow_26_without_materializing_the_universe() {
 
 /// The 2^20 smoke test for the row-based path: structural no-|X|-allocation
 /// assertions plus transcript/accounting consistency.
+///
+/// α sits above the pool's claimed read radius (~0.17 at budget 1024):
+/// the SV margin is widened by that radius on sketched state, so a
+/// smaller α could never certify a free ⊥ and every query would burn an
+/// update round.
 #[test]
 fn point_source_mechanism_smoke_at_2_pow_20() {
     let source = BigBitCube::new(20).unwrap();
@@ -128,7 +133,7 @@ fn point_source_mechanism_smoke_at_2_pow_20() {
     )
     .unwrap();
     let mut mech = OnlinePmw::with_point_source(
-        config(12, 4, 0.05),
+        config(12, 4, 0.22),
         &source,
         &dataset,
         pmw::erm::ExactOracle::default(),
