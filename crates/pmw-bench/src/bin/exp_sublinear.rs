@@ -203,6 +203,13 @@ struct MechanismReport {
     answers: usize,
     updates: usize,
     support: usize,
+    /// Pool-health columns from the backend's own monitor: the smallest
+    /// effective sample size observed across rounds, and how often the
+    /// robustness machinery fired (adaptive resamples on ESS collapse,
+    /// escalations on unusable claimed radii).
+    ess_min: f64,
+    adaptive_resamples: usize,
+    escalations: usize,
 }
 
 /// The full-mechanism axis: `OnlinePmw::answer` end to end at
@@ -286,11 +293,18 @@ fn measure_mechanism(log2_x: usize, queries: usize, budget: usize, n: usize) -> 
             Err(e) => panic!("mechanism answer failed: {e}"),
         }
     }
+    let state = mech.state();
     MechanismReport {
         per_answer_ns: elapsed_ns as f64 / answers.max(1) as f64,
         answers,
         updates: mech.updates_used(),
         support,
+        // min_ess starts at +inf; with zero update rounds the pool is
+        // untouched, so its full size is the honest figure (and the JSON
+        // artifact must stay finite).
+        ess_min: state.min_ess().min(state.pool_size() as f64),
+        adaptive_resamples: state.adaptive_resamples(),
+        escalations: state.escalations(),
     }
 }
 
@@ -432,7 +446,9 @@ fn main() {
                  \"dense_extrapolated_round_ns\": {:.1}, \
                  \"speedup_vs_dense_extrapolation\": {:.1},\n     \
                  \"mechanism_per_answer_ns\": {:.1}, \"mechanism_answers\": {}, \
-                 \"mechanism_updates\": {}, \"mechanism_support_rows\": {}{}}}",
+                 \"mechanism_updates\": {}, \"mechanism_support_rows\": {},\n     \
+                 \"ess_min\": {:.2}, \"adaptive_resamples\": {}, \
+                 \"escalations\": {}{}}}",
                 r.log2_x,
                 1u128 << r.log2_x,
                 r.log2_x,
@@ -444,6 +460,9 @@ fn main() {
                 m.answers,
                 m.updates,
                 m.support,
+                m.ess_min,
+                m.adaptive_resamples,
+                m.escalations,
                 error_fields,
             )
         })

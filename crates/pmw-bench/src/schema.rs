@@ -126,6 +126,11 @@ pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
         require_positive(json, key)?;
     }
     require_non_negative(json, "mechanism_updates")?;
+    // The pool-health columns: every size must report the minimum ESS the
+    // backend observed and how often the robustness machinery fired.
+    for key in ["ess_min", "adaptive_resamples", "escalations"] {
+        require_non_negative(json, key)?;
+    }
     for key in [
         "answer_error_mean",
         "answer_error_max",
@@ -293,6 +298,7 @@ mod tests {
              "speedup_vs_dense_extrapolation": 3.3,
              "mechanism_per_answer_ns": 2500000.0, "mechanism_answers": 24,
              "mechanism_updates": 2, "mechanism_support_rows": 1987,
+             "ess_min": 113.5, "adaptive_resamples": 1, "escalations": 0,
              "answer_error_mean": 0.001, "answer_error_max": 0.004,
              "claimed_radius_mean": 0.02,
              "realized_err_mean": 0.001, "envelope_radius_mean": 0.9,
@@ -321,6 +327,12 @@ mod tests {
         // The calibration columns are part of the contract too.
         let no_cal = json.replace("\"realized_err_mean\": 0.001,", "");
         assert!(validate_bench_sublinear(&no_cal).is_err());
+        // ... as are the pool-health columns.
+        let no_health = json.replace("\"ess_min\": 113.5,", "");
+        assert!(validate_bench_sublinear(&no_health).is_err());
+        let negative_resamples =
+            json.replace("\"adaptive_resamples\": 1,", "\"adaptive_resamples\": -1,");
+        assert!(validate_bench_sublinear(&negative_resamples).is_err());
         let no_wins = json.replace("\"radius_wins_ess\": 20,", "");
         assert!(validate_bench_sublinear(&no_wins).is_err());
     }
@@ -339,6 +351,7 @@ mod tests {
              "speedup_vs_dense_extrapolation": 3.3,
              "mechanism_per_answer_ns": 2500000.0, "mechanism_answers": 24,
              "mechanism_updates": 2, "mechanism_support_rows": 1987,
+             "ess_min": 113.5, "adaptive_resamples": 1, "escalations": 0,
              "answer_error_mean": 0.009, "answer_error_max": 0.04,
              "claimed_radius_mean": CLAIMED,
              "realized_err_mean": 0.009, "envelope_radius_mean": 6.0,

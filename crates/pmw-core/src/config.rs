@@ -67,6 +67,13 @@ pub struct PmwConfig {
     /// a genuine additional `(ε₀, δ₀)` spend the ledger does not record —
     /// keep the default 0 for such oracles, or charge per attempt in a
     /// wrapper.
+    ///
+    /// Retries compose cleanly with **transactional** state backends
+    /// (`pmw_sketch::SampledBackend`): the oracle is re-solved *before*
+    /// the MW update is applied, and a backend update that fails after a
+    /// successful solve rolls the round's state back completely — so a
+    /// retried round never sees (and never double-applies onto)
+    /// half-updated state from an earlier attempt.
     pub oracle_retries: usize,
     /// Sparse-vector composition mode across AboveThreshold restarts.
     pub sv_composition: SvComposition,

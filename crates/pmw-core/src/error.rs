@@ -14,6 +14,12 @@ pub enum PmwError {
     QueryLimitReached,
     /// A supplied loss does not match the mechanism's universe.
     LossMismatch(&'static str),
+    /// The state backend has degraded past its usable threshold (or has
+    /// been poisoned by an unrecoverable partial update) and refuses to
+    /// serve answers whose claimed accuracy would be meaningless. Loud by
+    /// design: the alternative is silently returning estimates whose
+    /// radius exceeds anything the mechanism could certify.
+    Degraded(&'static str),
     /// Underlying data-substrate failure.
     Data(pmw_data::DataError),
     /// Underlying DP-substrate failure.
@@ -33,6 +39,7 @@ impl fmt::Display for PmwError {
             PmwError::Halted => write!(f, "mechanism halted: update budget exhausted"),
             PmwError::QueryLimitReached => write!(f, "declared query limit k reached"),
             PmwError::LossMismatch(msg) => write!(f, "loss/universe mismatch: {msg}"),
+            PmwError::Degraded(msg) => write!(f, "state backend degraded: {msg}"),
             PmwError::Data(e) => write!(f, "data error: {e}"),
             PmwError::Dp(e) => write!(f, "dp error: {e}"),
             PmwError::Convex(e) => write!(f, "convex error: {e}"),

@@ -56,5 +56,5 @@ pub use game::{run_accuracy_game, GameOutcome};
 pub use linear::{LinearPmw, Mwem, MwemResult, MwemRun};
 pub use mechanism::OnlinePmw;
 pub use offline::{OfflineBackendResult, OfflinePmw};
-pub use state::{DenseBackend, QueryEstimate, StateBackend};
+pub use state::{BackendEvent, DenseBackend, QueryEstimate, StateBackend};
 pub use transcript::{QueryOutcome, QueryRecord, Transcript};

@@ -27,7 +27,7 @@
 
 use crate::config::PmwConfig;
 use crate::error::PmwError;
-use crate::state::{eval_query_on_histogram, DenseBackend, StateBackend};
+use crate::state::{eval_query_on_histogram, BackendEvent, DenseBackend, StateBackend};
 use pmw_data::workload::{query_value, LinearQuery, PointQuery};
 use pmw_data::{Dataset, Histogram, PointMatrix, PointSource, Universe};
 use pmw_dp::sparse_vector::{SvConfig, SvOutcome};
@@ -201,6 +201,10 @@ pub struct LinearPmw<B: StateBackend = DenseBackend> {
     updates_used: usize,
     accountant: Accountant,
     halted: bool,
+    /// Backend self-maintenance events (adaptive resamples, escalation
+    /// rungs), drained after each update round; rolled-back rounds report
+    /// nothing.
+    backend_events: Vec<BackendEvent>,
 }
 
 impl LinearPmw<DenseBackend> {
@@ -320,6 +324,7 @@ impl<B: StateBackend> LinearPmw<B> {
             updates_used: 0,
             accountant,
             halted: false,
+            backend_events: Vec::new(),
         })
     }
 
@@ -359,6 +364,13 @@ impl<B: StateBackend> LinearPmw<B> {
         // *true* hypothesis answer ⟨q, D̂_t⟩ — not just its estimate — is
         // within α of the data. Exact backends claim radius 0, so the
         // dense path processes the identical value bit-for-bit.
+        // A corrupted radius (NaN/∞/negative) would silently poison the
+        // comparison — refuse loudly before any budget is consumed.
+        if !est.radius.is_finite() || est.radius < 0.0 {
+            return Err(PmwError::Degraded(
+                "backend claimed a non-finite or negative estimate radius",
+            ));
+        }
         let outcome = match self.sv.process(err + est.radius, rng) {
             Ok(o) => o,
             Err(pmw_dp::DpError::SparseVectorHalted) => {
@@ -400,6 +412,10 @@ impl<B: StateBackend> LinearPmw<B> {
                 if self.sv.has_halted() {
                     self.halted = true;
                 }
+                // Self-maintaining backends report what the round did
+                // (adaptive resample, escalation); rolled-back rounds
+                // report nothing.
+                self.backend_events.extend(self.state.take_events());
                 match applied {
                     Ok(measured) => measured,
                     Err(e) => {
@@ -445,6 +461,12 @@ impl<B: StateBackend> LinearPmw<B> {
         &self.accountant
     }
 
+    /// Backend self-maintenance events drained so far (adaptive
+    /// resamples, escalation rungs), in occurrence order.
+    pub fn backend_events(&self) -> &[BackendEvent] {
+        &self.backend_events
+    }
+
     /// Target accuracy `α`.
     pub fn alpha(&self) -> f64 {
         self.alpha
@@ -484,6 +506,10 @@ pub struct MwemRun<B> {
     /// The privacy ledger: per-round exponential-mechanism + Laplace
     /// entries.
     pub accountant: Accountant,
+    /// Backend self-maintenance events (adaptive resamples, escalation
+    /// rungs) drained after each round, in occurrence order. Empty on
+    /// exact backends.
+    pub backend_events: Vec<BackendEvent>,
 }
 
 /// Offline MWEM \[HLM12\].
@@ -635,6 +661,7 @@ impl Mwem {
 
         let mut accountant = Accountant::new();
         let mut selected = Vec::with_capacity(self.rounds);
+        let mut backend_events = Vec::new();
         let mut answer_sums = vec![0.0; queries.len()];
         // Dense backends also accumulate the HLM12 averaged histogram.
         let mut avg: Option<Vec<f64>> = state.dense_hypothesis().map(|h| vec![0.0; h.len()]);
@@ -672,6 +699,7 @@ impl Mwem {
             let coeff = (ests[idx].value - measured) / (2.0 * self.range);
             let retained = shared.as_ref().map(|handles| handles[idx].clone());
             state.apply_query_update(queries[idx], retained, coeff, 1.0, points, rng)?;
+            backend_events.extend(state.take_events());
             // Post-update estimates: next round's scores, and — on the
             // sketched path — one term of the averaged answers (averaging
             // commutes with linear queries, so summing per-round
@@ -721,6 +749,7 @@ impl Mwem {
             answers,
             selected,
             accountant,
+            backend_events,
         })
     }
 }

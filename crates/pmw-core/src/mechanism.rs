@@ -335,6 +335,14 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
         // so the dense path processes the identical value (same rng
         // stream, same outcomes, bit-for-bit).
         let read_margin = self.state.read_radius(self.config.scale_s);
+        // A corrupted margin (NaN/∞/negative) would silently poison the
+        // sparse-vector comparison; refuse loudly before any budget or
+        // noise draw is consumed, leaving the round un-burned.
+        if !read_margin.is_finite() || read_margin < 0.0 {
+            return Err(PmwError::Degraded(
+                "backend claimed a non-finite or negative read margin",
+            ));
+        }
         let outcome = match self.sv.process(query_value + read_margin, rng) {
             Ok(o) => o,
             Err(pmw_dp::DpError::SparseVectorHalted) => {
@@ -421,6 +429,13 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
                     }
                     Err(e) => Err(e),
                 };
+                // Backends with self-maintenance (adaptive resamples,
+                // escalation rungs) report what they did during the
+                // update; a rolled-back round reports nothing.
+                let events = self.state.take_events();
+                if !events.is_empty() {
+                    self.transcript.record_backend_events(events);
+                }
                 let round = self.update_round;
                 self.update_round += 1;
                 if self.sv.has_halted() {

@@ -40,6 +40,10 @@ pub struct OfflineBackendResult {
     pub answers: Vec<Vec<f64>>,
     /// Which loss was selected for measurement each round.
     pub selected: Vec<usize>,
+    /// Backend self-maintenance events (adaptive resamples, escalation
+    /// rungs) drained after each round, in occurrence order. Empty on
+    /// exact backends.
+    pub backend_events: Vec<crate::state::BackendEvent>,
 }
 
 /// Offline PMW for CM queries.
@@ -213,6 +217,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
         let em_sensitivity = 3.0 * self.config.scale_s / n as f64;
         let mut accountant = Accountant::new();
         let mut selected = Vec::with_capacity(rounds);
+        let mut backend_events = Vec::new();
 
         // Cache the per-loss optimal value on the true data (one solve per
         // loss, reused across rounds).
@@ -246,6 +251,13 @@ impl<O: ErmOracle> OfflinePmw<O> {
             // Exact backends claim 0, leaving the dense selection (and
             // its rng stream) bit-for-bit unchanged.
             let widen = state.read_radius(self.config.scale_s);
+            // A corrupted widening (NaN/∞/negative) would silently break
+            // the selection guarantee; refuse loudly before any spend.
+            if !widen.is_finite() || widen < 0.0 {
+                return Err(PmwError::Degraded(
+                    "backend claimed a non-finite or negative read margin",
+                ));
+            }
             let em = ExponentialMechanism::new(em_sensitivity + widen, em_epsilon)?;
             let idx = em.select(&scores, rng)?;
             accountant.spend("em-select", PrivacyBudget::pure(em_epsilon)?);
@@ -279,6 +291,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
                 None,
                 rng,
             )?;
+            backend_events.extend(state.take_events());
         }
 
         // Answer everything from the final hypothesis.
@@ -291,7 +304,14 @@ impl<O: ErmOracle> OfflinePmw<O> {
                 rng,
             )?);
         }
-        Ok((OfflineBackendResult { answers, selected }, accountant))
+        Ok((
+            OfflineBackendResult {
+                answers,
+                selected,
+                backend_events,
+            },
+            accountant,
+        ))
     }
 }
 

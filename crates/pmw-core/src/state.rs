@@ -66,6 +66,43 @@ pub(crate) fn eval_query_on_histogram(
     Ok(value)
 }
 
+/// A health-maintenance action a state backend took on its own initiative
+/// while applying a round — pool refreshes triggered by measured health
+/// rather than the fixed cadence, and escalation-ladder rungs climbed to
+/// keep claimed read radii usable. The mechanisms drain these through
+/// [`StateBackend::take_events`] after every applied round and record them
+/// in the [`Transcript`](crate::Transcript), so a run's degradation
+/// history is observable without reaching into backend internals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendEvent {
+    /// The pool's effective sample size fell below the configured floor
+    /// and the backend refreshed the pool outside its fixed cadence.
+    AdaptiveResample {
+        /// Recorded round (0-based) after which the refresh fired.
+        round: usize,
+        /// Effective sample size measured before the refresh.
+        ess: f64,
+        /// The configured ESS-fraction floor that was violated.
+        floor: f64,
+    },
+    /// A read's claimed radius exceeded the usable threshold and the
+    /// backend performed an emergency refresh (escalation rung 1).
+    EmergencyResample {
+        /// Recorded round (0-based) at which the ladder fired.
+        round: usize,
+        /// The claimed read radius that triggered the escalation.
+        radius: f64,
+    },
+    /// The emergency refresh was not enough and the backend grew its pool
+    /// (escalation rung 2).
+    PoolGrowth {
+        /// Recorded round (0-based) at which the growth happened.
+        round: usize,
+        /// Pool size after growing.
+        new_size: usize,
+    },
+}
+
 /// A backend's answer to `⟨q, D̂_t⟩`: the value plus the accuracy claim
 /// attached to it. Exact backends return `radius = beta = 0`; sketching
 /// backends return their concentration bound (`value ± radius` except with
@@ -229,6 +266,15 @@ pub trait StateBackend {
     /// the accountant on an update that can never be recorded.
     fn requires_shared_loss(&self) -> bool {
         false
+    }
+
+    /// Drain the health-maintenance events accumulated since the last
+    /// drain ([`BackendEvent`]): adaptive refreshes, emergency refreshes,
+    /// pool growths. Backends without self-maintenance return nothing
+    /// (the default). The mechanisms call this after every applied round
+    /// and push the events into their transcript.
+    fn take_events(&mut self) -> Vec<BackendEvent> {
+        Vec::new()
     }
 
     /// True when this backend's reads and updates sweep a **materialized

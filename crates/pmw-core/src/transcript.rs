@@ -47,6 +47,7 @@ pub struct QueryRecord {
 #[derive(Debug, Clone, Default)]
 pub struct Transcript {
     records: Vec<QueryRecord>,
+    backend_events: Vec<crate::state::BackendEvent>,
 }
 
 impl Transcript {
@@ -60,9 +61,23 @@ impl Transcript {
         self.records.push(record);
     }
 
+    /// Append the backend's self-maintenance events for the round just
+    /// applied (drained via `StateBackend::take_events`).
+    pub(crate) fn record_backend_events(&mut self, events: Vec<crate::state::BackendEvent>) {
+        self.backend_events.extend(events);
+    }
+
     /// All records in query order.
     pub fn records(&self) -> &[QueryRecord] {
         &self.records
+    }
+
+    /// Health-maintenance events the state backend reported while rounds
+    /// were applied (adaptive/emergency refreshes, pool growths), in the
+    /// order they fired. Empty for exact backends and for sketched
+    /// backends whose health knobs are disabled.
+    pub fn backend_events(&self) -> &[crate::state::BackendEvent] {
+        &self.backend_events
     }
 
     /// Number of queries answered.

@@ -129,10 +129,16 @@ pub fn ess_radius(range: f64, ess: f64, beta: f64) -> Result<f64, DpError> {
 
 /// Effective sample size `(Σw)²/Σw²` of a weighted pool, from its first
 /// two weight moments. `m` for uniform weights, `1` when a single weight
-/// dominates, `0` when the pool carries no mass at all.
+/// dominates, `0` when the pool carries no mass at all. Degenerate
+/// moments — NaN, infinite, or a non-positive square sum — report `0`
+/// (no usable mass) rather than propagating NaN into downstream radii.
 pub fn effective_sample_size(weight_sum: f64, weight_sq_sum: f64) -> f64 {
-    if weight_sq_sum > 0.0 {
-        weight_sum * weight_sum / weight_sq_sum
+    if !(weight_sum.is_finite() && weight_sq_sum.is_finite() && weight_sq_sum > 0.0) {
+        return 0.0;
+    }
+    let ess = weight_sum * weight_sum / weight_sq_sum;
+    if ess.is_finite() {
+        ess
     } else {
         0.0
     }
@@ -289,6 +295,19 @@ mod tests {
     use crate::sampler;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn effective_sample_size_guards_degenerate_moments() {
+        assert_eq!(effective_sample_size(1.0, 0.25), 4.0);
+        assert_eq!(effective_sample_size(0.0, 0.0), 0.0);
+        // NaN/infinite moments — an all-underflowed or corrupted pool —
+        // must yield 0 (no usable mass), never NaN.
+        assert_eq!(effective_sample_size(f64::NAN, 0.5), 0.0);
+        assert_eq!(effective_sample_size(1.0, f64::NAN), 0.0);
+        assert_eq!(effective_sample_size(f64::INFINITY, 1.0), 0.0);
+        // An overflowing ratio (1e300² / 1e-300 = inf) reports 0, not inf.
+        assert_eq!(effective_sample_size(1e300, 1e-300), 0.0);
+    }
 
     #[test]
     fn hoeffding_radius_shrinks_at_root_m() {

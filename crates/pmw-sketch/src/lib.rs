@@ -27,17 +27,34 @@
 //! ledger alongside — never hidden inside — the privacy accounting:
 //! sketching public state costs no privacy, but it is not free in
 //! accuracy.
+//!
+//! The robustness layer keeps the sketch honest under stress:
+//!
+//! * [`PoolHealth`] — per-round pool diagnostics (ESS fraction,
+//!   max-weight share, drift since refresh) sampled through the backend
+//!   seam and driving adaptive resampling (module [`health`]);
+//! * [`SampledBackend`]'s escalation ladder — emergency resample → pool
+//!   growth → loud [`SketchError::Degraded`] when a claimed read radius
+//!   stops being usable, with every round applied transactionally
+//!   (complete or roll back, never half-updated);
+//! * [`FaultPlan`] and friends — a deterministic, seeded fault-injection
+//!   layer wrapping any backend, oracle, or point source, powering the
+//!   chaos suite (module [`fault`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod fault;
+pub mod health;
 pub mod lazy;
 pub mod log;
 pub mod sampled;
 pub mod source;
 
 pub use error::SketchError;
+pub use fault::{FaultPlan, FaultRule, FaultyBackend, FaultyOracle, FaultySource};
+pub use health::PoolHealth;
 pub use lazy::LazyLogBackend;
 pub use log::{RoundUpdate, UpdateLog};
 pub use sampled::{Estimate, MaxEstimate, SampledBackend, SampledConfig};

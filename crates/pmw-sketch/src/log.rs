@@ -289,6 +289,18 @@ impl UpdateLog {
         self.rounds.push(update);
     }
 
+    /// Drop every round past the first `len`, recomputing the drift
+    /// envelope from the survivors — the rollback primitive of the
+    /// sketched backends' transactional rounds. A no-op when `len` is at
+    /// or past the current length.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.rounds.len() {
+            return;
+        }
+        self.rounds.truncate(len);
+        self.drift = self.rounds.iter().map(|r| r.eta() * r.scale()).sum();
+    }
+
     /// Number of recorded rounds `t`.
     pub fn len(&self) -> usize {
         self.rounds.len()
@@ -400,6 +412,24 @@ mod tests {
         let s2 = log.rounds()[1].scale();
         assert!((log.drift_bound() - (0.8 * s1 + 0.6 * s2)).abs() < 1e-12);
         assert!(lw.abs() <= log.drift_bound() + 1e-12);
+    }
+
+    #[test]
+    fn truncate_restores_the_drift_envelope() {
+        let mut log = UpdateLog::new();
+        log.push(RoundUpdate::new(lq(0, 2), vec![0.9], vec![0.5], 0.8).unwrap());
+        let drift_one = log.drift_bound();
+        log.push(RoundUpdate::new(lq(1, 2), vec![0.2], vec![0.4], 0.6).unwrap());
+        assert!(log.drift_bound() > drift_one);
+        log.truncate(1);
+        assert_eq!(log.len(), 1);
+        assert!((log.drift_bound() - drift_one).abs() < 1e-15);
+        // At-or-past-length truncation is a no-op.
+        log.truncate(5);
+        assert_eq!(log.len(), 1);
+        log.truncate(0);
+        assert!(log.is_empty());
+        assert_eq!(log.drift_bound(), 0.0);
     }
 
     #[test]

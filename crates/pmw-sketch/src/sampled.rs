@@ -47,10 +47,11 @@
 //! accuracy.
 
 use crate::error::SketchError;
+use crate::health::PoolHealth;
 use crate::log::{RoundUpdate, UpdateLog};
 use crate::source::PointSource;
 use pmw_core::update::dual_certificate_at;
-use pmw_core::{PmwError, QueryEstimate, StateBackend};
+use pmw_core::{BackendEvent, PmwError, QueryEstimate, StateBackend};
 use pmw_data::{gumbel_max_index, Histogram, PointMatrix, PointQuery};
 use pmw_dp::{
     effective_sample_size, empirical_bernstein_radius, ess_radius, hoeffding_radius,
@@ -79,6 +80,34 @@ pub struct SampledConfig {
     /// independence at `O(m·t·d)` per refresh. Exhaustive pools never
     /// resample.
     pub resample_every: usize,
+    /// **Health-aware pool refresh**: after each recorded round, refresh
+    /// the pool whenever the measured effective-sample-size *fraction*
+    /// `ESS/m` falls below this floor — degradation-triggered, not
+    /// calendar-triggered like [`SampledConfig::resample_every`]. Must lie
+    /// in `[0, 1)`.
+    ///
+    /// The default is `0.0` (**disabled**), deliberately: an adaptive
+    /// refresh consumes `m` extra RNG draws at a data-dependent time, so
+    /// any nonzero default would silently change the random stream — and
+    /// therefore the answers — of every existing configuration. The
+    /// workspace's dense/exhaustive parity suites pin that stream
+    /// bit-for-bit; turning the floor on is an explicit per-run opt-in.
+    /// `0.1`–`0.3` are sensible operating points (refresh once fewer than
+    /// 10–30% of the pool still effectively contributes).
+    pub ess_floor: f64,
+    /// **Escalation threshold**: after each recorded round, if the
+    /// backend's claimed read radius (at the round's payoff scale) exceeds
+    /// this value, the escalation ladder runs — emergency resample, then
+    /// pool growth up to [`SampledConfig::growth_cap`], then a loud
+    /// [`SketchError::Degraded`] — instead of letting later reads serve
+    /// silently useless answers. Must be positive; `f64::INFINITY`
+    /// (the default) disables the ladder.
+    pub max_usable_radius: f64,
+    /// **Pool-growth cap** for escalation rung 2: the pool may double up
+    /// to this many candidates (values at or below `budget` — including
+    /// the default `0` — disable growth). Growing to the universe size
+    /// degrades gracefully all the way to an exhaustive (exact) pool.
+    pub growth_cap: usize,
 }
 
 impl Default for SampledConfig {
@@ -87,6 +116,9 @@ impl Default for SampledConfig {
             budget: 1024,
             beta: 1e-6,
             resample_every: 0,
+            ess_floor: 0.0,
+            max_usable_radius: f64::INFINITY,
+            growth_cap: 0,
         }
     }
 }
@@ -141,10 +173,50 @@ pub struct SampledBackend<S: PointSource> {
     pool_log_w: Vec<f64>,
     exhaustive: bool,
     resamples: usize,
+    /// Health-triggered refreshes ([`SampledConfig::ess_floor`]), a subset
+    /// of `resamples`.
+    adaptive_resamples: usize,
+    /// Escalation-ladder activations ([`SampledConfig::max_usable_radius`]).
+    escalations: usize,
+    /// Pool doublings performed by escalation rung 2.
+    pool_growths: usize,
+    /// Rounds recorded since the pool was last (re)drawn.
+    rounds_since_refresh: usize,
+    /// Drift envelope at the last pool (re)draw — `drift_bound() − this`
+    /// is the drift the current pool has absorbed without refreshing.
+    drift_at_refresh: f64,
+    /// Minimum post-round effective sample size observed so far.
+    min_ess: f64,
+    /// Fail-closed guard: set when a failed round could not be rolled back
+    /// to a consistent pre-round state; every operation then errors with
+    /// [`SketchError::Poisoned`] instead of serving half-updated state.
+    poisoned: bool,
+    /// Health-maintenance events awaiting a [`StateBackend::take_events`]
+    /// drain.
+    pending_events: Vec<BackendEvent>,
     /// (point, gradient) scratch buffers; `RefCell` because reads are
     /// logically `&self`.
     bufs: RefCell<(Vec<f64>, Vec<f64>)>,
     ledger: RefCell<SamplingAccountant>,
+}
+
+/// Everything a failed round must restore: the pool triple, the log
+/// length, the exhaustive flag and every health counter. Taken before a
+/// round's first mutation, dropped on success.
+struct PoolSnapshot {
+    pool_indices: Vec<usize>,
+    pool_points: PointMatrix,
+    pool_log_w: Vec<f64>,
+    log_len: usize,
+    exhaustive: bool,
+    resamples: usize,
+    adaptive_resamples: usize,
+    escalations: usize,
+    pool_growths: usize,
+    rounds_since_refresh: usize,
+    drift_at_refresh: f64,
+    min_ess: f64,
+    events_len: usize,
 }
 
 impl<S: PointSource> SampledBackend<S> {
@@ -159,6 +231,16 @@ impl<S: PointSource> SampledBackend<S> {
         }
         if !(config.beta > 0.0 && config.beta < 1.0) {
             return Err(SketchError::InvalidParameter("beta must be in (0, 1)"));
+        }
+        if !(config.ess_floor >= 0.0 && config.ess_floor < 1.0) {
+            return Err(SketchError::InvalidParameter(
+                "ess_floor must lie in [0, 1)",
+            ));
+        }
+        if config.max_usable_radius <= 0.0 || config.max_usable_radius.is_nan() {
+            return Err(SketchError::InvalidParameter(
+                "max_usable_radius must be positive (infinity disables the ladder)",
+            ));
         }
         let n = source.len();
         let exhaustive = config.budget >= n;
@@ -175,6 +257,7 @@ impl<S: PointSource> SampledBackend<S> {
         let pool_points = PointMatrix::from_flat(flat, dim)
             .map_err(|_| SketchError::NonFinite("point source produced invalid points"))?;
         let pool_log_w = vec![0.0; pool_indices.len()];
+        let m = pool_indices.len();
         Ok(Self {
             source,
             config,
@@ -184,6 +267,15 @@ impl<S: PointSource> SampledBackend<S> {
             pool_log_w,
             exhaustive,
             resamples: 0,
+            adaptive_resamples: 0,
+            escalations: 0,
+            pool_growths: 0,
+            rounds_since_refresh: 0,
+            drift_at_refresh: 0.0,
+            // The fresh pool is uniform: ESS starts at m exactly.
+            min_ess: m as f64,
+            poisoned: false,
+            pending_events: Vec::new(),
             bufs: RefCell::new((vec![0.0; dim], Vec::new())),
             ledger: RefCell::new(SamplingAccountant::new()),
         })
@@ -219,15 +311,70 @@ impl<S: PointSource> SampledBackend<S> {
         self.ledger.borrow()
     }
 
-    /// Rounds that redrew the pool so far ([`SampledConfig::resample_every`]).
+    /// Total pool refreshes so far — fixed-cadence
+    /// ([`SampledConfig::resample_every`]), health-triggered
+    /// ([`SampledConfig::ess_floor`]), emergency (escalation rung 1) and
+    /// manual ones alike.
     pub fn resamples(&self) -> usize {
         self.resamples
+    }
+
+    /// Refreshes triggered by the measured ESS falling below
+    /// [`SampledConfig::ess_floor`] (a subset of
+    /// [`SampledBackend::resamples`]).
+    pub fn adaptive_resamples(&self) -> usize {
+        self.adaptive_resamples
+    }
+
+    /// Escalation-ladder activations: rounds whose claimed read radius
+    /// exceeded [`SampledConfig::max_usable_radius`].
+    pub fn escalations(&self) -> usize {
+        self.escalations
+    }
+
+    /// Pool doublings performed by escalation rung 2.
+    pub fn pool_growths(&self) -> usize {
+        self.pool_growths
+    }
+
+    /// The minimum post-round effective sample size observed so far
+    /// (`m` until a round has been recorded; exhaustive pools stay at `m`).
+    pub fn min_ess(&self) -> f64 {
+        self.min_ess
+    }
+
+    /// True once a failed round could not be rolled back and the backend
+    /// fails closed (every operation errors with
+    /// [`SketchError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The current pool-health snapshot: ESS (fraction), max-weight share,
+    /// drift absorbed since the last refresh, rounds since refresh — one
+    /// `O(m)` pass, degenerate-pool safe (see [`PoolHealth`]).
+    pub fn health(&self) -> PoolHealth {
+        PoolHealth::from_log_weights(
+            &self.pool_log_w,
+            (self.log.drift_bound() - self.drift_at_refresh).max(0.0),
+            self.rounds_since_refresh,
+        )
+    }
+
+    /// The fail-closed guard every operation passes through.
+    fn ensure_usable(&self) -> Result<(), SketchError> {
+        if self.poisoned {
+            Err(SketchError::Poisoned)
+        } else {
+            Ok(())
+        }
     }
 
     /// Record one MW round (dual-certificate or linear-query): `O(m·d)` —
     /// update every cached pool log-weight, then retain the round in the
     /// log.
     pub fn record(&mut self, update: RoundUpdate) -> Result<(), SketchError> {
+        self.ensure_usable()?;
         if update.point_dim() != self.source.dim() {
             return Err(SketchError::DimensionMismatch {
                 got: update.point_dim(),
@@ -246,6 +393,15 @@ impl<S: PointSource> SampledBackend<S> {
             *lw -= eta * u;
         }
         self.log.push(update);
+        // Health sampling: pure arithmetic over the cached log-weights —
+        // no RNG, no ledger entry, so default-config runs stay bit-for-bit.
+        self.rounds_since_refresh += 1;
+        let ess = if self.exhaustive {
+            self.pool_size() as f64
+        } else {
+            self.health().ess
+        };
+        self.min_ess = self.min_ess.min(ess);
         Ok(())
     }
 
@@ -274,6 +430,7 @@ impl<S: PointSource> SampledBackend<S> {
     /// [`StateBackend`] seam; direct `record`/`record_borrowed` drivers
     /// call it explicitly.
     pub fn resample(&mut self, rng: &mut dyn Rng) -> Result<(), SketchError> {
+        self.ensure_usable()?;
         if self.exhaustive {
             return Ok(());
         }
@@ -297,6 +454,61 @@ impl<S: PointSource> SampledBackend<S> {
         self.pool_indices = indices;
         self.pool_log_w = log_w;
         self.resamples += 1;
+        self.rounds_since_refresh = 0;
+        self.drift_at_refresh = self.log.drift_bound();
+        Ok(())
+    }
+
+    /// Escalation rung 2: double the pool (capped at `cap` and at `|X|`),
+    /// re-evaluating every fresh candidate from the retained log. Growing
+    /// to the whole universe degrades gracefully to an exhaustive (exact)
+    /// pool. The appended state is fully computed before anything is
+    /// swapped in.
+    fn grow_pool(&mut self, cap: usize, rng: &mut dyn Rng) -> Result<(), SketchError> {
+        let n = self.source.len();
+        let dim = self.source.dim();
+        let m = self.pool_size();
+        let target = m.saturating_mul(2).min(cap).min(n);
+        if target <= m {
+            return Ok(());
+        }
+        let mut grad = Vec::new();
+        if target >= n {
+            // The doubled pool would cover the universe: enumerate it once
+            // and become exhaustive — every later estimate is exact.
+            let indices: Vec<usize> = (0..n).collect();
+            let mut flat = vec![0.0; n * dim];
+            let mut log_w = Vec::with_capacity(n);
+            for (row, &idx) in flat.chunks_exact_mut(dim).zip(&indices) {
+                self.source.write_point(idx, row);
+                log_w.push(self.log.log_weight_at(row, &mut grad)?);
+            }
+            self.pool_points = PointMatrix::from_flat(flat, dim)
+                .map_err(|_| SketchError::NonFinite("point source produced invalid points"))?;
+            self.pool_indices = indices;
+            self.pool_log_w = log_w;
+            self.exhaustive = true;
+        } else {
+            let mut flat = Vec::with_capacity(target * dim);
+            for row in self.pool_points.iter() {
+                flat.extend_from_slice(row);
+            }
+            let mut indices = self.pool_indices.clone();
+            let mut log_w = self.pool_log_w.clone();
+            let mut buf = vec![0.0; dim];
+            for _ in m..target {
+                let idx = rng.random_range(0..n);
+                self.source.write_point(idx, &mut buf);
+                log_w.push(self.log.log_weight_at(&buf, &mut grad)?);
+                flat.extend_from_slice(&buf);
+                indices.push(idx);
+            }
+            self.pool_points = PointMatrix::from_flat(flat, dim)
+                .map_err(|_| SketchError::NonFinite("point source produced invalid points"))?;
+            self.pool_indices = indices;
+            self.pool_log_w = log_w;
+        }
+        self.pool_growths += 1;
         Ok(())
     }
 
@@ -306,6 +518,172 @@ impl<S: PointSource> SampledBackend<S> {
         let every = self.config.resample_every;
         if every > 0 && !self.exhaustive && self.log.len().is_multiple_of(every) {
             self.resample(rng)?;
+        }
+        Ok(())
+    }
+
+    /// Capture everything a failed round must restore. Taken before a
+    /// round's first mutation, dropped on success. `O(m·d)` — the same
+    /// order as the round update it protects.
+    fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            pool_indices: self.pool_indices.clone(),
+            pool_points: self.pool_points.clone(),
+            pool_log_w: self.pool_log_w.clone(),
+            log_len: self.log.len(),
+            exhaustive: self.exhaustive,
+            resamples: self.resamples,
+            adaptive_resamples: self.adaptive_resamples,
+            escalations: self.escalations,
+            pool_growths: self.pool_growths,
+            rounds_since_refresh: self.rounds_since_refresh,
+            drift_at_refresh: self.drift_at_refresh,
+            min_ess: self.min_ess,
+            events_len: self.pending_events.len(),
+        }
+    }
+
+    /// Roll the backend back to a snapshot after a failed round, then
+    /// verify the restored state is self-consistent. If it is not —
+    /// rollback itself failed — the backend is poisoned and fails closed.
+    ///
+    /// Sampling-ledger entries issued by the failed round are deliberately
+    /// *not* rolled back: the ledger is a conservative union-bound record
+    /// of every claim ever made, and over-counting failed rounds only
+    /// makes its totals more pessimistic.
+    fn restore(&mut self, snap: PoolSnapshot) {
+        self.pool_indices = snap.pool_indices;
+        self.pool_points = snap.pool_points;
+        self.pool_log_w = snap.pool_log_w;
+        self.exhaustive = snap.exhaustive;
+        self.resamples = snap.resamples;
+        self.adaptive_resamples = snap.adaptive_resamples;
+        self.escalations = snap.escalations;
+        self.pool_growths = snap.pool_growths;
+        self.rounds_since_refresh = snap.rounds_since_refresh;
+        self.drift_at_refresh = snap.drift_at_refresh;
+        self.min_ess = snap.min_ess;
+        self.log.truncate(snap.log_len);
+        self.pending_events.truncate(snap.events_len);
+        let m = self.pool_indices.len();
+        if self.pool_log_w.len() != m
+            || self.pool_points.len() != m
+            || self.log.len() != snap.log_len
+            || !self.log.drift_bound().is_finite()
+        {
+            self.poisoned = true;
+        }
+    }
+
+    /// Run one full round — record, cadence refresh, health maintenance,
+    /// escalation ladder — **transactionally**: either every step completes
+    /// or the pool is rolled back to its exact pre-round state (and the
+    /// error surfaces loudly). A rollback that cannot restore consistency
+    /// poisons the backend (see [`SketchError::Poisoned`]).
+    fn transactional_round(
+        &mut self,
+        update: RoundUpdate,
+        rng: &mut dyn Rng,
+    ) -> Result<(), SketchError> {
+        self.ensure_usable()?;
+        let snap = self.snapshot();
+        match self.run_round(update, rng) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.restore(snap);
+                Err(e)
+            }
+        }
+    }
+
+    fn run_round(&mut self, update: RoundUpdate, rng: &mut dyn Rng) -> Result<(), SketchError> {
+        let scale = update.scale();
+        self.record(update)?;
+        self.maybe_resample(rng)?;
+        self.post_round(scale, rng)
+    }
+
+    /// Post-round health maintenance: the adaptive refresh
+    /// ([`SampledConfig::ess_floor`]) and the escalation ladder
+    /// ([`SampledConfig::max_usable_radius`]) — emergency resample, pool
+    /// growth up to [`SampledConfig::growth_cap`], then a loud
+    /// [`SketchError::Degraded`]. Every action is ledgered and queued as a
+    /// [`BackendEvent`] for the mechanism's transcript. A no-op under the
+    /// default configuration (floor `0`, threshold `∞`): default runs stay
+    /// bit-for-bit identical.
+    fn post_round(&mut self, scale: f64, rng: &mut dyn Rng) -> Result<(), SketchError> {
+        let round = self.log.len();
+        if self.config.ess_floor > 0.0 && !self.exhaustive {
+            let health = self.health();
+            if health.ess_fraction < self.config.ess_floor {
+                self.resample(rng)?;
+                self.adaptive_resamples += 1;
+                self.ledger.borrow_mut().record(
+                    "adaptive-resample",
+                    self.pool_size(),
+                    0.0,
+                    0.0,
+                    RadiusBound::Exact,
+                );
+                self.pending_events.push(BackendEvent::AdaptiveResample {
+                    round,
+                    ess: health.ess,
+                    floor: self.config.ess_floor,
+                });
+            }
+        }
+        if self.config.max_usable_radius.is_finite() && !self.exhaustive && scale > 0.0 {
+            let mut radius = self.claimed_read_radius(scale);
+            if radius > self.config.max_usable_radius {
+                self.escalations += 1;
+                // Rung 1: emergency refresh — collapse-driven blow-ups
+                // recover here.
+                self.resample(rng)?;
+                self.ledger.borrow_mut().record(
+                    "emergency-resample",
+                    self.pool_size(),
+                    radius,
+                    0.0,
+                    RadiusBound::Exact,
+                );
+                self.pending_events
+                    .push(BackendEvent::EmergencyResample { round, radius });
+                radius = self.claimed_read_radius(scale);
+                // Rung 2: double the pool toward the cap; reaching the
+                // universe size degrades gracefully to exact state.
+                let cap = self.config.growth_cap;
+                while radius > self.config.max_usable_radius
+                    && !self.exhaustive
+                    && self.pool_size() < cap
+                {
+                    let before = self.pool_size();
+                    self.grow_pool(cap, rng)?;
+                    if self.pool_size() == before {
+                        break;
+                    }
+                    self.ledger.borrow_mut().record(
+                        "pool-growth",
+                        self.pool_size(),
+                        radius,
+                        0.0,
+                        RadiusBound::Exact,
+                    );
+                    self.pending_events.push(BackendEvent::PoolGrowth {
+                        round,
+                        new_size: self.pool_size(),
+                    });
+                    radius = self.claimed_read_radius(scale);
+                }
+                // Rung 3: loud failure — the transactional wrapper rolls
+                // the round back, so the caller sees a consistent
+                // pre-round pool plus an explicit Degraded error.
+                if radius > self.config.max_usable_radius && !self.exhaustive {
+                    return Err(SketchError::Degraded(
+                        "claimed read radius exceeds the usable threshold \
+                         after emergency resample and pool growth",
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -362,6 +740,7 @@ impl<S: PointSource> SampledBackend<S> {
         scale: f64,
         mut f: impl FnMut(usize, &[f64]) -> Result<f64, SketchError>,
     ) -> Result<Estimate, SketchError> {
+        self.ensure_usable()?;
         let (w, mean_shifted, shift) = self.snis();
         // One pass: the SNIS value Σ ŵ_i·f_i (same accumulation order as
         // ever — exhaustive pools stay bit-for-bit), plus the weight/value
@@ -420,6 +799,14 @@ impl<S: PointSource> SampledBackend<S> {
         self.ledger
             .borrow_mut()
             .record(label, self.pool_size(), radius, beta, bound);
+        // Loud read failure: a claim wider than the configured usable
+        // threshold must not be served as if it were an answer. Never
+        // fires at the default threshold (infinity).
+        if radius > self.config.max_usable_radius {
+            return Err(SketchError::Degraded(
+                "estimate's claimed radius exceeds the usable threshold",
+            ));
+        }
         Ok(Estimate {
             value,
             radius,
@@ -465,6 +852,20 @@ impl<S: PointSource> SampledBackend<S> {
         if self.exhaustive || scale <= 0.0 || scale.is_nan() {
             return 0.0;
         }
+        let (radius, bound) = self.read_radius_parts(scale);
+        self.ledger.borrow_mut().record(
+            "read-margin",
+            self.pool_size(),
+            radius,
+            self.config.beta,
+            bound,
+        );
+        radius
+    }
+
+    /// The minimum-of-bounds computation behind [`Self::read_radius`],
+    /// without the ledger entry.
+    fn read_radius_parts(&self, scale: f64) -> (f64, RadiusBound) {
         let beta = self.config.beta;
         let (w, mean_shifted, shift) = self.snis();
         let w_sq: f64 = w.iter().map(|v| v * v).sum();
@@ -472,15 +873,22 @@ impl<S: PointSource> SampledBackend<S> {
         // ŵ sums to 1, so ESS = 1/Σŵ².
         let ess = effective_sample_size(1.0, w_sq);
         let r_ess = ess_radius(2.0 * scale, ess, beta / 2.0).unwrap_or(f64::INFINITY);
-        let (radius, bound) = if r_ess <= envelope {
+        if r_ess <= envelope {
             (r_ess, RadiusBound::EffectiveSample)
         } else {
             (envelope, RadiusBound::Hoeffding)
-        };
-        self.ledger
-            .borrow_mut()
-            .record("read-margin", self.pool_size(), radius, beta, bound);
-        radius
+        }
+    }
+
+    /// [`Self::read_radius`] for the backend's own escalation policy: the
+    /// same claimed bound, but *not* ledgered — internal control flow
+    /// makes no β-claim a caller's answer rests on, so it must not inflate
+    /// the union-bound totals.
+    fn claimed_read_radius(&self, scale: f64) -> f64 {
+        if self.exhaustive || scale <= 0.0 || scale.is_nan() {
+            return 0.0;
+        }
+        self.read_radius_parts(scale).0
     }
 
     /// Estimate the certificate expectation `⟨u, D̂_t⟩` for the payoff
@@ -531,6 +939,7 @@ impl<S: PointSource> SampledBackend<S> {
         theta_oracle: &[f64],
         theta_hyp: &[f64],
     ) -> Result<MaxEstimate, SketchError> {
+        self.ensure_usable()?;
         if loss.point_dim() != self.source.dim() {
             return Err(SketchError::DimensionMismatch {
                 got: loss.point_dim(),
@@ -577,6 +986,7 @@ impl<S: PointSource> SampledBackend<S> {
     /// from the retained log — `O(t·d)`, used for spot checks and pool
     /// refreshes; the pooled fast path never calls this.
     pub fn log_weight_of(&self, x: usize) -> Result<f64, SketchError> {
+        self.ensure_usable()?;
         let mut bufs = self.bufs.borrow_mut();
         let (point, grad) = &mut *bufs;
         self.source.write_point(x, point);
@@ -600,6 +1010,7 @@ impl<S: PointSource> StateBackend for SampledBackend<S> {
         solver_iters: usize,
         _rng: &mut dyn Rng,
     ) -> Result<Vec<f64>, PmwError> {
+        self.ensure_usable()?;
         if loss.point_dim() != self.source.dim() {
             return Err(PmwError::LossMismatch(
                 "loss point dimension does not match point source",
@@ -654,12 +1065,12 @@ impl<S: PointSource> StateBackend for SampledBackend<S> {
             }
             None => RoundUpdate::from_dyn(loss, theta_oracle, theta_hyp, eta)?,
         };
-        self.record(update)?;
-        self.maybe_resample(rng)?;
+        self.transactional_round(update, rng)?;
         Ok(gap)
     }
 
     fn sample_indices(&self, m: usize, rng: &mut dyn Rng) -> Result<Vec<usize>, PmwError> {
+        self.ensure_usable()?;
         Ok((0..m).map(|_| self.sample_index(rng)).collect())
     }
 
@@ -692,13 +1103,16 @@ impl<S: PointSource> StateBackend for SampledBackend<S> {
             Some(shared) => RoundUpdate::query(shared, coeff, eta)?,
             None => RoundUpdate::query_from_dyn(query, coeff, eta)?,
         };
-        self.record(update)?;
-        self.maybe_resample(rng)?;
+        self.transactional_round(update, rng)?;
         Ok(())
     }
 
     fn dense_hypothesis(&self) -> Option<&Histogram> {
         None
+    }
+
+    fn take_events(&mut self) -> Vec<BackendEvent> {
+        std::mem::take(&mut self.pending_events)
     }
 
     fn requires_shared_loss(&self) -> bool {
@@ -780,8 +1194,7 @@ mod tests {
             UniversePoints(cube.clone()),
             SampledConfig {
                 budget: 0,
-                beta: 0.5,
-                resample_every: 0,
+                ..SampledConfig::default()
             },
             &mut rng
         )
@@ -791,7 +1204,27 @@ mod tests {
             SampledConfig {
                 budget: 4,
                 beta: 0.0,
-                resample_every: 0,
+                ..SampledConfig::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(SampledBackend::new(
+            UniversePoints(cube.clone()),
+            SampledConfig {
+                budget: 4,
+                ess_floor: 1.0,
+                ..SampledConfig::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(SampledBackend::new(
+            UniversePoints(cube.clone()),
+            SampledConfig {
+                budget: 4,
+                max_usable_radius: 0.0,
+                ..SampledConfig::default()
             },
             &mut rng
         )
@@ -801,7 +1234,7 @@ mod tests {
             SampledConfig {
                 budget: 100,
                 beta: 0.5,
-                resample_every: 0,
+                ..SampledConfig::default()
             },
             &mut rng,
         )
@@ -1269,5 +1702,222 @@ mod tests {
         sketch.record(ok).unwrap();
         assert_eq!(sketch.rounds(), 1);
         assert!((sketch.log().drift_bound() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_backend_fails_closed_on_every_operation() {
+        use pmw_data::workload::ImplicitQuery;
+        let cube = BooleanCube::new(3).unwrap();
+        let points = cube.materialize();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut sketch = SampledBackend::new(
+            UniversePoints(cube),
+            SampledConfig {
+                budget: 4,
+                ..SampledConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        sketch.poisoned = true;
+        assert!(sketch.is_poisoned());
+        let loss = bit_loss(0, 3);
+        let upd = RoundUpdate::new(
+            Rc::new(bit_loss(0, 3)) as Rc<dyn CmLoss>,
+            vec![0.5],
+            vec![0.2],
+            0.1,
+        )
+        .unwrap();
+        assert_eq!(sketch.record(upd), Err(SketchError::Poisoned));
+        assert_eq!(sketch.resample(&mut rng), Err(SketchError::Poisoned));
+        assert_eq!(
+            sketch.certificate_mean(&loss, &[0.5], &[0.2]),
+            Err(SketchError::Poisoned)
+        );
+        assert_eq!(
+            sketch.max_payoff(&loss, &[0.5], &[0.2]),
+            Err(SketchError::Poisoned)
+        );
+        assert_eq!(sketch.log_weight_of(0), Err(SketchError::Poisoned));
+        assert!(matches!(
+            StateBackend::sample_indices(&sketch, 2, &mut rng),
+            Err(PmwError::Degraded(_))
+        ));
+        assert!(matches!(
+            StateBackend::hypothesis_minimizer(&sketch, &loss, &points, 8, &mut rng),
+            Err(PmwError::Degraded(_))
+        ));
+        let q = ImplicitQuery::marginal(vec![0], 3).unwrap();
+        assert!(matches!(
+            StateBackend::apply_query_update(&mut sketch, &q, None, 1.0, 0.4, None, &mut rng),
+            Err(PmwError::Degraded(_))
+        ));
+        // The health snapshot itself stays readable (pure arithmetic).
+        assert!(sketch.health().ess >= 1.0);
+    }
+
+    #[test]
+    fn ess_collapse_triggers_adaptive_resample_before_cadence() {
+        use pmw_data::workload::ImplicitQuery;
+        let cube = BooleanCube::new(10).unwrap();
+        let mut rng = StdRng::seed_from_u64(47);
+        // Fixed cadence far away (every 100 rounds); the ESS floor alone
+        // must trigger the refresh.
+        let mut sketch = SampledBackend::new(
+            UniversePoints(cube),
+            SampledConfig {
+                budget: 128,
+                resample_every: 100,
+                ess_floor: 0.9,
+                ..SampledConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!sketch.is_exhaustive());
+        // One violent round: eta 8 on a marginal crushes half the pool's
+        // weight by e^{-8}, dropping ESS/m to ~0.5 < 0.9.
+        let q = ImplicitQuery::marginal(vec![0], 10).unwrap();
+        StateBackend::apply_query_update(&mut sketch, &q, None, 1.0, 8.0, None, &mut rng).unwrap();
+        assert_eq!(sketch.adaptive_resamples(), 1);
+        assert_eq!(sketch.resamples(), 1, "triggered refresh, not cadence");
+        assert!(sketch.min_ess() < 0.9 * 128.0);
+        // The refresh is ledgered and reported as a backend event.
+        assert!(sketch
+            .ledger()
+            .records()
+            .iter()
+            .any(|r| r.label == "adaptive-resample"));
+        let events = StateBackend::take_events(&mut sketch);
+        assert!(matches!(
+            events.as_slice(),
+            [BackendEvent::AdaptiveResample { round: 1, ess, floor }]
+                if *ess < 0.9 * 128.0 && *floor == 0.9
+        ));
+        // Drained: a second take returns nothing.
+        assert!(StateBackend::take_events(&mut sketch).is_empty());
+        // Refreshed candidates match the exact from-scratch evaluation.
+        for (slot, &idx) in sketch.pool_indices.iter().enumerate() {
+            let exact = sketch.log_weight_of(idx).unwrap();
+            assert!(
+                (sketch.pool_log_w[slot] - exact).abs() < 1e-12,
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn escalation_ladder_degrades_loudly_and_rolls_back_at_the_cap() {
+        use pmw_data::workload::ImplicitQuery;
+        let cube = BooleanCube::new(10).unwrap();
+        let mut rng = StdRng::seed_from_u64(53);
+        // Unusably tight threshold, growth disabled: the ladder must run
+        // out of rungs and surface Degraded.
+        let mut sketch = SampledBackend::new(
+            UniversePoints(cube),
+            SampledConfig {
+                budget: 32,
+                max_usable_radius: 1e-9,
+                ..SampledConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let q = ImplicitQuery::marginal(vec![0], 10).unwrap();
+        let before_indices = sketch.pool_indices.clone();
+        let before_log_w = sketch.pool_log_w.clone();
+        let err = StateBackend::apply_query_update(&mut sketch, &q, None, 1.0, 0.4, None, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, PmwError::Degraded(_)), "{err:?}");
+        // The failed round rolled back completely: no recorded round, the
+        // original pool, no pending events, and the backend stays usable.
+        assert_eq!(sketch.rounds(), 0);
+        assert_eq!(sketch.pool_indices, before_indices);
+        assert_eq!(sketch.pool_log_w, before_log_w);
+        assert!(!sketch.is_poisoned());
+        assert!(StateBackend::take_events(&mut sketch).is_empty());
+        assert_eq!(sketch.log().drift_bound(), 0.0);
+        // The next (feasible) round still works after loosening nothing:
+        // reads with a finite threshold keep erroring loudly instead.
+        assert!(matches!(
+            sketch.query_mean(&q),
+            Err(SketchError::Degraded(_))
+        ));
+    }
+
+    #[test]
+    fn escalation_ladder_grows_the_pool_to_exhaustive_and_recovers() {
+        use pmw_data::workload::ImplicitQuery;
+        let cube = BooleanCube::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(59);
+        // |X| = 8, pool 4: one doubling reaches the universe, flips the
+        // pool to exhaustive (radius 0) and the round succeeds.
+        let mut sketch = SampledBackend::new(
+            UniversePoints(cube),
+            SampledConfig {
+                budget: 4,
+                max_usable_radius: 1e-9,
+                growth_cap: 64,
+                ..SampledConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!sketch.is_exhaustive());
+        let q = ImplicitQuery::marginal(vec![0], 3).unwrap();
+        StateBackend::apply_query_update(&mut sketch, &q, None, 1.0, 0.4, None, &mut rng).unwrap();
+        assert!(sketch.is_exhaustive());
+        assert_eq!(sketch.pool_size(), 8);
+        assert_eq!(sketch.escalations(), 1);
+        assert_eq!(sketch.pool_growths(), 1);
+        assert_eq!(sketch.rounds(), 1);
+        let events = StateBackend::take_events(&mut sketch);
+        assert!(matches!(
+            events.as_slice(),
+            [
+                BackendEvent::EmergencyResample { round: 1, .. },
+                BackendEvent::PoolGrowth {
+                    round: 1,
+                    new_size: 8
+                }
+            ]
+        ));
+        // The grown (now exhaustive) pool agrees with the exact log.
+        for (slot, &idx) in sketch.pool_indices.iter().enumerate() {
+            let exact = sketch.log_weight_of(idx).unwrap();
+            assert!(
+                (sketch.pool_log_w[slot] - exact).abs() < 1e-12,
+                "slot {slot}"
+            );
+        }
+        // Exact state: reads succeed with zero radius under the same
+        // tight threshold.
+        let est = sketch.query_mean(&q).unwrap();
+        assert_eq!((est.radius, est.beta), (0.0, 0.0));
+        // Ledger recorded the ladder's actions.
+        let ledger = sketch.ledger();
+        assert!(ledger
+            .records()
+            .iter()
+            .any(|r| r.label == "emergency-resample"));
+        assert!(ledger.records().iter().any(|r| r.label == "pool-growth"));
+    }
+
+    #[test]
+    fn health_snapshot_tracks_refreshes_and_drift() {
+        let (mut sketch, _, _) = driven_pair(10, 256, 61);
+        let h = sketch.health();
+        assert_eq!(h.pool_size, 256);
+        assert_eq!(h.rounds_since_refresh, 3);
+        assert!(h.ess >= 1.0 && h.ess <= 256.0);
+        assert!((h.drift_bound - sketch.log().drift_bound()).abs() < 1e-12);
+        assert!(sketch.min_ess() >= 1.0 && sketch.min_ess() <= 256.0);
+        // A refresh resets the since-refresh counters and re-bases drift.
+        let mut rng = StdRng::seed_from_u64(62);
+        sketch.resample(&mut rng).unwrap();
+        let h = sketch.health();
+        assert_eq!(h.rounds_since_refresh, 0);
+        assert_eq!(h.drift_bound, 0.0);
     }
 }

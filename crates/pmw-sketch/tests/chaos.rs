@@ -1,0 +1,401 @@
+//! Chaos suite: the sketch-backed mechanisms under deterministic fault
+//! injection.
+//!
+//! Every test drives a full mechanism with seeded [`FaultPlan`] schedules
+//! wrapping the oracle, the state backend, and the point source, and
+//! asserts the invariants that must survive **any** failure schedule:
+//!
+//! * privacy budget is never overspent, and the accountant ledger never
+//!   desyncs from the round counters;
+//! * SV tops, `updates_used`, and the transcript agree on every exit path
+//!   (the burn-the-round discipline);
+//! * the β (estimation-failure) ledger stays conservative — entries from
+//!   failed rounds persist, never vanish;
+//! * backend state is never half-updated: a failed round rolls back
+//!   completely, the pool stays internally consistent, and the fail-closed
+//!   poison guard never trips under recoverable faults.
+
+use pmw_core::{BackendEvent, OnlinePmw, PmwConfig, PmwError, StateBackend};
+use pmw_data::{BooleanCube, Dataset, ImplicitQuery, QueryPredicate};
+use pmw_erm::ExactOracle;
+use pmw_losses::{LinearQueryLoss, PointPredicate};
+use pmw_sketch::{
+    FaultPlan, FaultRule, FaultyBackend, FaultyOracle, FaultySource, PointSource, SampledBackend,
+    SampledConfig, UniversePoints,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::Cell;
+use std::rc::Rc;
+
+const DIM: usize = 3;
+
+fn dataset() -> Dataset {
+    // Skewed toward x = 7 so single-bit queries carry real signal.
+    let rows: Vec<usize> = (0..40).map(|i| [7usize, 7, 7, 1][i % 4]).collect();
+    Dataset::from_indices(1 << DIM, rows).unwrap()
+}
+
+fn robust_sampled_config() -> SampledConfig {
+    // Small non-exhaustive pool with every robustness knob live, so the
+    // chaos runs also exercise adaptive resampling and the escalation
+    // ladder alongside the injected faults.
+    SampledConfig {
+        budget: 5,
+        resample_every: 2,
+        ess_floor: 0.25,
+        max_usable_radius: 0.75,
+        growth_cap: 16,
+        ..SampledConfig::default()
+    }
+}
+
+/// Pool-health and β-ledger invariants on the inner sampled backend.
+fn check_backend<S: PointSource>(sampled: &SampledBackend<S>, updates_used: usize) {
+    assert!(
+        !sampled.is_poisoned(),
+        "recoverable faults must never trip the fail-closed poison guard"
+    );
+    // Rolled-back rounds are burned by the mechanism but absent from the
+    // backend log — never the other way around.
+    assert!(
+        sampled.updates_recorded() <= updates_used,
+        "backend recorded {} rounds but the mechanism burned only {updates_used}",
+        sampled.updates_recorded()
+    );
+    let h = sampled.health();
+    assert!(h.ess.is_finite() && h.ess >= 0.0, "ESS corrupted: {h:?}");
+    assert!((0.0..=1.0).contains(&h.ess_fraction), "{h:?}");
+    assert!((0.0..=1.0).contains(&h.max_weight_share), "{h:?}");
+    assert!(h.drift_bound.is_finite() && h.drift_bound >= 0.0, "{h:?}");
+    // The β ledger is conservative: sanitized, non-negative entries only
+    // (failed rounds keep their entries — an over-count, never an under-).
+    for r in sampled.ledger().records() {
+        assert!(r.radius >= 0.0, "negative ledgered radius in {r:?}");
+        assert!(r.beta >= 0.0 && r.beta.is_finite(), "bad beta in {r:?}");
+    }
+}
+
+fn check_events(events: &[BackendEvent]) {
+    for e in events {
+        match e {
+            BackendEvent::AdaptiveResample { round, ess, floor } => {
+                assert!(*round >= 1);
+                assert!(ess.is_finite() && *ess >= 0.0);
+                assert!((0.0..1.0).contains(floor));
+            }
+            BackendEvent::EmergencyResample { round, radius } => {
+                assert!(*round >= 1);
+                assert!(radius.is_finite() && *radius >= 0.0);
+            }
+            BackendEvent::PoolGrowth { round, new_size } => {
+                assert!(*round >= 1);
+                assert!(*new_size > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn online_pmw_invariants_hold_under_every_seeded_fault_plan() {
+    let cube = BooleanCube::new(DIM).unwrap();
+    let data = dataset();
+    let eps = 1.0;
+    let delta = 1e-6;
+    let mut seeds_run = 0;
+    let mut faults_injected = 0u64;
+    for seed in 0..24u64 {
+        let plan = FaultPlan::seeded(seed);
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        // A source fault during initial pool construction fails fast and
+        // loudly — a valid chaos outcome; the mechanism never exists, so
+        // no budget was spent and no state can desync.
+        let backend = match SampledBackend::new(
+            FaultySource::new(UniversePoints(cube.clone()), plan.source),
+            robust_sampled_config(),
+            &mut rng,
+        ) {
+            Ok(b) => b,
+            Err(e) => {
+                assert!(matches!(e, pmw_sketch::SketchError::NonFinite(_)), "{e:?}");
+                continue;
+            }
+        };
+        seeds_run += 1;
+        let config = PmwConfig::builder(eps, delta, 0.2)
+            .k(10)
+            .scale(1.0)
+            .rounds_override(4)
+            .solver_iters(40)
+            .oracle_retries(1)
+            .build()
+            .unwrap();
+        let mut mech = OnlinePmw::with_backend(
+            config,
+            &cube,
+            data.clone(),
+            FaultyOracle::new(ExactOracle::default(), plan.oracle),
+            FaultyBackend::new(backend, plan),
+            &mut rng,
+        )
+        .unwrap();
+        let rounds_declared = mech.derived().rounds;
+
+        for q in 0..10usize {
+            let loss = LinearQueryLoss::new(
+                PointPredicate::Conjunction {
+                    coords: vec![q % DIM],
+                },
+                DIM,
+            )
+            .unwrap();
+            match mech.answer(&loss, &mut rng) {
+                Ok(_) => {}
+                Err(PmwError::Halted) | Err(PmwError::QueryLimitReached) => break,
+                // Injected faults, degradation refusals, and escalation
+                // dead-ends all surface as loud errors; what they must
+                // never do is corrupt the accounting below.
+                Err(_) => {}
+            }
+            let used = mech.updates_used();
+            assert_eq!(
+                used + mech.updates_remaining(),
+                rounds_declared,
+                "seed {seed}: round accounting desynced"
+            );
+            assert_eq!(
+                mech.transcript().updates(),
+                used,
+                "seed {seed}: transcript desynced from burned rounds"
+            );
+            // One "sparse-vector" entry plus exactly one up-front
+            // "erm-oracle" charge per burned round — no more (retries are
+            // free), no fewer (failed rounds still pay).
+            assert_eq!(
+                mech.accountant().len(),
+                1 + used,
+                "seed {seed}: accountant ledger desynced"
+            );
+            let total = mech.accountant().basic_total().unwrap();
+            assert!(
+                total.epsilon() <= eps * (1.0 + 1e-9),
+                "seed {seed}: overspent epsilon {}",
+                total.epsilon()
+            );
+            assert!(
+                total.delta() <= delta * (1.0 + 1e-9),
+                "seed {seed}: overspent delta {}",
+                total.delta()
+            );
+            check_backend(mech.state().inner(), used);
+            check_events(mech.transcript().backend_events());
+        }
+        faults_injected += mech.state().injected();
+    }
+    assert!(
+        seeds_run >= 6,
+        "only {seeds_run} of 24 seeded plans survived construction — the grid lost its coverage"
+    );
+    assert!(
+        faults_injected > 0,
+        "no backend fault ever fired — the grid is not exercising the fault layer"
+    );
+}
+
+#[test]
+fn linear_pmw_invariants_hold_under_every_seeded_fault_plan() {
+    use pmw_core::LinearPmw;
+    let cube = BooleanCube::new(DIM).unwrap();
+    let data = dataset();
+    let eps = 1.0;
+    let delta = 1e-6;
+    let mut seeds_run = 0;
+    for seed in 0..24u64 {
+        let plan = FaultPlan::seeded(seed);
+        let mut rng = StdRng::seed_from_u64(5000 + seed);
+        let backend = match SampledBackend::new(
+            FaultySource::new(UniversePoints(cube.clone()), plan.source),
+            robust_sampled_config(),
+            &mut rng,
+        ) {
+            Ok(b) => b,
+            Err(e) => {
+                assert!(matches!(e, pmw_sketch::SketchError::NonFinite(_)), "{e:?}");
+                continue;
+            }
+        };
+        seeds_run += 1;
+        let config = PmwConfig::builder(eps, delta, 0.2)
+            .k(10)
+            .scale(1.0)
+            .rounds_override(4)
+            .build()
+            .unwrap();
+        let mut mech = LinearPmw::with_backend(
+            config,
+            &cube,
+            &data,
+            FaultyBackend::new(backend, plan),
+            &mut rng,
+        )
+        .unwrap();
+
+        for q in 0..10usize {
+            let query = ImplicitQuery::new(
+                QueryPredicate::Marginal {
+                    coords: vec![q % DIM],
+                },
+                DIM,
+            )
+            .unwrap();
+            match mech.answer(&query, &mut rng) {
+                Ok(v) => assert!(v.is_finite(), "seed {seed}: non-finite answer"),
+                Err(PmwError::Halted) | Err(PmwError::QueryLimitReached) => break,
+                Err(_) => {}
+            }
+            let used = mech.updates_used();
+            // One "sparse-vector" entry plus one up-front "laplace" charge
+            // per burned round, conservative on every exit path.
+            assert_eq!(
+                mech.accountant().len(),
+                1 + used,
+                "seed {seed}: accountant ledger desynced"
+            );
+            let total = mech.accountant().basic_total().unwrap();
+            assert!(total.epsilon() <= eps * (1.0 + 1e-9), "seed {seed}");
+            assert!(total.delta() <= delta * (1.0 + 1e-9), "seed {seed}");
+            check_backend(mech.state().inner(), used);
+            check_events(mech.backend_events());
+        }
+    }
+    assert!(
+        seeds_run >= 6,
+        "only {seeds_run} of 24 seeded plans survived construction — the grid lost its coverage"
+    );
+}
+
+/// A test-local counting source: shares its call counter through an `Rc`
+/// so the count stays readable after the source moves into a backend.
+struct CountingSource<S: PointSource> {
+    inner: S,
+    calls: Rc<Cell<u64>>,
+}
+
+impl<S: PointSource> PointSource for CountingSource<S> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn write_point(&self, index: usize, out: &mut [f64]) {
+        self.calls.set(self.calls.get() + 1);
+        self.inner.write_point(index, out);
+    }
+}
+
+/// Satellite regression (PR-3 discipline): a resample that fails
+/// mid-mechanism must still burn and record the round consistently — the
+/// SV top is consumed, so `updates_used`, the accountant, and the
+/// transcript all advance, while the backend rolls back to its exact
+/// pre-round state and recovers on the next round.
+#[test]
+fn resample_fault_mid_mechanism_burns_the_round_and_rolls_back_the_backend() {
+    let cube = BooleanCube::new(DIM).unwrap();
+    let data = dataset();
+    let sampled_config = SampledConfig {
+        budget: 4,
+        resample_every: 1, // refresh after every recorded round
+        ..SampledConfig::default()
+    };
+
+    // Calibration pass: count how many point reads pool construction
+    // consumes, so the injected fault lands on the *first read of the
+    // first resample* — deterministically, whatever the draw pattern.
+    let calls = Rc::new(Cell::new(0u64));
+    let mut cal_rng = StdRng::seed_from_u64(71);
+    let _ = SampledBackend::new(
+        CountingSource {
+            inner: UniversePoints(cube.clone()),
+            calls: Rc::clone(&calls),
+        },
+        sampled_config,
+        &mut cal_rng,
+    )
+    .unwrap();
+    let init_reads = calls.get();
+    assert!(init_reads > 0, "pool construction must read the source");
+
+    let mut rng = StdRng::seed_from_u64(71);
+    let backend = SampledBackend::new(
+        FaultySource::new(
+            UniversePoints(cube.clone()),
+            FaultRule::Once(init_reads + 1),
+        ),
+        sampled_config,
+        &mut rng,
+    )
+    .unwrap();
+    let config = PmwConfig::builder(1.0, 1e-6, 0.05)
+        .k(20)
+        .scale(1.0)
+        .rounds_override(3)
+        .solver_iters(60)
+        .build()
+        .unwrap();
+    let mut mech = OnlinePmw::with_backend(
+        config,
+        &cube,
+        data,
+        ExactOracle::default(),
+        backend,
+        &mut rng,
+    )
+    .unwrap();
+
+    // Answer until the first update round fires; its resample must fail.
+    let err = loop {
+        match mech.answer(
+            &LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, DIM).unwrap(),
+            &mut rng,
+        ) {
+            Ok(_) if mech.updates_used() == 0 => continue, // ⊥ round
+            Ok(_) => panic!("the first update round must fail in its pool refresh"),
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        matches!(err, PmwError::LossMismatch(_)),
+        "corrupted refresh point must surface as the backend's non-finite error, got {err:?}"
+    );
+
+    // The round is burned and recorded on the mechanism side...
+    assert_eq!(mech.updates_used(), 1);
+    assert_eq!(mech.transcript().updates(), 1);
+    assert_eq!(mech.accountant().len(), 2, "sparse-vector + erm-oracle");
+    let last = mech.transcript().records().last().unwrap();
+    assert!(matches!(last.outcome, pmw_core::QueryOutcome::UpdateFailed));
+    // ... while the backend rolled the whole round back: nothing recorded,
+    // nothing resampled, no events, not poisoned.
+    let state = mech.state();
+    assert_eq!(state.updates_recorded(), 0);
+    assert_eq!(state.resamples(), 0);
+    assert!(!state.is_poisoned());
+    assert!(mech.transcript().backend_events().is_empty());
+
+    // The fault was one-shot: the mechanism keeps serving and the next
+    // update round (including its resample) succeeds.
+    loop {
+        match mech.answer(
+            &LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![1] }, DIM).unwrap(),
+            &mut rng,
+        ) {
+            Ok(_) if mech.updates_used() == 1 => continue,
+            Ok(_) => break,
+            Err(e) => panic!("recovery round failed: {e}"),
+        }
+    }
+    assert_eq!(mech.updates_used(), 2);
+    assert_eq!(mech.state().updates_recorded(), 1);
+    assert_eq!(mech.state().resamples(), 1);
+}
