@@ -4,11 +4,16 @@
 //! `BENCH_mwem.json` from the working directory (or the paths given as
 //! arguments, in that order) and checks the schema each is contracted to
 //! carry: required keys present, every ns-per-element / per-round figure
-//! finite and positive, the backend axis complete, and the answer-error
-//! columns populated. Exits nonzero with a diagnostic on the first
-//! violation.
+//! finite and positive, the backend axis complete, the answer-error
+//! columns populated, and the probed-run phase table present. A fourth
+//! argument names a JSONL run trace to validate against the pmw-obs v1
+//! schema; `bench_schema_check --trace <path>` validates only the trace
+//! (the observability CI job, which regenerates no bench artifacts).
+//! Exits nonzero with a diagnostic on the first violation.
 
-use pmw_bench::schema::{validate_bench_mwem, validate_bench_runtime, validate_bench_sublinear};
+use pmw_bench::schema::{
+    validate_bench_mwem, validate_bench_runtime, validate_bench_sublinear, validate_trace,
+};
 use std::process::ExitCode;
 
 fn check(path: &str, validate: fn(&str) -> Result<(), String>) -> Result<(), String> {
@@ -20,14 +25,28 @@ fn check(path: &str, validate: fn(&str) -> Result<(), String>) -> Result<(), Str
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let runtime = args.first().map_or("BENCH_runtime.json", String::as_str);
-    let sublinear = args.get(1).map_or("BENCH_sublinear.json", String::as_str);
-    let mwem = args.get(2).map_or("BENCH_mwem.json", String::as_str);
-    let checks = [
-        check(runtime, validate_bench_runtime),
-        check(sublinear, validate_bench_sublinear),
-        check(mwem, validate_bench_mwem),
-    ];
+    let checks: Vec<Result<(), String>> = if args.first().map(String::as_str) == Some("--trace") {
+        match args.get(1) {
+            Some(trace) => vec![check(trace, validate_trace)],
+            None => {
+                eprintln!("usage: bench_schema_check --trace <trace.jsonl>");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let runtime = args.first().map_or("BENCH_runtime.json", String::as_str);
+        let sublinear = args.get(1).map_or("BENCH_sublinear.json", String::as_str);
+        let mwem = args.get(2).map_or("BENCH_mwem.json", String::as_str);
+        let mut checks = vec![
+            check(runtime, validate_bench_runtime),
+            check(sublinear, validate_bench_sublinear),
+            check(mwem, validate_bench_mwem),
+        ];
+        if let Some(trace) = args.get(3) {
+            checks.push(check(trace, validate_trace));
+        }
+        checks
+    };
     for c in checks {
         if let Err(e) = c {
             eprintln!("schema check failed: {e}");

@@ -31,11 +31,18 @@
 //!
 //! Writes `BENCH_mwem.json` (validated by `bench_schema_check`). Pass
 //! `--smoke` for the seconds-long CI variant.
+//!
+//! A final **probed mirror run** at the shared size (untimed) replays the
+//! sampled run under a live [`SummaryProbe`] and lands its per-phase
+//! latency table in the artifact's `"probe"` object; pass
+//! `--trace <path>` to additionally stream that run as a JSONL trace
+//! (render it with the `run_report` binary).
 
-use pmw_bench::header;
+use pmw_bench::{header, probe_json, trace_path};
 use pmw_core::{DenseBackend, Mwem};
 use pmw_data::workload::random_implicit_marginals;
 use pmw_data::{BigBitCube, BooleanCube, Dataset, ImplicitQuery, PointSource};
+use pmw_obs::{JsonlTraceProbe, NoopProbe, Probe, SummaryProbe};
 use pmw_sketch::{SampledBackend, SampledConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -144,25 +151,27 @@ struct SampledRun {
 /// One sampled run at the given round count; returns total wall time so
 /// the caller can difference out the shared one-time setup (`run_with_source`
 /// builds the dataset truths in `O(k·n·d)` before the first round).
-fn sampled_total(
+fn sampled_total<P: Probe>(
     scale: &Scale,
     log2_x: usize,
     resample_every: usize,
     run_seed: u64,
     rounds: usize,
     probe_exact: bool,
+    probe: &P,
 ) -> (f64, SampledRun) {
     let source = BigBitCube::new(log2_x).expect("source");
     let dataset = skewed_rows(&source, scale.n, 40 + log2_x as u64);
     let queries = workload(log2_x, scale.queries);
     let mut pool_rng = StdRng::seed_from_u64(7000 + log2_x as u64);
-    let backend = SampledBackend::new(
+    let backend = SampledBackend::with_probe(
         source,
         SampledConfig {
             budget: scale.budget,
             resample_every,
             ..SampledConfig::default()
         },
+        probe,
         &mut pool_rng,
     )
     .expect("sampled backend");
@@ -170,13 +179,14 @@ fn sampled_total(
     let mut rng = StdRng::seed_from_u64(run_seed);
     let start = Instant::now();
     let run = mwem
-        .run_with_source(
+        .run_with_source_probed(
             &queries,
             &source,
             &dataset,
             scale.epsilon,
             backend,
             &mut rng,
+            probe,
         )
         .expect("sampled mwem run");
     let elapsed = start.elapsed().as_nanos() as f64;
@@ -265,7 +275,28 @@ fn run_sampled(
 ) -> SampledRun {
     // Difference a 1-round baseline out of the T-round run so the
     // per-round figure is the marginal round cost, not round + setup/T.
-    let (baseline, _) = sampled_total(scale, log2_x, resample_every, run_seed, 1, false);
+    // Warm the kernels (and any lazy global init, e.g. the parallel
+    // thread pool) first: a cold baseline can otherwise exceed the
+    // T-round total and floor the difference. Timed runs are never
+    // probed: `NoopProbe` compiles to the unprobed loop.
+    sampled_total(
+        scale,
+        log2_x,
+        resample_every,
+        run_seed,
+        1,
+        false,
+        &NoopProbe,
+    );
+    let (baseline, _) = sampled_total(
+        scale,
+        log2_x,
+        resample_every,
+        run_seed,
+        1,
+        false,
+        &NoopProbe,
+    );
     let (total, mut run) = sampled_total(
         scale,
         log2_x,
@@ -273,6 +304,7 @@ fn run_sampled(
         run_seed,
         scale.rounds,
         probe_exact,
+        &NoopProbe,
     );
     run.per_round_ns = ((total - baseline) / (scale.rounds - 1) as f64).max(1.0);
     run
@@ -314,6 +346,8 @@ fn dense_total(scale: &Scale, log2_x: usize, run_seed: u64, rounds: usize) -> (f
 }
 
 fn run_dense(scale: &Scale, log2_x: usize, run_seed: u64) -> DenseRun {
+    // Same warmup rationale as `run_sampled`.
+    dense_total(scale, log2_x, run_seed, 1);
     let (baseline, _) = dense_total(scale, log2_x, run_seed, 1);
     let (total, mut run) = dense_total(scale, log2_x, run_seed, scale.rounds);
     run.per_round_ns = ((total - baseline) / (scale.rounds - 1) as f64).max(1.0);
@@ -467,12 +501,53 @@ fn main() {
         reused.radius_wins.0,
     );
 
+    // Probed mirror of the sampled run at the shared size (untimed):
+    // per-phase latency for the artifact, plus a JSONL trace when
+    // `--trace <path>` is given. Every timed run above used `NoopProbe`.
+    let detail = format!(
+        "exp_mwem sampled log2_x={} T={} k={} budget={}",
+        scale.error_size, scale.rounds, scale.queries, scale.budget
+    );
+    let summary_probe = SummaryProbe::new("mwem", &detail);
+    match trace_path() {
+        Some(path) => {
+            let jsonl = JsonlTraceProbe::create(&path).expect("create trace file");
+            let tee = (&jsonl, &summary_probe);
+            tee.run_start("mwem", &detail);
+            sampled_total(
+                &scale,
+                scale.error_size,
+                0,
+                run_seed,
+                scale.rounds,
+                false,
+                &tee,
+            );
+            tee.run_end();
+            assert_eq!(jsonl.finish(), 0, "trace write errors");
+            println!("# wrote {path}");
+        }
+        None => {
+            summary_probe.run_start("mwem", &detail);
+            sampled_total(
+                &scale,
+                scale.error_size,
+                0,
+                run_seed,
+                scale.rounds,
+                false,
+                &summary_probe,
+            );
+        }
+    }
+    let probe_summary = summary_probe.finish();
+
     let json = format!(
         "{{\n  \"experiment\": \"mwem_scaling\",\n  \"rounds\": {},\n  \"queries\": {},\n  \
          \"budget\": {},\n  \"mwem_n\": {},\n  \"epsilon\": {},\n  \"beta\": {:e},\n  \
          \"smoke\": {smoke},\n  \"workload\": \"width-2 implicit marginals\",\n  \
          \"resample_every\": {},\n  \"dense_ref_log2_x\": {},\n  \
-         \"dense_ns_per_elem_ref\": {:.4},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+         \"dense_ns_per_elem_ref\": {:.4},\n  \"sizes\": [\n{}\n  ],\n  \"probe\": {}\n}}\n",
         scale.rounds,
         scale.queries,
         scale.budget,
@@ -482,7 +557,8 @@ fn main() {
         scale.resample_every,
         scale.error_size,
         dense_ns_per_elem,
-        size_rows.join(",\n")
+        size_rows.join(",\n"),
+        probe_json(&probe_summary)
     );
     std::fs::write("BENCH_mwem.json", &json).expect("write BENCH_mwem.json");
     println!("# wrote BENCH_mwem.json");

@@ -23,13 +23,20 @@
 //! (O(m·d) pooled round at the configured budget). Pass `--smoke` for a
 //! seconds-long CI variant (small sizes, few reps) that still writes a
 //! schema-complete artifact.
+//!
+//! A final **probed mirror run** (untimed, largest size) replays the
+//! kernel-3 workload under a live [`SummaryProbe`] and lands its
+//! per-phase latency table in the artifact's `"probe"` object; pass
+//! `--trace <path>` to additionally stream that run as a JSONL trace
+//! (render it with the `run_report` binary).
 
-use pmw_bench::{header, mw_update_reference, row, skewed_cube_dataset};
+use pmw_bench::{header, mw_update_reference, probe_json, row, skewed_cube_dataset, trace_path};
 use pmw_core::update::dual_certificate_into;
 use pmw_core::{DenseBackend, OnlinePmw, PmwConfig, StateBackend};
 use pmw_data::{BooleanCube, Histogram, PointMatrix, Universe};
 use pmw_erm::ExactOracle;
 use pmw_losses::{CmLoss, LinearQueryLoss, PointPredicate};
+use pmw_obs::{JsonlTraceProbe, NoopProbe, Probe, SummaryProbe};
 use pmw_sketch::{LazyLogBackend, RoundUpdate, SampledBackend, SampledConfig, UniversePoints};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -105,35 +112,7 @@ fn measure(log2_x: usize) -> SizeReport {
     });
 
     // --- Kernel 3: a full online round (oracle solve + sweep + update). ---
-    let (cube, data) = skewed_cube_dataset(dim, 2000, &mut rng);
-    let k = 6usize;
-    let config = PmwConfig::builder(2.0, 1e-6, 0.1)
-        .k(k)
-        .scale(1.0)
-        .rounds_override(k)
-        .solver_iters(80)
-        .build()
-        .unwrap();
-    let mut mech =
-        OnlinePmw::with_oracle(config, &cube, data, ExactOracle::new(80).unwrap(), &mut rng)
-            .unwrap();
-    let start = Instant::now();
-    let mut answered = 0usize;
-    for j in 0..k {
-        let loss = LinearQueryLoss::new(
-            PointPredicate::Conjunction {
-                coords: vec![j % dim],
-            },
-            dim,
-        )
-        .unwrap();
-        if mech.answer(&loss, &mut rng).is_ok() {
-            answered += 1;
-        } else {
-            break;
-        }
-    }
-    let round_ns = start.elapsed().as_nanos() as f64 / answered.max(1) as f64;
+    let round_ns = online_round_run(dim, &mut rng, &NoopProbe);
 
     SizeReport {
         log2_x,
@@ -150,6 +129,43 @@ fn measure(log2_x: usize) -> SizeReport {
         certificate_ns_per_elem: cert_ns / m as f64,
         end_to_end_round_ns_per_elem: round_ns / m as f64,
     }
+}
+
+/// The kernel-3 workload as a probe-generic run: the full dense
+/// `OnlinePmw::answer` loop at `|X| = 2^dim`, reporting mean ns per
+/// answered query. The timed measurement passes [`NoopProbe`] (the loop
+/// compiles to exactly the unprobed code); the probed mirror run passes a
+/// live probe to harvest per-phase timings without touching the timed
+/// figures.
+fn online_round_run<P: Probe>(dim: usize, rng: &mut StdRng, probe: &P) -> f64 {
+    let (cube, data) = skewed_cube_dataset(dim, 2000, rng);
+    let k = 6usize;
+    let config = PmwConfig::builder(2.0, 1e-6, 0.1)
+        .k(k)
+        .scale(1.0)
+        .rounds_override(k)
+        .solver_iters(80)
+        .build()
+        .unwrap();
+    let mut mech =
+        OnlinePmw::with_oracle(config, &cube, data, ExactOracle::new(80).unwrap(), rng).unwrap();
+    let start = Instant::now();
+    let mut answered = 0usize;
+    for j in 0..k {
+        let loss = LinearQueryLoss::new(
+            PointPredicate::Conjunction {
+                coords: vec![j % dim],
+            },
+            dim,
+        )
+        .unwrap();
+        if mech.answer_with_probe(&loss, rng, probe).is_ok() {
+            answered += 1;
+        } else {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / answered.max(1) as f64
 }
 
 /// One backend-axis measurement: a state-maintenance round (update +
@@ -326,6 +342,31 @@ fn main() {
         }
     }
 
+    // Probed mirror run at the largest measured size: per-phase latency
+    // for the artifact (and a JSONL trace when `--trace <path>` is given).
+    // The timed loops above all ran with `NoopProbe`; this extra run is
+    // the only one a probe observes.
+    let trace_size = *sizes.last().unwrap();
+    let detail = format!("exp_runtime dense round log2_x={trace_size} k=6");
+    let summary_probe = SummaryProbe::new("online_pmw", &detail);
+    let mut probe_rng = StdRng::seed_from_u64(42 + trace_size as u64);
+    match trace_path() {
+        Some(path) => {
+            let jsonl = JsonlTraceProbe::create(&path).expect("create trace file");
+            let tee = (&jsonl, &summary_probe);
+            tee.run_start("online_pmw", &detail);
+            online_round_run(trace_size, &mut probe_rng, &tee);
+            tee.run_end();
+            assert_eq!(jsonl.finish(), 0, "trace write errors");
+            println!("# wrote {path}");
+        }
+        None => {
+            summary_probe.run_start("online_pmw", &detail);
+            online_round_run(trace_size, &mut probe_rng, &summary_probe);
+        }
+    }
+    let probe_summary = summary_probe.finish();
+
     // Machine-readable record (hand-rolled JSON: the workspace is offline
     // and vendors no serde).
     let sizes: Vec<String> = reports
@@ -366,9 +407,10 @@ fn main() {
     let json = format!(
         "{{\n  \"experiment\": \"runtime_scaling\",\n  \"units\": \"ns_per_element\",\n  \
          \"parallel\": {parallel},\n  \"threads\": {threads},\n  \"smoke\": {smoke},\n  \
-         \"sizes\": [\n{}\n  ],\n  \"backend_axis\": [\n{}\n  ]\n}}\n",
+         \"sizes\": [\n{}\n  ],\n  \"backend_axis\": [\n{}\n  ],\n  \"probe\": {}\n}}\n",
         sizes.join(",\n"),
-        axis_rows.join(",\n")
+        axis_rows.join(",\n"),
+        probe_json(&probe_summary)
     );
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
     println!("# wrote BENCH_runtime.json");

@@ -28,14 +28,22 @@
 //!
 //! Writes `BENCH_sublinear.json`. Pass `--smoke` for the seconds-long CI
 //! variant (smaller sizes/budget, schema-complete artifact).
+//!
+//! A final **probed mirror run** of the mechanism axis (untimed, `2^20`
+//! full / largest smoke size) replays the `answer` loop under a live
+//! [`SummaryProbe`] — backend pool sweeps included — and lands its
+//! per-phase latency table in the artifact's `"probe"` object; pass
+//! `--trace <path>` to additionally stream that run as a JSONL trace
+//! (render it with the `run_report` binary).
 
 use pmw_bench::schema::extract_numbers;
-use pmw_bench::{header, mean_std, row};
+use pmw_bench::{header, mean_std, probe_json, row, trace_path};
 use pmw_core::update::dual_certificate;
 use pmw_core::{OnlinePmw, PmwConfig, PmwError};
 use pmw_data::{BooleanCube, Dataset, Histogram, PointSource, Universe};
 use pmw_erm::ExactOracle;
 use pmw_losses::{CmLoss, LinearQueryLoss, PointPredicate};
+use pmw_obs::{JsonlTraceProbe, NoopProbe, Probe, SummaryProbe};
 use pmw_sketch::{BigBitCube, RoundUpdate, SampledBackend, SampledConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -219,7 +227,13 @@ struct MechanismReport {
 /// mechanism's, not a specific private oracle's). Rotating single-bit
 /// queries with bit 0 skewed: the mix of free (⊥) and update (⊤) rounds
 /// the mechanism actually serves.
-fn measure_mechanism(log2_x: usize, queries: usize, budget: usize, n: usize) -> MechanismReport {
+fn measure_mechanism<P: Probe>(
+    log2_x: usize,
+    queries: usize,
+    budget: usize,
+    n: usize,
+    probe: &P,
+) -> MechanismReport {
     let dim = log2_x;
     let source = BigBitCube::new(dim).expect("cube source");
     let mut rng = StdRng::seed_from_u64(9000 + log2_x as u64);
@@ -235,12 +249,13 @@ fn measure_mechanism(log2_x: usize, queries: usize, budget: usize, n: usize) -> 
         })
         .collect();
     let dataset = Dataset::from_indices(source.len(), rows).expect("dataset");
-    let backend = SampledBackend::new(
+    let backend = SampledBackend::with_probe(
         source,
         SampledConfig {
             budget,
             ..SampledConfig::default()
         },
+        probe,
         &mut rng,
     )
     .expect("sampled backend");
@@ -283,7 +298,7 @@ fn measure_mechanism(log2_x: usize, queries: usize, budget: usize, n: usize) -> 
         )
         .expect("loss");
         let start = Instant::now();
-        match mech.answer(&loss, &mut rng) {
+        match mech.answer_with_probe(&loss, &mut rng, probe) {
             Ok(theta) => {
                 black_box(theta);
                 elapsed_ns += start.elapsed().as_nanos();
@@ -372,7 +387,7 @@ fn main() {
     let mut entries = Vec::new();
     for &log2_x in sizes {
         let r = measure_sublinear(log2_x, rounds, budget, log2_x == error_size);
-        let m = measure_mechanism(log2_x, mech_queries, budget, mech_n);
+        let m = measure_mechanism(log2_x, mech_queries, budget, mech_n, &NoopProbe);
         let universe = (1u128 << log2_x) as f64;
         let extrapolated = dense_ref * universe;
         let speedup = extrapolated / r.per_round_ns;
@@ -417,6 +432,33 @@ fn main() {
             cal.wins_hoeffding,
         );
     }
+
+    // Probed mirror of the mechanism axis (untimed): per-phase latency for
+    // the artifact, plus a JSONL trace when `--trace <path>` is given.
+    // 2^20 in the full run — the headline sketch-backed size — and the
+    // largest smoke size otherwise. Every timed loop above ran `NoopProbe`.
+    let trace_size = if smoke { *sizes.last().unwrap() } else { 20 };
+    let detail = format!(
+        "exp_sublinear mechanism axis log2_x={trace_size} budget={budget} \
+         k={mech_queries} n={mech_n}"
+    );
+    let summary_probe = SummaryProbe::new("online_pmw", &detail);
+    match trace_path() {
+        Some(path) => {
+            let jsonl = JsonlTraceProbe::create(&path).expect("create trace file");
+            let tee = (&jsonl, &summary_probe);
+            tee.run_start("online_pmw", &detail);
+            measure_mechanism(trace_size, mech_queries, budget, mech_n, &tee);
+            tee.run_end();
+            assert_eq!(jsonl.finish(), 0, "trace write errors");
+            println!("# wrote {path}");
+        }
+        None => {
+            summary_probe.run_start("online_pmw", &detail);
+            measure_mechanism(trace_size, mech_queries, budget, mech_n, &summary_probe);
+        }
+    }
+    let probe_summary = summary_probe.finish();
 
     let size_rows: Vec<String> = entries
         .iter()
@@ -473,8 +515,9 @@ fn main() {
          \"smoke\": {smoke},\n  \"mechanism_n\": {mech_n},\n  \
          \"mechanism_queries\": {mech_queries},\n  \
          \"dense_ref_source\": \"{dense_ref_source}\",\n  \
-         \"sizes\": [\n{}\n  ]\n}}\n",
-        size_rows.join(",\n")
+         \"sizes\": [\n{}\n  ],\n  \"probe\": {}\n}}\n",
+        size_rows.join(",\n"),
+        probe_json(&probe_summary)
     );
     std::fs::write("BENCH_sublinear.json", &json).expect("write BENCH_sublinear.json");
     println!("# wrote BENCH_sublinear.json");

@@ -1,0 +1,124 @@
+//! Render a JSONL run trace (the `--trace` output of the experiment
+//! binaries, schema `pmw_obs::trace`) into a human-readable run report.
+//!
+//! Usage: `run_report <trace.jsonl>`
+//!
+//! The report opens with the [`pmw_obs::Summary`] rollup — per-phase
+//! latency percentiles, counter totals, gauge ranges, the budget and
+//! health endpoints — then prints the per-round timeline: outcome, wall
+//! time, cumulative ε spent, the claimed vs envelope certificate radius,
+//! and the pool's ESS fraction. Long runs elide the middle rounds.
+
+use pmw_obs::{Gauge, Summary, TraceEvent};
+use std::process::ExitCode;
+
+/// One row of the per-round timeline, filled in as the round's events
+/// stream past (gauges keep their last reading in the round).
+#[derive(Clone, Default)]
+struct RoundRow {
+    round: u64,
+    outcome: String,
+    ns: u64,
+    eps: Option<f64>,
+    claimed: Option<f64>,
+    envelope: Option<f64>,
+    ess_fraction: Option<f64>,
+}
+
+fn cell(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"))
+}
+
+fn print_row(r: &RoundRow) {
+    println!(
+        "{:>5} {:>8} {:>10.3} {:>10} {:>10} {:>10} {:>8}",
+        r.round,
+        r.outcome,
+        r.ns as f64 / 1e6,
+        cell(r.eps),
+        cell(r.claimed),
+        cell(r.envelope),
+        cell(r.ess_fraction),
+    );
+}
+
+/// The per-round timeline, extracted from the raw event stream (the
+/// summary rollup aggregates across rounds; this keeps them apart).
+fn round_rows(events: &[TraceEvent]) -> Vec<RoundRow> {
+    let mut rows = Vec::new();
+    let mut current = RoundRow::default();
+    for ev in events {
+        match ev {
+            TraceEvent::RoundBegin { round } => {
+                current = RoundRow {
+                    round: *round,
+                    ..RoundRow::default()
+                };
+            }
+            TraceEvent::Gauge {
+                gauge,
+                value,
+                round: _,
+            } => match gauge {
+                Gauge::EpsSpent => current.eps = Some(*value),
+                Gauge::ClaimedRadius => current.claimed = Some(*value),
+                Gauge::EnvelopeRadius => current.envelope = Some(*value),
+                Gauge::EssFraction => current.ess_fraction = Some(*value),
+                _ => {}
+            },
+            TraceEvent::RoundEnd { round, outcome, ns } => {
+                current.round = *round;
+                current.outcome = outcome.clone();
+                current.ns = *ns;
+                rows.push(current.clone());
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+fn main() -> ExitCode {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: run_report <trace.jsonl>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match TraceEvent::parse_trace(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", Summary::from_events(&events).render());
+
+    let rows = round_rows(&events);
+    if rows.is_empty() {
+        println!("no completed rounds in the trace");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{:>5} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "round", "outcome", "ms", "eps", "claimed_r", "envelope_r", "ess_frac"
+    );
+    const HEAD_TAIL: usize = 24;
+    if rows.len() <= 2 * HEAD_TAIL {
+        rows.iter().for_each(print_row);
+    } else {
+        rows[..HEAD_TAIL].iter().for_each(print_row);
+        println!("  ... ({} rounds elided) ...", rows.len() - 2 * HEAD_TAIL);
+        rows[rows.len() - HEAD_TAIL..].iter().for_each(print_row);
+    }
+    ExitCode::SUCCESS
+}

@@ -102,6 +102,51 @@ pub fn mw_update_reference(weights: &mut [f64], u: &[f64], eta: f64) {
     }
 }
 
+/// The `--trace <path>` argument shared by the experiment binaries: when
+/// present, the probed mirror run streams its JSONL trace there.
+pub fn trace_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Render a probed run's rollup as the `"probe"` object the
+/// `BENCH_*.json` artifacts carry: mechanism, round count, outcome tally,
+/// and the per-phase latency table (count/total/p50/p99/max, nanoseconds).
+/// Hand-rolled JSON, like everything else in the offline workspace.
+pub fn probe_json(summary: &pmw_obs::Summary) -> String {
+    let phases: Vec<String> = summary
+        .phases
+        .iter()
+        .map(|(phase, s)| {
+            format!(
+                "      {{\"phase\": \"{}\", \"count\": {}, \"total_ns\": {}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                phase.as_str(),
+                s.count,
+                s.total_ns,
+                s.p50_ns,
+                s.p99_ns,
+                s.max_ns
+            )
+        })
+        .collect();
+    let outcomes: Vec<String> = summary
+        .outcomes
+        .iter()
+        .map(|(o, n)| format!("\"{o}\": {n}"))
+        .collect();
+    format!(
+        "{{\n    \"mechanism\": \"{}\", \"probed_rounds\": {}, \
+         \"outcomes\": {{{}}},\n    \"phases\": [\n{}\n    ]\n  }}",
+        summary.mechanism,
+        summary.rounds,
+        outcomes.join(", "),
+        phases.join(",\n")
+    )
+}
+
 /// Worst-case (max) excess risk of a batch of answers (`None` = unanswered,
 /// skipped).
 pub fn max_risk<L: pmw_losses::CmLoss>(

@@ -59,6 +59,20 @@ fn require_non_negative(json: &str, key: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate the `"probe"` object every `BENCH_*.json` artifact carries:
+/// the probed mirror run must have completed rounds and report per-phase
+/// latency percentiles.
+fn require_probe_columns(json: &str) -> Result<(), String> {
+    if !has_key(json, "phases") {
+        return Err("missing probed-run \"phases\" table".into());
+    }
+    require_positive(json, "probed_rounds")?;
+    for key in ["total_ns", "p50_ns", "p99_ns", "max_ns"] {
+        require_non_negative(json, key)?;
+    }
+    require_positive(json, "count")
+}
+
 /// Validate `BENCH_runtime.json`: the Θ(|X|) kernel record plus the
 /// backend axis. Checks key presence and that every ns figure is finite
 /// and positive.
@@ -83,7 +97,7 @@ pub fn validate_bench_runtime(json: &str) -> Result<(), String> {
             return Err(format!("backend axis is missing \"{backend}\""));
         }
     }
-    Ok(())
+    require_probe_columns(json)
 }
 
 /// The largest claimed-radius-to-realized-error ratio a sublinear
@@ -171,7 +185,7 @@ pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
             ));
         }
     }
-    Ok(())
+    require_probe_columns(json)
 }
 
 /// Validate `BENCH_mwem.json`: the Fast-MWEM scaling record. Checks the
@@ -229,6 +243,55 @@ pub fn validate_bench_mwem(json: &str) -> Result<(), String> {
             ));
         }
     }
+    require_probe_columns(json)
+}
+
+/// Validate a JSONL run trace (the `--trace` output of the experiment
+/// binaries): every line parses under the pmw-obs v1 schema, the trace is
+/// framed by `run_start`/`run_end` with an accurate closing event count,
+/// and round begin/end events pair up in execution order.
+pub fn validate_trace(text: &str) -> Result<(), String> {
+    use pmw_obs::TraceEvent;
+    let events = TraceEvent::parse_trace(text).map_err(|e| format!("trace parse: {e}"))?;
+    if !matches!(events.first(), Some(TraceEvent::RunStart { .. })) {
+        return Err("trace does not open with run_start".into());
+    }
+    match events.last() {
+        Some(TraceEvent::RunEnd { events: n }) => {
+            if *n as usize != events.len() - 1 {
+                return Err(format!(
+                    "run_end counts {n} events, trace has {}",
+                    events.len() - 1
+                ));
+            }
+        }
+        _ => return Err("trace does not close with run_end".into()),
+    }
+    let mut open: Option<u64> = None;
+    let mut rounds = 0u64;
+    for ev in &events {
+        match ev {
+            TraceEvent::RoundBegin { round } => {
+                if let Some(prev) = open {
+                    return Err(format!("round {round} begins inside open round {prev}"));
+                }
+                open = Some(*round);
+            }
+            TraceEvent::RoundEnd { round, .. } => {
+                if open.take() != Some(*round) {
+                    return Err(format!("round {round} ends without a matching begin"));
+                }
+                rounds += 1;
+            }
+            _ => {}
+        }
+    }
+    if let Some(r) = open {
+        return Err(format!("round {r} never ends"));
+    }
+    if rounds == 0 {
+        return Err("trace contains no completed rounds".into());
+    }
     Ok(())
 }
 
@@ -261,9 +324,22 @@ mod tests {
             {"backend": "dense", "log2_x": 12, "round_ns": 5000.0, "point_read_ns": 2.0},
             {"backend": "lazy", "log2_x": 12, "round_ns": 90.0, "point_read_ns": 40.0},
             {"backend": "sampled", "log2_x": 12, "round_ns": 800.0, "point_read_ns": 60.0}
-          ]
+          ],
+          "probe": {
+            "mechanism": "online_pmw", "probed_rounds": 6,
+            "outcomes": {"update": 4, "free": 2},
+            "phases": [
+              {"phase": "hypothesis_solve", "count": 6, "total_ns": 600,
+               "p50_ns": 90, "p99_ns": 200, "max_ns": 210}
+            ]
+          }
         }"#;
         validate_bench_runtime(json).unwrap();
+        // The probed-run phase table is part of the contract.
+        let no_probe = json.replace("\"probed_rounds\": 6,", "");
+        assert!(validate_bench_runtime(&no_probe).is_err());
+        let no_phases = json.replace("\"phases\":", "\"not_phases\":");
+        assert!(validate_bench_runtime(&no_phases).is_err());
     }
 
     #[test]
@@ -305,10 +381,23 @@ mod tests {
              "calibration_ratio": 20.0,
              "radius_wins_hoeffding": 0, "radius_wins_ess": 20,
              "radius_wins_bernstein": 30}
-          ]
+          ],
+          "probe": {
+            "mechanism": "online_pmw", "probed_rounds": 12,
+            "outcomes": {"update": 9, "failed": 3},
+            "phases": [
+              {"phase": "pool_sweep", "count": 24, "total_ns": 4800,
+               "p50_ns": 180, "p99_ns": 400, "max_ns": 410},
+              {"phase": "oracle_solve", "count": 9, "total_ns": 90000,
+               "p50_ns": 9000, "p99_ns": 15000, "max_ns": 15200}
+            ]
+          }
         }"#;
         validate_bench_sublinear(json).unwrap();
         assert!(validate_bench_sublinear("{}").is_err());
+        // The probed-run phase table is part of the contract.
+        let no_probe = json.replace("\"probed_rounds\": 12,", "");
+        assert!(validate_bench_sublinear(&no_probe).is_err());
         let zero_speed = json.replace(
             "\"speedup_vs_dense_extrapolation\": 3.3",
             "\"speedup_vs_dense_extrapolation\": 0.0",
@@ -358,7 +447,14 @@ mod tests {
              "calibration_ratio": RATIO,
              "radius_wins_hoeffding": 0, "radius_wins_ess": 20,
              "radius_wins_bernstein": 30}
-          ]
+          ],
+          "probe": {
+            "mechanism": "online_pmw", "probed_rounds": 12,
+            "phases": [
+              {"phase": "pool_sweep", "count": 24, "total_ns": 4800,
+               "p50_ns": 180, "p99_ns": 400, "max_ns": 410}
+            ]
+          }
         }"#;
         let honest = base.replace("CLAIMED", "0.065").replace("RATIO", "7.4");
         validate_bench_sublinear(&honest).unwrap();
@@ -398,10 +494,23 @@ mod tests {
              "dense_extrapolated_round_ns": 214748364.8,
              "speedup_vs_dense_extrapolation": 214.7,
              "mwem_answers": 24}
-          ]
+          ],
+          "probe": {
+            "mechanism": "mwem", "probed_rounds": 8,
+            "outcomes": {"update": 8},
+            "phases": [
+              {"phase": "select", "count": 8, "total_ns": 8000,
+               "p50_ns": 900, "p99_ns": 1500, "max_ns": 1600},
+              {"phase": "estimate", "count": 8, "total_ns": 64000,
+               "p50_ns": 7000, "p99_ns": 12000, "max_ns": 12300}
+            ]
+          }
         }"#;
         validate_bench_mwem(json).unwrap();
         assert!(validate_bench_mwem("{}").is_err());
+        // The probed-run phase table is part of the contract.
+        let no_probe = json.replace("\"probed_rounds\": 8,", "");
+        assert!(validate_bench_mwem(&no_probe).is_err());
         let zero_speed = json.replace(
             "\"speedup_vs_dense_extrapolation\": 214.7",
             "\"speedup_vs_dense_extrapolation\": 0.0",
@@ -426,5 +535,72 @@ mod tests {
         assert!(validate_bench_mwem(&negative_wins).is_err());
         // A runtime artifact is not a MWEM artifact.
         assert!(validate_bench_mwem("{\"experiment\": \"runtime_scaling\"}").is_err());
+    }
+
+    /// A well-formed trace as the `JsonlTraceProbe` would stream it.
+    fn sample_trace() -> String {
+        use pmw_obs::{Counter, Gauge, Phase, TraceEvent};
+        let events = [
+            TraceEvent::RunStart {
+                mechanism: "online_pmw".into(),
+                detail: "schema test".into(),
+            },
+            TraceEvent::RoundBegin { round: 0 },
+            TraceEvent::Span {
+                phase: Phase::HypothesisSolve,
+                round: 0,
+                ns: 1200,
+            },
+            TraceEvent::Gauge {
+                gauge: Gauge::EpsSpent,
+                round: 0,
+                value: 0.25,
+            },
+            TraceEvent::Counter {
+                counter: Counter::UpdateRounds,
+                round: 0,
+                delta: 1,
+            },
+            TraceEvent::RoundEnd {
+                round: 0,
+                outcome: "update".into(),
+                ns: 5000,
+            },
+            TraceEvent::RunEnd { events: 6 },
+        ];
+        events.iter().map(|e| e.to_json_line() + "\n").collect()
+    }
+
+    #[test]
+    fn trace_validator_accepts_a_streamed_trace() {
+        validate_trace(&sample_trace()).unwrap();
+    }
+
+    #[test]
+    fn trace_validator_rejects_broken_framing_and_bad_lines() {
+        let trace = sample_trace();
+        // Malformed JSON line.
+        let garbage = trace.replace("\"kind\":\"span\"", "\"kind\":\"warp\"");
+        assert!(validate_trace(&garbage).unwrap_err().contains("parse"));
+        // Missing run_end (and the one-line truncation also breaks the
+        // event count for any later close).
+        let truncated: String = trace.lines().take(6).map(|l| format!("{l}\n")).collect();
+        assert!(validate_trace(&truncated).unwrap_err().contains("run_end"));
+        // Inaccurate closing event count.
+        let miscounted = trace.replace("\"events\":6", "\"events\":5");
+        assert!(validate_trace(&miscounted).unwrap_err().contains("counts"));
+        // A round that never ends.
+        let unclosed = trace.replace(
+            "{\"v\":1,\"kind\":\"round_end\",\"round\":0,\"outcome\":\"update\",\"ns\":5000}\n",
+            "",
+        );
+        assert!(validate_trace(&unclosed).is_err());
+        // No rounds at all.
+        let empty_run = "{\"v\":1,\"kind\":\"run_start\",\"mechanism\":\"m\",\"detail\":\"\"}\n\
+                         {\"v\":1,\"kind\":\"run_end\",\"events\":1}\n";
+        assert!(validate_trace(empty_run)
+            .unwrap_err()
+            .contains("no completed rounds"));
+        assert!(validate_trace("").is_err());
     }
 }

@@ -32,6 +32,7 @@ use pmw_data::workload::{query_value, LinearQuery, PointQuery};
 use pmw_data::{Dataset, Histogram, PointMatrix, PointSource, Universe};
 use pmw_dp::sparse_vector::{SvConfig, SvOutcome};
 use pmw_dp::{Accountant, ExponentialMechanism, LaplaceMechanism, SparseVector};
+use pmw_obs::{Counter, Gauge, NoopProbe, Phase, Probe};
 use rand::Rng;
 use std::rc::Rc;
 
@@ -340,12 +341,44 @@ impl<B: StateBackend> LinearPmw<B> {
     /// Figure-3 mechanism's SV/oracle fix, regression-tested with a
     /// failing-backend stub).
     pub fn answer(&mut self, query: &dyn PointQuery, rng: &mut dyn Rng) -> Result<f64, PmwError> {
+        self.answer_with_probe(query, rng, &NoopProbe)
+    }
+
+    /// [`LinearPmw::answer`], reporting the round through `probe`: one
+    /// round span per query with [`Phase::Estimate`],
+    /// [`Phase::ErrorQuery`], [`Phase::SvScreen`] and (on `⊤` rounds)
+    /// [`Phase::Measure`]/[`Phase::Update`] sub-spans, plus margin and
+    /// budget gauges. `answer` delegates here with the [`NoopProbe`],
+    /// which compiles the instrumentation away.
+    pub fn answer_with_probe<P: Probe>(
+        &mut self,
+        query: &dyn PointQuery,
+        rng: &mut dyn Rng,
+        probe: &P,
+    ) -> Result<f64, PmwError> {
         if self.halted {
             return Err(PmwError::Halted);
         }
         if self.queries_answered >= self.k {
             return Err(PmwError::QueryLimitReached);
         }
+        let round_idx = self.queries_answered;
+        probe.round_begin(round_idx);
+        let mut outcome_label: &'static str = "error";
+        let result = self.answer_round(query, rng, probe, &mut outcome_label);
+        probe.round_end(round_idx, outcome_label);
+        result
+    }
+
+    /// The body of one answered round; `outcome_label` reports how the
+    /// round ended to the probe.
+    fn answer_round<P: Probe>(
+        &mut self,
+        query: &dyn PointQuery,
+        rng: &mut dyn Rng,
+        probe: &P,
+        outcome_label: &mut &'static str,
+    ) -> Result<f64, PmwError> {
         self.data.check_query(query)?;
         // Retaining backends need an owned query handle; obtain it before
         // any sparse-vector round or budget is consumed on an update that
@@ -354,10 +387,14 @@ impl<B: StateBackend> LinearPmw<B> {
             Some(mut handles) => handles.pop(),
             None => None,
         };
+        probe.span_begin(Phase::Estimate);
         let est = self
             .state
             .expected_query_value(query, self.data.universe_points(), rng)?;
+        probe.span_end(Phase::Estimate);
+        probe.span_begin(Phase::ErrorQuery);
         let truth = self.data.evaluate(query)?;
+        probe.span_end(Phase::ErrorQuery);
         let err = (est.value - truth).abs();
         // Radius-aware SV margin: on a sketching backend `est` carries a
         // claimed concentration radius, and a ⊥ must certify that the
@@ -371,41 +408,64 @@ impl<B: StateBackend> LinearPmw<B> {
                 "backend claimed a non-finite or negative estimate radius",
             ));
         }
+        if P::ENABLED {
+            probe.gauge(Gauge::ClaimedRadius, est.radius);
+            probe.gauge(Gauge::SvMargin, err + est.radius);
+        }
+        probe.span_begin(Phase::SvScreen);
         let outcome = match self.sv.process(err + est.radius, rng) {
             Ok(o) => o,
             Err(pmw_dp::DpError::SparseVectorHalted) => {
                 self.halted = true;
+                *outcome_label = "halted";
                 return Err(PmwError::Halted);
             }
             Err(e) => return Err(e.into()),
         };
+        probe.span_end(Phase::SvScreen);
         let answer = match outcome {
-            SvOutcome::Bottom => est.value,
+            SvOutcome::Bottom => {
+                // A prior failed round may have queued rollback events:
+                // drain on free answers too.
+                self.backend_events.extend(self.state.take_events());
+                probe.counter(Counter::FreeAnswers, 1);
+                *outcome_label = "free";
+                est.value
+            }
             SvOutcome::Top => {
                 // Budget first: the release and the update may fail after
                 // the SV top is already consumed, and a failing release
                 // may already have leaked its noise.
                 self.accountant.spend("laplace", self.laplace.budget());
-                let applied = self
-                    .laplace
-                    .release(truth, rng)
-                    .map_err(PmwError::from)
-                    .and_then(|measured| {
-                        // Update direction: if the hypothesis overestimates,
-                        // penalize elements where q(x) is large
-                        // (exp(-eta*q)); otherwise boost.
-                        let coeff = if est.value > measured { 1.0 } else { -1.0 };
-                        self.state
-                            .apply_query_update(
-                                query,
-                                retained,
-                                coeff,
-                                self.eta,
-                                self.data.universe_points(),
-                                rng,
-                            )
-                            .map(|()| measured)
-                    });
+                if P::ENABLED {
+                    if let Ok(total) = self.accountant.basic_total() {
+                        probe.gauge(Gauge::EpsSpent, total.epsilon());
+                        probe.gauge(Gauge::DeltaSpent, total.delta());
+                    }
+                }
+                probe.span_begin(Phase::Measure);
+                let released = self.laplace.release(truth, rng).map_err(PmwError::from);
+                probe.span_end(Phase::Measure);
+                let applied = released.and_then(|measured| {
+                    // Update direction: if the hypothesis overestimates,
+                    // penalize elements where q(x) is large
+                    // (exp(-eta*q)); otherwise boost.
+                    let coeff = if est.value > measured { 1.0 } else { -1.0 };
+                    probe.span_begin(Phase::Update);
+                    let updated = self
+                        .state
+                        .apply_query_update(
+                            query,
+                            retained,
+                            coeff,
+                            self.eta,
+                            self.data.universe_points(),
+                            rng,
+                        )
+                        .map(|()| measured);
+                    probe.span_end(Phase::Update);
+                    updated
+                });
                 // The top is spent whatever happened above: burn the round
                 // and mirror SV's halt so the counters stay in sync.
                 self.updates_used += 1;
@@ -413,12 +473,19 @@ impl<B: StateBackend> LinearPmw<B> {
                     self.halted = true;
                 }
                 // Self-maintaining backends report what the round did
-                // (adaptive resample, escalation); rolled-back rounds
-                // report nothing.
+                // (adaptive resample, escalation). Failed transactional
+                // rounds preserve their events across the rollback and
+                // close them with a `RoundRolledBack` marker.
                 self.backend_events.extend(self.state.take_events());
                 match applied {
-                    Ok(measured) => measured,
+                    Ok(measured) => {
+                        probe.counter(Counter::UpdateRounds, 1);
+                        *outcome_label = "update";
+                        measured
+                    }
                     Err(e) => {
+                        probe.counter(Counter::FailedRounds, 1);
+                        *outcome_label = "failed";
                         self.queries_answered += 1;
                         return Err(e);
                     }
@@ -544,6 +611,19 @@ impl Mwem {
         epsilon: f64,
         rng: &mut dyn Rng,
     ) -> Result<MwemResult, PmwError> {
+        self.run_probed(queries, dataset, epsilon, rng, &NoopProbe)
+    }
+
+    /// [`Mwem::run`], reporting each round through `probe` (see
+    /// [`Mwem::run_with_backend_probed`] for the emitted signals).
+    pub fn run_probed<P: Probe>(
+        &self,
+        queries: &[LinearQuery],
+        dataset: &Dataset,
+        epsilon: f64,
+        rng: &mut dyn Rng,
+        probe: &P,
+    ) -> Result<MwemResult, PmwError> {
         let m = dataset.universe_size();
         let data = QueryData::Dense {
             histogram: dataset.histogram(),
@@ -551,7 +631,7 @@ impl Mwem {
         };
         let state = DenseBackend::new(m)?;
         let qrefs: Vec<&dyn PointQuery> = queries.iter().map(|q| q as &dyn PointQuery).collect();
-        let run = self.engine(&qrefs, &data, dataset.len(), epsilon, state, rng)?;
+        let run = self.engine(&qrefs, &data, dataset.len(), epsilon, state, rng, probe)?;
         Ok(MwemResult {
             histogram: run
                 .averaged
@@ -574,6 +654,28 @@ impl Mwem {
         state: B,
         rng: &mut dyn Rng,
     ) -> Result<MwemRun<B>, PmwError> {
+        self.run_with_backend_probed(queries, universe, dataset, epsilon, state, rng, &NoopProbe)
+    }
+
+    /// [`Mwem::run_with_backend`], reporting each round through `probe`:
+    /// [`Phase::Select`] (exponential mechanism), [`Phase::Measure`]
+    /// (Laplace release), [`Phase::Update`] (MW step) and
+    /// [`Phase::Estimate`] (the post-update score recompute) sub-spans per
+    /// round, the selection-widening radius gauge, and the running ε/δ
+    /// spend. The unprobed entry points delegate here with the
+    /// [`NoopProbe`], which compiles the instrumentation away — dense
+    /// selections and rng streams stay bit-for-bit unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_backend_probed<U: Universe, Q: PointQuery, B: StateBackend, P: Probe>(
+        &self,
+        queries: &[Q],
+        universe: &U,
+        dataset: &Dataset,
+        epsilon: f64,
+        state: B,
+        rng: &mut dyn Rng,
+        probe: &P,
+    ) -> Result<MwemRun<B>, PmwError> {
         if dataset.universe_size() != universe.size() {
             return Err(PmwError::LossMismatch(
                 "dataset universe size does not match universe",
@@ -584,7 +686,7 @@ impl Mwem {
             points: Some(universe.materialize()),
         };
         let qrefs: Vec<&dyn PointQuery> = queries.iter().map(|q| q as &dyn PointQuery).collect();
-        self.engine(&qrefs, &data, dataset.len(), epsilon, state, rng)
+        self.engine(&qrefs, &data, dataset.len(), epsilon, state, rng, probe)
     }
 
     /// Fully sublinear MWEM — the *Fast-MWEM* construction: implicit
@@ -602,6 +704,27 @@ impl Mwem {
         state: B,
         rng: &mut dyn Rng,
     ) -> Result<MwemRun<B>, PmwError> {
+        self.run_with_source_probed(queries, source, dataset, epsilon, state, rng, &NoopProbe)
+    }
+
+    /// [`Mwem::run_with_source`], reporting each round through `probe`
+    /// (see [`Mwem::run_with_backend_probed`] for the emitted signals).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_source_probed<
+        S: PointSource + ?Sized,
+        Q: PointQuery,
+        B: StateBackend,
+        P: Probe,
+    >(
+        &self,
+        queries: &[Q],
+        source: &S,
+        dataset: &Dataset,
+        epsilon: f64,
+        state: B,
+        rng: &mut dyn Rng,
+        probe: &P,
+    ) -> Result<MwemRun<B>, PmwError> {
         if state.requires_materialized_universe() {
             return Err(PmwError::InvalidConfig(
                 "this state backend sweeps a materialized universe; point-source construction needs a sketching backend",
@@ -609,14 +732,15 @@ impl Mwem {
         }
         let data = QueryData::from_source(dataset, source)?;
         let qrefs: Vec<&dyn PointQuery> = queries.iter().map(|q| q as &dyn PointQuery).collect();
-        self.engine(&qrefs, &data, dataset.len(), epsilon, state, rng)
+        self.engine(&qrefs, &data, dataset.len(), epsilon, state, rng, probe)
     }
 
     /// The shared MWEM engine. On `DenseBackend` this consumes the same
     /// rng stream as the classic implementation (`T × (k` Gumbel draws `+
     /// 1` Laplace draw`)`) and evaluates the same inner products, so dense
     /// selections are preserved.
-    fn engine<B: StateBackend>(
+    #[allow(clippy::too_many_arguments)]
+    fn engine<B: StateBackend, P: Probe>(
         &self,
         queries: &[&dyn PointQuery],
         data: &QueryData,
@@ -624,6 +748,7 @@ impl Mwem {
         epsilon: f64,
         mut state: B,
         rng: &mut dyn Rng,
+        probe: &P,
     ) -> Result<MwemRun<B>, PmwError> {
         if queries.is_empty() {
             return Err(PmwError::InvalidConfig("need at least one query"));
@@ -666,6 +791,7 @@ impl Mwem {
         // Dense backends also accumulate the HLM12 averaged histogram.
         let mut avg: Option<Vec<f64>> = state.dense_hypothesis().map(|h| vec![0.0; h.len()]);
         for t in 0..self.rounds {
+            probe.round_begin(t);
             // Select the query the hypothesis answers worst. On a
             // non-exhaustive backend the scores are estimates, each off by
             // up to its claimed radius — the exponential mechanism's
@@ -684,35 +810,68 @@ impl Mwem {
             // reject non-finite radii loudly instead (mirroring how the
             // sparse-vector path rejects a non-finite widened margin).
             if ests.iter().any(|e| !e.radius.is_finite()) {
+                probe.round_end(t, "error");
                 return Err(PmwError::InvalidConfig(
                     "state backend claimed a non-finite query-estimate radius",
                 ));
             }
             let widen = ests.iter().map(|e| e.radius).fold(0.0, f64::max);
-            let em = ExponentialMechanism::new(sensitivity + widen, per_round)?;
-            let idx = em.select(&scores, rng)?;
-            accountant.spend("exponential-mechanism", em.budget());
-            selected.push(idx);
-            let measured = lap.release(truths[idx], rng)?;
-            accountant.spend("laplace", lap.budget());
-            // MWEM update: D(x) *= exp(q(x)·(measured − est)/(2·range)).
-            let coeff = (ests[idx].value - measured) / (2.0 * self.range);
-            let retained = shared.as_ref().map(|handles| handles[idx].clone());
-            state.apply_query_update(queries[idx], retained, coeff, 1.0, points, rng)?;
-            backend_events.extend(state.take_events());
-            // Post-update estimates: next round's scores, and — on the
-            // sketched path — one term of the averaged answers (averaging
-            // commutes with linear queries, so summing per-round
-            // estimates equals evaluating on the averaged hypothesis).
-            // The dense path answers from the averaged histogram instead,
-            // so it skips both the final-round recompute and the sums.
-            let last = t + 1 == self.rounds;
-            if !(last && avg.is_some()) {
-                ests = queries
-                    .iter()
-                    .map(|q| state.expected_query_value(*q, points, rng))
-                    .collect::<Result<_, _>>()?;
+            if P::ENABLED {
+                probe.gauge(Gauge::ClaimedRadius, widen);
             }
+            let round_result = (|| -> Result<(), PmwError> {
+                probe.span_begin(Phase::Select);
+                let em = ExponentialMechanism::new(sensitivity + widen, per_round)?;
+                let idx = em.select(&scores, rng)?;
+                probe.span_end(Phase::Select);
+                accountant.spend("exponential-mechanism", em.budget());
+                selected.push(idx);
+                probe.span_begin(Phase::Measure);
+                let measured = lap.release(truths[idx], rng)?;
+                probe.span_end(Phase::Measure);
+                accountant.spend("laplace", lap.budget());
+                if P::ENABLED {
+                    if let Ok(total) = accountant.basic_total() {
+                        probe.gauge(Gauge::EpsSpent, total.epsilon());
+                        probe.gauge(Gauge::DeltaSpent, total.delta());
+                    }
+                }
+                // MWEM update: D(x) *= exp(q(x)·(measured − est)/(2·range)).
+                let coeff = (ests[idx].value - measured) / (2.0 * self.range);
+                let retained = shared.as_ref().map(|handles| handles[idx].clone());
+                probe.span_begin(Phase::Update);
+                let applied =
+                    state.apply_query_update(queries[idx], retained, coeff, 1.0, points, rng);
+                probe.span_end(Phase::Update);
+                // Drain before propagating a failure: a transactional
+                // backend preserves the escalations that caused the
+                // failure across its rollback, and they must reach the
+                // run's event log even when the round errors out.
+                backend_events.extend(state.take_events());
+                applied?;
+                // Post-update estimates: next round's scores, and — on the
+                // sketched path — one term of the averaged answers (averaging
+                // commutes with linear queries, so summing per-round
+                // estimates equals evaluating on the averaged hypothesis).
+                // The dense path answers from the averaged histogram instead,
+                // so it skips both the final-round recompute and the sums.
+                let last = t + 1 == self.rounds;
+                if !(last && avg.is_some()) {
+                    probe.span_begin(Phase::Estimate);
+                    ests = queries
+                        .iter()
+                        .map(|q| state.expected_query_value(*q, points, rng))
+                        .collect::<Result<_, _>>()?;
+                    probe.span_end(Phase::Estimate);
+                }
+                Ok(())
+            })();
+            if let Err(e) = round_result {
+                probe.round_end(t, "failed");
+                return Err(e);
+            }
+            probe.counter(Counter::UpdateRounds, 1);
+            probe.round_end(t, "update");
             if avg.is_none() {
                 for (sum, est) in answer_sums.iter_mut().zip(&ests) {
                     *sum += est.value;

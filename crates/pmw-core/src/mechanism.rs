@@ -33,6 +33,7 @@ use pmw_dp::{Accountant, SparseVector};
 use pmw_erm::{ErmOracle, OracleChoice};
 use pmw_losses::traits::minimize_weighted;
 use pmw_losses::{CmLoss, WeightedObjective};
+use pmw_obs::{Counter, Gauge, NoopProbe, Phase, Probe};
 use rand::Rng;
 
 /// The data-side representation of the error query `err_ℓ(D, D̂_t)`: the
@@ -278,12 +279,47 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
     /// update slots are spent and with [`PmwError::QueryLimitReached`] past
     /// the declared `k`.
     pub fn answer(&mut self, loss: &dyn CmLoss, rng: &mut dyn Rng) -> Result<Vec<f64>, PmwError> {
+        self.answer_with_probe(loss, rng, &NoopProbe)
+    }
+
+    /// [`OnlinePmw::answer`], reporting the round through `probe`: one
+    /// round span per query with [`Phase::HypothesisSolve`],
+    /// [`Phase::ErrorQuery`], [`Phase::SvScreen`] and (on `⊤` rounds)
+    /// [`Phase::OracleSolve`]/[`Phase::Update`] sub-spans, the screened
+    /// margin and budget gauges, and retry/outcome counters. `answer`
+    /// itself delegates here with the [`NoopProbe`], which compiles the
+    /// instrumentation away — probe-off rng streams are bit-for-bit those
+    /// of the uninstrumented mechanism.
+    pub fn answer_with_probe<P: Probe>(
+        &mut self,
+        loss: &dyn CmLoss,
+        rng: &mut dyn Rng,
+        probe: &P,
+    ) -> Result<Vec<f64>, PmwError> {
         if self.halted {
             return Err(PmwError::Halted);
         }
         if self.queries_answered >= self.config.k {
             return Err(PmwError::QueryLimitReached);
         }
+        let round_idx = self.queries_answered;
+        probe.round_begin(round_idx);
+        let mut outcome_label: &'static str = "error";
+        let result = self.answer_round(loss, rng, probe, &mut outcome_label);
+        probe.round_end(round_idx, outcome_label);
+        result
+    }
+
+    /// The body of one answered round; `outcome_label` reports how the
+    /// round ended to the probe (every early `?` return leaves it at
+    /// `"error"`).
+    fn answer_round<P: Probe>(
+        &mut self,
+        loss: &dyn CmLoss,
+        rng: &mut dyn Rng,
+        probe: &P,
+        outcome_label: &mut &'static str,
+    ) -> Result<Vec<f64>, PmwError> {
         if loss.point_dim() != self.data.points().dim() {
             return Err(PmwError::LossMismatch(
                 "loss point dimension does not match universe",
@@ -308,16 +344,19 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
         };
 
         // (1) Hypothesis minimizer theta-hat, through the state backend.
+        probe.span_begin(Phase::HypothesisSolve);
         let theta_hat = self.state.hypothesis_minimizer(
             loss,
             self.data.points(),
             self.config.solver_iters,
             rng,
         )?;
+        probe.span_end(Phase::HypothesisSolve);
 
         // (2) The error query q_j(D) = err_l(D, D-hat_t), evaluated over
         // the data-side point set: the universe histogram on the dense
         // path, the dataset's support rows (O(n·d)) on the row path.
+        probe.span_begin(Phase::ErrorQuery);
         let data_obj = WeightedObjective::new(loss, self.data.points(), self.data.weights())?;
         let theta_star = minimize_weighted(
             loss,
@@ -326,6 +365,7 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
             self.config.solver_iters,
         )?;
         let query_value = (data_obj.value(&theta_hat) - data_obj.value(&theta_star)).max(0.0);
+        probe.span_end(Phase::ErrorQuery);
 
         // (3) Screen through the sparse vector algorithm. On sketched
         // state the margin is widened by the backend's claimed read
@@ -343,18 +383,34 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
                 "backend claimed a non-finite or negative read margin",
             ));
         }
+        if P::ENABLED {
+            probe.gauge(Gauge::ClaimedRadius, read_margin);
+            probe.gauge(Gauge::SvMargin, query_value + read_margin);
+        }
+        probe.span_begin(Phase::SvScreen);
         let outcome = match self.sv.process(query_value + read_margin, rng) {
             Ok(o) => o,
             Err(pmw_dp::DpError::SparseVectorHalted) => {
                 self.halted = true;
+                *outcome_label = "halted";
                 return Err(PmwError::Halted);
             }
             Err(e) => return Err(e.into()),
         };
+        probe.span_end(Phase::SvScreen);
 
         let diagnostics = self.config.diagnostics;
         let record = match outcome {
             SvOutcome::Bottom => {
+                // Free answers leave the backend untouched, but a prior
+                // failed round may have queued rollback events: drain
+                // here too, so nothing waits on the next `⊤` round.
+                let events = self.state.take_events();
+                if !events.is_empty() {
+                    self.transcript.record_backend_events(events);
+                }
+                probe.counter(Counter::FreeAnswers, 1);
+                *outcome_label = "free";
                 let answer = theta_hat.clone();
                 QueryRecord {
                     index: self.queries_answered,
@@ -390,6 +446,7 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
                 // round, so retries spend nothing further (see the
                 // data-independence soundness condition on the knob).
                 let mut attempts = 0;
+                probe.span_begin(Phase::OracleSolve);
                 let solved = loop {
                     let result = self
                         .oracle
@@ -407,6 +464,17 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
                     }
                     attempts += 1;
                 };
+                probe.span_end(Phase::OracleSolve);
+                if attempts > 0 {
+                    probe.counter(Counter::OracleRetries, attempts as u64);
+                }
+                if P::ENABLED {
+                    if let Ok(total) = self.accountant.basic_total() {
+                        probe.gauge(Gauge::EpsSpent, total.epsilon());
+                        probe.gauge(Gauge::DeltaSpent, total.delta());
+                    }
+                }
+                probe.span_begin(Phase::Update);
                 let applied = match solved {
                     Ok(theta_t) => {
                         let gap_weights = if diagnostics {
@@ -429,9 +497,14 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
                     }
                     Err(e) => Err(e),
                 };
+                probe.span_end(Phase::Update);
                 // Backends with self-maintenance (adaptive resamples,
                 // escalation rungs) report what they did during the
-                // update; a rolled-back round reports nothing.
+                // update. Failed rounds report too: a transactional
+                // backend preserves the escalations that caused the
+                // failure across its rollback and closes them with a
+                // `RoundRolledBack` marker, so the transcript keeps the
+                // cause of every `Degraded` error.
                 let events = self.state.take_events();
                 if !events.is_empty() {
                     self.transcript.record_backend_events(events);
@@ -442,16 +515,22 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
                     self.halted = true;
                 }
                 match applied {
-                    Ok((theta_t, gap)) => QueryRecord {
-                        index: self.queries_answered,
-                        loss_name: loss.name(),
-                        outcome: QueryOutcome::FromOracle,
-                        answer: theta_t,
-                        update_round: Some(round),
-                        error_query_value: diagnostics.then_some(query_value),
-                        certificate_gap: gap,
-                    },
+                    Ok((theta_t, gap)) => {
+                        probe.counter(Counter::UpdateRounds, 1);
+                        *outcome_label = "update";
+                        QueryRecord {
+                            index: self.queries_answered,
+                            loss_name: loss.name(),
+                            outcome: QueryOutcome::FromOracle,
+                            answer: theta_t,
+                            update_round: Some(round),
+                            error_query_value: diagnostics.then_some(query_value),
+                            certificate_gap: gap,
+                        }
+                    }
                     Err(e) => {
+                        probe.counter(Counter::FailedRounds, 1);
+                        *outcome_label = "failed";
                         self.transcript.push(QueryRecord {
                             index: self.queries_answered,
                             loss_name: loss.name(),

@@ -18,6 +18,7 @@ use pmw_dp::{Accountant, ExponentialMechanism, PrivacyBudget};
 use pmw_erm::{ErmOracle, OracleChoice};
 use pmw_losses::traits::minimize_weighted;
 use pmw_losses::{CmLoss, WeightedObjective};
+use pmw_obs::{Counter, Gauge, NoopProbe, Phase, Probe};
 use rand::Rng;
 
 /// Result of an offline PMW run.
@@ -78,6 +79,22 @@ impl<O: ErmOracle> OfflinePmw<O> {
         dataset: &Dataset,
         rng: &mut dyn Rng,
     ) -> Result<(OfflineResult, Accountant), PmwError> {
+        self.run_probed(losses, universe, dataset, rng, &NoopProbe)
+    }
+
+    /// [`OfflinePmw::run`] with an observation [`Probe`]. With
+    /// [`NoopProbe`] this is the exact same computation (same rng stream,
+    /// same answers); a live probe sees per-round spans
+    /// (`hypothesis_solve`/`select`/`oracle_solve`/`update`), budget
+    /// gauges, and retry counters.
+    pub fn run_probed<U: Universe, P: Probe>(
+        &self,
+        losses: &[&dyn CmLoss],
+        universe: &U,
+        dataset: &Dataset,
+        rng: &mut dyn Rng,
+        probe: &P,
+    ) -> Result<(OfflineResult, Accountant), PmwError> {
         // Reject a degenerate universe up front: letting it reach the
         // backend construction used to surface as a misleading "backend
         // universe size does not match" error.
@@ -88,7 +105,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
         }
         let mut state = DenseBackend::new(universe.size())?;
         let (result, accountant) =
-            self.run_with_backend(losses, universe, dataset, &mut state, rng)?;
+            self.run_with_backend_probed(losses, universe, dataset, &mut state, rng, probe)?;
         Ok((
             OfflineResult {
                 answers: result.answers,
@@ -110,6 +127,19 @@ impl<O: ErmOracle> OfflinePmw<O> {
         dataset: &Dataset,
         state: &mut B,
         rng: &mut dyn Rng,
+    ) -> Result<(OfflineBackendResult, Accountant), PmwError> {
+        self.run_with_backend_probed(losses, universe, dataset, state, rng, &NoopProbe)
+    }
+
+    /// [`OfflinePmw::run_with_backend`] with an observation [`Probe`].
+    pub fn run_with_backend_probed<U: Universe, B: StateBackend, P: Probe>(
+        &self,
+        losses: &[&dyn CmLoss],
+        universe: &U,
+        dataset: &Dataset,
+        state: &mut B,
+        rng: &mut dyn Rng,
+        probe: &P,
     ) -> Result<(OfflineBackendResult, Accountant), PmwError> {
         // Fail before the Θ(|X|) materialization below, not after.
         if losses.is_empty() {
@@ -135,6 +165,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
             universe.size(),
             state,
             rng,
+            probe,
         )
     }
 
@@ -152,6 +183,19 @@ impl<O: ErmOracle> OfflinePmw<O> {
         dataset: &Dataset,
         state: &mut B,
         rng: &mut dyn Rng,
+    ) -> Result<(OfflineBackendResult, Accountant), PmwError> {
+        self.run_with_source_probed(losses, source, dataset, state, rng, &NoopProbe)
+    }
+
+    /// [`OfflinePmw::run_with_source`] with an observation [`Probe`].
+    pub fn run_with_source_probed<S: PointSource + ?Sized, B: StateBackend, P: Probe>(
+        &self,
+        losses: &[&dyn CmLoss],
+        source: &S,
+        dataset: &Dataset,
+        state: &mut B,
+        rng: &mut dyn Rng,
+        probe: &P,
     ) -> Result<(OfflineBackendResult, Accountant), PmwError> {
         if state.requires_materialized_universe() {
             return Err(PmwError::InvalidConfig(
@@ -177,6 +221,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
             source.len(),
             state,
             rng,
+            probe,
         )
     }
 
@@ -184,7 +229,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
     /// data-side point set (`data_points`/`data_weights` are the universe
     /// histogram on the dense path, the dataset support on the row path).
     #[allow(clippy::too_many_arguments)]
-    fn run_rounds<B: StateBackend>(
+    fn run_rounds<B: StateBackend, P: Probe>(
         &self,
         losses: &[&dyn CmLoss],
         data_points: &PointMatrix,
@@ -193,6 +238,7 @@ impl<O: ErmOracle> OfflinePmw<O> {
         universe_size: usize,
         state: &mut B,
         rng: &mut dyn Rng,
+        probe: &P,
     ) -> Result<(OfflineBackendResult, Accountant), PmwError> {
         if losses.is_empty() {
             return Err(PmwError::InvalidConfig("need at least one loss"));
@@ -229,69 +275,105 @@ impl<O: ErmOracle> OfflinePmw<O> {
             opt_values.push(obj.value(&theta_star));
         }
 
-        for _ in 0..rounds {
-            // Score every loss: err_l(D, hypothesis).
-            let mut scores = Vec::with_capacity(losses.len());
-            let mut hyp_minimizers = Vec::with_capacity(losses.len());
-            for (loss, &opt) in losses.iter().zip(&opt_values) {
-                let theta_hat = state.hypothesis_minimizer(
-                    *loss,
-                    data_points,
-                    self.config.solver_iters,
-                    rng,
-                )?;
-                let obj = WeightedObjective::new(*loss, data_points, data_weights)?;
-                scores.push((obj.value(&theta_hat) - opt).max(0.0));
-                hyp_minimizers.push(theta_hat);
-            }
-            // Radius-aware selection, as in the online mechanisms: every
-            // score was computed from a θ̂ solved against the (possibly
-            // sketched) hypothesis, so the EM sensitivity is widened by
-            // the backend's claimed read radius for this round's state.
-            // Exact backends claim 0, leaving the dense selection (and
-            // its rng stream) bit-for-bit unchanged.
-            let widen = state.read_radius(self.config.scale_s);
-            // A corrupted widening (NaN/∞/negative) would silently break
-            // the selection guarantee; refuse loudly before any spend.
-            if !widen.is_finite() || widen < 0.0 {
-                return Err(PmwError::Degraded(
-                    "backend claimed a non-finite or negative read margin",
-                ));
-            }
-            let em = ExponentialMechanism::new(em_sensitivity + widen, em_epsilon)?;
-            let idx = em.select(&scores, rng)?;
-            accountant.spend("em-select", PrivacyBudget::pure(em_epsilon)?);
-            selected.push(idx);
+        for t in 0..rounds {
+            probe.round_begin(t);
+            let round_result = (|| -> Result<(), PmwError> {
+                // Score every loss: err_l(D, hypothesis).
+                let mut scores = Vec::with_capacity(losses.len());
+                let mut hyp_minimizers = Vec::with_capacity(losses.len());
+                probe.span_begin(Phase::HypothesisSolve);
+                for (loss, &opt) in losses.iter().zip(&opt_values) {
+                    let theta_hat = state.hypothesis_minimizer(
+                        *loss,
+                        data_points,
+                        self.config.solver_iters,
+                        rng,
+                    )?;
+                    let obj = WeightedObjective::new(*loss, data_points, data_weights)?;
+                    scores.push((obj.value(&theta_hat) - opt).max(0.0));
+                    hyp_minimizers.push(theta_hat);
+                }
+                probe.span_end(Phase::HypothesisSolve);
+                // Radius-aware selection, as in the online mechanisms: every
+                // score was computed from a θ̂ solved against the (possibly
+                // sketched) hypothesis, so the EM sensitivity is widened by
+                // the backend's claimed read radius for this round's state.
+                // Exact backends claim 0, leaving the dense selection (and
+                // its rng stream) bit-for-bit unchanged.
+                let widen = state.read_radius(self.config.scale_s);
+                // A corrupted widening (NaN/∞/negative) would silently break
+                // the selection guarantee; refuse loudly before any spend.
+                if !widen.is_finite() || widen < 0.0 {
+                    return Err(PmwError::Degraded(
+                        "backend claimed a non-finite or negative read margin",
+                    ));
+                }
+                if P::ENABLED {
+                    probe.gauge(Gauge::ClaimedRadius, widen);
+                }
+                probe.span_begin(Phase::Select);
+                let em = ExponentialMechanism::new(em_sensitivity + widen, em_epsilon)?;
+                let idx = em.select(&scores, rng)?;
+                probe.span_end(Phase::Select);
+                accountant.spend("em-select", PrivacyBudget::pure(em_epsilon)?);
+                selected.push(idx);
 
-            // Same in-round retry policy as the online mechanism
-            // (`PmwConfig::oracle_retries`, default 0).
-            let mut attempts = 0;
-            let theta_t = loop {
-                let result = self.oracle.solve(
+                // Same in-round retry policy as the online mechanism
+                // (`PmwConfig::oracle_retries`, default 0).
+                let mut attempts = 0;
+                probe.span_begin(Phase::OracleSolve);
+                let solved = loop {
+                    let result = self.oracle.solve(
+                        losses[idx],
+                        data_points,
+                        data_weights,
+                        n,
+                        derived.oracle_budget,
+                        rng,
+                    );
+                    if result.is_ok() || attempts >= self.config.oracle_retries {
+                        break result;
+                    }
+                    attempts += 1;
+                };
+                probe.span_end(Phase::OracleSolve);
+                if attempts > 0 {
+                    probe.counter(Counter::OracleRetries, attempts as u64);
+                }
+                let theta_t = solved?;
+                accountant.spend("erm-oracle", derived.oracle_budget);
+                if P::ENABLED {
+                    if let Ok(total) = accountant.basic_total() {
+                        probe.gauge(Gauge::EpsSpent, total.epsilon());
+                        probe.gauge(Gauge::DeltaSpent, total.delta());
+                    }
+                }
+                probe.span_begin(Phase::Update);
+                let applied = state.apply_update(
                     losses[idx],
+                    retained.as_ref().map(|handles| handles[idx].clone()),
                     data_points,
-                    data_weights,
-                    n,
-                    derived.oracle_budget,
+                    &theta_t,
+                    &hyp_minimizers[idx],
+                    derived.eta,
+                    None,
                     rng,
                 );
-                if result.is_ok() || attempts >= self.config.oracle_retries {
-                    break result;
-                }
-                attempts += 1;
-            }?;
-            accountant.spend("erm-oracle", derived.oracle_budget);
-            state.apply_update(
-                losses[idx],
-                retained.as_ref().map(|handles| handles[idx].clone()),
-                data_points,
-                &theta_t,
-                &hyp_minimizers[idx],
-                derived.eta,
-                None,
-                rng,
-            )?;
-            backend_events.extend(state.take_events());
+                probe.span_end(Phase::Update);
+                // Drain before propagating a failure: a transactional
+                // backend preserves the escalations that caused the
+                // failure across its rollback, and they must reach the
+                // run's event log even when the round errors out.
+                backend_events.extend(state.take_events());
+                applied?;
+                Ok(())
+            })();
+            if let Err(e) = round_result {
+                probe.round_end(t, "failed");
+                return Err(e);
+            }
+            probe.counter(Counter::UpdateRounds, 1);
+            probe.round_end(t, "update");
         }
 
         // Answer everything from the final hypothesis.

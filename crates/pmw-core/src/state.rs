@@ -101,6 +101,38 @@ pub enum BackendEvent {
         /// Pool size after growing.
         new_size: usize,
     },
+    /// The round's state change was rolled back after a post-round
+    /// failure (e.g. the escalation ladder exhausted itself and the
+    /// backend reported `Degraded`). Events preceding this one in the
+    /// same drain describe what was attempted *before* the rollback.
+    RoundRolledBack {
+        /// Recorded round (0-based) that was rolled back.
+        round: usize,
+    },
+}
+
+impl std::fmt::Display for BackendEvent {
+    /// One-line event summary, e.g.
+    /// `round 7: adaptive resample (ESS 12.3 < floor 25%)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendEvent::AdaptiveResample { round, ess, floor } => write!(
+                f,
+                "round {round}: adaptive resample (ESS {ess:.1} < floor {:.1}%)",
+                floor * 100.0
+            ),
+            BackendEvent::EmergencyResample { round, radius } => write!(
+                f,
+                "round {round}: emergency resample (claimed radius {radius:.4} unusable)"
+            ),
+            BackendEvent::PoolGrowth { round, new_size } => {
+                write!(f, "round {round}: pool grown to {new_size}")
+            }
+            BackendEvent::RoundRolledBack { round } => {
+                write!(f, "round {round}: rolled back after post-round failure")
+            }
+        }
+    }
 }
 
 /// A backend's answer to `⟨q, D̂_t⟩`: the value plus the accuracy claim

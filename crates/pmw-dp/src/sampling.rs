@@ -178,6 +178,25 @@ pub enum RadiusBound {
     Coverage,
 }
 
+impl RadiusBound {
+    /// Stable snake_case name, used by probes and trace notes.
+    pub fn name(self) -> &'static str {
+        match self {
+            RadiusBound::Exact => "exact",
+            RadiusBound::Hoeffding => "hoeffding",
+            RadiusBound::EffectiveSample => "effective_sample",
+            RadiusBound::Bernstein => "bernstein",
+            RadiusBound::Coverage => "coverage",
+        }
+    }
+}
+
+impl std::fmt::Display for RadiusBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One recorded sampling-based estimate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SamplingRecord {
@@ -192,6 +211,18 @@ pub struct SamplingRecord {
     pub beta: f64,
     /// The concentration bound that produced `radius`.
     pub bound: RadiusBound,
+}
+
+impl std::fmt::Display for SamplingRecord {
+    /// One-line ledger entry, e.g.
+    /// `certificate-mean: ±0.02 (bernstein, β=1e-4, 1000 samples)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: ±{:.6} ({}, β={:.3e}, {} samples)",
+            self.label, self.radius, self.bound, self.beta, self.samples
+        )
+    }
 }
 
 /// Ledger of sampling-noise spends — the accuracy-side sibling of the
@@ -386,6 +417,32 @@ mod tests {
         assert_eq!(acc.bound_wins(RadiusBound::Coverage), 1);
         assert_eq!(acc.bound_wins(RadiusBound::Bernstein), 1);
         assert_eq!(acc.bound_wins(RadiusBound::Hoeffding), 0);
+    }
+
+    #[test]
+    fn record_and_bound_render_one_line_summaries() {
+        for &(bound, name) in &[
+            (RadiusBound::Exact, "exact"),
+            (RadiusBound::Hoeffding, "hoeffding"),
+            (RadiusBound::EffectiveSample, "effective_sample"),
+            (RadiusBound::Bernstein, "bernstein"),
+            (RadiusBound::Coverage, "coverage"),
+        ] {
+            assert_eq!(bound.to_string(), name);
+            assert_eq!(bound.name(), name);
+        }
+        let rec = SamplingRecord {
+            label: "certificate-mean",
+            samples: 1000,
+            radius: 0.02,
+            beta: 1e-4,
+            bound: RadiusBound::Bernstein,
+        };
+        let line = rec.to_string();
+        assert!(line.contains("certificate-mean"), "{line}");
+        assert!(line.contains("bernstein"), "{line}");
+        assert!(line.contains("1000 samples"), "{line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

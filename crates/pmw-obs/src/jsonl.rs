@@ -1,0 +1,266 @@
+//! [`JsonlTraceProbe`]: stream every observation as one line of
+//! newline-delimited JSON (schema in [`crate::trace`]).
+
+use crate::probe::{Counter, Gauge, Phase, Probe};
+use crate::summary::SpanStack;
+use crate::trace::TraceEvent;
+use std::cell::RefCell;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+struct JsonlState {
+    out: Box<dyn Write>,
+    stack: SpanStack,
+    round: u64,
+    round_start: Option<Instant>,
+    events: u64,
+    io_errors: u64,
+    ended: bool,
+}
+
+impl JsonlState {
+    /// Write one line, best-effort: probes must never fail the mechanism,
+    /// so I/O errors are counted, not raised.
+    fn emit(&mut self, ev: &TraceEvent) {
+        let mut line = ev.to_json_line();
+        line.push('\n');
+        if self.out.write_all(line.as_bytes()).is_err() {
+            self.io_errors += 1;
+        }
+        self.events += 1;
+    }
+}
+
+/// A probe that streams the run trace as JSONL to any writer. Buffer the
+/// writer yourself for file targets ([`JsonlTraceProbe::create`] does).
+///
+/// The trace is closed by the first [`Probe::run_end`] (or by drop),
+/// which appends the `run_end` line and flushes. Write failures never
+/// surface to the instrumented code; [`JsonlTraceProbe::io_errors`]
+/// reports how many lines were lost.
+pub struct JsonlTraceProbe {
+    state: RefCell<JsonlState>,
+}
+
+impl JsonlTraceProbe {
+    /// Stream to an arbitrary writer.
+    pub fn new(out: Box<dyn Write>) -> JsonlTraceProbe {
+        JsonlTraceProbe {
+            state: RefCell::new(JsonlState {
+                out,
+                stack: SpanStack::default(),
+                round: 0,
+                round_start: None,
+                events: 0,
+                io_errors: 0,
+                ended: false,
+            }),
+        }
+    }
+
+    /// Stream to a freshly created (buffered) file.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<JsonlTraceProbe> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlTraceProbe::new(Box::new(std::io::BufWriter::new(
+            file,
+        ))))
+    }
+
+    /// Lines lost to write errors so far.
+    pub fn io_errors(&self) -> u64 {
+        self.state.borrow().io_errors
+    }
+
+    /// Events written so far (including the `run_end` line once emitted).
+    pub fn events_written(&self) -> u64 {
+        self.state.borrow().events
+    }
+
+    /// Close the trace now (idempotent) and report how many lines were
+    /// lost to I/O errors, consuming the probe.
+    pub fn finish(self) -> u64 {
+        self.run_end();
+        self.state.borrow().io_errors
+    }
+}
+
+impl Drop for JsonlTraceProbe {
+    fn drop(&mut self) {
+        // Close the trace even when the driver forgot `run_end`.
+        self.run_end();
+    }
+}
+
+impl Probe for JsonlTraceProbe {
+    fn run_start(&self, mechanism: &'static str, detail: &str) {
+        self.state.borrow_mut().emit(&TraceEvent::RunStart {
+            mechanism: mechanism.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    fn round_begin(&self, round: usize) {
+        let mut st = self.state.borrow_mut();
+        st.round = round as u64;
+        st.round_start = Some(Instant::now());
+        st.emit(&TraceEvent::RoundBegin {
+            round: round as u64,
+        });
+    }
+
+    fn round_end(&self, round: usize, outcome: &'static str) {
+        let mut st = self.state.borrow_mut();
+        let ns = st
+            .round_start
+            .take()
+            .map(|t| t.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        st.stack.clear();
+        st.emit(&TraceEvent::RoundEnd {
+            round: round as u64,
+            outcome: outcome.to_string(),
+            ns,
+        });
+    }
+
+    fn span_begin(&self, phase: Phase) {
+        self.state.borrow_mut().stack.begin(phase);
+    }
+
+    fn span_end(&self, phase: Phase) {
+        let mut st = self.state.borrow_mut();
+        if let Some(ns) = st.stack.end(phase) {
+            let round = st.round;
+            st.emit(&TraceEvent::Span { phase, round, ns });
+        }
+    }
+
+    fn gauge(&self, gauge: Gauge, value: f64) {
+        let mut st = self.state.borrow_mut();
+        let round = st.round;
+        st.emit(&TraceEvent::Gauge {
+            gauge,
+            round,
+            value,
+        });
+    }
+
+    fn counter(&self, counter: Counter, delta: u64) {
+        let mut st = self.state.borrow_mut();
+        let round = st.round;
+        st.emit(&TraceEvent::Counter {
+            counter,
+            round,
+            delta,
+        });
+    }
+
+    fn note(&self, key: &'static str, value: &str) {
+        let mut st = self.state.borrow_mut();
+        let round = st.round;
+        st.emit(&TraceEvent::Note {
+            key: key.to_string(),
+            value: value.to_string(),
+            round,
+        });
+    }
+
+    fn run_end(&self) {
+        let mut st = self.state.borrow_mut();
+        if st.ended {
+            return;
+        }
+        st.ended = true;
+        let events = st.events;
+        st.emit(&TraceEvent::RunEnd { events });
+        if st.out.flush().is_err() {
+            st.io_errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use std::rc::Rc;
+
+    /// A writer handle the test can keep while the probe owns a clone.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streams_a_parsable_trace() {
+        let buf = SharedBuf::default();
+        let probe = JsonlTraceProbe::new(Box::new(buf.clone()));
+        probe.run_start("online_pmw", "jsonl test");
+        probe.round_begin(0);
+        probe.span_begin(Phase::Update);
+        probe.span_end(Phase::Update);
+        probe.gauge(Gauge::EpsSpent, 0.5);
+        probe.counter(Counter::UpdateRounds, 1);
+        probe.note("bound", "hoeffding");
+        probe.round_end(0, "update");
+        assert_eq!(probe.finish(), 0);
+
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let events = TraceEvent::parse_trace(&text).unwrap();
+        assert!(matches!(events.first(), Some(TraceEvent::RunStart { .. })));
+        match events.last() {
+            Some(TraceEvent::RunEnd { events: n }) => {
+                assert_eq!(*n as usize, events.len() - 1)
+            }
+            other => panic!("{other:?}"),
+        }
+        let summary = Summary::from_events(&events);
+        assert_eq!(summary.rounds, 1);
+        assert_eq!(summary.mechanism, "online_pmw");
+        assert_eq!(summary.counters, vec![(Counter::UpdateRounds, 1)]);
+    }
+
+    #[test]
+    fn drop_closes_the_trace_once() {
+        let buf = SharedBuf::default();
+        {
+            let probe = JsonlTraceProbe::new(Box::new(buf.clone()));
+            probe.round_begin(0);
+            probe.round_end(0, "free");
+            probe.run_end();
+            probe.run_end(); // idempotent
+                             // drop fires here and must not add a second run_end
+        }
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let runs = text.matches("\"run_end\"").count();
+        assert_eq!(runs, 1, "{text}");
+    }
+
+    #[test]
+    fn io_errors_are_counted_not_raised() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("nope"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("nope"))
+            }
+        }
+        let probe = JsonlTraceProbe::new(Box::new(Broken));
+        probe.round_begin(0);
+        probe.round_end(0, "free");
+        assert_eq!(probe.events_written(), 2);
+        // 2 lines + run_end line + failed flush.
+        assert_eq!(probe.finish(), 4);
+    }
+}

@@ -1,0 +1,606 @@
+//! The versioned JSONL trace schema: [`TraceEvent`] plus its serializer
+//! and parser.
+//!
+//! Every line of a trace is one flat JSON object carrying the schema
+//! version (`"v"`) and an event kind (`"kind"`). Schema **v1**:
+//!
+//! | kind          | fields                                              |
+//! |---------------|-----------------------------------------------------|
+//! | `run_start`   | `mechanism` (str), `detail` (str)                   |
+//! | `round_begin` | `round` (u64)                                       |
+//! | `round_end`   | `round` (u64), `outcome` (str), `ns` (u64)          |
+//! | `span`        | `phase` (str), `round` (u64), `ns` (u64)            |
+//! | `gauge`       | `gauge` (str), `round` (u64), `value` (f64)         |
+//! | `counter`     | `counter` (str), `round` (u64), `delta` (u64)       |
+//! | `note`        | `key` (str), `value` (str), `round` (u64)           |
+//! | `run_end`     | `events` (u64)                                      |
+//!
+//! `phase`/`gauge`/`counter` names are the snake_case vocabularies of
+//! [`Phase::as_str`], [`Gauge::as_str`], [`Counter::as_str`]. Span/round
+//! durations are monotonic-clock nanoseconds. Non-finite gauge values are
+//! encoded as the quoted strings `"inf"`, `"-inf"`, `"nan"` (JSON has no
+//! literals for them); finite values use Rust's shortest round-trip
+//! float formatting, so serialize → parse is bit-exact.
+//!
+//! The workspace vendors no JSON library, so both directions are
+//! hand-rolled here against exactly this flat shape — parsers reject
+//! unknown kinds, unknown vocabulary names, and malformed lines with a
+//! positioned [`TraceParseError`].
+
+use crate::probe::{Counter, Gauge, Phase};
+
+/// Current trace schema version, written into every line.
+pub const TRACE_VERSION: u64 = 1;
+
+/// One observation in a run trace. The in-memory form of a JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A mechanism run began.
+    RunStart {
+        /// Mechanism name (`"online_pmw"`, `"mwem"`, …).
+        mechanism: String,
+        /// Free-form run description (sizes, config).
+        detail: String,
+    },
+    /// Round `round` (0-based) began.
+    RoundBegin {
+        /// The round index.
+        round: u64,
+    },
+    /// Round `round` ended after `ns` nanoseconds.
+    RoundEnd {
+        /// The round index.
+        round: u64,
+        /// Mechanism-defined outcome label (`"free"`, `"update"`, …).
+        outcome: String,
+        /// Wall-clock round duration (monotonic), nanoseconds.
+        ns: u64,
+    },
+    /// A timed phase inside round `round` took `ns` nanoseconds.
+    Span {
+        /// Which phase.
+        phase: Phase,
+        /// Round the span belongs to.
+        round: u64,
+        /// Span duration (monotonic), nanoseconds.
+        ns: u64,
+    },
+    /// A gauge reading.
+    Gauge {
+        /// Which gauge.
+        gauge: Gauge,
+        /// Round the reading belongs to.
+        round: u64,
+        /// The reading.
+        value: f64,
+    },
+    /// A counter bump.
+    Counter {
+        /// Which counter.
+        counter: Counter,
+        /// Round the bump belongs to.
+        round: u64,
+        /// Increment.
+        delta: u64,
+    },
+    /// A free-form annotation.
+    Note {
+        /// Annotation key.
+        key: String,
+        /// Annotation value.
+        value: String,
+        /// Round the note belongs to.
+        round: u64,
+    },
+    /// The run ended; `events` counts every preceding line of the trace.
+    RunEnd {
+        /// Number of events emitted before this one.
+        events: u64,
+    },
+}
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The line is not the flat JSON object the schema prescribes.
+    Malformed(&'static str),
+    /// The `"v"` field is missing or not [`TRACE_VERSION`].
+    Version(u64),
+    /// The `"kind"` field names no known event kind.
+    UnknownKind(String),
+    /// A known kind is missing a required field.
+    MissingField(&'static str),
+    /// A `phase`/`gauge`/`counter` name is outside the vocabulary.
+    UnknownName(String),
+    /// A numeric field failed to parse.
+    BadNumber(&'static str),
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::Malformed(what) => write!(f, "malformed trace line: {what}"),
+            TraceParseError::Version(v) => {
+                write!(
+                    f,
+                    "unsupported trace version {v} (expected {TRACE_VERSION})"
+                )
+            }
+            TraceParseError::UnknownKind(k) => write!(f, "unknown trace event kind {k:?}"),
+            TraceParseError::MissingField(name) => write!(f, "missing trace field {name:?}"),
+            TraceParseError::UnknownName(n) => write!(f, "unknown vocabulary name {n:?}"),
+            TraceParseError::BadNumber(name) => write!(f, "non-numeric trace field {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Escape a string into a JSON string literal (quotes included).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format an f64 as a JSON value: shortest round-trip representation for
+/// finite values, quoted `"inf"`/`"-inf"`/`"nan"` otherwise.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else if v.is_nan() {
+        out.push_str("\"nan\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+impl TraceEvent {
+    /// Serialize to one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"v\":");
+        s.push_str(&TRACE_VERSION.to_string());
+        s.push_str(",\"kind\":");
+        match self {
+            TraceEvent::RunStart { mechanism, detail } => {
+                s.push_str("\"run_start\",\"mechanism\":");
+                push_json_str(&mut s, mechanism);
+                s.push_str(",\"detail\":");
+                push_json_str(&mut s, detail);
+            }
+            TraceEvent::RoundBegin { round } => {
+                s.push_str(&format!("\"round_begin\",\"round\":{round}"));
+            }
+            TraceEvent::RoundEnd { round, outcome, ns } => {
+                s.push_str("\"round_end\",\"round\":");
+                s.push_str(&round.to_string());
+                s.push_str(",\"outcome\":");
+                push_json_str(&mut s, outcome);
+                s.push_str(&format!(",\"ns\":{ns}"));
+            }
+            TraceEvent::Span { phase, round, ns } => {
+                s.push_str(&format!(
+                    "\"span\",\"phase\":\"{}\",\"round\":{round},\"ns\":{ns}",
+                    phase.as_str()
+                ));
+            }
+            TraceEvent::Gauge {
+                gauge,
+                round,
+                value,
+            } => {
+                s.push_str(&format!(
+                    "\"gauge\",\"gauge\":\"{}\",\"round\":{round},\"value\":",
+                    gauge.as_str()
+                ));
+                push_json_f64(&mut s, *value);
+            }
+            TraceEvent::Counter {
+                counter,
+                round,
+                delta,
+            } => {
+                s.push_str(&format!(
+                    "\"counter\",\"counter\":\"{}\",\"round\":{round},\"delta\":{delta}",
+                    counter.as_str()
+                ));
+            }
+            TraceEvent::Note { key, value, round } => {
+                s.push_str("\"note\",\"key\":");
+                push_json_str(&mut s, key);
+                s.push_str(",\"value\":");
+                push_json_str(&mut s, value);
+                s.push_str(&format!(",\"round\":{round}"));
+            }
+            TraceEvent::RunEnd { events } => {
+                s.push_str(&format!("\"run_end\",\"events\":{events}"));
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line back into an event. Strict: unknown kinds,
+    /// out-of-vocabulary names, wrong version, and malformed JSON are
+    /// errors, not skips.
+    pub fn parse_line(line: &str) -> Result<TraceEvent, TraceParseError> {
+        let fields = parse_flat_object(line)?;
+        let get = |name: &'static str| -> Result<&JsonValue, TraceParseError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or(TraceParseError::MissingField(name))
+        };
+        let get_u64 = |name: &'static str| -> Result<u64, TraceParseError> {
+            match get(name)? {
+                JsonValue::Number(raw) => raw
+                    .parse::<u64>()
+                    .map_err(|_| TraceParseError::BadNumber(name)),
+                JsonValue::String(_) => Err(TraceParseError::BadNumber(name)),
+            }
+        };
+        let get_str = |name: &'static str| -> Result<String, TraceParseError> {
+            match get(name)? {
+                JsonValue::String(s) => Ok(s.clone()),
+                JsonValue::Number(_) => Err(TraceParseError::Malformed("expected a string field")),
+            }
+        };
+        let get_f64 = |name: &'static str| -> Result<f64, TraceParseError> {
+            match get(name)? {
+                JsonValue::Number(raw) => raw
+                    .parse::<f64>()
+                    .map_err(|_| TraceParseError::BadNumber(name)),
+                JsonValue::String(s) => match s.as_str() {
+                    "inf" => Ok(f64::INFINITY),
+                    "-inf" => Ok(f64::NEG_INFINITY),
+                    "nan" => Ok(f64::NAN),
+                    _ => Err(TraceParseError::BadNumber(name)),
+                },
+            }
+        };
+
+        let version = get_u64("v")?;
+        if version != TRACE_VERSION {
+            return Err(TraceParseError::Version(version));
+        }
+        let kind = get_str("kind")?;
+        match kind.as_str() {
+            "run_start" => Ok(TraceEvent::RunStart {
+                mechanism: get_str("mechanism")?,
+                detail: get_str("detail")?,
+            }),
+            "round_begin" => Ok(TraceEvent::RoundBegin {
+                round: get_u64("round")?,
+            }),
+            "round_end" => Ok(TraceEvent::RoundEnd {
+                round: get_u64("round")?,
+                outcome: get_str("outcome")?,
+                ns: get_u64("ns")?,
+            }),
+            "span" => {
+                let name = get_str("phase")?;
+                let phase = Phase::from_name(&name).ok_or(TraceParseError::UnknownName(name))?;
+                Ok(TraceEvent::Span {
+                    phase,
+                    round: get_u64("round")?,
+                    ns: get_u64("ns")?,
+                })
+            }
+            "gauge" => {
+                let name = get_str("gauge")?;
+                let gauge = Gauge::from_name(&name).ok_or(TraceParseError::UnknownName(name))?;
+                Ok(TraceEvent::Gauge {
+                    gauge,
+                    round: get_u64("round")?,
+                    value: get_f64("value")?,
+                })
+            }
+            "counter" => {
+                let name = get_str("counter")?;
+                let counter =
+                    Counter::from_name(&name).ok_or(TraceParseError::UnknownName(name))?;
+                Ok(TraceEvent::Counter {
+                    counter,
+                    round: get_u64("round")?,
+                    delta: get_u64("delta")?,
+                })
+            }
+            "note" => Ok(TraceEvent::Note {
+                key: get_str("key")?,
+                value: get_str("value")?,
+                round: get_u64("round")?,
+            }),
+            "run_end" => Ok(TraceEvent::RunEnd {
+                events: get_u64("events")?,
+            }),
+            _ => Err(TraceParseError::UnknownKind(kind)),
+        }
+    }
+
+    /// Parse a whole trace (one event per non-empty line).
+    pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceParseError> {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(TraceEvent::parse_line)
+            .collect()
+    }
+}
+
+/// A parsed flat-JSON scalar.
+enum JsonValue {
+    /// A JSON string, unescaped.
+    String(String),
+    /// A JSON number, kept as its raw token (parsed on demand).
+    Number(String),
+}
+
+/// Parse a single flat JSON object `{"k":v,...}` with string/number
+/// values — exactly the shape the trace schema emits. No nesting, no
+/// arrays, no literals.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, TraceParseError> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::with_capacity(6);
+    if chars.next() != Some('{') {
+        return Err(TraceParseError::Malformed("expected '{'"));
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            _ => return Err(TraceParseError::Malformed("expected a key string")),
+        }
+        let key = parse_json_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(TraceParseError::Malformed("expected ':'"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::String(parse_json_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let mut raw = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                        raw.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonValue::Number(raw)
+            }
+            _ => {
+                return Err(TraceParseError::Malformed(
+                    "expected a string or number value",
+                ))
+            }
+        };
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            _ => return Err(TraceParseError::Malformed("expected ',' or '}'")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err(TraceParseError::Malformed("trailing content after '}'"));
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(' ' | '\t')) {
+        chars.next();
+    }
+}
+
+/// Parse a JSON string literal (leading quote still in the stream),
+/// unescaping as it goes.
+fn parse_json_string(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<String, TraceParseError> {
+    if chars.next() != Some('"') {
+        return Err(TraceParseError::Malformed("expected '\"'"));
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err(TraceParseError::Malformed("unterminated string")),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|c| c.to_digit(16))
+                            .ok_or(TraceParseError::Malformed("bad \\u escape"))?;
+                        code = code * 16 + d;
+                    }
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or(TraceParseError::Malformed("bad \\u code point"))?,
+                    );
+                }
+                _ => return Err(TraceParseError::Malformed("unknown escape")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunStart {
+                mechanism: "online_pmw".into(),
+                detail: "log2_universe=16 \"quoted\"\nnewline\tand\\slash".into(),
+            },
+            TraceEvent::RoundBegin { round: 0 },
+            TraceEvent::Span {
+                phase: Phase::HypothesisSolve,
+                round: 0,
+                ns: 12_345,
+            },
+            TraceEvent::Gauge {
+                gauge: Gauge::EpsSpent,
+                round: 0,
+                value: 0.125,
+            },
+            TraceEvent::Gauge {
+                gauge: Gauge::ClaimedRadius,
+                round: 0,
+                value: 1e-300,
+            },
+            TraceEvent::Gauge {
+                gauge: Gauge::DriftBound,
+                round: 0,
+                value: f64::INFINITY,
+            },
+            TraceEvent::Counter {
+                counter: Counter::OracleRetries,
+                round: 0,
+                delta: 2,
+            },
+            TraceEvent::Note {
+                key: "bound".into(),
+                value: "bernstein".into(),
+                round: 0,
+            },
+            TraceEvent::RoundEnd {
+                round: 0,
+                outcome: "update".into(),
+                ns: 99_000,
+            },
+            TraceEvent::RunEnd { events: 8 },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips_exactly() {
+        for ev in sample_events() {
+            let line = ev.to_json_line();
+            let back = TraceEvent::parse_line(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert_eq!(back, ev, "{line}");
+            // And serialization is idempotent through a parse.
+            assert_eq!(back.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn nan_gauges_round_trip_at_the_line_level() {
+        let ev = TraceEvent::Gauge {
+            gauge: Gauge::SvMargin,
+            round: 3,
+            value: f64::NAN,
+        };
+        let line = ev.to_json_line();
+        assert!(line.contains("\"nan\""));
+        let back = TraceEvent::parse_line(&line).unwrap();
+        match back {
+            TraceEvent::Gauge { value, .. } => assert!(value.is_nan()),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    #[test]
+    fn finite_values_round_trip_bit_for_bit() {
+        for &v in &[
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            1e308,
+            5e-324,
+            -2.5e-10,
+            123456789.123456,
+        ] {
+            let ev = TraceEvent::Gauge {
+                gauge: Gauge::Ess,
+                round: 0,
+                value: v,
+            };
+            match TraceEvent::parse_line(&ev.to_json_line()).unwrap() {
+                TraceEvent::Gauge { value, .. } => {
+                    assert_eq!(value.to_bits(), v.to_bits(), "{v}")
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_trace_reads_lines_and_skips_blanks() {
+        let events = sample_events();
+        let text: String = events
+            .iter()
+            .map(|e| e.to_json_line() + "\n")
+            .collect::<String>()
+            + "\n  \n";
+        let back = TraceEvent::parse_trace(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn strict_parsing_rejects_bad_lines() {
+        use TraceParseError as E;
+        let cases: &[(&str, E)] = &[
+            ("", E::Malformed("expected '{'")),
+            ("{\"v\":1}", E::MissingField("kind")),
+            ("{\"kind\":\"span\"}", E::MissingField("v")),
+            ("{\"v\":2,\"kind\":\"run_end\",\"events\":0}", E::Version(2)),
+            ("{\"v\":1,\"kind\":\"warp\"}", E::UnknownKind("warp".into())),
+            (
+                "{\"v\":1,\"kind\":\"span\",\"phase\":\"sideways\",\"round\":0,\"ns\":1}",
+                E::UnknownName("sideways".into()),
+            ),
+            (
+                "{\"v\":1,\"kind\":\"round_begin\",\"round\":-3}",
+                E::BadNumber("round"),
+            ),
+            (
+                "{\"v\":1,\"kind\":\"run_end\",\"events\":1} trailing",
+                E::Malformed("trailing content after '}'"),
+            ),
+        ];
+        for (line, want) in cases {
+            assert_eq!(&TraceEvent::parse_line(line).unwrap_err(), want, "{line}");
+        }
+        // Errors display as readable one-liners.
+        assert!(E::Version(2).to_string().contains("expected 1"));
+    }
+}

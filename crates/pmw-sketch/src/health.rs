@@ -107,6 +107,28 @@ impl PoolHealth {
     }
 }
 
+impl std::fmt::Display for PoolHealth {
+    /// One-line health summary, e.g.
+    /// `pool 4096: ESS 1024.0 (25.0%), max share 0.3%, drift 1.25, 3 rounds since refresh`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool {}: ESS {:.1} ({:.1}%), max share {:.1}%, drift {:.4}, {} rounds since refresh{}",
+            self.pool_size,
+            self.ess,
+            self.ess_fraction * 100.0,
+            self.max_weight_share * 100.0,
+            self.drift_bound,
+            self.rounds_since_refresh,
+            if self.is_collapsed() {
+                " [COLLAPSED]"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +153,20 @@ mod tests {
         assert!(h.is_collapsed());
         assert_eq!(h.rounds_since_refresh, 3);
         assert_eq!(h.drift_bound, 5.0);
+    }
+
+    #[test]
+    fn health_renders_a_one_line_summary() {
+        let h = PoolHealth::from_log_weights(&[0.0; 64], 1.25, 3);
+        let line = h.to_string();
+        assert!(line.contains("pool 64"), "{line}");
+        assert!(line.contains("3 rounds since refresh"), "{line}");
+        assert!(!line.contains("COLLAPSED"), "{line}");
+        assert!(!line.contains('\n'));
+        let mut lw = vec![-200.0; 8];
+        lw[0] = 0.0;
+        let sick = PoolHealth::from_log_weights(&lw, 0.0, 0).to_string();
+        assert!(sick.contains("COLLAPSED"), "{sick}");
     }
 
     #[test]

@@ -13,13 +13,21 @@ use crate::error::SketchError;
 use crate::log::{RoundUpdate, UpdateLog};
 use crate::source::PointSource;
 use pmw_data::LogWeightFn;
+use pmw_obs::{NoopProbe, Phase, Probe};
 use std::cell::RefCell;
 
 /// Exact lazy state over a [`PointSource`]: uniform prior plus the update
 /// log, evaluated per point on demand.
+///
+/// The second type parameter is an observation [`Probe`] (default:
+/// [`NoopProbe`], which compiles every hook away). A live probe sees the
+/// backend's one heavy operation — the exact
+/// [`LazyLogBackend::expected_query_value`] replay sweep — as a
+/// [`Phase::LogReplay`] span.
 #[derive(Debug)]
-pub struct LazyLogBackend<S: PointSource> {
+pub struct LazyLogBackend<S: PointSource, P: Probe = NoopProbe> {
     source: S,
+    probe: P,
     log: UpdateLog,
     /// Reusable (point, gradient) buffers so a lookup allocates nothing;
     /// `RefCell` because lookups are logically `&self` (they mutate no
@@ -30,12 +38,21 @@ pub struct LazyLogBackend<S: PointSource> {
 impl<S: PointSource> LazyLogBackend<S> {
     /// Fresh (uniform) state over `source`.
     pub fn new(source: S) -> Result<Self, SketchError> {
+        Self::with_probe(source, NoopProbe)
+    }
+}
+
+impl<S: PointSource, P: Probe> LazyLogBackend<S, P> {
+    /// [`LazyLogBackend::new`] with an observation probe. The probe only
+    /// listens; every computation is identical.
+    pub fn with_probe(source: S, probe: P) -> Result<Self, SketchError> {
         if source.is_empty() {
             return Err(SketchError::EmptyUniverse);
         }
         let dim = source.dim();
         Ok(Self {
             source,
+            probe,
             log: UpdateLog::new(),
             bufs: RefCell::new((vec![0.0; dim], Vec::new())),
         })
@@ -78,6 +95,19 @@ impl<S: PointSource> LazyLogBackend<S> {
         query: &dyn pmw_data::PointQuery,
     ) -> Result<f64, SketchError> {
         crate::log::validate_query_shape(query, self.source.len(), self.source.dim())?;
+        self.probe.span_begin(Phase::LogReplay);
+        let swept = self.expected_query_value_sweep(query);
+        self.probe.span_end(Phase::LogReplay);
+        swept
+    }
+
+    /// The two-pass replay sweep behind
+    /// [`Self::expected_query_value`], separated so the replay span stays
+    /// balanced across its error returns.
+    fn expected_query_value_sweep(
+        &self,
+        query: &dyn pmw_data::PointQuery,
+    ) -> Result<f64, SketchError> {
         let n = self.source.len();
         let mut bufs = self.bufs.borrow_mut();
         let (point, grad) = &mut *bufs;
@@ -154,7 +184,7 @@ impl<S: PointSource> LazyLogBackend<S> {
 /// [`LazyLogBackend::log_weight_of`] for the fallible form; every loss
 /// shipped in `pmw-losses` has bounded gradients on its domain and cannot
 /// trigger this.
-impl<S: PointSource> LogWeightFn for LazyLogBackend<S> {
+impl<S: PointSource, P: Probe> LogWeightFn for LazyLogBackend<S, P> {
     fn universe_size(&self) -> usize {
         self.source.len()
     }

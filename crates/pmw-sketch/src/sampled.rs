@@ -59,6 +59,7 @@ use pmw_dp::{
 };
 use pmw_losses::traits::minimize_weighted;
 use pmw_losses::CmLoss;
+use pmw_obs::{Counter, Gauge, NoopProbe, Phase, Probe};
 use rand::{Rng, RngExt};
 use std::cell::{Ref, RefCell};
 
@@ -163,9 +164,20 @@ pub struct MaxEstimate {
 }
 
 /// Monte-Carlo sketched MW state over a [`PointSource`].
+///
+/// The second type parameter is an observation [`Probe`] (default:
+/// [`NoopProbe`], which compiles every hook away). A live probe sees the
+/// backend's two cost regimes as separate timed spans —
+/// [`Phase::PoolSweep`] for the `O(m·d)` per-round pool update,
+/// [`Phase::LogReplay`] for the `O(m·t·d)` refresh replay — plus
+/// [`Phase::Estimate`] spans, claimed-radius gauges, and health
+/// gauges/counters after every recorded round. Construct with
+/// [`SampledBackend::with_probe`] (typically handing `&probe` so the same
+/// probe also observes the driving mechanism).
 #[derive(Debug)]
-pub struct SampledBackend<S: PointSource> {
+pub struct SampledBackend<S: PointSource, P: Probe = NoopProbe> {
     source: S,
+    probe: P,
     config: SampledConfig,
     log: UpdateLog,
     pool_indices: Vec<usize>,
@@ -223,6 +235,19 @@ impl<S: PointSource> SampledBackend<S> {
     /// Draw the pool and cache its points. Consumes `min(budget, |X|)`
     /// uniform index draws from `rng` (none when exhaustive).
     pub fn new(source: S, config: SampledConfig, rng: &mut dyn Rng) -> Result<Self, SketchError> {
+        Self::with_probe(source, config, NoopProbe, rng)
+    }
+}
+
+impl<S: PointSource, P: Probe> SampledBackend<S, P> {
+    /// [`SampledBackend::new`] with an observation probe. Identical pool
+    /// draw and rng stream; the probe only listens.
+    pub fn with_probe(
+        source: S,
+        config: SampledConfig,
+        probe: P,
+        rng: &mut dyn Rng,
+    ) -> Result<Self, SketchError> {
         if source.is_empty() {
             return Err(SketchError::EmptyUniverse);
         }
@@ -260,6 +285,7 @@ impl<S: PointSource> SampledBackend<S> {
         let m = pool_indices.len();
         Ok(Self {
             source,
+            probe,
             config,
             log: UpdateLog::new(),
             pool_indices,
@@ -383,15 +409,23 @@ impl<S: PointSource> SampledBackend<S> {
         }
         // Two passes (evaluate, then apply) so a failed evaluation leaves
         // the pool untouched.
+        self.probe.span_begin(Phase::PoolSweep);
         let mut grad = Vec::new();
         let mut payoffs = Vec::with_capacity(self.pool_log_w.len());
         for point in self.pool_points.iter() {
-            payoffs.push(update.payoff(point, &mut grad)?);
+            match update.payoff(point, &mut grad) {
+                Ok(u) => payoffs.push(u),
+                Err(e) => {
+                    self.probe.span_end(Phase::PoolSweep);
+                    return Err(e);
+                }
+            }
         }
         let eta = update.eta();
         for (lw, u) in self.pool_log_w.iter_mut().zip(&payoffs) {
             *lw -= eta * u;
         }
+        self.probe.span_end(Phase::PoolSweep);
         self.log.push(update);
         // Health sampling: pure arithmetic over the cached log-weights —
         // no RNG, no ledger entry, so default-config runs stay bit-for-bit.
@@ -440,13 +474,17 @@ impl<S: PointSource> SampledBackend<S> {
         let indices: Vec<usize> = (0..m).map(|_| rng.random_range(0..n)).collect();
         let mut flat = vec![0.0; m * dim];
         let mut log_w = Vec::with_capacity(m);
-        {
+        self.probe.span_begin(Phase::LogReplay);
+        let replayed = (|| {
             let mut grad = Vec::new();
             for (row, &idx) in flat.chunks_exact_mut(dim).zip(&indices) {
                 self.source.write_point(idx, row);
                 log_w.push(self.log.log_weight_at(row, &mut grad)?);
             }
-        }
+            Ok::<(), SketchError>(())
+        })();
+        self.probe.span_end(Phase::LogReplay);
+        replayed?;
         // All fresh state computed; swap atomically so a failed
         // re-evaluation above leaves the old pool untouched.
         self.pool_points = PointMatrix::from_flat(flat, dim)
@@ -454,6 +492,7 @@ impl<S: PointSource> SampledBackend<S> {
         self.pool_indices = indices;
         self.pool_log_w = log_w;
         self.resamples += 1;
+        self.probe.counter(Counter::Resamples, 1);
         self.rounds_since_refresh = 0;
         self.drift_at_refresh = self.log.drift_bound();
         Ok(())
@@ -466,12 +505,26 @@ impl<S: PointSource> SampledBackend<S> {
     /// swapped in.
     fn grow_pool(&mut self, cap: usize, rng: &mut dyn Rng) -> Result<(), SketchError> {
         let n = self.source.len();
-        let dim = self.source.dim();
         let m = self.pool_size();
         let target = m.saturating_mul(2).min(cap).min(n);
         if target <= m {
             return Ok(());
         }
+        self.probe.span_begin(Phase::LogReplay);
+        let grown = self.grow_pool_to(target, rng);
+        self.probe.span_end(Phase::LogReplay);
+        grown?;
+        self.pool_growths += 1;
+        self.probe.counter(Counter::PoolGrowths, 1);
+        Ok(())
+    }
+
+    /// The replay-heavy body of [`Self::grow_pool`], separated so the
+    /// growth span stays balanced across its error returns.
+    fn grow_pool_to(&mut self, target: usize, rng: &mut dyn Rng) -> Result<(), SketchError> {
+        let n = self.source.len();
+        let dim = self.source.dim();
+        let m = self.pool_size();
         let mut grad = Vec::new();
         if target >= n {
             // The doubled pool would cover the universe: enumerate it once
@@ -508,7 +561,6 @@ impl<S: PointSource> SampledBackend<S> {
             self.pool_indices = indices;
             self.pool_log_w = log_w;
         }
-        self.pool_growths += 1;
         Ok(())
     }
 
@@ -587,10 +639,23 @@ impl<S: PointSource> SampledBackend<S> {
     ) -> Result<(), SketchError> {
         self.ensure_usable()?;
         let snap = self.snapshot();
+        let events_before = snap.events_len;
         match self.run_round(update, rng) {
             Ok(()) => Ok(()),
             Err(e) => {
+                // The failed round's events (the escalations that *caused*
+                // the failure) must survive the rollback: carry them across
+                // the restore (which truncates to the snapshot) and close
+                // them with an explicit rollback marker, so the transcript
+                // records why the round failed, not just that it did.
+                let attempted: Vec<BackendEvent> =
+                    self.pending_events.drain(events_before..).collect();
+                let failed_round = snap.log_len + 1;
                 self.restore(snap);
+                self.pending_events.extend(attempted);
+                self.pending_events.push(BackendEvent::RoundRolledBack {
+                    round: failed_round,
+                });
                 Err(e)
             }
         }
@@ -613,11 +678,23 @@ impl<S: PointSource> SampledBackend<S> {
     /// bit-for-bit identical.
     fn post_round(&mut self, scale: f64, rng: &mut dyn Rng) -> Result<(), SketchError> {
         let round = self.log.len();
+        // Health gauges for a live probe only: `health()` is an extra
+        // `O(m)` pass, so the noop build must not pay for it.
+        if P::ENABLED && !self.exhaustive {
+            let health = self.health();
+            self.probe.gauge(Gauge::Ess, health.ess);
+            self.probe.gauge(Gauge::EssFraction, health.ess_fraction);
+            self.probe
+                .gauge(Gauge::MaxWeightShare, health.max_weight_share);
+            self.probe.gauge(Gauge::DriftBound, health.drift_bound);
+            self.probe.gauge(Gauge::PoolSize, self.pool_size() as f64);
+        }
         if self.config.ess_floor > 0.0 && !self.exhaustive {
             let health = self.health();
             if health.ess_fraction < self.config.ess_floor {
                 self.resample(rng)?;
                 self.adaptive_resamples += 1;
+                self.probe.counter(Counter::AdaptiveResamples, 1);
                 self.ledger.borrow_mut().record(
                     "adaptive-resample",
                     self.pool_size(),
@@ -636,6 +713,7 @@ impl<S: PointSource> SampledBackend<S> {
             let mut radius = self.claimed_read_radius(scale);
             if radius > self.config.max_usable_radius {
                 self.escalations += 1;
+                self.probe.counter(Counter::EmergencyResamples, 1);
                 // Rung 1: emergency refresh — collapse-driven blow-ups
                 // recover here.
                 self.resample(rng)?;
@@ -738,9 +816,30 @@ impl<S: PointSource> SampledBackend<S> {
         &self,
         label: &'static str,
         scale: f64,
-        mut f: impl FnMut(usize, &[f64]) -> Result<f64, SketchError>,
+        f: impl FnMut(usize, &[f64]) -> Result<f64, SketchError>,
     ) -> Result<Estimate, SketchError> {
         self.ensure_usable()?;
+        self.probe.span_begin(Phase::Estimate);
+        let result = self.estimate_mean_inner(label, scale, f);
+        self.probe.span_end(Phase::Estimate);
+        let est = result?;
+        if P::ENABLED {
+            self.probe.gauge(Gauge::ClaimedRadius, est.radius);
+            self.probe.gauge(Gauge::EnvelopeRadius, est.envelope_radius);
+            self.probe.note("bound", est.bound.name());
+        }
+        Ok(est)
+    }
+
+    /// The single-pass SNIS + minimum-of-bounds computation behind
+    /// [`Self::estimate_mean`], separated so the estimate span stays
+    /// balanced across every error return.
+    fn estimate_mean_inner(
+        &self,
+        label: &'static str,
+        scale: f64,
+        mut f: impl FnMut(usize, &[f64]) -> Result<f64, SketchError>,
+    ) -> Result<Estimate, SketchError> {
         let (w, mean_shifted, shift) = self.snis();
         // One pass: the SNIS value Σ ŵ_i·f_i (same accumulation order as
         // ever — exhaustive pools stay bit-for-bit), plus the weight/value
@@ -852,7 +951,7 @@ impl<S: PointSource> SampledBackend<S> {
         if self.exhaustive || scale <= 0.0 || scale.is_nan() {
             return 0.0;
         }
-        let (radius, bound) = self.read_radius_parts(scale);
+        let (radius, bound, envelope) = self.read_radius_parts(scale);
         self.ledger.borrow_mut().record(
             "read-margin",
             self.pool_size(),
@@ -860,12 +959,17 @@ impl<S: PointSource> SampledBackend<S> {
             self.config.beta,
             bound,
         );
+        if P::ENABLED {
+            self.probe.gauge(Gauge::EnvelopeRadius, envelope);
+            self.probe.note("read_bound", bound.name());
+        }
         radius
     }
 
     /// The minimum-of-bounds computation behind [`Self::read_radius`],
-    /// without the ledger entry.
-    fn read_radius_parts(&self, scale: f64) -> (f64, RadiusBound) {
+    /// without the ledger entry. Also returns the envelope candidate so
+    /// the probed read path can gauge claimed-vs-envelope.
+    fn read_radius_parts(&self, scale: f64) -> (f64, RadiusBound, f64) {
         let beta = self.config.beta;
         let (w, mean_shifted, shift) = self.snis();
         let w_sq: f64 = w.iter().map(|v| v * v).sum();
@@ -874,9 +978,9 @@ impl<S: PointSource> SampledBackend<S> {
         let ess = effective_sample_size(1.0, w_sq);
         let r_ess = ess_radius(2.0 * scale, ess, beta / 2.0).unwrap_or(f64::INFINITY);
         if r_ess <= envelope {
-            (r_ess, RadiusBound::EffectiveSample)
+            (r_ess, RadiusBound::EffectiveSample, envelope)
         } else {
-            (envelope, RadiusBound::Hoeffding)
+            (envelope, RadiusBound::Hoeffding, envelope)
         }
     }
 
@@ -994,7 +1098,7 @@ impl<S: PointSource> SampledBackend<S> {
     }
 }
 
-impl<S: PointSource> StateBackend for SampledBackend<S> {
+impl<S: PointSource, P: Probe> StateBackend for SampledBackend<S, P> {
     fn universe_size(&self) -> usize {
         self.source.len()
     }
@@ -1831,11 +1935,25 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PmwError::Degraded(_)), "{err:?}");
         // The failed round rolled back completely: no recorded round, the
-        // original pool, no pending events, and the backend stays usable.
+        // original pool, and the backend stays usable — but the events
+        // explaining the failure survive the rollback, closed by an
+        // explicit rollback marker.
         assert_eq!(sketch.rounds(), 0);
         assert_eq!(sketch.pool_indices, before_indices);
         assert_eq!(sketch.pool_log_w, before_log_w);
         assert!(!sketch.is_poisoned());
+        let events = StateBackend::take_events(&mut sketch);
+        assert!(
+            matches!(
+                events.as_slice(),
+                [
+                    BackendEvent::EmergencyResample { round: 1, radius },
+                    BackendEvent::RoundRolledBack { round: 1 },
+                ] if *radius > 1e-9
+            ),
+            "{events:?}"
+        );
+        // Drained: a second take returns nothing.
         assert!(StateBackend::take_events(&mut sketch).is_empty());
         assert_eq!(sketch.log().drift_bound(), 0.0);
         // The next (feasible) round still works after loosening nothing:

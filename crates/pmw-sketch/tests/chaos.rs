@@ -92,7 +92,12 @@ fn check_events(events: &[BackendEvent]) {
                 assert!(*round >= 1);
                 assert!(*new_size > 0);
             }
+            BackendEvent::RoundRolledBack { round } => {
+                assert!(*round >= 1);
+            }
         }
+        // Every event renders a one-line human-readable summary.
+        assert!(!e.to_string().is_empty() && !e.to_string().contains('\n'));
     }
 }
 
@@ -376,12 +381,20 @@ fn resample_fault_mid_mechanism_burns_the_round_and_rolls_back_the_backend() {
     let last = mech.transcript().records().last().unwrap();
     assert!(matches!(last.outcome, pmw_core::QueryOutcome::UpdateFailed));
     // ... while the backend rolled the whole round back: nothing recorded,
-    // nothing resampled, no events, not poisoned.
+    // nothing resampled, not poisoned — and the transcript records the
+    // rollback explicitly instead of losing the failed round's events.
     let state = mech.state();
     assert_eq!(state.updates_recorded(), 0);
     assert_eq!(state.resamples(), 0);
     assert!(!state.is_poisoned());
-    assert!(mech.transcript().backend_events().is_empty());
+    assert!(
+        matches!(
+            mech.transcript().backend_events(),
+            [BackendEvent::RoundRolledBack { round: 1 }]
+        ),
+        "{:?}",
+        mech.transcript().backend_events()
+    );
 
     // The fault was one-shot: the mechanism keeps serving and the next
     // update round (including its resample) succeeds.
