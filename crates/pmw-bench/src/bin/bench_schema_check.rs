@@ -8,11 +8,14 @@
 //! columns populated, and the probed-run phase table present. A fourth
 //! argument names a JSONL run trace to validate against the pmw-obs v1
 //! schema; `bench_schema_check --trace <path>` validates only the trace
-//! (the observability CI job, which regenerates no bench artifacts).
+//! (the observability CI job, which regenerates no bench artifacts), and
+//! `bench_schema_check --serve <path>` validates only a
+//! `BENCH_serve.json` serving artifact (the serving CI job).
 //! Exits nonzero with a diagnostic on the first violation.
 
 use pmw_bench::schema::{
-    validate_bench_mwem, validate_bench_runtime, validate_bench_sublinear, validate_trace,
+    validate_bench_mwem, validate_bench_runtime, validate_bench_serve, validate_bench_sublinear,
+    validate_trace,
 };
 use std::process::ExitCode;
 
@@ -33,6 +36,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    } else if args.first().map(String::as_str) == Some("--serve") {
+        let serve = args.get(1).map_or("BENCH_serve.json", String::as_str);
+        let mut checks = vec![check(serve, validate_bench_serve)];
+        // `--serve <artifact> <trace.jsonl>` also validates the serve trace.
+        if let Some(trace) = args.get(2) {
+            checks.push(check(trace, validate_trace));
+        }
+        checks
     } else {
         let runtime = args.first().map_or("BENCH_runtime.json", String::as_str);
         let sublinear = args.get(1).map_or("BENCH_sublinear.json", String::as_str);

@@ -41,7 +41,7 @@ use pmw_sketch::{LazyLogBackend, RoundUpdate, SampledBackend, SampledConfig, Uni
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Mean wall time of `f` in nanoseconds over `reps` calls (plus warmup).
@@ -236,7 +236,7 @@ fn measure_backend_axis(log2_x: usize, rounds: usize, budget: usize) -> Vec<Back
         let (loss, t_o, t_h, eta) = axis_round(dim, t);
         lazy.record(
             RoundUpdate::new(
-                Rc::new(loss) as Rc<dyn CmLoss>,
+                Arc::new(loss) as Arc<dyn CmLoss>,
                 t_o.to_vec(),
                 t_h.to_vec(),
                 eta,

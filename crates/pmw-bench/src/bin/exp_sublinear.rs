@@ -48,7 +48,7 @@ use pmw_sketch::{BigBitCube, RoundUpdate, SampledBackend, SampledConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The round-`t` workload: a rotating single-bit linear query with
@@ -142,7 +142,7 @@ fn measure_sublinear(log2_x: usize, rounds: usize, budget: usize, with_dense: bo
     let mut elapsed_ns = 0u128;
     for t in 0..rounds {
         let (loss, t_o, t_h, eta) = schedule(dim, t, &mut schedule_rng);
-        let shared: Rc<dyn CmLoss> = Rc::new(loss.clone());
+        let shared: Arc<dyn CmLoss> = Arc::new(loss.clone());
 
         // --- The timed sublinear round: record + reads. ---
         let start = Instant::now();

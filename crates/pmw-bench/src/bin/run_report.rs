@@ -8,6 +8,12 @@
 //! health endpoints — then prints the per-round timeline: outcome, wall
 //! time, cumulative ε spent, the claimed vs envelope certificate radius,
 //! and the pool's ESS fraction. Long runs elide the middle rounds.
+//!
+//! Traces from the serve writer loop (`pmw-serve`, via `exp_serve
+//! --trace`) additionally carry per-analyst `serve_analyst` notes and a
+//! `serve_writer` note; those render as a serving section — outcome
+//! counts per analyst plus the writer-queue wait p99, the contention
+//! signal a saturated writer shows first.
 
 use pmw_obs::{Gauge, Summary, TraceEvent};
 use std::process::ExitCode;
@@ -40,6 +46,69 @@ fn print_row(r: &RoundRow) {
         cell(r.envelope),
         cell(r.ess_fraction),
     );
+}
+
+/// `field=value` lookup inside a serve note's payload (the writer
+/// formats them as `id=0 free=12 updates=3 ...`).
+fn note_field(payload: &str, field: &str) -> Option<u64> {
+    let prefix = format!("{field}=");
+    payload
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix(prefix.as_str()))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Render the serving section when the trace carries `serve_analyst` /
+/// `serve_writer` notes (traces from the pmw-serve writer loop do;
+/// single-mechanism traces print nothing here).
+fn print_serving_section(events: &[TraceEvent]) {
+    let notes: Vec<(&str, &str)> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::Note { key, value, .. } => Some((key.as_str(), value.as_str())),
+            _ => None,
+        })
+        .collect();
+    let analysts: Vec<&str> = notes
+        .iter()
+        .filter(|(k, _)| *k == "serve_analyst")
+        .map(|(_, v)| *v)
+        .collect();
+    if analysts.is_empty() {
+        return;
+    }
+    println!("serving (per analyst):");
+    println!(
+        "{:>8} {:>6} {:>8} {:>7} {:>9} {:>14}",
+        "analyst", "free", "updates", "failed", "rejected", "wait_p99_ms"
+    );
+    for payload in analysts {
+        let cell = |f: &str| note_field(payload, f).map_or("-".into(), |v| v.to_string());
+        let wait = note_field(payload, "wait_p99_ns")
+            .map_or("-".to_string(), |ns| format!("{:.3}", ns as f64 / 1e6));
+        println!(
+            "{:>8} {:>6} {:>8} {:>7} {:>9} {:>14}",
+            cell("id"),
+            cell("free"),
+            cell("updates"),
+            cell("failed"),
+            cell("rejected"),
+            wait,
+        );
+    }
+    if let Some((_, payload)) = notes.iter().find(|(k, _)| *k == "serve_writer") {
+        let cell = |f: &str| note_field(payload, f).map_or("-".into(), |v| v.to_string());
+        let wait = note_field(payload, "wait_p99_ns")
+            .map_or("-".to_string(), |ns| format!("{:.3}", ns as f64 / 1e6));
+        println!(
+            "writer: batches={} requests={} rescreens={} halted={} queue_wait_p99_ms={}",
+            cell("batches"),
+            cell("requests"),
+            cell("rescreens"),
+            cell("halted"),
+            wait,
+        );
+    }
 }
 
 /// The per-round timeline, extracted from the raw event stream (the
@@ -102,6 +171,7 @@ fn main() -> ExitCode {
     };
 
     print!("{}", Summary::from_events(&events).render());
+    print_serving_section(&events);
 
     let rows = round_rows(&events);
     if rows.is_empty() {

@@ -246,6 +246,69 @@ pub fn validate_bench_mwem(json: &str) -> Result<(), String> {
     require_probe_columns(json)
 }
 
+/// Validate `BENCH_serve.json`: the multi-analyst serving record. Checks
+/// the scaling rows (positive qps and latency percentiles, with
+/// `p50 ≤ p99` pairwise), the outcome tallies, and that the artifact
+/// records `machine_threads` — qps scaling itself is deliberately NOT
+/// asserted: on a single-core runner every analyst count multiplexes
+/// onto one CPU and the column legitimately reads flat.
+pub fn validate_bench_serve(json: &str) -> Result<(), String> {
+    if !has_key(json, "experiment") || !json.contains("serve_scaling") {
+        return Err("not a serve_scaling artifact".into());
+    }
+    for key in [
+        "machine_threads",
+        "queries_per_analyst",
+        "analysts",
+        "requests",
+        "qps",
+        "latency_p50_ns",
+        "latency_p99_ns",
+    ] {
+        require_positive(json, key)?;
+    }
+    for key in [
+        "free",
+        "updates",
+        "failed",
+        "rejected",
+        "halted_replies",
+        "batches",
+        "rescreens",
+        "writer_wait_p99_ns",
+    ] {
+        require_non_negative(json, key)?;
+    }
+    let p50 = extract_numbers(json, "latency_p50_ns");
+    let p99 = extract_numbers(json, "latency_p99_ns");
+    if p50.len() != p99.len() {
+        return Err("latency_p50_ns/latency_p99_ns row counts differ".into());
+    }
+    for (a, b) in p50.iter().zip(&p99) {
+        if a > b {
+            return Err(format!("latency p50 {a} exceeds p99 {b}"));
+        }
+    }
+    // Every row must have served every request it issued: outcomes tally
+    // back to the request count.
+    let requests = extract_numbers(json, "requests");
+    let free = extract_numbers(json, "free");
+    let updates = extract_numbers(json, "updates");
+    let failed = extract_numbers(json, "failed");
+    let rejected = extract_numbers(json, "rejected");
+    let halted = extract_numbers(json, "halted_replies");
+    for i in 0..requests.len() {
+        let tally = free[i] + updates[i] + failed[i] + rejected[i] + halted[i];
+        if tally != requests[i] {
+            return Err(format!(
+                "row {i}: outcomes tally {tally} != requests {}",
+                requests[i]
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Validate a JSONL run trace (the `--trace` output of the experiment
 /// binaries): every line parses under the pmw-obs v1 schema, the trace is
 /// framed by `run_start`/`run_end` with an accurate closing event count,
@@ -535,6 +598,53 @@ mod tests {
         assert!(validate_bench_mwem(&negative_wins).is_err());
         // A runtime artifact is not a MWEM artifact.
         assert!(validate_bench_mwem("{\"experiment\": \"runtime_scaling\"}").is_err());
+    }
+
+    #[test]
+    fn serve_validator_round_trips() {
+        let json = r#"{
+          "experiment": "serve_scaling",
+          "machine_threads": 8,
+          "smoke": false,
+          "queries_per_analyst": 64,
+          "scaling": [
+            {"analysts": 1, "requests": 64, "qps": 21000.0,
+             "latency_p50_ns": 31000, "latency_p99_ns": 90000,
+             "free": 58, "updates": 6, "failed": 0, "rejected": 0,
+             "halted_replies": 0, "batches": 64, "rescreens": 0,
+             "writer_wait_p99_ns": 4000},
+            {"analysts": 8, "requests": 512, "qps": 150000.0,
+             "latency_p50_ns": 28000, "latency_p99_ns": 120000,
+             "free": 500, "updates": 4, "failed": 0, "rejected": 8,
+             "halted_replies": 0, "batches": 90, "rescreens": 12,
+             "writer_wait_p99_ns": 60000}
+          ]
+        }"#;
+        validate_bench_serve(json).unwrap();
+        assert!(validate_bench_serve("{}").is_err());
+        // p50 must not exceed p99 within a row.
+        let inverted = json.replace(
+            "\"latency_p50_ns\": 31000, \"latency_p99_ns\": 90000",
+            "\"latency_p50_ns\": 91000, \"latency_p99_ns\": 90000",
+        );
+        let err = validate_bench_serve(&inverted).unwrap_err();
+        assert!(err.contains("p50"), "{err}");
+        // qps must be positive...
+        let zero_qps = json.replace("\"qps\": 21000.0", "\"qps\": 0.0");
+        assert!(validate_bench_serve(&zero_qps).is_err());
+        // ... but deliberately NOT monotone in the analyst count: a
+        // single-core runner reads flat or worse, and that must pass.
+        let flat = json.replace("\"qps\": 150000.0", "\"qps\": 11000.0");
+        validate_bench_serve(&flat).unwrap();
+        // machine_threads is part of the contract (the qualification).
+        let no_threads = json.replace("\"machine_threads\": 8,", "");
+        assert!(validate_bench_serve(&no_threads).is_err());
+        // Outcome tallies must reconcile with the request count.
+        let dropped = json.replace("\"free\": 58,", "\"free\": 57,");
+        let err = validate_bench_serve(&dropped).unwrap_err();
+        assert!(err.contains("tally"), "{err}");
+        // A runtime artifact is not a serving artifact.
+        assert!(validate_bench_serve("{\"experiment\": \"runtime_scaling\"}").is_err());
     }
 
     /// A well-formed trace as the `JsonlTraceProbe` would stream it.

@@ -54,7 +54,9 @@ pub use config::{DerivedParams, PmwConfig, PmwConfigBuilder};
 pub use error::PmwError;
 pub use game::{run_accuracy_game, GameOutcome};
 pub use linear::{LinearPmw, Mwem, MwemResult, MwemRun};
-pub use mechanism::OnlinePmw;
+pub use mechanism::{screen_query, OnlinePmw, ScreenContext, ScreenedQuery};
 pub use offline::{OfflineBackendResult, OfflinePmw};
-pub use state::{BackendEvent, DenseBackend, QueryEstimate, StateBackend};
+pub use state::{
+    BackendEvent, DenseBackend, DenseSnapshot, MeanFn, QueryEstimate, ReadSnapshot, StateBackend,
+};
 pub use transcript::{QueryOutcome, QueryRecord, Transcript};

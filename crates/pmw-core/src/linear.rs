@@ -34,7 +34,7 @@ use pmw_dp::sparse_vector::{SvConfig, SvOutcome};
 use pmw_dp::{Accountant, ExponentialMechanism, LaplaceMechanism, SparseVector};
 use pmw_obs::{Counter, Gauge, NoopProbe, Phase, Probe};
 use rand::Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The data-side representation of the true query answers `q(D)` — dense
 /// histogram on the classic path, the dataset's support rows on the
@@ -155,7 +155,7 @@ impl QueryData {
 fn retained_handles(
     queries: &[&dyn PointQuery],
     state: &dyn StateBackend,
-) -> Result<Option<Vec<Rc<dyn PointQuery>>>, PmwError> {
+) -> Result<Option<Vec<Arc<dyn PointQuery>>>, PmwError> {
     if !state.requires_shared_loss() {
         return Ok(None);
     }
@@ -1055,7 +1055,7 @@ mod tests {
         fn apply_update(
             &mut self,
             loss: &dyn pmw_losses::CmLoss,
-            retained: Option<Rc<dyn pmw_losses::CmLoss>>,
+            retained: Option<Arc<dyn pmw_losses::CmLoss>>,
             points: &PointMatrix,
             theta_oracle: &[f64],
             theta_hyp: &[f64],
@@ -1091,7 +1091,7 @@ mod tests {
         fn apply_query_update(
             &mut self,
             _query: &dyn PointQuery,
-            _retained: Option<Rc<dyn PointQuery>>,
+            _retained: Option<Arc<dyn PointQuery>>,
             _coeff: f64,
             _eta: f64,
             _points: Option<&PointMatrix>,
@@ -1175,7 +1175,7 @@ mod tests {
         fn apply_update(
             &mut self,
             loss: &dyn pmw_losses::CmLoss,
-            retained: Option<Rc<dyn pmw_losses::CmLoss>>,
+            retained: Option<Arc<dyn pmw_losses::CmLoss>>,
             points: &PointMatrix,
             theta_oracle: &[f64],
             theta_hyp: &[f64],
@@ -1216,7 +1216,7 @@ mod tests {
         fn apply_query_update(
             &mut self,
             query: &dyn PointQuery,
-            retained: Option<Rc<dyn PointQuery>>,
+            retained: Option<Arc<dyn PointQuery>>,
             coeff: f64,
             eta: f64,
             points: Option<&PointMatrix>,

@@ -24,7 +24,7 @@
 
 use crate::config::{DerivedParams, PmwConfig};
 use crate::error::PmwError;
-use crate::state::{DenseBackend, StateBackend};
+use crate::state::{DenseBackend, ReadSnapshot, StateBackend};
 use crate::transcript::{QueryOutcome, QueryRecord, Transcript};
 use pmw_convex::Objective;
 use pmw_data::{Dataset, Histogram, PointMatrix, PointSource, Universe};
@@ -35,6 +35,7 @@ use pmw_losses::traits::minimize_weighted;
 use pmw_losses::{CmLoss, WeightedObjective};
 use pmw_obs::{Counter, Gauge, NoopProbe, Phase, Probe};
 use rand::Rng;
+use std::sync::Arc;
 
 /// The data-side representation of the error query `err_ℓ(D, D̂_t)`: the
 /// weighted point set every data-touching step (the `θ*` solve, the
@@ -80,6 +81,156 @@ impl DataSide {
             DataSide::Dense { points, .. } => Some(points),
             DataSide::Rows { .. } => None,
         }
+    }
+}
+
+/// The result of the pure read phase of one round: everything the
+/// sparse-vector screen and the (serialized) commit phase need, computed
+/// against an immutable [`ReadSnapshot`] with **no RNG draws and no state
+/// mutation**. Produced by [`screen_query`] / [`OnlinePmw::screen`];
+/// consumed by [`OnlinePmw::commit_top`] (or answered directly on `⊥`).
+#[derive(Debug, Clone)]
+pub struct ScreenedQuery {
+    theta_hat: Vec<f64>,
+    query_value: f64,
+    read_margin: f64,
+    snapshot_updates: usize,
+}
+
+impl ScreenedQuery {
+    /// The hypothesis minimizer `θ̂` solved against the snapshot — the
+    /// free answer on a `⊥` screen.
+    pub fn theta_hat(&self) -> &[f64] {
+        &self.theta_hat
+    }
+
+    /// The error query value `err_ℓ(D, D̂)` (non-negative).
+    pub fn query_value(&self) -> f64 {
+        self.query_value
+    }
+
+    /// The backend's ledgered read-uncertainty margin at screen time.
+    pub fn read_margin(&self) -> f64 {
+        self.read_margin
+    }
+
+    /// The value actually fed to the sparse vector:
+    /// `query_value + read_margin`.
+    pub fn sv_margin(&self) -> f64 {
+        self.query_value + self.read_margin
+    }
+
+    /// The number of MW updates recorded by the snapshot this screen ran
+    /// against — compare with [`OnlinePmw::updates_used`] to detect a
+    /// stale screen before committing.
+    pub fn snapshot_updates(&self) -> usize {
+        self.snapshot_updates
+    }
+}
+
+/// The pure read phase of one Figure-3 round, runnable by any thread
+/// holding a published snapshot: solve `θ̂` against the frozen hypothesis,
+/// evaluate the error query `err_ℓ(D, D̂)` over the data-side rows, and
+/// collect the backend's read margin. Consumes no RNG and mutates nothing
+/// (sketched snapshots ledger their concentration claims through their
+/// shared sampling ledger, exactly like the live backend's reads).
+pub fn screen_query<P: Probe>(
+    snapshot: &dyn ReadSnapshot,
+    loss: &dyn CmLoss,
+    points: &PointMatrix,
+    weights: &[f64],
+    solver_iters: usize,
+    scale_s: f64,
+    probe: &P,
+) -> Result<ScreenedQuery, PmwError> {
+    if loss.point_dim() != points.dim() {
+        return Err(PmwError::LossMismatch(
+            "loss point dimension does not match universe",
+        ));
+    }
+    // (1) Hypothesis minimizer theta-hat, against the frozen state.
+    probe.span_begin(Phase::HypothesisSolve);
+    let theta_hat = snapshot.hypothesis_minimizer(loss, points, solver_iters)?;
+    probe.span_end(Phase::HypothesisSolve);
+
+    // (2) The error query q_j(D) = err_l(D, D-hat_t), evaluated over
+    // the data-side point set: the universe histogram on the dense
+    // path, the dataset's support rows (O(n·d)) on the row path.
+    probe.span_begin(Phase::ErrorQuery);
+    let data_obj = WeightedObjective::new(loss, points, weights)?;
+    let theta_star = minimize_weighted(loss, points, weights, solver_iters)?;
+    let query_value = (data_obj.value(&theta_hat) - data_obj.value(&theta_star)).max(0.0);
+    probe.span_end(Phase::ErrorQuery);
+
+    // On sketched state the SV margin is widened by the backend's claimed
+    // read radius: θ̂ was solved against an *estimated* hypothesis, so a
+    // ⊥ must certify the error query below α even after discounting the
+    // sketch's read uncertainty. Exact backends claim radius 0.
+    let read_margin = snapshot.read_radius(scale_s);
+    // A corrupted margin (NaN/∞/negative) would silently poison the
+    // sparse-vector comparison; refuse loudly before any budget or
+    // noise draw is consumed, leaving the round un-burned.
+    if !read_margin.is_finite() || read_margin < 0.0 {
+        return Err(PmwError::Degraded(
+            "backend claimed a non-finite or negative read margin",
+        ));
+    }
+    Ok(ScreenedQuery {
+        theta_hat,
+        query_value,
+        read_margin,
+        snapshot_updates: snapshot.updates_recorded(),
+    })
+}
+
+/// An owned, `Send + Sync` copy of everything [`screen_query`] needs
+/// besides the snapshot and the loss — the per-analyst handle state of a
+/// serving layer. Obtained once from [`OnlinePmw::screen_context`]; the
+/// data-side rows are shared behind `Arc`s, so cloning a context is O(1).
+#[derive(Clone)]
+pub struct ScreenContext {
+    points: Arc<PointMatrix>,
+    weights: Arc<Vec<f64>>,
+    solver_iters: usize,
+    scale_s: f64,
+    sv_config: SvConfig,
+}
+
+impl ScreenContext {
+    /// Screen `loss` against `snapshot` — the pure read phase.
+    pub fn screen(
+        &self,
+        snapshot: &dyn ReadSnapshot,
+        loss: &dyn CmLoss,
+    ) -> Result<ScreenedQuery, PmwError> {
+        self.screen_with_probe(snapshot, loss, &NoopProbe)
+    }
+
+    /// [`ScreenContext::screen`] with phase spans reported through `probe`.
+    pub fn screen_with_probe<P: Probe>(
+        &self,
+        snapshot: &dyn ReadSnapshot,
+        loss: &dyn CmLoss,
+        probe: &P,
+    ) -> Result<ScreenedQuery, PmwError> {
+        screen_query(
+            snapshot,
+            loss,
+            &self.points,
+            &self.weights,
+            self.solver_iters,
+            self.scale_s,
+            probe,
+        )
+    }
+
+    /// The sparse-vector configuration the mechanism screens with — a
+    /// serving layer screening on the analyst side builds its sparse
+    /// vector from this **without re-charging the budget** (the
+    /// mechanism's ledger already carries the single `sparse-vector`
+    /// entry from construction).
+    pub fn sv_config(&self) -> SvConfig {
+        self.sv_config
     }
 }
 
@@ -343,52 +494,32 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
             None
         };
 
-        // (1) Hypothesis minimizer theta-hat, through the state backend.
-        probe.span_begin(Phase::HypothesisSolve);
-        let theta_hat = self.state.hypothesis_minimizer(
-            loss,
-            self.data.points(),
-            self.config.solver_iters,
-            rng,
-        )?;
-        probe.span_end(Phase::HypothesisSolve);
-
-        // (2) The error query q_j(D) = err_l(D, D-hat_t), evaluated over
-        // the data-side point set: the universe histogram on the dense
-        // path, the dataset's support rows (O(n·d)) on the row path.
-        probe.span_begin(Phase::ErrorQuery);
-        let data_obj = WeightedObjective::new(loss, self.data.points(), self.data.weights())?;
-        let theta_star = minimize_weighted(
+        // Read phase: publish a snapshot of the current state and screen
+        // against it — the same seam a concurrent serving layer uses, so
+        // the single-analyst path exercises it on every round. Snapshot
+        // reads are value- and ledger-identical to live reads at the same
+        // round, and consume no RNG, so the rng stream and every outcome
+        // are bit-for-bit the pre-split mechanism's.
+        let snapshot = self.state.snapshot()?;
+        let screened = screen_query(
+            snapshot.as_ref(),
             loss,
             self.data.points(),
             self.data.weights(),
             self.config.solver_iters,
+            self.config.scale_s,
+            probe,
         )?;
-        let query_value = (data_obj.value(&theta_hat) - data_obj.value(&theta_star)).max(0.0);
-        probe.span_end(Phase::ErrorQuery);
+        drop(snapshot);
 
-        // (3) Screen through the sparse vector algorithm. On sketched
-        // state the margin is widened by the backend's claimed read
-        // radius: θ̂_t was solved against an *estimated* hypothesis, so a
-        // ⊥ must certify the error query below α even after discounting
-        // the sketch's read uncertainty. Exact backends claim radius 0,
-        // so the dense path processes the identical value (same rng
-        // stream, same outcomes, bit-for-bit).
-        let read_margin = self.state.read_radius(self.config.scale_s);
-        // A corrupted margin (NaN/∞/negative) would silently poison the
-        // sparse-vector comparison; refuse loudly before any budget or
-        // noise draw is consumed, leaving the round un-burned.
-        if !read_margin.is_finite() || read_margin < 0.0 {
-            return Err(PmwError::Degraded(
-                "backend claimed a non-finite or negative read margin",
-            ));
-        }
+        // Screen through the sparse vector algorithm — the first (and on
+        // `⊥` rounds the only) RNG consumer of the round.
         if P::ENABLED {
-            probe.gauge(Gauge::ClaimedRadius, read_margin);
-            probe.gauge(Gauge::SvMargin, query_value + read_margin);
+            probe.gauge(Gauge::ClaimedRadius, screened.read_margin);
+            probe.gauge(Gauge::SvMargin, screened.sv_margin());
         }
         probe.span_begin(Phase::SvScreen);
-        let outcome = match self.sv.process(query_value + read_margin, rng) {
+        let outcome = match self.sv.process(screened.sv_margin(), rng) {
             Ok(o) => o,
             Err(pmw_dp::DpError::SparseVectorHalted) => {
                 self.halted = true;
@@ -399,8 +530,7 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
         };
         probe.span_end(Phase::SvScreen);
 
-        let diagnostics = self.config.diagnostics;
-        let record = match outcome {
+        match outcome {
             SvOutcome::Bottom => {
                 // Free answers leave the backend untouched, but a prior
                 // failed round may have queued rollback events: drain
@@ -411,145 +541,263 @@ impl<O: ErmOracle, B: StateBackend> OnlinePmw<O, B> {
                 }
                 probe.counter(Counter::FreeAnswers, 1);
                 *outcome_label = "free";
-                let answer = theta_hat.clone();
-                QueryRecord {
+                let record = QueryRecord {
                     index: self.queries_answered,
                     loss_name: loss.name(),
                     outcome: QueryOutcome::FromHypothesis,
-                    answer,
+                    answer: screened.theta_hat.clone(),
                     update_round: None,
-                    error_query_value: diagnostics.then_some(query_value),
+                    error_query_value: self.config.diagnostics.then_some(screened.query_value),
                     certificate_gap: None,
-                }
+                };
+                self.queries_answered += 1;
+                let answer = record.answer.clone();
+                self.transcript.push(record);
+                Ok(answer)
             }
             SvOutcome::Top => {
-                // (4) Private oracle answer + dual-certificate MW update.
-                //
-                // The sparse vector consumed its top *inside* `process`,
-                // so from here the round is burned no matter how the
-                // oracle or the update fares: every exit path below must
-                // advance `update_round`, charge the accountant, record
-                // the round in the transcript and mirror SV's halt state,
-                // or the mechanism's counters drift one round behind
-                // `sv.tops_used()` (and `updates_remaining` lies — the
-                // desync this block regression-tests against).
-                //
-                // The per-round oracle budget is charged up front:
-                // conservatively, a failing oracle may already have
-                // consumed its budget before erroring.
-                self.accountant
-                    .spend("erm-oracle", self.derived.oracle_budget);
-                // A transiently failing oracle may be re-solved in-round
-                // (`PmwConfig::oracle_retries`, default 0) before the
-                // consumed SV top is burned as `UpdateFailed` — the
-                // conservative up-front charge above already covers the
-                // round, so retries spend nothing further (see the
-                // data-independence soundness condition on the knob).
-                let mut attempts = 0;
-                probe.span_begin(Phase::OracleSolve);
-                let solved = loop {
-                    let result = self
-                        .oracle
-                        .solve(
-                            loss,
-                            self.data.points(),
-                            self.data.weights(),
-                            self.n,
-                            self.derived.oracle_budget,
-                            rng,
-                        )
-                        .map_err(PmwError::from);
-                    if result.is_ok() || attempts >= self.config.oracle_retries {
-                        break result;
-                    }
-                    attempts += 1;
+                self.commit_top_inner(loss, retained, &screened, rng, probe, outcome_label)
+            }
+        }
+    }
+
+    /// The serialized write phase of an above-threshold round: private
+    /// oracle answer + dual-certificate MW update + all round
+    /// bookkeeping. Shared by the in-process `⊤` branch of
+    /// [`OnlinePmw::answer`] and the serving layer's writer loop
+    /// ([`OnlinePmw::commit_top`]).
+    fn commit_top_inner<P: Probe>(
+        &mut self,
+        loss: &dyn CmLoss,
+        retained: Option<Arc<dyn CmLoss>>,
+        screened: &ScreenedQuery,
+        rng: &mut dyn Rng,
+        probe: &P,
+        outcome_label: &mut &'static str,
+    ) -> Result<Vec<f64>, PmwError> {
+        let diagnostics = self.config.diagnostics;
+        // The sparse vector consumed its top *before* this phase runs,
+        // so from here the round is burned no matter how the oracle or
+        // the update fares: every exit path below must advance
+        // `update_round`, charge the accountant, record the round in the
+        // transcript and mirror SV's halt state, or the mechanism's
+        // counters drift one round behind `sv.tops_used()` (and
+        // `updates_remaining` lies — the desync this block
+        // regression-tests against).
+        //
+        // The per-round oracle budget is charged up front:
+        // conservatively, a failing oracle may already have consumed its
+        // budget before erroring.
+        self.accountant
+            .spend("erm-oracle", self.derived.oracle_budget);
+        // A transiently failing oracle may be re-solved in-round
+        // (`PmwConfig::oracle_retries`, default 0) before the consumed SV
+        // top is burned as `UpdateFailed` — the conservative up-front
+        // charge above already covers the round, so retries spend nothing
+        // further (see the data-independence soundness condition on the
+        // knob).
+        let mut attempts = 0;
+        probe.span_begin(Phase::OracleSolve);
+        let solved = loop {
+            let result = self
+                .oracle
+                .solve(
+                    loss,
+                    self.data.points(),
+                    self.data.weights(),
+                    self.n,
+                    self.derived.oracle_budget,
+                    rng,
+                )
+                .map_err(PmwError::from);
+            if result.is_ok() || attempts >= self.config.oracle_retries {
+                break result;
+            }
+            attempts += 1;
+        };
+        probe.span_end(Phase::OracleSolve);
+        if attempts > 0 {
+            probe.counter(Counter::OracleRetries, attempts as u64);
+        }
+        if P::ENABLED {
+            if let Ok(total) = self.accountant.basic_total() {
+                probe.gauge(Gauge::EpsSpent, total.epsilon());
+                probe.gauge(Gauge::DeltaSpent, total.delta());
+            }
+        }
+        probe.span_begin(Phase::Update);
+        let applied = match solved {
+            Ok(theta_t) => {
+                let gap_weights = if diagnostics {
+                    Some(self.data.weights())
+                } else {
+                    None
                 };
-                probe.span_end(Phase::OracleSolve);
-                if attempts > 0 {
-                    probe.counter(Counter::OracleRetries, attempts as u64);
-                }
-                if P::ENABLED {
-                    if let Ok(total) = self.accountant.basic_total() {
-                        probe.gauge(Gauge::EpsSpent, total.epsilon());
-                        probe.gauge(Gauge::DeltaSpent, total.delta());
-                    }
-                }
-                probe.span_begin(Phase::Update);
-                let applied = match solved {
-                    Ok(theta_t) => {
-                        let gap_weights = if diagnostics {
-                            Some(self.data.weights())
-                        } else {
-                            None
-                        };
-                        self.state
-                            .apply_update(
-                                loss,
-                                retained,
-                                self.data.points(),
-                                &theta_t,
-                                &theta_hat,
-                                self.derived.eta,
-                                gap_weights,
-                                rng,
-                            )
-                            .map(|gap| (theta_t, gap))
-                    }
-                    Err(e) => Err(e),
+                self.state
+                    .apply_update(
+                        loss,
+                        retained,
+                        self.data.points(),
+                        &theta_t,
+                        &screened.theta_hat,
+                        self.derived.eta,
+                        gap_weights,
+                        rng,
+                    )
+                    .map(|gap| (theta_t, gap))
+            }
+            Err(e) => Err(e),
+        };
+        probe.span_end(Phase::Update);
+        // Backends with self-maintenance (adaptive resamples, escalation
+        // rungs) report what they did during the update. Failed rounds
+        // report too: a transactional backend preserves the escalations
+        // that caused the failure across its rollback and closes them
+        // with a `RoundRolledBack` marker, so the transcript keeps the
+        // cause of every `Degraded` error.
+        let events = self.state.take_events();
+        if !events.is_empty() {
+            self.transcript.record_backend_events(events);
+        }
+        let round = self.update_round;
+        self.update_round += 1;
+        // In-process, SV halting and update exhaustion coincide
+        // (`max_top == rounds`, tops and updates move in lockstep). A
+        // serving layer screens through its *own* sparse vector, leaving
+        // the internal one untouched — the second disjunct halts the
+        // mechanism there.
+        if self.sv.has_halted() || self.update_round >= self.derived.rounds {
+            self.halted = true;
+        }
+        match applied {
+            Ok((theta_t, gap)) => {
+                probe.counter(Counter::UpdateRounds, 1);
+                *outcome_label = "update";
+                let record = QueryRecord {
+                    index: self.queries_answered,
+                    loss_name: loss.name(),
+                    outcome: QueryOutcome::FromOracle,
+                    answer: theta_t.clone(),
+                    update_round: Some(round),
+                    error_query_value: diagnostics.then_some(screened.query_value),
+                    certificate_gap: gap,
                 };
-                probe.span_end(Phase::Update);
-                // Backends with self-maintenance (adaptive resamples,
-                // escalation rungs) report what they did during the
-                // update. Failed rounds report too: a transactional
-                // backend preserves the escalations that caused the
-                // failure across its rollback and closes them with a
-                // `RoundRolledBack` marker, so the transcript keeps the
-                // cause of every `Degraded` error.
-                let events = self.state.take_events();
-                if !events.is_empty() {
-                    self.transcript.record_backend_events(events);
-                }
-                let round = self.update_round;
-                self.update_round += 1;
-                if self.sv.has_halted() {
-                    self.halted = true;
-                }
-                match applied {
-                    Ok((theta_t, gap)) => {
-                        probe.counter(Counter::UpdateRounds, 1);
-                        *outcome_label = "update";
-                        QueryRecord {
-                            index: self.queries_answered,
-                            loss_name: loss.name(),
-                            outcome: QueryOutcome::FromOracle,
-                            answer: theta_t,
-                            update_round: Some(round),
-                            error_query_value: diagnostics.then_some(query_value),
-                            certificate_gap: gap,
-                        }
-                    }
-                    Err(e) => {
-                        probe.counter(Counter::FailedRounds, 1);
-                        *outcome_label = "failed";
-                        self.transcript.push(QueryRecord {
-                            index: self.queries_answered,
-                            loss_name: loss.name(),
-                            outcome: QueryOutcome::UpdateFailed,
-                            answer: Vec::new(),
-                            update_round: Some(round),
-                            error_query_value: diagnostics.then_some(query_value),
-                            certificate_gap: None,
-                        });
-                        self.queries_answered += 1;
-                        return Err(e);
-                    }
+                self.queries_answered += 1;
+                self.transcript.push(record);
+                Ok(theta_t)
+            }
+            Err(e) => {
+                probe.counter(Counter::FailedRounds, 1);
+                *outcome_label = "failed";
+                self.transcript.push(QueryRecord {
+                    index: self.queries_answered,
+                    loss_name: loss.name(),
+                    outcome: QueryOutcome::UpdateFailed,
+                    answer: Vec::new(),
+                    update_round: Some(round),
+                    error_query_value: diagnostics.then_some(screened.query_value),
+                    certificate_gap: None,
+                });
+                self.queries_answered += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Publish an immutable, `Send + Sync` snapshot of the current
+    /// hypothesis state. Lock-free readers answer the SV-`⊥` path against
+    /// it while the writer keeps committing updates; a snapshot's answers
+    /// never change after publication.
+    pub fn snapshot(&self) -> Result<Arc<dyn ReadSnapshot>, PmwError> {
+        self.state.snapshot()
+    }
+
+    /// The pure read phase of one round against `snapshot`: no RNG, no
+    /// state change, safe from any thread. See [`screen_query`].
+    pub fn screen(
+        &self,
+        snapshot: &dyn ReadSnapshot,
+        loss: &dyn CmLoss,
+    ) -> Result<ScreenedQuery, PmwError> {
+        screen_query(
+            snapshot,
+            loss,
+            self.data.points(),
+            self.data.weights(),
+            self.config.solver_iters,
+            self.config.scale_s,
+            &NoopProbe,
+        )
+    }
+
+    /// An owned, thread-shareable copy of the screen-phase inputs (data
+    /// rows + weights behind `Arc`s, solver/scale/SV parameters) — what a
+    /// serving layer hands each analyst so screens run without borrowing
+    /// the mechanism.
+    pub fn screen_context(&self) -> ScreenContext {
+        ScreenContext {
+            points: Arc::new(self.data.points().clone()),
+            weights: Arc::new(self.data.weights().to_vec()),
+            solver_iters: self.config.solver_iters,
+            scale_s: self.config.scale_s,
+            sv_config: SvConfig {
+                max_top: self.derived.rounds,
+                threshold: self.config.alpha,
+                sensitivity: 3.0 * self.config.scale_s / self.n as f64,
+                budget: self.derived.sv_budget,
+                composition: self.config.sv_composition,
+            },
+        }
+    }
+
+    /// Commit an above-threshold screened query: the serialized write
+    /// phase (oracle solve + MW update + ledger/transcript bookkeeping),
+    /// for callers that ran the sparse-vector screen externally (the
+    /// serving layer's writer loop). The caller must already have
+    /// consumed an SV `⊤` for this query — the budget accounting assumes
+    /// at most `T` commits ever happen.
+    pub fn commit_top(
+        &mut self,
+        loss: &dyn CmLoss,
+        screened: &ScreenedQuery,
+        rng: &mut dyn Rng,
+    ) -> Result<Vec<f64>, PmwError> {
+        self.commit_top_with_probe(loss, screened, rng, &NoopProbe)
+    }
+
+    /// [`OnlinePmw::commit_top`] reporting through `probe`.
+    pub fn commit_top_with_probe<P: Probe>(
+        &mut self,
+        loss: &dyn CmLoss,
+        screened: &ScreenedQuery,
+        rng: &mut dyn Rng,
+        probe: &P,
+    ) -> Result<Vec<f64>, PmwError> {
+        if self.halted {
+            return Err(PmwError::Halted);
+        }
+        if self.queries_answered >= self.config.k {
+            return Err(PmwError::QueryLimitReached);
+        }
+        if loss.point_dim() != self.data.points().dim() {
+            return Err(PmwError::LossMismatch(
+                "loss point dimension does not match universe",
+            ));
+        }
+        let retained = if self.state.requires_shared_loss() {
+            match loss.clone_shared() {
+                Some(shared) => Some(shared),
+                None => {
+                    return Err(PmwError::LossMismatch(
+                        "this state backend requires a loss supporting clone_shared",
+                    ))
                 }
             }
+        } else {
+            None
         };
-        self.queries_answered += 1;
-        let answer = record.answer.clone();
-        self.transcript.push(record);
-        Ok(answer)
+        let mut label: &'static str = "error";
+        self.commit_top_inner(loss, retained, screened, rng, probe, &mut label)
     }
 
     /// Draw an `m`-row synthetic dataset from the hypothesis state (a
@@ -1156,7 +1404,7 @@ mod tests {
         fn apply_update(
             &mut self,
             loss: &dyn CmLoss,
-            retained: Option<std::rc::Rc<dyn CmLoss>>,
+            retained: Option<std::sync::Arc<dyn CmLoss>>,
             points: &PointMatrix,
             theta_oracle: &[f64],
             theta_hyp: &[f64],
@@ -1182,6 +1430,52 @@ mod tests {
 
         fn read_radius(&self, _scale: f64) -> f64 {
             10.0
+        }
+
+        fn snapshot(&self) -> Result<Arc<dyn ReadSnapshot>, PmwError> {
+            struct WideReadSnapshot(Arc<dyn ReadSnapshot>);
+
+            impl ReadSnapshot for WideReadSnapshot {
+                fn universe_size(&self) -> usize {
+                    self.0.universe_size()
+                }
+
+                fn updates_recorded(&self) -> usize {
+                    self.0.updates_recorded()
+                }
+
+                fn hypothesis_minimizer(
+                    &self,
+                    loss: &dyn CmLoss,
+                    points: &PointMatrix,
+                    solver_iters: usize,
+                ) -> Result<Vec<f64>, PmwError> {
+                    self.0.hypothesis_minimizer(loss, points, solver_iters)
+                }
+
+                fn expected_query_value(
+                    &self,
+                    query: &dyn pmw_data::PointQuery,
+                    points: Option<&PointMatrix>,
+                ) -> Result<crate::state::QueryEstimate, PmwError> {
+                    self.0.expected_query_value(query, points)
+                }
+
+                fn estimate_mean(
+                    &self,
+                    label: &'static str,
+                    scale: f64,
+                    f: &mut crate::state::MeanFn<'_>,
+                ) -> Result<crate::state::QueryEstimate, PmwError> {
+                    self.0.estimate_mean(label, scale, f)
+                }
+
+                fn read_radius(&self, _scale: f64) -> f64 {
+                    10.0
+                }
+            }
+
+            Ok(Arc::new(WideReadSnapshot(self.0.snapshot()?)))
         }
     }
 

@@ -245,8 +245,8 @@ impl<O: ErmOracle> OfflinePmw<O> {
         }
         // Loss-retaining backends need owned handles; obtain them for the
         // whole workload before any budget is spent (one clone per loss,
-        // shared across rounds via `Rc`).
-        let retained: Option<Vec<std::rc::Rc<dyn CmLoss>>> = if state.requires_shared_loss() {
+        // shared across rounds via `Arc`).
+        let retained: Option<Vec<std::sync::Arc<dyn CmLoss>>> = if state.requires_shared_loss() {
             let mut handles = Vec::with_capacity(losses.len());
             for loss in losses {
                 handles.push(loss.clone_shared().ok_or(PmwError::LossMismatch(

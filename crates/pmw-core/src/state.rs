@@ -30,7 +30,7 @@ use pmw_data::{Histogram, PointMatrix};
 use pmw_losses::traits::minimize_weighted;
 use pmw_losses::CmLoss;
 use rand::Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// `⟨q, h⟩` on a dense histogram: the exact [`Histogram::dot`] fast path
 /// for queries carrying dense values (bit-for-bit the classic pipeline),
@@ -149,6 +149,84 @@ pub struct QueryEstimate {
     pub beta: f64,
 }
 
+/// The per-element estimator a mean read sweeps: `f(index, point)`
+/// evaluates one universe element (backends without per-element point
+/// storage pass an empty point slice). A named alias because the full
+/// trait-object signature recurs across every backend and snapshot.
+pub type MeanFn<'a> = dyn FnMut(usize, &[f64]) -> Result<f64, PmwError> + 'a;
+
+/// An immutable, shareable view of a backend's state at one round — the
+/// read half of the snapshot/commit split.
+///
+/// A snapshot answers every *read* a backend supports — the hypothesis
+/// minimizer, query-mean estimates, generic mean estimates, the claimed
+/// read radius — against state frozen at publication time. It is `Send +
+/// Sync`, so any number of threads can screen queries against it while
+/// the writer applies the next MW update; the writer publishes a fresh
+/// snapshot after each committed update (epoch-style), and readers holding
+/// the old one keep getting consistent (merely stale) answers.
+///
+/// Accuracy claims made through a snapshot are **ledgered with the same
+/// semantics as live reads**: sketching backends share their sampling
+/// ledger with every snapshot they publish, so a β-budget audit sees one
+/// stream of claims regardless of which view made them.
+///
+/// Reads take no RNG: every shipped backend's read path is deterministic
+/// given its state (the `rng` parameters on [`StateBackend`] reads exist
+/// for hypothetical randomized sketches, which would not be
+/// snapshot-publishable anyway).
+pub trait ReadSnapshot: Send + Sync {
+    /// Universe size `|X|` the state is defined over.
+    fn universe_size(&self) -> usize;
+
+    /// Number of MW updates the backend had applied when this snapshot
+    /// was published — the snapshot's round, for staleness checks.
+    fn updates_recorded(&self) -> usize;
+
+    /// The hypothesis minimizer `θ̂ = argmin_θ ℓ(θ; D̂)` against the
+    /// frozen state. Same semantics as
+    /// [`StateBackend::hypothesis_minimizer`], minus the RNG.
+    fn hypothesis_minimizer(
+        &self,
+        loss: &dyn CmLoss,
+        points: &PointMatrix,
+        solver_iters: usize,
+    ) -> Result<Vec<f64>, PmwError>;
+
+    /// `⟨q, D̂⟩` against the frozen state. Same semantics as
+    /// [`StateBackend::expected_query_value`].
+    fn expected_query_value(
+        &self,
+        query: &dyn PointQuery,
+        points: Option<&PointMatrix>,
+    ) -> Result<QueryEstimate, PmwError>;
+
+    /// Estimate `E_{x∼D̂}[f(x)]` for a per-element statistic bounded by
+    /// `|f| ≤ scale`, where `f(index, point)` evaluates one universe
+    /// element (backends without per-element point storage pass an empty
+    /// point slice — index-route statistics only). Exact backends return
+    /// `radius = beta = 0`; sketching backends return and ledger their
+    /// concentration claim.
+    fn estimate_mean(
+        &self,
+        label: &'static str,
+        scale: f64,
+        f: &mut MeanFn<'_>,
+    ) -> Result<QueryEstimate, PmwError>;
+
+    /// The concentration radius claimed for a mean read at this snapshot,
+    /// ledgered exactly like [`StateBackend::read_radius`].
+    fn read_radius(&self, scale: f64) -> f64 {
+        let _ = scale;
+        0.0
+    }
+
+    /// The frozen dense hypothesis, when the backend maintains one.
+    fn dense_hypothesis(&self) -> Option<&Histogram> {
+        None
+    }
+}
+
 /// How the mechanisms hold and read the hypothesis `D̂_t`.
 ///
 /// Contract: the backend represents a probability distribution over a
@@ -206,7 +284,7 @@ pub trait StateBackend {
     fn apply_update(
         &mut self,
         loss: &dyn CmLoss,
-        retained: Option<std::rc::Rc<dyn CmLoss>>,
+        retained: Option<std::sync::Arc<dyn CmLoss>>,
         points: &PointMatrix,
         theta_oracle: &[f64],
         theta_hyp: &[f64],
@@ -258,7 +336,7 @@ pub trait StateBackend {
     fn apply_query_update(
         &mut self,
         query: &dyn PointQuery,
-        retained: Option<Rc<dyn PointQuery>>,
+        retained: Option<Arc<dyn PointQuery>>,
         coeff: f64,
         eta: f64,
         points: Option<&PointMatrix>,
@@ -319,6 +397,19 @@ pub trait StateBackend {
     /// the universe.
     fn requires_materialized_universe(&self) -> bool {
         true
+    }
+
+    /// Publish an immutable [`ReadSnapshot`] of the current state.
+    ///
+    /// The snapshot answers reads identically to the live backend at this
+    /// round, stays valid (merely stale) across later updates, and is
+    /// `Send + Sync` — the seam the concurrent serving layer is built on.
+    /// Backends that cannot freeze a consistent read view return an error
+    /// (the default).
+    fn snapshot(&self) -> Result<Arc<dyn ReadSnapshot>, PmwError> {
+        Err(PmwError::InvalidConfig(
+            "this state backend does not publish read snapshots",
+        ))
     }
 }
 
@@ -382,7 +473,7 @@ impl StateBackend for DenseBackend {
     fn apply_update(
         &mut self,
         loss: &dyn CmLoss,
-        _retained: Option<std::rc::Rc<dyn CmLoss>>,
+        _retained: Option<std::sync::Arc<dyn CmLoss>>,
         points: &PointMatrix,
         theta_oracle: &[f64],
         theta_hyp: &[f64],
@@ -428,7 +519,7 @@ impl StateBackend for DenseBackend {
     fn apply_query_update(
         &mut self,
         query: &dyn PointQuery,
-        _retained: Option<Rc<dyn PointQuery>>,
+        _retained: Option<Arc<dyn PointQuery>>,
         coeff: f64,
         eta: f64,
         points: Option<&PointMatrix>,
@@ -460,6 +551,91 @@ impl StateBackend for DenseBackend {
         self.hypothesis.mw_update(&self.cert_buf, eta)?;
         self.updates += 1;
         Ok(())
+    }
+
+    fn dense_hypothesis(&self) -> Option<&Histogram> {
+        Some(&self.hypothesis)
+    }
+
+    fn snapshot(&self) -> Result<Arc<dyn ReadSnapshot>, PmwError> {
+        Ok(Arc::new(DenseSnapshot {
+            hypothesis: self.hypothesis.clone(),
+            updates: self.updates,
+        }))
+    }
+}
+
+/// The dense backend's snapshot: a frozen clone of the hypothesis
+/// histogram. Every read is exact (`radius = beta = 0`), so snapshot
+/// answers are bit-for-bit the live backend's answers at the same round.
+#[derive(Debug, Clone)]
+pub struct DenseSnapshot {
+    hypothesis: Histogram,
+    updates: usize,
+}
+
+impl DenseSnapshot {
+    /// The frozen hypothesis histogram.
+    pub fn hypothesis(&self) -> &Histogram {
+        &self.hypothesis
+    }
+}
+
+impl ReadSnapshot for DenseSnapshot {
+    fn universe_size(&self) -> usize {
+        self.hypothesis.len()
+    }
+
+    fn updates_recorded(&self) -> usize {
+        self.updates
+    }
+
+    fn hypothesis_minimizer(
+        &self,
+        loss: &dyn CmLoss,
+        points: &PointMatrix,
+        solver_iters: usize,
+    ) -> Result<Vec<f64>, PmwError> {
+        Ok(minimize_weighted(
+            loss,
+            points,
+            self.hypothesis.weights(),
+            solver_iters,
+        )?)
+    }
+
+    fn expected_query_value(
+        &self,
+        query: &dyn PointQuery,
+        points: Option<&PointMatrix>,
+    ) -> Result<QueryEstimate, PmwError> {
+        Ok(QueryEstimate {
+            value: eval_query_on_histogram(query, &self.hypothesis, points)?,
+            radius: 0.0,
+            beta: 0.0,
+        })
+    }
+
+    fn estimate_mean(
+        &self,
+        _label: &'static str,
+        scale: f64,
+        f: &mut MeanFn<'_>,
+    ) -> Result<QueryEstimate, PmwError> {
+        if !(scale.is_finite() && scale >= 0.0) {
+            return Err(PmwError::InvalidConfig(
+                "estimate_mean scale must be finite and non-negative",
+            ));
+        }
+        let mut value = 0.0;
+        for (i, w) in self.hypothesis.weights().iter().enumerate() {
+            value += w * f(i, &[])?;
+        }
+        Ok(QueryEstimate {
+            value,
+            radius: 0.0,
+            beta: 0.0,
+        })
     }
 
     fn dense_hypothesis(&self) -> Option<&Histogram> {
@@ -617,6 +793,64 @@ mod tests {
         assert!(backend
             .apply_query_update(&q, None, 1.0, 0.1, None, &mut rng)
             .is_err());
+    }
+
+    #[test]
+    fn dense_snapshot_answers_identically_and_survives_later_updates() {
+        use pmw_data::workload::LinearQuery;
+        let (loss, points) = setup();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut backend = DenseBackend::new(points.len()).unwrap();
+        backend
+            .apply_update(&loss, None, &points, &[0.7], &[-0.1], 0.4, None, &mut rng)
+            .unwrap();
+
+        let snap = backend.snapshot().unwrap();
+        assert_eq!(snap.universe_size(), 4);
+        assert_eq!(snap.updates_recorded(), 1);
+
+        // Snapshot reads match the live backend bit-for-bit.
+        let q = LinearQuery::new(vec![1.0, 0.0, 1.0, 0.0]).unwrap();
+        let live = backend.expected_query_value(&q, None, &mut rng).unwrap();
+        let frozen = snap.expected_query_value(&q, None).unwrap();
+        assert_eq!(live.value, frozen.value);
+        let live_theta = backend
+            .hypothesis_minimizer(&loss, &points, 200, &mut rng)
+            .unwrap();
+        let frozen_theta = snap.hypothesis_minimizer(&loss, &points, 200).unwrap();
+        assert_eq!(live_theta, frozen_theta);
+        assert_eq!(snap.read_radius(2.0), 0.0);
+
+        // A generic mean read is the exact weighted sweep.
+        let est = snap
+            .estimate_mean("idx", 4.0, &mut |i, _| Ok(i as f64))
+            .unwrap();
+        let expect: f64 = snap
+            .dense_hypothesis()
+            .unwrap()
+            .weights()
+            .iter()
+            .enumerate()
+            .map(|(i, w)| w * i as f64)
+            .sum();
+        assert_eq!(est.value, expect);
+        assert_eq!((est.radius, est.beta), (0.0, 0.0));
+
+        // Mutating the live backend does not disturb the snapshot.
+        backend
+            .apply_update(&loss, None, &points, &[0.9], &[0.2], 0.4, None, &mut rng)
+            .unwrap();
+        assert_eq!(snap.updates_recorded(), 1);
+        assert_eq!(
+            snap.expected_query_value(&q, None).unwrap().value,
+            frozen.value
+        );
+
+        // Snapshots cross threads.
+        let moved = std::sync::Arc::clone(&snap);
+        let handle =
+            std::thread::spawn(move || moved.expected_query_value(&q, None).unwrap().value);
+        assert_eq!(handle.join().unwrap(), frozen.value);
     }
 
     #[test]

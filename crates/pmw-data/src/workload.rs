@@ -22,7 +22,7 @@ use crate::error::DataError;
 use crate::histogram::Histogram;
 use crate::universe::{BooleanCube, GridUniverse, Universe};
 use rand::{Rng, RngExt};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A linear (statistical) query over a finite universe, `q: X → [lo, hi]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -212,7 +212,7 @@ pub fn threshold_queries(grid: &GridUniverse) -> Result<Vec<LinearQuery>, DataEr
 ///
 /// [`query_value`] dispatches between the two given an `(index, point)`
 /// pair, preferring the index route (exact dense semantics) when available.
-pub trait PointQuery {
+pub trait PointQuery: Send + Sync {
     /// Bounds `(lo, hi)` on `q(x)` over the universe; the sensitivity of
     /// `q(D)` on `n`-row datasets is `(hi − lo)/n` and sketched estimates
     /// use `max(|lo|, |hi|)` as the payoff scale.
@@ -247,7 +247,7 @@ pub trait PointQuery {
     /// An owned handle for state backends that **retain** query updates
     /// (sketch update logs re-evaluate `u_t = ±q_t` at future points).
     /// `None` when the query cannot be retained.
-    fn clone_shared(&self) -> Option<Rc<dyn PointQuery>> {
+    fn clone_shared(&self) -> Option<Arc<dyn PointQuery>> {
         None
     }
 
@@ -290,8 +290,8 @@ impl PointQuery for LinearQuery {
         Some(&self.values)
     }
 
-    fn clone_shared(&self) -> Option<Rc<dyn PointQuery>> {
-        Some(Rc::new(self.clone()))
+    fn clone_shared(&self) -> Option<Arc<dyn PointQuery>> {
+        Some(Arc::new(self.clone()))
     }
 
     fn name(&self) -> &'static str {
@@ -441,8 +441,8 @@ impl PointQuery for ImplicitQuery {
         Some(self.dim)
     }
 
-    fn clone_shared(&self) -> Option<Rc<dyn PointQuery>> {
-        Some(Rc::new(self.clone()))
+    fn clone_shared(&self) -> Option<Arc<dyn PointQuery>> {
+        Some(Arc::new(self.clone()))
     }
 
     fn name(&self) -> &'static str {

@@ -54,6 +54,16 @@ impl Accountant {
         self.entries.is_empty()
     }
 
+    /// Append every entry of `other`, in order, to this ledger — the fold
+    /// used by tenant-sharded accounting
+    /// ([`ShardedAccountant`](crate::ShardedAccountant)) to audit the
+    /// union spend: merging per-tenant ledgers must yield the same
+    /// [`Accountant::basic_total`] as recording every event in one ledger,
+    /// because basic composition is a plain sum.
+    pub fn merge(&mut self, other: &Accountant) {
+        self.entries.extend(other.entries.iter().cloned());
+    }
+
     /// Total under **basic composition**: `(Σεᵢ, Σδᵢ)`.
     pub fn basic_total(&self) -> Result<PrivacyBudget, DpError> {
         if self.entries.is_empty() {

@@ -28,6 +28,7 @@ pub mod mechanisms;
 pub mod numeric_sparse;
 pub mod sampler;
 pub mod sampling;
+pub mod sharded;
 pub mod sparse_vector;
 pub mod zcdp;
 
@@ -41,4 +42,5 @@ pub use sampling::{
     effective_sample_size, empirical_bernstein_radius, ess_radius, hoeffding_radius,
     uncovered_mass_bound, RadiusBound, SamplingAccountant, SamplingRecord,
 };
+pub use sharded::{MergeAudit, ShardedAccountant};
 pub use sparse_vector::{SparseVector, SvConfig, SvOutcome};

@@ -1,0 +1,53 @@
+//! Property: sharding is accounting-neutral. For any sequence of spends
+//! routed to any tenants, folding the per-tenant ledgers back together
+//! yields the same basic-composition total as recording every event in a
+//! single ledger — and the audit accepts whenever every shard respected
+//! its share.
+
+use pmw_dp::{Accountant, PrivacyBudget, ShardedAccountant};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sharded_spend_folds_to_the_single_ledger_total(
+        tenants in 1usize..6,
+        spends in proptest::collection::vec(
+            (0usize..6, 1u32..200, 0u32..100),
+            1..40,
+        ),
+    ) {
+        // Declared budget comfortably above anything the spends can sum
+        // to, so the partition itself never rejects: the property under
+        // test is accounting neutrality, not enforcement.
+        let declared = PrivacyBudget::new(1e6, 0.5).unwrap();
+        let mut sharded = ShardedAccountant::even(declared, tenants).unwrap();
+        let mut single = Accountant::new();
+
+        for (i, &(t, eps_m, delta_m)) in spends.iter().enumerate() {
+            let tenant = t % tenants;
+            let budget = PrivacyBudget::new(
+                eps_m as f64 * 1e-3,
+                delta_m as f64 * 1e-9,
+            ).unwrap();
+            sharded.spend(tenant, format!("q{i}"), budget).unwrap();
+            single.spend(format!("q{i}"), budget);
+        }
+
+        let merged = sharded.merged();
+        prop_assert_eq!(merged.len(), single.len());
+        let merged_total = merged.basic_total().unwrap();
+        let single_total = single.basic_total().unwrap();
+        // Same multiset of f64 spends: sums agree up to accumulation
+        // order.
+        prop_assert!((merged_total.epsilon() - single_total.epsilon()).abs() < 1e-9);
+        prop_assert!((merged_total.delta() - single_total.delta()).abs() < 1e-12);
+
+        // Every shard stayed within its (huge) share, so the audit's
+        // union check must pass and report the same totals.
+        let audit = sharded.audit().unwrap();
+        prop_assert_eq!(audit.per_tenant.len(), tenants);
+        prop_assert!((audit.union_epsilon - single_total.epsilon()).abs() < 1e-9);
+        let per_tenant_eps: f64 = audit.per_tenant.iter().map(|&(e, _)| e).sum();
+        prop_assert!((per_tenant_eps - single_total.epsilon()).abs() < 1e-9);
+    }
+}

@@ -121,8 +121,8 @@ impl CmLoss for TargetLoss {
         Some((x.to_vec(), self.label(x)))
     }
 
-    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
-        Some(std::rc::Rc::new(self.clone()))
+    fn clone_shared(&self) -> Option<std::sync::Arc<dyn CmLoss>> {
+        Some(std::sync::Arc::new(self.clone()))
     }
 
     fn name(&self) -> &'static str {

@@ -155,8 +155,8 @@ impl CmLoss for GlmLoss {
         Some((features.to_vec(), y))
     }
 
-    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
-        Some(std::rc::Rc::new(self.clone()))
+    fn clone_shared(&self) -> Option<std::sync::Arc<dyn CmLoss>> {
+        Some(std::sync::Arc::new(self.clone()))
     }
 
     fn name(&self) -> &'static str {
@@ -209,8 +209,8 @@ macro_rules! concrete_glm {
             fn glm_example(&self, x: &[f64]) -> Option<(Vec<f64>, f64)> {
                 self.inner.glm_example(x)
             }
-            fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
-                Some(std::rc::Rc::new(self.clone()))
+            fn clone_shared(&self) -> Option<std::sync::Arc<dyn CmLoss>> {
+                Some(std::sync::Arc::new(self.clone()))
             }
             fn name(&self) -> &'static str { self.inner.name() }
         }
@@ -303,8 +303,8 @@ impl CmLoss for HuberLoss {
     fn glm_example(&self, x: &[f64]) -> Option<(Vec<f64>, f64)> {
         self.inner.glm_example(x)
     }
-    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
-        Some(std::rc::Rc::new(self.clone()))
+    fn clone_shared(&self) -> Option<std::sync::Arc<dyn CmLoss>> {
+        Some(std::sync::Arc::new(self.clone()))
     }
     fn name(&self) -> &'static str {
         self.inner.name()

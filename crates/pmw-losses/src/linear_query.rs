@@ -201,8 +201,8 @@ impl CmLoss for LinearQueryLoss {
         Some(1.0)
     }
 
-    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
-        Some(std::rc::Rc::new(self.clone()))
+    fn clone_shared(&self) -> Option<std::sync::Arc<dyn CmLoss>> {
+        Some(std::sync::Arc::new(self.clone()))
     }
 
     fn name(&self) -> &'static str {

@@ -46,7 +46,7 @@ impl<L: CmLoss> L2Regularized<L> {
 }
 
 // The `Clone + 'static` bounds (beyond what the wrapper itself needs) let
-// the `clone_shared` retention hook produce an owned `Rc<dyn CmLoss>`;
+// the `clone_shared` retention hook produce an owned `Arc<dyn CmLoss>`;
 // every concrete loss in this crate satisfies them.
 impl<L: CmLoss + Clone + 'static> CmLoss for L2Regularized<L> {
     fn dim(&self) -> usize {
@@ -107,8 +107,8 @@ impl<L: CmLoss + Clone + 'static> CmLoss for L2Regularized<L> {
         false
     }
 
-    fn clone_shared(&self) -> Option<std::rc::Rc<dyn CmLoss>> {
-        Some(std::rc::Rc::new(self.clone()))
+    fn clone_shared(&self) -> Option<std::sync::Arc<dyn CmLoss>> {
+        Some(std::sync::Arc::new(self.clone()))
     }
 
     fn name(&self) -> &'static str {

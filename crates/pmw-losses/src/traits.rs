@@ -18,11 +18,11 @@ use crate::error::LossError;
 use pmw_convex::solvers::{ProjectedGradientDescent, SolverConfig};
 use pmw_convex::{vecmath, Domain, Objective};
 use pmw_data::PointMatrix;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A convex loss function `ℓ: Θ × X → R` defining a CM query, with the
 /// metadata the paper's restrictions refer to (Section 1.1).
-pub trait CmLoss {
+pub trait CmLoss: Send + Sync {
     /// Dimension of the parameter `θ`.
     fn dim(&self) -> usize;
 
@@ -111,11 +111,11 @@ pub trait CmLoss {
     /// state backends that must keep the round's loss alive beyond the
     /// `answer` call (the lazy update-log representations of `pmw-sketch`
     /// re-evaluate `u_t(x) = ⟨θ_t − θ̂_t, ∇ℓ_x(θ̂_t)⟩` at lookup time, which
-    /// needs the round-`t` loss). Object-safe by returning `Rc<dyn CmLoss>`.
+    /// needs the round-`t` loss). Object-safe by returning `Arc<dyn CmLoss>`.
     ///
     /// The default returns `None` ("cannot be retained"); every concrete
-    /// loss in this crate overrides it with `Rc::new(self.clone())`.
-    fn clone_shared(&self) -> Option<Rc<dyn CmLoss>> {
+    /// loss in this crate overrides it with `Arc::new(self.clone())`.
+    fn clone_shared(&self) -> Option<Arc<dyn CmLoss>> {
         None
     }
 

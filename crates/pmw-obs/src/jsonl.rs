@@ -10,7 +10,7 @@ use std::path::Path;
 use std::time::Instant;
 
 struct JsonlState {
-    out: Box<dyn Write>,
+    out: Box<dyn Write + Send>,
     stack: SpanStack,
     round: u64,
     round_start: Option<Instant>,
@@ -44,8 +44,9 @@ pub struct JsonlTraceProbe {
 }
 
 impl JsonlTraceProbe {
-    /// Stream to an arbitrary writer.
-    pub fn new(out: Box<dyn Write>) -> JsonlTraceProbe {
+    /// Stream to an arbitrary writer. The writer is `Send` so the probe
+    /// itself can move onto a worker thread (the serve writer loop does).
+    pub fn new(out: Box<dyn Write + Send>) -> JsonlTraceProbe {
         JsonlTraceProbe {
             state: RefCell::new(JsonlState {
                 out,
@@ -184,15 +185,14 @@ impl Probe for JsonlTraceProbe {
 mod tests {
     use super::*;
     use crate::summary::Summary;
-    use std::rc::Rc;
 
     /// A writer handle the test can keep while the probe owns a clone.
     #[derive(Clone, Default)]
-    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
 
     impl Write for SharedBuf {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.borrow_mut().extend_from_slice(buf);
+            self.0.lock().unwrap().extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> std::io::Result<()> {
@@ -214,7 +214,7 @@ mod tests {
         probe.round_end(0, "update");
         assert_eq!(probe.finish(), 0);
 
-        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let events = TraceEvent::parse_trace(&text).unwrap();
         assert!(matches!(events.first(), Some(TraceEvent::RunStart { .. })));
         match events.last() {
@@ -240,7 +240,7 @@ mod tests {
             probe.run_end(); // idempotent
                              // drop fires here and must not add a second run_end
         }
-        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let runs = text.matches("\"run_end\"").count();
         assert_eq!(runs, 1, "{text}");
     }

@@ -109,6 +109,9 @@ pub enum Gauge {
     DriftBound,
     /// Largest normalized pool weight `max ŵ_i`.
     MaxWeightShare,
+    /// Rounds recorded since the backend last published a read snapshot —
+    /// how stale concurrent readers currently are.
+    SnapshotAge,
 }
 
 impl Gauge {
@@ -124,6 +127,7 @@ impl Gauge {
         Gauge::PoolSize,
         Gauge::DriftBound,
         Gauge::MaxWeightShare,
+        Gauge::SnapshotAge,
     ];
 
     /// The stable snake_case name used in the JSONL schema.
@@ -139,6 +143,7 @@ impl Gauge {
             Gauge::PoolSize => "pool_size",
             Gauge::DriftBound => "drift_bound",
             Gauge::MaxWeightShare => "max_weight_share",
+            Gauge::SnapshotAge => "snapshot_age",
         }
     }
 

@@ -1,0 +1,58 @@
+//! The epoch-published snapshot slot analysts read without contention.
+
+use pmw_core::ReadSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A single-slot publication cell for the writer's latest
+/// [`ReadSnapshot`].
+///
+/// The writer [`publish`](SnapshotCell::publish)es after every committed
+/// update: swap the `Arc` under a briefly-held lock, then bump the epoch
+/// with `Release` ordering. Readers cache `(epoch, Arc)` and re-take the
+/// lock **only when the `Acquire` epoch load says the slot changed** — in
+/// the steady state (long `⊥` streaks between updates) a refresh is one
+/// atomic load and no lock, so concurrent screens never serialize on the
+/// cell.
+pub struct SnapshotCell {
+    epoch: AtomicU64,
+    slot: Mutex<Arc<dyn ReadSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell holding `snapshot` at epoch 0.
+    pub fn new(snapshot: Arc<dyn ReadSnapshot>) -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            slot: Mutex::new(snapshot),
+        }
+    }
+
+    /// Replace the published snapshot and advance the epoch. Writer-only.
+    pub fn publish(&self, snapshot: Arc<dyn ReadSnapshot>) {
+        {
+            let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+            *slot = snapshot;
+        }
+        // Release: a reader that observes the new epoch also observes the
+        // new slot contents through the lock it then takes.
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current publication epoch (one atomic `Acquire` load — the
+    /// lock-free fast path of a reader's refresh check).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current `(epoch, snapshot)` pair. Takes the slot lock; callers
+    /// cache the result and gate re-loads on [`SnapshotCell::epoch`].
+    pub fn load(&self) -> (u64, Arc<dyn ReadSnapshot>) {
+        // Epoch first: if a publish races in between, the cached epoch is
+        // merely stale-low and the next refresh check re-loads — never a
+        // new epoch paired with an old snapshot.
+        let epoch = self.epoch();
+        let slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        (epoch, Arc::clone(&slot))
+    }
+}

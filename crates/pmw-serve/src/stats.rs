@@ -1,0 +1,112 @@
+//! Serving statistics: per-analyst outcome counts and writer-queue
+//! contention samples.
+
+/// Percentile over raw samples (nearest-rank); 0 when empty.
+fn percentile_ns(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() - 1) as f64 * q).ceil() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One analyst's (tenant's) serving record.
+#[derive(Debug, Clone, Default)]
+pub struct AnalystStats {
+    /// Queries answered free from the hypothesis (SV `⊥`).
+    pub free: u64,
+    /// Queries that committed an MW update (SV `⊤`, oracle answered).
+    pub updates: u64,
+    /// `⊤` rounds whose commit failed (oracle/update error) — the round
+    /// is burned, the analyst got the error.
+    pub failed: u64,
+    /// Requests refused up front because the tenant's privacy share
+    /// could not cover another update.
+    pub rejected: u64,
+    /// Writer-queue wait of each of this analyst's requests, in
+    /// nanoseconds (enqueue at the handle to dequeue by the writer) —
+    /// the contention signal a saturated writer shows first.
+    pub wait_ns: Vec<u64>,
+}
+
+impl AnalystStats {
+    /// p99 writer-queue wait for this analyst, ns (0 when idle).
+    pub fn wait_p99_ns(&self) -> u64 {
+        percentile_ns(&self.wait_ns, 0.99)
+    }
+
+    /// Requests this analyst had answered (any outcome).
+    pub fn requests(&self) -> u64 {
+        self.free + self.updates + self.failed + self.rejected
+    }
+}
+
+/// The writer thread's full serving record, returned at join.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Per-analyst outcome counts and wait samples, indexed by analyst id.
+    pub per_analyst: Vec<AnalystStats>,
+    /// Batches the writer drained (each cost at most one SV noise draw
+    /// before any `⊤` splits it).
+    pub batches: u64,
+    /// Requests dequeued in total.
+    pub requests: u64,
+    /// Writer-side re-screens of stale requests (screened against a
+    /// snapshot older than the current hypothesis state).
+    pub rescreens: u64,
+    /// Requests answered `Halted` because the update budget was spent.
+    pub halted_replies: u64,
+}
+
+impl ServeStats {
+    /// p50 writer-queue wait across every request, ns.
+    pub fn wait_p50_ns(&self) -> u64 {
+        percentile_ns(&self.all_waits(), 0.50)
+    }
+
+    /// p99 writer-queue wait across every request, ns.
+    pub fn wait_p99_ns(&self) -> u64 {
+        percentile_ns(&self.all_waits(), 0.99)
+    }
+
+    fn all_waits(&self) -> Vec<u64> {
+        self.per_analyst
+            .iter()
+            .flat_map(|a| a.wait_ns.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentile_ns(&[], 0.99), 0);
+        assert_eq!(percentile_ns(&[7], 0.99), 7);
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&samples, 0.50), 51);
+        assert_eq!(percentile_ns(&samples, 0.99), 100);
+    }
+
+    #[test]
+    fn stats_aggregate_across_analysts() {
+        let mut stats = ServeStats::default();
+        stats.per_analyst.push(AnalystStats {
+            free: 3,
+            wait_ns: vec![10, 20],
+            ..Default::default()
+        });
+        stats.per_analyst.push(AnalystStats {
+            updates: 1,
+            wait_ns: vec![1000],
+            ..Default::default()
+        });
+        assert_eq!(stats.per_analyst[0].requests(), 3);
+        assert_eq!(stats.wait_p99_ns(), 1000);
+        assert!(stats.wait_p50_ns() <= stats.wait_p99_ns());
+    }
+}

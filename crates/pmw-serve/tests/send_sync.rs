@@ -1,0 +1,37 @@
+//! Compile-time thread-safety contract of the serving stack.
+//!
+//! Everything an analyst thread holds — the data-side rows, query and
+//! loss objects, snapshots, transcripts — must be `Send + Sync`; this
+//! file is the satellite that pins the contract at compile time (a
+//! regression back toward `Rc`/`RefCell` in any of these types fails the
+//! build, not a test at runtime).
+
+use pmw_core::{ReadSnapshot, ScreenContext, ScreenedQuery, Transcript};
+use pmw_data::{ImplicitQuery, PointMatrix};
+use pmw_losses::CmLoss;
+use pmw_serve::{AnalystHandle, ServeAnswer, ServeStats, SnapshotCell};
+use std::sync::Arc;
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_send<T: Send>() {}
+
+#[test]
+fn serving_stack_types_are_thread_shareable() {
+    // The data substrate shared behind `Arc`s by every screen context.
+    assert_send_sync::<PointMatrix>();
+    assert_send_sync::<ImplicitQuery>();
+    // Loss trait objects cross the analyst → writer channel.
+    assert_send_sync::<Arc<dyn CmLoss>>();
+    // Snapshots are the published read surface.
+    assert_send_sync::<Arc<dyn ReadSnapshot>>();
+    assert_send_sync::<SnapshotCell>();
+    // The mechanism's serialized record and the screen-phase state.
+    assert_send_sync::<Transcript>();
+    assert_send_sync::<ScreenContext>();
+    assert_send_sync::<ScreenedQuery>();
+    assert_send_sync::<ServeAnswer>();
+    assert_send_sync::<ServeStats>();
+    // Handles move onto analyst threads (Send; they are per-thread
+    // objects, so Sync is not required).
+    assert_send::<AnalystHandle>();
+}

@@ -27,13 +27,14 @@
 //! never left half-updated.
 
 use crate::source::PointSource;
-use pmw_core::{BackendEvent, PmwError, QueryEstimate, StateBackend};
+use pmw_core::{BackendEvent, MeanFn, PmwError, QueryEstimate, ReadSnapshot, StateBackend};
 use pmw_data::{Histogram, PointMatrix, PointQuery};
 use pmw_erm::{ErmError, ErmOracle};
 use pmw_losses::CmLoss;
 use rand::Rng;
 use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// SplitMix64 — the standard 64-bit finalizer, used so `Hashed` schedules
 /// are reproducible across platforms without any RNG state.
@@ -136,10 +137,25 @@ impl FaultPlan {
 pub struct FaultyBackend<B: StateBackend> {
     inner: B,
     plan: FaultPlan,
-    estimate_calls: Cell<u64>,
-    update_calls: Cell<u64>,
-    radius_calls: Cell<u64>,
-    injected: Cell<u64>,
+    // Shared (`Arc<AtomicU64>`) rather than `Cell` so published snapshots
+    // keep advancing the *same* deterministic 1-based call sequence:
+    // faults scheduled for the estimate/read-radius sites must keep
+    // firing when the mechanism routes those reads through a snapshot.
+    estimate_calls: Arc<AtomicU64>,
+    update_calls: Arc<AtomicU64>,
+    radius_calls: Arc<AtomicU64>,
+    injected: Arc<AtomicU64>,
+}
+
+/// Advance the shared 1-based call counter for one fault site and report
+/// whether the schedule fires on this call (bumping the injected total).
+fn site_fires(rule: FaultRule, counter: &AtomicU64, injected: &AtomicU64) -> bool {
+    let call = counter.fetch_add(1, Ordering::Relaxed) + 1;
+    let hit = rule.fires(call);
+    if hit {
+        injected.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
 }
 
 impl<B: StateBackend> FaultyBackend<B> {
@@ -148,10 +164,10 @@ impl<B: StateBackend> FaultyBackend<B> {
         Self {
             inner,
             plan,
-            estimate_calls: Cell::new(0),
-            update_calls: Cell::new(0),
-            radius_calls: Cell::new(0),
-            injected: Cell::new(0),
+            estimate_calls: Arc::new(AtomicU64::new(0)),
+            update_calls: Arc::new(AtomicU64::new(0)),
+            radius_calls: Arc::new(AtomicU64::new(0)),
+            injected: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -165,19 +181,76 @@ impl<B: StateBackend> FaultyBackend<B> {
         self.inner
     }
 
-    /// Total faults injected so far (all sites).
+    /// Total faults injected so far (all sites, snapshots included).
     pub fn injected(&self) -> u64 {
-        self.injected.get()
+        self.injected.load(Ordering::Relaxed)
     }
 
-    fn fires(&self, rule: FaultRule, counter: &Cell<u64>) -> bool {
-        let call = counter.get() + 1;
-        counter.set(call);
-        let hit = rule.fires(call);
-        if hit {
-            self.injected.set(self.injected.get() + 1);
+    fn fires(&self, rule: FaultRule, counter: &AtomicU64) -> bool {
+        site_fires(rule, counter, &self.injected)
+    }
+}
+
+/// The read snapshot a [`FaultyBackend`] publishes: delegates every read
+/// to the wrapped backend's snapshot while keeping the estimate and
+/// read-radius fault sites live — the call counters are shared with the
+/// wrapping backend, so the deterministic schedule is indifferent to
+/// whether a read went through the live backend or a snapshot.
+struct FaultySnapshot {
+    inner: Arc<dyn ReadSnapshot>,
+    plan: FaultPlan,
+    estimate_calls: Arc<AtomicU64>,
+    radius_calls: Arc<AtomicU64>,
+    injected: Arc<AtomicU64>,
+}
+
+impl ReadSnapshot for FaultySnapshot {
+    fn universe_size(&self) -> usize {
+        self.inner.universe_size()
+    }
+
+    fn updates_recorded(&self) -> usize {
+        self.inner.updates_recorded()
+    }
+
+    fn hypothesis_minimizer(
+        &self,
+        loss: &dyn CmLoss,
+        points: &PointMatrix,
+        solver_iters: usize,
+    ) -> Result<Vec<f64>, PmwError> {
+        self.inner.hypothesis_minimizer(loss, points, solver_iters)
+    }
+
+    fn expected_query_value(
+        &self,
+        query: &dyn PointQuery,
+        points: Option<&PointMatrix>,
+    ) -> Result<QueryEstimate, PmwError> {
+        if site_fires(self.plan.estimate, &self.estimate_calls, &self.injected) {
+            return Err(PmwError::LossMismatch("injected fault: backend estimate"));
         }
-        hit
+        self.inner.expected_query_value(query, points)
+    }
+
+    fn estimate_mean(
+        &self,
+        label: &'static str,
+        scale: f64,
+        f: &mut MeanFn<'_>,
+    ) -> Result<QueryEstimate, PmwError> {
+        self.inner.estimate_mean(label, scale, f)
+    }
+
+    fn read_radius(&self, scale: f64) -> f64 {
+        if site_fires(self.plan.nan_radius, &self.radius_calls, &self.injected) {
+            return f64::NAN;
+        }
+        self.inner.read_radius(scale)
+    }
+
+    fn dense_hypothesis(&self) -> Option<&Histogram> {
+        self.inner.dense_hypothesis()
     }
 }
 
@@ -205,7 +278,7 @@ impl<B: StateBackend> StateBackend for FaultyBackend<B> {
     fn apply_update(
         &mut self,
         loss: &dyn CmLoss,
-        retained: Option<Rc<dyn CmLoss>>,
+        retained: Option<Arc<dyn CmLoss>>,
         points: &PointMatrix,
         theta_oracle: &[f64],
         theta_hyp: &[f64],
@@ -247,7 +320,7 @@ impl<B: StateBackend> StateBackend for FaultyBackend<B> {
     fn apply_query_update(
         &mut self,
         query: &dyn PointQuery,
-        retained: Option<Rc<dyn PointQuery>>,
+        retained: Option<Arc<dyn PointQuery>>,
         coeff: f64,
         eta: f64,
         points: Option<&PointMatrix>,
@@ -273,6 +346,16 @@ impl<B: StateBackend> StateBackend for FaultyBackend<B> {
             return f64::NAN;
         }
         self.inner.read_radius(scale)
+    }
+
+    fn snapshot(&self) -> Result<Arc<dyn ReadSnapshot>, PmwError> {
+        Ok(Arc::new(FaultySnapshot {
+            inner: self.inner.snapshot()?,
+            plan: self.plan,
+            estimate_calls: Arc::clone(&self.estimate_calls),
+            radius_calls: Arc::clone(&self.radius_calls),
+            injected: Arc::clone(&self.injected),
+        }))
     }
 
     fn requires_materialized_universe(&self) -> bool {

@@ -12,7 +12,9 @@
 use crate::error::SketchError;
 use crate::log::{RoundUpdate, UpdateLog};
 use crate::source::PointSource;
-use pmw_data::LogWeightFn;
+use pmw_core::{MeanFn, PmwError, QueryEstimate, ReadSnapshot};
+use pmw_data::{LogWeightFn, PointMatrix, PointQuery};
+use pmw_losses::CmLoss;
 use pmw_obs::{NoopProbe, Phase, Probe};
 use std::cell::RefCell;
 
@@ -170,6 +172,139 @@ impl<S: PointSource, P: Probe> LazyLogBackend<S, P> {
         let mut bufs = self.bufs.borrow_mut();
         self.log.log_weight_at(point, &mut bufs.1)
     }
+
+    /// Publish an immutable [`LazySnapshot`]: a clone of the point source
+    /// plus the **frozen update-log prefix** — cheap, because every
+    /// round's loss/query payload is shared behind an `Arc`, so the clone
+    /// copies `O(t)` handles, not the payloads. Later records extend the
+    /// live log only; the published prefix never changes.
+    pub fn snapshot(&self) -> LazySnapshot<S>
+    where
+        S: Clone,
+    {
+        LazySnapshot {
+            source: self.source.clone(),
+            log: self.log.clone(),
+        }
+    }
+}
+
+/// A published, immutable view of the lazy state: the frozen update-log
+/// prefix over a cloned point source. Reads are the same **exact** replay
+/// sweeps as the live backend's, but with per-call local scratch buffers
+/// instead of the live `RefCell` — which is what makes the snapshot
+/// `Sync` and freely shareable across reader threads.
+#[derive(Debug, Clone)]
+pub struct LazySnapshot<S: PointSource> {
+    source: S,
+    log: UpdateLog,
+}
+
+impl<S: PointSource> LazySnapshot<S> {
+    /// Rounds frozen into this snapshot.
+    pub fn rounds(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The frozen update log.
+    pub fn log(&self) -> &UpdateLog {
+        &self.log
+    }
+
+    /// Exact unnormalized log-weight of universe element `x` under the
+    /// frozen prefix — `O(t·d)`, allocation per call only.
+    pub fn log_weight_of(&self, x: usize) -> Result<f64, SketchError> {
+        let mut point = vec![0.0; self.source.dim()];
+        let mut grad = Vec::new();
+        self.source.write_point(x, &mut point);
+        self.log.log_weight_at(&point, &mut grad)
+    }
+}
+
+impl<S: PointSource + Send + Sync> ReadSnapshot for LazySnapshot<S> {
+    fn universe_size(&self) -> usize {
+        self.source.len()
+    }
+
+    fn updates_recorded(&self) -> usize {
+        self.log.len()
+    }
+
+    fn hypothesis_minimizer(
+        &self,
+        _loss: &dyn CmLoss,
+        _points: &PointMatrix,
+        _solver_iters: usize,
+    ) -> Result<Vec<f64>, PmwError> {
+        // Like the live backend (which deliberately does not implement
+        // `StateBackend`), the lazy path answers point-wise reads and
+        // exact sweeps, never hypothesis solves.
+        Err(PmwError::InvalidConfig(
+            "the lazy log backend does not answer hypothesis minimizers",
+        ))
+    }
+
+    fn expected_query_value(
+        &self,
+        query: &dyn PointQuery,
+        _points: Option<&PointMatrix>,
+    ) -> Result<QueryEstimate, PmwError> {
+        crate::log::validate_query_shape(query, self.source.len(), self.source.dim())?;
+        let value = self.estimate_sweep(&mut |x, point| {
+            crate::log::query_value_at(query, x, point).map_err(PmwError::from)
+        })?;
+        Ok(QueryEstimate {
+            value,
+            radius: 0.0,
+            beta: 0.0,
+        })
+    }
+
+    fn estimate_mean(
+        &self,
+        _label: &'static str,
+        scale: f64,
+        f: &mut MeanFn<'_>,
+    ) -> Result<QueryEstimate, PmwError> {
+        if !(scale.is_finite() && scale >= 0.0) {
+            return Err(PmwError::InvalidConfig(
+                "estimate_mean scale must be finite and non-negative",
+            ));
+        }
+        let value = self.estimate_sweep(f)?;
+        Ok(QueryEstimate {
+            value,
+            radius: 0.0,
+            beta: 0.0,
+        })
+    }
+}
+
+impl<S: PointSource> LazySnapshot<S> {
+    /// The exact two-pass (shift, then normalize-and-accumulate) replay
+    /// sweep shared by the snapshot's reads — the same float order as the
+    /// live backend's [`LazyLogBackend::expected_query_value`].
+    fn estimate_sweep(&self, f: &mut MeanFn) -> Result<f64, PmwError> {
+        let n = self.source.len();
+        let mut point = vec![0.0; self.source.dim()];
+        let mut grad = Vec::new();
+        // Pass 1: the max log-weight (numerical shift).
+        let mut shift = f64::NEG_INFINITY;
+        for x in 0..n {
+            self.source.write_point(x, &mut point);
+            shift = shift.max(self.log.log_weight_at(&point, &mut grad)?);
+        }
+        // Pass 2: shifted normalizer and statistic numerator.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for x in 0..n {
+            self.source.write_point(x, &mut point);
+            let w = (self.log.log_weight_at(&point, &mut grad)? - shift).exp();
+            num += w * f(x, &point)?;
+            den += w;
+        }
+        Ok(num / den)
+    }
 }
 
 /// The infallible [`LogWeightFn`] view used by the Gumbel-max samplers.
@@ -205,7 +340,7 @@ mod tests {
     use pmw_losses::{CmLoss, LinearQueryLoss, PointPredicate};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn bit_loss(bit: usize, dim: usize) -> LinearQueryLoss {
         LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![bit] }, dim).unwrap()
@@ -219,7 +354,7 @@ mod tests {
         assert_eq!(lazy.rounds(), 0);
         // A loss over 5-dimensional points cannot be recorded on a 3-cube.
         let wrong = RoundUpdate::new(
-            Rc::new(bit_loss(0, 5)) as Rc<dyn CmLoss>,
+            Arc::new(bit_loss(0, 5)) as Arc<dyn CmLoss>,
             vec![0.5],
             vec![0.2],
             0.1,
@@ -248,7 +383,7 @@ mod tests {
             let u = dual_certificate(&loss, &points, &[t_o], &[t_h]).unwrap();
             dense.mw_update(&u, eta).unwrap();
             lazy.record(
-                RoundUpdate::new(Rc::new(loss) as Rc<dyn CmLoss>, vec![t_o], vec![t_h], eta)
+                RoundUpdate::new(Arc::new(loss) as Arc<dyn CmLoss>, vec![t_o], vec![t_h], eta)
                     .unwrap(),
             )
             .unwrap();
@@ -276,7 +411,7 @@ mod tests {
         let u = dual_certificate(&loss, &points, &[0.9], &[0.4]).unwrap();
         dense.mw_update(&u, 0.7).unwrap();
         lazy.record(
-            RoundUpdate::new(Rc::new(loss) as Rc<dyn CmLoss>, vec![0.9], vec![0.4], 0.7).unwrap(),
+            RoundUpdate::new(Arc::new(loss) as Arc<dyn CmLoss>, vec![0.9], vec![0.4], 0.7).unwrap(),
         )
         .unwrap();
 
@@ -323,7 +458,13 @@ mod tests {
         let u = dual_certificate(&loss, &points, &[0.95], &[0.3]).unwrap();
         dense.mw_update(&u, 3.0).unwrap();
         lazy.record(
-            RoundUpdate::new(Rc::new(loss) as Rc<dyn CmLoss>, vec![0.95], vec![0.3], 3.0).unwrap(),
+            RoundUpdate::new(
+                Arc::new(loss) as Arc<dyn CmLoss>,
+                vec![0.95],
+                vec![0.3],
+                3.0,
+            )
+            .unwrap(),
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(11);

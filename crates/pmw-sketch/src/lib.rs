@@ -55,7 +55,7 @@ pub mod source;
 pub use error::SketchError;
 pub use fault::{FaultPlan, FaultRule, FaultyBackend, FaultyOracle, FaultySource};
 pub use health::PoolHealth;
-pub use lazy::LazyLogBackend;
+pub use lazy::{LazyLogBackend, LazySnapshot};
 pub use log::{RoundUpdate, UpdateLog};
-pub use sampled::{Estimate, MaxEstimate, SampledBackend, SampledConfig};
+pub use sampled::{Estimate, MaxEstimate, SampledBackend, SampledConfig, SampledSnapshot};
 pub use source::{BigBitCube, PointSource, UniversePoints};

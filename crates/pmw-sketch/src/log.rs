@@ -20,7 +20,7 @@ use crate::error::SketchError;
 use pmw_core::update::dual_certificate_at;
 use pmw_data::workload::PointQuery;
 use pmw_losses::CmLoss;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Validate that `query` matches a universe of `universe_len` elements
 /// with `point_dim`-dimensional points — shared by both sketch backends
@@ -60,10 +60,11 @@ pub(crate) fn query_value_at(
 }
 
 /// The round-specific payoff parameters.
+#[derive(Clone)]
 enum UpdatePayload {
     /// A Figure-3 dual-certificate round.
     Certificate {
-        loss: Rc<dyn CmLoss>,
+        loss: Arc<dyn CmLoss>,
         theta_oracle: Vec<f64>,
         theta_hyp: Vec<f64>,
     },
@@ -72,13 +73,16 @@ enum UpdatePayload {
     /// re-evaluates payoffs at points it has never seen, which a
     /// universe-indexed dense query cannot do.
     Query {
-        query: Rc<dyn PointQuery>,
+        query: Arc<dyn PointQuery>,
         coeff: f64,
     },
 }
 
 /// One recorded MW round: the data needed to re-evaluate that round's
-/// payoff `u_r(x)` at any point later.
+/// payoff `u_r(x)` at any point later. Cloning is cheap: the loss/query
+/// payload is shared behind an `Arc`, so a clone copies only the round's
+/// `O(d)` parameters.
+#[derive(Clone)]
 pub struct RoundUpdate {
     payload: UpdatePayload,
     eta: f64,
@@ -88,7 +92,7 @@ impl RoundUpdate {
     /// Bundle a dual-certificate round's parameters, validating dimensions
     /// against the loss.
     pub fn new(
-        loss: Rc<dyn CmLoss>,
+        loss: Arc<dyn CmLoss>,
         theta_oracle: Vec<f64>,
         theta_hyp: Vec<f64>,
         eta: f64,
@@ -140,7 +144,7 @@ impl RoundUpdate {
 
     /// Bundle a linear-query round `u(x) = coeff·q(x)`. The query must be
     /// point-evaluable; universe-indexed (dense) queries are rejected.
-    pub fn query(query: Rc<dyn PointQuery>, coeff: f64, eta: f64) -> Result<Self, SketchError> {
+    pub fn query(query: Arc<dyn PointQuery>, coeff: f64, eta: f64) -> Result<Self, SketchError> {
         if query.point_dim().is_none() {
             return Err(SketchError::UnsupportedLoss(
                 "universe-indexed queries cannot be re-evaluated from point coordinates; \
@@ -267,7 +271,10 @@ impl std::fmt::Debug for RoundUpdate {
 
 /// The lazily evaluated MW state: uniform prior (`log w ≡ 0`) plus the
 /// recorded rounds.
-#[derive(Debug, Default)]
+/// Cloning freezes the current prefix — the snapshot publication
+/// primitive of the lazy path: `O(t·d)` parameter copies, with the heavy
+/// loss/query payloads shared behind `Arc`s.
+#[derive(Debug, Default, Clone)]
 pub struct UpdateLog {
     rounds: Vec<RoundUpdate>,
     /// `Σ_r η_r·S_r` — every log-weight lies in `[−drift, +drift]`, the
@@ -343,8 +350,8 @@ mod tests {
     use pmw_data::{LinearQuery, PointQuery};
     use pmw_losses::{LinearQueryLoss, PointPredicate, SquaredLoss};
 
-    fn lq(bit: usize, dim: usize) -> Rc<dyn CmLoss> {
-        Rc::new(
+    fn lq(bit: usize, dim: usize) -> Arc<dyn CmLoss> {
+        Arc::new(
             LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![bit] }, dim).unwrap(),
         )
     }
@@ -362,14 +369,14 @@ mod tests {
 
     #[test]
     fn query_round_validates() {
-        let q: Rc<dyn PointQuery> = Rc::new(ImplicitQuery::marginal(vec![1], 3).unwrap());
+        let q: Arc<dyn PointQuery> = Arc::new(ImplicitQuery::marginal(vec![1], 3).unwrap());
         assert!(RoundUpdate::query(q.clone(), 1.0, 0.5).is_ok());
         assert!(RoundUpdate::query(q.clone(), f64::NAN, 0.5).is_err());
         assert!(RoundUpdate::query(q.clone(), 1.0, -0.1).is_err());
         assert!(RoundUpdate::query(q, 1.0, f64::INFINITY).is_err());
         // Dense (universe-indexed) queries cannot be recorded: the log
         // must re-evaluate them at arbitrary points.
-        let dense: Rc<dyn PointQuery> = Rc::new(LinearQuery::new(vec![1.0, 0.0]).unwrap());
+        let dense: Arc<dyn PointQuery> = Arc::new(LinearQuery::new(vec![1.0, 0.0]).unwrap());
         assert!(matches!(
             RoundUpdate::query(dense, 1.0, 0.5),
             Err(SketchError::UnsupportedLoss(_))

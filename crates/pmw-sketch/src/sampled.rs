@@ -51,7 +51,7 @@ use crate::health::PoolHealth;
 use crate::log::{RoundUpdate, UpdateLog};
 use crate::source::PointSource;
 use pmw_core::update::dual_certificate_at;
-use pmw_core::{BackendEvent, PmwError, QueryEstimate, StateBackend};
+use pmw_core::{BackendEvent, MeanFn, PmwError, QueryEstimate, ReadSnapshot, StateBackend};
 use pmw_data::{gumbel_max_index, Histogram, PointMatrix, PointQuery};
 use pmw_dp::{
     effective_sample_size, empirical_bernstein_radius, ess_radius, hoeffding_radius,
@@ -61,7 +61,17 @@ use pmw_losses::traits::minimize_weighted;
 use pmw_losses::CmLoss;
 use pmw_obs::{Counter, Gauge, NoopProbe, Phase, Probe};
 use rand::{Rng, RngExt};
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock the shared sampling ledger, recovering from a poisoned mutex: the
+/// ledger is append-only plain data, so a panic mid-`record` cannot leave
+/// it logically inconsistent.
+fn lock_ledger(ledger: &Mutex<SamplingAccountant>) -> MutexGuard<'_, SamplingAccountant> {
+    ledger
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Configuration of the Monte-Carlo sketch.
 #[derive(Debug, Clone, Copy)]
@@ -163,6 +173,316 @@ pub struct MaxEstimate {
     pub beta: f64,
 }
 
+/// The borrowed read-state shared by the live [`SampledBackend`] and its
+/// published [`SampledSnapshot`]s: the pool triple plus the scalar
+/// parameters every SNIS estimate and concentration bound reads. Keeping
+/// the estimator bodies here — and only here — is what makes a snapshot's
+/// answers bit-for-bit identical to the live backend's at the same round.
+struct SketchReadView<'a> {
+    pool_indices: &'a [usize],
+    pool_points: &'a PointMatrix,
+    pool_log_w: &'a [f64],
+    exhaustive: bool,
+    drift_bound: f64,
+    beta: f64,
+    max_usable_radius: f64,
+}
+
+impl SketchReadView<'_> {
+    fn pool_size(&self) -> usize {
+        self.pool_indices.len()
+    }
+
+    /// Normalized self-normalized-importance-sampling weights of the pool
+    /// (softmax of the cached log-weights) plus the shifted normalizer
+    /// mean `B̂' = (1/m)Σ exp(log w_i − shift)` and the shift itself.
+    fn snis(&self) -> (Vec<f64>, f64, f64) {
+        let shift = self
+            .pool_log_w
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let mut w: Vec<f64> = self
+            .pool_log_w
+            .iter()
+            .map(|&lw| (lw - shift).exp())
+            .collect();
+        let total: f64 = w.iter().sum();
+        debug_assert!(total > 0.0 && total.is_finite());
+        let mean_shifted = total / w.len() as f64;
+        for v in &mut w {
+            *v /= total;
+        }
+        (w, mean_shifted, shift)
+    }
+
+    /// The drift-envelope ratio bound shared by every estimate and read
+    /// margin, so the numerically delicate formula exists exactly once:
+    /// `w(x) ∈ [e^{−c}, e^{c}]`, Hoeffding on the shifted numerator mean
+    /// (range `2·scale·e^{c−shift}`) and the shifted normalizer mean
+    /// (range `e^{c−shift}`), each at `beta_each`, combined through the
+    /// standard ratio bound `(ε_A + scale·ε_B)/B̂` with `B̂ = e^shift·B̂'`.
+    fn envelope_radius(&self, scale: f64, beta_each: f64, shift: f64, mean_shifted: f64) -> f64 {
+        let m = self.pool_size();
+        let c = self.drift_bound;
+        match (
+            hoeffding_radius(2.0 * scale, m, beta_each),
+            hoeffding_radius(1.0, m, beta_each),
+        ) {
+            (Ok(ha), Ok(hb)) => {
+                let scale_up = (c - shift).exp(); // e^c / e^shift
+                (ha * scale_up + scale * hb * scale_up) / mean_shifted
+            }
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// The single-pass SNIS value + minimum-of-three-bounds radius (see
+    /// [`SampledBackend::estimate_mean`] for the bound derivation and the
+    /// honesty caveat). Ledgers the claim into the shared accountant.
+    /// Generic over the error type so the live path keeps surfacing
+    /// [`SketchError`] while snapshot reads surface [`PmwError`] directly.
+    fn estimate_mean<E: From<SketchError>>(
+        &self,
+        ledger: &Mutex<SamplingAccountant>,
+        label: &'static str,
+        scale: f64,
+        mut f: impl FnMut(usize, &[f64]) -> Result<f64, E>,
+    ) -> Result<Estimate, E> {
+        let (w, mean_shifted, shift) = self.snis();
+        // One pass: the SNIS value Σ ŵ_i·f_i (same accumulation order as
+        // ever — exhaustive pools stay bit-for-bit), plus the weight/value
+        // second moments the adaptive bounds read: Σŵ², Σŵ²f, Σŵ²f².
+        let mut value = 0.0;
+        let mut w_sq = 0.0;
+        let mut w_sq_f = 0.0;
+        let mut w_sq_f_sq = 0.0;
+        for (slot, (point, wi)) in self.pool_points.iter().zip(&w).enumerate() {
+            if *wi > 0.0 {
+                let fv = f(slot, point)?;
+                value += wi * fv;
+                w_sq += wi * wi;
+                w_sq_f += wi * wi * fv;
+                w_sq_f_sq += wi * wi * fv * fv;
+            }
+        }
+        let (radius, beta, bound, envelope) = if self.exhaustive {
+            (0.0, 0.0, RadiusBound::Exact, 0.0)
+        } else if scale <= 0.0 {
+            // |f| ≤ 0 pins the statistic (and hence the estimate and the
+            // true value) to exactly zero — no manufactured numerator
+            // range, no radius, no failure probability.
+            (0.0, 0.0, RadiusBound::Exact, 0.0)
+        } else {
+            let beta = self.beta;
+            // Candidate 1 (β/2, split again over numerator/normalizer):
+            // the worst-case drift-envelope ratio bound.
+            let envelope = self.envelope_radius(scale, beta / 4.0, shift, mean_shifted);
+            // Candidate 2 (β/4): Hoeffding at the realized effective
+            // sample size with the integrand's own range — the drift
+            // envelope replaced by the weight spread the pool exhibits.
+            // ŵ sums to 1, so ESS = 1/Σŵ².
+            let ess = effective_sample_size(1.0, w_sq);
+            let r_ess = ess_radius(2.0 * scale, ess, beta / 4.0).unwrap_or(f64::INFINITY);
+            // Candidate 3 (β/4): empirical Bernstein on the delta-method
+            // variance of the self-normalized ratio,
+            // S² = Σ ŵ_i²·(f_i − value)², treated as the variance of one
+            // effective draw out of ESS.
+            let delta_var = (w_sq_f_sq - 2.0 * value * w_sq_f + value * value * w_sq).max(0.0);
+            let r_eb = if ess > 1.0 {
+                empirical_bernstein_radius(2.0 * scale, delta_var * ess, ess, beta / 4.0)
+                    .unwrap_or(f64::INFINITY)
+            } else {
+                f64::INFINITY
+            };
+            let (radius, bound) = if r_eb <= r_ess && r_eb <= envelope {
+                (r_eb, RadiusBound::Bernstein)
+            } else if r_ess <= envelope {
+                (r_ess, RadiusBound::EffectiveSample)
+            } else {
+                (envelope, RadiusBound::Hoeffding)
+            };
+            (radius, beta, bound, envelope)
+        };
+        lock_ledger(ledger).record(label, self.pool_size(), radius, beta, bound);
+        // Loud read failure: a claim wider than the configured usable
+        // threshold must not be served as if it were an answer. Never
+        // fires at the default threshold (infinity).
+        if radius > self.max_usable_radius {
+            return Err(SketchError::Degraded(
+                "estimate's claimed radius exceeds the usable threshold",
+            )
+            .into());
+        }
+        Ok(Estimate {
+            value,
+            radius,
+            beta,
+            bound,
+            envelope_radius: envelope,
+        })
+    }
+
+    /// The minimum-of-bounds computation behind
+    /// [`SampledBackend::read_radius`], without the ledger entry. Also
+    /// returns the envelope candidate so the probed read path can gauge
+    /// claimed-vs-envelope.
+    fn read_radius_parts(&self, scale: f64) -> (f64, RadiusBound, f64) {
+        let beta = self.beta;
+        let (w, mean_shifted, shift) = self.snis();
+        let w_sq: f64 = w.iter().map(|v| v * v).sum();
+        let envelope = self.envelope_radius(scale, beta / 4.0, shift, mean_shifted);
+        // ŵ sums to 1, so ESS = 1/Σŵ².
+        let ess = effective_sample_size(1.0, w_sq);
+        let r_ess = ess_radius(2.0 * scale, ess, beta / 2.0).unwrap_or(f64::INFINITY);
+        if r_ess <= envelope {
+            (r_ess, RadiusBound::EffectiveSample, envelope)
+        } else {
+            (envelope, RadiusBound::Hoeffding, envelope)
+        }
+    }
+}
+
+/// A published, immutable read view of the sketched MW state — the
+/// [`ReadSnapshot`] the [`SampledBackend`] hands to concurrent readers.
+///
+/// The pool triple is **cloned** at publish time (`O(m·d)` — the same
+/// order as the round update that preceded it), so writer-side faults
+/// after publication (failed rounds, rollbacks, poisoning, pool
+/// corruption) can never reach an already-published snapshot. The
+/// sampling ledger, by contrast, is **shared** (`Arc`) with the live
+/// backend: concentration claims made by snapshot reads land in the same
+/// union-bound record as the live backend's, in arrival order, so the
+/// accuracy accounting stays complete no matter which path served a read.
+#[derive(Debug, Clone)]
+pub struct SampledSnapshot {
+    pool_indices: Vec<usize>,
+    pool_points: PointMatrix,
+    pool_log_w: Vec<f64>,
+    exhaustive: bool,
+    drift_bound: f64,
+    beta: f64,
+    max_usable_radius: f64,
+    universe_size: usize,
+    dim: usize,
+    updates: usize,
+    ledger: Arc<Mutex<SamplingAccountant>>,
+}
+
+impl SampledSnapshot {
+    fn view(&self) -> SketchReadView<'_> {
+        SketchReadView {
+            pool_indices: &self.pool_indices,
+            pool_points: &self.pool_points,
+            pool_log_w: &self.pool_log_w,
+            exhaustive: self.exhaustive,
+            drift_bound: self.drift_bound,
+            beta: self.beta,
+            max_usable_radius: self.max_usable_radius,
+        }
+    }
+
+    /// Pool size `m` at publish time.
+    pub fn pool_size(&self) -> usize {
+        self.pool_indices.len()
+    }
+
+    /// True when the frozen pool enumerates the whole universe.
+    pub fn is_exhaustive(&self) -> bool {
+        self.exhaustive
+    }
+}
+
+impl ReadSnapshot for SampledSnapshot {
+    fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    fn updates_recorded(&self) -> usize {
+        self.updates
+    }
+
+    fn hypothesis_minimizer(
+        &self,
+        loss: &dyn CmLoss,
+        _points: &PointMatrix,
+        solver_iters: usize,
+    ) -> Result<Vec<f64>, PmwError> {
+        if loss.point_dim() != self.dim {
+            return Err(PmwError::LossMismatch(
+                "loss point dimension does not match point source",
+            ));
+        }
+        // Minimize over the frozen pooled hypothesis: SNIS weights on the
+        // cloned pool points — identical floats to the live backend's
+        // solve at the publish round.
+        let (weights, _, _) = self.view().snis();
+        Ok(minimize_weighted(
+            loss,
+            &self.pool_points,
+            &weights,
+            solver_iters,
+        )?)
+    }
+
+    fn expected_query_value(
+        &self,
+        query: &dyn PointQuery,
+        _points: Option<&PointMatrix>,
+    ) -> Result<QueryEstimate, PmwError> {
+        crate::log::validate_query_shape(query, self.universe_size, self.dim)?;
+        let (lo, hi) = query.value_bounds();
+        let scale = lo.abs().max(hi.abs());
+        let est = self.view().estimate_mean::<PmwError>(
+            &self.ledger,
+            "query-mean",
+            scale,
+            |slot, point| {
+                crate::log::query_value_at(query, self.pool_indices[slot], point)
+                    .map_err(PmwError::from)
+            },
+        )?;
+        Ok(QueryEstimate {
+            value: est.value,
+            radius: est.radius,
+            beta: est.beta,
+        })
+    }
+
+    fn estimate_mean(
+        &self,
+        label: &'static str,
+        scale: f64,
+        f: &mut MeanFn<'_>,
+    ) -> Result<QueryEstimate, PmwError> {
+        if !(scale.is_finite() && scale >= 0.0) {
+            return Err(PmwError::InvalidConfig(
+                "estimate_mean scale must be finite and non-negative",
+            ));
+        }
+        // The trait closure receives the *universe* index; the pool sweep
+        // hands out slots — translate through the frozen index map.
+        let est =
+            self.view()
+                .estimate_mean::<PmwError>(&self.ledger, label, scale, |slot, point| {
+                    f(self.pool_indices[slot], point)
+                })?;
+        Ok(QueryEstimate {
+            value: est.value,
+            radius: est.radius,
+            beta: est.beta,
+        })
+    }
+
+    fn read_radius(&self, scale: f64) -> f64 {
+        if self.exhaustive || scale <= 0.0 || scale.is_nan() {
+            return 0.0;
+        }
+        let (radius, bound, _envelope) = self.view().read_radius_parts(scale);
+        lock_ledger(&self.ledger).record("read-margin", self.pool_size(), radius, self.beta, bound);
+        radius
+    }
+}
+
 /// Monte-Carlo sketched MW state over a [`PointSource`].
 ///
 /// The second type parameter is an observation [`Probe`] (default:
@@ -209,7 +529,14 @@ pub struct SampledBackend<S: PointSource, P: Probe = NoopProbe> {
     /// (point, gradient) scratch buffers; `RefCell` because reads are
     /// logically `&self`.
     bufs: RefCell<(Vec<f64>, Vec<f64>)>,
-    ledger: RefCell<SamplingAccountant>,
+    /// The sampling-noise ledger, shared (`Arc`) with every published
+    /// [`SampledSnapshot`] so concentration claims made by snapshot reads
+    /// land in the same union-bound record as the live backend's, in
+    /// arrival order.
+    ledger: Arc<Mutex<SamplingAccountant>>,
+    /// Round at which a read snapshot was last published (`None` before
+    /// the first publication) — drives the `snapshot_age` health gauge.
+    published_round: Cell<Option<usize>>,
 }
 
 /// Everything a failed round must restore: the pool triple, the log
@@ -303,7 +630,8 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             poisoned: false,
             pending_events: Vec::new(),
             bufs: RefCell::new((vec![0.0; dim], Vec::new())),
-            ledger: RefCell::new(SamplingAccountant::new()),
+            ledger: Arc::new(Mutex::new(SamplingAccountant::new())),
+            published_round: Cell::new(None),
         })
     }
 
@@ -332,9 +660,40 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         &self.log
     }
 
-    /// The sampling-noise ledger: one entry per estimate issued.
-    pub fn ledger(&self) -> Ref<'_, SamplingAccountant> {
-        self.ledger.borrow()
+    /// The sampling-noise ledger: one entry per estimate issued — by the
+    /// live backend *and* by every snapshot published from it (the ledger
+    /// is shared, so snapshot reads are ledgered too).
+    pub fn ledger(&self) -> MutexGuard<'_, SamplingAccountant> {
+        lock_ledger(&self.ledger)
+    }
+
+    /// Mutable ledger handle for recording (poison-recovering lock).
+    fn ledger_mut(&self) -> MutexGuard<'_, SamplingAccountant> {
+        lock_ledger(&self.ledger)
+    }
+
+    /// Publish an immutable [`SampledSnapshot`] of the current sketched
+    /// state: clone-on-publish of the pool triple (`O(m·d)` — the same
+    /// order as one round update), drift envelope frozen, sampling ledger
+    /// shared. Fails closed on poisoned backends — a snapshot must never
+    /// freeze inconsistent state — and records the publish round so the
+    /// post-round health gauges can report snapshot age.
+    pub fn publish_snapshot(&self) -> Result<SampledSnapshot, SketchError> {
+        self.ensure_usable()?;
+        self.published_round.set(Some(self.log.len()));
+        Ok(SampledSnapshot {
+            pool_indices: self.pool_indices.clone(),
+            pool_points: self.pool_points.clone(),
+            pool_log_w: self.pool_log_w.clone(),
+            exhaustive: self.exhaustive,
+            drift_bound: self.log.drift_bound(),
+            beta: self.config.beta,
+            max_usable_radius: self.config.max_usable_radius,
+            universe_size: self.source.len(),
+            dim: self.source.dim(),
+            updates: self.log.len(),
+            ledger: Arc::clone(&self.ledger),
+        })
     }
 
     /// Total pool refreshes so far — fixed-cadence
@@ -576,8 +935,10 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
 
     /// Capture everything a failed round must restore. Taken before a
     /// round's first mutation, dropped on success. `O(m·d)` — the same
-    /// order as the round update it protects.
-    fn snapshot(&self) -> PoolSnapshot {
+    /// order as the round update it protects. (Distinct from the
+    /// *published* read snapshot, [`Self::publish_snapshot`]: this one is
+    /// the rollback checkpoint of the transactional round.)
+    fn pool_checkpoint(&self) -> PoolSnapshot {
         PoolSnapshot {
             pool_indices: self.pool_indices.clone(),
             pool_points: self.pool_points.clone(),
@@ -638,7 +999,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         rng: &mut dyn Rng,
     ) -> Result<(), SketchError> {
         self.ensure_usable()?;
-        let snap = self.snapshot();
+        let snap = self.pool_checkpoint();
         let events_before = snap.events_len;
         match self.run_round(update, rng) {
             Ok(()) => Ok(()),
@@ -689,13 +1050,19 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             self.probe.gauge(Gauge::DriftBound, health.drift_bound);
             self.probe.gauge(Gauge::PoolSize, self.pool_size() as f64);
         }
+        if P::ENABLED {
+            if let Some(at) = self.published_round.get() {
+                self.probe
+                    .gauge(Gauge::SnapshotAge, round.saturating_sub(at) as f64);
+            }
+        }
         if self.config.ess_floor > 0.0 && !self.exhaustive {
             let health = self.health();
             if health.ess_fraction < self.config.ess_floor {
                 self.resample(rng)?;
                 self.adaptive_resamples += 1;
                 self.probe.counter(Counter::AdaptiveResamples, 1);
-                self.ledger.borrow_mut().record(
+                self.ledger_mut().record(
                     "adaptive-resample",
                     self.pool_size(),
                     0.0,
@@ -717,7 +1084,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
                 // Rung 1: emergency refresh — collapse-driven blow-ups
                 // recover here.
                 self.resample(rng)?;
-                self.ledger.borrow_mut().record(
+                self.ledger_mut().record(
                     "emergency-resample",
                     self.pool_size(),
                     radius,
@@ -739,7 +1106,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
                     if self.pool_size() == before {
                         break;
                     }
-                    self.ledger.borrow_mut().record(
+                    self.ledger_mut().record(
                         "pool-growth",
                         self.pool_size(),
                         radius,
@@ -770,22 +1137,23 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
     /// (softmax of the cached log-weights) plus the shifted normalizer
     /// mean `B̂' = (1/m)Σ exp(log w_i − shift)` and the shift itself.
     fn snis(&self) -> (Vec<f64>, f64, f64) {
-        let shift = self
-            .pool_log_w
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        let mut w: Vec<f64> = self
-            .pool_log_w
-            .iter()
-            .map(|&lw| (lw - shift).exp())
-            .collect();
-        let total: f64 = w.iter().sum();
-        debug_assert!(total > 0.0 && total.is_finite());
-        let mean_shifted = total / w.len() as f64;
-        for v in &mut w {
-            *v /= total;
+        self.view().snis()
+    }
+
+    /// The borrowed read-state shared by the live backend and its
+    /// published snapshots — one code path for every estimate and bound,
+    /// so a snapshot's answers are bit-for-bit the live backend's at the
+    /// same round.
+    fn view(&self) -> SketchReadView<'_> {
+        SketchReadView {
+            pool_indices: &self.pool_indices,
+            pool_points: &self.pool_points,
+            pool_log_w: &self.pool_log_w,
+            exhaustive: self.exhaustive,
+            drift_bound: self.log.drift_bound(),
+            beta: self.config.beta,
+            max_usable_radius: self.config.max_usable_radius,
         }
-        (w, mean_shifted, shift)
     }
 
     /// Self-normalized importance-sampling estimate of
@@ -833,108 +1201,15 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
 
     /// The single-pass SNIS + minimum-of-bounds computation behind
     /// [`Self::estimate_mean`], separated so the estimate span stays
-    /// balanced across every error return.
+    /// balanced across every error return. Shared with published
+    /// snapshots through [`SketchReadView`].
     fn estimate_mean_inner(
         &self,
         label: &'static str,
         scale: f64,
-        mut f: impl FnMut(usize, &[f64]) -> Result<f64, SketchError>,
+        f: impl FnMut(usize, &[f64]) -> Result<f64, SketchError>,
     ) -> Result<Estimate, SketchError> {
-        let (w, mean_shifted, shift) = self.snis();
-        // One pass: the SNIS value Σ ŵ_i·f_i (same accumulation order as
-        // ever — exhaustive pools stay bit-for-bit), plus the weight/value
-        // second moments the adaptive bounds read: Σŵ², Σŵ²f, Σŵ²f².
-        let mut value = 0.0;
-        let mut w_sq = 0.0;
-        let mut w_sq_f = 0.0;
-        let mut w_sq_f_sq = 0.0;
-        for (slot, (point, wi)) in self.pool_points.iter().zip(&w).enumerate() {
-            if *wi > 0.0 {
-                let fv = f(slot, point)?;
-                value += wi * fv;
-                w_sq += wi * wi;
-                w_sq_f += wi * wi * fv;
-                w_sq_f_sq += wi * wi * fv * fv;
-            }
-        }
-        let (radius, beta, bound, envelope) = if self.exhaustive {
-            (0.0, 0.0, RadiusBound::Exact, 0.0)
-        } else if scale <= 0.0 {
-            // |f| ≤ 0 pins the statistic (and hence the estimate and the
-            // true value) to exactly zero — no manufactured numerator
-            // range, no radius, no failure probability.
-            (0.0, 0.0, RadiusBound::Exact, 0.0)
-        } else {
-            let beta = self.config.beta;
-            // Candidate 1 (β/2, split again over numerator/normalizer):
-            // the worst-case drift-envelope ratio bound.
-            let envelope = self.envelope_radius(scale, beta / 4.0, shift, mean_shifted);
-            // Candidate 2 (β/4): Hoeffding at the realized effective
-            // sample size with the integrand's own range — the drift
-            // envelope replaced by the weight spread the pool exhibits.
-            // ŵ sums to 1, so ESS = 1/Σŵ².
-            let ess = effective_sample_size(1.0, w_sq);
-            let r_ess = ess_radius(2.0 * scale, ess, beta / 4.0).unwrap_or(f64::INFINITY);
-            // Candidate 3 (β/4): empirical Bernstein on the delta-method
-            // variance of the self-normalized ratio,
-            // S² = Σ ŵ_i²·(f_i − value)², treated as the variance of one
-            // effective draw out of ESS.
-            let delta_var = (w_sq_f_sq - 2.0 * value * w_sq_f + value * value * w_sq).max(0.0);
-            let r_eb = if ess > 1.0 {
-                empirical_bernstein_radius(2.0 * scale, delta_var * ess, ess, beta / 4.0)
-                    .unwrap_or(f64::INFINITY)
-            } else {
-                f64::INFINITY
-            };
-            let (radius, bound) = if r_eb <= r_ess && r_eb <= envelope {
-                (r_eb, RadiusBound::Bernstein)
-            } else if r_ess <= envelope {
-                (r_ess, RadiusBound::EffectiveSample)
-            } else {
-                (envelope, RadiusBound::Hoeffding)
-            };
-            (radius, beta, bound, envelope)
-        };
-        self.ledger
-            .borrow_mut()
-            .record(label, self.pool_size(), radius, beta, bound);
-        // Loud read failure: a claim wider than the configured usable
-        // threshold must not be served as if it were an answer. Never
-        // fires at the default threshold (infinity).
-        if radius > self.config.max_usable_radius {
-            return Err(SketchError::Degraded(
-                "estimate's claimed radius exceeds the usable threshold",
-            ));
-        }
-        Ok(Estimate {
-            value,
-            radius,
-            beta,
-            bound,
-            envelope_radius: envelope,
-        })
-    }
-
-    /// The drift-envelope ratio bound shared by [`Self::estimate_mean`]
-    /// and [`Self::read_radius`], so the numerically delicate formula
-    /// exists exactly once: `w(x) ∈ [e^{−c}, e^{c}]`, Hoeffding on the
-    /// shifted numerator mean (range `2·scale·e^{c−shift}`) and the
-    /// shifted normalizer mean (range `e^{c−shift}`), each at
-    /// `beta_each`, combined through the standard ratio bound
-    /// `(ε_A + scale·ε_B)/B̂` with `B̂ = e^shift·B̂'`.
-    fn envelope_radius(&self, scale: f64, beta_each: f64, shift: f64, mean_shifted: f64) -> f64 {
-        let m = self.pool_size();
-        let c = self.log.drift_bound();
-        match (
-            hoeffding_radius(2.0 * scale, m, beta_each),
-            hoeffding_radius(1.0, m, beta_each),
-        ) {
-            (Ok(ha), Ok(hb)) => {
-                let scale_up = (c - shift).exp(); // e^c / e^shift
-                (ha * scale_up + scale * hb * scale_up) / mean_shifted
-            }
-            _ => f64::INFINITY,
-        }
+        self.view().estimate_mean(&self.ledger, label, scale, f)
     }
 
     /// The concentration radius this backend claims for a generic mean
@@ -951,8 +1226,8 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         if self.exhaustive || scale <= 0.0 || scale.is_nan() {
             return 0.0;
         }
-        let (radius, bound, envelope) = self.read_radius_parts(scale);
-        self.ledger.borrow_mut().record(
+        let (radius, bound, envelope) = self.view().read_radius_parts(scale);
+        self.ledger_mut().record(
             "read-margin",
             self.pool_size(),
             radius,
@@ -966,24 +1241,6 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         radius
     }
 
-    /// The minimum-of-bounds computation behind [`Self::read_radius`],
-    /// without the ledger entry. Also returns the envelope candidate so
-    /// the probed read path can gauge claimed-vs-envelope.
-    fn read_radius_parts(&self, scale: f64) -> (f64, RadiusBound, f64) {
-        let beta = self.config.beta;
-        let (w, mean_shifted, shift) = self.snis();
-        let w_sq: f64 = w.iter().map(|v| v * v).sum();
-        let envelope = self.envelope_radius(scale, beta / 4.0, shift, mean_shifted);
-        // ŵ sums to 1, so ESS = 1/Σŵ².
-        let ess = effective_sample_size(1.0, w_sq);
-        let r_ess = ess_radius(2.0 * scale, ess, beta / 2.0).unwrap_or(f64::INFINITY);
-        if r_ess <= envelope {
-            (r_ess, RadiusBound::EffectiveSample, envelope)
-        } else {
-            (envelope, RadiusBound::Hoeffding, envelope)
-        }
-    }
-
     /// [`Self::read_radius`] for the backend's own escalation policy: the
     /// same claimed bound, but *not* ledgered — internal control flow
     /// makes no β-claim a caller's answer rests on, so it must not inflate
@@ -992,7 +1249,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         if self.exhaustive || scale <= 0.0 || scale.is_nan() {
             return 0.0;
         }
-        self.read_radius_parts(scale).0
+        self.view().read_radius_parts(scale).0
     }
 
     /// Estimate the certificate expectation `⟨u, D̂_t⟩` for the payoff
@@ -1068,8 +1325,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
                 RadiusBound::Coverage,
             )
         };
-        self.ledger
-            .borrow_mut()
+        self.ledger_mut()
             .record("max-payoff", self.pool_size(), uncovered, beta, bound);
         Ok(MaxEstimate {
             value,
@@ -1135,7 +1391,7 @@ impl<S: PointSource, P: Probe> StateBackend for SampledBackend<S, P> {
     fn apply_update(
         &mut self,
         loss: &dyn CmLoss,
-        retained: Option<std::rc::Rc<dyn CmLoss>>,
+        retained: Option<std::sync::Arc<dyn CmLoss>>,
         points: &PointMatrix,
         theta_oracle: &[f64],
         theta_hyp: &[f64],
@@ -1195,7 +1451,7 @@ impl<S: PointSource, P: Probe> StateBackend for SampledBackend<S, P> {
     fn apply_query_update(
         &mut self,
         query: &dyn PointQuery,
-        retained: Option<std::rc::Rc<dyn PointQuery>>,
+        retained: Option<std::sync::Arc<dyn PointQuery>>,
         coeff: f64,
         eta: f64,
         _points: Option<&PointMatrix>,
@@ -1227,6 +1483,10 @@ impl<S: PointSource, P: Probe> StateBackend for SampledBackend<S, P> {
         SampledBackend::read_radius(self, scale)
     }
 
+    fn snapshot(&self) -> Result<Arc<dyn ReadSnapshot>, PmwError> {
+        Ok(Arc::new(self.publish_snapshot()?))
+    }
+
     fn requires_materialized_universe(&self) -> bool {
         // The pool caches its own points; `points` is only ever zipped
         // against the caller's data-side weights for the diagnostics gap.
@@ -1243,7 +1503,7 @@ mod tests {
     use pmw_losses::{LinearQueryLoss, PointPredicate};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn bit_loss(bit: usize, dim: usize) -> LinearQueryLoss {
         LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![bit] }, dim).unwrap()
@@ -1282,7 +1542,7 @@ mod tests {
             dense.mw_update(&u, eta).unwrap();
             sketch
                 .record(
-                    RoundUpdate::new(Rc::new(loss) as Rc<dyn CmLoss>, vec![t_o], vec![t_h], eta)
+                    RoundUpdate::new(Arc::new(loss) as Arc<dyn CmLoss>, vec![t_o], vec![t_h], eta)
                         .unwrap(),
                 )
                 .unwrap();
@@ -1442,7 +1702,7 @@ mod tests {
                     sketch
                         .record(
                             RoundUpdate::new(
-                                Rc::new(loss) as Rc<dyn CmLoss>,
+                                Arc::new(loss) as Arc<dyn CmLoss>,
                                 vec![t_o],
                                 vec![t_h],
                                 eta,
@@ -1501,7 +1761,7 @@ mod tests {
                     sketch
                         .record(
                             RoundUpdate::new(
-                                Rc::new(loss) as Rc<dyn CmLoss>,
+                                Arc::new(loss) as Arc<dyn CmLoss>,
                                 vec![0.9],
                                 vec![0.1],
                                 eta_scale / (t + 1) as f64,
@@ -1788,7 +2048,7 @@ mod tests {
         let mut sketch =
             SampledBackend::new(UniversePoints(cube), SampledConfig::default(), &mut rng).unwrap();
         let wrong = RoundUpdate::new(
-            Rc::new(bit_loss(0, 5)) as Rc<dyn CmLoss>,
+            Arc::new(bit_loss(0, 5)) as Arc<dyn CmLoss>,
             vec![0.5],
             vec![0.2],
             0.1,
@@ -1797,7 +2057,7 @@ mod tests {
         assert!(sketch.record(wrong).is_err());
         assert_eq!(sketch.rounds(), 0);
         let ok = RoundUpdate::new(
-            Rc::new(bit_loss(1, 3)) as Rc<dyn CmLoss>,
+            Arc::new(bit_loss(1, 3)) as Arc<dyn CmLoss>,
             vec![0.5],
             vec![0.2],
             0.1,
@@ -1827,7 +2087,7 @@ mod tests {
         assert!(sketch.is_poisoned());
         let loss = bit_loss(0, 3);
         let upd = RoundUpdate::new(
-            Rc::new(bit_loss(0, 3)) as Rc<dyn CmLoss>,
+            Arc::new(bit_loss(0, 3)) as Arc<dyn CmLoss>,
             vec![0.5],
             vec![0.2],
             0.1,

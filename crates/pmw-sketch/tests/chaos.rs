@@ -25,8 +25,8 @@ use pmw_sketch::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const DIM: usize = 3;
 
@@ -279,11 +279,11 @@ fn linear_pmw_invariants_hold_under_every_seeded_fault_plan() {
     );
 }
 
-/// A test-local counting source: shares its call counter through an `Rc`
+/// A test-local counting source: shares its call counter through an `Arc`
 /// so the count stays readable after the source moves into a backend.
 struct CountingSource<S: PointSource> {
     inner: S,
-    calls: Rc<Cell<u64>>,
+    calls: Arc<AtomicU64>,
 }
 
 impl<S: PointSource> PointSource for CountingSource<S> {
@@ -294,7 +294,7 @@ impl<S: PointSource> PointSource for CountingSource<S> {
         self.inner.dim()
     }
     fn write_point(&self, index: usize, out: &mut [f64]) {
-        self.calls.set(self.calls.get() + 1);
+        self.calls.fetch_add(1, Ordering::Relaxed);
         self.inner.write_point(index, out);
     }
 }
@@ -317,18 +317,18 @@ fn resample_fault_mid_mechanism_burns_the_round_and_rolls_back_the_backend() {
     // Calibration pass: count how many point reads pool construction
     // consumes, so the injected fault lands on the *first read of the
     // first resample* — deterministically, whatever the draw pattern.
-    let calls = Rc::new(Cell::new(0u64));
+    let calls = Arc::new(AtomicU64::new(0));
     let mut cal_rng = StdRng::seed_from_u64(71);
     let _ = SampledBackend::new(
         CountingSource {
             inner: UniversePoints(cube.clone()),
-            calls: Rc::clone(&calls),
+            calls: Arc::clone(&calls),
         },
         sampled_config,
         &mut cal_rng,
     )
     .unwrap();
-    let init_reads = calls.get();
+    let init_reads = calls.load(Ordering::Relaxed);
     assert!(init_reads > 0, "pool construction must read the source");
 
     let mut rng = StdRng::seed_from_u64(71);

@@ -13,7 +13,7 @@ use pmw::losses::{CmLoss, LinearQueryLoss, PointPredicate};
 use pmw::sketch::{BigBitCube, PointSource, RoundUpdate, SampledBackend, SampledConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -75,7 +75,7 @@ fn main() {
         backend
             .record(
                 RoundUpdate::new(
-                    Rc::new(loss.clone()) as Rc<dyn CmLoss>,
+                    Arc::new(loss.clone()) as Arc<dyn CmLoss>,
                     theta_o.to_vec(),
                     theta_h.to_vec(),
                     eta,

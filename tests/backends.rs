@@ -9,7 +9,7 @@ use pmw::sketch::{LazyLogBackend, RoundUpdate, SampledBackend, SampledConfig, Un
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bit_loss(bit: usize, dim: usize) -> LinearQueryLoss {
     LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![bit] }, dim).unwrap()
@@ -35,7 +35,7 @@ proptest! {
             let u = dual_certificate(&loss, &points, &[t_o], &[t_h]).unwrap();
             dense.mw_update(&u, eta).unwrap();
             lazy.record(RoundUpdate::new(
-                Rc::new(loss) as Rc<dyn CmLoss>, vec![t_o], vec![t_h], eta,
+                Arc::new(loss) as Arc<dyn CmLoss>, vec![t_o], vec![t_h], eta,
             ).unwrap()).unwrap();
         }
         for x in 0..cube.size() {
@@ -74,7 +74,7 @@ proptest! {
             let u = dual_certificate(&loss, &points, &[a], &[b]).unwrap();
             dense.mw_update(&u, eta).unwrap();
             sketch.record(RoundUpdate::new(
-                Rc::new(loss) as Rc<dyn CmLoss>, vec![a], vec![b], eta,
+                Arc::new(loss) as Arc<dyn CmLoss>, vec![a], vec![b], eta,
             ).unwrap()).unwrap();
         }
         let loss = bit_loss(query_bit, 10);
