@@ -59,6 +59,40 @@ fn require_non_negative(json: &str, key: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate the thread axis every perf artifact carries: a
+/// `"threads_axis"` array listing the serial baseline plus at least one
+/// multi-worker count, with a per-thread-count row (`"threads": <t>`) for
+/// each listed count. The rows are measured in-process with the worker
+/// count forced, so the axis exists even on single-core runners.
+fn require_thread_axis(json: &str) -> Result<(), String> {
+    let pos = json
+        .find("\"threads_axis\":")
+        .ok_or("missing \"threads_axis\"")?;
+    let rest = &json[pos..];
+    let open = rest.find('[').ok_or("\"threads_axis\" is not an array")?;
+    let close = rest[open..]
+        .find(']')
+        .ok_or("unterminated \"threads_axis\"")?
+        + open;
+    let counts: Vec<u64> = rest[open + 1..close]
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    if counts.len() < 2 || !counts.contains(&1) {
+        return Err(
+            "threads_axis must list the serial baseline (1) and at least one \
+             multi-worker count"
+                .into(),
+        );
+    }
+    for t in &counts {
+        if !json.contains(&format!("\"threads\": {t}")) {
+            return Err(format!("no per-thread-count row for threads={t}"));
+        }
+    }
+    Ok(())
+}
+
 /// Validate the `"probe"` object every `BENCH_*.json` artifact carries:
 /// the probed mirror run must have completed rounds and report per-phase
 /// latency percentiles.
@@ -97,6 +131,8 @@ pub fn validate_bench_runtime(json: &str) -> Result<(), String> {
             return Err(format!("backend axis is missing \"{backend}\""));
         }
     }
+    require_thread_axis(json)?;
+    require_positive(json, "sampled_round_ns")?;
     require_probe_columns(json)
 }
 
@@ -185,6 +221,7 @@ pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
             ));
         }
     }
+    require_thread_axis(json)?;
     require_probe_columns(json)
 }
 
@@ -243,6 +280,12 @@ pub fn validate_bench_mwem(json: &str) -> Result<(), String> {
             ));
         }
     }
+    // The dense/sampled crossover column (the smallest size where the
+    // sampled path wins; `null` when it never does).
+    if !has_key(json, "crossover_log2_x") {
+        return Err("missing \"crossover_log2_x\"".into());
+    }
+    require_thread_axis(json)?;
     require_probe_columns(json)
 }
 
@@ -388,6 +431,13 @@ mod tests {
             {"backend": "lazy", "log2_x": 12, "round_ns": 90.0, "point_read_ns": 40.0},
             {"backend": "sampled", "log2_x": 12, "round_ns": 800.0, "point_read_ns": 60.0}
           ],
+          "threads_axis": [1, 2],
+          "thread_scaling": [
+            {"threads": 1, "certificate_ns_per_elem": 2.0, "sampled_round_ns": 800.0,
+             "speedup_vs_1thread": 1.0},
+            {"threads": 2, "certificate_ns_per_elem": 1.1, "sampled_round_ns": 430.0,
+             "speedup_vs_1thread": 1.86}
+          ],
           "probe": {
             "mechanism": "online_pmw", "probed_rounds": 6,
             "outcomes": {"update": 4, "free": 2},
@@ -403,6 +453,18 @@ mod tests {
         assert!(validate_bench_runtime(&no_probe).is_err());
         let no_phases = json.replace("\"phases\":", "\"not_phases\":");
         assert!(validate_bench_runtime(&no_phases).is_err());
+        // The thread axis is part of the contract: the axis itself, a
+        // serial baseline, and one row per listed worker count.
+        let no_axis = json.replace("\"threads_axis\": [1, 2],", "");
+        assert!(validate_bench_runtime(&no_axis)
+            .unwrap_err()
+            .contains("threads_axis"));
+        let no_baseline = json.replace("\"threads_axis\": [1, 2]", "\"threads_axis\": [2]");
+        assert!(validate_bench_runtime(&no_baseline).is_err());
+        let missing_row = json.replace("\"threads\": 2,", "\"threads\": 3,");
+        assert!(validate_bench_runtime(&missing_row)
+            .unwrap_err()
+            .contains("threads=2"));
     }
 
     #[test]
@@ -444,6 +506,11 @@ mod tests {
              "calibration_ratio": 20.0,
              "radius_wins_hoeffding": 0, "radius_wins_ess": 20,
              "radius_wins_bernstein": 30}
+          ],
+          "threads_axis": [1, 2],
+          "thread_scaling": [
+            {"threads": 1, "per_round_ns": 100000.0, "speedup_vs_1thread": 1.0},
+            {"threads": 2, "per_round_ns": 52000.0, "speedup_vs_1thread": 1.92}
           ],
           "probe": {
             "mechanism": "online_pmw", "probed_rounds": 12,
@@ -487,6 +554,11 @@ mod tests {
         assert!(validate_bench_sublinear(&negative_resamples).is_err());
         let no_wins = json.replace("\"radius_wins_ess\": 20,", "");
         assert!(validate_bench_sublinear(&no_wins).is_err());
+        // The thread axis is part of the contract.
+        let no_axis = json.replace("\"threads_axis\": [1, 2],", "");
+        assert!(validate_bench_sublinear(&no_axis)
+            .unwrap_err()
+            .contains("threads_axis"));
     }
 
     #[test]
@@ -510,6 +582,11 @@ mod tests {
              "calibration_ratio": RATIO,
              "radius_wins_hoeffding": 0, "radius_wins_ess": 20,
              "radius_wins_bernstein": 30}
+          ],
+          "threads_axis": [1, 2],
+          "thread_scaling": [
+            {"threads": 1, "per_round_ns": 100000.0, "speedup_vs_1thread": 1.0},
+            {"threads": 2, "per_round_ns": 52000.0, "speedup_vs_1thread": 1.92}
           ],
           "probe": {
             "mechanism": "online_pmw", "probed_rounds": 12,
@@ -537,6 +614,12 @@ mod tests {
           "budget": 2048, "mwem_n": 2000, "epsilon": 4.0,
           "resample_every": 4, "dense_ref_log2_x": 16,
           "dense_ns_per_elem_ref": 3.2,
+          "crossover_log2_x": 26,
+          "threads_axis": [1, 2],
+          "thread_scaling": [
+            {"threads": 1, "sampled_per_round_ns": 900000.0, "speedup_vs_1thread": 1.0},
+            {"threads": 2, "sampled_per_round_ns": 470000.0, "speedup_vs_1thread": 1.91}
+          ],
           "sizes": [
             {"log2_x": 16, "universe": 65536,
              "sampled_per_round_ns": 900000.0,
@@ -596,6 +679,20 @@ mod tests {
         assert!(err.contains("ceiling"), "{err}");
         let negative_wins = json.replace("\"radius_wins_ess\": 100,", "\"radius_wins_ess\": -1,");
         assert!(validate_bench_mwem(&negative_wins).is_err());
+        // The crossover column is part of the contract (a null value —
+        // sampled never wins — is acceptable; absence is not).
+        let null_crossover =
+            json.replace("\"crossover_log2_x\": 26,", "\"crossover_log2_x\": null,");
+        validate_bench_mwem(&null_crossover).unwrap();
+        let no_crossover = json.replace("\"crossover_log2_x\": 26,", "");
+        assert!(validate_bench_mwem(&no_crossover)
+            .unwrap_err()
+            .contains("crossover"));
+        // The thread axis is part of the contract.
+        let no_axis = json.replace("\"threads_axis\": [1, 2],", "");
+        assert!(validate_bench_mwem(&no_axis)
+            .unwrap_err()
+            .contains("threads_axis"));
         // A runtime artifact is not a MWEM artifact.
         assert!(validate_bench_mwem("{\"experiment\": \"runtime_scaling\"}").is_err());
     }

@@ -395,6 +395,33 @@ impl ImplicitQuery {
 
     /// Evaluate `q(x) ∈ {0, 1}` on one point row.
     pub fn evaluate(&self, point: &[f64]) -> f64 {
+        // Fast path for full-width rows (the batched sweeps call this once
+        // per row of a flat `PointMatrix`): coordinates were validated
+        // `< dim` at construction, so one length check replaces the
+        // per-coordinate `get` fallbacks, and the branchless accumulators
+        // let the reductions unroll.
+        if point.len() >= self.dim {
+            return match &self.predicate {
+                QueryPredicate::Marginal { coords } => {
+                    let mut hit = true;
+                    for &c in coords {
+                        hit &= point[c] >= 0.5;
+                    }
+                    f64::from(hit)
+                }
+                QueryPredicate::Parity { coords } => {
+                    let mut ones = 0usize;
+                    for &c in coords {
+                        ones += usize::from(point[c] >= 0.5);
+                    }
+                    (ones % 2) as f64
+                }
+                QueryPredicate::Threshold { coord, threshold } => {
+                    f64::from(point[*coord] <= *threshold)
+                }
+            };
+        }
+        // Short rows keep the historical out-of-range defaults.
         match &self.predicate {
             QueryPredicate::Marginal { coords } => {
                 if coords

@@ -171,6 +171,13 @@ impl CmLoss for LinearQueryLoss {
     /// Loop-fused sweep: `θ` is a scalar, so the payoff is
     /// `direction·(θ_hyp − p(x))` — one predicate evaluation per point,
     /// nothing else. Chunked across cores under the `parallel` feature.
+    ///
+    /// The predicate dispatch is hoisted out of the per-row loop (split
+    /// loops per variant), with direct indexing licensed by construction
+    /// (`validate` checked every coordinate against `point_dim`), so the
+    /// single-coordinate variants compile to tight branchless sweeps. The
+    /// dot-product variants keep `vecmath::dot`'s accumulation order so
+    /// payoffs are bit-identical to the per-point gradient path.
     fn certificate_batch(
         &self,
         theta_hyp: &[f64],
@@ -182,8 +189,43 @@ impl CmLoss for LinearQueryLoss {
         let stride = points.dim();
         pmw_data::par::for_each_chunk_mut(out, |offset, chunk| {
             let rows = points.row_block(offset, offset + chunk.len());
-            for (slot, x) in chunk.iter_mut().zip(rows.chunks_exact(stride)) {
-                *slot = dir * (t - self.predicate.evaluate(x));
+            match &self.predicate {
+                PointPredicate::Threshold { coord, threshold } => {
+                    let (c, th) = (*coord, *threshold);
+                    let mut slots = chunk.chunks_exact_mut(4);
+                    let mut xs = rows.chunks_exact(4 * stride);
+                    for (s4, x4) in slots.by_ref().zip(xs.by_ref()) {
+                        for lane in 0..4 {
+                            s4[lane] = dir * (t - f64::from(x4[lane * stride + c] >= th));
+                        }
+                    }
+                    for (slot, x) in slots
+                        .into_remainder()
+                        .iter_mut()
+                        .zip(xs.remainder().chunks_exact(stride))
+                    {
+                        *slot = dir * (t - f64::from(x[c] >= th));
+                    }
+                }
+                PointPredicate::Conjunction { coords } => {
+                    for (slot, x) in chunk.iter_mut().zip(rows.chunks_exact(stride)) {
+                        let mut hit = true;
+                        for &c in coords {
+                            hit &= x[c] >= 0.5;
+                        }
+                        *slot = dir * (t - f64::from(hit));
+                    }
+                }
+                PointPredicate::Halfspace { normal, offset } => {
+                    for (slot, x) in chunk.iter_mut().zip(rows.chunks_exact(stride)) {
+                        *slot = dir * (t - f64::from(vecmath::dot(normal, x) >= *offset));
+                    }
+                }
+                PointPredicate::Linear { weights, offset } => {
+                    for (slot, x) in chunk.iter_mut().zip(rows.chunks_exact(stride)) {
+                        *slot = dir * (t - (vecmath::dot(weights, x) + offset).clamp(0.0, 1.0));
+                    }
+                }
             }
         });
     }

@@ -106,7 +106,21 @@ impl CmLoss for QuantileLoss {
         let stride = points.dim();
         pmw_data::par::for_each_chunk_mut(out, |offset, chunk| {
             let rows = points.row_block(offset, offset + chunk.len());
-            for (slot, x) in chunk.iter_mut().zip(rows.chunks_exact(stride)) {
+            // 4-lane unroll over the strided coordinate gather; the
+            // two-valued subgradient select is branchless in each lane.
+            let mut slots = chunk.chunks_exact_mut(4);
+            let mut xs = rows.chunks_exact(4 * stride);
+            for (s4, x4) in slots.by_ref().zip(xs.by_ref()) {
+                for lane in 0..4 {
+                    let below = x4[lane * stride + coord] - t >= 0.0;
+                    s4[lane] = dir * if below { -tau } else { 1.0 - tau };
+                }
+            }
+            for (slot, x) in slots
+                .into_remainder()
+                .iter_mut()
+                .zip(xs.remainder().chunks_exact(stride))
+            {
                 let g = if x[coord] - t >= 0.0 { -tau } else { 1.0 - tau };
                 *slot = dir * g;
             }

@@ -13,10 +13,100 @@ use crate::error::SketchError;
 use crate::log::{RoundUpdate, UpdateLog};
 use crate::source::PointSource;
 use pmw_core::{MeanFn, PmwError, QueryEstimate, ReadSnapshot};
+use pmw_data::par::{plan_fold_mut, ChunkPlan};
 use pmw_data::{LogWeightFn, PointMatrix, PointQuery};
 use pmw_losses::CmLoss;
 use pmw_obs::{NoopProbe, Phase, Probe};
 use std::cell::RefCell;
+
+/// Rows materialized per block in the exact replay sweeps: enough to
+/// amortize chunked `O(t·d)` replay across cores while keeping the point
+/// scratch a few hundred KiB — bounded in `|X|`, preserving the backend's
+/// no-universe-sized-allocation guarantee.
+const LAZY_BLOCK: usize = 4096;
+
+/// Rows per replay chunk inside one block. Fixed (never derived from the
+/// thread count), so chunk boundaries — and with them every reduction —
+/// are identical at any thread count.
+const LAZY_GRAIN: usize = 512;
+
+/// Replay the log over one materialized block of `out.len()` row-major
+/// points, chunked across cores with fixed boundaries. Each log-weight is
+/// an independent per-point replay, so the outputs are bit-for-bit the
+/// sequential loop's at any thread count; on error, the first failing
+/// chunk in index order wins.
+fn replay_block(
+    log: &UpdateLog,
+    flat: &[f64],
+    dim: usize,
+    out: &mut [f64],
+) -> Result<(), SketchError> {
+    let plan = ChunkPlan::with_grain(out.len(), LAZY_GRAIN);
+    plan_fold_mut(
+        plan,
+        out,
+        |offset, chunk| {
+            let mut grad = Vec::new();
+            let rows = &flat[offset * dim..(offset + chunk.len()) * dim];
+            for (slot, point) in chunk.iter_mut().zip(rows.chunks_exact(dim)) {
+                *slot = log.log_weight_at(point, &mut grad)?;
+            }
+            Ok(())
+        },
+        Result::and,
+    )
+}
+
+/// The exact two-pass (shift, then normalize-and-accumulate) replay sweep
+/// shared by the live backend and its snapshots: blocks of points are
+/// materialized sequentially (point sources need not be `Sync`), the
+/// `O(t·d)` log replay over each block runs chunked across cores, and the
+/// normalizer/numerator accumulate sequentially in original `x` order —
+/// so the result is bit-for-bit the single-threaded streaming sweep's.
+fn lazy_sweep<S: PointSource, E: From<SketchError>>(
+    source: &S,
+    log: &UpdateLog,
+    mut f: impl FnMut(usize, &[f64]) -> Result<f64, E>,
+) -> Result<f64, E> {
+    let n = source.len();
+    let dim = source.dim();
+    let rows_cap = LAZY_BLOCK.min(n.max(1));
+    let mut flat = vec![0.0; rows_cap * dim];
+    let mut lw = vec![0.0; rows_cap];
+    // Pass 1: the max log-weight (numerical shift) — a max-fold in `x`
+    // order, identical at any block/chunk split.
+    let mut shift = f64::NEG_INFINITY;
+    let mut lo = 0;
+    while lo < n {
+        let rows = rows_cap.min(n - lo);
+        for i in 0..rows {
+            source.write_point(lo + i, &mut flat[i * dim..(i + 1) * dim]);
+        }
+        replay_block(log, &flat[..rows * dim], dim, &mut lw[..rows])?;
+        for &v in &lw[..rows] {
+            shift = shift.max(v);
+        }
+        lo += rows;
+    }
+    // Pass 2: shifted normalizer and statistic numerator, accumulated in
+    // `x` order (the statistic itself stays sequential: `f` is `FnMut`).
+    let (mut num, mut den) = (0.0, 0.0);
+    let mut lo = 0;
+    while lo < n {
+        let rows = rows_cap.min(n - lo);
+        for i in 0..rows {
+            source.write_point(lo + i, &mut flat[i * dim..(i + 1) * dim]);
+        }
+        replay_block(log, &flat[..rows * dim], dim, &mut lw[..rows])?;
+        for i in 0..rows {
+            let w = (lw[i] - shift).exp();
+            num += w * f(lo + i, &flat[i * dim..(i + 1) * dim])?;
+            den += w;
+        }
+        lo += rows;
+    }
+    Ok(num / den)
+}
 
 /// Exact lazy state over a [`PointSource`]: uniform prior plus the update
 /// log, evaluated per point on demand.
@@ -88,7 +178,8 @@ impl<S: PointSource, P: Probe> LazyLogBackend<S, P> {
 
     /// The **exact** expected query value `⟨q, D̂_t⟩` under the lazily
     /// represented hypothesis: a streaming log-sum-exp sweep over the
-    /// whole universe — `Θ(|X|·t·d)` time, `O(1)` memory, no `|X|`-sized
+    /// whole universe — `Θ(|X|·t·d)` time with the replay chunked across
+    /// cores block by block, fixed-size block scratch, no `|X|`-sized
     /// allocation. This is the reference evaluation the Monte-Carlo
     /// `SampledBackend` estimates are checked against; it is a
     /// spot-check/testing tool, not a per-round operation.
@@ -105,30 +196,16 @@ impl<S: PointSource, P: Probe> LazyLogBackend<S, P> {
 
     /// The two-pass replay sweep behind
     /// [`Self::expected_query_value`], separated so the replay span stays
-    /// balanced across its error returns.
+    /// balanced across its error returns. Delegates to the shared
+    /// block-wise [`lazy_sweep`], whose `O(t·d)` replay is chunked across
+    /// cores with thread-count-independent boundaries.
     fn expected_query_value_sweep(
         &self,
         query: &dyn pmw_data::PointQuery,
     ) -> Result<f64, SketchError> {
-        let n = self.source.len();
-        let mut bufs = self.bufs.borrow_mut();
-        let (point, grad) = &mut *bufs;
-        // Pass 1: the max log-weight (numerical shift).
-        let mut shift = f64::NEG_INFINITY;
-        for x in 0..n {
-            self.source.write_point(x, point);
-            shift = shift.max(self.log.log_weight_at(point, grad)?);
-        }
-        // Pass 2: shifted normalizer and query numerator.
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for x in 0..n {
-            self.source.write_point(x, point);
-            let w = (self.log.log_weight_at(point, grad)? - shift).exp();
-            num += w * crate::log::query_value_at(query, x, point)?;
-            den += w;
-        }
-        Ok(num / den)
+        lazy_sweep(&self.source, &self.log, |x, point| {
+            crate::log::query_value_at(query, x, point)
+        })
     }
 
     /// Universe size `|X|`.
@@ -281,29 +358,12 @@ impl<S: PointSource + Send + Sync> ReadSnapshot for LazySnapshot<S> {
 }
 
 impl<S: PointSource> LazySnapshot<S> {
-    /// The exact two-pass (shift, then normalize-and-accumulate) replay
-    /// sweep shared by the snapshot's reads — the same float order as the
-    /// live backend's [`LazyLogBackend::expected_query_value`].
+    /// The exact replay sweep shared by the snapshot's reads — the same
+    /// float order as the live backend's
+    /// [`LazyLogBackend::expected_query_value`], through the same shared
+    /// block-wise [`lazy_sweep`] with core-chunked replay.
     fn estimate_sweep(&self, f: &mut MeanFn) -> Result<f64, PmwError> {
-        let n = self.source.len();
-        let mut point = vec![0.0; self.source.dim()];
-        let mut grad = Vec::new();
-        // Pass 1: the max log-weight (numerical shift).
-        let mut shift = f64::NEG_INFINITY;
-        for x in 0..n {
-            self.source.write_point(x, &mut point);
-            shift = shift.max(self.log.log_weight_at(&point, &mut grad)?);
-        }
-        // Pass 2: shifted normalizer and statistic numerator.
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for x in 0..n {
-            self.source.write_point(x, &mut point);
-            let w = (self.log.log_weight_at(&point, &mut grad)? - shift).exp();
-            num += w * f(x, &point)?;
-            den += w;
-        }
-        Ok(num / den)
+        lazy_sweep(&self.source, &self.log, |x, point| f(x, point))
     }
 }
 

@@ -52,7 +52,8 @@ use crate::log::{RoundUpdate, UpdateLog};
 use crate::source::PointSource;
 use pmw_core::update::dual_certificate_at;
 use pmw_core::{BackendEvent, MeanFn, PmwError, QueryEstimate, ReadSnapshot, StateBackend};
-use pmw_data::{gumbel_max_index, Histogram, PointMatrix, PointQuery};
+use pmw_data::par::{plan_fold, plan_fold_mut, plan_for_each_mut, ChunkPlan};
+use pmw_data::{gumbel_max_slice, Histogram, PointMatrix, PointQuery};
 use pmw_dp::{
     effective_sample_size, empirical_bernstein_radius, ess_radius, hoeffding_radius,
     uncovered_mass_bound, RadiusBound, SamplingAccountant,
@@ -173,6 +174,62 @@ pub struct MaxEstimate {
     pub beta: f64,
 }
 
+/// Chunk grain for pool-axis sweeps. Pool sweeps do real per-element work
+/// (loss gradients, `O(t·d)` log replay), so they parallelize profitably at
+/// much smaller chunks than the universe-sized elementwise passes behind
+/// [`pmw_data::par::PAR_THRESHOLD`]; 256 splits the default 2048-candidate
+/// escalation pools eight ways while leaving every ≤256-budget test pool a
+/// single chunk (whose accumulation order is unchanged from the historical
+/// sequential sweep).
+const POOL_GRAIN: usize = 256;
+
+/// The SNIS accumulator of one moment sweep: the estimate Σŵ·f plus the
+/// weight/value second moments (Σŵ², Σŵ²f, Σŵ²f²) the adaptive bounds read.
+/// Merging is elementwise addition, applied strictly in chunk order.
+#[derive(Debug, Clone, Copy, Default)]
+struct MomentAcc {
+    value: f64,
+    w_sq: f64,
+    w_sq_f: f64,
+    w_sq_f_sq: f64,
+}
+
+impl MomentAcc {
+    fn merge(self, other: Self) -> Self {
+        Self {
+            value: self.value + other.value,
+            w_sq: self.w_sq + other.w_sq,
+            w_sq_f: self.w_sq_f + other.w_sq_f,
+            w_sq_f_sq: self.w_sq_f_sq + other.w_sq_f_sq,
+        }
+    }
+}
+
+/// One chunk of the SNIS moment sweep: evaluate `f` on every
+/// positive-weight slot of the block (slots are global: `offset + i`) and
+/// accumulate the four moments in slot order. The single kernel both the
+/// sequential (`FnMut`) and parallel (`Fn` per chunk) estimate paths run,
+/// which is what makes their floats identical.
+fn chunk_moments<E>(
+    offset: usize,
+    block: &[f64],
+    dim: usize,
+    w: &[f64],
+    f: &mut impl FnMut(usize, &[f64]) -> Result<f64, E>,
+) -> Result<MomentAcc, E> {
+    let mut acc = MomentAcc::default();
+    for (i, (point, wi)) in block.chunks_exact(dim).zip(w).enumerate() {
+        if *wi > 0.0 {
+            let fv = f(offset + i, point)?;
+            acc.value += wi * fv;
+            acc.w_sq += wi * wi;
+            acc.w_sq_f += wi * wi * fv;
+            acc.w_sq_f_sq += wi * wi * fv * fv;
+        }
+    }
+    Ok(acc)
+}
+
 /// The borrowed read-state shared by the live [`SampledBackend`] and its
 /// published [`SampledSnapshot`]s: the pool triple plus the scalar
 /// parameters every SNIS estimate and concentration bound reads. Keeping
@@ -186,6 +243,11 @@ struct SketchReadView<'a> {
     drift_bound: f64,
     beta: f64,
     max_usable_radius: f64,
+    /// The pool's fixed chunk layout, hoisted once per pool size and shared
+    /// by every sweep (SNIS, moments, payoffs, replay, Gumbel argmax) so
+    /// all reductions run in the same chunk order — bit-for-bit identical
+    /// across thread counts and across the `parallel` feature.
+    plan: ChunkPlan,
 }
 
 impl SketchReadView<'_> {
@@ -197,21 +259,36 @@ impl SketchReadView<'_> {
     /// (softmax of the cached log-weights) plus the shifted normalizer
     /// mean `B̂' = (1/m)Σ exp(log w_i − shift)` and the shift itself.
     fn snis(&self) -> (Vec<f64>, f64, f64) {
-        let shift = self
-            .pool_log_w
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        let mut w: Vec<f64> = self
-            .pool_log_w
-            .iter()
-            .map(|&lw| (lw - shift).exp())
-            .collect();
-        let total: f64 = w.iter().sum();
+        // Chunked max (associative, so chunking cannot change the result),
+        // then a fused exp-and-sum pass whose partial sums combine in the
+        // plan's fixed chunk order, then an elementwise normalize.
+        let shift = plan_fold(
+            self.plan,
+            self.pool_log_w,
+            |_, chunk| chunk.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+            f64::max,
+        );
+        let mut w = vec![0.0; self.pool_log_w.len()];
+        let total = plan_fold_mut(
+            self.plan,
+            &mut w,
+            |offset, chunk| {
+                let mut sum = 0.0;
+                for (v, &lw) in chunk.iter_mut().zip(&self.pool_log_w[offset..]) {
+                    *v = (lw - shift).exp();
+                    sum += *v;
+                }
+                sum
+            },
+            |a, b| a + b,
+        );
         debug_assert!(total > 0.0 && total.is_finite());
         let mean_shifted = total / w.len() as f64;
-        for v in &mut w {
-            *v /= total;
-        }
+        plan_for_each_mut(self.plan, &mut w, |_, chunk| {
+            for v in chunk {
+                *v /= total;
+            }
+        });
         (w, mean_shifted, shift)
     }
 
@@ -241,6 +318,12 @@ impl SketchReadView<'_> {
     /// honesty caveat). Ledgers the claim into the shared accountant.
     /// Generic over the error type so the live path keeps surfacing
     /// [`SketchError`] while snapshot reads surface [`PmwError`] directly.
+    ///
+    /// Sequential (the closure is `FnMut`, the shape the [`MeanFn`] trait
+    /// route hands us), but iterating the plan's chunks in chunk order —
+    /// the exact accumulation the parallel sibling
+    /// [`Self::estimate_mean_par`] reproduces, so both paths agree
+    /// bit-for-bit.
     fn estimate_mean<E: From<SketchError>>(
         &self,
         ledger: &Mutex<SamplingAccountant>,
@@ -249,22 +332,80 @@ impl SketchReadView<'_> {
         mut f: impl FnMut(usize, &[f64]) -> Result<f64, E>,
     ) -> Result<Estimate, E> {
         let (w, mean_shifted, shift) = self.snis();
-        // One pass: the SNIS value Σ ŵ_i·f_i (same accumulation order as
-        // ever — exhaustive pools stay bit-for-bit), plus the weight/value
-        // second moments the adaptive bounds read: Σŵ², Σŵ²f, Σŵ²f².
-        let mut value = 0.0;
-        let mut w_sq = 0.0;
-        let mut w_sq_f = 0.0;
-        let mut w_sq_f_sq = 0.0;
-        for (slot, (point, wi)) in self.pool_points.iter().zip(&w).enumerate() {
-            if *wi > 0.0 {
-                let fv = f(slot, point)?;
-                value += wi * fv;
-                w_sq += wi * wi;
-                w_sq_f += wi * wi * fv;
-                w_sq_f_sq += wi * wi * fv * fv;
-            }
+        let dim = self.pool_points.dim();
+        let mut acc: Option<MomentAcc> = None;
+        for i in 0..self.plan.n_chunks() {
+            let (lo, hi) = self.plan.bounds(i);
+            let block = self.pool_points.row_block(lo, hi);
+            let part = chunk_moments(lo, block, dim, &w[lo..hi], &mut f)?;
+            acc = Some(match acc {
+                None => part,
+                Some(prev) => prev.merge(part),
+            });
         }
+        self.finish_estimate(
+            ledger,
+            label,
+            scale,
+            acc.unwrap_or_default(),
+            mean_shifted,
+            shift,
+        )
+    }
+
+    /// Parallel sibling of [`Self::estimate_mean`]: the per-point closure
+    /// is `Fn + Sync` and receives a per-chunk gradient scratch, so chunks
+    /// evaluate concurrently. Per-chunk moments combine **in chunk order**
+    /// (first error in chunk order wins), making the result bit-for-bit
+    /// identical to the sequential path at any thread count.
+    fn estimate_mean_par<E>(
+        &self,
+        ledger: &Mutex<SamplingAccountant>,
+        label: &'static str,
+        scale: f64,
+        f: impl Fn(usize, &[f64], &mut Vec<f64>) -> Result<f64, E> + Sync,
+    ) -> Result<Estimate, E>
+    where
+        E: From<SketchError> + Send,
+    {
+        let (w, mean_shifted, shift) = self.snis();
+        let dim = self.pool_points.dim();
+        let flat = self.pool_points.as_flat();
+        let acc = plan_fold(
+            self.plan,
+            &w,
+            |offset, wc| {
+                let block = &flat[offset * dim..(offset + wc.len()) * dim];
+                let mut grad = Vec::new();
+                let mut g = |slot: usize, point: &[f64]| f(slot, point, &mut grad);
+                chunk_moments(offset, block, dim, wc, &mut g)
+            },
+            |a, b| match (a, b) {
+                (Ok(x), Ok(y)) => Ok(x.merge(y)),
+                (Err(e), _) => Err(e),
+                (_, Err(e)) => Err(e),
+            },
+        )?;
+        self.finish_estimate(ledger, label, scale, acc, mean_shifted, shift)
+    }
+
+    /// The minimum-of-three-bounds tail shared by the sequential and
+    /// parallel moment sweeps.
+    fn finish_estimate<E: From<SketchError>>(
+        &self,
+        ledger: &Mutex<SamplingAccountant>,
+        label: &'static str,
+        scale: f64,
+        acc: MomentAcc,
+        mean_shifted: f64,
+        shift: f64,
+    ) -> Result<Estimate, E> {
+        let MomentAcc {
+            value,
+            w_sq,
+            w_sq_f,
+            w_sq_f_sq,
+        } = acc;
         let (radius, beta, bound, envelope) = if self.exhaustive {
             (0.0, 0.0, RadiusBound::Exact, 0.0)
         } else if scale <= 0.0 {
@@ -329,7 +470,12 @@ impl SketchReadView<'_> {
     fn read_radius_parts(&self, scale: f64) -> (f64, RadiusBound, f64) {
         let beta = self.beta;
         let (w, mean_shifted, shift) = self.snis();
-        let w_sq: f64 = w.iter().map(|v| v * v).sum();
+        let w_sq: f64 = plan_fold(
+            self.plan,
+            &w,
+            |_, chunk| chunk.iter().map(|v| v * v).sum::<f64>(),
+            |a, b| a + b,
+        );
         let envelope = self.envelope_radius(scale, beta / 4.0, shift, mean_shifted);
         // ŵ sums to 1, so ESS = 1/Σŵ².
         let ess = effective_sample_size(1.0, w_sq);
@@ -365,6 +511,7 @@ pub struct SampledSnapshot {
     universe_size: usize,
     dim: usize,
     updates: usize,
+    plan: ChunkPlan,
     ledger: Arc<Mutex<SamplingAccountant>>,
 }
 
@@ -378,6 +525,7 @@ impl SampledSnapshot {
             drift_bound: self.drift_bound,
             beta: self.beta,
             max_usable_radius: self.max_usable_radius,
+            plan: self.plan,
         }
     }
 
@@ -432,11 +580,11 @@ impl ReadSnapshot for SampledSnapshot {
         crate::log::validate_query_shape(query, self.universe_size, self.dim)?;
         let (lo, hi) = query.value_bounds();
         let scale = lo.abs().max(hi.abs());
-        let est = self.view().estimate_mean::<PmwError>(
+        let est = self.view().estimate_mean_par::<PmwError>(
             &self.ledger,
             "query-mean",
             scale,
-            |slot, point| {
+            |slot, point, _grad| {
                 crate::log::query_value_at(query, self.pool_indices[slot], point)
                     .map_err(PmwError::from)
             },
@@ -537,6 +685,11 @@ pub struct SampledBackend<S: PointSource, P: Probe = NoopProbe> {
     /// Round at which a read snapshot was last published (`None` before
     /// the first publication) — drives the `snapshot_age` health gauge.
     published_round: Cell<Option<usize>>,
+    /// Fixed chunk layout of the pool, hoisted here once per pool size
+    /// (construction, growth, restore) and reused by every sweep of every
+    /// round instead of being recomputed per call. Boundaries depend only
+    /// on `(pool size, POOL_GRAIN)`, never on the thread count.
+    plan: ChunkPlan,
 }
 
 /// Everything a failed round must restore: the pool triple, the log
@@ -632,6 +785,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             bufs: RefCell::new((vec![0.0; dim], Vec::new())),
             ledger: Arc::new(Mutex::new(SamplingAccountant::new())),
             published_round: Cell::new(None),
+            plan: ChunkPlan::with_grain(m, POOL_GRAIN),
         })
     }
 
@@ -692,6 +846,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             universe_size: self.source.len(),
             dim: self.source.dim(),
             updates: self.log.len(),
+            plan: self.plan,
             ledger: Arc::clone(&self.ledger),
         })
     }
@@ -767,23 +922,37 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             });
         }
         // Two passes (evaluate, then apply) so a failed evaluation leaves
-        // the pool untouched.
+        // the pool untouched. Both passes run chunked over the hoisted pool
+        // plan: payoffs and the log-weight decrement are per-element (no
+        // reduction), so chunking cannot change any value; the first error
+        // in chunk order wins, matching the sequential sweep.
         self.probe.span_begin(Phase::PoolSweep);
-        let mut grad = Vec::new();
-        let mut payoffs = Vec::with_capacity(self.pool_log_w.len());
-        for point in self.pool_points.iter() {
-            match update.payoff(point, &mut grad) {
-                Ok(u) => payoffs.push(u),
-                Err(e) => {
-                    self.probe.span_end(Phase::PoolSweep);
-                    return Err(e);
+        let dim = self.source.dim();
+        let flat = self.pool_points.as_flat();
+        let mut payoffs = vec![0.0; self.pool_log_w.len()];
+        let evaluated = plan_fold_mut(
+            self.plan,
+            &mut payoffs,
+            |offset, chunk| {
+                let mut grad = Vec::new();
+                let block = &flat[offset * dim..(offset + chunk.len()) * dim];
+                for (slot, point) in chunk.iter_mut().zip(block.chunks_exact(dim)) {
+                    *slot = update.payoff(point, &mut grad)?;
                 }
-            }
+                Ok::<(), SketchError>(())
+            },
+            Result::and,
+        );
+        if let Err(e) = evaluated {
+            self.probe.span_end(Phase::PoolSweep);
+            return Err(e);
         }
         let eta = update.eta();
-        for (lw, u) in self.pool_log_w.iter_mut().zip(&payoffs) {
-            *lw -= eta * u;
-        }
+        plan_for_each_mut(self.plan, &mut self.pool_log_w, |offset, chunk| {
+            for (lw, u) in chunk.iter_mut().zip(&payoffs[offset..]) {
+                *lw -= eta * u;
+            }
+        });
         self.probe.span_end(Phase::PoolSweep);
         self.log.push(update);
         // Health sampling: pure arithmetic over the cached log-weights —
@@ -832,16 +1001,30 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         let m = self.pool_indices.len();
         let indices: Vec<usize> = (0..m).map(|_| rng.random_range(0..n)).collect();
         let mut flat = vec![0.0; m * dim];
-        let mut log_w = Vec::with_capacity(m);
+        let mut log_w = vec![0.0; m];
         self.probe.span_begin(Phase::LogReplay);
-        let replayed = (|| {
-            let mut grad = Vec::new();
-            for (row, &idx) in flat.chunks_exact_mut(dim).zip(&indices) {
-                self.source.write_point(idx, row);
-                log_w.push(self.log.log_weight_at(row, &mut grad)?);
-            }
-            Ok::<(), SketchError>(())
-        })();
+        // Materialize sequentially ([`PointSource`] is not required to
+        // be `Sync`), then replay the `O(t·d)`-per-candidate log sweep
+        // chunked over the flat block. Each log-weight is a
+        // per-candidate value (no cross-candidate reduction), so the
+        // chunked replay is bit-for-bit the sequential one.
+        for (row, &idx) in flat.chunks_exact_mut(dim).zip(&indices) {
+            self.source.write_point(idx, row);
+        }
+        let log = &self.log;
+        let replayed = plan_fold_mut(
+            self.plan,
+            &mut log_w,
+            |offset, chunk| {
+                let mut grad = Vec::new();
+                let block = &flat[offset * dim..(offset + chunk.len()) * dim];
+                for (slot, row) in chunk.iter_mut().zip(block.chunks_exact(dim)) {
+                    *slot = log.log_weight_at(row, &mut grad)?;
+                }
+                Ok::<(), SketchError>(())
+            },
+            Result::and,
+        );
         self.probe.span_end(Phase::LogReplay);
         replayed?;
         // All fresh state computed; swap atomically so a failed
@@ -884,42 +1067,66 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         let n = self.source.len();
         let dim = self.source.dim();
         let m = self.pool_size();
-        let mut grad = Vec::new();
+        // Replay of the fresh candidates runs chunked over their flat
+        // block: each log-weight is an independent `O(t·d)` evaluation, so
+        // the chunked sweep is bit-for-bit the sequential one. Points are
+        // materialized sequentially first ([`PointSource`] is not required
+        // to be `Sync`), and all RNG draws happen up front in the original
+        // order (the replay itself consumes none), keeping the rng stream
+        // identical to the historical interleaved loop.
+        let replay = |flat: &[f64], log_w: &mut [f64], log: &UpdateLog| {
+            plan_fold_mut(
+                ChunkPlan::with_grain(log_w.len(), POOL_GRAIN),
+                log_w,
+                |offset, chunk| {
+                    let mut grad = Vec::new();
+                    let block = &flat[offset * dim..(offset + chunk.len()) * dim];
+                    for (slot, row) in chunk.iter_mut().zip(block.chunks_exact(dim)) {
+                        *slot = log.log_weight_at(row, &mut grad)?;
+                    }
+                    Ok::<(), SketchError>(())
+                },
+                Result::and,
+            )
+        };
         if target >= n {
             // The doubled pool would cover the universe: enumerate it once
             // and become exhaustive — every later estimate is exact.
             let indices: Vec<usize> = (0..n).collect();
             let mut flat = vec![0.0; n * dim];
-            let mut log_w = Vec::with_capacity(n);
             for (row, &idx) in flat.chunks_exact_mut(dim).zip(&indices) {
                 self.source.write_point(idx, row);
-                log_w.push(self.log.log_weight_at(row, &mut grad)?);
             }
+            let mut log_w = vec![0.0; n];
+            replay(&flat, &mut log_w, &self.log)?;
             self.pool_points = PointMatrix::from_flat(flat, dim)
                 .map_err(|_| SketchError::NonFinite("point source produced invalid points"))?;
             self.pool_indices = indices;
             self.pool_log_w = log_w;
             self.exhaustive = true;
         } else {
+            let fresh: Vec<usize> = (m..target).map(|_| rng.random_range(0..n)).collect();
+            let mut fresh_flat = vec![0.0; fresh.len() * dim];
+            for (row, &idx) in fresh_flat.chunks_exact_mut(dim).zip(&fresh) {
+                self.source.write_point(idx, row);
+            }
+            let mut fresh_log_w = vec![0.0; fresh.len()];
+            replay(&fresh_flat, &mut fresh_log_w, &self.log)?;
             let mut flat = Vec::with_capacity(target * dim);
             for row in self.pool_points.iter() {
                 flat.extend_from_slice(row);
             }
+            flat.extend_from_slice(&fresh_flat);
             let mut indices = self.pool_indices.clone();
+            indices.extend_from_slice(&fresh);
             let mut log_w = self.pool_log_w.clone();
-            let mut buf = vec![0.0; dim];
-            for _ in m..target {
-                let idx = rng.random_range(0..n);
-                self.source.write_point(idx, &mut buf);
-                log_w.push(self.log.log_weight_at(&buf, &mut grad)?);
-                flat.extend_from_slice(&buf);
-                indices.push(idx);
-            }
+            log_w.extend_from_slice(&fresh_log_w);
             self.pool_points = PointMatrix::from_flat(flat, dim)
                 .map_err(|_| SketchError::NonFinite("point source produced invalid points"))?;
             self.pool_indices = indices;
             self.pool_log_w = log_w;
         }
+        self.plan = ChunkPlan::with_grain(self.pool_indices.len(), POOL_GRAIN);
         Ok(())
     }
 
@@ -979,6 +1186,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         self.log.truncate(snap.log_len);
         self.pending_events.truncate(snap.events_len);
         let m = self.pool_indices.len();
+        self.plan = ChunkPlan::with_grain(m, POOL_GRAIN);
         if self.pool_log_w.len() != m
             || self.pool_points.len() != m
             || self.log.len() != snap.log_len
@@ -1153,6 +1361,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             drift_bound: self.log.drift_bound(),
             beta: self.config.beta,
             max_usable_radius: self.config.max_usable_radius,
+            plan: self.plan,
         }
     }
 
@@ -1180,15 +1389,21 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
     /// ESS candidate exists even when the drift envelope certifies
     /// nothing) and provably never exceeds the envelope-only bound this
     /// backend used to claim.
-    fn estimate_mean(
+    ///
+    /// `Fn + Sync` integrands (certificate payoffs, query values) let the
+    /// pool's moment sweep run chunked across cores, with per-chunk
+    /// gradient scratch and chunk-ordered combining — bit-for-bit the
+    /// single-threaded estimate at any thread count. The heavy lifting is
+    /// shared with published snapshots through [`SketchReadView`].
+    fn estimate_mean_par(
         &self,
         label: &'static str,
         scale: f64,
-        f: impl FnMut(usize, &[f64]) -> Result<f64, SketchError>,
+        f: impl Fn(usize, &[f64], &mut Vec<f64>) -> Result<f64, SketchError> + Sync,
     ) -> Result<Estimate, SketchError> {
         self.ensure_usable()?;
         self.probe.span_begin(Phase::Estimate);
-        let result = self.estimate_mean_inner(label, scale, f);
+        let result = self.view().estimate_mean_par(&self.ledger, label, scale, f);
         self.probe.span_end(Phase::Estimate);
         let est = result?;
         if P::ENABLED {
@@ -1197,19 +1412,6 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             self.probe.note("bound", est.bound.name());
         }
         Ok(est)
-    }
-
-    /// The single-pass SNIS + minimum-of-bounds computation behind
-    /// [`Self::estimate_mean`], separated so the estimate span stays
-    /// balanced across every error return. Shared with published
-    /// snapshots through [`SketchReadView`].
-    fn estimate_mean_inner(
-        &self,
-        label: &'static str,
-        scale: f64,
-        f: impl FnMut(usize, &[f64]) -> Result<f64, SketchError>,
-    ) -> Result<Estimate, SketchError> {
-        self.view().estimate_mean(&self.ledger, label, scale, f)
     }
 
     /// The concentration radius this backend claims for a generic mean
@@ -1268,9 +1470,9 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             });
         }
         let scale = loss.scale_bound();
-        let mut grad = vec![0.0; loss.dim()];
-        self.estimate_mean("certificate-mean", scale, |_slot, point| {
-            dual_certificate_at(loss, point, theta_oracle, theta_hyp, &mut grad)
+        self.estimate_mean_par("certificate-mean", scale, |_slot, point, grad| {
+            grad.resize(loss.dim(), 0.0);
+            dual_certificate_at(loss, point, theta_oracle, theta_hyp, grad)
                 .map_err(|_| SketchError::NonFinite("certificate payoff"))
         })
     }
@@ -1286,8 +1488,11 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         crate::log::validate_query_shape(query, self.source.len(), self.source.dim())?;
         let (lo, hi) = query.value_bounds();
         let scale = lo.abs().max(hi.abs());
-        self.estimate_mean("query-mean", scale, |slot, point| {
-            crate::log::query_value_at(query, self.pool_indices[slot], point)
+        // Capture only the Sync pieces (not `self`, whose source and
+        // scratch cells need not be shareable across sweep workers).
+        let pool_indices = self.pool_indices.as_slice();
+        self.estimate_mean_par("query-mean", scale, move |slot, point, _grad| {
+            crate::log::query_value_at(query, pool_indices[slot], point)
         })
     }
 
@@ -1307,13 +1512,31 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
                 expected: self.source.dim(),
             });
         }
-        let mut grad = vec![0.0; loss.dim()];
-        let mut value = f64::NEG_INFINITY;
-        for point in self.pool_points.iter() {
-            let u = dual_certificate_at(loss, point, theta_oracle, theta_hyp, &mut grad)
-                .map_err(|_| SketchError::NonFinite("certificate payoff"))?;
-            value = value.max(u);
-        }
+        // Chunked max over the pool: payoffs are per-element and max is
+        // associative, so the chunked sweep returns exactly the sequential
+        // maximum; the first error in chunk order wins.
+        let dim = self.source.dim();
+        let flat = self.pool_points.as_flat();
+        let value = plan_fold(
+            self.plan,
+            self.pool_log_w.as_slice(),
+            |offset, chunk| {
+                let mut grad = vec![0.0; loss.dim()];
+                let block = &flat[offset * dim..(offset + chunk.len()) * dim];
+                let mut best = f64::NEG_INFINITY;
+                for point in block.chunks_exact(dim) {
+                    let u = dual_certificate_at(loss, point, theta_oracle, theta_hyp, &mut grad)
+                        .map_err(|_| SketchError::NonFinite("certificate payoff"))?;
+                    best = best.max(u);
+                }
+                Ok::<f64, SketchError>(best)
+            },
+            |a, b| match (a, b) {
+                (Ok(x), Ok(y)) => Ok(x.max(y)),
+                (Err(e), _) => Err(e),
+                (_, Err(e)) => Err(e),
+            },
+        )?;
         let (uncovered, beta, bound) = if self.exhaustive {
             (0.0, 0.0, RadiusBound::Exact)
         } else {
@@ -1338,7 +1561,9 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
     /// the cached pool log-weights — exact for `D̂_t` conditioned on the
     /// pool (exact for `D̂_t` itself when exhaustive). `O(m)`.
     pub fn sample_index(&self, rng: &mut dyn Rng) -> usize {
-        let slot = gumbel_max_index(self.pool_log_w.as_slice(), rng);
+        // Keys are drawn sequentially (identical rng stream to the
+        // streaming sampler); only the argmax is chunked over the plan.
+        let slot = gumbel_max_slice(&self.pool_log_w, self.plan, rng);
         self.pool_indices[slot]
     }
 
