@@ -26,6 +26,15 @@
 //! universe materialization) at every size — the per-answer cost is flat
 //! in `|X|`, which is the whole-mechanism sublinearity claim.
 //!
+//! A **long-horizon t-axis** complements the |X|-axis: the same sampled
+//! round pipeline driven for t ∈ {50, 500, 5000} rounds (smoke: a smaller
+//! pair) with periodic pool resamples, once under
+//! [`CompactionPolicy::Never`] and once with checkpoints folded at the
+//! resample cadence. The uncompacted replay re-walks the whole log — the
+//! latent quadratic — so its per-round cost grows with t, while the
+//! compacted column stays flat; the artifact's `per_round_ns_flat`
+//! column is schema-gated to within 2× of its min-t row.
+//!
 //! Writes `BENCH_sublinear.json`. Pass `--smoke` for the seconds-long CI
 //! variant (smaller sizes/budget, schema-complete artifact).
 //!
@@ -39,12 +48,12 @@
 use pmw_bench::schema::extract_numbers;
 use pmw_bench::{header, mean_std, probe_json, row, thread_axis, threads_axis_json, trace_path};
 use pmw_core::update::dual_certificate;
-use pmw_core::{OnlinePmw, PmwConfig, PmwError};
+use pmw_core::{OnlinePmw, PmwConfig, PmwError, StateBackend};
 use pmw_data::{BooleanCube, Dataset, Histogram, PointSource, Universe};
 use pmw_erm::ExactOracle;
 use pmw_losses::{CmLoss, LinearQueryLoss, PointPredicate};
 use pmw_obs::{JsonlTraceProbe, NoopProbe, Probe, SummaryProbe};
-use pmw_sketch::{BigBitCube, RoundUpdate, SampledBackend, SampledConfig};
+use pmw_sketch::{BigBitCube, CompactionPolicy, RoundUpdate, SampledBackend, SampledConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
@@ -232,8 +241,10 @@ fn measure_mechanism<P: Probe>(
     queries: usize,
     budget: usize,
     n: usize,
+    compaction: (usize, CompactionPolicy),
     probe: &P,
 ) -> MechanismReport {
+    let (resample_every, policy) = compaction;
     let dim = log2_x;
     let source = BigBitCube::new(dim).expect("cube source");
     let mut rng = StdRng::seed_from_u64(9000 + log2_x as u64);
@@ -253,6 +264,8 @@ fn measure_mechanism<P: Probe>(
         source,
         SampledConfig {
             budget,
+            resample_every,
+            compaction: policy,
             ..SampledConfig::default()
         },
         probe,
@@ -323,6 +336,76 @@ fn measure_mechanism<P: Probe>(
     }
 }
 
+/// One long-horizon measurement: per-round cost and end-of-run log shape
+/// after `t` rounds under one compaction policy.
+struct HorizonRun {
+    per_round_ns: f64,
+    compactions: usize,
+    checkpoints: usize,
+    retained_rounds: usize,
+    replay_depth: usize,
+}
+
+/// Drive `t` rounds of the full transactional round — record, periodic
+/// pool resample, policy-driven compaction — through the [`StateBackend`]
+/// seam and report the amortized per-round cost. The resample replays the
+/// update log per candidate, so with [`CompactionPolicy::Never`] each
+/// refresh re-walks every round since the start (Θ(t²) total — the latent
+/// quadratic), while a policy folding at the resample cadence keeps the
+/// replay depth, and hence the per-round cost, flat in `t`.
+fn measure_long_horizon(
+    log2_x: usize,
+    t: usize,
+    budget: usize,
+    resample_every: usize,
+    policy: CompactionPolicy,
+) -> HorizonRun {
+    let dim = log2_x;
+    let source = BigBitCube::new(dim).expect("cube source");
+    // The point matrix feeds only the optional diagnostics gap (unused
+    // here); |X| stays small on this axis — the horizon is t, not |X|.
+    let points = BooleanCube::new(dim).expect("dense cube").materialize();
+    let mut rng = StdRng::seed_from_u64(4200 + t as u64);
+    let mut backend = SampledBackend::new(
+        source,
+        SampledConfig {
+            budget,
+            resample_every,
+            compaction: policy,
+            ..SampledConfig::default()
+        },
+        &mut rng,
+    )
+    .expect("sampled backend");
+    let mut schedule_rng = StdRng::seed_from_u64(77);
+    let start = Instant::now();
+    for round in 0..t {
+        let (loss, t_o, t_h, eta) = schedule(dim, round, &mut schedule_rng);
+        let shared: Arc<dyn CmLoss> = Arc::new(loss.clone());
+        backend
+            .apply_update(
+                &loss,
+                Some(shared),
+                &points,
+                &t_o,
+                &t_h,
+                eta,
+                None,
+                &mut rng,
+            )
+            .expect("round");
+        black_box(backend.sample_index(&mut rng));
+    }
+    let per_round_ns = start.elapsed().as_nanos() as f64 / t as f64;
+    HorizonRun {
+        per_round_ns,
+        compactions: backend.compactions(),
+        checkpoints: backend.log().checkpoints_taken(),
+        retained_rounds: backend.log().retained_len(),
+        replay_depth: backend.last_replay_depth(),
+    }
+}
+
 /// Dense per-element round cost (certificate sweep + update + read): from
 /// `BENCH_runtime.json`'s largest size when available, else self-measured
 /// at `2^14`.
@@ -387,7 +470,14 @@ fn main() {
     let mut entries = Vec::new();
     for &log2_x in sizes {
         let r = measure_sublinear(log2_x, rounds, budget, log2_x == error_size);
-        let m = measure_mechanism(log2_x, mech_queries, budget, mech_n, &NoopProbe);
+        let m = measure_mechanism(
+            log2_x,
+            mech_queries,
+            budget,
+            mech_n,
+            (0, CompactionPolicy::Never),
+            &NoopProbe,
+        );
         let universe = (1u128 << log2_x) as f64;
         let extrapolated = dense_ref * universe;
         let speedup = extrapolated / r.per_round_ns;
@@ -450,11 +540,62 @@ fn main() {
         thread_rows.push((t, r.per_round_ns));
     }
 
+    // Long-horizon t-axis: the same pooled round driven t rounds deep,
+    // uncompacted vs checkpoint-folded at the resample cadence. The
+    // compacted column is the headline (schema-gated flat in t); the
+    // uncompacted column shows the quadratic it retires.
+    let (t_axis, h_log2_x, h_budget, h_resample): (&[usize], usize, usize, usize) = if smoke {
+        (&[20, 100], 10, 64, 4)
+    } else {
+        (&[50, 500, 5000], 14, 256, 16)
+    };
+    println!(
+        "# long-horizon axis (log2_x={h_log2_x}, budget={h_budget}, resample every \
+         {h_resample} rounds, fold cadence EveryK({h_resample}))"
+    );
+    header(&[
+        "t",
+        "flat_per_round_us",
+        "uncompacted_per_round_us",
+        "folds",
+        "replay_flat",
+        "replay_uncompacted",
+    ]);
+    let mut horizon_rows = Vec::new();
+    for &t in t_axis {
+        let flat = measure_long_horizon(
+            h_log2_x,
+            t,
+            h_budget,
+            h_resample,
+            CompactionPolicy::EveryK(h_resample),
+        );
+        let full = measure_long_horizon(h_log2_x, t, h_budget, h_resample, CompactionPolicy::Never);
+        row(
+            &format!("{t}"),
+            &[
+                flat.per_round_ns / 1e3,
+                full.per_round_ns / 1e3,
+                flat.compactions as f64,
+                flat.replay_depth as f64,
+                full.replay_depth as f64,
+            ],
+        );
+        horizon_rows.push((t, flat, full));
+    }
+    println!("# compacted per-round cost is flat in t; the uncompacted replay grows with the log");
+
     // Probed mirror of the mechanism axis (untimed): per-phase latency for
     // the artifact, plus a JSONL trace when `--trace <path>` is given.
     // 2^20 in the full run — the headline sketch-backed size — and the
     // largest smoke size otherwise. Every timed loop above ran `NoopProbe`.
     let trace_size = if smoke { *sizes.last().unwrap() } else { 20 };
+    // The mirror runs with compaction live so the trace — and the
+    // run_report compaction section it feeds — shows checkpoint folds and
+    // replay depths from a real serving loop. The cadence is deliberately
+    // tight (fold after every update, resample every other one): even the
+    // smoke mirror's handful of update rounds must light the section up.
+    let mirror_compaction = (2, CompactionPolicy::EveryK(1));
     let detail = format!(
         "exp_sublinear mechanism axis log2_x={trace_size} budget={budget} \
          k={mech_queries} n={mech_n}"
@@ -465,14 +606,28 @@ fn main() {
             let jsonl = JsonlTraceProbe::create(&path).expect("create trace file");
             let tee = (&jsonl, &summary_probe);
             tee.run_start("online_pmw", &detail);
-            measure_mechanism(trace_size, mech_queries, budget, mech_n, &tee);
+            measure_mechanism(
+                trace_size,
+                mech_queries,
+                budget,
+                mech_n,
+                mirror_compaction,
+                &tee,
+            );
             tee.run_end();
             assert_eq!(jsonl.finish(), 0, "trace write errors");
             println!("# wrote {path}");
         }
         None => {
             summary_probe.run_start("online_pmw", &detail);
-            measure_mechanism(trace_size, mech_queries, budget, mech_n, &summary_probe);
+            measure_mechanism(
+                trace_size,
+                mech_queries,
+                budget,
+                mech_n,
+                mirror_compaction,
+                &summary_probe,
+            );
         }
     }
     let probe_summary = summary_probe.finish();
@@ -526,6 +681,32 @@ fn main() {
             )
         })
         .collect();
+    let horizon_json: Vec<String> = horizon_rows
+        .iter()
+        .map(|(t, flat, full)| {
+            format!(
+                "    {{\"t\": {t}, \"per_round_ns_flat\": {:.1}, \
+                 \"per_round_ns_uncompacted\": {:.1},\n     \
+                 \"compactions\": {}, \"checkpoints\": {}, \"retained_rounds\": {},\n     \
+                 \"replay_depth_flat\": {}, \"replay_depth_uncompacted\": {}}}",
+                flat.per_round_ns,
+                full.per_round_ns,
+                flat.compactions,
+                flat.checkpoints,
+                flat.retained_rounds,
+                flat.replay_depth,
+                full.replay_depth,
+            )
+        })
+        .collect();
+    let t_axis_json = format!(
+        "[{}]",
+        t_axis
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let thread_baseline = thread_rows[0].1;
     let thread_scaling: Vec<String> = thread_rows
         .iter()
@@ -544,10 +725,13 @@ fn main() {
          \"smoke\": {smoke},\n  \"mechanism_n\": {mech_n},\n  \
          \"mechanism_queries\": {mech_queries},\n  \
          \"dense_ref_source\": \"{dense_ref_source}\",\n  \
-         \"sizes\": [\n{}\n  ],\n  \"thread_scaling\": [\n{}\n  ],\n  \"probe\": {}\n}}\n",
+         \"sizes\": [\n{}\n  ],\n  \"thread_scaling\": [\n{}\n  ],\n  \
+         \"t_axis\": {},\n  \"long_horizon\": [\n{}\n  ],\n  \"probe\": {}\n}}\n",
         threads_axis_json(&axis),
         size_rows.join(",\n"),
         thread_scaling.join(",\n"),
+        t_axis_json,
+        horizon_json.join(",\n"),
         probe_json(&probe_summary)
     );
     std::fs::write("BENCH_sublinear.json", &json).expect("write BENCH_sublinear.json");

@@ -14,8 +14,14 @@
 //! `serve_writer` note; those render as a serving section — outcome
 //! counts per analyst plus the writer-queue wait p99, the contention
 //! signal a saturated writer shows first.
+//!
+//! Runs with an active log-compaction policy add a compaction section:
+//! fold and checkpoint counts, the retained log length at the end of the
+//! run, and the replay-depth distribution (p50/p99/max rounds per pool
+//! rebuild) — the numbers that show per-round cost staying flat as the
+//! round count grows.
 
-use pmw_obs::{Gauge, Summary, TraceEvent};
+use pmw_obs::{Counter, Gauge, Summary, TraceEvent};
 use std::process::ExitCode;
 
 /// One row of the per-round timeline, filled in as the round's events
@@ -111,6 +117,57 @@ fn print_serving_section(events: &[TraceEvent]) {
     }
 }
 
+/// Nearest-rank percentile of an unsorted sample (clones and sorts).
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Render the log-compaction section when the trace shows checkpointing
+/// activity: fold count, checkpoints taken, retained log length, and the
+/// distribution of replay depths (the quantity compaction keeps flat in
+/// the round count). Uncompacted traces print nothing here.
+fn print_compaction_section(events: &[TraceEvent]) {
+    let mut compactions = 0u64;
+    let mut checkpoints = 0.0f64;
+    let mut log_len = None;
+    let mut replay_depths = Vec::new();
+    for ev in events {
+        match ev {
+            TraceEvent::Counter {
+                counter: Counter::Compactions,
+                delta,
+                ..
+            } => compactions += delta,
+            TraceEvent::Gauge { gauge, value, .. } => match gauge {
+                Gauge::CheckpointCount => checkpoints = checkpoints.max(*value),
+                Gauge::LogLen => log_len = Some(*value),
+                Gauge::ReplayRounds => replay_depths.push(*value),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    if compactions == 0 && replay_depths.is_empty() {
+        return;
+    }
+    let retained = log_len.map_or("-".to_string(), |v| format!("{v:.0}"));
+    println!(
+        "compaction: folds={compactions} checkpoints={checkpoints:.0} retained_rounds={retained}"
+    );
+    if !replay_depths.is_empty() {
+        println!(
+            "replay depth (rounds per pool rebuild): p50={:.0} p99={:.0} max={:.0} over {} rebuilds",
+            percentile(&replay_depths, 50.0),
+            percentile(&replay_depths, 99.0),
+            replay_depths.iter().cloned().fold(0.0f64, f64::max),
+            replay_depths.len(),
+        );
+    }
+}
+
 /// The per-round timeline, extracted from the raw event stream (the
 /// summary rollup aggregates across rounds; this keeps them apart).
 fn round_rows(events: &[TraceEvent]) -> Vec<RoundRow> {
@@ -172,6 +229,7 @@ fn main() -> ExitCode {
 
     print!("{}", Summary::from_events(&events).render());
     print_serving_section(&events);
+    print_compaction_section(&events);
 
     let rows = round_rows(&events);
     if rows.is_empty() {

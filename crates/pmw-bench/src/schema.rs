@@ -93,6 +93,65 @@ fn require_thread_axis(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The growth a sublinear artifact's compacted long-horizon column may
+/// show before the schema check fails: the per-round cost at the largest
+/// horizon must stay within this factor of the smallest-horizon row.
+/// Uncompacted replay grows linearly in the round count (the t=5000 row
+/// was measured ~40× its t=50 row); the checkpointed replay is amortized
+/// O(1), so a regression that re-introduces the quadratic fails CI
+/// loudly while honest timing jitter passes.
+pub const LONG_HORIZON_FLATNESS_CEILING: f64 = 2.0;
+
+/// Validate the long-horizon axis of a sublinear artifact: a `"t_axis"`
+/// array of at least two increasing round horizons, one `"t"` row per
+/// listed horizon carrying both per-round columns and the end-of-run log
+/// shape, and the compacted column flat in t (within
+/// [`LONG_HORIZON_FLATNESS_CEILING`] of its min-t row).
+fn require_t_axis(json: &str) -> Result<(), String> {
+    let pos = json.find("\"t_axis\":").ok_or("missing \"t_axis\"")?;
+    let rest = &json[pos..];
+    let open = rest.find('[').ok_or("\"t_axis\" is not an array")?;
+    let close = rest[open..].find(']').ok_or("unterminated \"t_axis\"")? + open;
+    let horizons: Vec<u64> = rest[open + 1..close]
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    if horizons.len() < 2 || horizons.windows(2).any(|w| w[0] >= w[1]) {
+        return Err("t_axis must list at least two increasing round horizons".into());
+    }
+    for t in &horizons {
+        if !json.contains(&format!("\"t\": {t}")) {
+            return Err(format!("no long-horizon row for t={t}"));
+        }
+    }
+    for key in ["per_round_ns_flat", "per_round_ns_uncompacted"] {
+        require_positive(json, key)?;
+    }
+    for key in [
+        "compactions",
+        "checkpoints",
+        "retained_rounds",
+        "replay_depth_flat",
+        "replay_depth_uncompacted",
+    ] {
+        require_non_negative(json, key)?;
+    }
+    let flat = extract_numbers(json, "per_round_ns_flat");
+    if flat.len() != horizons.len() {
+        return Err("per_round_ns_flat row count differs from t_axis length".into());
+    }
+    let (first, last) = (flat[0], flat[flat.len() - 1]);
+    if last > LONG_HORIZON_FLATNESS_CEILING * first {
+        return Err(format!(
+            "per_round_ns_flat is not flat in t: {last:.0} ns at t={} vs {first:.0} ns at t={} \
+             (ceiling {LONG_HORIZON_FLATNESS_CEILING}x)",
+            horizons[horizons.len() - 1],
+            horizons[0]
+        ));
+    }
+    Ok(())
+}
+
 /// Validate the `"probe"` object every `BENCH_*.json` artifact carries:
 /// the probed mirror run must have completed rounds and report per-phase
 /// latency percentiles.
@@ -146,9 +205,11 @@ pub const CALIBRATION_RATIO_CEILING: f64 = 100.0;
 /// Validate `BENCH_sublinear.json`: the sublinear-scaling record. Checks
 /// per-round figures, the dense-extrapolation speedup, the
 /// sampled-vs-dense answer-error column, the calibration columns (with
-/// the [`CALIBRATION_RATIO_CEILING`] sanity ceiling), and the
+/// the [`CALIBRATION_RATIO_CEILING`] sanity ceiling), the
 /// full-mechanism axis (per-answer cost of the point-source
-/// `OnlinePmw::answer` loop).
+/// `OnlinePmw::answer` loop), and the long-horizon axis (compacted
+/// per-round cost flat in the round count, within
+/// [`LONG_HORIZON_FLATNESS_CEILING`] of the min-t row).
 pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
     if !has_key(json, "experiment") || !json.contains("sublinear_scaling") {
         return Err("not a sublinear_scaling artifact".into());
@@ -222,6 +283,7 @@ pub fn validate_bench_sublinear(json: &str) -> Result<(), String> {
         }
     }
     require_thread_axis(json)?;
+    require_t_axis(json)?;
     require_probe_columns(json)
 }
 
@@ -512,6 +574,15 @@ mod tests {
             {"threads": 1, "per_round_ns": 100000.0, "speedup_vs_1thread": 1.0},
             {"threads": 2, "per_round_ns": 52000.0, "speedup_vs_1thread": 1.92}
           ],
+          "t_axis": [50, 500],
+          "long_horizon": [
+            {"t": 50, "per_round_ns_flat": 52000.0, "per_round_ns_uncompacted": 64000.0,
+             "compactions": 3, "checkpoints": 3, "retained_rounds": 2,
+             "replay_depth_flat": 16, "replay_depth_uncompacted": 48},
+            {"t": 500, "per_round_ns_flat": 54000.0, "per_round_ns_uncompacted": 310000.0,
+             "compactions": 31, "checkpoints": 31, "retained_rounds": 4,
+             "replay_depth_flat": 16, "replay_depth_uncompacted": 496}
+          ],
           "probe": {
             "mechanism": "online_pmw", "probed_rounds": 12,
             "outcomes": {"update": 9, "failed": 3},
@@ -559,6 +630,82 @@ mod tests {
         assert!(validate_bench_sublinear(&no_axis)
             .unwrap_err()
             .contains("threads_axis"));
+        // ... and so is the long-horizon axis: the t_axis array, one row
+        // per listed horizon, and both per-round columns.
+        let no_t_axis = json.replace("\"t_axis\": [50, 500],", "");
+        assert!(validate_bench_sublinear(&no_t_axis)
+            .unwrap_err()
+            .contains("t_axis"));
+        let missing_t_row = json.replace("\"t\": 500,", "\"t\": 501,");
+        assert!(validate_bench_sublinear(&missing_t_row)
+            .unwrap_err()
+            .contains("t=500"));
+        let zero_uncompacted = json.replace(
+            "\"per_round_ns_uncompacted\": 64000.0,",
+            "\"per_round_ns_uncompacted\": 0.0,",
+        );
+        assert!(validate_bench_sublinear(&zero_uncompacted).is_err());
+        let negative_depth =
+            json.replace("\"replay_depth_flat\": 16,", "\"replay_depth_flat\": -1,");
+        assert!(validate_bench_sublinear(&negative_depth).is_err());
+    }
+
+    #[test]
+    fn sublinear_validator_enforces_the_long_horizon_flatness_gate() {
+        // Re-introducing the quadratic — compacted per-round cost growing
+        // past 2x between the min-t and max-t rows — must fail the check.
+        let json = r#"{
+          "experiment": "sublinear_scaling", "budget": 2048, "rounds": 50,
+          "mechanism_n": 2000, "mechanism_queries": 24,
+          "sizes": [
+            {"log2_x": 16, "universe": 65536, "per_round_ns": 100000.0,
+             "dense_ns_per_elem_ref": 5.0,
+             "dense_extrapolated_round_ns": 327680.0,
+             "speedup_vs_dense_extrapolation": 3.3,
+             "mechanism_per_answer_ns": 2500000.0, "mechanism_answers": 24,
+             "mechanism_updates": 2, "mechanism_support_rows": 1987,
+             "ess_min": 113.5, "adaptive_resamples": 1, "escalations": 0,
+             "answer_error_mean": 0.001, "answer_error_max": 0.004,
+             "claimed_radius_mean": 0.02,
+             "realized_err_mean": 0.001, "envelope_radius_mean": 0.9,
+             "calibration_ratio": 20.0,
+             "radius_wins_hoeffding": 0, "radius_wins_ess": 20,
+             "radius_wins_bernstein": 30}
+          ],
+          "threads_axis": [1, 2],
+          "thread_scaling": [
+            {"threads": 1, "per_round_ns": 100000.0, "speedup_vs_1thread": 1.0},
+            {"threads": 2, "per_round_ns": 52000.0, "speedup_vs_1thread": 1.92}
+          ],
+          "t_axis": [50, 500],
+          "long_horizon": [
+            {"t": 50, "per_round_ns_flat": 52000.0, "per_round_ns_uncompacted": 64000.0,
+             "compactions": 3, "checkpoints": 3, "retained_rounds": 2,
+             "replay_depth_flat": 16, "replay_depth_uncompacted": 48},
+            {"t": 500, "per_round_ns_flat": FLAT, "per_round_ns_uncompacted": 310000.0,
+             "compactions": 31, "checkpoints": 31, "retained_rounds": 4,
+             "replay_depth_flat": 16, "replay_depth_uncompacted": 496}
+          ],
+          "probe": {
+            "mechanism": "online_pmw", "probed_rounds": 12,
+            "phases": [
+              {"phase": "pool_sweep", "count": 24, "total_ns": 4800,
+               "p50_ns": 180, "p99_ns": 400, "max_ns": 410}
+            ]
+          }
+        }"#;
+        validate_bench_sublinear(&json.replace("FLAT", "54000.0")).unwrap();
+        // Timing jitter inside the ceiling passes; 2x+ growth fails.
+        validate_bench_sublinear(&json.replace("FLAT", "99000.0")).unwrap();
+        let err = validate_bench_sublinear(&json.replace("FLAT", "120000.0")).unwrap_err();
+        assert!(err.contains("not flat"), "{err}");
+        // A decreasing t_axis is malformed.
+        let reversed = json
+            .replace("FLAT", "54000.0")
+            .replace("\"t_axis\": [50, 500],", "\"t_axis\": [500, 50],");
+        assert!(validate_bench_sublinear(&reversed)
+            .unwrap_err()
+            .contains("increasing"));
     }
 
     #[test]
@@ -587,6 +734,15 @@ mod tests {
           "thread_scaling": [
             {"threads": 1, "per_round_ns": 100000.0, "speedup_vs_1thread": 1.0},
             {"threads": 2, "per_round_ns": 52000.0, "speedup_vs_1thread": 1.92}
+          ],
+          "t_axis": [50, 500],
+          "long_horizon": [
+            {"t": 50, "per_round_ns_flat": 52000.0, "per_round_ns_uncompacted": 64000.0,
+             "compactions": 3, "checkpoints": 3, "retained_rounds": 2,
+             "replay_depth_flat": 16, "replay_depth_uncompacted": 48},
+            {"t": 500, "per_round_ns_flat": 54000.0, "per_round_ns_uncompacted": 310000.0,
+             "compactions": 31, "checkpoints": 31, "retained_rounds": 4,
+             "replay_depth_flat": 16, "replay_depth_uncompacted": 496}
           ],
           "probe": {
             "mechanism": "online_pmw", "probed_rounds": 12,

@@ -101,6 +101,22 @@ pub enum BackendEvent {
         /// Pool size after growing.
         new_size: usize,
     },
+    /// The backend folded the old prefix of its update log into a
+    /// log-weight checkpoint ([`CompactionPolicy`] fired). Lossless for
+    /// checkpointed pool points; any fresh candidate drawn later pays the
+    /// ledgered fold radius for the folded drift.
+    ///
+    /// [`CompactionPolicy`]: https://docs.rs/pmw-sketch
+    Compaction {
+        /// Recorded round (0-based) after which the fold ran.
+        round: usize,
+        /// Number of log rounds folded into the checkpoint by this fold.
+        folded_rounds: usize,
+        /// Pool points whose cumulative log-weights the checkpoint pins.
+        checkpoint_points: usize,
+        /// Total drift envelope `Σ η·S` of **all** folded rounds so far.
+        folded_drift: f64,
+    },
     /// The round's state change was rolled back after a post-round
     /// failure (e.g. the escalation ladder exhausted itself and the
     /// backend reported `Degraded`). Events preceding this one in the
@@ -128,6 +144,16 @@ impl std::fmt::Display for BackendEvent {
             BackendEvent::PoolGrowth { round, new_size } => {
                 write!(f, "round {round}: pool grown to {new_size}")
             }
+            BackendEvent::Compaction {
+                round,
+                folded_rounds,
+                checkpoint_points,
+                folded_drift,
+            } => write!(
+                f,
+                "round {round}: compacted {folded_rounds} rounds into a \
+                 {checkpoint_points}-point checkpoint (folded drift {folded_drift:.3})"
+            ),
             BackendEvent::RoundRolledBack { round } => {
                 write!(f, "round {round}: rolled back after post-round failure")
             }

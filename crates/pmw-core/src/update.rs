@@ -74,6 +74,31 @@ pub fn dual_certificate_at(
     Ok(v.clamp(-s, s))
 }
 
+/// The **checkpoint-seeded** form of [`dual_certificate_at`]: fold one
+/// retained certificate round into a running cumulative log-weight,
+/// starting from `seed` (a checkpointed prefix value, or `0.0` for a
+/// from-scratch replay).
+///
+/// Returns `seed − η·u(x)` with `u(x)` the clamped certificate payoff —
+/// **bit-for-bit** the same float operations, in the same order, as the
+/// historical full replay `lw −= η·u(x)` starting from the seed. This is
+/// what lets `UpdateLog` compaction restart replay from the newest
+/// checkpoint instead of round 0 without perturbing any lossless parity
+/// guarantee.
+#[allow(clippy::too_many_arguments)]
+pub fn dual_certificate_seeded(
+    loss: &dyn CmLoss,
+    point: &[f64],
+    theta_oracle: &[f64],
+    theta_hyp: &[f64],
+    eta: f64,
+    seed: f64,
+    grad_buf: &mut [f64],
+) -> Result<f64, PmwError> {
+    let u = dual_certificate_at(loss, point, theta_oracle, theta_hyp, grad_buf)?;
+    Ok(seed - eta * u)
+}
+
 /// [`dual_certificate`] writing into a reusable buffer (`u.len()` must equal
 /// `points.len()`): the steady-state path of the online mechanism.
 pub fn dual_certificate_into(

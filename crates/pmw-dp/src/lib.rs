@@ -39,8 +39,8 @@ pub use exponential::ExponentialMechanism;
 pub use mechanisms::{GaussianMechanism, LaplaceMechanism};
 pub use numeric_sparse::{NumericSparse, NumericSvOutcome};
 pub use sampling::{
-    effective_sample_size, empirical_bernstein_radius, ess_radius, hoeffding_radius,
-    uncovered_mass_bound, RadiusBound, SamplingAccountant, SamplingRecord,
+    compaction_fold_radius, effective_sample_size, empirical_bernstein_radius, ess_radius,
+    hoeffding_radius, uncovered_mass_bound, RadiusBound, SamplingAccountant, SamplingRecord,
 };
 pub use sharded::{MergeAudit, ShardedAccountant};
 pub use sparse_vector::{SparseVector, SvConfig, SvOutcome};

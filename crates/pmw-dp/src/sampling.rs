@@ -159,6 +159,33 @@ pub fn uncovered_mass_bound(samples: usize, beta: f64) -> Result<f64, DpError> {
     Ok(((1.0 / beta).ln() / samples as f64).min(1.0))
 }
 
+/// Deterministic error claim of a lossy update-log fold: when a backend
+/// drops (folds away) old MW rounds whose per-point log-weight
+/// contribution it can no longer replay, every evaluated weight is
+/// distorted multiplicatively by `exp(δ(x))` with `|δ(x)| ≤ c`, where
+/// `c = missing_drift` is the drift envelope `Σ η_r·S_r` of the folded
+/// rounds the point missed. The normalized (SNIS) distribution built from
+/// the distorted weights then has point-mass ratios in
+/// `[e^{−2c}, e^{2c}]` against the fold-free one, which pins their total
+/// variation distance at `TV ≤ (e^c − e^{−c})/(e^c + e^{−c}) = tanh(c)`
+/// (the two-point worst case is tight). For any statistic bounded by
+/// `|f| ≤ scale`, the induced expectation bias is at most
+///
+/// `2·scale·tanh(missing_drift)`
+///
+/// — a **sure** (probability-1) bound, since the per-round payoff clamp
+/// makes the drift envelope a hard bound, so ledger entries carrying it
+/// are recorded at `β = 0`. Monotone in the missing drift and saturating
+/// at `2·scale` (the trivial bound for a `[−scale, scale]` statistic).
+/// Returns `0` when either argument is non-positive or NaN, so fold-free
+/// (`CompactionPolicy::Never`-style) paths charge exactly nothing.
+pub fn compaction_fold_radius(scale: f64, missing_drift: f64) -> f64 {
+    if scale.is_nan() || missing_drift.is_nan() || scale <= 0.0 || missing_drift <= 0.0 {
+        return 0.0;
+    }
+    2.0 * scale * missing_drift.tanh()
+}
+
 /// Which concentration bound backed a recorded estimate's claimed radius —
 /// backends that evaluate several candidate bounds and claim the minimum
 /// tag each ledger entry with the winner.
@@ -176,6 +203,10 @@ pub enum RadiusBound {
     Bernstein,
     /// Quantile coverage of a sampled maximum ([`uncovered_mass_bound`]).
     Coverage,
+    /// Deterministic log-compaction error claim
+    /// ([`compaction_fold_radius`]): the bias bound charged when folded
+    /// update-log rounds are approximated away instead of replayed.
+    Fold,
 }
 
 impl RadiusBound {
@@ -187,6 +218,7 @@ impl RadiusBound {
             RadiusBound::EffectiveSample => "effective_sample",
             RadiusBound::Bernstein => "bernstein",
             RadiusBound::Coverage => "coverage",
+            RadiusBound::Fold => "fold",
         }
     }
 }
@@ -341,6 +373,43 @@ mod tests {
     }
 
     #[test]
+    fn compaction_fold_radius_is_monotone_and_saturates() {
+        // Fold-free paths charge exactly nothing (bit-for-bit safety).
+        assert_eq!(compaction_fold_radius(1.0, 0.0), 0.0);
+        assert_eq!(compaction_fold_radius(0.0, 3.0), 0.0);
+        assert_eq!(compaction_fold_radius(-1.0, 3.0), 0.0);
+        assert_eq!(compaction_fold_radius(f64::NAN, 3.0), 0.0);
+        assert_eq!(compaction_fold_radius(1.0, f64::NAN), 0.0);
+        // Small drift: 2·scale·tanh(c) ≈ 2·scale·c.
+        let small = compaction_fold_radius(0.5, 1e-6);
+        assert!((small - 2.0 * 0.5 * 1e-6).abs() < 1e-12);
+        // Monotone in the missing drift.
+        let mut prev = 0.0;
+        for &c in &[0.01, 0.1, 0.5, 1.0, 3.0, 10.0] {
+            let r = compaction_fold_radius(1.0, c);
+            assert!(r > prev, "not monotone at c={c}");
+            prev = r;
+        }
+        // Saturates at the trivial bound 2·scale (also for infinite drift).
+        assert!(compaction_fold_radius(1.0, 50.0) <= 2.0);
+        assert!((compaction_fold_radius(1.0, f64::INFINITY) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_records_are_sure_claims_counted_in_the_union_bound() {
+        // A β = 0 fold entry is ledgered like any claim: it appears in the
+        // record stream and contributes (exactly zero) to total_beta.
+        let mut acc = SamplingAccountant::new();
+        acc.record("compaction-fold", 512, 0.125, 0.0, RadiusBound::Fold);
+        acc.record("query-mean", 512, 0.02, 1e-4, RadiusBound::Bernstein);
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc.bound_wins(RadiusBound::Fold), 1);
+        assert_eq!(acc.records()[0].beta, 0.0);
+        assert!((acc.total_beta() - 1e-4).abs() < 1e-18);
+        assert!(acc.records()[0].to_string().contains("fold"));
+    }
+
+    #[test]
     fn hoeffding_radius_shrinks_at_root_m() {
         let r100 = hoeffding_radius(2.0, 100, 0.05).unwrap();
         let r400 = hoeffding_radius(2.0, 400, 0.05).unwrap();
@@ -427,6 +496,7 @@ mod tests {
             (RadiusBound::EffectiveSample, "effective_sample"),
             (RadiusBound::Bernstein, "bernstein"),
             (RadiusBound::Coverage, "coverage"),
+            (RadiusBound::Fold, "fold"),
         ] {
             assert_eq!(bound.to_string(), name);
             assert_eq!(bound.name(), name);

@@ -112,6 +112,14 @@ pub enum Gauge {
     /// Rounds recorded since the backend last published a read snapshot —
     /// how stale concurrent readers currently are.
     SnapshotAge,
+    /// Retained (un-folded) update-log length — the number of rounds a
+    /// replay must still walk after restarting from the newest checkpoint.
+    LogLen,
+    /// Number of log-weight checkpoints taken so far (compaction folds).
+    CheckpointCount,
+    /// Rounds actually replayed by the most recent pool refresh — flat in
+    /// `t` under a compaction policy, `t` itself without one.
+    ReplayRounds,
 }
 
 impl Gauge {
@@ -128,6 +136,9 @@ impl Gauge {
         Gauge::DriftBound,
         Gauge::MaxWeightShare,
         Gauge::SnapshotAge,
+        Gauge::LogLen,
+        Gauge::CheckpointCount,
+        Gauge::ReplayRounds,
     ];
 
     /// The stable snake_case name used in the JSONL schema.
@@ -144,6 +155,9 @@ impl Gauge {
             Gauge::DriftBound => "drift_bound",
             Gauge::MaxWeightShare => "max_weight_share",
             Gauge::SnapshotAge => "snapshot_age",
+            Gauge::LogLen => "log_len",
+            Gauge::CheckpointCount => "checkpoint_count",
+            Gauge::ReplayRounds => "replay_rounds",
         }
     }
 
@@ -180,6 +194,8 @@ pub enum Counter {
     FailedRounds,
     /// Failed rounds whose state change was rolled back transactionally.
     RolledBackRounds,
+    /// Update-log compaction folds (checkpoints taken).
+    Compactions,
 }
 
 impl Counter {
@@ -194,6 +210,7 @@ impl Counter {
         Counter::UpdateRounds,
         Counter::FailedRounds,
         Counter::RolledBackRounds,
+        Counter::Compactions,
     ];
 
     /// The stable snake_case name used in the JSONL schema.
@@ -208,6 +225,7 @@ impl Counter {
             Counter::UpdateRounds => "update_rounds",
             Counter::FailedRounds => "failed_rounds",
             Counter::RolledBackRounds => "rolled_back_rounds",
+            Counter::Compactions => "compactions",
         }
     }
 

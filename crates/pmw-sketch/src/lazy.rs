@@ -8,13 +8,22 @@
 //! root pin the agreement to `1e-10`) — which makes this backend both the
 //! reference the Monte-Carlo [`SampledBackend`](crate::SampledBackend) is
 //! checked against and the engine it evaluates fresh candidates with.
+//!
+//! Exactness holds under the default [`CompactionPolicy::Never`]. Opting
+//! into compaction ([`LazyLogBackend::with_compaction`]) bounds the
+//! retained log at the price of a **lossy, panel-free** fold — this
+//! backend caches no per-point weights to pin a checkpoint on, so folded
+//! rounds are simply dropped and every lookup is off by at most the
+//! folded drift. Snapshot reads then carry the explicit
+//! [`compaction_fold_radius`] error claim instead of radius `0`.
 
 use crate::error::SketchError;
-use crate::log::{RoundUpdate, UpdateLog};
+use crate::log::{CompactionPolicy, RoundUpdate, UpdateLog};
 use crate::source::PointSource;
 use pmw_core::{MeanFn, PmwError, QueryEstimate, ReadSnapshot};
 use pmw_data::par::{plan_fold_mut, ChunkPlan};
 use pmw_data::{LogWeightFn, PointMatrix, PointQuery};
+use pmw_dp::compaction_fold_radius;
 use pmw_losses::CmLoss;
 use pmw_obs::{NoopProbe, Phase, Probe};
 use std::cell::RefCell;
@@ -121,6 +130,10 @@ pub struct LazyLogBackend<S: PointSource, P: Probe = NoopProbe> {
     source: S,
     probe: P,
     log: UpdateLog,
+    /// When to fold old rounds away ([`CompactionPolicy::Never`] by
+    /// default — exact lookups forever). Lazy folds are panel-free and
+    /// therefore lossy; see the module docs.
+    policy: CompactionPolicy,
     /// Reusable (point, gradient) buffers so a lookup allocates nothing;
     /// `RefCell` because lookups are logically `&self` (they mutate no
     /// state, only scratch space).
@@ -146,12 +159,25 @@ impl<S: PointSource, P: Probe> LazyLogBackend<S, P> {
             source,
             probe,
             log: UpdateLog::new(),
+            policy: CompactionPolicy::Never,
             bufs: RefCell::new((vec![0.0; dim], Vec::new())),
         })
     }
 
+    /// Opt into log compaction. Lazy folds are **lossy** (panel-free):
+    /// folded rounds are dropped outright and every later lookup is off
+    /// by at most [`UpdateLog::folded_drift`] — the bound snapshot reads
+    /// surface as their radius. Keep the default
+    /// [`CompactionPolicy::Never`] when exactness matters more than
+    /// memory.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Record one MW round (dual-certificate or linear-query) — `O(1)`
-    /// beyond validating the round's point dimension.
+    /// beyond validating the round's point dimension (amortized `O(1)`
+    /// including policy-triggered folds).
     pub fn record(&mut self, update: RoundUpdate) -> Result<(), SketchError> {
         if update.point_dim() != self.source.dim() {
             return Err(SketchError::DimensionMismatch {
@@ -160,6 +186,15 @@ impl<S: PointSource, P: Probe> LazyLogBackend<S, P> {
             });
         }
         self.log.push(update);
+        if self
+            .policy
+            .due(self.log.retained_len(), self.log.retained_bytes())
+        {
+            // Panel-free fold: no cached per-point weights exist to pin a
+            // checkpoint on, so the fold drops the rounds and the error
+            // claim is the whole folded drift.
+            self.log.compact(&[], &[], 0.0)?;
+        }
         Ok(())
     }
 
@@ -221,6 +256,13 @@ impl<S: PointSource, P: Probe> LazyLogBackend<S, P> {
     /// The underlying update log.
     pub fn log(&self) -> &UpdateLog {
         &self.log
+    }
+
+    /// The log-weight distortion bound every lookup carries from lossy
+    /// panel-free folds — `0` under [`CompactionPolicy::Never`] (lookups
+    /// exact), [`UpdateLog::folded_drift`] otherwise.
+    pub fn fold_drift(&self) -> f64 {
+        self.log.folded_drift()
     }
 
     /// The point source.
@@ -327,12 +369,17 @@ impl<S: PointSource + Send + Sync> ReadSnapshot for LazySnapshot<S> {
         _points: Option<&PointMatrix>,
     ) -> Result<QueryEstimate, PmwError> {
         crate::log::validate_query_shape(query, self.source.len(), self.source.dim())?;
+        let (lo, hi) = query.value_bounds();
+        let scale = lo.abs().max(hi.abs());
         let value = self.estimate_sweep(&mut |x, point| {
             crate::log::query_value_at(query, x, point).map_err(PmwError::from)
         })?;
         Ok(QueryEstimate {
             value,
-            radius: 0.0,
+            // Exact (radius 0) unless lossy panel-free folds dropped
+            // rounds, in which case the deterministic fold bias is the
+            // whole error — a sure claim, hence β = 0 either way.
+            radius: compaction_fold_radius(scale, self.log.folded_drift()),
             beta: 0.0,
         })
     }
@@ -351,7 +398,7 @@ impl<S: PointSource + Send + Sync> ReadSnapshot for LazySnapshot<S> {
         let value = self.estimate_sweep(f)?;
         Ok(QueryEstimate {
             value,
-            radius: 0.0,
+            radius: compaction_fold_radius(scale, self.log.folded_drift()),
             beta: 0.0,
         })
     }

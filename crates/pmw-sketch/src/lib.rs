@@ -10,7 +10,10 @@
 //!
 //! * [`UpdateLog`] — the state *is* the list of rounds
 //!   `{(η_t, θ_t, θ̂_t, ℓ_t)}`; `log D̂_t(x)` is recomputable at any point
-//!   in `O(t·d)` (module [`log`]).
+//!   in `O(t·d)` (module [`log`]). Behind a [`CompactionPolicy`], old
+//!   rounds fold into [`LogCheckpoint`]s so replay restarts from the
+//!   newest checkpoint — amortized `O(d)` per lookup, flat in `t`, with
+//!   any lossy fold charged through the sampling ledger.
 //! * [`LazyLogBackend`] — exact per-point lookups over a [`PointSource`];
 //!   `O(1)` per round, no `|X|`-sized allocation ever (module [`lazy`]).
 //! * [`SampledBackend`] — a Monte-Carlo pool with incrementally maintained
@@ -56,6 +59,6 @@ pub use error::SketchError;
 pub use fault::{FaultPlan, FaultRule, FaultyBackend, FaultyOracle, FaultySource};
 pub use health::PoolHealth;
 pub use lazy::{LazyLogBackend, LazySnapshot};
-pub use log::{RoundUpdate, UpdateLog};
+pub use log::{CompactionPolicy, CompactionReceipt, LogCheckpoint, RoundUpdate, UpdateLog};
 pub use sampled::{Estimate, MaxEstimate, SampledBackend, SampledConfig, SampledSnapshot};
 pub use source::{BigBitCube, PointSource, UniversePoints};

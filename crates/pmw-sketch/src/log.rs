@@ -15,9 +15,26 @@
 //! round) and evaluates the log-weight of any single point on demand in
 //! `O(t·d)` — never touching the other `|X| − 1` elements. This is the
 //! shared engine of both sublinear backends, for both mechanism families.
+//!
+//! ## Checkpointed compaction
+//!
+//! An unbounded-round deployment cannot afford replay costs that grow
+//! with its own uptime, so the log is **compactable**: behind a
+//! [`CompactionPolicy`], [`UpdateLog::compact`] folds every retained
+//! round into a [`LogCheckpoint`] — the cumulative log-weights of a panel
+//! of pool points pinned at the fold, plus the folded drift envelope —
+//! and clears the round list. Replay then restarts from the checkpoint:
+//! [`UpdateLog::log_weight_seeded`] seeds a panel point with its pinned
+//! prefix value (**lossless** — bit-for-bit the full replay, because the
+//! seeded fold `lw → lw − η·u(x)` is the same float operations in the
+//! same order) and replays only the retained suffix, amortized `O(d)` per
+//! lookup instead of `O(t·d)`. A point *outside* the panel loses its
+//! folded prefix (**lossy**); the resulting weight distortion is bounded
+//! by the folded drift, and the backends charge it through
+//! [`pmw_dp::compaction_fold_radius`] so every read's claim stays honest.
 
 use crate::error::SketchError;
-use pmw_core::update::dual_certificate_at;
+use pmw_core::update::{dual_certificate_at, dual_certificate_seeded};
 use pmw_data::workload::PointQuery;
 use pmw_losses::CmLoss;
 use std::sync::Arc;
@@ -251,6 +268,132 @@ impl RoundUpdate {
             }
         }
     }
+
+    /// Fold this round into a running cumulative log-weight: returns
+    /// `lw − η_r·u_r(x)`, **bit-for-bit** the replay step the backends
+    /// have always performed (certificate rounds route through the
+    /// checkpoint-seeded [`dual_certificate_seeded`]). Seeding `lw` with a
+    /// checkpointed prefix therefore reproduces the full-history replay
+    /// exactly.
+    pub fn apply(
+        &self,
+        lw: f64,
+        point: &[f64],
+        grad_buf: &mut Vec<f64>,
+    ) -> Result<f64, SketchError> {
+        match &self.payload {
+            UpdatePayload::Certificate {
+                loss,
+                theta_oracle,
+                theta_hyp,
+            } => {
+                grad_buf.resize(loss.dim(), 0.0);
+                dual_certificate_seeded(
+                    loss.as_ref(),
+                    point,
+                    theta_oracle,
+                    theta_hyp,
+                    self.eta,
+                    lw,
+                    grad_buf,
+                )
+                .map_err(|_| SketchError::NonFinite("certificate payoff"))
+            }
+            UpdatePayload::Query { .. } => {
+                let u = self.payoff(point, grad_buf)?;
+                Ok(lw - self.eta * u)
+            }
+        }
+    }
+}
+
+/// When [`UpdateLog::compact`] should fold the retained rounds into a
+/// checkpoint. Checked by the backends after every committed round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionPolicy {
+    /// Never compact — the historical full-replay behavior, bit-for-bit.
+    #[default]
+    Never,
+    /// Fold whenever `k` (> 0) or more rounds are retained, bounding every
+    /// replay to at most `k` rounds. `EveryK(0)` never fires.
+    EveryK(usize),
+    /// Fold whenever the retained rounds' estimated memory footprint
+    /// exceeds this many bytes ([`UpdateLog::retained_bytes`]).
+    MemoryBound(usize),
+}
+
+impl CompactionPolicy {
+    /// True when a log with `retained_rounds` retained rounds occupying
+    /// roughly `retained_bytes` bytes is due for a fold.
+    pub fn due(&self, retained_rounds: usize, retained_bytes: usize) -> bool {
+        match *self {
+            CompactionPolicy::Never => false,
+            CompactionPolicy::EveryK(k) => k > 0 && retained_rounds >= k,
+            CompactionPolicy::MemoryBound(bytes) => retained_rounds > 0 && retained_bytes > bytes,
+        }
+    }
+}
+
+/// A log-weight checkpoint: the cumulative log-weights of a **panel** of
+/// universe points, pinned at the moment the log prefix was folded away.
+/// Replay for a panel point restarts here (lossless); replay for any
+/// other point starts from `0` and pays the folded drift as a ledgered
+/// error claim. Shared behind an `Arc` so snapshots freeze the chain for
+/// free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogCheckpoint {
+    round: usize,
+    missing_drift: f64,
+    /// Panel universe indices, sorted ascending (binary-searchable).
+    indices: Vec<usize>,
+    /// `values[i]` is the pinned cumulative log-weight of `indices[i]`.
+    values: Vec<f64>,
+}
+
+impl LogCheckpoint {
+    /// Total recorded rounds folded below this checkpoint — replay
+    /// restarting here resumes at round `round()`.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Number of panel points pinned.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the panel is empty (every lookup replays unseeded).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The distortion bound (in log-weight) already carried by the panel
+    /// values at fold time: `0` when the pool itself was exact, the prior
+    /// fold's charge when the pool had been refreshed across a fold.
+    pub fn missing_drift(&self) -> f64 {
+        self.missing_drift
+    }
+
+    /// The pinned cumulative log-weight of universe index `index`, when
+    /// it is in the panel.
+    pub fn seed_for(&self, index: usize) -> Option<f64> {
+        self.indices
+            .binary_search(&index)
+            .ok()
+            .map(|pos| self.values[pos])
+    }
+}
+
+/// What one [`UpdateLog::compact`] call did — the backends turn this into
+/// a `BackendEvent::Compaction` and ledger the fold claim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionReceipt {
+    /// Rounds folded by **this** call (0 when the log had none retained).
+    pub folded_rounds: usize,
+    /// Panel points pinned by the new checkpoint.
+    pub checkpoint_points: usize,
+    /// Total drift envelope `Σ η·S` of all folded rounds so far.
+    pub folded_drift: f64,
 }
 
 impl std::fmt::Debug for RoundUpdate {
@@ -270,17 +413,29 @@ impl std::fmt::Debug for RoundUpdate {
 }
 
 /// The lazily evaluated MW state: uniform prior (`log w ≡ 0`) plus the
-/// recorded rounds.
-/// Cloning freezes the current prefix — the snapshot publication
-/// primitive of the lazy path: `O(t·d)` parameter copies, with the heavy
-/// loss/query payloads shared behind `Arc`s.
+/// recorded rounds, with any folded prefix summarized by the newest
+/// [`LogCheckpoint`].
+/// Cloning freezes the current state — the snapshot publication
+/// primitive of the lazy path: `O(retained·d)` parameter copies, with the
+/// heavy loss/query payloads *and the checkpoint* shared behind `Arc`s,
+/// so a published snapshot is O(1) in the folded history.
 #[derive(Debug, Default, Clone)]
 pub struct UpdateLog {
+    /// Retained (un-folded) rounds, oldest first.
     rounds: Vec<RoundUpdate>,
-    /// `Σ_r η_r·S_r` — every log-weight lies in `[−drift, +drift]`, the
+    /// `Σ_r η_r·S_r` over **all** rounds ever recorded (folded and
+    /// retained) — every true log-weight lies in `[−drift, +drift]`, the
     /// computable envelope the sketched estimates' concentration bounds
-    /// are built from.
+    /// are built from. Invariant: `drift = folded_drift + Σ_retained η·S`.
     drift: f64,
+    /// Rounds folded into the checkpoint chain so far.
+    folded_rounds: usize,
+    /// Drift envelope of the folded rounds alone.
+    folded_drift: f64,
+    /// The newest checkpoint, when any fold has run.
+    checkpoint: Option<Arc<LogCheckpoint>>,
+    /// Folds taken over the log's lifetime.
+    checkpoints_taken: usize,
 }
 
 impl UpdateLog {
@@ -296,40 +451,99 @@ impl UpdateLog {
         self.rounds.push(update);
     }
 
-    /// Drop every round past the first `len`, recomputing the drift
-    /// envelope from the survivors — the rollback primitive of the
-    /// sketched backends' transactional rounds. A no-op when `len` is at
-    /// or past the current length.
-    pub fn truncate(&mut self, len: usize) {
-        if len >= self.rounds.len() {
-            return;
+    /// Drop every round past the first `len` (total-round numbering,
+    /// counting folded rounds), recomputing the drift envelope from the
+    /// survivors — the rollback primitive of the sketched backends'
+    /// transactional rounds. A no-op when `len` is at or past the current
+    /// length; an error when `len` reaches **into** the folded prefix,
+    /// which no longer exists to be truncated to (the backends order
+    /// folds after commit precisely so this cannot happen on a rollback).
+    pub fn truncate(&mut self, len: usize) -> Result<(), SketchError> {
+        if len >= self.len() {
+            return Ok(());
         }
-        self.rounds.truncate(len);
-        self.drift = self.rounds.iter().map(|r| r.eta() * r.scale()).sum();
+        if len < self.folded_rounds {
+            return Err(SketchError::InvalidParameter(
+                "cannot truncate into compacted (folded) rounds",
+            ));
+        }
+        self.rounds.truncate(len - self.folded_rounds);
+        self.drift =
+            self.folded_drift + self.rounds.iter().map(|r| r.eta() * r.scale()).sum::<f64>();
+        Ok(())
     }
 
-    /// Number of recorded rounds `t`.
+    /// Number of recorded rounds `t`, **including** folded rounds — the
+    /// round counter the mechanisms observe is unchanged by compaction.
     pub fn len(&self) -> usize {
+        self.folded_rounds + self.rounds.len()
+    }
+
+    /// True when no rounds are recorded (folded or retained).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of retained (un-folded) rounds a replay must still walk.
+    pub fn retained_len(&self) -> usize {
         self.rounds.len()
     }
 
-    /// True when no rounds are recorded.
-    pub fn is_empty(&self) -> bool {
-        self.rounds.is_empty()
+    /// Rounds folded into the checkpoint chain so far.
+    pub fn folded_len(&self) -> usize {
+        self.folded_rounds
     }
 
-    /// The recorded rounds, oldest first.
+    /// The **retained** rounds, oldest first (folded rounds are gone —
+    /// that is the point of compaction).
     pub fn rounds(&self) -> &[RoundUpdate] {
         &self.rounds
     }
 
-    /// The drift envelope `Σ_r η_r·S_r`: `|log w(x)| ≤ drift` for every `x`.
+    /// The drift envelope `Σ_r η_r·S_r` over all rounds ever recorded:
+    /// `|log w(x)| ≤ drift` for every `x`. Unchanged by compaction.
     pub fn drift_bound(&self) -> f64 {
         self.drift
     }
 
+    /// Drift envelope of the folded rounds alone — the log-weight
+    /// distortion bound for a point replayed **unseeded** (outside the
+    /// checkpoint panel). `0` before any fold.
+    pub fn folded_drift(&self) -> f64 {
+        self.folded_drift
+    }
+
+    /// The newest checkpoint, when any fold has run.
+    pub fn checkpoint(&self) -> Option<&Arc<LogCheckpoint>> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Folds taken over the log's lifetime.
+    pub fn checkpoints_taken(&self) -> usize {
+        self.checkpoints_taken
+    }
+
+    /// Rough memory footprint of the retained rounds (round parameters
+    /// only; the `Arc`-shared loss/query payloads are excluded because
+    /// folding does not free them while any clone lives). Drives
+    /// [`CompactionPolicy::MemoryBound`].
+    pub fn retained_bytes(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| {
+                std::mem::size_of::<RoundUpdate>()
+                    + r.loss()
+                        .map_or(0, |l| 2 * std::mem::size_of::<f64>() * l.dim())
+            })
+            .sum()
+    }
+
     /// The unnormalized log-weight `log w(x) = −Σ_r η_r·u_r(x)` of one
-    /// point — `O(t·d)`, no `|X|`-sized anything.
+    /// point over the **retained** rounds only — `O(retained·d)`, no
+    /// `|X|`-sized anything. Before any fold this is the exact full
+    /// history; after a fold it omits the folded prefix, whose
+    /// contribution is bounded by [`UpdateLog::folded_drift`] (use
+    /// [`UpdateLog::log_weight_seeded`] to recover panel points exactly).
     pub fn log_weight_at(
         &self,
         point: &[f64],
@@ -337,9 +551,107 @@ impl UpdateLog {
     ) -> Result<f64, SketchError> {
         let mut lw = 0.0;
         for round in &self.rounds {
-            lw -= round.eta() * round.payoff(point, grad_buf)?;
+            lw = round.apply(lw, point, grad_buf)?;
         }
         Ok(lw)
+    }
+
+    /// The checkpoint-seeded log-weight of universe element `index` at
+    /// `point`: replay starts from the checkpoint's pinned prefix value
+    /// when `index` is in the panel (bit-for-bit the full replay) and
+    /// from `0` otherwise. Returns `(log_weight, seeded)` so callers can
+    /// track whether the lookup was lossless (`seeded`, distortion ≤
+    /// [`LogCheckpoint::missing_drift`]) or paid the folded drift.
+    pub fn log_weight_seeded(
+        &self,
+        index: usize,
+        point: &[f64],
+        grad_buf: &mut Vec<f64>,
+    ) -> Result<(f64, bool), SketchError> {
+        let (mut lw, seeded) = match self.checkpoint.as_ref().and_then(|c| c.seed_for(index)) {
+            Some(seed) => (seed, true),
+            None => (0.0, false),
+        };
+        for round in &self.rounds {
+            lw = round.apply(lw, point, grad_buf)?;
+        }
+        Ok((lw, seeded))
+    }
+
+    /// Fold every retained round into a fresh [`LogCheckpoint`] pinning
+    /// `panel_values[i]` as the cumulative log-weight of universe index
+    /// `panel_indices[i]` (the backends pass their pool, whose cumulative
+    /// log-weights are maintained incrementally and are therefore exactly
+    /// the replay values). `panel_missing_drift` is the distortion bound
+    /// those panel values already carry (`0` for an exact pool).
+    ///
+    /// Validates **before** mutating — on `Err` the log is untouched, so
+    /// a failed fold composes with the backends' transactional rollback.
+    /// Folding nothing (no retained rounds) is a no-op returning a zero
+    /// receipt without consuming a checkpoint slot.
+    pub fn compact(
+        &mut self,
+        panel_indices: &[usize],
+        panel_values: &[f64],
+        panel_missing_drift: f64,
+    ) -> Result<CompactionReceipt, SketchError> {
+        if panel_indices.len() != panel_values.len() {
+            return Err(SketchError::DimensionMismatch {
+                got: panel_values.len(),
+                expected: panel_indices.len(),
+            });
+        }
+        if !(panel_missing_drift.is_finite() && panel_missing_drift >= 0.0) {
+            return Err(SketchError::NonFinite(
+                "checkpoint missing-drift bound must be finite and >= 0",
+            ));
+        }
+        if panel_values.iter().any(|v| !v.is_finite()) {
+            return Err(SketchError::NonFinite(
+                "checkpoint panel log-weights must be finite",
+            ));
+        }
+        if !self.drift.is_finite() {
+            return Err(SketchError::NonFinite(
+                "cannot fold a log with a non-finite drift envelope",
+            ));
+        }
+        let folded_now = self.rounds.len();
+        if folded_now == 0 {
+            return Ok(CompactionReceipt {
+                folded_rounds: 0,
+                checkpoint_points: self.checkpoint.as_ref().map_or(0, |c| c.len()),
+                folded_drift: self.folded_drift,
+            });
+        }
+        // Sort the panel by index for binary-searchable seeds. Duplicate
+        // pool indices carry bit-identical cumulative values, so keeping
+        // the first occurrence is exact.
+        let mut pairs: Vec<(usize, f64)> = panel_indices
+            .iter()
+            .copied()
+            .zip(panel_values.iter().copied())
+            .collect();
+        pairs.sort_by_key(|&(i, _)| i);
+        pairs.dedup_by_key(|&mut (i, _)| i);
+        let (indices, values): (Vec<usize>, Vec<f64>) = pairs.into_iter().unzip();
+
+        // Commit: everything below is infallible.
+        self.folded_rounds += folded_now;
+        self.folded_drift = self.drift;
+        self.checkpoint = Some(Arc::new(LogCheckpoint {
+            round: self.folded_rounds,
+            missing_drift: panel_missing_drift,
+            indices,
+            values,
+        }));
+        self.checkpoints_taken += 1;
+        self.rounds.clear();
+        Ok(CompactionReceipt {
+            folded_rounds: folded_now,
+            checkpoint_points: self.checkpoint.as_ref().map_or(0, |c| c.len()),
+            folded_drift: self.folded_drift,
+        })
     }
 }
 
@@ -428,13 +740,13 @@ mod tests {
         let drift_one = log.drift_bound();
         log.push(RoundUpdate::new(lq(1, 2), vec![0.2], vec![0.4], 0.6).unwrap());
         assert!(log.drift_bound() > drift_one);
-        log.truncate(1);
+        log.truncate(1).unwrap();
         assert_eq!(log.len(), 1);
         assert!((log.drift_bound() - drift_one).abs() < 1e-15);
         // At-or-past-length truncation is a no-op.
-        log.truncate(5);
+        log.truncate(5).unwrap();
         assert_eq!(log.len(), 1);
-        log.truncate(0);
+        log.truncate(0).unwrap();
         assert!(log.is_empty());
         assert_eq!(log.drift_bound(), 0.0);
     }
@@ -460,5 +772,125 @@ mod tests {
         assert!(lw.abs() <= log.drift_bound() + 1e-12);
         assert!(format!("{:?}", log.rounds()[1]).contains("marginal"));
         assert_eq!(log.rounds()[1].point_dim(), 2);
+    }
+
+    #[test]
+    fn compaction_policy_due_semantics() {
+        assert!(!CompactionPolicy::Never.due(1_000_000, usize::MAX));
+        assert!(!CompactionPolicy::EveryK(0).due(1_000_000, 0));
+        assert!(!CompactionPolicy::EveryK(8).due(7, 0));
+        assert!(CompactionPolicy::EveryK(8).due(8, 0));
+        assert!(!CompactionPolicy::MemoryBound(100).due(0, 200));
+        assert!(!CompactionPolicy::MemoryBound(100).due(3, 100));
+        assert!(CompactionPolicy::MemoryBound(100).due(3, 101));
+        assert_eq!(CompactionPolicy::default(), CompactionPolicy::Never);
+    }
+
+    fn two_round_log() -> UpdateLog {
+        let mut log = UpdateLog::new();
+        log.push(RoundUpdate::new(lq(0, 2), vec![0.9], vec![0.5], 0.8).unwrap());
+        log.push(RoundUpdate::new(lq(1, 2), vec![0.2], vec![0.4], 0.6).unwrap());
+        log
+    }
+
+    #[test]
+    fn seeded_replay_from_a_panel_hit_is_bit_for_bit_the_full_replay() {
+        let mut log = two_round_log();
+        let mut grad = Vec::new();
+        let points = [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]];
+        let full: Vec<f64> = points
+            .iter()
+            .map(|p| log.log_weight_at(p, &mut grad).unwrap())
+            .collect();
+        let drift_before = log.drift_bound();
+
+        // Fold both rounds, pinning points 0 and 2 (deliberately with a
+        // duplicate to exercise dedup).
+        let receipt = log
+            .compact(&[2, 0, 2], &[full[2], full[0], full[2]], 0.0)
+            .unwrap();
+        assert_eq!(receipt.folded_rounds, 2);
+        assert_eq!(receipt.checkpoint_points, 2);
+        assert!((receipt.folded_drift - drift_before).abs() < 1e-15);
+        assert_eq!(log.len(), 2); // total round count unchanged
+        assert_eq!(log.retained_len(), 0);
+        assert_eq!(log.folded_len(), 2);
+        assert_eq!(log.checkpoints_taken(), 1);
+        assert_eq!(log.drift_bound(), drift_before); // envelope unchanged
+
+        // Push one more round on top of the fold.
+        log.push(RoundUpdate::new(lq(0, 2), vec![0.3], vec![0.7], 0.5).unwrap());
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.retained_len(), 1);
+
+        // Reference: the same three rounds, never folded.
+        let mut full_log = two_round_log();
+        full_log.push(RoundUpdate::new(lq(0, 2), vec![0.3], vec![0.7], 0.5).unwrap());
+        for (i, p) in points.iter().enumerate() {
+            let want = full_log.log_weight_at(p, &mut grad).unwrap();
+            let (got, seeded) = log.log_weight_seeded(i, p, &mut grad).unwrap();
+            if i == 1 {
+                // Panel miss: unseeded, off by exactly the folded prefix.
+                assert!(!seeded);
+                let suffix_only = got;
+                assert!((want - suffix_only - full[1]).abs() < 1e-12);
+                assert!((want - suffix_only).abs() <= log.folded_drift() + 1e-12);
+            } else {
+                assert!(seeded);
+                assert_eq!(got.to_bits(), want.to_bits(), "panel point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_validates_before_mutating_and_truncate_respects_the_fold() {
+        let mut log = two_round_log();
+        // Mismatched panel / non-finite values / bad drift: all rejected,
+        // log untouched.
+        assert!(log.compact(&[0, 1], &[0.5], 0.0).is_err());
+        assert!(log.compact(&[0], &[f64::NAN], 0.0).is_err());
+        assert!(log.compact(&[0], &[0.5], f64::NAN).is_err());
+        assert!(log.compact(&[0], &[0.5], -1.0).is_err());
+        assert_eq!(log.retained_len(), 2);
+        assert!(log.checkpoint().is_none());
+
+        log.compact(&[0], &[0.25], 0.125).unwrap();
+        let ck = log.checkpoint().unwrap();
+        assert_eq!(ck.round(), 2);
+        assert_eq!(ck.len(), 1);
+        assert!(!ck.is_empty());
+        assert_eq!(ck.seed_for(0), Some(0.25));
+        assert_eq!(ck.seed_for(1), None);
+        assert!((ck.missing_drift() - 0.125).abs() < 1e-15);
+
+        // Truncating to/above the fold boundary is fine; into it, an error.
+        log.push(RoundUpdate::new(lq(0, 2), vec![0.3], vec![0.7], 0.5).unwrap());
+        let drift_at_fold = log.folded_drift();
+        log.truncate(2).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.retained_len(), 0);
+        assert!((log.drift_bound() - drift_at_fold).abs() < 1e-15);
+        assert!(log.truncate(1).is_err());
+
+        // An empty-retained fold is a no-op receipt, not a new checkpoint.
+        let receipt = log.compact(&[5], &[1.0], 0.0).unwrap();
+        assert_eq!(receipt.folded_rounds, 0);
+        assert_eq!(log.checkpoints_taken(), 1);
+        assert_eq!(log.checkpoint().unwrap().round(), 2);
+    }
+
+    #[test]
+    fn retained_bytes_shrink_on_fold_and_drive_memory_bound() {
+        let mut log = two_round_log();
+        let bytes = log.retained_bytes();
+        assert!(bytes > 0);
+        assert!(CompactionPolicy::MemoryBound(bytes - 1).due(log.retained_len(), bytes));
+        log.compact(&[], &[], 0.0).unwrap();
+        assert_eq!(log.retained_bytes(), 0);
+        // Empty-panel checkpoints seed nothing: every lookup is unseeded.
+        let mut grad = Vec::new();
+        let (lw, seeded) = log.log_weight_seeded(0, &[1.0, 0.0], &mut grad).unwrap();
+        assert_eq!(lw, 0.0);
+        assert!(!seeded);
     }
 }

@@ -48,15 +48,15 @@
 
 use crate::error::SketchError;
 use crate::health::PoolHealth;
-use crate::log::{RoundUpdate, UpdateLog};
+use crate::log::{CompactionPolicy, RoundUpdate, UpdateLog};
 use crate::source::PointSource;
 use pmw_core::update::dual_certificate_at;
 use pmw_core::{BackendEvent, MeanFn, PmwError, QueryEstimate, ReadSnapshot, StateBackend};
 use pmw_data::par::{plan_fold, plan_fold_mut, plan_for_each_mut, ChunkPlan};
 use pmw_data::{gumbel_max_slice, Histogram, PointMatrix, PointQuery};
 use pmw_dp::{
-    effective_sample_size, empirical_bernstein_radius, ess_radius, hoeffding_radius,
-    uncovered_mass_bound, RadiusBound, SamplingAccountant,
+    compaction_fold_radius, effective_sample_size, empirical_bernstein_radius, ess_radius,
+    hoeffding_radius, uncovered_mass_bound, RadiusBound, SamplingAccountant,
 };
 use pmw_losses::traits::minimize_weighted;
 use pmw_losses::CmLoss;
@@ -120,6 +120,17 @@ pub struct SampledConfig {
     /// the default `0` — disable growth). Growing to the universe size
     /// degrades gracefully all the way to an exhaustive (exact) pool.
     pub growth_cap: usize,
+    /// **Log compaction**: when to fold old rounds into a log-weight
+    /// checkpoint ([`CompactionPolicy`]). [`CompactionPolicy::Never`]
+    /// (the default) preserves the historical full-replay behavior
+    /// bit-for-bit; `EveryK(k)` bounds every refresh replay to at most
+    /// `k` retained rounds, making per-round cost flat in `t` for
+    /// unbounded-round serving. A fold is lossless for pool points pinned
+    /// in the checkpoint panel; fresh candidates drawn after a fold pay a
+    /// deterministic, ledgered bias bound
+    /// ([`pmw_dp::compaction_fold_radius`]) that widens every later read
+    /// radius.
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for SampledConfig {
@@ -131,6 +142,7 @@ impl Default for SampledConfig {
             ess_floor: 0.0,
             max_usable_radius: f64::INFINITY,
             growth_cap: 0,
+            compaction: CompactionPolicy::Never,
         }
     }
 }
@@ -241,6 +253,12 @@ struct SketchReadView<'a> {
     pool_log_w: &'a [f64],
     exhaustive: bool,
     drift_bound: f64,
+    /// The distortion bound (in log-weight) the pool's cached values
+    /// carry from lossy compaction folds — `0` when every cached value is
+    /// the exact full-history replay ([`CompactionPolicy::Never`], or a
+    /// pool untouched since its panel was checkpointed). Every estimate
+    /// and read margin widens by [`compaction_fold_radius`] of this.
+    fold_drift: f64,
     beta: f64,
     max_usable_radius: f64,
     /// The pool's fixed chunk layout, hoisted once per pool size and shared
@@ -406,13 +424,26 @@ impl SketchReadView<'_> {
             w_sq_f,
             w_sq_f_sq,
         } = acc;
-        let (radius, beta, bound, envelope) = if self.exhaustive {
-            (0.0, 0.0, RadiusBound::Exact, 0.0)
-        } else if scale <= 0.0 {
+        // Deterministic fold bias: pool weights distorted by up to
+        // `fold_drift` in log-space shift any bounded mean by at most
+        // 2·scale·tanh(fold_drift) — a sure (β-free) claim added on top
+        // of whichever concentration bound wins. Exactly 0 when no lossy
+        // fold has touched the pool, leaving those paths bit-for-bit.
+        let fold = compaction_fold_radius(scale, self.fold_drift);
+        let (radius, beta, bound, envelope) = if scale <= 0.0 {
             // |f| ≤ 0 pins the statistic (and hence the estimate and the
             // true value) to exactly zero — no manufactured numerator
             // range, no radius, no failure probability.
             (0.0, 0.0, RadiusBound::Exact, 0.0)
+        } else if self.exhaustive {
+            // Exhaustive pools are exact in sampling, but a pool rebuilt
+            // across a lossy fold still carries the fold bias — claiming
+            // radius 0 there would be dishonest.
+            if fold > 0.0 {
+                (fold, 0.0, RadiusBound::Fold, 0.0)
+            } else {
+                (0.0, 0.0, RadiusBound::Exact, 0.0)
+            }
         } else {
             let beta = self.beta;
             // Candidate 1 (β/2, split again over numerator/normalizer):
@@ -435,13 +466,19 @@ impl SketchReadView<'_> {
             } else {
                 f64::INFINITY
             };
-            let (radius, bound) = if r_eb <= r_ess && r_eb <= envelope {
+            let (mut radius, bound) = if r_eb <= r_ess && r_eb <= envelope {
                 (r_eb, RadiusBound::Bernstein)
             } else if r_ess <= envelope {
                 (r_ess, RadiusBound::EffectiveSample)
             } else {
                 (envelope, RadiusBound::Hoeffding)
             };
+            // The fold bias is deterministic, so it adds to whichever
+            // stochastic bound won (guarded to keep the uncompacted path
+            // bit-for-bit identical).
+            if fold > 0.0 {
+                radius += fold;
+            }
             (radius, beta, bound, envelope)
         };
         lock_ledger(ledger).record(label, self.pool_size(), radius, beta, bound);
@@ -480,10 +517,14 @@ impl SketchReadView<'_> {
         // ŵ sums to 1, so ESS = 1/Σŵ².
         let ess = effective_sample_size(1.0, w_sq);
         let r_ess = ess_radius(2.0 * scale, ess, beta / 2.0).unwrap_or(f64::INFINITY);
+        // Lossy-fold bias is deterministic, so it widens whichever
+        // concentration candidate wins (exactly 0 under
+        // [`CompactionPolicy::Never`]).
+        let fold = compaction_fold_radius(scale, self.fold_drift);
         if r_ess <= envelope {
-            (r_ess, RadiusBound::EffectiveSample, envelope)
+            (r_ess + fold, RadiusBound::EffectiveSample, envelope)
         } else {
-            (envelope, RadiusBound::Hoeffding, envelope)
+            (envelope + fold, RadiusBound::Hoeffding, envelope)
         }
     }
 }
@@ -506,6 +547,9 @@ pub struct SampledSnapshot {
     pool_log_w: Vec<f64>,
     exhaustive: bool,
     drift_bound: f64,
+    /// Lossy-fold distortion bound carried by the frozen pool weights —
+    /// see [`SketchReadView`]'s field of the same name.
+    fold_drift: f64,
     beta: f64,
     max_usable_radius: f64,
     universe_size: usize,
@@ -523,6 +567,7 @@ impl SampledSnapshot {
             pool_log_w: &self.pool_log_w,
             exhaustive: self.exhaustive,
             drift_bound: self.drift_bound,
+            fold_drift: self.fold_drift,
             beta: self.beta,
             max_usable_radius: self.max_usable_radius,
             plan: self.plan,
@@ -622,8 +667,23 @@ impl ReadSnapshot for SampledSnapshot {
     }
 
     fn read_radius(&self, scale: f64) -> f64 {
-        if self.exhaustive || scale <= 0.0 || scale.is_nan() {
+        if scale <= 0.0 || scale.is_nan() {
             return 0.0;
+        }
+        if self.exhaustive {
+            // Exact in sampling, but an exhaustive pool rebuilt across a
+            // lossy fold still carries the deterministic fold bias.
+            let fold = compaction_fold_radius(scale, self.fold_drift);
+            if fold > 0.0 {
+                lock_ledger(&self.ledger).record(
+                    "read-margin",
+                    self.pool_size(),
+                    fold,
+                    0.0,
+                    RadiusBound::Fold,
+                );
+            }
+            return fold;
         }
         let (radius, bound, _envelope) = self.view().read_radius_parts(scale);
         lock_ledger(&self.ledger).record("read-margin", self.pool_size(), radius, self.beta, bound);
@@ -660,6 +720,18 @@ pub struct SampledBackend<S: PointSource, P: Probe = NoopProbe> {
     escalations: usize,
     /// Pool doublings performed by escalation rung 2.
     pool_growths: usize,
+    /// Checkpointed log compactions committed so far (see
+    /// [`SampledConfig::compaction`]).
+    compactions: usize,
+    /// Distortion bound (log-weight) the *current pool's* cached values
+    /// carry from lossy folds: `0` until a fold happens, then the newest
+    /// checkpoint's `missing_drift` when the pool replays from its own
+    /// panel, or the full folded drift when any pool point missed the
+    /// panel. Feeds the fold term of every read radius.
+    pool_missing_drift: f64,
+    /// Retained (non-folded) rounds replayed by the most recent full pool
+    /// rebuild — the quantity compaction keeps flat in `t`.
+    last_replay_depth: usize,
     /// Rounds recorded since the pool was last (re)drawn.
     rounds_since_refresh: usize,
     /// Drift envelope at the last pool (re)draw — `drift_bound() − this`
@@ -705,6 +777,8 @@ struct PoolSnapshot {
     adaptive_resamples: usize,
     escalations: usize,
     pool_growths: usize,
+    pool_missing_drift: f64,
+    last_replay_depth: usize,
     rounds_since_refresh: usize,
     drift_at_refresh: f64,
     min_ess: f64,
@@ -776,6 +850,9 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             adaptive_resamples: 0,
             escalations: 0,
             pool_growths: 0,
+            compactions: 0,
+            pool_missing_drift: 0.0,
+            last_replay_depth: 0,
             rounds_since_refresh: 0,
             drift_at_refresh: 0.0,
             // The fresh pool is uniform: ESS starts at m exactly.
@@ -841,6 +918,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             pool_log_w: self.pool_log_w.clone(),
             exhaustive: self.exhaustive,
             drift_bound: self.log.drift_bound(),
+            fold_drift: self.pool_missing_drift,
             beta: self.config.beta,
             max_usable_radius: self.config.max_usable_radius,
             universe_size: self.source.len(),
@@ -875,6 +953,27 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
     /// Pool doublings performed by escalation rung 2.
     pub fn pool_growths(&self) -> usize {
         self.pool_growths
+    }
+
+    /// Checkpointed log compactions committed so far — policy-triggered
+    /// ([`SampledConfig::compaction`]) and manual
+    /// ([`SampledBackend::compact_now`]) alike.
+    pub fn compactions(&self) -> usize {
+        self.compactions
+    }
+
+    /// The log-weight distortion bound the current pool carries from lossy
+    /// compaction folds (`0` until a fold happens; see
+    /// [`LogCheckpoint::missing_drift`](crate::log::LogCheckpoint::missing_drift)). Every read radius widens by
+    /// [`compaction_fold_radius`]`(scale, this)`.
+    pub fn pool_missing_drift(&self) -> f64 {
+        self.pool_missing_drift
+    }
+
+    /// Retained rounds replayed by the most recent full pool rebuild —
+    /// the quantity compaction keeps flat in `t` (`0` before any rebuild).
+    pub fn last_replay_depth(&self) -> usize {
+        self.last_replay_depth
     }
 
     /// The minimum post-round effective sample size observed so far
@@ -980,12 +1079,16 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
     }
 
     /// Redraw the whole Monte-Carlo pool and re-evaluate every fresh
-    /// candidate's log-weight from the retained update log — `O(t·d)` per
-    /// candidate (the `LazyLogBackend` evaluation engine,
-    /// [`UpdateLog::log_weight_at`]), `O(m·t·d)` total. Restores
-    /// estimator independence after the pool has been reused across
-    /// drifting rounds; a no-op on exhaustive pools. Consumes `m` uniform
-    /// index draws from `rng`.
+    /// candidate's log-weight from the newest checkpoint plus the retained
+    /// update log ([`UpdateLog::log_weight_seeded`]) — `O(t_retained·d)`
+    /// per candidate, `O(m·t_retained·d)` total. Under an active
+    /// [`CompactionPolicy`] the retained suffix is bounded, so the rebuild
+    /// cost is flat in the total round count `t` (this is the fix for the
+    /// latent `O(t)`-per-refresh quadratic); with no checkpoint it is the
+    /// historical full replay, bit-for-bit. Restores estimator
+    /// independence after the pool has been reused across drifting
+    /// rounds; a no-op on exhaustive pools. Consumes `m` uniform index
+    /// draws from `rng`.
     ///
     /// Called automatically every [`SampledConfig::resample_every`]
     /// recorded rounds when the backend is driven through the
@@ -1012,27 +1115,52 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             self.source.write_point(idx, row);
         }
         let log = &self.log;
+        let checkpoint_missing = log.checkpoint().map_or(0.0, |c| c.missing_drift());
+        // The fold returns whether any candidate missed the checkpoint
+        // panel (had to replay unseeded, inheriting the full folded-drift
+        // distortion bound instead of the panel's tighter one).
         let replayed = plan_fold_mut(
             self.plan,
             &mut log_w,
             |offset, chunk| {
                 let mut grad = Vec::new();
+                let mut any_unseeded = false;
                 let block = &flat[offset * dim..(offset + chunk.len()) * dim];
-                for (slot, row) in chunk.iter_mut().zip(block.chunks_exact(dim)) {
-                    *slot = log.log_weight_at(row, &mut grad)?;
+                for ((slot, row), &idx) in chunk
+                    .iter_mut()
+                    .zip(block.chunks_exact(dim))
+                    .zip(&indices[offset..])
+                {
+                    let (lw, seeded) = log.log_weight_seeded(idx, row, &mut grad)?;
+                    *slot = lw;
+                    any_unseeded |= !seeded;
                 }
-                Ok::<(), SketchError>(())
+                Ok::<bool, SketchError>(any_unseeded)
             },
-            Result::and,
+            |a, b| match (a, b) {
+                (Ok(x), Ok(y)) => Ok(x || y),
+                (Err(e), _) => Err(e),
+                (_, Err(e)) => Err(e),
+            },
         );
         self.probe.span_end(Phase::LogReplay);
-        replayed?;
+        let any_unseeded = replayed?;
         // All fresh state computed; swap atomically so a failed
         // re-evaluation above leaves the old pool untouched.
         self.pool_points = PointMatrix::from_flat(flat, dim)
             .map_err(|_| SketchError::NonFinite("point source produced invalid points"))?;
         self.pool_indices = indices;
         self.pool_log_w = log_w;
+        self.pool_missing_drift = if any_unseeded {
+            self.log.folded_drift()
+        } else {
+            checkpoint_missing
+        };
+        self.last_replay_depth = self.log.retained_len();
+        if P::ENABLED {
+            self.probe
+                .gauge(Gauge::ReplayRounds, self.last_replay_depth as f64);
+        }
         self.resamples += 1;
         self.probe.counter(Counter::Resamples, 1);
         self.rounds_since_refresh = 0;
@@ -1074,36 +1202,56 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         // to be `Sync`), and all RNG draws happen up front in the original
         // order (the replay itself consumes none), keeping the rng stream
         // identical to the historical interleaved loop.
-        let replay = |flat: &[f64], log_w: &mut [f64], log: &UpdateLog| {
+        let checkpoint_missing = self.log.checkpoint().map_or(0.0, |c| c.missing_drift());
+        // Returns whether any candidate missed the checkpoint panel and
+        // had to replay unseeded (inheriting the full folded-drift bound).
+        let replay = |flat: &[f64], idxs: &[usize], log_w: &mut [f64], log: &UpdateLog| {
             plan_fold_mut(
                 ChunkPlan::with_grain(log_w.len(), POOL_GRAIN),
                 log_w,
                 |offset, chunk| {
                     let mut grad = Vec::new();
+                    let mut any_unseeded = false;
                     let block = &flat[offset * dim..(offset + chunk.len()) * dim];
-                    for (slot, row) in chunk.iter_mut().zip(block.chunks_exact(dim)) {
-                        *slot = log.log_weight_at(row, &mut grad)?;
+                    for ((slot, row), &idx) in chunk
+                        .iter_mut()
+                        .zip(block.chunks_exact(dim))
+                        .zip(&idxs[offset..])
+                    {
+                        let (lw, seeded) = log.log_weight_seeded(idx, row, &mut grad)?;
+                        *slot = lw;
+                        any_unseeded |= !seeded;
                     }
-                    Ok::<(), SketchError>(())
+                    Ok::<bool, SketchError>(any_unseeded)
                 },
-                Result::and,
+                |a, b| match (a, b) {
+                    (Ok(x), Ok(y)) => Ok(x || y),
+                    (Err(e), _) => Err(e),
+                    (_, Err(e)) => Err(e),
+                },
             )
         };
         if target >= n {
             // The doubled pool would cover the universe: enumerate it once
-            // and become exhaustive — every later estimate is exact.
+            // and become exhaustive — every later estimate is exact in
+            // sampling (any lossy-fold bias still applies, tracked below).
             let indices: Vec<usize> = (0..n).collect();
             let mut flat = vec![0.0; n * dim];
             for (row, &idx) in flat.chunks_exact_mut(dim).zip(&indices) {
                 self.source.write_point(idx, row);
             }
             let mut log_w = vec![0.0; n];
-            replay(&flat, &mut log_w, &self.log)?;
+            let any_unseeded = replay(&flat, &indices, &mut log_w, &self.log)?;
             self.pool_points = PointMatrix::from_flat(flat, dim)
                 .map_err(|_| SketchError::NonFinite("point source produced invalid points"))?;
             self.pool_indices = indices;
             self.pool_log_w = log_w;
             self.exhaustive = true;
+            self.pool_missing_drift = if any_unseeded {
+                self.log.folded_drift()
+            } else {
+                checkpoint_missing
+            };
         } else {
             let fresh: Vec<usize> = (m..target).map(|_| rng.random_range(0..n)).collect();
             let mut fresh_flat = vec![0.0; fresh.len() * dim];
@@ -1111,7 +1259,15 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
                 self.source.write_point(idx, row);
             }
             let mut fresh_log_w = vec![0.0; fresh.len()];
-            replay(&fresh_flat, &mut fresh_log_w, &self.log)?;
+            let any_unseeded = replay(&fresh_flat, &fresh, &mut fresh_log_w, &self.log)?;
+            // The existing slots keep their own distortion bound; the
+            // appended ones carry theirs — the pool-wide bound is the max.
+            let fresh_missing = if any_unseeded {
+                self.log.folded_drift()
+            } else {
+                checkpoint_missing
+            };
+            self.pool_missing_drift = self.pool_missing_drift.max(fresh_missing);
             let mut flat = Vec::with_capacity(target * dim);
             for row in self.pool_points.iter() {
                 flat.extend_from_slice(row);
@@ -1126,6 +1282,11 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             self.pool_indices = indices;
             self.pool_log_w = log_w;
         }
+        self.last_replay_depth = self.log.retained_len();
+        if P::ENABLED {
+            self.probe
+                .gauge(Gauge::ReplayRounds, self.last_replay_depth as f64);
+        }
         self.plan = ChunkPlan::with_grain(self.pool_indices.len(), POOL_GRAIN);
         Ok(())
     }
@@ -1137,6 +1298,73 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         if every > 0 && !self.exhaustive && self.log.len().is_multiple_of(every) {
             self.resample(rng)?;
         }
+        Ok(())
+    }
+
+    /// [`SampledBackend::compact_now`] when [`SampledConfig::compaction`]
+    /// says a fold is due. Runs strictly after a successful round (see
+    /// [`Self::transactional_round`]), so it never moves a rollback
+    /// boundary.
+    fn maybe_compact(&mut self) -> Result<(), SketchError> {
+        if self
+            .config
+            .compaction
+            .due(self.log.retained_len(), self.log.retained_bytes())
+        {
+            self.compact_now()?;
+        }
+        Ok(())
+    }
+
+    /// Fold every retained round into a [`LogCheckpoint`](crate::log::LogCheckpoint) pinned on the
+    /// current pool (the pool's cached log-weights become the checkpoint
+    /// panel), so later rebuilds replay only rounds recorded *after* this
+    /// fold. The pool's current distortion bound
+    /// ([`SampledBackend::pool_missing_drift`]) is recorded as the
+    /// checkpoint's [`LogCheckpoint::missing_drift`](crate::log::LogCheckpoint::missing_drift): a panel-seeded
+    /// replay inherits exactly that bound, an unseeded one inherits the
+    /// full folded drift, and either way the claim is charged as a sure
+    /// (β = 0) fold entry in the sampling ledger and surfaced as a
+    /// [`BackendEvent::Compaction`]. Validation happens before any
+    /// mutation, so a failed fold leaves the log untouched. A no-op (no
+    /// checkpoint, no event) when there is nothing retained to fold.
+    pub fn compact_now(&mut self) -> Result<(), SketchError> {
+        self.ensure_usable()?;
+        let round = self.log.len();
+        let receipt = self.log.compact(
+            &self.pool_indices,
+            &self.pool_log_w,
+            self.pool_missing_drift,
+        )?;
+        if receipt.folded_rounds == 0 {
+            return Ok(());
+        }
+        self.compactions += 1;
+        self.probe.counter(Counter::Compactions, 1);
+        if P::ENABLED {
+            self.probe
+                .gauge(Gauge::LogLen, self.log.retained_len() as f64);
+            self.probe
+                .gauge(Gauge::CheckpointCount, self.log.checkpoints_taken() as f64);
+        }
+        // Ledger the fold's error claim at unit scale: a reader at scale
+        // `s` pays `compaction_fold_radius(s, folded_drift)`; recording
+        // the unit-scale bound keeps the ledger entry scale-free and the
+        // claim sure (β = 0 — it is a deterministic bias bound, not a
+        // concentration failure probability).
+        self.ledger_mut().record(
+            "compaction-fold",
+            receipt.checkpoint_points,
+            compaction_fold_radius(1.0, receipt.folded_drift),
+            0.0,
+            RadiusBound::Fold,
+        );
+        self.pending_events.push(BackendEvent::Compaction {
+            round,
+            folded_rounds: receipt.folded_rounds,
+            checkpoint_points: receipt.checkpoint_points,
+            folded_drift: receipt.folded_drift,
+        });
         Ok(())
     }
 
@@ -1156,6 +1384,8 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             adaptive_resamples: self.adaptive_resamples,
             escalations: self.escalations,
             pool_growths: self.pool_growths,
+            pool_missing_drift: self.pool_missing_drift,
+            last_replay_depth: self.last_replay_depth,
             rounds_since_refresh: self.rounds_since_refresh,
             drift_at_refresh: self.drift_at_refresh,
             min_ess: self.min_ess,
@@ -1180,14 +1410,21 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         self.adaptive_resamples = snap.adaptive_resamples;
         self.escalations = snap.escalations;
         self.pool_growths = snap.pool_growths;
+        self.pool_missing_drift = snap.pool_missing_drift;
+        self.last_replay_depth = snap.last_replay_depth;
         self.rounds_since_refresh = snap.rounds_since_refresh;
         self.drift_at_refresh = snap.drift_at_refresh;
         self.min_ess = snap.min_ess;
-        self.log.truncate(snap.log_len);
+        // Compaction only ever folds rounds that were already committed
+        // (it runs strictly after a successful round), so the snapshot's
+        // log length can never fall inside the folded prefix — a truncate
+        // failure here means the log itself is inconsistent.
+        let truncated = self.log.truncate(snap.log_len);
         self.pending_events.truncate(snap.events_len);
         let m = self.pool_indices.len();
         self.plan = ChunkPlan::with_grain(m, POOL_GRAIN);
-        if self.pool_log_w.len() != m
+        if truncated.is_err()
+            || self.pool_log_w.len() != m
             || self.pool_points.len() != m
             || self.log.len() != snap.log_len
             || !self.log.drift_bound().is_finite()
@@ -1209,7 +1446,14 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         self.ensure_usable()?;
         let snap = self.pool_checkpoint();
         let events_before = snap.events_len;
-        match self.run_round(update, rng) {
+        // Compaction runs strictly *after* a fully successful round: a
+        // fold can therefore never move the rollback boundary of the round
+        // it rides on, and a failed fold (validation errors before any
+        // mutation) rolls the round back like any other failure.
+        match self
+            .run_round(update, rng)
+            .and_then(|()| self.maybe_compact())
+        {
             Ok(()) => Ok(()),
             Err(e) => {
                 // The failed round's events (the escalations that *caused*
@@ -1263,6 +1507,10 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
                 self.probe
                     .gauge(Gauge::SnapshotAge, round.saturating_sub(at) as f64);
             }
+            self.probe
+                .gauge(Gauge::LogLen, self.log.retained_len() as f64);
+            self.probe
+                .gauge(Gauge::CheckpointCount, self.log.checkpoints_taken() as f64);
         }
         if self.config.ess_floor > 0.0 && !self.exhaustive {
             let health = self.health();
@@ -1359,6 +1607,7 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
             pool_log_w: &self.pool_log_w,
             exhaustive: self.exhaustive,
             drift_bound: self.log.drift_bound(),
+            fold_drift: self.pool_missing_drift,
             beta: self.config.beta,
             max_usable_radius: self.config.max_usable_radius,
             plan: self.plan,
@@ -1418,15 +1667,32 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
     /// read of a statistic bounded by `|f| ≤ scale` under the current
     /// state, at the configured `β` — the minimum of the drift-envelope
     /// and effective-sample-size bounds (`β/2` each; no integrand in hand
-    /// means no variance candidate). `0` on exhaustive pools. `O(m)` over
-    /// the cached weights; used by the mechanisms to widen their
-    /// sparse-vector margins on sketched state. Each call records a
-    /// `"read-margin"` ledger entry: a `⊥` answer screened against the
-    /// widened margin *rests* on this claim holding (failure probability
-    /// `β`), so the union-bound totals must count it like any estimate.
+    /// means no variance candidate), widened by the deterministic
+    /// lossy-fold bias when the pool carries one. `0` on exhaustive pools
+    /// untouched by lossy folds. `O(m)` over the cached weights; used by
+    /// the mechanisms to widen their sparse-vector margins on sketched
+    /// state. Each call records a `"read-margin"` ledger entry: a `⊥`
+    /// answer screened against the widened margin *rests* on this claim
+    /// holding (failure probability `β`), so the union-bound totals must
+    /// count it like any estimate.
     pub fn read_radius(&self, scale: f64) -> f64 {
-        if self.exhaustive || scale <= 0.0 || scale.is_nan() {
+        if scale <= 0.0 || scale.is_nan() {
             return 0.0;
+        }
+        if self.exhaustive {
+            // Exact in sampling, but an exhaustive pool rebuilt across a
+            // lossy fold still carries the deterministic fold bias.
+            let fold = compaction_fold_radius(scale, self.pool_missing_drift);
+            if fold > 0.0 {
+                self.ledger_mut().record(
+                    "read-margin",
+                    self.pool_size(),
+                    fold,
+                    0.0,
+                    RadiusBound::Fold,
+                );
+            }
+            return fold;
         }
         let (radius, bound, envelope) = self.view().read_radius_parts(scale);
         self.ledger_mut().record(
@@ -1448,8 +1714,11 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
     /// makes no β-claim a caller's answer rests on, so it must not inflate
     /// the union-bound totals.
     fn claimed_read_radius(&self, scale: f64) -> f64 {
-        if self.exhaustive || scale <= 0.0 || scale.is_nan() {
+        if scale <= 0.0 || scale.is_nan() {
             return 0.0;
+        }
+        if self.exhaustive {
+            return compaction_fold_radius(scale, self.pool_missing_drift);
         }
         self.view().read_radius_parts(scale).0
     }
@@ -1567,15 +1836,17 @@ impl<S: PointSource, P: Probe> SampledBackend<S, P> {
         self.pool_indices[slot]
     }
 
-    /// Exact unnormalized log-weight of any universe element, re-evaluated
-    /// from the retained log — `O(t·d)`, used for spot checks and pool
-    /// refreshes; the pooled fast path never calls this.
+    /// Unnormalized log-weight of any universe element, re-evaluated from
+    /// the newest checkpoint (panel hit: bit-for-bit the full replay for
+    /// lossless folds) plus the retained log — `O(t_retained·d)`; exact
+    /// full-history replay when no fold has happened. Used for spot checks
+    /// and pool refreshes; the pooled fast path never calls this.
     pub fn log_weight_of(&self, x: usize) -> Result<f64, SketchError> {
         self.ensure_usable()?;
         let mut bufs = self.bufs.borrow_mut();
         let (point, grad) = &mut *bufs;
         self.source.write_point(x, point);
-        self.log.log_weight_at(point, grad)
+        Ok(self.log.log_weight_seeded(x, point, grad)?.0)
     }
 }
 

@@ -95,6 +95,16 @@ fn check_events(events: &[BackendEvent]) {
             BackendEvent::RoundRolledBack { round } => {
                 assert!(*round >= 1);
             }
+            BackendEvent::Compaction {
+                round,
+                folded_rounds,
+                checkpoint_points: _,
+                folded_drift,
+            } => {
+                assert!(*round >= 1);
+                assert!(*folded_rounds >= 1);
+                assert!(folded_drift.is_finite() && *folded_drift >= 0.0);
+            }
         }
         // Every event renders a one-line human-readable summary.
         assert!(!e.to_string().is_empty() && !e.to_string().contains('\n'));
@@ -411,4 +421,161 @@ fn resample_fault_mid_mechanism_burns_the_round_and_rolls_back_the_backend() {
     assert_eq!(mech.updates_used(), 2);
     assert_eq!(mech.state().updates_recorded(), 1);
     assert_eq!(mech.state().resamples(), 1);
+}
+
+/// Compaction under chaos: the same seeded fault-plan grid as the main
+/// online test, with an active [`CompactionPolicy`] folding the log every
+/// few rounds. Every invariant must survive unchanged — folds run only
+/// after fully successful rounds, so no fault schedule can land a
+/// rollback boundary inside a folded prefix — and the compaction activity
+/// must actually fire and surface through the event drain.
+#[test]
+fn online_pmw_invariants_hold_with_compaction_under_fault_plans() {
+    use pmw_sketch::CompactionPolicy;
+    let cube = BooleanCube::new(DIM).unwrap();
+    let data = dataset();
+    let compacted_config = SampledConfig {
+        compaction: CompactionPolicy::EveryK(1),
+        ..robust_sampled_config()
+    };
+    let mut seeds_run = 0;
+    let mut compactions_seen = 0usize;
+    let mut rollbacks_seen = 0usize;
+    for seed in 0..24u64 {
+        let plan = FaultPlan::seeded(seed);
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let backend = match SampledBackend::new(
+            FaultySource::new(UniversePoints(cube.clone()), plan.source),
+            compacted_config,
+            &mut rng,
+        ) {
+            Ok(b) => b,
+            Err(_) => continue,
+        };
+        seeds_run += 1;
+        let config = PmwConfig::builder(1.0, 1e-6, 0.2)
+            .k(10)
+            .scale(1.0)
+            .rounds_override(4)
+            .solver_iters(40)
+            .oracle_retries(1)
+            .build()
+            .unwrap();
+        let mut mech = OnlinePmw::with_backend(
+            config,
+            &cube,
+            data.clone(),
+            FaultyOracle::new(ExactOracle::default(), plan.oracle),
+            FaultyBackend::new(backend, plan),
+            &mut rng,
+        )
+        .unwrap();
+        for q in 0..10usize {
+            let loss = LinearQueryLoss::new(
+                PointPredicate::Conjunction {
+                    coords: vec![q % DIM],
+                },
+                DIM,
+            )
+            .unwrap();
+            match mech.answer(&loss, &mut rng) {
+                Ok(_) => {}
+                Err(PmwError::Halted) | Err(PmwError::QueryLimitReached) => break,
+                Err(_) => {}
+            }
+            check_backend(mech.state().inner(), mech.updates_used());
+            check_events(mech.transcript().backend_events());
+        }
+        let inner = mech.state().inner();
+        compactions_seen += inner.compactions();
+        // A committed fold must never out-run the committed log.
+        assert!(
+            inner.log().folded_len() <= inner.updates_recorded(),
+            "seed {seed}: fold boundary passed the committed log"
+        );
+        rollbacks_seen += mech
+            .transcript()
+            .backend_events()
+            .iter()
+            .filter(|e| matches!(e, BackendEvent::RoundRolledBack { .. }))
+            .count();
+    }
+    assert!(
+        seeds_run >= 6,
+        "only {seeds_run} plans survived construction"
+    );
+    assert!(
+        compactions_seen > 0,
+        "no fold ever fired — compaction was not exercised under chaos"
+    );
+    assert!(
+        rollbacks_seen > 0,
+        "no rollback ever fired alongside compaction — the interaction is untested"
+    );
+}
+
+/// A fault landing on the round *after* a committed fold must roll that
+/// round back across the checkpoint boundary cleanly: the fold's rounds
+/// stay folded, the failed round vanishes, nothing is poisoned, and the
+/// backend keeps serving.
+#[test]
+fn fault_after_a_fold_rolls_back_cleanly_without_poisoning() {
+    use pmw_data::Universe;
+    use pmw_sketch::CompactionPolicy;
+    let cube = BooleanCube::new(DIM).unwrap();
+    let points = cube.materialize();
+    let sampled_config = SampledConfig {
+        budget: 4,
+        resample_every: 1, // a replay every round, so the fault can land in one
+        compaction: CompactionPolicy::EveryK(2),
+        ..SampledConfig::default()
+    };
+    // Pool construction reads m = 4 points; each per-round resample reads
+    // 4 more. Aim the one-shot fault at the first read of round 3's
+    // resample — strictly after round 2's fold committed.
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut backend = SampledBackend::new(
+        FaultySource::new(UniversePoints(cube.clone()), FaultRule::Once(4 + 8 + 1)),
+        sampled_config,
+        &mut rng,
+    )
+    .unwrap();
+    let loss = LinearQueryLoss::new(PointPredicate::Conjunction { coords: vec![0] }, DIM).unwrap();
+    for _ in 0..2 {
+        backend
+            .apply_update(&loss, None, &points, &[0.8], &[0.3], 0.5, None, &mut rng)
+            .unwrap();
+    }
+    assert_eq!(backend.compactions(), 1, "round 2 must have folded");
+    assert_eq!(backend.log().folded_len(), 2);
+    let err = backend
+        .apply_update(&loss, None, &points, &[0.8], &[0.3], 0.5, None, &mut rng)
+        .expect_err("round 3's resample must hit the injected fault");
+    assert!(matches!(err, PmwError::LossMismatch(_)), "{err:?}");
+    // Rolled back across the checkpoint boundary: the fold stands, the
+    // failed round is gone, nothing is poisoned.
+    assert!(!backend.is_poisoned());
+    assert_eq!(backend.updates_recorded(), 2);
+    assert_eq!(backend.log().folded_len(), 2);
+    assert_eq!(backend.log().retained_len(), 0);
+    assert_eq!(backend.compactions(), 1);
+    let events = backend.take_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, BackendEvent::Compaction { round: 2, .. })),
+        "{events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, BackendEvent::RoundRolledBack { round: 3 })),
+        "{events:?}"
+    );
+    // One-shot fault: the retried round succeeds and folds again.
+    backend
+        .apply_update(&loss, None, &points, &[0.8], &[0.3], 0.5, None, &mut rng)
+        .unwrap();
+    assert_eq!(backend.updates_recorded(), 3);
+    assert!(!backend.is_poisoned());
 }
